@@ -1,0 +1,121 @@
+// E6 — controller flow-setup rate and control-plane costs.
+//
+// BM_ReactiveFlowSetupRate drives unique flows through the full reactive
+// path — switch miss, PacketIn encode, wire, controller dispatch, app
+// logic, FlowMod(s) + PacketOut back — using the load-balancer app (every
+// new 5-tuple takes the slow path, like Ananta's first-packet processing).
+// items_per_second is the setups/s a single controller core sustains.
+//
+// BM_ProactiveRecompute prices one full route recomputation (the
+// event-driven cost after a topology change), and BM_ConnectAllSwitches
+// the cold-start handshake of an entire fabric.
+#include <benchmark/benchmark.h>
+
+#include "controller/apps/discovery.h"
+#include "controller/apps/l3_routing.h"
+#include "controller/apps/load_balancer.h"
+#include "controller/controller.h"
+#include "topo/generators.h"
+
+namespace {
+
+using namespace zen;
+
+void BM_ReactiveFlowSetupRate(benchmark::State& state) {
+  sim::SimOptions opts;
+  opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+  opts.expiry_interval_s = 0;  // no periodic sweeps in the timing loop
+  sim::SimNetwork net(topo::make_linear(2, 2), opts);
+  controller::Controller ctrl(net);
+
+  controller::apps::Discovery::Options disc;
+  disc.stop_after_s = 1.5;
+  ctrl.add_app<controller::apps::Discovery>(disc);
+
+  const net::Ipv4Address vip(10, 99, 99, 99);
+  const auto backend_ip = sim::host_ip(net.generated().hosts[3]);
+  ctrl.add_app<controller::apps::LoadBalancer>(
+      vip, std::vector<controller::apps::LoadBalancer::Backend>{{backend_ip}});
+  ctrl.add_app<controller::apps::L3Routing>();
+
+  ctrl.connect_all();
+  net.run_until(2.0);
+
+  // Prime: backend announces itself; client resolves the VIP.
+  auto& client = net.host_at(net.generated().hosts[0]);
+  auto& backend = net.host_at(net.generated().hosts[3]);
+  backend.send_icmp_echo(client.ip(), 1);
+  client.send_udp(vip, 1, 80, 64);
+  net.run_until(4.0);
+
+  std::uint16_t src_port = 1000;
+  std::uint32_t dst_port = 80;
+  for (auto _ : state) {
+    if (++src_port >= 60000) {
+      src_port = 1000;
+      ++dst_port;  // keep 5-tuples unique across wraps
+    }
+    client.send_udp(vip, src_port, static_cast<std::uint16_t>(dst_port), 64);
+    // Drain this flow's whole control-plane exchange (wire latency is
+    // virtual; the wall-clock cost measured is pure processing).
+    net.run_until(net.now() + 0.005);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["packet_ins"] =
+      static_cast<double>(ctrl.stats().packet_ins);
+  state.counters["flow_mods"] =
+      static_cast<double>(ctrl.stats().flow_mods_sent);
+}
+BENCHMARK(BM_ReactiveFlowSetupRate)->Unit(benchmark::kMicrosecond);
+
+void BM_ProactiveRecompute(benchmark::State& state) {
+  sim::SimOptions opts;
+  opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+  sim::SimNetwork net(topo::make_fat_tree(static_cast<std::size_t>(state.range(0))),
+                      opts);
+  controller::Controller ctrl(net);
+  controller::apps::Discovery::Options disc;
+  disc.stop_after_s = 2.0;
+  ctrl.add_app<controller::apps::Discovery>(disc);
+  auto& routing = ctrl.add_app<controller::apps::L3Routing>();
+  ctrl.connect_all();
+  net.run_until(2.5);
+
+  // Make every host known (one frame each).
+  const auto& hosts = net.generated().hosts;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    net.host_at(hosts[i]).send_udp(sim::host_ip(hosts[(i + 1) % hosts.size()]),
+                                   1, 2, 16);
+  }
+  net.run_until(5.0);
+
+  for (auto _ : state) {
+    routing.recompute_now();
+    benchmark::DoNotOptimize(routing.recompute_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["switches"] =
+      static_cast<double>(net.generated().switches.size());
+  state.counters["hosts"] = static_cast<double>(hosts.size());
+}
+BENCHMARK(BM_ProactiveRecompute)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectAllSwitches(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::SimOptions opts;
+    opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+    sim::SimNetwork net(
+        topo::make_fat_tree(static_cast<std::size_t>(state.range(0))), opts);
+    controller::Controller ctrl(net);
+    state.ResumeTiming();
+
+    ctrl.connect_all();
+    net.run_until(1.0);
+    benchmark::DoNotOptimize(ctrl.view().switch_ids().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConnectAllSwitches)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,133 @@
+// E10 — intent compilation and failure-recovery latency.
+//
+// BM_SubmitIntents: wall cost of compiling+installing N point-to-point
+// intents on a fat-tree (path computation + rule generation + wire).
+// BM_RecompileAfterFailure: a core link fails; the manager recompiles only
+// the intents riding it. Counters report how many were affected. Expected
+// shape: submit scales ~linearly in N; recompile cost tracks the affected
+// subset, not the total population (the ONOS selective-recompilation
+// argument).
+#include <benchmark/benchmark.h>
+
+#include "controller/apps/discovery.h"
+#include "controller/controller.h"
+#include "intent/intent_manager.h"
+#include "topo/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace zen;
+
+struct World {
+  std::unique_ptr<sim::SimNetwork> net;
+  std::unique_ptr<controller::Controller> ctrl;
+  intent::IntentManager* intents = nullptr;
+
+  explicit World(std::size_t k) {
+    sim::SimOptions opts;
+    opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+    net = std::make_unique<sim::SimNetwork>(topo::make_fat_tree(k), opts);
+    ctrl = std::make_unique<controller::Controller>(*net);
+    controller::apps::Discovery::Options disc;
+    disc.stop_after_s = 2.0;
+    ctrl->add_app<controller::apps::Discovery>(disc);
+    intents = &ctrl->add_app<intent::IntentManager>();
+    ctrl->connect_all();
+    net->run_until(2.5);
+    // Make every host known.
+    const auto& hosts = net->generated().hosts;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      net->host_at(hosts[i]).send_udp(
+          sim::host_ip(hosts[(i + 1) % hosts.size()]), 1, 2, 16);
+    }
+    net->run_until(4.0);
+  }
+
+  net::Ipv4Address ip(std::size_t i) const {
+    return sim::host_ip(net->generated().hosts[i]);
+  }
+};
+
+void BM_SubmitIntents(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world(4);
+    util::Rng rng(51);
+    const std::size_t hosts = world.net->generated().hosts.size();
+    state.ResumeTiming();
+
+    std::size_t installed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      intent::IntentSpec spec;
+      spec.kind = intent::IntentKind::PointToPoint;
+      const std::size_t a = rng.next_below(hosts);
+      std::size_t b = rng.next_below(hosts);
+      if (b == a) b = (b + 1) % hosts;
+      spec.src = world.ip(a);
+      spec.dst = world.ip(b);
+      spec.extra_match.l4_dst(static_cast<std::uint16_t>(1000 + i));
+      const auto id = world.intents->submit(spec);
+      installed += world.intents->state(id) == intent::IntentState::Installed;
+    }
+    world.net->run_until(world.net->now() + 1.0);  // drain wire traffic
+    if (installed != n) state.SkipWithError("intents failed to install");
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.counters["intents"] = static_cast<double>(n);
+}
+BENCHMARK(BM_SubmitIntents)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RecompileAfterFailure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  double affected_fraction = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    World world(4);
+    util::Rng rng(53);
+    const std::size_t hosts = world.net->generated().hosts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      intent::IntentSpec spec;
+      spec.kind = intent::IntentKind::PointToPoint;
+      const std::size_t a = rng.next_below(hosts);
+      std::size_t b = rng.next_below(hosts);
+      if (b == a) b = (b + 1) % hosts;
+      spec.src = world.ip(a);
+      spec.dst = world.ip(b);
+      spec.extra_match.l4_dst(static_cast<std::uint16_t>(1000 + i));
+      world.intents->submit(spec);
+    }
+    world.net->run_until(world.net->now() + 1.0);
+    // Pick a core-adjacent link to fail.
+    const topo::Link* victim = nullptr;
+    for (const topo::Link* link : world.net->topology().links()) {
+      if (!topo::is_host_id(link->a) && !topo::is_host_id(link->b)) {
+        victim = link;
+        break;
+      }
+    }
+    const auto recompiles_before = world.intents->stats().recompiles;
+    state.ResumeTiming();
+
+    // Failure -> PortStatus -> selective recompilation, all inside here.
+    world.net->set_link_admin_up(victim->id, false);
+    world.net->run_until(world.net->now() + 0.5);
+
+    state.PauseTiming();
+    affected_fraction =
+        static_cast<double>(world.intents->stats().recompiles -
+                            recompiles_before) /
+        static_cast<double>(n);
+    world.net->set_link_admin_up(victim->id, true);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  state.counters["intents"] = static_cast<double>(n);
+  state.counters["affected_frac"] = affected_fraction;
+}
+BENCHMARK(BM_RecompileAfterFailure)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

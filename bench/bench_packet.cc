@@ -1,0 +1,102 @@
+// E1 — packet parse/serialize throughput.
+//
+// Reproduces the "how fast is the packet model" table: parse and build
+// rates for the header stacks the dataplane touches per packet, across
+// frame sizes. Counters report packets/s and bytes/s.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.h"
+
+namespace {
+
+using namespace zen;
+
+net::Bytes make_udp_frame(std::size_t payload) {
+  return net::build_ipv4_udp(net::MacAddress::from_u64(0xa),
+                             net::MacAddress::from_u64(0xb),
+                             net::Ipv4Address(10, 0, 0, 1),
+                             net::Ipv4Address(10, 0, 0, 2), 1111, 2222,
+                             std::vector<std::uint8_t>(payload, 0x5a));
+}
+
+void BM_ParseUdp(benchmark::State& state) {
+  const net::Bytes frame = make_udp_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto parsed = net::parse_packet(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_ParseUdp)->Arg(22)->Arg(214)->Arg(1458);  // 64B/256B/1500B frames
+
+void BM_ParseTcp(benchmark::State& state) {
+  net::TcpSpec spec;
+  spec.src_port = 80;
+  spec.dst_port = 1234;
+  const net::Bytes frame = net::build_ipv4_tcp(
+      net::MacAddress::from_u64(0xa), net::MacAddress::from_u64(0xb),
+      net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), spec,
+      std::vector<std::uint8_t>(static_cast<std::size_t>(state.range(0)), 0));
+  for (auto _ : state) {
+    auto parsed = net::parse_packet(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_ParseTcp)->Arg(10)->Arg(1448);
+
+void BM_ParseArp(benchmark::State& state) {
+  const net::Bytes frame = net::build_arp_request(
+      net::MacAddress::from_u64(0xa), net::Ipv4Address(10, 0, 0, 1),
+      net::Ipv4Address(10, 0, 0, 2));
+  for (auto _ : state) {
+    auto parsed = net::parse_packet(frame);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseArp);
+
+void BM_BuildUdp(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    auto frame = net::build_ipv4_udp(
+        net::MacAddress::from_u64(0xa), net::MacAddress::from_u64(0xb),
+        net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(10, 0, 0, 2), 1111,
+        2222, payload);
+    benchmark::DoNotOptimize(frame);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(payload.size() + 42));
+}
+BENCHMARK(BM_BuildUdp)->Arg(22)->Arg(214)->Arg(1458);
+
+void BM_FlowKeyExtraction(benchmark::State& state) {
+  const net::Bytes frame = make_udp_frame(64);
+  const auto parsed = net::parse_packet(frame).value();
+  for (auto _ : state) {
+    auto key = parsed.flow_key(3);
+    benchmark::DoNotOptimize(key);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowKeyExtraction);
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  const net::Bytes frame = make_udp_frame(64);
+  const auto key = net::parse_packet(frame).value().flow_key(3);
+  for (auto _ : state) {
+    auto h = key.hash();
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowKeyHash);
+
+}  // namespace

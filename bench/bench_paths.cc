@@ -1,0 +1,120 @@
+// E5 — path-computation scaling.
+//
+// Dijkstra SPF, equal-cost enumeration and Yen K-shortest on the
+// topologies the control plane actually computes over. Expected shape:
+// SPF ~ O(E log V); Yen ~ K * spur-count * SPF, so an order of magnitude
+// above single SPF; fat-tree ECMP enumeration cheap at fixed path length.
+#include <benchmark/benchmark.h>
+
+#include "topo/generators.h"
+#include "topo/paths.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace zen;
+
+void BM_DijkstraFatTree(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  const topo::NodeId src = gen.switches.front();
+  for (auto _ : state) {
+    auto spf = topo::dijkstra(gen.topo, src);
+    benchmark::DoNotOptimize(spf);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(gen.topo.node_count());
+  state.counters["links"] = static_cast<double>(gen.topo.link_count());
+}
+BENCHMARK(BM_DijkstraFatTree)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DijkstraRandom(benchmark::State& state) {
+  util::Rng rng(3);
+  auto gen = topo::make_random_connected(
+      static_cast<std::size_t>(state.range(0)), 4.0, rng);
+  for (auto _ : state) {
+    auto spf = topo::dijkstra(gen.topo, 1);
+    benchmark::DoNotOptimize(spf);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(gen.topo.node_count());
+}
+BENCHMARK(BM_DijkstraRandom)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_ShortestPathPair(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(8);
+  const topo::NodeId src = gen.attachments.front().sw;
+  const topo::NodeId dst = gen.attachments.back().sw;
+  for (auto _ : state) {
+    auto path = topo::shortest_path(gen.topo, src, dst);
+    benchmark::DoNotOptimize(path);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShortestPathPair);
+
+void BM_EqualCostPathsFatTree(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  const topo::NodeId src = gen.attachments.front().sw;
+  const topo::NodeId dst = gen.attachments.back().sw;
+  for (auto _ : state) {
+    auto paths = topo::equal_cost_paths(gen.topo, src, dst, 64);
+    benchmark::DoNotOptimize(paths);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["ecmp_width"] = static_cast<double>(
+      topo::equal_cost_paths(gen.topo, src, dst, 64).size());
+}
+BENCHMARK(BM_EqualCostPathsFatTree)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_YenKShortestWan(benchmark::State& state) {
+  auto gen = topo::make_wan_abilene();
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto paths = topo::k_shortest_paths(gen.topo, 1, 11, k);  // SEA -> NYC
+    benchmark::DoNotOptimize(paths);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YenKShortestWan)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_YenKShortestFatTree(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  const topo::NodeId src = gen.attachments.front().sw;
+  const topo::NodeId dst = gen.attachments.back().sw;
+  for (auto _ : state) {
+    auto paths = topo::k_shortest_paths(gen.topo, src, dst, 4);
+    benchmark::DoNotOptimize(paths);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_YenKShortestFatTree)->Arg(4)->Arg(8);
+
+void BM_SpanningTree(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = topo::spanning_tree(gen.topo, gen.switches.front());
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanningTree)->Arg(4)->Arg(8)->Arg(16);
+
+// All-pairs route computation: what one L3Routing recompute costs on a
+// growing fabric (the controller-scalability headline number).
+void BM_AllPairsRoutes(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t total_hops = 0;
+    for (const topo::NodeId dst : gen.switches) {
+      const auto spf = topo::dijkstra(gen.topo, dst);
+      total_hops += spf.distance.size();
+    }
+    benchmark::DoNotOptimize(total_hops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.switches.size()));
+  state.counters["switches"] = static_cast<double>(gen.switches.size());
+}
+BENCHMARK(BM_AllPairsRoutes)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// E8 — TE efficiency: max-min fair vs ECMP vs shortest-path vs greedy.
+//
+// For each (workload, load-scale) cell the counters report satisfied
+// fraction and peak link utilization; time/iteration is the allocator's
+// own cost. Expected shape: MaxMinFair ≥ Greedy ≥ Ecmp ≥ ShortestPath in
+// satisfied demand under stress, with the gap widening as skew grows (the
+// SWAN "60% more traffic than MPLS practice" shape); allocator cost grows
+// from trivial (SP) to K-path water-filling (MaxMin).
+#include <benchmark/benchmark.h>
+
+#include "te/allocation.h"
+#include "te/demand.h"
+#include "topo/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace zen;
+
+te::DemandMatrix make_workload(int kind, const std::vector<topo::NodeId>& sites,
+                               double total) {
+  util::Rng rng(21);
+  switch (kind) {
+    case 0: return te::uniform_demands(sites, total);
+    case 1: return te::gravity_demands(sites, total, rng);
+    case 2: return te::hotspot_demands(sites, sites[6], total);  // CHI incast
+    default: return te::permutation_demands(sites, total / 11.0, rng);
+  }
+}
+
+const char* workload_name(int kind) {
+  switch (kind) {
+    case 0: return "uniform";
+    case 1: return "gravity";
+    case 2: return "hotspot";
+    default: return "permutation";
+  }
+}
+
+void run_te_bench(benchmark::State& state, te::Strategy strategy) {
+  const int workload = static_cast<int>(state.range(0));
+  const double total = static_cast<double>(state.range(1)) * 1e9;
+  auto gen = topo::make_wan_abilene(10e9);
+  const te::DemandMatrix demands = make_workload(workload, gen.switches, total);
+
+  te::Allocation last;
+  for (auto _ : state) {
+    last = te::allocate(gen.topo, demands, strategy);
+    benchmark::DoNotOptimize(last.total_allocated());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(workload_name(workload));
+  state.counters["satisfied_pct"] = last.satisfaction(demands) * 100.0;
+  state.counters["max_util_pct"] = last.max_utilization(gen.topo) * 100.0;
+  state.counters["offered_gbps"] = total / 1e9;
+}
+
+void BM_TeShortestPath(benchmark::State& state) {
+  run_te_bench(state, te::Strategy::ShortestPath);
+}
+void BM_TeEcmp(benchmark::State& state) {
+  run_te_bench(state, te::Strategy::Ecmp);
+}
+void BM_TeGreedy(benchmark::State& state) {
+  run_te_bench(state, te::Strategy::Greedy);
+}
+void BM_TeMaxMinFair(benchmark::State& state) {
+  run_te_bench(state, te::Strategy::MaxMinFair);
+}
+
+// Workloads x load scales; {workload kind, offered Gbit/s}.
+#define TE_ARGS                                                         \
+  ->Args({0, 30})->Args({0, 60})->Args({0, 90})                          \
+  ->Args({1, 30})->Args({1, 60})->Args({1, 90})                          \
+  ->Args({2, 20})->Args({2, 40})                                         \
+  ->Args({3, 40})->Args({3, 80})
+
+BENCHMARK(BM_TeShortestPath) TE_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TeEcmp) TE_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TeGreedy) TE_ARGS->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TeMaxMinFair) TE_ARGS->Unit(benchmark::kMicrosecond);
+
+// Allocator scaling with site count on random WAN-like graphs.
+void BM_MaxMinScaling(benchmark::State& state) {
+  util::Rng rng(31);
+  auto gen = topo::make_random_connected(
+      static_cast<std::size_t>(state.range(0)), 3.0, rng, 10e9);
+  const te::DemandMatrix demands =
+      te::gravity_demands(gen.switches, 40e9, rng);
+  for (auto _ : state) {
+    auto alloc = te::allocate(gen.topo, demands, te::Strategy::MaxMinFair);
+    benchmark::DoNotOptimize(alloc);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sites"] = static_cast<double>(gen.switches.size());
+  state.counters["demands"] = static_cast<double>(demands.size());
+}
+BENCHMARK(BM_MaxMinScaling)->Arg(10)->Arg(20)->Arg(40)->Unit(benchmark::kMillisecond);
+
+}  // namespace

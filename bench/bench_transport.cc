@@ -1,0 +1,88 @@
+// E13 — AIMD transport: bottleneck sharing and fairness.
+//
+// N simultaneous AIMD flows (one per host pair) share a 100 Mbit/s
+// bottleneck. Counters report aggregate utilization and Jain's fairness
+// index over per-flow goodputs. Expected shape: utilization stays high
+// (~70-95% of the bottleneck after queueing/retransmit overhead) as N
+// grows; Jain index stays near 1 (AIMD convergence to fair share); loss
+// events per flow rise with N (more competition for the same queue).
+#include <benchmark/benchmark.h>
+
+#include "sim/aimd_flow.h"
+#include "topo/generators.h"
+
+namespace {
+
+using namespace zen;
+
+struct TransportOutcome {
+  double utilization = 0;
+  double jain = 0;
+  double retransmits_per_flow = 0;
+  int completed = 0;
+};
+
+TransportOutcome run_flows(std::size_t n_flows) {
+  sim::SimOptions opts;
+  opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+  sim::SimNetwork net(topo::make_linear(2, n_flows), opts);
+  const topo::Link* trunk = net.topology().link_between(1, 2);
+  net.topology().mutable_link(trunk->id)->capacity_bps = 100e6;
+
+  // Static routing by destination IP.
+  for (const auto& att : net.generated().attachments) {
+    for (const topo::NodeId sw : {topo::NodeId{1}, topo::NodeId{2}}) {
+      openflow::FlowMod mod;
+      mod.priority = 10;
+      mod.match.eth_type(net::EtherType::kIpv4)
+          .ipv4_dst(sim::host_ip(att.host), 32);
+      mod.instructions = openflow::output_to(
+          att.sw == sw ? att.sw_port : trunk->port_at(sw));
+      net.flow_mod(sw, mod);
+    }
+  }
+
+  // Hosts 0..n-1 sit on s1, hosts n..2n-1 on s2; pair i -> i+n.
+  std::vector<std::unique_ptr<sim::AimdFlow>> flows;
+  const double duration = 5.0;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    sim::AimdFlow::Options options;
+    options.src_port = static_cast<std::uint16_t>(40000 + i);
+    options.dst_port = static_cast<std::uint16_t>(9000 + i);
+    options.total_bytes = 1ULL << 40;  // effectively unbounded
+    flows.push_back(std::make_unique<sim::AimdFlow>(
+        net, net.generated().hosts[i], net.generated().hosts[n_flows + i],
+        options));
+    flows.back()->start();
+  }
+  net.run_until(duration);
+
+  TransportOutcome outcome;
+  double sum = 0, sum_sq = 0, retx = 0;
+  for (const auto& flow : flows) {
+    const double bps = flow->throughput_bps();
+    sum += bps;
+    sum_sq += bps * bps;
+    retx += static_cast<double>(flow->stats().retransmits);
+    outcome.completed += flow->complete();
+  }
+  outcome.utilization = sum / 100e6;
+  outcome.jain = (sum * sum) /
+                 (static_cast<double>(n_flows) * sum_sq + 1e-9);
+  outcome.retransmits_per_flow = retx / static_cast<double>(n_flows);
+  return outcome;
+}
+
+void BM_AimdBottleneckSharing(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TransportOutcome outcome;
+  for (auto _ : state) outcome = run_flows(n);
+  state.counters["flows"] = static_cast<double>(n);
+  state.counters["utilization"] = outcome.utilization;
+  state.counters["jain_index"] = outcome.jain;
+  state.counters["retx_per_flow"] = outcome.retransmits_per_flow;
+}
+BENCHMARK(BM_AimdBottleneckSharing)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,100 @@
+// E9 — congestion-free update planning (SWAN/zUpdate shape).
+//
+// For each scratch-headroom level the counters report: the transient peak
+// a one-shot update would cause (>100% = congestion), the step count the
+// planner needs, and the worst per-step peak (must stay <= 100%). Expected
+// shape: one-shot overloads whenever flows swap paths under load; steps
+// needed ~ ceil(1/slack) - 1, so more headroom -> fewer steps (the SWAN
+// theorem); planner cost grows mildly with steps.
+#include <benchmark/benchmark.h>
+
+#include "te/allocation.h"
+#include "te/demand.h"
+#include "te/update_planner.h"
+#include "topo/generators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace zen;
+
+// Morning gravity traffic shifting to an evening hotspot — a reconfiguration
+// that moves many flows across the WAN.
+struct Scenario {
+  topo::GeneratedTopo gen;
+  te::Allocation from;
+  te::Allocation to;
+};
+
+Scenario make_scenario(double headroom) {
+  Scenario s{topo::make_wan_abilene(10e9), {}, {}};
+  util::Rng rng(41);
+  te::AllocatorOptions options;
+  options.headroom = headroom;
+  const auto morning = te::gravity_demands(s.gen.switches, 55e9, rng);
+  const auto evening = te::hotspot_demands(s.gen.switches, 7, 40e9);
+  s.from = te::allocate(s.gen.topo, morning, te::Strategy::MaxMinFair, options);
+  s.to = te::allocate(s.gen.topo, evening, te::Strategy::MaxMinFair, options);
+  return s;
+}
+
+void BM_PlanUpdate(benchmark::State& state) {
+  const double headroom = static_cast<double>(state.range(0)) / 100.0;
+  Scenario s = make_scenario(headroom);
+
+  te::UpdatePlan plan;
+  for (auto _ : state) {
+    plan = te::plan_update(s.gen.topo, s.from, s.to);
+    benchmark::DoNotOptimize(plan.feasible);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["headroom_pct"] = headroom * 100;
+  state.counters["one_shot_peak_pct"] = plan.one_shot_peak_utilization * 100;
+  state.counters["steps"] = static_cast<double>(plan.step_count());
+  double worst_step = 0;
+  for (std::size_t i = 0; i + 1 < plan.stages.size(); ++i) {
+    worst_step = std::max(
+        worst_step, te::transient_peak_utilization(s.gen.topo, plan.stages[i],
+                                                   plan.stages[i + 1]));
+  }
+  state.counters["worst_step_peak_pct"] = worst_step * 100;
+  state.counters["feasible"] = plan.feasible ? 1 : 0;
+}
+BENCHMARK(BM_PlanUpdate)->Arg(5)->Arg(10)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMicrosecond);
+
+// The adversarial two-flow swap at varying load: the textbook case where
+// one-shot always congests and the step count follows ceil(1/slack) - 1.
+void BM_PlanSwap(benchmark::State& state) {
+  const double load_fraction = static_cast<double>(state.range(0)) / 100.0;
+  topo::Topology topo;
+  for (topo::NodeId id = 1; id <= 4; ++id)
+    topo.add_node(id, topo::NodeKind::Switch);
+  topo.add_link(1, 1, 2, 1, 10e9);
+  topo.add_link(2, 2, 4, 1, 10e9);
+  topo.add_link(1, 2, 3, 1, 10e9);
+  topo.add_link(3, 2, 4, 2, 10e9);
+  const auto paths = topo::k_shortest_paths(topo, 1, 4, 2);
+
+  te::Allocation from, to;
+  const te::DemandKey x{1, 4}, y{10, 40};
+  const double bps = 10e9 * load_fraction;
+  from.shares[x].push_back(te::PathShare{paths[0], bps});
+  from.shares[y].push_back(te::PathShare{paths[1], bps});
+  to.shares[x].push_back(te::PathShare{paths[1], bps});
+  to.shares[y].push_back(te::PathShare{paths[0], bps});
+
+  te::UpdatePlan plan;
+  for (auto _ : state) {
+    plan = te::plan_update(topo, from, to);
+    benchmark::DoNotOptimize(plan.feasible);
+  }
+  state.counters["load_pct"] = load_fraction * 100;
+  state.counters["one_shot_peak_pct"] = plan.one_shot_peak_utilization * 100;
+  state.counters["steps"] = static_cast<double>(plan.step_count());
+  state.counters["feasible"] = plan.feasible ? 1 : 0;
+}
+BENCHMARK(BM_PlanSwap)->Arg(50)->Arg(67)->Arg(80)->Arg(90)->Arg(95)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

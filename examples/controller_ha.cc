@@ -1,0 +1,77 @@
+// Controller high availability: master/slave redundancy with role-based
+// failover (the distributed-control-plane story).
+//
+//   $ ./controller_ha
+//
+// Two independent controllers manage one fabric. The primary holds the
+// Master role: it alone receives PacketIns and programs rules. The standby
+// holds Slave: it sees port status (so its view stays warm) but cannot
+// modify state. When the primary "dies", the standby claims Master with a
+// higher election epoch; the switches demote the old master, and traffic
+// processing continues under the standby — with the old master's late
+// writes rejected (fencing via generation ids).
+#include <cstdio>
+
+#include "core/zen.h"
+
+using namespace zen;
+using openflow::ControllerRole;
+
+int main() {
+  sim::SimNetwork net(topo::make_linear(3, 2));
+  controller::Controller primary(net);
+  controller::Controller standby(net);
+  primary.add_app<controller::apps::LearningSwitch>();
+  standby.add_app<controller::apps::LearningSwitch>();
+  primary.connect_all();
+  standby.connect_all();
+  net.run_until(0.5);
+
+  // Election epoch 1.
+  primary.request_role_all(ControllerRole::Master, 1);
+  standby.request_role_all(ControllerRole::Slave, 1);
+  net.run_until(1.0);
+  std::printf("roles: primary=%s standby=%s\n",
+              primary.role(1) == ControllerRole::Master ? "MASTER" : "?",
+              standby.role(1) == ControllerRole::Slave ? "SLAVE" : "?");
+
+  auto& h0 = net.host_at(net.generated().hosts[0]);
+  auto& h5 = net.host_at(net.generated().hosts[5]);
+
+  h0.send_udp(h5.ip(), 4000, 4001, 64);
+  net.run_until(2.0);
+  std::printf("traffic under primary: delivered=%llu  packet-ins P/S = %llu/%llu\n",
+              static_cast<unsigned long long>(h5.stats().udp_received),
+              static_cast<unsigned long long>(primary.stats().packet_ins),
+              static_cast<unsigned long long>(standby.stats().packet_ins));
+
+  // "Primary dies": the standby claims mastership with epoch 2.
+  std::printf("\n-- primary fails; standby claims master (epoch 2) --\n");
+  standby.request_role_all(ControllerRole::Master, 2);
+  net.run_until(3.0);
+
+  // The zombie primary tries a late write; switches fence it out.
+  openflow::FlowMod zombie;
+  zombie.priority = 12345;
+  zombie.match.l4_dst(6666);
+  zombie.instructions = openflow::output_to(1);
+  primary.flow_mod(1, zombie);
+  net.run_until(3.5);
+  std::printf("zombie primary write rejected: errors=%llu\n",
+              static_cast<unsigned long long>(primary.stats().errors_received));
+
+  // New flow: handled entirely by the standby.
+  const auto standby_pins = standby.stats().packet_ins;
+  h5.send_udp(h0.ip(), 4001, 4000, 64);
+  net.run_until(4.5);
+  std::printf("traffic under standby: delivered=%llu  standby packet-ins +%llu\n",
+              static_cast<unsigned long long>(h0.stats().udp_received),
+              static_cast<unsigned long long>(standby.stats().packet_ins -
+                                              standby_pins));
+
+  const bool ok = h5.stats().udp_received == 1 && h0.stats().udp_received == 1 &&
+                  primary.stats().errors_received >= 1;
+  std::printf("\n%s\n", ok ? "failover completed without data-plane outage"
+                           : "FAILOVER BROKEN");
+  return ok ? 0 : 1;
+}

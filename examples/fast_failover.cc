@@ -1,0 +1,95 @@
+// Fast failover: dataplane-local repair vs controller-driven repair.
+//
+//   $ ./fast_failover
+//
+// Two identical flows cross a fat-tree. One is a plain point-to-point
+// intent (repair = controller notices the PortStatus and recompiles); the
+// other is a protected intent whose head-end switch holds a FastFailover
+// group watching the primary port, with a link-disjoint backup path
+// pre-installed. When the shared first link dies mid-stream, the protected
+// flow keeps flowing; the plain flow drops packets for roughly one
+// controller round-trip plus recompilation.
+#include <cstdio>
+
+#include "core/zen.h"
+
+using namespace zen;
+
+namespace {
+
+struct FlowOutcome {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+};
+
+FlowOutcome run(bool protect, double ctrl_latency_s) {
+  sim::SimOptions opts;
+  opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+  sim::SimNetwork net(topo::make_fat_tree(4), opts);
+  controller::Controller::Options ctrl_options;
+  ctrl_options.channel_latency_s = ctrl_latency_s;
+  controller::Controller ctrl(net, ctrl_options);
+  controller::apps::Discovery::Options disc;
+  disc.stop_after_s = 2.0;
+  ctrl.add_app<controller::apps::Discovery>(disc);
+  auto& intents = ctrl.add_app<intent::IntentManager>();
+  ctrl.connect_all();
+  net.run_until(2.5);
+
+  auto& src = net.host_at(net.generated().hosts[0]);
+  auto& dst = net.host_at(net.generated().hosts[15]);
+  src.send_icmp_echo(dst.ip(), 1);
+  dst.send_icmp_echo(src.ip(), 1);
+  net.run_until(4.0);
+  src.add_arp_entry(dst.ip(), dst.mac());
+
+  intent::IntentSpec spec;
+  spec.kind = protect ? intent::IntentKind::ProtectedPointToPoint
+                      : intent::IntentKind::PointToPoint;
+  spec.src = src.ip();
+  spec.dst = dst.ip();
+  const auto id = intents.submit(spec);
+  net.run_until(5.0);
+
+  const auto path = intents.installed_path(id);
+  const topo::Link* victim = net.topology().link_between(path[0], path[1]);
+
+  FlowOutcome outcome;
+  for (int i = 0; i < 600; ++i) {  // 10 kpps for 60 ms
+    net.events().schedule_at(5.0 + i * 100e-6, [&] {
+      src.send_udp(dst.ip(), 5000, 5001, 64);
+      ++outcome.sent;
+    });
+  }
+  net.schedule_link_failure(victim->id, 5.02, 0);  // dies mid-stream
+  net.run_until(6.0);
+  outcome.received = dst.stats().udp_received;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("10 kpps flow across a k=4 fat-tree; first path link fails at "
+              "t+20 ms\n\n");
+  std::printf("%-34s %6s %9s %12s\n", "scheme", "sent", "received",
+              "loss window");
+  bool all_ok = true;
+  for (const double latency_s : {100e-6, 1e-3, 5e-3}) {
+    const FlowOutcome plain = run(false, latency_s);
+    std::printf("plain intent, ctrl RTT %5.1f ms     %6llu %9llu %9.1f ms\n",
+                latency_s * 2e3, static_cast<unsigned long long>(plain.sent),
+                static_cast<unsigned long long>(plain.received),
+                static_cast<double>(plain.sent - plain.received) * 0.1);
+  }
+  const FlowOutcome prot = run(true, 100e-6);
+  std::printf("protected intent (fast-failover)  %6llu %9llu %9.1f ms\n",
+              static_cast<unsigned long long>(prot.sent),
+              static_cast<unsigned long long>(prot.received),
+              static_cast<double>(prot.sent - prot.received) * 0.1);
+  all_ok = prot.sent == prot.received;
+
+  std::printf("\nlocal repair removes the controller from the recovery "
+              "loop entirely.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Policy composition: a two-table ACL firewall in front of L3 routing,
+// plus intent-based exceptions — policy above mechanism.
+//
+//   $ ./policy_firewall
+//
+// Table 0 holds the ACL band (deny rules drop, allow rules Goto table 1);
+// table 1 holds routing. A Ban intent then carves a narrower exception at
+// higher priority, all through the northbound API.
+#include <cstdio>
+
+#include "core/zen.h"
+
+using namespace zen;
+
+int main() {
+  core::Network net = core::Network::linear(3, 2);  // 3 switches, 6 hosts
+
+  net.add_app<controller::apps::Discovery>();
+
+  controller::apps::Firewall::Options fw_options;
+  fw_options.acl_table = 0;
+  fw_options.next_table = 1;
+  auto& firewall = net.add_app<controller::apps::Firewall>(fw_options);
+
+  controller::apps::L3Routing::Options routing;
+  routing.table_id = 1;
+  net.add_app<controller::apps::L3Routing>(routing);
+
+  auto& intents = net.enable_intents();
+
+  // Policy: everything allowed, except telnet (TCP/23) anywhere.
+  controller::apps::AclRule allow_all;
+  allow_all.allow = true;
+  firewall.add_rule(allow_all);
+
+  controller::apps::AclRule deny_telnet;
+  deny_telnet.match.eth_type(net::EtherType::kIpv4)
+      .ip_proto(net::IpProto::kTcp)
+      .l4_dst(23);
+  deny_telnet.allow = false;
+  deny_telnet.priority = 10;
+  firewall.add_rule(deny_telnet);
+
+  net.start();
+  std::printf("policy fabric up; ACL rules: %zu\n", firewall.rule_count());
+
+  auto& client = net.host(0);
+  auto& server = net.sim().host_at(net.generated().hosts[5]);
+
+  // Telnet is denied; HTTP passes.
+  net::TcpSpec telnet{.src_port = 40000, .dst_port = 23};
+  net::TcpSpec http{.src_port = 40001, .dst_port = 80};
+  client.send_tcp(server.ip(), telnet, 32);
+  client.send_tcp(server.ip(), http, 32);
+  net.run_for(3.0);
+  std::printf("after ACL: server received %llu TCP segments (expect 1: HTTP only)\n",
+              static_cast<unsigned long long>(server.stats().tcp_received));
+
+  // Northbound exception: ban host0 -> host5 UDP port 9000 specifically.
+  intent::IntentSpec ban;
+  ban.kind = intent::IntentKind::Ban;
+  ban.src = net.host_ip(0);
+  ban.dst = net.host_ip(5);
+  ban.extra_match.ip_proto(net::IpProto::kUdp).l4_dst(9000);
+  ban.priority = 30000;  // above the ACL band
+  const auto id = intents.submit(ban);
+  std::printf("ban intent state: %s\n", intent::to_string(intents.state(id)));
+  net.run_for(1.0);
+
+  client.send_udp(server.ip(), 50000, 9000, 64);  // banned
+  client.send_udp(server.ip(), 50000, 9001, 64);  // fine
+  net.run_for(3.0);
+  std::printf("after ban intent: server received %llu UDP datagrams (expect 1)\n",
+              static_cast<unsigned long long>(server.stats().udp_received));
+
+  const bool ok =
+      server.stats().tcp_received == 1 && server.stats().udp_received == 1;
+  std::printf("%s\n", ok ? "policy enforced correctly" : "POLICY VIOLATION");
+  return ok ? 0 : 1;
+}

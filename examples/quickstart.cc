@@ -1,0 +1,65 @@
+// Quickstart: bring up a simulated k=4 fat-tree under SDN control, send
+// traffic between hosts in different pods, and inspect what happened.
+//
+//   $ ./quickstart
+//
+// Walks through the whole stack: topology generation, controller handshake
+// over the wire protocol, LLDP-style discovery, proactive L3 routing with
+// proxy ARP, reactive first-packet handling, and megaflow-cached
+// steady-state forwarding.
+#include <cstdio>
+
+#include "core/zen.h"
+
+using namespace zen;
+
+int main() {
+  // 1. A k=4 fat-tree: 20 switches, 16 hosts, full bisection bandwidth.
+  core::Network net = core::Network::fat_tree(4);
+
+  // 2. Control applications. Discovery maps the fabric; L3Routing installs
+  //    shortest-path routes for every learned host and proxies ARP.
+  net.add_app<controller::apps::Discovery>();
+  net.add_app<controller::apps::L3Routing>();
+
+  // 3. Connect every switch (Hello/Features handshake over the in-process
+  //    wire channel) and let discovery settle.
+  net.start();
+  std::printf("fabric up: %zu switches, %zu hosts, %zu links discovered\n",
+              net.controller().view().switch_ids().size(), net.host_count(),
+              net.controller().view().links().size());
+
+  // 4. Cross-pod traffic: host 0 -> host 15. The first packet ARPs, punts
+  //    to the controller and triggers route installation (it pays the
+  //    controller round-trips); the remaining 99 ride the dataplane.
+  const auto dst_ip = net.host_ip(15);
+  net.host(0).send_udp(dst_ip, 5000, 5001, 256);
+  net.run_for(1.0);  // ARP + route install settle
+  for (int i = 0; i < 99; ++i) net.host(0).send_udp(dst_ip, 5000, 5001, 256);
+  net.run_for(2.0);
+
+  const auto& receiver = net.sim().host_at(net.generated().hosts[15]);
+  std::printf("delivered %llu/100 datagrams\nlatency (us): %s\n  (max = the route-setup packet, p50 = dataplane steady state)\n",
+              static_cast<unsigned long long>(receiver.stats().udp_received),
+              receiver.latency_us().summary().c_str());
+
+  // 5. Where did the work happen? Controller saw a handful of PacketIns;
+  //    the switches' megaflow caches served the steady state.
+  const auto& stats = net.controller().stats();
+  std::printf("controller: %llu packet-ins, %llu flow-mods, %llu packet-outs\n",
+              static_cast<unsigned long long>(stats.packet_ins),
+              static_cast<unsigned long long>(stats.flow_mods_sent),
+              static_cast<unsigned long long>(stats.packet_outs_sent));
+
+  std::uint64_t cache_hits = 0, rules = 0;
+  for (const auto& [dpid, sw] : net.sim().switches()) {
+    cache_hits += sw->cache().hits();
+    for (std::uint8_t t = 0; t < sw->table_count(); ++t)
+      rules += sw->table(t).size();
+  }
+  std::printf("dataplane: %llu flow rules installed, %llu megaflow cache hits\n",
+              static_cast<unsigned long long>(rules),
+              static_cast<unsigned long long>(cache_hits));
+
+  return receiver.stats().udp_received == 100 ? 0 : 1;
+}

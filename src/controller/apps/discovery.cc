@@ -1,0 +1,102 @@
+#include "controller/apps/discovery.h"
+
+#include "net/headers.h"
+
+namespace zen::controller::apps {
+
+void Discovery::init(Controller& controller) {
+  App::init(controller);
+}
+
+void Discovery::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
+  // Punt discovery frames to the controller at high priority.
+  openflow::FlowMod mod;
+  mod.table_id = options_.table_id;
+  mod.priority = options_.punt_priority;
+  mod.match.eth_type(net::EtherType::kLldp);
+  mod.instructions = {openflow::ApplyActions{
+      {openflow::OutputAction{openflow::Ports::kController, 0xffff}}}};
+  controller_->flow_mod(dpid, mod);
+
+  // Probe shortly after connect (debounced so a burst of switch-ups maps
+  // to one probe round) — waiting a full interval would leave a window
+  // where no links are known and edge-flooding apps can storm the fabric.
+  if (!initial_probe_pending_) {
+    initial_probe_pending_ = true;
+    controller_->events().schedule_in(0.05, [this] {
+      initial_probe_pending_ = false;
+      probe_now();
+    });
+  }
+  if (!timer_running_) {
+    timer_running_ = true;
+    schedule_probe();
+  }
+}
+
+void Discovery::schedule_probe() {
+  controller_->events().schedule_in(options_.probe_interval_s, [this] {
+    if (options_.stop_after_s > 0 && controller_->now() > options_.stop_after_s) {
+      timer_running_ = false;
+      return;
+    }
+    probe_now();
+    if (options_.link_timeout_s > 0) age_links();
+    schedule_probe();
+  });
+}
+
+void Discovery::age_links() {
+  const double cutoff = controller_->now() - options_.link_timeout_s;
+  // Collect first: notify_link_event may re-enter the view via apps.
+  std::vector<DiscoveredLink> stale;
+  for (const auto& link : controller_->view().links())
+    if (link.up && link.last_seen < cutoff) stale.push_back(link);
+  for (const auto& link : stale) {
+    // mark_links_down by one endpoint covers the record.
+    for (const auto& affected :
+         controller_->view().mark_links_down(link.a, link.a_port)) {
+      controller_->notify_link_event(LinkEvent{affected, false});
+    }
+  }
+}
+
+void Discovery::probe_now() {
+  for (const Dpid dpid : controller_->view().switch_ids()) {
+    const auto* features = controller_->view().switch_features(dpid);
+    if (!features) continue;
+    for (const auto& port : features->ports) {
+      openflow::PacketOut out;
+      out.in_port = openflow::Ports::kController;
+      out.actions = {openflow::OutputAction{port.port_no, 0xffff}};
+      out.data = net::build_discovery_frame(port.hw_addr, dpid, port.port_no);
+      controller_->packet_out(dpid, out);
+    }
+  }
+}
+
+bool Discovery::on_packet_in(const PacketInEvent& event) {
+  const auto info = net::parse_discovery_frame(event.pin->data);
+  if (!info) return false;  // not ours
+
+  const bool changed = controller_->view().learn_link(
+      info->datapath_id, info->port_no, event.dpid, event.pin->in_port,
+      controller_->now());
+  if (changed) {
+    // Find the canonical record to report.
+    for (const auto& link : controller_->view().links()) {
+      const bool match =
+          (link.a == info->datapath_id && link.a_port == info->port_no &&
+           link.b == event.dpid && link.b_port == event.pin->in_port) ||
+          (link.b == info->datapath_id && link.b_port == info->port_no &&
+           link.a == event.dpid && link.a_port == event.pin->in_port);
+      if (match) {
+        controller_->notify_link_event(LinkEvent{link, true});
+        break;
+      }
+    }
+  }
+  return true;  // discovery frames never reach other apps
+}
+
+}  // namespace zen::controller::apps

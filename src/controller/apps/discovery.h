@@ -1,0 +1,51 @@
+// Topology discovery (LLDP-style), as in ONOS/Ryu.
+//
+// On switch connect, installs a punt rule for discovery frames. Then on a
+// fixed period it PacketOuts a discovery frame on every up switch port;
+// receiving one back on another switch reveals a unidirectional link, which
+// is recorded in the controller's NetworkView and announced to apps.
+#pragma once
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+class Discovery : public App {
+ public:
+  struct Options {
+    double probe_interval_s = 1.0;
+    std::uint16_t punt_priority = 1000;
+    std::uint8_t table_id = 0;
+    // Stop probing after this virtual time (0 = forever). Benchmarks use
+    // this to bound event-queue growth.
+    double stop_after_s = 0;
+    // A link not re-confirmed by LLDP within this window is declared down
+    // (catches silent failures that produce no PortStatus). 0 disables.
+    double link_timeout_s = 0;
+  };
+
+  Discovery() : Discovery(Options()) {}
+  explicit Discovery(Options options) : options_(options) {}
+
+  std::string name() const override { return "discovery"; }
+  void init(Controller& controller) override;
+  void on_switch_up(Dpid dpid, const openflow::FeaturesReply& features) override;
+  bool on_packet_in(const PacketInEvent& event) override;
+
+  // Sends one probe per up port of every known switch, immediately.
+  void probe_now();
+
+  // Marks links whose last LLDP confirmation is older than
+  // `link_timeout_s` as down and raises link events. Called by the probe
+  // timer; public for tests.
+  void age_links();
+
+ private:
+  void schedule_probe();
+
+  Options options_;
+  bool timer_running_ = false;
+  bool initial_probe_pending_ = false;
+};
+
+}  // namespace zen::controller::apps

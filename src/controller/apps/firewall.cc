@@ -1,0 +1,48 @@
+#include "controller/apps/firewall.h"
+
+namespace zen::controller::apps {
+
+void Firewall::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
+  connected_.push_back(dpid);
+  for (const auto& rule : rules_) install(dpid, rule);
+}
+
+void Firewall::add_rule(AclRule rule) {
+  for (const Dpid dpid : connected_) install(dpid, rule);
+  rules_.push_back(std::move(rule));
+}
+
+void Firewall::clear_rules() {
+  for (const Dpid dpid : connected_) {
+    for (const auto& rule : rules_) {
+      openflow::FlowMod mod;
+      mod.table_id = options_.acl_table;
+      mod.command = openflow::FlowModCommand::DeleteStrict;
+      mod.priority = static_cast<std::uint16_t>(options_.band_base + rule.priority);
+      mod.match = rule.match;
+      controller_->flow_mod(dpid, mod);
+    }
+  }
+  rules_.clear();
+}
+
+void Firewall::install(Dpid dpid, const AclRule& rule) {
+  openflow::FlowMod mod;
+  mod.table_id = options_.acl_table;
+  mod.priority = static_cast<std::uint16_t>(options_.band_base + rule.priority);
+  mod.match = rule.match;
+  if (rule.allow && options_.next_table > options_.acl_table) {
+    mod.instructions = {openflow::GotoTable{options_.next_table}};
+  } else if (!rule.allow) {
+    mod.instructions = {};  // drop
+  } else {
+    // Single-table allow cannot "fall through" to routing under OpenFlow
+    // semantics (a matched rule ends evaluation), so allow-overrides-deny
+    // policies require the two-table pipeline (next_table > acl_table).
+    // A plain allow with no shadowing deny needs no rule at all.
+    return;
+  }
+  controller_->flow_mod(dpid, mod);
+}
+
+}  // namespace zen::controller::apps

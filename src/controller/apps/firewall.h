@@ -1,0 +1,52 @@
+// Stateless ACL firewall.
+//
+// Rules (allow/deny over match fields) are installed on every switch at a
+// priority band above routing. Deny compiles to an empty instruction list
+// (OpenFlow drop); allow compiles to Goto the next table, or to a no-op
+// band pass-through in single-table deployments (where it simply shadows
+// lower-priority denies).
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+struct AclRule {
+  openflow::Match match;
+  bool allow = false;
+  // Relative priority within the ACL band (higher wins).
+  std::uint16_t priority = 0;
+};
+
+class Firewall : public App {
+ public:
+  struct Options {
+    std::uint8_t acl_table = 0;
+    // When nonzero, allow rules Goto this table (two-table pipeline).
+    std::uint8_t next_table = 0;
+    std::uint16_t band_base = 20000;  // ACL band sits above routing
+  };
+
+  Firewall() : Firewall(Options()) {}
+  explicit Firewall(Options options) : options_(options) {}
+
+  std::string name() const override { return "firewall"; }
+  void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+
+  // Adds a rule; pushed to already-connected switches immediately.
+  void add_rule(AclRule rule);
+  void clear_rules();
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  void install(Dpid dpid, const AclRule& rule);
+
+  Options options_;
+  std::vector<AclRule> rules_;
+  std::vector<Dpid> connected_;
+};
+
+}  // namespace zen::controller::apps

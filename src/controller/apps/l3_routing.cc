@@ -1,0 +1,189 @@
+#include "controller/apps/l3_routing.h"
+
+#include "net/headers.h"
+#include "topo/paths.h"
+#include "util/logging.h"
+
+namespace zen::controller::apps {
+
+void L3Routing::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
+  // Punt ARP so the controller can proxy it.
+  openflow::FlowMod arp;
+  arp.table_id = options_.table_id;
+  arp.priority = options_.arp_punt_priority;
+  arp.match.eth_type(net::EtherType::kArp);
+  arp.instructions = {openflow::ApplyActions{
+      {openflow::OutputAction{openflow::Ports::kController, 0xffff}}}};
+  controller_->flow_mod(dpid, arp);
+
+  // Table miss punts (first packet of unknown destinations).
+  controller_->install_table_miss(dpid, options_.table_id);
+  schedule_recompute();
+}
+
+void L3Routing::on_link_event(const LinkEvent&) { schedule_recompute(); }
+
+void L3Routing::on_host_discovered(const HostInfo&) { schedule_recompute(); }
+
+void L3Routing::schedule_recompute() {
+  if (recompute_pending_) return;
+  recompute_pending_ = true;
+  controller_->events().schedule_in(options_.recompute_delay_s, [this] {
+    recompute_pending_ = false;
+    recompute_now();
+  });
+}
+
+void L3Routing::recompute_now() {
+  ++recomputes_;
+  const NetworkView& view = controller_->view();
+  const topo::Topology topo = view.as_topology(/*include_hosts=*/false);
+
+  for (const HostInfo& dst : view.hosts()) {
+    if (dst.ip == net::Ipv4Address{}) continue;
+    if (!view.has_switch(dst.dpid)) continue;
+
+    // Shortest-path tree toward the destination's attachment switch.
+    const topo::SpfResult spf = topo::dijkstra(topo, dst.dpid);
+
+    for (const Dpid sw : view.switch_ids()) {
+      std::vector<std::uint32_t> out_ports;
+
+      if (sw == dst.dpid) {
+        out_ports.push_back(dst.port);
+      } else if (spf.reached(sw)) {
+        if (options_.use_ecmp_groups) {
+          for (const topo::Path& path : topo::equal_cost_paths(topo, sw, dst.dpid, 8)) {
+            if (path.links.empty()) continue;
+            const topo::Link* first = topo.link(path.links.front());
+            const std::uint32_t port = first->port_at(sw);
+            if (std::find(out_ports.begin(), out_ports.end(), port) ==
+                out_ports.end())
+              out_ports.push_back(port);
+          }
+        } else {
+          const topo::Path path = topo::shortest_path(topo, sw, dst.dpid);
+          if (!path.links.empty())
+            out_ports.push_back(topo.link(path.links.front())->port_at(sw));
+        }
+      }
+      if (out_ports.empty()) continue;
+
+      // Skip if this switch already has the same next hops installed.
+      std::uint64_t signature = 0xcbf29ce484222325ULL;
+      for (const std::uint32_t p : out_ports)
+        signature = (signature ^ p) * 0x100000001b3ULL;
+      auto& per_switch = installed_[sw];
+      const std::uint32_t ip_key = dst.ip.value();
+      if (const auto it = per_switch.find(ip_key);
+          it != per_switch.end() && it->second == signature)
+        continue;
+      per_switch[ip_key] = signature;
+
+      openflow::FlowMod mod;
+      mod.table_id = options_.table_id;
+      mod.priority = options_.route_priority;
+      mod.match.eth_type(net::EtherType::kIpv4).ipv4_dst(dst.ip, 32);
+
+      if (out_ports.size() == 1) {
+        mod.instructions = openflow::output_to(out_ports.front());
+      } else {
+        // ECMP: one Select group per (switch, destination).
+        const std::uint32_t group_id = ++next_group_id_[sw];
+        openflow::GroupMod gm;
+        gm.command = openflow::GroupModCommand::Add;
+        gm.type = openflow::GroupType::Select;
+        gm.group_id = group_id;
+        for (const std::uint32_t p : out_ports)
+          gm.buckets.push_back(
+              openflow::Bucket{1, openflow::Ports::kAny,
+               {openflow::OutputAction{p, 0xffff}}});
+        controller_->group_mod(sw, gm);
+        mod.instructions = {
+            openflow::ApplyActions{{openflow::GroupAction{group_id}}}};
+      }
+      controller_->flow_mod(sw, mod);
+    }
+  }
+}
+
+void L3Routing::flood_to_edge_ports(const openflow::Bytes& data,
+                                    Dpid except_dpid,
+                                    std::uint32_t except_port) {
+  const NetworkView& view = controller_->view();
+  for (const Dpid dpid : view.switch_ids()) {
+    const auto* features = view.switch_features(dpid);
+    if (!features) continue;
+    openflow::PacketOut out;
+    out.in_port = openflow::Ports::kController;
+    for (const auto& port : features->ports) {
+      if (view.is_infrastructure_port(dpid, port.port_no)) continue;
+      if (dpid == except_dpid && port.port_no == except_port) continue;
+      out.actions.push_back(openflow::OutputAction{port.port_no, 0xffff});
+    }
+    if (out.actions.empty()) continue;
+    out.data = data;
+    controller_->packet_out(dpid, out);
+  }
+}
+
+void L3Routing::handle_arp(const PacketInEvent& event) {
+  const net::ArpMessage& arp = *event.parsed->arp;
+  if (arp.opcode == net::ArpMessage::kRequest) {
+    if (const HostInfo* target = controller_->view().host_by_ip(arp.target_ip)) {
+      // Proxy reply straight out of the requester's port.
+      const net::Bytes reply = net::build_arp_reply(
+          target->mac, arp.target_ip, arp.sender_mac, arp.sender_ip);
+      openflow::PacketOut out;
+      out.in_port = openflow::Ports::kController;
+      out.actions = {openflow::OutputAction{event.pin->in_port, 0xffff}};
+      out.data = reply;
+      controller_->packet_out(event.dpid, out);
+      return;
+    }
+  }
+  // Unknown target (or a reply we can't shortcut): edge-flood, loop-free.
+  flood_to_edge_ports(event.pin->data, event.dpid, event.pin->in_port);
+}
+
+bool L3Routing::on_packet_in(const PacketInEvent& event) {
+  if (!event.parsed) return false;
+  if (event.parsed->arp) {
+    handle_arp(event);
+    return true;
+  }
+  if (event.parsed->ipv4) {
+    const NetworkView& view = controller_->view();
+    const HostInfo* dst = view.host_by_ip(event.parsed->ipv4->dst);
+    if (!dst) {
+      // Unknown destination: edge-flood so it reveals itself.
+      flood_to_edge_ports(event.pin->data, event.dpid, event.pin->in_port);
+      return true;
+    }
+    // Known destination but no rule yet (installs in flight): forward the
+    // triggering packet one hop toward it so first packets are not lost,
+    // and make sure routes get (re)computed.
+    std::uint32_t out_port = 0;
+    if (event.dpid == dst->dpid) {
+      out_port = dst->port;
+    } else {
+      const topo::Topology topo = view.as_topology(false);
+      const topo::Path path = topo::shortest_path(topo, event.dpid, dst->dpid);
+      if (!path.links.empty())
+        out_port = topo.link(path.links.front())->port_at(event.dpid);
+    }
+    if (out_port != 0) {
+      openflow::PacketOut out;
+      out.buffer_id = event.pin->buffer_id;
+      out.in_port = event.pin->in_port;
+      out.actions = {openflow::OutputAction{out_port, 0xffff}};
+      if (event.pin->buffer_id == openflow::kNoBuffer) out.data = event.pin->data;
+      controller_->packet_out(event.dpid, out);
+    }
+    schedule_recompute();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace zen::controller::apps

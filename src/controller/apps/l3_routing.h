@@ -1,0 +1,58 @@
+// Proactive shortest-path L3 routing with proxy ARP (ONOS-style fwd).
+//
+// Maintains per-destination-host /32 routes on every switch, recomputed
+// whenever the learned topology or host set changes. ARP requests are
+// punted and answered by the controller from its host table (proxy ARP);
+// unknown targets are flooded to edge ports only, so multi-path fabrics
+// stay loop-free. With ECMP enabled, equal-cost next hops are programmed
+// as a Select group per (switch, destination).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+class L3Routing : public App {
+ public:
+  struct Options {
+    std::uint16_t route_priority = 100;
+    std::uint16_t arp_punt_priority = 900;
+    std::uint8_t table_id = 0;
+    bool use_ecmp_groups = false;
+    // Debounce: recompute at most once per this interval.
+    double recompute_delay_s = 0.01;
+  };
+
+  L3Routing() : L3Routing(Options()) {}
+  explicit L3Routing(Options options) : options_(options) {}
+
+  std::string name() const override { return "l3_routing"; }
+  void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+  bool on_packet_in(const PacketInEvent& event) override;
+  void on_link_event(const LinkEvent&) override;
+  void on_host_discovered(const HostInfo&) override;
+
+  // Forces an immediate recompute+install pass.
+  void recompute_now();
+
+  std::uint64_t recompute_count() const noexcept { return recomputes_; }
+
+ private:
+  void schedule_recompute();
+  void flood_to_edge_ports(const openflow::Bytes& data, Dpid except_dpid,
+                           std::uint32_t except_port);
+  void handle_arp(const PacketInEvent& event);
+
+  Options options_;
+  bool recompute_pending_ = false;
+  std::uint64_t recomputes_ = 0;
+  // (dpid, dst-ip) -> installed next-hop signature, to skip no-op FlowMods.
+  std::unordered_map<Dpid, std::unordered_map<std::uint32_t, std::uint64_t>>
+      installed_;
+  std::unordered_map<Dpid, std::uint32_t> next_group_id_;
+};
+
+}  // namespace zen::controller::apps

@@ -1,0 +1,59 @@
+#include "controller/apps/learning_switch.h"
+
+namespace zen::controller::apps {
+
+void LearningSwitch::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
+  controller_->install_table_miss(dpid, options_.table_id);
+}
+
+bool LearningSwitch::on_packet_in(const PacketInEvent& event) {
+  if (!event.parsed) return false;
+  const auto& parsed = *event.parsed;
+  const auto& pin = *event.pin;
+
+  // Learn the source.
+  auto& table = mac_tables_[event.dpid];
+  if (!parsed.eth.src.is_multicast()) table[parsed.eth.src] = pin.in_port;
+
+  // Known unicast destination: install a rule and forward the packet.
+  const auto it = table.find(parsed.eth.dst);
+  if (it != table.end() && !parsed.eth.dst.is_multicast()) {
+    const std::uint32_t out_port = it->second;
+
+    openflow::FlowMod mod;
+    mod.table_id = options_.table_id;
+    mod.priority = options_.rule_priority;
+    mod.idle_timeout = options_.idle_timeout_s;
+    mod.match.eth_dst(parsed.eth.dst);
+    mod.instructions = openflow::output_to(out_port);
+    mod.buffer_id = pin.buffer_id;  // switch forwards the buffered frame too
+    controller_->flow_mod(event.dpid, mod);
+
+    // If the frame was not buffered, push it explicitly.
+    if (pin.buffer_id == openflow::kNoBuffer) {
+      openflow::PacketOut out;
+      out.in_port = pin.in_port;
+      out.actions = {openflow::OutputAction{out_port, 0xffff}};
+      out.data = pin.data;
+      controller_->packet_out(event.dpid, out);
+    } else {
+      openflow::PacketOut out;
+      out.buffer_id = pin.buffer_id;
+      out.in_port = pin.in_port;
+      out.actions = {openflow::OutputAction{out_port, 0xffff}};
+      controller_->packet_out(event.dpid, out);
+    }
+    return true;
+  }
+
+  // Unknown: flood.
+  controller_->flood_packet(event.dpid, pin.in_port, pin.data, pin.buffer_id);
+  return true;
+}
+
+std::size_t LearningSwitch::table_size(Dpid dpid) const {
+  const auto it = mac_tables_.find(dpid);
+  return it == mac_tables_.end() ? 0 : it->second.size();
+}
+
+}  // namespace zen::controller::apps

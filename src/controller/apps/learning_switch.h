@@ -1,0 +1,39 @@
+// Reactive L2 learning switch (the canonical first SDN app).
+//
+// Learns MAC -> port per switch from PacketIns. Known destinations get a
+// flow rule (eth_dst match, idle timeout) plus a PacketOut of the buffered
+// frame; unknown destinations are flooded. Flooding uses kFlood, so this
+// app is intended for loop-free topologies (trees/lines); multi-path
+// fabrics should use L3Routing instead.
+#pragma once
+
+#include <unordered_map>
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+class LearningSwitch : public App {
+ public:
+  struct Options {
+    std::uint16_t rule_priority = 10;
+    std::uint16_t idle_timeout_s = 60;
+    std::uint8_t table_id = 0;
+  };
+
+  LearningSwitch() : LearningSwitch(Options()) {}
+  explicit LearningSwitch(Options options) : options_(options) {}
+
+  std::string name() const override { return "learning_switch"; }
+  void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+  bool on_packet_in(const PacketInEvent& event) override;
+
+  std::size_t table_size(Dpid dpid) const;
+
+ private:
+  Options options_;
+  std::unordered_map<Dpid, std::unordered_map<net::MacAddress, std::uint32_t>>
+      mac_tables_;
+};
+
+}  // namespace zen::controller::apps

@@ -1,0 +1,129 @@
+#include "controller/apps/load_balancer.h"
+
+#include "net/headers.h"
+#include "topo/paths.h"
+
+namespace zen::controller::apps {
+
+LoadBalancer::LoadBalancer(net::Ipv4Address vip, std::vector<Backend> backends,
+                           std::uint8_t table_id)
+    : vip_(vip),
+      virtual_mac_(net::MacAddress({0x02, 0x1b, 0, 0, 0, 1})),
+      backends_(std::move(backends)),
+      per_backend_flows_(backends_.size(), 0),
+      table_id_(table_id) {}
+
+std::size_t LoadBalancer::pick_backend(const net::ParsedPacket& parsed) const {
+  // Hash the 5-tuple (in_port excluded so retransmits land identically).
+  net::FlowKey key = parsed.flow_key(0);
+  key.eth_src = key.eth_dst = 0;  // L2 fields don't identify the flow
+  return key.hash() % backends_.size();
+}
+
+bool LoadBalancer::on_packet_in(const PacketInEvent& event) {
+  if (!event.parsed || backends_.empty()) return false;
+  const auto& parsed = *event.parsed;
+  const auto& pin = *event.pin;
+
+  // Proxy-ARP for the VIP.
+  if (parsed.arp && parsed.arp->opcode == net::ArpMessage::kRequest &&
+      parsed.arp->target_ip == vip_) {
+    openflow::PacketOut out;
+    out.in_port = openflow::Ports::kController;
+    out.actions = {openflow::OutputAction{pin.in_port, 0xffff}};
+    out.data = net::build_arp_reply(virtual_mac_, vip_, parsed.arp->sender_mac,
+                                    parsed.arp->sender_ip);
+    controller_->packet_out(event.dpid, out);
+    return true;
+  }
+
+  if (!parsed.ipv4 || parsed.ipv4->dst != vip_) return false;
+
+  const std::size_t index = pick_backend(parsed);
+  const Backend& backend = backends_[index];
+  const NetworkView& view = controller_->view();
+  const HostInfo* backend_host = view.host_by_ip(backend.ip);
+  if (!backend_host) return true;  // backend not learned yet; drop politely
+
+  const topo::Topology topo = view.as_topology(false);
+
+  // Forward path: this switch toward the backend.
+  std::uint32_t out_port = 0;
+  if (event.dpid == backend_host->dpid) {
+    out_port = backend_host->port;
+  } else {
+    const topo::Path path = topo::shortest_path(topo, event.dpid, backend_host->dpid);
+    if (path.links.empty()) return true;
+    out_port = topo.link(path.links.front())->port_at(event.dpid);
+  }
+
+  openflow::ActionList dnat = {
+      openflow::SetEthDstAction{backend_host->mac},
+      openflow::SetIpv4DstAction{backend.ip},
+      openflow::OutputAction{out_port, 0xffff},
+  };
+
+  // Per-flow DNAT rule at the client-facing switch.
+  openflow::FlowMod fwd;
+  fwd.table_id = table_id_;
+  fwd.priority = rule_priority_;
+  fwd.idle_timeout = idle_timeout_s_;
+  fwd.match.eth_type(net::EtherType::kIpv4)
+      .ipv4_src(parsed.ipv4->src)
+      .ipv4_dst(vip_)
+      .ip_proto(parsed.ipv4->protocol);
+  if (parsed.tcp) fwd.match.l4_src(parsed.tcp->src_port).l4_dst(parsed.tcp->dst_port);
+  if (parsed.udp) fwd.match.l4_src(parsed.udp->src_port).l4_dst(parsed.udp->dst_port);
+  fwd.instructions = {openflow::ApplyActions{dnat}};
+  controller_->flow_mod(event.dpid, fwd);
+
+  // Reverse SNAT rule at the backend's switch: backend -> client rewrites
+  // the source back to the VIP. Forwarding toward the client rides the
+  // routing app's rules after a Goto is not available cross-app, so the
+  // reverse rule outputs toward the client explicitly.
+  const HostInfo* client = view.host_by_ip(parsed.ipv4->src);
+  if (client) {
+    std::uint32_t rev_port = 0;
+    if (backend_host->dpid == client->dpid) {
+      rev_port = client->port;
+    } else {
+      const topo::Path rev =
+          topo::shortest_path(topo, backend_host->dpid, client->dpid);
+      if (!rev.links.empty())
+        rev_port = topo.link(rev.links.front())->port_at(backend_host->dpid);
+    }
+    if (rev_port != 0) {
+      openflow::FlowMod snat;
+      snat.table_id = table_id_;
+      snat.priority = rule_priority_;
+      snat.idle_timeout = idle_timeout_s_;
+      snat.match.eth_type(net::EtherType::kIpv4)
+          .ipv4_src(backend.ip)
+          .ipv4_dst(parsed.ipv4->src)
+          .ip_proto(parsed.ipv4->protocol);
+      if (parsed.tcp)
+        snat.match.l4_src(parsed.tcp->dst_port).l4_dst(parsed.tcp->src_port);
+      if (parsed.udp)
+        snat.match.l4_src(parsed.udp->dst_port).l4_dst(parsed.udp->src_port);
+      snat.instructions = {openflow::ApplyActions{
+          {openflow::SetIpv4SrcAction{vip_},
+           openflow::SetEthSrcAction{virtual_mac_},
+           openflow::OutputAction{rev_port, 0xffff}}}};
+      controller_->flow_mod(backend_host->dpid, snat);
+    }
+  }
+
+  // Push the triggering packet through the DNAT path.
+  openflow::PacketOut out;
+  out.buffer_id = pin.buffer_id;
+  out.in_port = pin.in_port;
+  out.actions = dnat;
+  if (pin.buffer_id == openflow::kNoBuffer) out.data = pin.data;
+  controller_->packet_out(event.dpid, out);
+
+  ++flows_assigned_;
+  ++per_backend_flows_[index];
+  return true;
+}
+
+}  // namespace zen::controller::apps

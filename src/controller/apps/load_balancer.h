@@ -1,0 +1,48 @@
+// L4 load balancer (Ananta-flavored, controller-driven).
+//
+// Owns a VIP backed by N real servers. ARP for the VIP is answered with a
+// virtual MAC. The first packet of each client flow to the VIP triggers a
+// per-flow DNAT rule at the client's ingress switch (rewrite dst to the
+// chosen backend, forward toward it) and the reverse SNAT rule at the
+// backend's switch (rewrite src back to the VIP). Backend choice is a
+// deterministic hash of the 5-tuple, so a flow always lands on one backend.
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+class LoadBalancer : public App {
+ public:
+  struct Backend {
+    net::Ipv4Address ip;
+  };
+
+  LoadBalancer(net::Ipv4Address vip, std::vector<Backend> backends,
+               std::uint8_t table_id = 0);
+
+  std::string name() const override { return "load_balancer"; }
+  bool on_packet_in(const PacketInEvent& event) override;
+
+  net::MacAddress virtual_mac() const noexcept { return virtual_mac_; }
+  std::uint64_t flows_assigned() const noexcept { return flows_assigned_; }
+  const std::vector<std::uint64_t>& per_backend_flows() const noexcept {
+    return per_backend_flows_;
+  }
+
+ private:
+  std::size_t pick_backend(const net::ParsedPacket& parsed) const;
+
+  net::Ipv4Address vip_;
+  net::MacAddress virtual_mac_;
+  std::vector<Backend> backends_;
+  std::vector<std::uint64_t> per_backend_flows_;
+  std::uint8_t table_id_;
+  std::uint16_t rule_priority_ = 300;
+  std::uint16_t idle_timeout_s_ = 30;
+  std::uint64_t flows_assigned_ = 0;
+};
+
+}  // namespace zen::controller::apps

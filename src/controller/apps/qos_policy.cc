@@ -1,0 +1,56 @@
+#include "controller/apps/qos_policy.h"
+
+namespace zen::controller::apps {
+
+void QosPolicy::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
+  connected_.push_back(dpid);
+  // Default class: everything falls through to the forwarding table.
+  openflow::FlowMod fallthrough;
+  fallthrough.table_id = options_.classify_table;
+  fallthrough.priority = static_cast<std::uint16_t>(options_.band_base);
+  fallthrough.instructions = {openflow::GotoTable{options_.forward_table}};
+  controller_->flow_mod(dpid, fallthrough);
+
+  for (std::size_t i = 0; i < classes_.size(); ++i) install(dpid, i);
+}
+
+void QosPolicy::add_class(TrafficClass traffic_class) {
+  class_meter_ids_.push_back(
+      traffic_class.police_rate_kbps > 0 ? ++next_meter_id_ : 0);
+  classes_.push_back(std::move(traffic_class));
+  for (const Dpid dpid : connected_) install(dpid, classes_.size() - 1);
+}
+
+void QosPolicy::install(Dpid dpid, std::size_t class_index) {
+  const TrafficClass& traffic_class = classes_[class_index];
+  const std::uint32_t meter_id = class_meter_ids_[class_index];
+
+  if (meter_id != 0) {
+    openflow::MeterMod mm;
+    mm.command = openflow::MeterModCommand::Add;
+    mm.meter_id = meter_id;
+    mm.rate_kbps = traffic_class.police_rate_kbps;
+    mm.burst_kbits = traffic_class.police_burst_kbits;
+    controller_->meter_mod(dpid, mm);
+  }
+
+  openflow::FlowMod mod;
+  mod.table_id = options_.classify_table;
+  mod.priority =
+      static_cast<std::uint16_t>(options_.band_base + 1 + traffic_class.priority);
+  mod.match = traffic_class.match;
+  openflow::InstructionList instructions;
+  if (meter_id != 0) instructions.push_back(openflow::MeterInstruction{meter_id});
+  if (traffic_class.queue_id != 0) {
+    // Applied immediately: the queue assignment sticks to the packet for
+    // the rest of the pipeline, so whatever output the forwarding table
+    // later executes uses this queue.
+    instructions.push_back(openflow::ApplyActions{
+        {openflow::SetQueueAction{traffic_class.queue_id}}});
+  }
+  instructions.push_back(openflow::GotoTable{options_.forward_table});
+  mod.instructions = std::move(instructions);
+  controller_->flow_mod(dpid, mod);
+}
+
+}  // namespace zen::controller::apps

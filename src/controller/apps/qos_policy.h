@@ -1,0 +1,60 @@
+// QosPolicy: declarative traffic classes (the network-slice primitive).
+//
+// A class is a match plus a treatment: a strict-priority queue, an optional
+// police rate (meter), or both. The app installs the classification rules
+// on every switch at a priority band above routing, with GotoTable so the
+// routing decision still comes from the table below — classification
+// composes with forwarding instead of replacing it. For single-table
+// deployments (next_table == 0) each class must carry explicit forwarding
+// via its `instructions_override`.
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+struct TrafficClass {
+  std::string name;
+  openflow::Match match;
+  // Strict-priority queue for matched traffic (0 = best effort).
+  std::uint32_t queue_id = 0;
+  // Police to this rate before forwarding (0 = no meter).
+  std::uint64_t police_rate_kbps = 0;
+  std::uint64_t police_burst_kbits = 0;
+  // Relative priority within the QoS band (higher wins on overlap).
+  std::uint16_t priority = 0;
+};
+
+class QosPolicy : public App {
+ public:
+  struct Options {
+    std::uint8_t classify_table = 0;
+    // Table holding the forwarding decision (must be > classify_table).
+    std::uint8_t forward_table = 1;
+    std::uint16_t band_base = 25000;
+  };
+
+  QosPolicy() : QosPolicy(Options()) {}
+  explicit QosPolicy(Options options) : options_(options) {}
+
+  std::string name() const override { return "qos_policy"; }
+  void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+
+  // Adds a class; pushed to connected switches immediately.
+  void add_class(TrafficClass traffic_class);
+
+  std::size_t class_count() const noexcept { return classes_.size(); }
+
+ private:
+  void install(Dpid dpid, std::size_t class_index);
+
+  Options options_;
+  std::vector<TrafficClass> classes_;
+  std::vector<std::uint32_t> class_meter_ids_;  // 0 = no meter
+  std::vector<Dpid> connected_;
+  std::uint32_t next_meter_id_ = 0x0a000000;
+};
+
+}  // namespace zen::controller::apps

@@ -1,0 +1,76 @@
+#include "controller/apps/stats_monitor.h"
+
+namespace zen::controller::apps {
+
+void StatsMonitor::on_switch_up(Dpid, const openflow::FeaturesReply&) {
+  if (!timer_running_) {
+    timer_running_ = true;
+    schedule_poll();
+  }
+}
+
+void StatsMonitor::schedule_poll() {
+  controller_->events().schedule_in(options_.poll_interval_s, [this] {
+    if (options_.stop_after_s > 0 &&
+        controller_->now() > options_.stop_after_s) {
+      timer_running_ = false;
+      return;
+    }
+    poll_now();
+    schedule_poll();
+  });
+}
+
+void StatsMonitor::poll_now() {
+  for (const Dpid dpid : controller_->view().switch_ids()) {
+    controller_->request_port_stats(
+        dpid, openflow::PortStatsRequest{},
+        [this, dpid](const openflow::PortStatsReply& reply) {
+          ingest(dpid, reply, controller_->now());
+        });
+  }
+  ++polls_;
+}
+
+void StatsMonitor::ingest(Dpid dpid, const openflow::PortStatsReply& reply,
+                          double now) {
+  for (const auto& entry : reply.entries) {
+    auto& sample = samples_[{dpid, entry.port_no}];
+    if (sample.have_last && now > sample.rate.last_update) {
+      const double dt = now - sample.rate.last_update;
+      const double tx_bps =
+          static_cast<double>(entry.tx_bytes - sample.last.tx_bytes) * 8 / dt;
+      const double rx_bps =
+          static_cast<double>(entry.rx_bytes - sample.last.rx_bytes) * 8 / dt;
+      const double a = options_.ewma_alpha;
+      sample.rate.tx_bps = a * tx_bps + (1 - a) * sample.rate.tx_bps;
+      sample.rate.rx_bps = a * rx_bps + (1 - a) * sample.rate.rx_bps;
+    }
+    sample.last = entry;
+    sample.have_last = true;
+    sample.rate.tx_dropped = entry.tx_dropped;
+    sample.rate.rx_dropped = entry.rx_dropped;
+    sample.rate.last_update = now;
+  }
+}
+
+StatsMonitor::PortRate StatsMonitor::rate(Dpid dpid, std::uint32_t port) const {
+  const auto it = samples_.find({dpid, port});
+  return it == samples_.end() ? PortRate{} : it->second.rate;
+}
+
+double StatsMonitor::max_tx_utilization() const {
+  double max_util = 0;
+  for (const auto& [key, sample] : samples_) {
+    const auto* features = controller_->view().switch_features(key.first);
+    if (!features) continue;
+    for (const auto& port : features->ports) {
+      if (port.port_no != key.second || port.curr_speed_mbps == 0) continue;
+      max_util = std::max(
+          max_util, sample.rate.tx_bps / (port.curr_speed_mbps * 1e6));
+    }
+  }
+  return max_util;
+}
+
+}  // namespace zen::controller::apps

@@ -1,0 +1,67 @@
+// StatsMonitor: periodic port-stats collection (the telemetry loop every
+// production controller runs).
+//
+// Polls PortStats from every connected switch on a fixed period, derives
+// per-port throughput from counter deltas, and keeps an EWMA so consumers
+// (TE re-optimization, dashboards, tests) can ask "how loaded is port P of
+// switch S right now" without touching the dataplane.
+#pragma once
+
+#include <map>
+
+#include "controller/controller.h"
+
+namespace zen::controller::apps {
+
+class StatsMonitor : public App {
+ public:
+  struct Options {
+    double poll_interval_s = 1.0;
+    double ewma_alpha = 0.3;  // weight of the newest sample
+    // Stop polling after this virtual time (0 = forever).
+    double stop_after_s = 0;
+  };
+
+  struct PortRate {
+    double tx_bps = 0;   // EWMA of transmit throughput
+    double rx_bps = 0;
+    std::uint64_t tx_dropped = 0;  // cumulative
+    std::uint64_t rx_dropped = 0;
+    double last_update = 0;
+  };
+
+  StatsMonitor() : StatsMonitor(Options()) {}
+  explicit StatsMonitor(Options options) : options_(options) {}
+
+  std::string name() const override { return "stats_monitor"; }
+  void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+
+  // Current smoothed rate for (switch, port); zeros if never sampled.
+  PortRate rate(Dpid dpid, std::uint32_t port) const;
+
+  // Highest tx utilization across all sampled ports, given port speeds
+  // from FeaturesReply (curr_speed_mbps).
+  double max_tx_utilization() const;
+
+  std::uint64_t polls_completed() const noexcept { return polls_; }
+
+  // Issues one poll round immediately (also used by the timer).
+  void poll_now();
+
+ private:
+  struct Sample {
+    openflow::PortStatsEntry last;
+    PortRate rate;
+    bool have_last = false;
+  };
+
+  void schedule_poll();
+  void ingest(Dpid dpid, const openflow::PortStatsReply& reply, double now);
+
+  Options options_;
+  bool timer_running_ = false;
+  std::map<std::pair<Dpid, std::uint32_t>, Sample> samples_;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace zen::controller::apps

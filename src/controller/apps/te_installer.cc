@@ -1,0 +1,132 @@
+#include "controller/apps/te_installer.h"
+
+#include <cmath>
+
+#include "net/headers.h"
+#include "util/logging.h"
+
+namespace zen::controller::apps {
+
+namespace {
+
+// Per (demand, switch): the weighted next-hop ports TE wants.
+struct NextHops {
+  std::map<std::uint32_t, double> port_bps;  // out port -> rate via it
+};
+
+}  // namespace
+
+std::size_t TeInstaller::install(const topo::Topology& topo,
+                                 const te::Allocation& alloc,
+                                 const SiteAddresses& sites) {
+  clear();
+
+  for (const auto& [key, shares] : alloc.shares) {
+    const auto src_it = sites.find(key.src);
+    const auto dst_it = sites.find(key.dst);
+    if (src_it == sites.end() || dst_it == sites.end()) continue;
+
+    // Gather weighted next hops per switch along all of this demand's paths.
+    std::map<topo::NodeId, NextHops> hops;
+    for (const auto& share : shares) {
+      if (share.bps <= 0) continue;
+      for (std::size_t i = 0; i < share.path.links.size(); ++i) {
+        const topo::NodeId sw = share.path.nodes[i];
+        const topo::Link* link = topo.link(share.path.links[i]);
+        if (!link) continue;
+        hops[sw].port_bps[link->port_at(sw)] += share.bps;
+      }
+    }
+    // Destination switch: hand off to the site host port, if attached.
+    const topo::NodeId dst_sw = key.dst;
+    for (const topo::Link* link : topo.links_of(dst_sw)) {
+      if (topo::is_host_id(link->other(dst_sw))) {
+        hops[dst_sw].port_bps.clear();
+        hops[dst_sw].port_bps[link->port_at(dst_sw)] = 1.0;
+        break;
+      }
+    }
+
+    for (const auto& [sw, next] : hops) {
+      if (next.port_bps.empty()) continue;
+
+      openflow::FlowMod mod;
+      mod.table_id = options_.table_id;
+      mod.priority = options_.priority;
+      mod.match.eth_type(net::EtherType::kIpv4)
+          .ipv4_src(src_it->second, 32)
+          .ipv4_dst(dst_it->second, 32);
+
+      if (next.port_bps.size() == 1) {
+        mod.instructions = openflow::output_to(next.port_bps.begin()->first);
+      } else {
+        // Weighted split: one Select group, bucket weights proportional to
+        // the allocated rates (scaled to 1..1000).
+        double total = 0;
+        for (const auto& [port, bps] : next.port_bps) total += bps;
+        openflow::GroupMod gm;
+        gm.command = openflow::GroupModCommand::Add;
+        gm.type = openflow::GroupType::Select;
+        gm.group_id = options_.group_id_base + next_group_++;
+        for (const auto& [port, bps] : next.port_bps) {
+          const auto weight = static_cast<std::uint16_t>(
+              std::max(1.0, std::round(bps / total * 1000.0)));
+          gm.buckets.push_back(
+              openflow::Bucket{weight, openflow::Ports::kAny,
+               {openflow::OutputAction{port, 0xffff}}});
+        }
+        controller_->group_mod(sw, gm);
+        groups_.push_back(GroupRef{sw, gm.group_id});
+        mod.instructions = {
+            openflow::ApplyActions{{openflow::GroupAction{gm.group_id}}}};
+      }
+      controller_->flow_mod(sw, mod);
+      rules_.push_back(RuleRef{sw, std::move(mod)});
+    }
+  }
+  return rules_.size();
+}
+
+void TeInstaller::install_plan(const topo::Topology& topo, te::UpdatePlan plan,
+                               const SiteAddresses& sites, double dwell_s) {
+  if (plan.stages.empty()) return;
+  // Apply stage 0 immediately; schedule the rest.
+  // Copy the pieces needed into the scheduled closures (the plan itself is
+  // moved into a shared holder so stages survive this call).
+  auto holder = std::make_shared<te::UpdatePlan>(std::move(plan));
+  auto topo_copy = std::make_shared<topo::Topology>(topo);
+  auto sites_copy = std::make_shared<SiteAddresses>(sites);
+
+  install(*topo_copy, holder->stages.front(), *sites_copy);
+  stages_applied_ = 1;
+
+  for (std::size_t i = 1; i < holder->stages.size(); ++i) {
+    controller_->events().schedule_in(
+        dwell_s * static_cast<double>(i),
+        [this, holder, topo_copy, sites_copy, i] {
+          install(*topo_copy, holder->stages[i], *sites_copy);
+          ++stages_applied_;
+        });
+  }
+}
+
+void TeInstaller::clear() {
+  for (const auto& rule : rules_) {
+    openflow::FlowMod del;
+    del.table_id = rule.mod.table_id;
+    del.command = openflow::FlowModCommand::DeleteStrict;
+    del.priority = rule.mod.priority;
+    del.match = rule.mod.match;
+    controller_->flow_mod(rule.dpid, del);
+  }
+  rules_.clear();
+  for (const auto& group : groups_) {
+    openflow::GroupMod del;
+    del.command = openflow::GroupModCommand::Delete;
+    del.group_id = group.group_id;
+    controller_->group_mod(group.dpid, del);
+  }
+  groups_.clear();
+}
+
+}  // namespace zen::controller::apps

@@ -1,0 +1,72 @@
+// TeInstaller: programs an offline TE allocation into the fabric
+// (the B4/SWAN "TE server -> switches" step).
+//
+// An Allocation maps (src site, dst site) demands onto weighted path sets.
+// For each demand this app walks every allocated path and installs, at each
+// switch, a rule matching (site-src/32, site-dst/32). Where paths diverge,
+// the out-ports become buckets of a Select group weighted by the path
+// rates, so flow-level hashing realizes the intended split.
+//
+// install_plan() applies a congestion-free UpdatePlan stage by stage on the
+// virtual clock, dwelling between stages — the zUpdate/SWAN execution loop.
+#pragma once
+
+#include <map>
+
+#include "controller/controller.h"
+#include "te/update_planner.h"
+
+namespace zen::controller::apps {
+
+class TeInstaller : public App {
+ public:
+  struct Options {
+    std::uint16_t priority = 600;  // above plain routing
+    std::uint8_t table_id = 0;
+    std::uint32_t group_id_base = 0x7e000000;
+  };
+
+  // Site traffic is identified by the site's representative host address
+  // (one host per PoP in the WAN topologies).
+  using SiteAddresses = std::map<topo::NodeId, net::Ipv4Address>;
+
+  TeInstaller() : TeInstaller(Options()) {}
+  explicit TeInstaller(Options options) : options_(options) {}
+
+  std::string name() const override { return "te_installer"; }
+
+  // Replaces any previously installed allocation. `topo` must be the
+  // topology the allocation's link ids refer to (the physical one).
+  // Returns the number of flow rules installed.
+  std::size_t install(const topo::Topology& topo, const te::Allocation& alloc,
+                      const SiteAddresses& sites);
+
+  // Applies plan stages left to right, `dwell_s` apart, starting now.
+  // The final stage remains installed.
+  void install_plan(const topo::Topology& topo, te::UpdatePlan plan,
+                    const SiteAddresses& sites, double dwell_s);
+
+  // Removes all rules/groups this app installed.
+  void clear();
+
+  std::size_t installed_rule_count() const noexcept { return rules_.size(); }
+  std::size_t stages_applied() const noexcept { return stages_applied_; }
+
+ private:
+  struct RuleRef {
+    Dpid dpid;
+    openflow::FlowMod mod;
+  };
+  struct GroupRef {
+    Dpid dpid;
+    std::uint32_t group_id;
+  };
+
+  Options options_;
+  std::vector<RuleRef> rules_;
+  std::vector<GroupRef> groups_;
+  std::uint32_t next_group_ = 0;
+  std::size_t stages_applied_ = 0;
+};
+
+}  // namespace zen::controller::apps

@@ -1,0 +1,21 @@
+#include "controller/channel.h"
+
+namespace zen::controller {
+
+void Channel::send_to_b(std::vector<std::uint8_t> bytes) {
+  bytes_ab_ += bytes.size();
+  ++msgs_ab_;
+  events_.schedule_in(latency_, [this, data = std::move(bytes)]() mutable {
+    if (to_b_) to_b_(std::move(data));
+  });
+}
+
+void Channel::send_to_a(std::vector<std::uint8_t> bytes) {
+  bytes_ba_ += bytes.size();
+  ++msgs_ba_;
+  events_.schedule_in(latency_, [this, data = std::move(bytes)]() mutable {
+    if (to_a_) to_a_(std::move(data));
+  });
+}
+
+}  // namespace zen::controller

@@ -1,0 +1,47 @@
+// In-process southbound channel.
+//
+// Behaves like the TCP connection between a switch and its controller:
+// bytes written on one side arrive on the other side's receive callback
+// after a configurable one-way latency, in order. Every message really is
+// serialized to bytes and re-parsed on the far side — the wire cost is
+// paid, only the kernel is skipped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace zen::controller {
+
+class Channel {
+ public:
+  using ReceiveFn = std::function<void(std::vector<std::uint8_t>)>;
+
+  Channel(sim::EventQueue& events, double one_way_latency_s)
+      : events_(events), latency_(one_way_latency_s) {}
+
+  // Side A = controller, side B = switch (naming only; symmetric).
+  void set_a_receiver(ReceiveFn fn) { to_a_ = std::move(fn); }
+  void set_b_receiver(ReceiveFn fn) { to_b_ = std::move(fn); }
+
+  void send_to_b(std::vector<std::uint8_t> bytes);
+  void send_to_a(std::vector<std::uint8_t> bytes);
+
+  std::uint64_t bytes_a_to_b() const noexcept { return bytes_ab_; }
+  std::uint64_t bytes_b_to_a() const noexcept { return bytes_ba_; }
+  std::uint64_t messages_a_to_b() const noexcept { return msgs_ab_; }
+  std::uint64_t messages_b_to_a() const noexcept { return msgs_ba_; }
+
+ private:
+  sim::EventQueue& events_;
+  double latency_;
+  ReceiveFn to_a_;
+  ReceiveFn to_b_;
+  std::uint64_t bytes_ab_ = 0, bytes_ba_ = 0;
+  std::uint64_t msgs_ab_ = 0, msgs_ba_ = 0;
+};
+
+}  // namespace zen::controller

@@ -1,0 +1,271 @@
+#include "controller/controller.h"
+
+#include "util/logging.h"
+
+namespace zen::controller {
+
+namespace {
+// Process-wide connection-id source: every Controller instance gets a
+// distinct id so switches can arbitrate roles between them.
+std::uint64_t next_conn_id() {
+  static std::uint64_t next = 1;
+  return next++;
+}
+}  // namespace
+
+Controller::Controller(sim::SimNetwork& net, Options options)
+    : net_(net), options_(options), conn_id_(next_conn_id()) {
+  net_.add_datapath_event_handler(
+      [this](topo::NodeId sw, openflow::Message msg) {
+        const auto it = sessions_.find(sw);
+        if (it == sessions_.end()) return;
+        it->second.agent->on_datapath_event(std::move(msg));
+      });
+}
+
+void Controller::connect_all() {
+  for (const auto& [dpid, sw] : net_.switches()) {
+    if (sessions_.contains(dpid)) continue;
+    Session session;
+    session.channel =
+        std::make_unique<Channel>(net_.events(), options_.channel_latency_s);
+    session.agent =
+        std::make_unique<SwitchAgent>(net_, dpid, *session.channel, conn_id_);
+    const Dpid id = dpid;
+    session.channel->set_a_receiver(
+        [this, id](std::vector<std::uint8_t> bytes) {
+          on_wire(id, std::move(bytes));
+        });
+    auto [it, inserted] = sessions_.emplace(dpid, std::move(session));
+    // Handshake: Hello then FeaturesRequest.
+    send(dpid, openflow::Message{openflow::Hello{}}, next_xid(dpid));
+    send(dpid, openflow::Message{openflow::FeaturesRequest{}}, next_xid(dpid));
+  }
+}
+
+std::uint16_t Controller::next_xid(Dpid dpid) {
+  auto& session = sessions_.at(dpid);
+  if (session.next_xid == 0) session.next_xid = 1;
+  return session.next_xid++;
+}
+
+void Controller::send(Dpid dpid, const openflow::Message& msg,
+                      std::uint16_t xid) {
+  sessions_.at(dpid).channel->send_to_b(openflow::encode(msg, xid));
+}
+
+void Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod) {
+  ++stats_.flow_mods_sent;
+  send(dpid, openflow::Message{mod}, next_xid(dpid));
+}
+
+void Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod) {
+  ++stats_.group_mods_sent;
+  send(dpid, openflow::Message{mod}, next_xid(dpid));
+}
+
+void Controller::meter_mod(Dpid dpid, const openflow::MeterMod& mod) {
+  send(dpid, openflow::Message{mod}, next_xid(dpid));
+}
+
+void Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg) {
+  ++stats_.packet_outs_sent;
+  send(dpid, openflow::Message{msg}, next_xid(dpid));
+}
+
+void Controller::barrier(Dpid dpid, BarrierFn done) {
+  const std::uint16_t xid = next_xid(dpid);
+  sessions_.at(dpid).pending_barriers[xid] = std::move(done);
+  send(dpid, openflow::Message{openflow::BarrierRequest{}}, xid);
+}
+
+void Controller::request_flow_stats(Dpid dpid,
+                                    const openflow::FlowStatsRequest& req,
+                                    FlowStatsFn done) {
+  const std::uint16_t xid = next_xid(dpid);
+  sessions_.at(dpid).pending_flow_stats[xid] = std::move(done);
+  send(dpid, openflow::Message{req}, xid);
+}
+
+void Controller::request_port_stats(Dpid dpid,
+                                    const openflow::PortStatsRequest& req,
+                                    PortStatsFn done) {
+  const std::uint16_t xid = next_xid(dpid);
+  sessions_.at(dpid).pending_port_stats[xid] = std::move(done);
+  send(dpid, openflow::Message{req}, xid);
+}
+
+void Controller::request_role(Dpid dpid, openflow::ControllerRole role,
+                              std::uint64_t generation_id, RoleFn done) {
+  const std::uint16_t xid = next_xid(dpid);
+  if (done) sessions_.at(dpid).pending_roles[xid] = std::move(done);
+  openflow::RoleRequest req;
+  req.role = role;
+  req.generation_id = generation_id;
+  send(dpid, openflow::Message{req}, xid);
+}
+
+void Controller::request_role_all(openflow::ControllerRole role,
+                                  std::uint64_t generation_id) {
+  for (const auto& [dpid, session] : sessions_)
+    request_role(dpid, role, generation_id);
+}
+
+openflow::ControllerRole Controller::role(Dpid dpid) const {
+  const auto it = sessions_.find(dpid);
+  return it == sessions_.end() ? openflow::ControllerRole::Equal
+                               : it->second.granted_role;
+}
+
+void Controller::install_table_miss(Dpid dpid, std::uint8_t table_id) {
+  openflow::FlowMod mod;
+  mod.table_id = table_id;
+  mod.priority = 0;  // table-miss: empty match at priority 0
+  mod.instructions = {openflow::ApplyActions{
+      {openflow::OutputAction{openflow::Ports::kController, 128}}}};
+  flow_mod(dpid, mod);
+}
+
+void Controller::flood_packet(Dpid dpid, std::uint32_t in_port,
+                              const openflow::Bytes& data,
+                              std::uint32_t buffer_id) {
+  openflow::PacketOut out;
+  out.buffer_id = buffer_id;
+  out.in_port = in_port;
+  out.actions = {openflow::OutputAction{openflow::Ports::kFlood, 0xffff}};
+  if (buffer_id == openflow::kNoBuffer) out.data = data;
+  packet_out(dpid, out);
+}
+
+void Controller::on_wire(Dpid dpid, std::vector<std::uint8_t> bytes) {
+  auto& session = sessions_.at(dpid);
+  session.stream.feed(bytes);
+  while (auto result = session.stream.next()) {
+    if (!result->ok()) {
+      ZEN_LOG(Warn) << "controller: bad frame from dpid " << dpid << ": "
+                    << result->error();
+      continue;
+    }
+    // Model controller-side processing latency before dispatch.
+    if (options_.processing_delay_s > 0) {
+      events().schedule_in(
+          options_.processing_delay_s,
+          [this, dpid, owned = std::move(*result).value()]() mutable {
+            dispatch(dpid, std::move(owned));
+          });
+    } else {
+      dispatch(dpid, std::move(*result).value());
+    }
+  }
+}
+
+void Controller::learn_host_from(Dpid dpid, const openflow::PacketIn& pin,
+                                 const net::ParsedPacket& parsed) {
+  // Only learn on edge ports; packets arriving over inter-switch links
+  // would otherwise relocate hosts spuriously.
+  if (view_.is_infrastructure_port(dpid, pin.in_port)) return;
+  if (parsed.eth.src.is_multicast()) return;
+
+  net::Ipv4Address ip;
+  if (parsed.arp) ip = parsed.arp->sender_ip;
+  else if (parsed.ipv4) ip = parsed.ipv4->src;
+
+  if (view_.learn_host(parsed.eth.src, ip, dpid, pin.in_port, now())) {
+    const HostInfo* info = view_.host_by_mac(parsed.eth.src);
+    for (const auto& app : apps_) app->on_host_discovered(*info);
+  }
+}
+
+void Controller::handle_packet_in(Dpid dpid, const openflow::PacketIn& pin) {
+  ++stats_.packet_ins;
+
+  PacketInEvent event;
+  event.dpid = dpid;
+  event.pin = &pin;
+
+  net::ParsedPacket parsed;
+  auto parse_result = net::parse_packet(pin.data);
+  if (parse_result.ok()) {
+    parsed = std::move(parse_result).value();
+    event.parsed = &parsed;
+    learn_host_from(dpid, pin, parsed);
+  }
+
+  for (const auto& app : apps_) {
+    if (app->on_packet_in(event)) break;
+  }
+}
+
+void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
+  auto& session = sessions_.at(dpid);
+  std::visit(
+      [&](auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, openflow::Hello>) {
+          // Peer hello; nothing further (we initiated).
+        } else if constexpr (std::is_same_v<T, openflow::FeaturesReply>) {
+          const bool first = !session.features_known;
+          session.features_known = true;
+          view_.add_switch(dpid, msg);
+          if (first)
+            for (const auto& app : apps_) app->on_switch_up(dpid, msg);
+        } else if constexpr (std::is_same_v<T, openflow::PacketIn>) {
+          handle_packet_in(dpid, msg);
+        } else if constexpr (std::is_same_v<T, openflow::PortStatus>) {
+          view_.set_port_state(dpid, msg.desc.port_no, msg.desc.link_up);
+          if (!msg.desc.link_up) {
+            for (const auto& link :
+                 view_.mark_links_down(dpid, msg.desc.port_no)) {
+              const LinkEvent ev{link, false};
+              for (const auto& app : apps_) app->on_link_event(ev);
+            }
+          }
+          for (const auto& app : apps_) app->on_port_status(dpid, msg);
+        } else if constexpr (std::is_same_v<T, openflow::FlowRemoved>) {
+          for (const auto& app : apps_) app->on_flow_removed(dpid, msg);
+        } else if constexpr (std::is_same_v<T, openflow::BarrierReply>) {
+          const auto it = session.pending_barriers.find(owned.xid);
+          if (it != session.pending_barriers.end()) {
+            auto fn = std::move(it->second);
+            session.pending_barriers.erase(it);
+            if (fn) fn();
+          }
+        } else if constexpr (std::is_same_v<T, openflow::FlowStatsReply>) {
+          const auto it = session.pending_flow_stats.find(owned.xid);
+          if (it != session.pending_flow_stats.end()) {
+            auto fn = std::move(it->second);
+            session.pending_flow_stats.erase(it);
+            if (fn) fn(msg);
+          }
+        } else if constexpr (std::is_same_v<T, openflow::PortStatsReply>) {
+          const auto it = session.pending_port_stats.find(owned.xid);
+          if (it != session.pending_port_stats.end()) {
+            auto fn = std::move(it->second);
+            session.pending_port_stats.erase(it);
+            if (fn) fn(msg);
+          }
+        } else if constexpr (std::is_same_v<T, openflow::RoleReply>) {
+          if (msg.accepted) session.granted_role = msg.role;
+          const auto it = session.pending_roles.find(owned.xid);
+          if (it != session.pending_roles.end()) {
+            auto fn = std::move(it->second);
+            session.pending_roles.erase(it);
+            if (fn) fn(msg);
+          }
+        } else if constexpr (std::is_same_v<T, openflow::ErrorMsg>) {
+          ++stats_.errors_received;
+          ZEN_LOG(Warn) << "controller: error from dpid " << dpid << " type "
+                        << static_cast<unsigned>(msg.type) << " code "
+                        << msg.code;
+        } else if constexpr (std::is_same_v<T, openflow::EchoRequest>) {
+          send(dpid, openflow::Message{openflow::EchoReply{msg.data}}, owned.xid);
+        }
+      },
+      owned.msg);
+}
+
+void Controller::notify_link_event(const LinkEvent& ev) {
+  for (const auto& app : apps_) app->on_link_event(ev);
+}
+
+}  // namespace zen::controller

@@ -1,0 +1,176 @@
+// Controller: the control plane runtime (ONOS/Ryu analog).
+//
+// One Controller manages every switch in a SimNetwork through per-switch
+// wire channels (see channel.h): connect_all() performs the
+// Hello/FeaturesRequest handshake, after which events flow northbound to
+// registered Apps and apps program switches through the typed southbound
+// API (flow_mod, packet_out, ...), each call crossing the wire as encoded
+// bytes with channel latency applied.
+//
+// App dispatch: PacketIns run through the app chain in registration order
+// until one returns true ("handled"). Other events are broadcast to all.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/channel.h"
+#include "controller/network_view.h"
+#include "controller/switch_agent.h"
+#include "net/packet.h"
+#include "openflow/codec.h"
+#include "sim/network.h"
+
+namespace zen::controller {
+
+class Controller;
+
+struct PacketInEvent {
+  Dpid dpid = 0;
+  const openflow::PacketIn* pin = nullptr;
+  const net::ParsedPacket* parsed = nullptr;  // null if the frame is opaque
+};
+
+struct LinkEvent {
+  DiscoveredLink link;
+  bool up = true;
+};
+
+// Base class for control applications.
+class App {
+ public:
+  virtual ~App() = default;
+  virtual std::string name() const = 0;
+
+  // Called once when the app is registered; keep the reference.
+  virtual void init(Controller& controller) { controller_ = &controller; }
+
+  virtual void on_switch_up(Dpid, const openflow::FeaturesReply&) {}
+  // Return true to stop the dispatch chain (packet consumed).
+  virtual bool on_packet_in(const PacketInEvent&) { return false; }
+  virtual void on_port_status(Dpid, const openflow::PortStatus&) {}
+  virtual void on_flow_removed(Dpid, const openflow::FlowRemoved&) {}
+  virtual void on_link_event(const LinkEvent&) {}
+  virtual void on_host_discovered(const HostInfo&) {}
+
+ protected:
+  Controller* controller_ = nullptr;
+};
+
+struct ControllerStats {
+  std::uint64_t packet_ins = 0;
+  std::uint64_t flow_mods_sent = 0;
+  std::uint64_t packet_outs_sent = 0;
+  std::uint64_t group_mods_sent = 0;
+  std::uint64_t errors_received = 0;
+};
+
+class Controller {
+ public:
+  struct Options {
+    // One-way channel latency (switch <-> controller).
+    double channel_latency_s = 100e-6;
+    // Controller-side processing delay applied before dispatching an
+    // incoming message to apps (models scheduling + deserialization).
+    double processing_delay_s = 10e-6;
+  };
+
+  explicit Controller(sim::SimNetwork& net) : Controller(net, Options()) {}
+  Controller(sim::SimNetwork& net, Options options);
+
+  // Registers an app (dispatch order = registration order).
+  template <typename T, typename... Args>
+  T& add_app(Args&&... args) {
+    auto app = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *app;
+    apps_.push_back(std::move(app));
+    apps_.back()->init(*this);
+    return ref;
+  }
+
+  // Creates channels + agents for every switch and runs the handshake.
+  // (Events must then be pumped: net.events().run_until(...).)
+  void connect_all();
+
+  // ---- southbound API (all cross the wire) ----
+  void flow_mod(Dpid dpid, const openflow::FlowMod& mod);
+  void group_mod(Dpid dpid, const openflow::GroupMod& mod);
+  void meter_mod(Dpid dpid, const openflow::MeterMod& mod);
+  void packet_out(Dpid dpid, const openflow::PacketOut& msg);
+
+  using BarrierFn = std::function<void()>;
+  void barrier(Dpid dpid, BarrierFn done);
+
+  using FlowStatsFn = std::function<void(const openflow::FlowStatsReply&)>;
+  void request_flow_stats(Dpid dpid, const openflow::FlowStatsRequest& req,
+                          FlowStatsFn done);
+  using PortStatsFn = std::function<void(const openflow::PortStatsReply&)>;
+  void request_port_stats(Dpid dpid, const openflow::PortStatsRequest& req,
+                          PortStatsFn done);
+
+  // ---- multi-controller roles ----
+  // Requests a role on one switch. `done` receives the switch's reply
+  // (granted role + accepted flag). Master requests use a generation id;
+  // pass a value larger than any previous master's to win the election.
+  using RoleFn = std::function<void(const openflow::RoleReply&)>;
+  void request_role(Dpid dpid, openflow::ControllerRole role,
+                    std::uint64_t generation_id, RoleFn done = nullptr);
+  // Convenience: request a role on every connected switch.
+  void request_role_all(openflow::ControllerRole role,
+                        std::uint64_t generation_id);
+  // Last role granted by the switch (Equal if never negotiated).
+  openflow::ControllerRole role(Dpid dpid) const;
+
+  // Convenience wrappers.
+  void install_table_miss(Dpid dpid, std::uint8_t table_id = 0);
+  void flood_packet(Dpid dpid, std::uint32_t in_port, const openflow::Bytes& data,
+                    std::uint32_t buffer_id = openflow::kNoBuffer);
+
+  // ---- state ----
+  NetworkView& view() noexcept { return view_; }
+  const NetworkView& view() const noexcept { return view_; }
+  sim::SimNetwork& network() noexcept { return net_; }
+  sim::EventQueue& events() noexcept { return net_.events(); }
+  double now() const noexcept { return net_.now(); }
+  const ControllerStats& stats() const noexcept { return stats_; }
+  const Options& options() const noexcept { return options_; }
+
+  // Notification hooks used by system apps (discovery).
+  void notify_link_event(const LinkEvent& ev);
+
+ private:
+  struct Session {
+    std::unique_ptr<Channel> channel;
+    std::unique_ptr<SwitchAgent> agent;
+    openflow::MessageStream stream;
+    std::uint16_t next_xid = 1;
+    bool features_known = false;
+    std::unordered_map<std::uint16_t, BarrierFn> pending_barriers;
+    std::unordered_map<std::uint16_t, FlowStatsFn> pending_flow_stats;
+    std::unordered_map<std::uint16_t, PortStatsFn> pending_port_stats;
+    std::unordered_map<std::uint16_t, RoleFn> pending_roles;
+    openflow::ControllerRole granted_role = openflow::ControllerRole::Equal;
+  };
+
+  void send(Dpid dpid, const openflow::Message& msg, std::uint16_t xid);
+  std::uint16_t next_xid(Dpid dpid);
+  void on_wire(Dpid dpid, std::vector<std::uint8_t> bytes);
+  void dispatch(Dpid dpid, openflow::OwnedMessage owned);
+  void handle_packet_in(Dpid dpid, const openflow::PacketIn& pin);
+  void learn_host_from(Dpid dpid, const openflow::PacketIn& pin,
+                       const net::ParsedPacket& parsed);
+
+  sim::SimNetwork& net_;
+  Options options_;
+  // Identifies this controller's connections for switch-side role state.
+  std::uint64_t conn_id_;
+  NetworkView view_;
+  std::vector<std::unique_ptr<App>> apps_;
+  std::unordered_map<Dpid, Session> sessions_;
+  ControllerStats stats_;
+};
+
+}  // namespace zen::controller

@@ -1,0 +1,146 @@
+#include "controller/network_view.h"
+
+#include <algorithm>
+
+namespace zen::controller {
+
+void NetworkView::add_switch(Dpid dpid, const openflow::FeaturesReply& features) {
+  SwitchEntry entry;
+  entry.features = features;
+  for (const auto& port : features.ports) entry.port_up[port.port_no] = port.link_up;
+  switches_[dpid] = std::move(entry);
+  ++version_;
+}
+
+void NetworkView::remove_switch(Dpid dpid) {
+  if (switches_.erase(dpid) == 0) return;
+  links_.erase(std::remove_if(links_.begin(), links_.end(),
+                              [&](const DiscoveredLink& l) {
+                                return l.a == dpid || l.b == dpid;
+                              }),
+               links_.end());
+  ++version_;
+}
+
+std::vector<Dpid> NetworkView::switch_ids() const {
+  std::vector<Dpid> out;
+  out.reserve(switches_.size());
+  for (const auto& [dpid, entry] : switches_) out.push_back(dpid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const openflow::FeaturesReply* NetworkView::switch_features(Dpid dpid) const {
+  const auto it = switches_.find(dpid);
+  return it == switches_.end() ? nullptr : &it->second.features;
+}
+
+void NetworkView::set_port_state(Dpid dpid, std::uint32_t port, bool up) {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  it->second.port_up[port] = up;
+  ++version_;
+}
+
+bool NetworkView::learn_link(Dpid a, std::uint32_t a_port, Dpid b,
+                             std::uint32_t b_port, double now) {
+  for (auto& link : links_) {
+    const bool same_fwd = link.a == a && link.a_port == a_port && link.b == b &&
+                          link.b_port == b_port;
+    const bool same_rev = link.a == b && link.a_port == b_port && link.b == a &&
+                          link.b_port == a_port;
+    if (same_fwd || same_rev) {
+      link.last_seen = now;
+      if (!link.up) {
+        link.up = true;
+        ++version_;
+        return true;
+      }
+      return false;
+    }
+  }
+  links_.push_back(DiscoveredLink{a, a_port, b, b_port, true, now});
+  ++version_;
+  return true;
+}
+
+std::vector<DiscoveredLink> NetworkView::mark_links_down(Dpid dpid,
+                                                         std::uint32_t port) {
+  std::vector<DiscoveredLink> affected;
+  for (auto& link : links_) {
+    const bool touches = (link.a == dpid && link.a_port == port) ||
+                         (link.b == dpid && link.b_port == port);
+    if (touches && link.up) {
+      link.up = false;
+      affected.push_back(link);
+    }
+  }
+  if (!affected.empty()) ++version_;
+  return affected;
+}
+
+bool NetworkView::is_infrastructure_port(Dpid dpid, std::uint32_t port) const {
+  return std::any_of(links_.begin(), links_.end(),
+                     [&](const DiscoveredLink& l) {
+                       return (l.a == dpid && l.a_port == port) ||
+                              (l.b == dpid && l.b_port == port);
+                     });
+}
+
+bool NetworkView::learn_host(net::MacAddress mac, net::Ipv4Address ip,
+                             Dpid dpid, std::uint32_t port, double now) {
+  const auto [it, inserted] = hosts_by_mac_.try_emplace(mac);
+  auto& info = it->second;
+  const bool changed =
+      inserted || info.dpid != dpid || info.port != port || info.ip != ip;
+  info.mac = mac;
+  info.ip = ip;
+  info.dpid = dpid;
+  info.port = port;
+  info.last_seen = now;
+  if (ip != net::Ipv4Address{}) ip_to_mac_[ip] = mac;
+  if (changed) ++version_;
+  return changed;
+}
+
+const HostInfo* NetworkView::host_by_mac(net::MacAddress mac) const {
+  const auto it = hosts_by_mac_.find(mac);
+  return it == hosts_by_mac_.end() ? nullptr : &it->second;
+}
+
+const HostInfo* NetworkView::host_by_ip(net::Ipv4Address ip) const {
+  const auto it = ip_to_mac_.find(ip);
+  return it == ip_to_mac_.end() ? nullptr : host_by_mac(it->second);
+}
+
+std::vector<HostInfo> NetworkView::hosts() const {
+  std::vector<HostInfo> out;
+  out.reserve(hosts_by_mac_.size());
+  for (const auto& [mac, info] : hosts_by_mac_) out.push_back(info);
+  std::sort(out.begin(), out.end(), [](const HostInfo& a, const HostInfo& b) {
+    return a.mac.to_u64() < b.mac.to_u64();
+  });
+  return out;
+}
+
+topo::Topology NetworkView::as_topology(bool include_hosts) const {
+  topo::Topology topo;
+  for (const auto& [dpid, entry] : switches_)
+    topo.add_node(dpid, topo::NodeKind::Switch);
+  for (const auto& link : links_) {
+    if (!link.up) continue;
+    if (!topo.node(link.a) || !topo.node(link.b)) continue;
+    topo.add_link(link.a, link.a_port, link.b, link.b_port);
+  }
+  if (include_hosts) {
+    for (const auto& [mac, info] : hosts_by_mac_) {
+      if (!topo.node(info.dpid)) continue;
+      const topo::NodeId host_id = mac.to_u64();
+      topo.add_node(host_id, topo::NodeKind::Host);
+      topo.add_link(host_id, 1, info.dpid, info.port);
+    }
+  }
+  return topo;
+}
+
+}  // namespace zen::controller

@@ -1,0 +1,91 @@
+// NetworkView: the controller's learned model of the network.
+//
+// Populated from FeaturesReply (switches and their ports), the discovery
+// app (switch-to-switch links), and PacketIn snooping (host locations).
+// Consumers (routing, intents, TE) obtain a topo::Topology snapshot via
+// as_topology() for path computation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/addr.h"
+#include "openflow/messages.h"
+#include "topo/graph.h"
+
+namespace zen::controller {
+
+using Dpid = topo::NodeId;
+
+struct DiscoveredLink {
+  Dpid a = 0;
+  std::uint32_t a_port = 0;
+  Dpid b = 0;
+  std::uint32_t b_port = 0;
+  bool up = true;
+  double last_seen = 0;
+
+  friend bool operator==(const DiscoveredLink&, const DiscoveredLink&) = default;
+};
+
+struct HostInfo {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  Dpid dpid = 0;
+  std::uint32_t port = 0;
+  double last_seen = 0;
+};
+
+class NetworkView {
+ public:
+  // ---- switches ----
+  void add_switch(Dpid dpid, const openflow::FeaturesReply& features);
+  void remove_switch(Dpid dpid);
+  bool has_switch(Dpid dpid) const { return switches_.contains(dpid); }
+  std::vector<Dpid> switch_ids() const;
+  const openflow::FeaturesReply* switch_features(Dpid dpid) const;
+  void set_port_state(Dpid dpid, std::uint32_t port, bool up);
+
+  // ---- links ----
+  // Records a unidirectional observation; the link becomes (or stays)
+  // bidirectional-up. Returns true if this created a new link or revived a
+  // down one.
+  bool learn_link(Dpid a, std::uint32_t a_port, Dpid b, std::uint32_t b_port,
+                  double now);
+  // Marks links touching (dpid, port) down. Returns the affected links.
+  std::vector<DiscoveredLink> mark_links_down(Dpid dpid, std::uint32_t port);
+  const std::vector<DiscoveredLink>& links() const noexcept { return links_; }
+  bool is_infrastructure_port(Dpid dpid, std::uint32_t port) const;
+
+  // ---- hosts ----
+  // Returns true if this is a new host or it moved.
+  bool learn_host(net::MacAddress mac, net::Ipv4Address ip, Dpid dpid,
+                  std::uint32_t port, double now);
+  const HostInfo* host_by_mac(net::MacAddress mac) const;
+  const HostInfo* host_by_ip(net::Ipv4Address ip) const;
+  std::vector<HostInfo> hosts() const;
+
+  // ---- snapshot ----
+  // Topology of switches and up discovered links; hosts (node id = MAC as
+  // integer) attached at their learned locations when include_hosts.
+  topo::Topology as_topology(bool include_hosts = false) const;
+
+  std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  struct SwitchEntry {
+    openflow::FeaturesReply features;
+    std::map<std::uint32_t, bool> port_up;
+  };
+
+  std::unordered_map<Dpid, SwitchEntry> switches_;
+  std::vector<DiscoveredLink> links_;
+  std::unordered_map<net::MacAddress, HostInfo> hosts_by_mac_;
+  std::unordered_map<net::Ipv4Address, net::MacAddress> ip_to_mac_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace zen::controller

@@ -1,0 +1,120 @@
+#include "controller/switch_agent.h"
+
+#include "util/logging.h"
+
+namespace zen::controller {
+
+SwitchAgent::SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid,
+                         Channel& channel, std::uint64_t conn_id)
+    : net_(net), dpid_(dpid), channel_(channel), conn_id_(conn_id) {
+  channel_.set_b_receiver(
+      [this](std::vector<std::uint8_t> bytes) { on_wire(std::move(bytes)); });
+}
+
+openflow::ControllerRole SwitchAgent::role() const {
+  return net_.switch_at(dpid_).controller_role(conn_id_);
+}
+
+void SwitchAgent::reply(const openflow::Message& msg, std::uint16_t xid) {
+  channel_.send_to_a(openflow::encode(msg, xid));
+}
+
+void SwitchAgent::send_error(std::uint16_t xid, openflow::ErrorType type,
+                             std::uint16_t code) {
+  openflow::ErrorMsg err;
+  err.type = type;
+  err.code = code;
+  reply(openflow::Message{std::move(err)}, xid);
+}
+
+void SwitchAgent::on_datapath_event(openflow::Message msg) {
+  // Slaves get port status only; PacketIns and FlowRemoved go to the
+  // master/equal connections (OF 1.3 asynchronous-message filtering).
+  if (role() == openflow::ControllerRole::Slave &&
+      !std::holds_alternative<openflow::PortStatus>(msg))
+    return;
+  reply(msg, next_xid_++);
+}
+
+void SwitchAgent::on_wire(std::vector<std::uint8_t> bytes) {
+  stream_.feed(bytes);
+  while (auto result = stream_.next()) {
+    if (!result->ok()) {
+      ZEN_LOG(Warn) << "switch " << dpid_ << ": bad frame: " << result->error();
+      send_error(0, openflow::ErrorType::BadRequest, 0);
+      continue;
+    }
+    handle(std::move(*result).value());
+  }
+}
+
+void SwitchAgent::handle(openflow::OwnedMessage owned) {
+  using namespace openflow;
+  auto& sw = net_.switch_at(dpid_);
+  const std::uint16_t xid = owned.xid;
+
+  // Role enforcement: a slave connection may not modify state.
+  const bool is_slave = role() == ControllerRole::Slave;
+
+  std::visit(
+      [&](auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, FlowMod> || std::is_same_v<T, GroupMod> ||
+                      std::is_same_v<T, MeterMod> || std::is_same_v<T, PacketOut>) {
+          if (is_slave) {
+            send_error(xid, ErrorType::BadRequest, /*kIsSlave*/ 9);
+            return;
+          }
+        }
+        if constexpr (std::is_same_v<T, Hello>) {
+          reply(Message{Hello{}}, xid);
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          reply(Message{EchoReply{std::move(msg.data)}}, xid);
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          reply(Message{sw.features()}, xid);
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          const auto status = net_.flow_mod(dpid_, msg);
+          if (!status.ok)
+            send_error(xid, status.error_type, status.error_code);
+        } else if constexpr (std::is_same_v<T, GroupMod>) {
+          const auto status = net_.group_mod(dpid_, msg);
+          if (!status.ok)
+            send_error(xid, status.error_type, status.error_code);
+        } else if constexpr (std::is_same_v<T, MeterMod>) {
+          const auto status = net_.meter_mod(dpid_, msg);
+          if (!status.ok)
+            send_error(xid, status.error_type, status.error_code);
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          net_.packet_out(dpid_, msg);
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          reply(Message{BarrierReply{}}, xid);
+        } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
+          reply(Message{sw.flow_stats(msg, net_.now())}, xid);
+        } else if constexpr (std::is_same_v<T, PortStatsRequest>) {
+          reply(Message{sw.port_stats(msg)}, xid);
+        } else if constexpr (std::is_same_v<T, TableStatsRequest>) {
+          reply(Message{sw.table_stats()}, xid);
+        } else if constexpr (std::is_same_v<T, RoleRequest>) {
+          RoleReply role_reply;
+          role_reply.generation_id = msg.generation_id;
+          const auto granted =
+              sw.set_controller_role(conn_id_, msg.role, msg.generation_id);
+          if (granted) {
+            role_reply.role = *granted;
+            role_reply.accepted = true;
+          } else {
+            role_reply.role = sw.controller_role(conn_id_);
+            role_reply.accepted = false;  // stale generation
+          }
+          reply(Message{role_reply}, xid);
+        } else if constexpr (std::is_same_v<T, EchoReply> ||
+                             std::is_same_v<T, ErrorMsg>) {
+          // fine, no action
+        } else {
+          send_error(xid, ErrorType::BadRequest, 0);
+        }
+      },
+      owned.msg);
+}
+
+}  // namespace zen::controller

@@ -1,0 +1,44 @@
+// SwitchAgent: the protocol shim that lives "on" a switch.
+//
+// Translates wire messages from the controller into typed calls on the
+// simulated datapath, and encodes datapath events (PacketIn, PortStatus,
+// FlowRemoved) back onto the wire. One agent per switch.
+#pragma once
+
+#include "controller/channel.h"
+#include "openflow/codec.h"
+#include "sim/network.h"
+
+namespace zen::controller {
+
+class SwitchAgent {
+ public:
+  // `conn_id` identifies this controller connection for role arbitration
+  // (multi-controller redundancy).
+  SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid, Channel& channel,
+              std::uint64_t conn_id = 0);
+
+  // Called by the network seam when the datapath raises an event.
+  // Role filtering: slaves receive PortStatus only.
+  void on_datapath_event(openflow::Message msg);
+
+  topo::NodeId dpid() const noexcept { return dpid_; }
+
+ private:
+  openflow::ControllerRole role() const;
+
+  void on_wire(std::vector<std::uint8_t> bytes);
+  void handle(openflow::OwnedMessage owned);
+  void reply(const openflow::Message& msg, std::uint16_t xid);
+  void send_error(std::uint16_t xid, openflow::ErrorType type,
+                  std::uint16_t code);
+
+  sim::SimNetwork& net_;
+  topo::NodeId dpid_;
+  Channel& channel_;
+  std::uint64_t conn_id_;
+  openflow::MessageStream stream_;
+  std::uint16_t next_xid_ = 1;
+};
+
+}  // namespace zen::controller

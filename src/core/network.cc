@@ -1,0 +1,58 @@
+#include "core/network.h"
+
+#include <cassert>
+
+namespace zen::core {
+
+Network::Network(topo::GeneratedTopo generated, Config config)
+    : sim_(std::make_unique<sim::SimNetwork>(std::move(generated), config.sim)),
+      ctrl_(std::make_unique<controller::Controller>(*sim_, config.controller)) {
+  warmup_s_ = config.warmup_s;
+}
+
+Network Network::fat_tree(std::size_t k) {
+  return Network(topo::make_fat_tree(k));
+}
+
+Network Network::linear(std::size_t n_switches, std::size_t hosts_per_switch) {
+  return Network(topo::make_linear(n_switches, hosts_per_switch));
+}
+
+Network Network::leaf_spine(std::size_t n_spine, std::size_t n_leaf,
+                            std::size_t hosts_per_leaf) {
+  return Network(topo::make_leaf_spine(n_spine, n_leaf, hosts_per_leaf));
+}
+
+Network Network::wan() { return Network(topo::make_wan_abilene()); }
+
+intent::IntentManager& Network::enable_intents() {
+  if (!intents_) intents_ = &ctrl_->add_app<intent::IntentManager>();
+  return *intents_;
+}
+
+void Network::start() {
+  if (started_) return;
+  started_ = true;
+  ctrl_->connect_all();
+  run_for(warmup_s_);
+}
+
+sim::SimHost& Network::host(std::size_t index) {
+  const auto& hosts = generated().hosts;
+  assert(index < hosts.size());
+  return sim_->host_at(hosts[index]);
+}
+
+net::Ipv4Address Network::host_ip(std::size_t index) const {
+  const auto& hosts = generated().hosts;
+  assert(index < hosts.size());
+  return sim::host_ip(hosts[index]);
+}
+
+std::uint64_t Network::total_udp_received() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, host] : sim_->hosts()) total += host->stats().udp_received;
+  return total;
+}
+
+}  // namespace zen::core

@@ -1,0 +1,92 @@
+// core::Network — the top of the stack.
+//
+// Composes a simulated fabric (zen_sim), a controller with apps
+// (zen_controller) and optional intent management (zen_intent) behind one
+// object, embodying the layering the library is organized around:
+//
+//   intents / apps        (policy: what the network should do)
+//        |
+//   controller + wire     (control: decide and program)
+//        |
+//   switches + links      (mechanism: forward packets)
+//
+// Typical use (see examples/quickstart.cpp):
+//   auto net = core::Network::fat_tree(4);
+//   net.add_app<controller::apps::Discovery>();
+//   net.add_app<controller::apps::L3Routing>();
+//   net.start();                       // connect + discovery warm-up
+//   net.host(0).send_udp(net.host_ip(5), 5000, 5001, 256);
+//   net.run_for(0.1);
+#pragma once
+
+#include <memory>
+
+#include "controller/apps/discovery.h"
+#include "controller/apps/l3_routing.h"
+#include "controller/apps/learning_switch.h"
+#include "controller/controller.h"
+#include "intent/intent_manager.h"
+#include "sim/network.h"
+#include "topo/generators.h"
+
+namespace zen::core {
+
+class Network {
+ public:
+  struct Config {
+    sim::SimOptions sim;
+    controller::Controller::Options controller;
+    // Virtual time start() runs to let handshakes and discovery settle.
+    double warmup_s = 2.5;
+  };
+
+  Network(topo::GeneratedTopo generated, Config config);
+  explicit Network(topo::GeneratedTopo generated)
+      : Network(std::move(generated), Config()) {}
+
+  // ---- canned topologies ----
+  static Network fat_tree(std::size_t k);
+  static Network linear(std::size_t n_switches, std::size_t hosts_per_switch);
+  static Network leaf_spine(std::size_t n_spine, std::size_t n_leaf,
+                            std::size_t hosts_per_leaf);
+  static Network wan();
+
+  // ---- composition (before start()) ----
+  template <typename T, typename... Args>
+  T& add_app(Args&&... args) {
+    return ctrl_->add_app<T>(std::forward<Args>(args)...);
+  }
+
+  // Registers the intent framework as an app and returns it.
+  intent::IntentManager& enable_intents();
+
+  // ---- lifecycle ----
+  // Connects every switch and runs `warmup_s` of virtual time so discovery
+  // and proactive installs settle.
+  void start();
+  void run_for(double seconds) { sim_->run_until(now() + seconds); }
+  void run_until(double t) { sim_->run_until(t); }
+  double now() const { return sim_->now(); }
+
+  // ---- access ----
+  sim::SimNetwork& sim() { return *sim_; }
+  controller::Controller& controller() { return *ctrl_; }
+  topo::Topology& topology() { return sim_->topology(); }
+  const topo::GeneratedTopo& generated() const { return sim_->generated(); }
+
+  std::size_t host_count() const { return generated().hosts.size(); }
+  sim::SimHost& host(std::size_t index);
+  net::Ipv4Address host_ip(std::size_t index) const;
+
+  // Aggregate delivery check: sum of UDP datagrams received by all hosts.
+  std::uint64_t total_udp_received() const;
+
+ private:
+  std::unique_ptr<sim::SimNetwork> sim_;
+  std::unique_ptr<controller::Controller> ctrl_;
+  intent::IntentManager* intents_ = nullptr;
+  double warmup_s_ = 2.5;
+  bool started_ = false;
+};
+
+}  // namespace zen::core

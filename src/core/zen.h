@@ -1,0 +1,35 @@
+// Umbrella header: the full zen public API in one include.
+//
+// Layer map (bottom to top):
+//   util/        logging, buffers, rng, histograms
+//   net/         addresses, headers, packets, flow keys
+//   openflow/    southbound wire protocol (match, actions, messages, codec)
+//   dataplane/   software switch: flow/group/meter tables, megaflow cache
+//   topo/        topology graph, path algorithms, generators
+//   sim/         discrete-event network substrate
+//   controller/  control plane runtime + apps
+//   intent/      northbound intent framework
+//   te/          traffic engineering: demands, allocators, update planner
+//   core/        Network façade composing the stack
+#pragma once
+
+#include "controller/apps/discovery.h"
+#include "controller/apps/firewall.h"
+#include "controller/apps/l3_routing.h"
+#include "controller/apps/learning_switch.h"
+#include "controller/apps/load_balancer.h"
+#include "controller/apps/qos_policy.h"
+#include "controller/apps/reactive_forwarding.h"
+#include "controller/apps/stats_monitor.h"
+#include "controller/apps/te_installer.h"
+#include "controller/controller.h"
+#include "core/network.h"
+#include "dataplane/switch.h"
+#include "intent/intent_manager.h"
+#include "net/packet.h"
+#include "openflow/codec.h"
+#include "sim/network.h"
+#include "te/allocation.h"
+#include "te/update_planner.h"
+#include "topo/generators.h"
+#include "topo/paths.h"

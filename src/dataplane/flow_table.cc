@@ -1,0 +1,167 @@
+#include "dataplane/flow_table.h"
+
+#include <algorithm>
+
+namespace zen::dataplane {
+
+bool outputs_to_port(const FlowEntry& entry, std::uint32_t port) noexcept {
+  if (port == openflow::Ports::kAny) return true;
+  for (const auto& ins : entry.instructions) {
+    const openflow::ActionList* actions = nullptr;
+    if (const auto* apply = std::get_if<openflow::ApplyActions>(&ins))
+      actions = &apply->actions;
+    else if (const auto* write = std::get_if<openflow::WriteActions>(&ins))
+      actions = &write->actions;
+    if (!actions) continue;
+    for (const auto& a : *actions) {
+      if (const auto* out = std::get_if<openflow::OutputAction>(&a);
+          out && out->port == port)
+        return true;
+    }
+  }
+  return false;
+}
+
+FlowEntryPtr FlowTable::add(FlowEntry entry, double now) {
+  entry.created_at = now;
+  entry.last_used_at = now;
+  auto ptr = std::make_shared<FlowEntry>(std::move(entry));
+
+  auto& group = groups_[ptr->match.mask()];
+  group.mask = ptr->match.mask();
+  auto& bucket = group.by_key[ptr->match.value()];
+
+  // Replace an identical (match, priority) entry if present.
+  const auto existing = std::find_if(
+      bucket.begin(), bucket.end(), [&](const FlowEntryPtr& e) {
+        return e->priority == ptr->priority && e->match == ptr->match;
+      });
+  if (existing != bucket.end()) {
+    *existing = ptr;
+  } else {
+    bucket.push_back(ptr);
+    std::sort(bucket.begin(), bucket.end(),
+              [](const FlowEntryPtr& a, const FlowEntryPtr& b) {
+                return a->priority > b->priority;
+              });
+    ++count_;
+  }
+  group.max_priority = std::max(group.max_priority, ptr->priority);
+  return ptr;
+}
+
+std::size_t FlowTable::modify(const openflow::Match& match,
+                              std::uint16_t priority,
+                              const openflow::InstructionList& instructions,
+                              bool strict) {
+  std::size_t updated = 0;
+  for (auto& [mask, group] : groups_) {
+    for (auto& [key, bucket] : group.by_key) {
+      for (auto& entry : bucket) {
+        const bool hit = strict
+                             ? entry->priority == priority && entry->match == match
+                             : entry->match.subsumed_by(match);
+        if (hit) {
+          entry->instructions = instructions;
+          ++updated;
+        }
+      }
+    }
+  }
+  return updated;
+}
+
+template <typename Pred>
+std::vector<FlowEntryPtr> FlowTable::remove_if(Pred&& pred) {
+  std::vector<FlowEntryPtr> removed;
+  for (auto group_it = groups_.begin(); group_it != groups_.end();) {
+    auto& group = group_it->second;
+    for (auto key_it = group.by_key.begin(); key_it != group.by_key.end();) {
+      auto& bucket = key_it->second;
+      const auto mid = std::stable_partition(
+          bucket.begin(), bucket.end(),
+          [&](const FlowEntryPtr& e) { return !pred(*e); });
+      removed.insert(removed.end(), mid, bucket.end());
+      bucket.erase(mid, bucket.end());
+      key_it = bucket.empty() ? group.by_key.erase(key_it) : std::next(key_it);
+    }
+    if (group.by_key.empty()) {
+      group_it = groups_.erase(group_it);
+    } else {
+      rebuild_group_priority(group);
+      ++group_it;
+    }
+  }
+  count_ -= removed.size();
+  return removed;
+}
+
+std::vector<FlowEntryPtr> FlowTable::remove(const openflow::Match& match,
+                                            std::uint16_t priority, bool strict,
+                                            std::uint32_t out_port) {
+  return remove_if([&](const FlowEntry& e) {
+    if (!outputs_to_port(e, out_port)) return false;
+    return strict ? e.priority == priority && e.match == match
+                  : e.match.subsumed_by(match);
+  });
+}
+
+void FlowTable::rebuild_group_priority(MaskGroup& group) noexcept {
+  group.max_priority = 0;
+  for (const auto& [key, bucket] : group.by_key) {
+    if (!bucket.empty())
+      group.max_priority = std::max(group.max_priority, bucket.front()->priority);
+  }
+}
+
+FlowEntryPtr FlowTable::lookup(const net::FlowKey& key) noexcept {
+  ++lookups_;
+  FlowEntryPtr best;
+
+  if (mode_ == LookupMode::LinearScan) {
+    for (const auto& [mask, group] : groups_) {
+      for (const auto& [mkey, bucket] : group.by_key) {
+        for (const auto& entry : bucket) {
+          if ((!best || entry->priority > best->priority) &&
+              entry->match.matches(key))
+            best = entry;
+        }
+      }
+    }
+  } else {
+    for (const auto& [mask, group] : groups_) {
+      if (best && group.max_priority <= best->priority) continue;
+      const net::FlowKey masked = mask.apply(key);
+      const auto it = group.by_key.find(masked);
+      if (it == group.by_key.end()) continue;
+      // Buckets are priority-sorted; first better-than-best wins.
+      for (const auto& entry : it->second) {
+        if (best && entry->priority <= best->priority) break;
+        best = entry;
+        break;
+      }
+    }
+  }
+
+  if (best) ++matches_;
+  return best;
+}
+
+std::vector<FlowEntryPtr> FlowTable::expire(double now) {
+  return remove_if([&](const FlowEntry& e) {
+    if (e.hard_timeout > 0 && now - e.created_at >= e.hard_timeout) return true;
+    if (e.idle_timeout > 0 && now - e.last_used_at >= e.idle_timeout) return true;
+    return false;
+  });
+}
+
+std::vector<FlowEntryPtr> FlowTable::entries() const {
+  std::vector<FlowEntryPtr> out;
+  out.reserve(count_);
+  for (const auto& [mask, group] : groups_)
+    for (const auto& [key, bucket] : group.by_key)
+      out.insert(out.end(), bucket.begin(), bucket.end());
+  return out;
+}
+
+}  // namespace zen::dataplane

@@ -1,0 +1,101 @@
+// A single flow table with priority-ordered masked matching.
+//
+// Lookup strategy is tuple-space search (the Open vSwitch classifier
+// approach): entries are grouped by their FlowMask; each group holds a hash
+// map from masked key to the entries sharing that masked value. A lookup
+// probes one hash table per distinct mask and keeps the highest-priority
+// hit. A linear-scan mode exists purely as the ablation baseline for
+// experiment E3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "openflow/actions.h"
+#include "openflow/constants.h"
+#include "openflow/match.h"
+
+namespace zen::dataplane {
+
+struct FlowEntry {
+  openflow::Match match;
+  std::uint16_t priority = 0;
+  openflow::InstructionList instructions;
+  std::uint64_t cookie = 0;
+  std::uint16_t idle_timeout = 0;  // seconds, 0 = none
+  std::uint16_t hard_timeout = 0;
+  std::uint16_t flags = 0;
+
+  // Runtime state.
+  double created_at = 0;
+  double last_used_at = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+using FlowEntryPtr = std::shared_ptr<FlowEntry>;
+
+enum class LookupMode { TupleSpace, LinearScan };
+
+class FlowTable {
+ public:
+  explicit FlowTable(LookupMode mode = LookupMode::TupleSpace) : mode_(mode) {}
+
+  // Inserts an entry; an existing entry with identical match and priority is
+  // replaced (counters reset), matching FlowMod/Add semantics.
+  FlowEntryPtr add(FlowEntry entry, double now);
+
+  // Updates instructions of entries whose match equals (strict) or is
+  // subsumed by (non-strict) `match`. Returns number updated.
+  std::size_t modify(const openflow::Match& match, std::uint16_t priority,
+                     const openflow::InstructionList& instructions, bool strict);
+
+  // Removes matching entries (same strictness rules). `out_port` filters to
+  // entries whose instructions output to that port (kAny = no filter).
+  // Returns the removed entries so the caller can emit FlowRemoved.
+  std::vector<FlowEntryPtr> remove(const openflow::Match& match,
+                                   std::uint16_t priority, bool strict,
+                                   std::uint32_t out_port = openflow::Ports::kAny);
+
+  // Highest-priority matching entry, or nullptr. Does not update counters
+  // (the pipeline credits entries explicitly so cached hits count too).
+  FlowEntryPtr lookup(const net::FlowKey& key) noexcept;
+
+  // Removes entries past their idle/hard timeout; returns them.
+  std::vector<FlowEntryPtr> expire(double now);
+
+  std::size_t size() const noexcept { return count_; }
+  std::size_t mask_group_count() const noexcept { return groups_.size(); }
+  std::uint64_t lookup_count() const noexcept { return lookups_; }
+  std::uint64_t matched_count() const noexcept { return matches_; }
+
+  // All entries, unordered. Used by stats requests.
+  std::vector<FlowEntryPtr> entries() const;
+
+ private:
+  struct MaskGroup {
+    net::FlowMask mask;
+    std::uint16_t max_priority = 0;
+    // masked key -> entries with that masked value, sorted by priority desc.
+    std::unordered_map<net::FlowKey, std::vector<FlowEntryPtr>> by_key;
+  };
+
+  void rebuild_group_priority(MaskGroup& group) noexcept;
+
+  template <typename Pred>
+  std::vector<FlowEntryPtr> remove_if(Pred&& pred);
+
+  LookupMode mode_;
+  std::unordered_map<net::FlowMask, MaskGroup> groups_;
+  std::size_t count_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+// True if `entry`'s instructions contain an output to `port`.
+bool outputs_to_port(const FlowEntry& entry, std::uint32_t port) noexcept;
+
+}  // namespace zen::dataplane

@@ -1,0 +1,49 @@
+// Group table: indirection for multicast (All), ECMP-style selection
+// (Select, weighted hash over the flow key), and single-bucket Indirect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "openflow/messages.h"
+
+namespace zen::dataplane {
+
+struct Group {
+  openflow::GroupType type = openflow::GroupType::All;
+  std::vector<openflow::Bucket> buckets;
+  std::uint64_t packet_count = 0;
+};
+
+class GroupTable {
+ public:
+  // Applies a GroupMod. Returns false (with no change) on: Add of an
+  // existing id, Modify/Delete of a missing id, or a Select group whose
+  // total weight is zero.
+  bool apply(const openflow::GroupMod& mod);
+
+  const Group* find(std::uint32_t group_id) const noexcept;
+  Group* find(std::uint32_t group_id) noexcept;
+
+  // Port-liveness oracle for FastFailover evaluation.
+  using PortLiveFn = std::function<bool(std::uint32_t port)>;
+
+  // Picks the bucket for `key`: weighted hash for Select (deterministic in
+  // (group, key) so a flow always takes one path), the first live bucket
+  // for FastFailover (first bucket overall if `port_live` is null), the
+  // single bucket otherwise. Returns nullptr if no bucket qualifies.
+  const openflow::Bucket* select_bucket(
+      const Group& group, const net::FlowKey& key,
+      const PortLiveFn& port_live = nullptr) const noexcept;
+
+  std::size_t size() const noexcept { return groups_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, Group> groups_;
+};
+
+}  // namespace zen::dataplane

@@ -1,0 +1,44 @@
+#include "dataplane/megaflow_cache.h"
+
+namespace zen::dataplane {
+
+const CachedVerdict* MegaflowCache::find(const net::FlowKey& key,
+                                         std::uint64_t version) {
+  if (!enabled_) return nullptr;
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second.version != version) {
+    map_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.verdict;
+}
+
+void MegaflowCache::insert(const net::FlowKey& key, CachedVerdict verdict,
+                           std::uint64_t version) {
+  if (!enabled_ || !verdict.cacheable) return;
+  if (map_.size() >= capacity_ && !map_.contains(key)) {
+    // Random replacement in O(1) expected: probe pseudo-random hash buckets
+    // and evict the first occupant found (a kernel flow cache under churn
+    // behaves the same way).
+    const std::size_t buckets = map_.bucket_count();
+    for (;;) {
+      evict_seed_ =
+          evict_seed_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::size_t b = (evict_seed_ >> 33) % buckets;
+      const auto it = map_.begin(b);
+      if (it != map_.end(b)) {
+        map_.erase(it->first);
+        break;
+      }
+    }
+  }
+  map_[key] = Slot{std::move(verdict), version};
+}
+
+}  // namespace zen::dataplane

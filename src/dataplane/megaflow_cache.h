@@ -1,0 +1,83 @@
+// Megaflow-style exact-match flow cache.
+//
+// Sits in front of the multi-table pipeline: the first packet of a flow
+// runs the full pipeline and the resulting verdict (output set / packet-in /
+// drop, plus the entries to credit and meters to charge) is cached keyed by
+// the exact FlowKey. Subsequent packets of the flow skip the classifier.
+//
+// Invalidation is coarse, as in early Open vSwitch: any flow/group table
+// change bumps a global version and stale entries are lazily discarded on
+// their next hit. Capacity eviction is random-replacement (cheap, and what
+// a kernel flow cache approximates under churn).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/flow_table.h"
+#include "net/flow_key.h"
+#include "openflow/actions.h"
+
+namespace zen::dataplane {
+
+// The cached outcome of one pipeline traversal.
+struct CachedVerdict {
+  struct PortQueue {
+    std::uint32_t port = 0;
+    std::uint32_t queue_id = 0;
+  };
+  // Concrete egress ports (reserved ports already resolved except kController).
+  std::vector<PortQueue> out_ports;
+  bool to_controller = false;
+  std::uint8_t controller_table = 0;
+  std::uint64_t controller_cookie = 0;
+  bool miss = false;  // table-miss (controller punt uses reason NoMatch)
+  // Entries to credit stats on each cached hit.
+  std::vector<FlowEntryPtr> credited;
+  // Meters to charge, in pipeline order; any failure drops the packet.
+  std::vector<std::uint32_t> meters;
+  // Packet rewrites are NOT cacheable in this design (see switch.cc); a
+  // verdict with rewrites sets this flag and is never inserted.
+  bool cacheable = true;
+};
+
+class MegaflowCache {
+ public:
+  explicit MegaflowCache(std::size_t capacity = 65536, bool enabled = true)
+      : capacity_(capacity), enabled_(enabled) {}
+
+  // Returns the verdict if present and current. Stale entries are erased.
+  const CachedVerdict* find(const net::FlowKey& key, std::uint64_t version);
+
+  void insert(const net::FlowKey& key, CachedVerdict verdict,
+              std::uint64_t version);
+
+  void clear() noexcept { map_.clear(); }
+
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept {
+    enabled_ = on;
+    if (!on) clear();
+  }
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    CachedVerdict verdict;
+    std::uint64_t version = 0;
+  };
+
+  std::size_t capacity_;
+  bool enabled_;
+  std::unordered_map<net::FlowKey, Slot> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evict_seed_ = 0x9e3779b97f4a7c15ULL;
+};
+
+}  // namespace zen::dataplane

@@ -1,0 +1,49 @@
+#include "dataplane/meter_table.h"
+
+namespace zen::dataplane {
+
+namespace {
+
+util::TokenBucket make_bucket(const openflow::MeterMod& mod) {
+  // rate_kbps is kilobits/s; the bucket works in bytes.
+  const double bytes_per_sec = static_cast<double>(mod.rate_kbps) * 1000.0 / 8.0;
+  double burst_bytes = static_cast<double>(mod.burst_kbits) * 1000.0 / 8.0;
+  if (burst_bytes <= 0) burst_bytes = bytes_per_sec / 10;  // 100 ms default burst
+  return util::TokenBucket(bytes_per_sec, burst_bytes);
+}
+
+}  // namespace
+
+bool MeterTable::apply(const openflow::MeterMod& mod) {
+  const auto it = meters_.find(mod.meter_id);
+  switch (mod.command) {
+    case openflow::MeterModCommand::Add:
+      if (it != meters_.end() || mod.rate_kbps == 0) return false;
+      meters_.emplace(mod.meter_id, Meter{make_bucket(mod), 0});
+      return true;
+    case openflow::MeterModCommand::Modify:
+      if (it == meters_.end() || mod.rate_kbps == 0) return false;
+      it->second.bucket = make_bucket(mod);
+      return true;
+    case openflow::MeterModCommand::Delete:
+      if (it == meters_.end()) return false;
+      meters_.erase(it);
+      return true;
+  }
+  return false;
+}
+
+bool MeterTable::allow(std::uint32_t meter_id, std::size_t bytes, double now) {
+  const auto it = meters_.find(meter_id);
+  if (it == meters_.end()) return true;
+  if (it->second.bucket.try_consume(static_cast<double>(bytes), now)) return true;
+  ++it->second.drop_count;
+  return false;
+}
+
+std::uint64_t MeterTable::dropped(std::uint32_t meter_id) const noexcept {
+  const auto it = meters_.find(meter_id);
+  return it == meters_.end() ? 0 : it->second.drop_count;
+}
+
+}  // namespace zen::dataplane

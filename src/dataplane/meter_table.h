@@ -1,0 +1,36 @@
+// Meter table: per-meter token-bucket rate limiting under virtual time.
+//
+// A meter instruction checks the packet against the meter's bucket; packets
+// exceeding the configured rate are dropped (the only band type supported).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "openflow/messages.h"
+#include "util/token_bucket.h"
+
+namespace zen::dataplane {
+
+class MeterTable {
+ public:
+  // Applies a MeterMod; same add/modify/delete validity rules as groups.
+  bool apply(const openflow::MeterMod& mod);
+
+  // Charges `bytes` against the meter at virtual time `now`.
+  // Returns true if the packet passes, false if it must be dropped.
+  // A missing meter id passes (matching a permissive-datapath stance).
+  bool allow(std::uint32_t meter_id, std::size_t bytes, double now);
+
+  std::uint64_t dropped(std::uint32_t meter_id) const noexcept;
+  std::size_t size() const noexcept { return meters_.size(); }
+
+ private:
+  struct Meter {
+    util::TokenBucket bucket;
+    std::uint64_t drop_count = 0;
+  };
+  std::unordered_map<std::uint32_t, Meter> meters_;
+};
+
+}  // namespace zen::dataplane

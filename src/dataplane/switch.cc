@@ -1,0 +1,604 @@
+#include "dataplane/switch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace zen::dataplane {
+
+namespace {
+constexpr int kMaxActionDepth = 4;  // bounds group recursion
+}
+
+Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
+    : dpid_(datapath_id),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_enabled),
+      buffered_(config.packet_buffer_slots) {
+  if (config_.n_tables == 0) config_.n_tables = 1;
+  if (config_.packet_in_rate_pps > 0) {
+    // Burst of ~100 ms worth of punts, at least 1.
+    packet_in_bucket_.emplace(config_.packet_in_rate_pps,
+                              std::max(1.0, config_.packet_in_rate_pps / 10));
+  }
+  tables_.reserve(config_.n_tables);
+  for (std::uint8_t i = 0; i < config_.n_tables; ++i)
+    tables_.emplace_back(config_.lookup_mode);
+}
+
+void Switch::add_port(const openflow::PortDesc& desc) {
+  PortState state;
+  state.desc = desc;
+  state.stats.port_no = desc.port_no;
+  ports_[desc.port_no] = std::move(state);
+}
+
+std::optional<openflow::PortStatus> Switch::set_port_link(std::uint32_t port_no,
+                                                          bool up) {
+  const auto it = ports_.find(port_no);
+  if (it == ports_.end() || it->second.desc.link_up == up) return std::nullopt;
+  it->second.desc.link_up = up;
+  // Port state changes do not alter rules, but flood sets change; a version
+  // bump keeps cached flood verdicts from using a dead port.
+  ++version_;
+  openflow::PortStatus status;
+  status.reason = openflow::PortReason::Modify;
+  status.desc = it->second.desc;
+  return status;
+}
+
+const openflow::PortDesc* Switch::port(std::uint32_t port_no) const noexcept {
+  const auto it = ports_.find(port_no);
+  return it == ports_.end() ? nullptr : &it->second.desc;
+}
+
+std::vector<openflow::PortDesc> Switch::ports() const {
+  std::vector<openflow::PortDesc> out;
+  out.reserve(ports_.size());
+  for (const auto& [no, state] : ports_) out.push_back(state.desc);
+  return out;
+}
+
+std::uint32_t Switch::buffer_packet(const net::Bytes& frame) {
+  if (buffered_.empty()) return openflow::kNoBuffer;
+  const std::uint32_t id = next_buffer_id_;
+  buffered_[id % buffered_.size()] = frame;
+  next_buffer_id_ = (next_buffer_id_ + 1) % 0x7fffffff;
+  return id;
+}
+
+void Switch::make_packet_in(PipelineContext& ctx,
+                            openflow::PacketInReason reason,
+                            std::uint8_t table_id, std::uint64_t cookie,
+                            std::uint16_t max_len) {
+  if (ctx.result->packet_in) return;  // one PacketIn per packet
+  if (packet_in_bucket_ && !packet_in_bucket_->try_consume(1.0, ctx.now)) {
+    ++packet_in_suppressed_;
+    ctx.verdict.cacheable = false;  // suppression is time-dependent
+    return;
+  }
+  const net::Bytes frame = ctx.pkt->serialize();
+  openflow::PacketIn pin;
+  pin.reason = reason;
+  pin.table_id = table_id;
+  pin.cookie = cookie;
+  pin.in_port = ctx.in_port;
+  pin.total_len = static_cast<std::uint16_t>(frame.size());
+  pin.buffer_id = buffer_packet(frame);
+  const std::size_t n = std::min<std::size_t>(max_len, frame.size());
+  pin.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(n));
+  ctx.result->packet_in = std::move(pin);
+}
+
+void Switch::emit_to_port(PipelineContext& ctx, std::uint32_t port_no) {
+  const auto it = ports_.find(port_no);
+  if (it == ports_.end()) return;
+  auto& state = it->second;
+  if (!state.desc.link_up) {
+    ++state.stats.tx_dropped;
+    return;
+  }
+  net::Bytes frame = ctx.pkt->serialize();
+  ++state.stats.tx_packets;
+  state.stats.tx_bytes += frame.size();
+  ctx.result->outputs.push_back(Egress{port_no, ctx.queue_id, std::move(frame)});
+  if (!ctx.pkt->modified())
+    ctx.verdict.out_ports.push_back({port_no, ctx.queue_id});
+  else
+    ctx.verdict.cacheable = false;
+}
+
+void Switch::execute_output(PipelineContext& ctx, std::uint32_t port,
+                            std::uint16_t max_len, std::uint8_t table_id,
+                            std::uint64_t cookie, bool is_miss) {
+  using openflow::Ports;
+  switch (port) {
+    case Ports::kController: {
+      make_packet_in(ctx,
+                     is_miss ? openflow::PacketInReason::NoMatch
+                             : openflow::PacketInReason::Action,
+                     table_id, cookie, max_len);
+      ctx.verdict.to_controller = true;
+      ctx.verdict.controller_table = table_id;
+      ctx.verdict.controller_cookie = cookie;
+      ctx.verdict.miss = is_miss;
+      if (ctx.pkt->modified()) ctx.verdict.cacheable = false;
+      break;
+    }
+    case Ports::kFlood:
+      for (const auto& [no, state] : ports_) {
+        if (no != ctx.in_port && state.desc.link_up) emit_to_port(ctx, no);
+      }
+      break;
+    case Ports::kAll:
+      for (const auto& [no, state] : ports_) {
+        if (state.desc.link_up) emit_to_port(ctx, no);
+      }
+      break;
+    case Ports::kInPort:
+      emit_to_port(ctx, ctx.in_port);
+      break;
+    case Ports::kTable:
+      // Only meaningful from PacketOut; handled there. Ignore here.
+      break;
+    default:
+      emit_to_port(ctx, port);
+      break;
+  }
+}
+
+void Switch::execute_action_list(PipelineContext& ctx,
+                                 const openflow::ActionList& actions,
+                                 int depth) {
+  if (depth > kMaxActionDepth) return;
+  for (const auto& action : actions) {
+    if (ctx.dropped) return;
+    if (const auto* out = std::get_if<openflow::OutputAction>(&action)) {
+      execute_output(ctx, out->port, out->max_len, 0, 0, false);
+    } else if (const auto* grp = std::get_if<openflow::GroupAction>(&action)) {
+      const Group* group = groups_.find(grp->group_id);
+      if (!group) continue;
+      const_cast<Group*>(group)->packet_count++;
+      if (group->type == openflow::GroupType::All) {
+        for (const auto& bucket : group->buckets)
+          execute_action_list(ctx, bucket.actions, depth + 1);
+      } else {
+        const auto key = ctx.pkt->flow_key(ctx.in_port);
+        const GroupTable::PortLiveFn port_live = [this](std::uint32_t port) {
+          const auto it = ports_.find(port);
+          return it != ports_.end() && it->second.desc.link_up;
+        };
+        if (const auto* bucket = groups_.select_bucket(*group, key, port_live))
+          execute_action_list(ctx, bucket->actions, depth + 1);
+        // FastFailover verdicts depend on port liveness; the version bump
+        // in set_port_link already invalidates cached verdicts on change.
+      }
+      // Select-group choice is key-deterministic, so still cacheable unless
+      // the bucket rewrote the packet (tracked via pkt->modified()).
+      if (ctx.pkt->modified()) ctx.verdict.cacheable = false;
+    } else if (const auto* sq = std::get_if<openflow::SetQueueAction>(&action)) {
+      // Applies to every subsequent output of this packet; the simulator's
+      // link model maps queue >= 1 to the strict-priority class.
+      ctx.queue_id = sq->queue_id;
+    } else {
+      if (!ctx.pkt->apply(action)) {
+        ctx.dropped = true;
+        ctx.result->dropped = true;
+        ctx.verdict.cacheable = false;
+        return;
+      }
+    }
+  }
+}
+
+void Switch::run_pipeline(PipelineContext& ctx) {
+  openflow::ActionList action_set;  // write-actions accumulate here
+
+  std::uint8_t table_id = 0;
+  for (;;) {
+    if (table_id >= tables_.size()) break;
+    FlowTable& table = tables_[table_id];
+    const net::FlowKey key = ctx.pkt->flow_key(ctx.in_port);
+    FlowEntryPtr entry = table.lookup(key);
+
+    if (!entry) {
+      if (table_id == 0 && config_.default_miss == MissBehavior::PacketIn) {
+        make_packet_in(ctx, openflow::PacketInReason::NoMatch, table_id, 0,
+                       config_.packet_in_bytes);
+        ctx.verdict.to_controller = true;
+        ctx.verdict.controller_table = table_id;
+        ctx.verdict.miss = true;
+      } else {
+        ctx.result->dropped = ctx.result->outputs.empty() && !ctx.result->packet_in;
+      }
+      break;
+    }
+
+    // Credit the entry (cached hits credit via verdict.credited).
+    entry->packet_count++;
+    entry->byte_count += ctx.pkt->wire_size();
+    entry->last_used_at = ctx.now;
+    ctx.verdict.credited.push_back(entry);
+
+    const bool is_miss_entry =
+        entry->priority == 0 && entry->match.field_count() == 0;
+
+    std::optional<std::uint8_t> goto_table;
+    for (const auto& ins : entry->instructions) {
+      if (ctx.dropped) break;
+      if (const auto* meter = std::get_if<openflow::MeterInstruction>(&ins)) {
+        ctx.verdict.meters.push_back(meter->meter_id);
+        if (!meters_.allow(meter->meter_id, ctx.pkt->wire_size(), ctx.now)) {
+          ctx.dropped = true;
+          ctx.result->dropped = true;
+          return;
+        }
+      } else if (const auto* apply = std::get_if<openflow::ApplyActions>(&ins)) {
+        // Table-miss entries that punt to the controller use reason NoMatch.
+        if (is_miss_entry && apply->actions.size() == 1) {
+          if (const auto* out =
+                  std::get_if<openflow::OutputAction>(&apply->actions[0]);
+              out && out->port == openflow::Ports::kController) {
+            execute_output(ctx, out->port, out->max_len, table_id,
+                           entry->cookie, /*is_miss=*/true);
+            continue;
+          }
+        }
+        execute_action_list(ctx, apply->actions, 0);
+      } else if (const auto* write = std::get_if<openflow::WriteActions>(&ins)) {
+        // Merge: later writes of the same action type replace earlier ones.
+        for (const auto& a : write->actions) {
+          const auto same_kind = [&](const openflow::Action& b) {
+            return a.index() == b.index();
+          };
+          const auto it =
+              std::find_if(action_set.begin(), action_set.end(), same_kind);
+          if (it != action_set.end()) *it = a;
+          else action_set.push_back(a);
+        }
+      } else if (std::get_if<openflow::ClearActions>(&ins)) {
+        action_set.clear();
+      } else if (const auto* go = std::get_if<openflow::GotoTable>(&ins)) {
+        goto_table = go->table_id;
+      }
+    }
+
+    if (ctx.dropped) return;
+    if (!goto_table || *goto_table <= table_id) break;  // goto must increase
+    table_id = *goto_table;
+  }
+
+  // Pipeline end: execute the accumulated action set (outputs last).
+  if (!ctx.dropped && !action_set.empty()) {
+    // Order: rewrites first, then group, then outputs (OF 1.3 ordering).
+    openflow::ActionList ordered;
+    for (const auto& a : action_set)
+      if (!std::get_if<openflow::OutputAction>(&a) &&
+          !std::get_if<openflow::GroupAction>(&a))
+        ordered.push_back(a);
+    for (const auto& a : action_set)
+      if (std::get_if<openflow::GroupAction>(&a)) ordered.push_back(a);
+    for (const auto& a : action_set)
+      if (std::get_if<openflow::OutputAction>(&a)) ordered.push_back(a);
+    execute_action_list(ctx, ordered, 0);
+  }
+
+  if (ctx.result->outputs.empty() && !ctx.result->packet_in)
+    ctx.result->dropped = true;
+}
+
+ForwardResult Switch::ingress(double now, std::uint32_t in_port,
+                              std::span<const std::uint8_t> frame) {
+  ForwardResult result;
+
+  const auto port_it = ports_.find(in_port);
+  if (port_it == ports_.end() || !port_it->second.desc.link_up) {
+    result.dropped = true;
+    return result;
+  }
+  ++port_it->second.stats.rx_packets;
+  port_it->second.stats.rx_bytes += frame.size();
+
+  MutablePacket pkt(frame);
+  if (!pkt.ok()) {
+    ++port_it->second.stats.rx_dropped;
+    result.dropped = true;
+    return result;
+  }
+
+  const net::FlowKey key = pkt.flow_key(in_port);
+
+  // Fast path: megaflow cache.
+  if (const CachedVerdict* verdict = cache_.find(key, version_)) {
+    bool metered_out = false;
+    for (const std::uint32_t meter_id : verdict->meters) {
+      if (!meters_.allow(meter_id, frame.size(), now)) {
+        metered_out = true;
+        break;
+      }
+    }
+    if (metered_out) {
+      result.dropped = true;
+      return result;
+    }
+    for (const auto& entry : verdict->credited) {
+      entry->packet_count++;
+      entry->byte_count += frame.size();
+      entry->last_used_at = now;
+    }
+    for (const auto& [out_port, queue_id] : verdict->out_ports) {
+      const auto it = ports_.find(out_port);
+      if (it == ports_.end() || !it->second.desc.link_up) continue;
+      ++it->second.stats.tx_packets;
+      it->second.stats.tx_bytes += frame.size();
+      result.outputs.push_back(
+          Egress{out_port, queue_id, net::Bytes(frame.begin(), frame.end())});
+    }
+    if (verdict->to_controller && packet_in_bucket_ &&
+        !packet_in_bucket_->try_consume(1.0, now)) {
+      ++packet_in_suppressed_;
+    } else if (verdict->to_controller) {
+      openflow::PacketIn pin;
+      pin.reason = verdict->miss ? openflow::PacketInReason::NoMatch
+                                 : openflow::PacketInReason::Action;
+      pin.table_id = verdict->controller_table;
+      pin.cookie = verdict->controller_cookie;
+      pin.in_port = in_port;
+      pin.total_len = static_cast<std::uint16_t>(frame.size());
+      pin.buffer_id = buffer_packet(net::Bytes(frame.begin(), frame.end()));
+      const std::size_t n =
+          std::min<std::size_t>(config_.packet_in_bytes, frame.size());
+      pin.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(n));
+      result.packet_in = std::move(pin);
+    }
+    if (result.outputs.empty() && !result.packet_in) result.dropped = true;
+    return result;
+  }
+
+  // Slow path: full pipeline.
+  PipelineContext ctx;
+  ctx.now = now;
+  ctx.in_port = in_port;
+  ctx.pkt = &pkt;
+  ctx.result = &result;
+  run_pipeline(ctx);
+
+  if (result.dropped && result.outputs.empty() && !result.packet_in)
+    ++port_it->second.stats.rx_dropped;
+
+  if (!ctx.dropped) cache_.insert(key, std::move(ctx.verdict), version_);
+  return result;
+}
+
+ForwardResult Switch::packet_out(double now, const openflow::PacketOut& msg) {
+  ForwardResult result;
+
+  net::Bytes frame;
+  if (msg.buffer_id != openflow::kNoBuffer && !buffered_.empty()) {
+    frame = buffered_[msg.buffer_id % buffered_.size()];
+  } else {
+    frame = msg.data;
+  }
+  if (frame.empty()) {
+    result.dropped = true;
+    return result;
+  }
+
+  MutablePacket pkt(frame);
+  if (!pkt.ok()) {
+    result.dropped = true;
+    return result;
+  }
+
+  PipelineContext ctx;
+  ctx.now = now;
+  ctx.in_port = msg.in_port;
+  ctx.pkt = &pkt;
+  ctx.result = &result;
+  ctx.verdict.cacheable = false;  // packet-outs are one-shot
+
+  for (const auto& action : msg.actions) {
+    if (const auto* out = std::get_if<openflow::OutputAction>(&action);
+        out && out->port == openflow::Ports::kTable) {
+      run_pipeline(ctx);
+    } else {
+      execute_action_list(ctx, {action}, 0);
+    }
+    if (ctx.dropped) break;
+  }
+  if (result.outputs.empty() && !result.packet_in) result.dropped = true;
+  return result;
+}
+
+ModStatus Switch::flow_mod(const openflow::FlowMod& mod, double now,
+                           std::vector<openflow::FlowRemoved>* removed) {
+  using openflow::FlowModCommand;
+
+  if (mod.table_id >= tables_.size() &&
+      !(mod.table_id == openflow::kTableAll &&
+        (mod.command == FlowModCommand::Delete ||
+         mod.command == FlowModCommand::DeleteStrict))) {
+    return {false, openflow::ErrorType::FlowModFailed, /*bad table*/ 1};
+  }
+  ++version_;
+
+  switch (mod.command) {
+    case FlowModCommand::Add: {
+      if (config_.table_capacity > 0 &&
+          tables_[mod.table_id].size() >= config_.table_capacity) {
+        return {false, openflow::ErrorType::FlowModFailed, /*TableFull*/ 2};
+      }
+      FlowEntry entry;
+      entry.match = mod.match;
+      entry.priority = mod.priority;
+      entry.instructions = mod.instructions;
+      entry.cookie = mod.cookie;
+      entry.idle_timeout = mod.idle_timeout;
+      entry.hard_timeout = mod.hard_timeout;
+      entry.flags = mod.flags;
+      tables_[mod.table_id].add(std::move(entry), now);
+      return {};
+    }
+    case FlowModCommand::Modify:
+    case FlowModCommand::ModifyStrict: {
+      tables_[mod.table_id].modify(mod.match, mod.priority, mod.instructions,
+                                   mod.command == FlowModCommand::ModifyStrict);
+      return {};
+    }
+    case FlowModCommand::Delete:
+    case FlowModCommand::DeleteStrict: {
+      const bool strict = mod.command == FlowModCommand::DeleteStrict;
+      std::vector<FlowEntryPtr> victims;
+      if (mod.table_id == openflow::kTableAll) {
+        for (auto& table : tables_) {
+          auto v = table.remove(mod.match, mod.priority, strict, mod.out_port);
+          victims.insert(victims.end(), v.begin(), v.end());
+        }
+      } else {
+        victims = tables_[mod.table_id].remove(mod.match, mod.priority, strict,
+                                               mod.out_port);
+      }
+      if (removed) {
+        for (const auto& v : victims) {
+          if ((v->flags & openflow::kFlagSendFlowRemoved) == 0) continue;
+          openflow::FlowRemoved fr;
+          fr.cookie = v->cookie;
+          fr.priority = v->priority;
+          fr.reason = openflow::FlowRemovedReason::Delete;
+          fr.packet_count = v->packet_count;
+          fr.byte_count = v->byte_count;
+          fr.match = v->match;
+          removed->push_back(std::move(fr));
+        }
+      }
+      return {};
+    }
+  }
+  return {false, openflow::ErrorType::FlowModFailed, 0};
+}
+
+ModStatus Switch::group_mod(const openflow::GroupMod& mod) {
+  ++version_;
+  if (!groups_.apply(mod))
+    return {false, openflow::ErrorType::GroupModFailed, 0};
+  return {};
+}
+
+ModStatus Switch::meter_mod(const openflow::MeterMod& mod) {
+  ++version_;
+  if (!meters_.apply(mod))
+    return {false, openflow::ErrorType::MeterModFailed, 0};
+  return {};
+}
+
+std::optional<openflow::ControllerRole> Switch::set_controller_role(
+    std::uint64_t conn_id, openflow::ControllerRole role,
+    std::uint64_t generation_id) {
+  using openflow::ControllerRole;
+  if (role == ControllerRole::Master || role == ControllerRole::Slave) {
+    // Generation check guards against stale masters re-asserting themselves.
+    if (generation_seen_ && generation_id < last_generation_)
+      return std::nullopt;
+    generation_seen_ = true;
+    last_generation_ = generation_id;
+  }
+  if (role == ControllerRole::Master) {
+    for (auto& [other, other_role] : roles_) {
+      if (other != conn_id && other_role == ControllerRole::Master)
+        other_role = ControllerRole::Slave;
+    }
+  }
+  roles_[conn_id] = role;
+  return role;
+}
+
+openflow::ControllerRole Switch::controller_role(std::uint64_t conn_id) const {
+  const auto it = roles_.find(conn_id);
+  return it == roles_.end() ? openflow::ControllerRole::Equal : it->second;
+}
+
+openflow::FeaturesReply Switch::features() const {
+  openflow::FeaturesReply reply;
+  reply.datapath_id = dpid_;
+  reply.n_buffers = static_cast<std::uint32_t>(buffered_.size());
+  reply.n_tables = static_cast<std::uint8_t>(tables_.size());
+  reply.ports = ports();
+  return reply;
+}
+
+openflow::FlowStatsReply Switch::flow_stats(
+    const openflow::FlowStatsRequest& req, double now) const {
+  openflow::FlowStatsReply reply;
+  const auto add_table = [&](std::uint8_t id) {
+    for (const auto& entry : tables_[id].entries()) {
+      if (!entry->match.subsumed_by(req.match)) continue;
+      openflow::FlowStatsEntry e;
+      e.table_id = id;
+      e.priority = entry->priority;
+      e.cookie = entry->cookie;
+      e.packet_count = entry->packet_count;
+      e.byte_count = entry->byte_count;
+      e.duration_sec = static_cast<std::uint32_t>(
+          std::max(0.0, now - entry->created_at));
+      e.match = entry->match;
+      e.instructions = entry->instructions;
+      reply.entries.push_back(std::move(e));
+    }
+  };
+  if (req.table_id == openflow::kTableAll) {
+    for (std::uint8_t i = 0; i < tables_.size(); ++i) add_table(i);
+  } else if (req.table_id < tables_.size()) {
+    add_table(req.table_id);
+  }
+  return reply;
+}
+
+openflow::PortStatsReply Switch::port_stats(
+    const openflow::PortStatsRequest& req) const {
+  openflow::PortStatsReply reply;
+  for (const auto& [no, state] : ports_) {
+    if (req.port_no != openflow::Ports::kAny && req.port_no != no) continue;
+    reply.entries.push_back(state.stats);
+  }
+  return reply;
+}
+
+openflow::TableStatsReply Switch::table_stats() const {
+  openflow::TableStatsReply reply;
+  for (std::uint8_t i = 0; i < tables_.size(); ++i) {
+    openflow::TableStatsEntry e;
+    e.table_id = i;
+    e.active_count = static_cast<std::uint32_t>(tables_[i].size());
+    e.lookup_count = tables_[i].lookup_count();
+    e.matched_count = tables_[i].matched_count();
+    reply.entries.push_back(e);
+  }
+  return reply;
+}
+
+std::vector<openflow::FlowRemoved> Switch::expire_flows(double now) {
+  std::vector<openflow::FlowRemoved> events;
+  bool any = false;
+  for (std::uint8_t i = 0; i < tables_.size(); ++i) {
+    for (const auto& victim : tables_[i].expire(now)) {
+      any = true;
+      if ((victim->flags & openflow::kFlagSendFlowRemoved) == 0) continue;
+      openflow::FlowRemoved fr;
+      fr.cookie = victim->cookie;
+      fr.priority = victim->priority;
+      fr.table_id = i;
+      fr.reason = (victim->hard_timeout > 0 &&
+                   now - victim->created_at >= victim->hard_timeout)
+                      ? openflow::FlowRemovedReason::HardTimeout
+                      : openflow::FlowRemovedReason::IdleTimeout;
+      fr.packet_count = victim->packet_count;
+      fr.byte_count = victim->byte_count;
+      fr.match = victim->match;
+      events.push_back(std::move(fr));
+    }
+  }
+  if (any) ++version_;
+  return events;
+}
+
+}  // namespace zen::dataplane

@@ -1,0 +1,188 @@
+// Switch: the software forwarding plane (Open vSwitch analog).
+//
+// A Switch owns a multi-table pipeline, a group table, a meter table, a
+// megaflow cache and a set of ports. It exposes a *typed* control surface
+// (flow_mod, group_mod, stats, ...) — the wire-protocol agent that speaks
+// the southbound channel lives in the controller module and translates
+// messages to these calls. This keeps dataplane semantics testable without
+// any protocol plumbing.
+//
+// Time is explicit: every packet- or rule-touching call takes `now`
+// (seconds on the caller's clock — virtual under simulation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dataplane/flow_table.h"
+#include "dataplane/group_table.h"
+#include "dataplane/megaflow_cache.h"
+#include "dataplane/meter_table.h"
+#include "dataplane/packet_rewrite.h"
+#include "openflow/codec.h"
+#include "util/token_bucket.h"
+
+namespace zen::dataplane {
+
+enum class MissBehavior : std::uint8_t { Drop, PacketIn };
+
+struct SwitchConfig {
+  std::uint8_t n_tables = 4;
+  LookupMode lookup_mode = LookupMode::TupleSpace;
+  std::size_t cache_capacity = 65536;
+  bool cache_enabled = true;
+  // What a table-0 miss does when no table-miss entry is installed.
+  MissBehavior default_miss = MissBehavior::PacketIn;
+  std::size_t packet_buffer_slots = 256;
+  // miss_send_len: how many bytes of the frame ride inside a PacketIn.
+  std::uint16_t packet_in_bytes = 128;
+  // Controller-protection: max PacketIns per second the switch will emit
+  // (0 = unlimited). Excess punts are dropped and counted.
+  double packet_in_rate_pps = 0;
+  // Per-table rule capacity (0 = unlimited). FlowMod Adds beyond it fail
+  // with TableFull — the hardware-table constraint SWAN-class systems
+  // engineer around.
+  std::size_t table_capacity = 0;
+};
+
+struct Egress {
+  std::uint32_t port = 0;
+  // Queue the frame was directed to by a preceding SetQueue action.
+  // Convention: 0 = best-effort (default), >= 1 = priority class.
+  std::uint32_t queue_id = 0;
+  net::Bytes frame;
+};
+
+struct ForwardResult {
+  std::vector<Egress> outputs;
+  std::optional<openflow::PacketIn> packet_in;
+  // True if the packet was dropped (no match with Drop behavior, meter
+  // exceeded, TTL expired, or malformed).
+  bool dropped = false;
+};
+
+struct ModStatus {
+  bool ok = true;
+  openflow::ErrorType error_type = openflow::ErrorType::BadRequest;
+  std::uint16_t error_code = 0;
+};
+
+class Switch {
+ public:
+  Switch(std::uint64_t datapath_id, SwitchConfig config = {});
+
+  std::uint64_t datapath_id() const noexcept { return dpid_; }
+
+  // ---- ports ----
+  void add_port(const openflow::PortDesc& desc);
+  // Returns the new PortStatus event if the port exists and state changed.
+  std::optional<openflow::PortStatus> set_port_link(std::uint32_t port_no,
+                                                    bool up);
+  const openflow::PortDesc* port(std::uint32_t port_no) const noexcept;
+  std::vector<openflow::PortDesc> ports() const;
+
+  // ---- dataplane ----
+  ForwardResult ingress(double now, std::uint32_t in_port,
+                        std::span<const std::uint8_t> frame);
+
+  // Executes a PacketOut's action list on its payload (or buffered packet).
+  ForwardResult packet_out(double now, const openflow::PacketOut& msg);
+
+  // ---- control surface ----
+  ModStatus flow_mod(const openflow::FlowMod& mod, double now,
+                     std::vector<openflow::FlowRemoved>* removed = nullptr);
+  ModStatus group_mod(const openflow::GroupMod& mod);
+  ModStatus meter_mod(const openflow::MeterMod& mod);
+
+  openflow::FeaturesReply features() const;
+  openflow::FlowStatsReply flow_stats(const openflow::FlowStatsRequest& req,
+                                      double now) const;
+  openflow::PortStatsReply port_stats(const openflow::PortStatsRequest& req) const;
+  openflow::TableStatsReply table_stats() const;
+
+  // Removes timed-out entries across all tables; returns FlowRemoved events
+  // for entries flagged kFlagSendFlowRemoved.
+  std::vector<openflow::FlowRemoved> expire_flows(double now);
+
+  // ---- controller roles (multi-controller redundancy) ----
+  // Applies a role request from connection `conn_id`. Master requests carry
+  // a generation id; a stale generation (less than the largest seen) is
+  // refused (returns nullopt). Granting Master demotes the previous master
+  // to Slave (OF 1.3 semantics). Returns the granted role.
+  std::optional<openflow::ControllerRole> set_controller_role(
+      std::uint64_t conn_id, openflow::ControllerRole role,
+      std::uint64_t generation_id);
+  // Role of a connection (Equal when never set).
+  openflow::ControllerRole controller_role(std::uint64_t conn_id) const;
+
+  // ---- introspection ----
+  FlowTable& table(std::uint8_t id) { return tables_[id]; }
+  const FlowTable& table(std::uint8_t id) const { return tables_[id]; }
+  std::uint8_t table_count() const noexcept {
+    return static_cast<std::uint8_t>(tables_.size());
+  }
+  const MegaflowCache& cache() const noexcept { return cache_; }
+  std::uint64_t packet_in_suppressed() const noexcept {
+    return packet_in_suppressed_;
+  }
+  MegaflowCache& cache() noexcept { return cache_; }
+  GroupTable& groups() noexcept { return groups_; }
+  std::uint64_t rule_version() const noexcept { return version_; }
+
+ private:
+  struct PortState {
+    openflow::PortDesc desc;
+    openflow::PortStatsEntry stats;
+  };
+
+  struct PipelineContext {
+    double now = 0;
+    std::uint32_t in_port = 0;
+    std::uint32_t queue_id = 0;  // set by SetQueue, applies to later outputs
+    MutablePacket* pkt = nullptr;
+    ForwardResult* result = nullptr;
+    CachedVerdict verdict;  // built as we go; inserted on cacheable misses
+    bool dropped = false;
+  };
+
+  void run_pipeline(PipelineContext& ctx);
+  void execute_action_list(PipelineContext& ctx,
+                           const openflow::ActionList& actions, int depth);
+  void execute_output(PipelineContext& ctx, std::uint32_t port,
+                      std::uint16_t max_len, std::uint8_t table_id,
+                      std::uint64_t cookie, bool is_miss);
+  void emit_to_port(PipelineContext& ctx, std::uint32_t port_no);
+  void make_packet_in(PipelineContext& ctx, openflow::PacketInReason reason,
+                      std::uint8_t table_id, std::uint64_t cookie,
+                      std::uint16_t max_len);
+  std::uint32_t buffer_packet(const net::Bytes& frame);
+
+  std::uint64_t dpid_;
+  SwitchConfig config_;
+  std::vector<FlowTable> tables_;
+  GroupTable groups_;
+  MeterTable meters_;
+  MegaflowCache cache_;
+  std::map<std::uint32_t, PortState> ports_;
+  // Bumped on every rule-affecting change; versions the megaflow cache.
+  std::uint64_t version_ = 1;
+
+  // PacketIn buffer ring.
+  std::vector<net::Bytes> buffered_;
+  std::uint32_t next_buffer_id_ = 0;
+
+  // PacketIn rate limiting (controller protection).
+  std::optional<util::TokenBucket> packet_in_bucket_;
+  std::uint64_t packet_in_suppressed_ = 0;
+
+  // Controller-connection roles.
+  std::map<std::uint64_t, openflow::ControllerRole> roles_;
+  std::uint64_t last_generation_ = 0;
+  bool generation_seen_ = false;
+};
+
+}  // namespace zen::dataplane

@@ -1,0 +1,50 @@
+// Intent model: the northbound abstraction (ONOS-style).
+//
+// An intent states *what* connectivity is wanted — "host A can reach host
+// B", "A reaches B via waypoint W", "traffic matching M is banned" — and
+// the IntentManager compiles it into flow rules, keeps it installed across
+// topology changes, and reports its lifecycle state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.h"
+#include "openflow/match.h"
+#include "topo/graph.h"
+
+namespace zen::intent {
+
+using IntentId = std::uint64_t;
+
+enum class IntentKind : std::uint8_t {
+  PointToPoint,           // unidirectional src -> dst
+  HostToHost,             // bidirectional (two point-to-points)
+  Waypoint,               // src -> dst constrained through a given switch
+  Ban,                    // drop traffic matching the spec network-wide
+  ProtectedPointToPoint,  // src -> dst with a link-disjoint backup path and
+                          // head-end fast-failover (no controller in the
+                          // recovery loop for first-link failures)
+};
+
+enum class IntentState : std::uint8_t {
+  Pending,    // submitted; prerequisites (host locations, path) not yet met
+  Installed,  // rules are in the dataplane
+  Failed,     // compilation failed (e.g. partitioned topology); retried on
+              // topology events
+  Withdrawn,  // removed by the caller; rules deleted
+};
+
+struct IntentSpec {
+  IntentKind kind = IntentKind::PointToPoint;
+  net::Ipv4Address src;
+  net::Ipv4Address dst;
+  topo::NodeId waypoint = 0;  // Waypoint kind only
+  // Extra constraints ANDed into every compiled rule (e.g. l4_dst(80)).
+  openflow::Match extra_match;
+  std::uint16_t priority = 400;
+};
+
+const char* to_string(IntentState state) noexcept;
+
+}  // namespace zen::intent

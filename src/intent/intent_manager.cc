@@ -1,0 +1,415 @@
+#include "intent/intent_manager.h"
+
+#include "net/headers.h"
+#include "topo/paths.h"
+#include "util/logging.h"
+
+namespace zen::intent {
+
+const char* to_string(IntentState state) noexcept {
+  switch (state) {
+    case IntentState::Pending: return "Pending";
+    case IntentState::Installed: return "Installed";
+    case IntentState::Failed: return "Failed";
+    case IntentState::Withdrawn: return "Withdrawn";
+  }
+  return "?";
+}
+
+IntentId IntentManager::submit(IntentSpec spec) {
+  const IntentId id = next_id_++;
+  Record record;
+  record.spec = std::move(spec);
+  ++stats_.submitted;
+  auto [it, inserted] = intents_.emplace(id, std::move(record));
+  compile(id, it->second);
+  return id;
+}
+
+bool IntentManager::withdraw(IntentId id) {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second.state == IntentState::Withdrawn)
+    return false;
+  remove_rules(it->second);
+  it->second.state = IntentState::Withdrawn;
+  return true;
+}
+
+IntentState IntentManager::state(IntentId id) const {
+  const auto it = intents_.find(id);
+  return it == intents_.end() ? IntentState::Withdrawn : it->second.state;
+}
+
+std::vector<topo::NodeId> IntentManager::installed_path(IntentId id) const {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second.state != IntentState::Installed)
+    return {};
+  return it->second.path;
+}
+
+std::vector<topo::NodeId> IntentManager::backup_path(IntentId id) const {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second.state != IntentState::Installed)
+    return {};
+  return it->second.backup_path;
+}
+
+bool IntentManager::is_protected_active(IntentId id) const {
+  const auto it = intents_.find(id);
+  return it != intents_.end() && it->second.state == IntentState::Installed &&
+         it->second.protected_active;
+}
+
+std::size_t IntentManager::count_in_state(IntentState state) const {
+  std::size_t n = 0;
+  for (const auto& [id, record] : intents_)
+    if (record.state == state) ++n;
+  return n;
+}
+
+void IntentManager::remove_rules(Record& record) {
+  for (const auto& rule : record.rules) {
+    openflow::FlowMod del;
+    del.table_id = rule.mod.table_id;
+    del.command = openflow::FlowModCommand::DeleteStrict;
+    del.priority = rule.mod.priority;
+    del.match = rule.mod.match;
+    controller_->flow_mod(rule.dpid, del);
+  }
+  record.rules.clear();
+  for (const auto& group : record.groups) {
+    openflow::GroupMod del;
+    del.command = openflow::GroupModCommand::Delete;
+    del.group_id = group.group_id;
+    controller_->group_mod(group.dpid, del);
+  }
+  record.groups.clear();
+  record.path.clear();
+  record.backup_path.clear();
+  record.protected_active = false;
+}
+
+void IntentManager::install(IntentId id, Record& record) {
+  for (auto& rule : record.rules) {
+    rule.mod.cookie = id;  // attribution: dataplane stats -> intent
+    controller_->flow_mod(rule.dpid, rule.mod);
+  }
+  record.state = IntentState::Installed;
+  ++stats_.compiled;
+}
+
+bool IntentManager::compile_direction(const topo::Topology& topo,
+                                      Record& record, net::Ipv4Address src,
+                                      net::Ipv4Address dst, bool record_path) {
+  const controller::NetworkView& view = controller_->view();
+  const controller::HostInfo* s = view.host_by_ip(src);
+  const controller::HostInfo* d = view.host_by_ip(dst);
+  if (!s || !d) {
+    record.state = IntentState::Pending;  // waiting for host discovery
+    return false;
+  }
+
+  // Build the switch-level path (possibly via a waypoint).
+  std::vector<topo::NodeId> nodes;
+  std::vector<topo::LinkId> links;
+  if (record.spec.kind == IntentKind::Waypoint && record_path) {
+    const topo::Path leg1 = topo::shortest_path(topo, s->dpid, record.spec.waypoint);
+    const topo::Path leg2 = topo::shortest_path(topo, record.spec.waypoint, d->dpid);
+    if ((leg1.empty() && s->dpid != record.spec.waypoint) ||
+        (leg2.empty() && record.spec.waypoint != d->dpid)) {
+      record.state = IntentState::Failed;
+      return false;
+    }
+    nodes = leg1.nodes.empty() ? std::vector<topo::NodeId>{s->dpid} : leg1.nodes;
+    links = leg1.links;
+    if (!leg2.nodes.empty()) {
+      nodes.insert(nodes.end(), leg2.nodes.begin() + 1, leg2.nodes.end());
+      links.insert(links.end(), leg2.links.begin(), leg2.links.end());
+    }
+  } else {
+    if (s->dpid == d->dpid) {
+      nodes = {s->dpid};
+    } else {
+      const topo::Path path = topo::shortest_path(topo, s->dpid, d->dpid);
+      if (path.empty()) {
+        record.state = IntentState::Failed;
+        return false;
+      }
+      nodes = path.nodes;
+      links = path.links;
+    }
+  }
+
+  // One rule per switch on the path. in_port pins the rule to this path
+  // traversal so waypoint paths that revisit a switch stay unambiguous.
+  std::uint32_t in_port = s->port;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const topo::NodeId sw = nodes[i];
+    std::uint32_t out_port;
+    if (i + 1 < nodes.size()) {
+      const topo::Link* link = topo.link(links[i]);
+      out_port = link->port_at(sw);
+    } else {
+      out_port = d->port;
+    }
+
+    openflow::FlowMod mod;
+    mod.table_id = 0;
+    mod.priority = record.spec.priority;
+    mod.match.in_port(in_port)
+        .eth_type(net::EtherType::kIpv4)
+        .ipv4_src(src, 32)
+        .ipv4_dst(dst, 32);
+    mod.match.merge(record.spec.extra_match);
+    mod.instructions = openflow::output_to(out_port);
+    record.rules.push_back(InstalledRule{sw, std::move(mod)});
+
+    if (i + 1 < nodes.size())
+      in_port = topo.link(links[i])->port_at(nodes[i + 1]);
+  }
+
+  if (record_path) record.path = nodes;
+  return true;
+}
+
+bool IntentManager::compile_protected(const topo::Topology& topo,
+                                      Record& record) {
+  const controller::NetworkView& view = controller_->view();
+  const controller::HostInfo* s = view.host_by_ip(record.spec.src);
+  const controller::HostInfo* d = view.host_by_ip(record.spec.dst);
+  if (!s || !d) {
+    record.state = IntentState::Pending;
+    return false;
+  }
+
+  // Primary shortest path.
+  if (s->dpid == d->dpid) {
+    // Single-switch: nothing to protect; plain rule suffices.
+    return compile_direction(topo, record, record.spec.src, record.spec.dst,
+                             /*record_path=*/true);
+  }
+  const topo::Path primary = topo::shortest_path(topo, s->dpid, d->dpid);
+  if (primary.empty()) {
+    record.state = IntentState::Failed;
+    return false;
+  }
+
+  // Link-disjoint backup: recompute with the primary's links removed.
+  topo::Topology pruned = topo;
+  for (const topo::LinkId lid : primary.links) pruned.remove_link(lid);
+  const topo::Path backup = topo::shortest_path(pruned, s->dpid, d->dpid);
+
+  auto base_match = [&] {
+    openflow::Match match;
+    match.eth_type(net::EtherType::kIpv4)
+        .ipv4_src(record.spec.src, 32)
+        .ipv4_dst(record.spec.dst, 32);
+    match.merge(record.spec.extra_match);
+    return match;
+  };
+
+  // Rules along a path starting from its SECOND switch (the head-end gets
+  // the failover group instead). `entry_port` is the in_port at nodes[1].
+  auto install_tail = [&](const topo::Topology& path_topo,
+                          const topo::Path& path) {
+    if (path.links.empty()) return;
+    std::uint32_t in_port =
+        path_topo.link(path.links.front())->port_at(path.nodes[1]);
+    for (std::size_t i = 1; i < path.nodes.size(); ++i) {
+      const topo::NodeId sw = path.nodes[i];
+      const std::uint32_t out_port =
+          (i < path.links.size())
+              ? path_topo.link(path.links[i])->port_at(sw)
+              : d->port;
+      openflow::FlowMod mod;
+      mod.table_id = 0;
+      mod.priority = record.spec.priority;
+      mod.match = base_match();
+      mod.match.in_port(in_port);
+      mod.instructions = openflow::output_to(out_port);
+      record.rules.push_back(InstalledRule{sw, std::move(mod)});
+      if (i < path.links.size())
+        in_port = path_topo.link(path.links[i])->port_at(path.nodes[i + 1]);
+    }
+  };
+
+  install_tail(topo, primary);
+
+  const std::uint32_t primary_port =
+      topo.link(primary.links.front())->port_at(s->dpid);
+
+  openflow::FlowMod head;
+  head.table_id = 0;
+  head.priority = record.spec.priority;
+  head.match = base_match();
+  head.match.in_port(s->port);
+
+  if (!backup.empty()) {
+    install_tail(pruned, backup);
+    const std::uint32_t backup_port =
+        pruned.link(backup.links.front())->port_at(s->dpid);
+
+    // Head-end fast-failover group: primary bucket watched on its port,
+    // backup bucket as the fallback.
+    openflow::GroupMod gm;
+    gm.command = openflow::GroupModCommand::Add;
+    gm.type = openflow::GroupType::FastFailover;
+    gm.group_id = 0x1f000000 + ++next_group_id_[s->dpid];
+    gm.buckets = {
+        openflow::Bucket{1, primary_port,
+                         {openflow::OutputAction{primary_port, 0xffff}}},
+        openflow::Bucket{1, backup_port,
+                         {openflow::OutputAction{backup_port, 0xffff}}},
+    };
+    controller_->group_mod(s->dpid, gm);
+    record.groups.push_back(InstalledGroup{s->dpid, gm.group_id});
+    head.instructions = {
+        openflow::ApplyActions{{openflow::GroupAction{gm.group_id}}}};
+    record.backup_path = backup.nodes;
+    record.protected_active = true;
+  } else {
+    // No disjoint backup exists: degrade to plain output (still Installed,
+    // but unprotected — is_protected_active() reports false).
+    head.instructions = openflow::output_to(primary_port);
+  }
+  record.rules.push_back(InstalledRule{s->dpid, std::move(head)});
+  record.path = primary.nodes;
+  return true;
+}
+
+bool IntentManager::compile_ban(Record& record) {
+  openflow::Match match;
+  match.eth_type(net::EtherType::kIpv4);
+  if (record.spec.src != net::Ipv4Address{}) match.ipv4_src(record.spec.src, 32);
+  if (record.spec.dst != net::Ipv4Address{}) match.ipv4_dst(record.spec.dst, 32);
+  match.merge(record.spec.extra_match);
+
+  for (const controller::Dpid dpid : controller_->view().switch_ids()) {
+    openflow::FlowMod mod;
+    mod.table_id = 0;
+    mod.priority = record.spec.priority;
+    mod.match = match;
+    mod.instructions = {};  // drop
+    record.rules.push_back(InstalledRule{dpid, std::move(mod)});
+  }
+  if (record.rules.empty()) {
+    record.state = IntentState::Pending;  // no switches yet
+    return false;
+  }
+  return true;
+}
+
+bool IntentManager::compile(IntentId id, Record& record) {
+  if (record.state == IntentState::Withdrawn) return false;
+  remove_rules(record);
+
+  bool ok = false;
+  const topo::Topology topo = controller_->view().as_topology(false);
+  switch (record.spec.kind) {
+    case IntentKind::PointToPoint:
+    case IntentKind::Waypoint:
+      ok = compile_direction(topo, record, record.spec.src, record.spec.dst,
+                             /*record_path=*/true);
+      break;
+    case IntentKind::ProtectedPointToPoint:
+      ok = compile_protected(topo, record);
+      break;
+    case IntentKind::HostToHost:
+      ok = compile_direction(topo, record, record.spec.src, record.spec.dst,
+                             /*record_path=*/true) &&
+           compile_direction(topo, record, record.spec.dst, record.spec.src,
+                             /*record_path=*/false);
+      break;
+    case IntentKind::Ban:
+      ok = compile_ban(record);
+      break;
+  }
+
+  if (ok) {
+    install(id, record);
+  } else {
+    record.rules.clear();
+    if (record.state != IntentState::Pending) {
+      record.state = IntentState::Failed;
+      ++stats_.failures;
+    }
+  }
+  return ok;
+}
+
+bool IntentManager::path_uses(const Record& record, controller::Dpid a,
+                              std::uint32_t a_port, controller::Dpid b,
+                              std::uint32_t b_port) const {
+  for (const auto& rule : record.rules) {
+    const auto& match = rule.mod.match;
+    const std::uint32_t in_port = match.value().in_port;
+    std::uint32_t out_port = 0;
+    for (const auto& ins : rule.mod.instructions) {
+      if (const auto* apply = std::get_if<openflow::ApplyActions>(&ins)) {
+        for (const auto& action : apply->actions) {
+          if (const auto* out = std::get_if<openflow::OutputAction>(&action))
+            out_port = out->port;
+        }
+      }
+    }
+    if (rule.dpid == a && (in_port == a_port || out_port == a_port)) return true;
+    if (rule.dpid == b && (in_port == b_port || out_port == b_port)) return true;
+  }
+  return false;
+}
+
+void IntentManager::recompile_all() {
+  for (auto& [id, record] : intents_) {
+    if (record.state == IntentState::Withdrawn) continue;
+    ++stats_.recompiles;
+    compile(id, record);
+  }
+}
+
+void IntentManager::on_link_event(const controller::LinkEvent& event) {
+  if (!event.up) {
+    // Recompile only intents riding the failed link.
+    for (auto& [id, record] : intents_) {
+      if (record.state != IntentState::Installed) continue;
+      if (path_uses(record, event.link.a, event.link.a_port, event.link.b,
+                    event.link.b_port)) {
+        ++stats_.recompiles;
+        compile(id, record);
+      }
+    }
+  } else {
+    // A new/revived link may heal Failed intents (and could offer better
+    // paths, but re-optimization is deliberately not automatic).
+    for (auto& [id, record] : intents_) {
+      if (record.state == IntentState::Failed ||
+          record.state == IntentState::Pending) {
+        ++stats_.recompiles;
+        compile(id, record);
+      }
+    }
+  }
+}
+
+void IntentManager::on_host_discovered(const controller::HostInfo&) {
+  for (auto& [id, record] : intents_) {
+    if (record.state == IntentState::Pending) {
+      ++stats_.recompiles;
+      compile(id, record);
+    }
+  }
+}
+
+void IntentManager::on_switch_up(controller::Dpid dpid,
+                                 const openflow::FeaturesReply&) {
+  // Punt unmatched traffic so the controller can learn host locations
+  // (intents identify endpoints by IP; discovery happens via PacketIns).
+  controller_->install_table_miss(dpid);
+  for (auto& [id, record] : intents_) {
+    if (record.state == IntentState::Pending ||
+        record.state == IntentState::Failed) {
+      compile(id, record);
+    }
+  }
+}
+
+}  // namespace zen::intent

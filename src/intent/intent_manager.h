@@ -1,0 +1,88 @@
+// IntentManager: compiles intents to flow rules and keeps them honest
+// across failures (the ONOS intent-framework analog).
+//
+// Registered as a controller App so it sees link and host events. Each
+// installed intent remembers the exact (switch, FlowMod) set it pushed;
+// on a link failure touching its path the intent is recompiled onto a
+// surviving path (or parked as Failed until the topology heals).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "controller/controller.h"
+#include "intent/intent.h"
+
+namespace zen::intent {
+
+class IntentManager : public controller::App {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t compiled = 0;
+    std::uint64_t recompiles = 0;
+    std::uint64_t failures = 0;
+  };
+
+  std::string name() const override { return "intent_manager"; }
+
+  // ---- northbound ----
+  IntentId submit(IntentSpec spec);
+  bool withdraw(IntentId id);
+  IntentState state(IntentId id) const;
+  // Switch sequence of the installed forward path (empty for Ban/uninstalled).
+  std::vector<topo::NodeId> installed_path(IntentId id) const;
+  // Backup path of a Protected intent (empty if none / unprotected).
+  std::vector<topo::NodeId> backup_path(IntentId id) const;
+  // True if the intent is Protected and its backup is installed.
+  bool is_protected_active(IntentId id) const;
+  std::size_t count_in_state(IntentState state) const;
+  const Stats& stats() const noexcept { return stats_; }
+
+  // Recompile every non-withdrawn intent now (normally event-driven).
+  void recompile_all();
+
+  // ---- App events ----
+  void on_link_event(const controller::LinkEvent& event) override;
+  void on_host_discovered(const controller::HostInfo& host) override;
+  void on_switch_up(controller::Dpid, const openflow::FeaturesReply&) override;
+
+ private:
+  struct InstalledRule {
+    controller::Dpid dpid;
+    openflow::FlowMod mod;  // as installed (used to build the delete)
+  };
+
+  struct InstalledGroup {
+    controller::Dpid dpid;
+    std::uint32_t group_id;
+  };
+
+  struct Record {
+    IntentSpec spec;
+    IntentState state = IntentState::Pending;
+    std::vector<InstalledRule> rules;
+    std::vector<InstalledGroup> groups;
+    std::vector<topo::NodeId> path;         // forward (primary) path switches
+    std::vector<topo::NodeId> backup_path;  // Protected kind only
+    bool protected_active = false;          // backup actually installed
+  };
+
+  bool compile(IntentId id, Record& record);
+  bool compile_direction(const topo::Topology& topo, Record& record,
+                         net::Ipv4Address src, net::Ipv4Address dst,
+                         bool record_path);
+  bool compile_protected(const topo::Topology& topo, Record& record);
+  bool compile_ban(Record& record);
+  void install(IntentId id, Record& record);
+  void remove_rules(Record& record);
+  bool path_uses(const Record& record, controller::Dpid a, std::uint32_t a_port,
+                 controller::Dpid b, std::uint32_t b_port) const;
+
+  std::map<IntentId, Record> intents_;
+  IntentId next_id_ = 1;
+  std::map<controller::Dpid, std::uint32_t> next_group_id_;
+  Stats stats_;
+};
+
+}  // namespace zen::intent

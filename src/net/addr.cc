@@ -1,0 +1,163 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace zen::net {
+
+namespace {
+
+std::optional<unsigned> parse_hex_byte(std::string_view s) {
+  if (s.empty() || s.size() > 2) return std::nullopt;
+  unsigned v = 0;
+  for (char c : s) {
+    unsigned digit;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+    else return std::nullopt;
+    v = v * 16 + digit;
+  }
+  return v;
+}
+
+std::optional<unsigned> parse_hex16(std::string_view s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  unsigned v = 0;
+  for (char c : s) {
+    unsigned digit;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+    else return std::nullopt;
+    v = v * 16 + digit;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  const auto parts = util::split(text, ':');
+  if (parts.size() != 6) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto b = parse_hex_byte(parts[i]);
+    if (!b) return std::nullopt;
+    octets[i] = static_cast<std::uint8_t>(*b);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  return util::format("%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                      octets_[2], octets_[3], octets_[4], octets_[5]);
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (const auto& p : parts) {
+    const auto byte = util::parse_u64(p);
+    if (!byte || *byte > 255) return std::nullopt;
+    v = (v << 8) | static_cast<std::uint32_t>(*byte);
+  }
+  return Ipv4Address(v);
+}
+
+std::string Ipv4Address::to_string() const {
+  return util::format("%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                      (value_ >> 8) & 0xff, value_ & 0xff);
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Split on "::" first; each side is a list of 16-bit groups.
+  std::string_view head = text;
+  std::string_view tail;
+  bool compressed = false;
+  if (const auto pos = text.find("::"); pos != std::string_view::npos) {
+    compressed = true;
+    head = text.substr(0, pos);
+    tail = text.substr(pos + 2);
+    if (tail.find("::") != std::string_view::npos) return std::nullopt;
+  }
+
+  auto parse_groups = [](std::string_view s) -> std::optional<std::vector<unsigned>> {
+    std::vector<unsigned> groups;
+    if (s.empty()) return groups;
+    for (const auto part : util::split(s, ':')) {
+      const auto g = parse_hex16(part);
+      if (!g) return std::nullopt;
+      groups.push_back(*g);
+    }
+    return groups;
+  };
+
+  const auto head_groups = parse_groups(head);
+  const auto tail_groups = parse_groups(tail);
+  if (!head_groups || !tail_groups) return std::nullopt;
+
+  const std::size_t total = head_groups->size() + tail_groups->size();
+  if (compressed ? total >= 8 : total != 8) {
+    // "::" must compress at least one zero group.
+    if (!(compressed && total == 8 && head.empty() && tail.empty()))
+      if (compressed ? total > 8 : true) return std::nullopt;
+  }
+
+  std::array<std::uint8_t, 16> octets{};
+  std::size_t i = 0;
+  for (unsigned g : *head_groups) {
+    octets[i++] = static_cast<std::uint8_t>(g >> 8);
+    octets[i++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  i = 16 - tail_groups->size() * 2;
+  for (unsigned g : *tail_groups) {
+    octets[i++] = static_cast<std::uint8_t>(g >> 8);
+    octets[i++] = static_cast<std::uint8_t>(g & 0xff);
+  }
+  return Ipv6Address(octets);
+}
+
+std::string Ipv6Address::to_string() const {
+  unsigned groups[8];
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = (static_cast<unsigned>(octets_[static_cast<std::size_t>(2 * i)]) << 8) |
+                octets_[static_cast<std::size_t>(2 * i + 1)];
+  }
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // The previous group deliberately omitted its trailing ':' (see
+      // below), so the compressed run always contributes both colons.
+      out += "::";
+      i += best_len;
+      if (i >= 8) break;
+      continue;
+    }
+    out += util::format("%x", groups[i]);
+    if (++i < 8 && i != best_start) out += ':';
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace zen::net

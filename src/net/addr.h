@@ -1,0 +1,128 @@
+// Link- and network-layer address types.
+//
+// All three types are small value types with total ordering and std::hash
+// support so they can key flat maps throughout the stack. String parsing
+// accepts the conventional textual forms ("aa:bb:cc:dd:ee:ff", dotted quad,
+// and RFC 4291 IPv6 including "::" compression).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace zen::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  // Builds from the low 48 bits of `value` (useful for generating per-host
+  // MACs from integer ids).
+  static constexpr MacAddress from_u64(std::uint64_t value) {
+    return MacAddress({static_cast<std::uint8_t>(value >> 40),
+                       static_cast<std::uint8_t>(value >> 32),
+                       static_cast<std::uint8_t>(value >> 24),
+                       static_cast<std::uint8_t>(value >> 16),
+                       static_cast<std::uint8_t>(value >> 8),
+                       static_cast<std::uint8_t>(value)});
+  }
+
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+  }
+
+  constexpr std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  constexpr bool is_broadcast() const { return to_u64() == 0xffffffffffffULL; }
+  constexpr bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+  const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+  std::string to_string() const;
+
+  friend auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  // True if this address is inside `network`/`prefix_len`.
+  constexpr bool in_subnet(Ipv4Address network, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return (value_ & mask) == (network.value_ & mask);
+  }
+
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() = default;
+  explicit constexpr Ipv6Address(std::array<std::uint8_t, 16> octets)
+      : octets_(octets) {}
+
+  static std::optional<Ipv6Address> parse(std::string_view text);
+
+  const std::array<std::uint8_t, 16>& octets() const { return octets_; }
+  std::string to_string() const;  // RFC 5952 canonical form
+
+  friend auto operator<=>(const Ipv6Address&, const Ipv6Address&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> octets_{};
+};
+
+}  // namespace zen::net
+
+template <>
+struct std::hash<zen::net::MacAddress> {
+  std::size_t operator()(const zen::net::MacAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.to_u64());
+  }
+};
+
+template <>
+struct std::hash<zen::net::Ipv4Address> {
+  std::size_t operator()(const zen::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<zen::net::Ipv6Address> {
+  std::size_t operator()(const zen::net::Ipv6Address& a) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (auto o : a.octets()) h = (h ^ o) * 1099511628211ULL;
+    return h;
+  }
+};

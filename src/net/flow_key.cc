@@ -1,0 +1,113 @@
+#include "net/flow_key.h"
+
+namespace zen::net {
+
+namespace {
+
+// 64-bit mix (xxhash-style avalanche).
+constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::pair<std::uint64_t, std::uint64_t> FlowKey::split_ipv6(
+    const Ipv6Address& addr) noexcept {
+  const auto& o = addr.octets();
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | o[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) lo = (lo << 8) | o[static_cast<std::size_t>(i)];
+  return {hi, lo};
+}
+
+std::size_t FlowKey::hash() const noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  h = mix(h, in_port);
+  h = mix(h, eth_src);
+  h = mix(h, eth_dst);
+  h = mix(h, (std::uint64_t{eth_type} << 32) | (std::uint64_t{vlan_vid} << 16) |
+                 vlan_pcp);
+  h = mix(h, (std::uint64_t{ipv4_src} << 32) | ipv4_dst);
+  if (ipv6_src_hi | ipv6_src_lo | ipv6_dst_hi | ipv6_dst_lo) {
+    h = mix(h, ipv6_src_hi);
+    h = mix(h, ipv6_src_lo);
+    h = mix(h, ipv6_dst_hi);
+    h = mix(h, ipv6_dst_lo);
+  }
+  h = mix(h, (std::uint64_t{ip_proto} << 40) | (std::uint64_t{ip_dscp} << 32) |
+                 (std::uint64_t{l4_src} << 16) | l4_dst);
+  h = mix(h, arp_op);
+  return static_cast<std::size_t>(h);
+}
+
+FlowKey FlowMask::apply(const FlowKey& key) const noexcept {
+  FlowKey out;
+  out.in_port = key.in_port & in_port;
+  out.eth_src = key.eth_src & eth_src;
+  out.eth_dst = key.eth_dst & eth_dst;
+  out.eth_type = key.eth_type & eth_type;
+  out.vlan_vid = key.vlan_vid & vlan_vid;
+  out.vlan_pcp = key.vlan_pcp & vlan_pcp;
+  out.ipv4_src = key.ipv4_src & ipv4_src;
+  out.ipv4_dst = key.ipv4_dst & ipv4_dst;
+  out.ipv6_src_hi = key.ipv6_src_hi & ipv6_src_hi;
+  out.ipv6_src_lo = key.ipv6_src_lo & ipv6_src_lo;
+  out.ipv6_dst_hi = key.ipv6_dst_hi & ipv6_dst_hi;
+  out.ipv6_dst_lo = key.ipv6_dst_lo & ipv6_dst_lo;
+  out.ip_proto = key.ip_proto & ip_proto;
+  out.ip_dscp = key.ip_dscp & ip_dscp;
+  out.l4_src = key.l4_src & l4_src;
+  out.l4_dst = key.l4_dst & l4_dst;
+  out.arp_op = key.arp_op & arp_op;
+  return out;
+}
+
+std::size_t FlowMask::hash() const noexcept {
+  // Reuse FlowKey's mixer by treating the mask as a key.
+  FlowKey k;
+  k.in_port = in_port;
+  k.eth_src = eth_src;
+  k.eth_dst = eth_dst;
+  k.eth_type = eth_type;
+  k.vlan_vid = vlan_vid;
+  k.vlan_pcp = vlan_pcp;
+  k.ipv4_src = ipv4_src;
+  k.ipv4_dst = ipv4_dst;
+  k.ipv6_src_hi = ipv6_src_hi;
+  k.ipv6_src_lo = ipv6_src_lo;
+  k.ipv6_dst_hi = ipv6_dst_hi;
+  k.ipv6_dst_lo = ipv6_dst_lo;
+  k.ip_proto = ip_proto;
+  k.ip_dscp = ip_dscp;
+  k.l4_src = l4_src;
+  k.l4_dst = l4_dst;
+  k.arp_op = arp_op;
+  return k.hash();
+}
+
+FlowMask FlowMask::exact() noexcept {
+  FlowMask m;
+  m.in_port = ~std::uint32_t{0};
+  m.eth_src = 0xffffffffffffULL;
+  m.eth_dst = 0xffffffffffffULL;
+  m.eth_type = 0xffff;
+  m.vlan_vid = 0xffff;
+  m.vlan_pcp = 0xff;
+  m.ipv4_src = ~std::uint32_t{0};
+  m.ipv4_dst = ~std::uint32_t{0};
+  m.ipv6_src_hi = ~std::uint64_t{0};
+  m.ipv6_src_lo = ~std::uint64_t{0};
+  m.ipv6_dst_hi = ~std::uint64_t{0};
+  m.ipv6_dst_lo = ~std::uint64_t{0};
+  m.ip_proto = 0xff;
+  m.ip_dscp = 0xff;
+  m.l4_src = 0xffff;
+  m.l4_dst = 0xffff;
+  m.arp_op = 0xffff;
+  return m;
+}
+
+}  // namespace zen::net

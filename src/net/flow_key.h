@@ -1,0 +1,94 @@
+// Canonical flow key: the tuple of header fields the dataplane matches on.
+//
+// The key is a fixed-size POD so hashing and masked comparison are branch-
+// free loops over a handful of integers. Both the flow tables (tuple-space
+// search masks project this struct) and the megaflow exact-match cache key
+// on it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "net/addr.h"
+
+namespace zen::net {
+
+struct FlowKey {
+  std::uint32_t in_port = 0;
+  std::uint64_t eth_src = 0;   // MAC as integer (48 bits used)
+  std::uint64_t eth_dst = 0;
+  std::uint16_t eth_type = 0;
+  std::uint16_t vlan_vid = 0;  // 0 = untagged
+  std::uint8_t vlan_pcp = 0;
+  std::uint32_t ipv4_src = 0;
+  std::uint32_t ipv4_dst = 0;
+  // IPv6 addresses as (hi, lo) 64-bit halves, network order semantics
+  // (hi = first 8 octets).
+  std::uint64_t ipv6_src_hi = 0;
+  std::uint64_t ipv6_src_lo = 0;
+  std::uint64_t ipv6_dst_hi = 0;
+  std::uint64_t ipv6_dst_lo = 0;
+  std::uint8_t ip_proto = 0;
+  std::uint8_t ip_dscp = 0;
+  std::uint16_t l4_src = 0;
+  std::uint16_t l4_dst = 0;
+  std::uint16_t arp_op = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  // Mixes all fields; see flow_key.cc for the avalanche step.
+  std::size_t hash() const noexcept;
+
+  // Helpers for the (hi, lo) IPv6 representation.
+  static std::pair<std::uint64_t, std::uint64_t> split_ipv6(
+      const Ipv6Address& addr) noexcept;
+};
+
+// A bitmask over FlowKey: each field carries a mask of the same width.
+// all-ones = exact match, all-zeros = wildcard. Masks are what make the
+// tuple-space search work: rules with equal masks share one hash table.
+struct FlowMask {
+  std::uint32_t in_port = 0;
+  std::uint64_t eth_src = 0;
+  std::uint64_t eth_dst = 0;
+  std::uint16_t eth_type = 0;
+  std::uint16_t vlan_vid = 0;
+  std::uint8_t vlan_pcp = 0;
+  std::uint32_t ipv4_src = 0;
+  std::uint32_t ipv4_dst = 0;
+  std::uint64_t ipv6_src_hi = 0;
+  std::uint64_t ipv6_src_lo = 0;
+  std::uint64_t ipv6_dst_hi = 0;
+  std::uint64_t ipv6_dst_lo = 0;
+  std::uint8_t ip_proto = 0;
+  std::uint8_t ip_dscp = 0;
+  std::uint16_t l4_src = 0;
+  std::uint16_t l4_dst = 0;
+  std::uint16_t arp_op = 0;
+
+  friend bool operator==(const FlowMask&, const FlowMask&) = default;
+
+  // Projects `key` through this mask (field-wise AND).
+  FlowKey apply(const FlowKey& key) const noexcept;
+
+  std::size_t hash() const noexcept;
+
+  static FlowMask exact() noexcept;
+};
+
+}  // namespace zen::net
+
+template <>
+struct std::hash<zen::net::FlowKey> {
+  std::size_t operator()(const zen::net::FlowKey& k) const noexcept {
+    return k.hash();
+  }
+};
+
+template <>
+struct std::hash<zen::net::FlowMask> {
+  std::size_t operator()(const zen::net::FlowMask& m) const noexcept {
+    return m.hash();
+  }
+};

@@ -1,0 +1,216 @@
+#include "net/headers.h"
+
+#include "net/checksum.h"
+
+namespace zen::net {
+
+void EthernetHeader::serialize(util::ByteWriter& w) const {
+  w.bytes(dst.octets());
+  w.bytes(src.octets());
+  w.u16(ether_type);
+}
+
+EthernetHeader EthernetHeader::parse(util::ByteReader& r) {
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> mac{};
+  r.bytes(mac);
+  h.dst = MacAddress(mac);
+  r.bytes(mac);
+  h.src = MacAddress(mac);
+  h.ether_type = r.u16();
+  return h;
+}
+
+void VlanTag::serialize(util::ByteWriter& w) const {
+  w.u16(static_cast<std::uint16_t>((std::uint16_t{pcp} << 13) | (vid & 0x0fff)));
+  w.u16(ether_type);
+}
+
+VlanTag VlanTag::parse(util::ByteReader& r) {
+  VlanTag t;
+  const std::uint16_t tci = r.u16();
+  t.pcp = static_cast<std::uint8_t>(tci >> 13);
+  t.vid = tci & 0x0fff;
+  t.ether_type = r.u16();
+  return t;
+}
+
+void ArpMessage::serialize(util::ByteWriter& w) const {
+  w.u16(1);                    // hardware type: Ethernet
+  w.u16(EtherType::kIpv4);     // protocol type
+  w.u8(6);                     // hardware length
+  w.u8(4);                     // protocol length
+  w.u16(opcode);
+  w.bytes(sender_mac.octets());
+  w.u32(sender_ip.value());
+  w.bytes(target_mac.octets());
+  w.u32(target_ip.value());
+}
+
+ArpMessage ArpMessage::parse(util::ByteReader& r) {
+  ArpMessage m;
+  r.skip(6);  // htype, ptype, hlen, plen
+  m.opcode = r.u16();
+  std::array<std::uint8_t, 6> mac{};
+  r.bytes(mac);
+  m.sender_mac = MacAddress(mac);
+  m.sender_ip = Ipv4Address(r.u32());
+  r.bytes(mac);
+  m.target_mac = MacAddress(mac);
+  m.target_ip = Ipv4Address(r.u32());
+  return m;
+}
+
+void Ipv4Header::serialize(util::ByteWriter& w) const {
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(kMinSize);
+  util::ByteWriter hw(hdr);
+  hw.u8(0x45);  // version 4, IHL 5 (no options)
+  hw.u8(static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x3)));
+  hw.u16(total_length);
+  hw.u16(identification);
+  std::uint16_t frag = fragment_offset & 0x1fff;
+  if (dont_fragment) frag |= 0x4000;
+  if (more_fragments) frag |= 0x2000;
+  hw.u16(frag);
+  hw.u8(ttl);
+  hw.u8(protocol);
+  hw.u16(0);  // checksum placeholder
+  hw.u32(src.value());
+  hw.u32(dst.value());
+  const std::uint16_t sum = internet_checksum(hdr);
+  hw.patch_u16(10, sum);
+  w.bytes(hdr);
+}
+
+Ipv4Header Ipv4Header::parse(util::ByteReader& r) {
+  Ipv4Header h;
+  const std::size_t start = r.position();
+  const std::uint8_t ver_ihl = r.u8();
+  const std::uint8_t tos = r.u8();
+  h.dscp = tos >> 2;
+  h.ecn = tos & 0x3;
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  const std::uint16_t frag = r.u16();
+  h.dont_fragment = (frag & 0x4000) != 0;
+  h.more_fragments = (frag & 0x2000) != 0;
+  h.fragment_offset = frag & 0x1fff;
+  h.ttl = r.u8();
+  h.protocol = r.u8();
+  h.checksum = r.u16();
+  h.src = Ipv4Address(r.u32());
+  h.dst = Ipv4Address(r.u32());
+  const std::size_t ihl = (ver_ihl & 0x0f) * 4u;
+  if (ihl < kMinSize || (ver_ihl >> 4) != 4) {
+    // Force a parse failure by over-reading; caller checks r.ok().
+    r.skip(SIZE_MAX / 2);
+    return h;
+  }
+  // Validate the header checksum over exactly IHL bytes.
+  if (r.ok()) {
+    // Reconstruct the raw header span. rest() starts at current pos; we need
+    // the already-consumed 20 bytes plus any options.
+    const std::size_t consumed = r.position() - start;
+    if (ihl > consumed) r.skip(ihl - consumed);  // skip options
+  }
+  h.checksum_ok_ = true;  // verified by callers that hold the raw bytes
+  return h;
+}
+
+void Ipv6Header::serialize(util::ByteWriter& w) const {
+  w.u32((std::uint32_t{6} << 28) | (std::uint32_t{traffic_class} << 20) |
+        (flow_label & 0xfffff));
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.bytes(src.octets());
+  w.bytes(dst.octets());
+}
+
+Ipv6Header Ipv6Header::parse(util::ByteReader& r) {
+  Ipv6Header h;
+  const std::uint32_t first = r.u32();
+  if ((first >> 28) != 6) {
+    r.skip(SIZE_MAX / 2);
+    return h;
+  }
+  h.traffic_class = static_cast<std::uint8_t>((first >> 20) & 0xff);
+  h.flow_label = first & 0xfffff;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  std::array<std::uint8_t, 16> a{};
+  r.bytes(a);
+  h.src = Ipv6Address(a);
+  r.bytes(a);
+  h.dst = Ipv6Address(a);
+  return h;
+}
+
+void TcpHeader::serialize(util::ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(5 << 4);  // data offset 5 words, no options
+  w.u8(flags);
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(0);  // urgent pointer
+}
+
+TcpHeader TcpHeader::parse(util::ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint8_t offset_words = r.u8() >> 4;
+  h.flags = r.u8() & 0x3f;
+  h.window = r.u16();
+  h.checksum = r.u16();
+  r.skip(2);  // urgent pointer
+  if (offset_words < 5) {
+    r.skip(SIZE_MAX / 2);
+    return h;
+  }
+  r.skip((offset_words - 5u) * 4u);  // options
+  return h;
+}
+
+void UdpHeader::serialize(util::ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+UdpHeader UdpHeader::parse(util::ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  return h;
+}
+
+void IcmpHeader::serialize(util::ByteWriter& w) const {
+  w.u8(type);
+  w.u8(code);
+  w.u16(checksum);
+  w.u16(identifier);
+  w.u16(sequence);
+}
+
+IcmpHeader IcmpHeader::parse(util::ByteReader& r) {
+  IcmpHeader h;
+  h.type = r.u8();
+  h.code = r.u8();
+  h.checksum = r.u16();
+  h.identifier = r.u16();
+  h.sequence = r.u16();
+  return h;
+}
+
+}  // namespace zen::net

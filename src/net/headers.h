@@ -1,0 +1,185 @@
+// Protocol header definitions with wire serialization.
+//
+// Each header is a plain value struct with `serialize(ByteWriter&)` and a
+// static `parse(ByteReader&)`. Parsing never throws: on truncation the
+// reader's ok() flag goes false and the caller rejects the packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/addr.h"
+#include "util/buffer.h"
+
+namespace zen::net {
+
+// EtherType values (host order).
+struct EtherType {
+  static constexpr std::uint16_t kIpv4 = 0x0800;
+  static constexpr std::uint16_t kArp = 0x0806;
+  static constexpr std::uint16_t kVlan = 0x8100;
+  static constexpr std::uint16_t kIpv6 = 0x86dd;
+  static constexpr std::uint16_t kLldp = 0x88cc;
+};
+
+// IP protocol numbers.
+struct IpProto {
+  static constexpr std::uint8_t kIcmp = 1;
+  static constexpr std::uint8_t kTcp = 6;
+  static constexpr std::uint8_t kUdp = 17;
+};
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+
+  void serialize(util::ByteWriter& w) const;
+  static EthernetHeader parse(util::ByteReader& r);
+
+  friend bool operator==(const EthernetHeader&, const EthernetHeader&) = default;
+};
+
+// 802.1Q tag (follows the Ethernet src/dst when ether_type == kVlan).
+struct VlanTag {
+  static constexpr std::size_t kSize = 4;
+
+  std::uint8_t pcp = 0;        // priority code point (3 bits)
+  std::uint16_t vid = 0;       // VLAN id (12 bits)
+  std::uint16_t ether_type = 0;  // encapsulated ethertype
+
+  void serialize(util::ByteWriter& w) const;
+  static VlanTag parse(util::ByteReader& r);
+
+  friend bool operator==(const VlanTag&, const VlanTag&) = default;
+};
+
+struct ArpMessage {
+  static constexpr std::size_t kSize = 28;
+  static constexpr std::uint16_t kRequest = 1;
+  static constexpr std::uint16_t kReply = 2;
+
+  std::uint16_t opcode = kRequest;
+  MacAddress sender_mac;
+  Ipv4Address sender_ip;
+  MacAddress target_mac;
+  Ipv4Address target_ip;
+
+  void serialize(util::ByteWriter& w) const;
+  static ArpMessage parse(util::ByteReader& r);
+
+  friend bool operator==(const ArpMessage&, const ArpMessage&) = default;
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t dscp = 0;
+  std::uint8_t ecn = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // filled by serialize()
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  // Serializes with a freshly computed header checksum.
+  void serialize(util::ByteWriter& w) const;
+  static Ipv4Header parse(util::ByteReader& r);
+
+  // Validates the checksum as parsed from the wire (before any mutation).
+  bool checksum_valid() const noexcept { return checksum_ok_; }
+
+  friend bool operator==(const Ipv4Header& a, const Ipv4Header& b) {
+    return a.dscp == b.dscp && a.ecn == b.ecn &&
+           a.total_length == b.total_length &&
+           a.identification == b.identification &&
+           a.dont_fragment == b.dont_fragment &&
+           a.more_fragments == b.more_fragments &&
+           a.fragment_offset == b.fragment_offset && a.ttl == b.ttl &&
+           a.protocol == b.protocol && a.src == b.src && a.dst == b.dst;
+  }
+
+ private:
+  bool checksum_ok_ = true;
+};
+
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  Ipv6Address src;
+  Ipv6Address dst;
+
+  void serialize(util::ByteWriter& w) const;
+  static Ipv6Header parse(util::ByteReader& r);
+
+  friend bool operator==(const Ipv6Header&, const Ipv6Header&) = default;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  // Flag bits.
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+
+  void serialize(util::ByteWriter& w) const;
+  static TcpHeader parse(util::ByteReader& r);
+
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void serialize(util::ByteWriter& w) const;
+  static UdpHeader parse(util::ByteReader& r);
+
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+  static constexpr std::uint8_t kEchoReply = 0;
+  static constexpr std::uint8_t kEchoRequest = 8;
+
+  std::uint8_t type = kEchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  void serialize(util::ByteWriter& w) const;
+  static IcmpHeader parse(util::ByteReader& r);
+
+  friend bool operator==(const IcmpHeader&, const IcmpHeader&) = default;
+};
+
+}  // namespace zen::net

@@ -1,0 +1,299 @@
+#include "openflow/actions.h"
+
+#include "util/strings.h"
+
+namespace zen::openflow {
+
+namespace {
+
+enum class ActionTag : std::uint8_t {
+  Output = 0,
+  Group = 1,
+  SetQueue = 2,
+  PushVlan = 3,
+  PopVlan = 4,
+  SetEthSrc = 5,
+  SetEthDst = 6,
+  SetIpv4Src = 7,
+  SetIpv4Dst = 8,
+  SetL4Src = 9,
+  SetL4Dst = 10,
+  SetIpDscp = 11,
+  DecTtl = 12,
+};
+
+enum class InstrTag : std::uint8_t {
+  Apply = 0,
+  Write = 1,
+  Clear = 2,
+  Goto = 3,
+  Meter = 4,
+};
+
+}  // namespace
+
+std::string to_string(const Action& action) {
+  return std::visit(
+      [](const auto& a) -> std::string {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, OutputAction>)
+          return util::format("output:%u", a.port);
+        else if constexpr (std::is_same_v<T, GroupAction>)
+          return util::format("group:%u", a.group_id);
+        else if constexpr (std::is_same_v<T, SetQueueAction>)
+          return util::format("set_queue:%u", a.queue_id);
+        else if constexpr (std::is_same_v<T, PushVlanAction>)
+          return util::format("push_vlan:%u", a.vid);
+        else if constexpr (std::is_same_v<T, PopVlanAction>)
+          return "pop_vlan";
+        else if constexpr (std::is_same_v<T, SetEthSrcAction>)
+          return "set_eth_src:" + a.mac.to_string();
+        else if constexpr (std::is_same_v<T, SetEthDstAction>)
+          return "set_eth_dst:" + a.mac.to_string();
+        else if constexpr (std::is_same_v<T, SetIpv4SrcAction>)
+          return "set_ipv4_src:" + a.addr.to_string();
+        else if constexpr (std::is_same_v<T, SetIpv4DstAction>)
+          return "set_ipv4_dst:" + a.addr.to_string();
+        else if constexpr (std::is_same_v<T, SetL4SrcAction>)
+          return util::format("set_l4_src:%u", a.port);
+        else if constexpr (std::is_same_v<T, SetL4DstAction>)
+          return util::format("set_l4_dst:%u", a.port);
+        else if constexpr (std::is_same_v<T, SetIpDscpAction>)
+          return util::format("set_dscp:%u", a.dscp);
+        else
+          return "dec_ttl";
+      },
+      action);
+}
+
+std::string to_string(const ActionList& actions) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    if (i) out += ", ";
+    out += to_string(actions[i]);
+  }
+  return out + "]";
+}
+
+void encode_action(const Action& action, util::ByteWriter& w) {
+  std::visit(
+      [&](const auto& a) {
+        using T = std::decay_t<decltype(a)>;
+        if constexpr (std::is_same_v<T, OutputAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::Output));
+          w.u32(a.port);
+          w.u16(a.max_len);
+        } else if constexpr (std::is_same_v<T, GroupAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::Group));
+          w.u32(a.group_id);
+        } else if constexpr (std::is_same_v<T, SetQueueAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetQueue));
+          w.u32(a.queue_id);
+        } else if constexpr (std::is_same_v<T, PushVlanAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::PushVlan));
+          w.u16(a.vid);
+          w.u8(a.pcp);
+        } else if constexpr (std::is_same_v<T, PopVlanAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::PopVlan));
+        } else if constexpr (std::is_same_v<T, SetEthSrcAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetEthSrc));
+          w.bytes(a.mac.octets());
+        } else if constexpr (std::is_same_v<T, SetEthDstAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetEthDst));
+          w.bytes(a.mac.octets());
+        } else if constexpr (std::is_same_v<T, SetIpv4SrcAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetIpv4Src));
+          w.u32(a.addr.value());
+        } else if constexpr (std::is_same_v<T, SetIpv4DstAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetIpv4Dst));
+          w.u32(a.addr.value());
+        } else if constexpr (std::is_same_v<T, SetL4SrcAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetL4Src));
+          w.u16(a.port);
+        } else if constexpr (std::is_same_v<T, SetL4DstAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetL4Dst));
+          w.u16(a.port);
+        } else if constexpr (std::is_same_v<T, SetIpDscpAction>) {
+          w.u8(static_cast<std::uint8_t>(ActionTag::SetIpDscp));
+          w.u8(a.dscp);
+        } else {
+          w.u8(static_cast<std::uint8_t>(ActionTag::DecTtl));
+        }
+      },
+      action);
+}
+
+util::Result<Action> decode_action(util::ByteReader& r) {
+  const auto tag = static_cast<ActionTag>(r.u8());
+  Action out = PopVlanAction{};
+  switch (tag) {
+    case ActionTag::Output: {
+      OutputAction a;
+      a.port = r.u32();
+      a.max_len = r.u16();
+      out = a;
+      break;
+    }
+    case ActionTag::Group:
+      out = GroupAction{r.u32()};
+      break;
+    case ActionTag::SetQueue:
+      out = SetQueueAction{r.u32()};
+      break;
+    case ActionTag::PushVlan: {
+      PushVlanAction a;
+      a.vid = r.u16();
+      a.pcp = r.u8();
+      out = a;
+      break;
+    }
+    case ActionTag::PopVlan:
+      out = PopVlanAction{};
+      break;
+    case ActionTag::SetEthSrc:
+    case ActionTag::SetEthDst: {
+      std::array<std::uint8_t, 6> mac{};
+      r.bytes(mac);
+      if (tag == ActionTag::SetEthSrc)
+        out = SetEthSrcAction{net::MacAddress(mac)};
+      else
+        out = SetEthDstAction{net::MacAddress(mac)};
+      break;
+    }
+    case ActionTag::SetIpv4Src:
+      out = SetIpv4SrcAction{net::Ipv4Address(r.u32())};
+      break;
+    case ActionTag::SetIpv4Dst:
+      out = SetIpv4DstAction{net::Ipv4Address(r.u32())};
+      break;
+    case ActionTag::SetL4Src:
+      out = SetL4SrcAction{r.u16()};
+      break;
+    case ActionTag::SetL4Dst:
+      out = SetL4DstAction{r.u16()};
+      break;
+    case ActionTag::SetIpDscp:
+      out = SetIpDscpAction{r.u8()};
+      break;
+    case ActionTag::DecTtl:
+      out = DecTtlAction{};
+      break;
+    default:
+      return util::make_error<Action>(
+          util::format("unknown action tag %u", static_cast<unsigned>(tag)));
+  }
+  if (!r.ok()) return util::make_error<Action>("truncated action");
+  return out;
+}
+
+void encode_actions(const ActionList& actions, util::ByteWriter& w) {
+  w.u16(static_cast<std::uint16_t>(actions.size()));
+  for (const auto& a : actions) encode_action(a, w);
+}
+
+util::Result<ActionList> decode_actions(util::ByteReader& r) {
+  const std::uint16_t n = r.u16();
+  ActionList out;
+  out.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    auto a = decode_action(r);
+    if (!a.ok()) return util::make_error<ActionList>(a.error());
+    out.push_back(std::move(a).value());
+  }
+  return out;
+}
+
+std::string to_string(const InstructionList& instructions) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    if (i) out += ", ";
+    out += std::visit(
+        [](const auto& ins) -> std::string {
+          using T = std::decay_t<decltype(ins)>;
+          if constexpr (std::is_same_v<T, ApplyActions>)
+            return "apply" + to_string(ins.actions);
+          else if constexpr (std::is_same_v<T, WriteActions>)
+            return "write" + to_string(ins.actions);
+          else if constexpr (std::is_same_v<T, ClearActions>)
+            return "clear";
+          else if constexpr (std::is_same_v<T, GotoTable>)
+            return util::format("goto:%u", ins.table_id);
+          else
+            return util::format("meter:%u", ins.meter_id);
+        },
+        instructions[i]);
+  }
+  return out + "]";
+}
+
+void encode_instructions(const InstructionList& instructions,
+                         util::ByteWriter& w) {
+  w.u16(static_cast<std::uint16_t>(instructions.size()));
+  for (const auto& ins : instructions) {
+    std::visit(
+        [&](const auto& i) {
+          using T = std::decay_t<decltype(i)>;
+          if constexpr (std::is_same_v<T, ApplyActions>) {
+            w.u8(static_cast<std::uint8_t>(InstrTag::Apply));
+            encode_actions(i.actions, w);
+          } else if constexpr (std::is_same_v<T, WriteActions>) {
+            w.u8(static_cast<std::uint8_t>(InstrTag::Write));
+            encode_actions(i.actions, w);
+          } else if constexpr (std::is_same_v<T, ClearActions>) {
+            w.u8(static_cast<std::uint8_t>(InstrTag::Clear));
+          } else if constexpr (std::is_same_v<T, GotoTable>) {
+            w.u8(static_cast<std::uint8_t>(InstrTag::Goto));
+            w.u8(i.table_id);
+          } else {
+            w.u8(static_cast<std::uint8_t>(InstrTag::Meter));
+            w.u32(i.meter_id);
+          }
+        },
+        ins);
+  }
+}
+
+util::Result<InstructionList> decode_instructions(util::ByteReader& r) {
+  const std::uint16_t n = r.u16();
+  InstructionList out;
+  out.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const auto tag = static_cast<InstrTag>(r.u8());
+    switch (tag) {
+      case InstrTag::Apply: {
+        auto actions = decode_actions(r);
+        if (!actions.ok())
+          return util::make_error<InstructionList>(actions.error());
+        out.push_back(ApplyActions{std::move(actions).value()});
+        break;
+      }
+      case InstrTag::Write: {
+        auto actions = decode_actions(r);
+        if (!actions.ok())
+          return util::make_error<InstructionList>(actions.error());
+        out.push_back(WriteActions{std::move(actions).value()});
+        break;
+      }
+      case InstrTag::Clear:
+        out.push_back(ClearActions{});
+        break;
+      case InstrTag::Goto:
+        out.push_back(GotoTable{r.u8()});
+        break;
+      case InstrTag::Meter:
+        out.push_back(MeterInstruction{r.u32()});
+        break;
+      default:
+        return util::make_error<InstructionList>(util::format(
+            "unknown instruction tag %u", static_cast<unsigned>(tag)));
+    }
+    if (!r.ok()) return util::make_error<InstructionList>("truncated instruction");
+  }
+  return out;
+}
+
+InstructionList output_to(std::uint32_t port) {
+  return {ApplyActions{{OutputAction{port, 0xffff}}}};
+}
+
+}  // namespace zen::openflow

@@ -1,0 +1,132 @@
+// Actions and instructions: the verbs a flow entry can apply to a packet.
+//
+// Actions are a closed variant; the dataplane interprets them, the codec
+// serializes them. Instructions wrap action lists with pipeline semantics
+// (apply now vs. write to action-set vs. goto another table), mirroring the
+// OpenFlow 1.3 split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "net/addr.h"
+#include "util/buffer.h"
+#include "util/result.h"
+
+namespace zen::openflow {
+
+struct OutputAction {
+  std::uint32_t port = 0;
+  // Bytes of the packet to include in a resulting PacketIn (when port is
+  // kController). 0xffff = whole packet.
+  std::uint16_t max_len = 0xffff;
+  friend bool operator==(const OutputAction&, const OutputAction&) = default;
+};
+
+struct GroupAction {
+  std::uint32_t group_id = 0;
+  friend bool operator==(const GroupAction&, const GroupAction&) = default;
+};
+
+struct SetQueueAction {
+  std::uint32_t queue_id = 0;
+  friend bool operator==(const SetQueueAction&, const SetQueueAction&) = default;
+};
+
+struct PushVlanAction {
+  std::uint16_t vid = 0;
+  std::uint8_t pcp = 0;
+  friend bool operator==(const PushVlanAction&, const PushVlanAction&) = default;
+};
+
+struct PopVlanAction {
+  friend bool operator==(const PopVlanAction&, const PopVlanAction&) = default;
+};
+
+struct SetEthSrcAction {
+  net::MacAddress mac;
+  friend bool operator==(const SetEthSrcAction&, const SetEthSrcAction&) = default;
+};
+struct SetEthDstAction {
+  net::MacAddress mac;
+  friend bool operator==(const SetEthDstAction&, const SetEthDstAction&) = default;
+};
+struct SetIpv4SrcAction {
+  net::Ipv4Address addr;
+  friend bool operator==(const SetIpv4SrcAction&, const SetIpv4SrcAction&) = default;
+};
+struct SetIpv4DstAction {
+  net::Ipv4Address addr;
+  friend bool operator==(const SetIpv4DstAction&, const SetIpv4DstAction&) = default;
+};
+struct SetL4SrcAction {
+  std::uint16_t port = 0;
+  friend bool operator==(const SetL4SrcAction&, const SetL4SrcAction&) = default;
+};
+struct SetL4DstAction {
+  std::uint16_t port = 0;
+  friend bool operator==(const SetL4DstAction&, const SetL4DstAction&) = default;
+};
+struct SetIpDscpAction {
+  std::uint8_t dscp = 0;
+  friend bool operator==(const SetIpDscpAction&, const SetIpDscpAction&) = default;
+};
+struct DecTtlAction {
+  friend bool operator==(const DecTtlAction&, const DecTtlAction&) = default;
+};
+
+using Action =
+    std::variant<OutputAction, GroupAction, SetQueueAction, PushVlanAction,
+                 PopVlanAction, SetEthSrcAction, SetEthDstAction,
+                 SetIpv4SrcAction, SetIpv4DstAction, SetL4SrcAction,
+                 SetL4DstAction, SetIpDscpAction, DecTtlAction>;
+
+using ActionList = std::vector<Action>;
+
+std::string to_string(const Action& action);
+std::string to_string(const ActionList& actions);
+
+void encode_action(const Action& action, util::ByteWriter& w);
+util::Result<Action> decode_action(util::ByteReader& r);
+
+void encode_actions(const ActionList& actions, util::ByteWriter& w);
+util::Result<ActionList> decode_actions(util::ByteReader& r);
+
+// ---- instructions ----
+
+struct ApplyActions {
+  ActionList actions;
+  friend bool operator==(const ApplyActions&, const ApplyActions&) = default;
+};
+struct WriteActions {
+  ActionList actions;
+  friend bool operator==(const WriteActions&, const WriteActions&) = default;
+};
+struct ClearActions {
+  friend bool operator==(const ClearActions&, const ClearActions&) = default;
+};
+struct GotoTable {
+  std::uint8_t table_id = 0;
+  friend bool operator==(const GotoTable&, const GotoTable&) = default;
+};
+struct MeterInstruction {
+  std::uint32_t meter_id = 0;
+  friend bool operator==(const MeterInstruction&, const MeterInstruction&) = default;
+};
+
+using Instruction = std::variant<ApplyActions, WriteActions, ClearActions,
+                                 GotoTable, MeterInstruction>;
+using InstructionList = std::vector<Instruction>;
+
+std::string to_string(const InstructionList& instructions);
+
+void encode_instructions(const InstructionList& instructions,
+                         util::ByteWriter& w);
+util::Result<InstructionList> decode_instructions(util::ByteReader& r);
+
+// Convenience: the ubiquitous "apply [output(port)]" instruction list.
+InstructionList output_to(std::uint32_t port);
+
+}  // namespace zen::openflow

@@ -1,0 +1,83 @@
+#include "openflow/codec.h"
+
+#include <cstring>
+
+#include "util/buffer.h"
+#include "util/strings.h"
+
+namespace zen::openflow {
+
+Bytes encode(const Message& msg, std::uint16_t xid) {
+  Bytes out;
+  out.reserve(64);
+  util::ByteWriter w(out);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+  const std::size_t len_offset = w.size();
+  w.u32(0);  // length placeholder
+  w.u16(xid);
+  encode_body(msg, w);
+  // Patch the 32-bit length (ByteWriter::patch_u16 patches 16 bits; message
+  // sizes here always fit, but write both halves for correctness).
+  const auto total = static_cast<std::uint32_t>(out.size());
+  out[len_offset] = static_cast<std::uint8_t>(total >> 24);
+  out[len_offset + 1] = static_cast<std::uint8_t>(total >> 16);
+  out[len_offset + 2] = static_cast<std::uint8_t>(total >> 8);
+  out[len_offset + 3] = static_cast<std::uint8_t>(total);
+  return out;
+}
+
+util::Result<OwnedMessage> decode(std::span<const std::uint8_t> frame) {
+  util::ByteReader r(frame);
+  const std::uint8_t version = r.u8();
+  const auto type = static_cast<MsgType>(r.u8());
+  const std::uint32_t length = r.u32();
+  const std::uint16_t xid = r.u16();
+  if (!r.ok()) return util::make_error<OwnedMessage>("truncated header");
+  if (version != kProtocolVersion)
+    return util::make_error<OwnedMessage>(
+        util::format("bad version 0x%02x", version));
+  if (length != frame.size())
+    return util::make_error<OwnedMessage>(util::format(
+        "length mismatch: header says %u, frame is %zu", length, frame.size()));
+
+  auto body = decode_body(type, r);
+  if (!body.ok()) return util::make_error<OwnedMessage>(body.error());
+  return OwnedMessage{xid, std::move(body).value()};
+}
+
+void MessageStream::feed(std::span<const std::uint8_t> data) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<util::Result<OwnedMessage>> MessageStream::next() {
+  if (poisoned_) return std::nullopt;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kHeaderSize) return std::nullopt;
+
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  const std::uint8_t version = p[0];
+  const std::uint32_t length = (std::uint32_t{p[2]} << 24) |
+                               (std::uint32_t{p[3]} << 16) |
+                               (std::uint32_t{p[4]} << 8) | p[5];
+  if (version != kProtocolVersion || length < kHeaderSize ||
+      length > kMaxMessageSize) {
+    poisoned_ = true;
+    return util::make_error<OwnedMessage>(
+        util::format("corrupt frame header (version=0x%02x length=%u)",
+                     version, length));
+  }
+  if (avail < length) return std::nullopt;
+
+  auto result = decode({p, length});
+  consumed_ += length;
+  return result;
+}
+
+}  // namespace zen::openflow

@@ -1,0 +1,56 @@
+// Framing codec: header handling and stream reassembly.
+//
+// Wire layout (all big-endian):
+//   u8  version   (kProtocolVersion)
+//   u8  type      (MsgType)
+//   u32 length    (header + body, bytes)
+//   u16 xid       (transaction id, echoed in replies)
+//   ... body
+//
+// MessageStream accumulates bytes from a byte-stream transport and yields
+// complete messages; partial messages stay buffered. This is the piece that
+// makes the in-process channel behave like a real TCP southbound channel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "openflow/messages.h"
+#include "util/result.h"
+
+namespace zen::openflow {
+
+struct OwnedMessage {
+  std::uint16_t xid = 0;
+  Message msg;
+};
+
+// Serializes one message with its header.
+Bytes encode(const Message& msg, std::uint16_t xid);
+
+// Decodes exactly one message from `frame` (which must be a whole message).
+util::Result<OwnedMessage> decode(std::span<const std::uint8_t> frame);
+
+class MessageStream {
+ public:
+  // Appends raw transport bytes.
+  void feed(std::span<const std::uint8_t> data);
+
+  // Extracts the next complete message, if any. Returns nullopt when more
+  // bytes are needed. A malformed header (bad version / absurd length)
+  // poisons the stream: poisoned() goes true and no further messages are
+  // produced — matching how a real peer would drop the connection.
+  std::optional<util::Result<OwnedMessage>> next();
+
+  bool poisoned() const noexcept { return poisoned_; }
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace zen::openflow

@@ -1,0 +1,463 @@
+#include "openflow/match.h"
+
+#include <bit>
+
+#include "util/strings.h"
+
+namespace zen::openflow {
+
+namespace {
+
+constexpr std::uint32_t prefix_mask32(int prefix_len) noexcept {
+  if (prefix_len <= 0) return 0;
+  if (prefix_len >= 32) return ~std::uint32_t{0};
+  return ~((std::uint32_t{1} << (32 - prefix_len)) - 1);
+}
+
+// (hi, lo) 64-bit mask halves for an IPv6 prefix length.
+constexpr std::pair<std::uint64_t, std::uint64_t> prefix_mask128(
+    int prefix_len) noexcept {
+  auto mask64 = [](int bits) -> std::uint64_t {
+    if (bits <= 0) return 0;
+    if (bits >= 64) return ~std::uint64_t{0};
+    return ~((std::uint64_t{1} << (64 - bits)) - 1);
+  };
+  return {mask64(prefix_len), mask64(prefix_len - 64)};
+}
+
+}  // namespace
+
+Match& Match::in_port(std::uint32_t port) {
+  value_.in_port = port;
+  mask_.in_port = ~std::uint32_t{0};
+  return *this;
+}
+
+Match& Match::eth_src(net::MacAddress mac) {
+  value_.eth_src = mac.to_u64();
+  mask_.eth_src = 0xffffffffffffULL;
+  return *this;
+}
+
+Match& Match::eth_dst(net::MacAddress mac) {
+  value_.eth_dst = mac.to_u64();
+  mask_.eth_dst = 0xffffffffffffULL;
+  return *this;
+}
+
+Match& Match::eth_type(std::uint16_t type) {
+  value_.eth_type = type;
+  mask_.eth_type = 0xffff;
+  return *this;
+}
+
+Match& Match::vlan_vid(std::uint16_t vid) {
+  value_.vlan_vid = vid;
+  mask_.vlan_vid = 0xffff;
+  return *this;
+}
+
+Match& Match::vlan_pcp(std::uint8_t pcp) {
+  value_.vlan_pcp = pcp;
+  mask_.vlan_pcp = 0xff;
+  return *this;
+}
+
+Match& Match::ipv4_src(net::Ipv4Address addr, int prefix_len) {
+  mask_.ipv4_src = prefix_mask32(prefix_len);
+  value_.ipv4_src = addr.value() & mask_.ipv4_src;
+  return *this;
+}
+
+Match& Match::ipv4_dst(net::Ipv4Address addr, int prefix_len) {
+  mask_.ipv4_dst = prefix_mask32(prefix_len);
+  value_.ipv4_dst = addr.value() & mask_.ipv4_dst;
+  return *this;
+}
+
+Match& Match::ipv6_src(const net::Ipv6Address& addr, int prefix_len) {
+  const auto [hi, lo] = net::FlowKey::split_ipv6(addr);
+  const auto [mask_hi, mask_lo] = prefix_mask128(prefix_len);
+  mask_.ipv6_src_hi = mask_hi;
+  mask_.ipv6_src_lo = mask_lo;
+  value_.ipv6_src_hi = hi & mask_hi;
+  value_.ipv6_src_lo = lo & mask_lo;
+  return *this;
+}
+
+Match& Match::ipv6_dst(const net::Ipv6Address& addr, int prefix_len) {
+  const auto [hi, lo] = net::FlowKey::split_ipv6(addr);
+  const auto [mask_hi, mask_lo] = prefix_mask128(prefix_len);
+  mask_.ipv6_dst_hi = mask_hi;
+  mask_.ipv6_dst_lo = mask_lo;
+  value_.ipv6_dst_hi = hi & mask_hi;
+  value_.ipv6_dst_lo = lo & mask_lo;
+  return *this;
+}
+
+Match& Match::ip_proto(std::uint8_t proto) {
+  value_.ip_proto = proto;
+  mask_.ip_proto = 0xff;
+  return *this;
+}
+
+Match& Match::ip_dscp(std::uint8_t dscp) {
+  value_.ip_dscp = dscp;
+  mask_.ip_dscp = 0xff;
+  return *this;
+}
+
+Match& Match::l4_src(std::uint16_t port) {
+  value_.l4_src = port;
+  mask_.l4_src = 0xffff;
+  return *this;
+}
+
+Match& Match::l4_dst(std::uint16_t port) {
+  value_.l4_dst = port;
+  mask_.l4_dst = 0xffff;
+  return *this;
+}
+
+Match& Match::arp_op(std::uint16_t op) {
+  value_.arp_op = op;
+  mask_.arp_op = 0xffff;
+  return *this;
+}
+
+Match& Match::merge(const Match& other) {
+  auto merge_field = [](auto& my_val, auto& my_mask, auto their_val,
+                        auto their_mask) {
+    if (their_mask == 0) return;
+    my_val = (my_val & ~their_mask) | (their_val & their_mask);
+    my_mask |= their_mask;
+  };
+  merge_field(value_.in_port, mask_.in_port, other.value_.in_port,
+              other.mask_.in_port);
+  merge_field(value_.eth_src, mask_.eth_src, other.value_.eth_src,
+              other.mask_.eth_src);
+  merge_field(value_.eth_dst, mask_.eth_dst, other.value_.eth_dst,
+              other.mask_.eth_dst);
+  merge_field(value_.eth_type, mask_.eth_type, other.value_.eth_type,
+              other.mask_.eth_type);
+  merge_field(value_.vlan_vid, mask_.vlan_vid, other.value_.vlan_vid,
+              other.mask_.vlan_vid);
+  merge_field(value_.vlan_pcp, mask_.vlan_pcp, other.value_.vlan_pcp,
+              other.mask_.vlan_pcp);
+  merge_field(value_.ipv4_src, mask_.ipv4_src, other.value_.ipv4_src,
+              other.mask_.ipv4_src);
+  merge_field(value_.ipv4_dst, mask_.ipv4_dst, other.value_.ipv4_dst,
+              other.mask_.ipv4_dst);
+  merge_field(value_.ipv6_src_hi, mask_.ipv6_src_hi, other.value_.ipv6_src_hi,
+              other.mask_.ipv6_src_hi);
+  merge_field(value_.ipv6_src_lo, mask_.ipv6_src_lo, other.value_.ipv6_src_lo,
+              other.mask_.ipv6_src_lo);
+  merge_field(value_.ipv6_dst_hi, mask_.ipv6_dst_hi, other.value_.ipv6_dst_hi,
+              other.mask_.ipv6_dst_hi);
+  merge_field(value_.ipv6_dst_lo, mask_.ipv6_dst_lo, other.value_.ipv6_dst_lo,
+              other.mask_.ipv6_dst_lo);
+  merge_field(value_.ip_proto, mask_.ip_proto, other.value_.ip_proto,
+              other.mask_.ip_proto);
+  merge_field(value_.ip_dscp, mask_.ip_dscp, other.value_.ip_dscp,
+              other.mask_.ip_dscp);
+  merge_field(value_.l4_src, mask_.l4_src, other.value_.l4_src,
+              other.mask_.l4_src);
+  merge_field(value_.l4_dst, mask_.l4_dst, other.value_.l4_dst,
+              other.mask_.l4_dst);
+  merge_field(value_.arp_op, mask_.arp_op, other.value_.arp_op,
+              other.mask_.arp_op);
+  return *this;
+}
+
+bool Match::subsumed_by(const Match& other) const noexcept {
+  // `this` is subsumed iff, for every field, other's mask bits are a subset
+  // of ours and the values agree on other's mask.
+  auto field_ok = [](auto my_val, auto my_mask, auto their_val,
+                     auto their_mask) {
+    return (their_mask & ~my_mask) == 0 &&
+           (my_val & their_mask) == (their_val & their_mask);
+  };
+  return field_ok(value_.in_port, mask_.in_port, other.value_.in_port,
+                  other.mask_.in_port) &&
+         field_ok(value_.eth_src, mask_.eth_src, other.value_.eth_src,
+                  other.mask_.eth_src) &&
+         field_ok(value_.eth_dst, mask_.eth_dst, other.value_.eth_dst,
+                  other.mask_.eth_dst) &&
+         field_ok(value_.eth_type, mask_.eth_type, other.value_.eth_type,
+                  other.mask_.eth_type) &&
+         field_ok(value_.vlan_vid, mask_.vlan_vid, other.value_.vlan_vid,
+                  other.mask_.vlan_vid) &&
+         field_ok(value_.vlan_pcp, mask_.vlan_pcp, other.value_.vlan_pcp,
+                  other.mask_.vlan_pcp) &&
+         field_ok(value_.ipv4_src, mask_.ipv4_src, other.value_.ipv4_src,
+                  other.mask_.ipv4_src) &&
+         field_ok(value_.ipv4_dst, mask_.ipv4_dst, other.value_.ipv4_dst,
+                  other.mask_.ipv4_dst) &&
+         field_ok(value_.ipv6_src_hi, mask_.ipv6_src_hi,
+                  other.value_.ipv6_src_hi, other.mask_.ipv6_src_hi) &&
+         field_ok(value_.ipv6_src_lo, mask_.ipv6_src_lo,
+                  other.value_.ipv6_src_lo, other.mask_.ipv6_src_lo) &&
+         field_ok(value_.ipv6_dst_hi, mask_.ipv6_dst_hi,
+                  other.value_.ipv6_dst_hi, other.mask_.ipv6_dst_hi) &&
+         field_ok(value_.ipv6_dst_lo, mask_.ipv6_dst_lo,
+                  other.value_.ipv6_dst_lo, other.mask_.ipv6_dst_lo) &&
+         field_ok(value_.ip_proto, mask_.ip_proto, other.value_.ip_proto,
+                  other.mask_.ip_proto) &&
+         field_ok(value_.ip_dscp, mask_.ip_dscp, other.value_.ip_dscp,
+                  other.mask_.ip_dscp) &&
+         field_ok(value_.l4_src, mask_.l4_src, other.value_.l4_src,
+                  other.mask_.l4_src) &&
+         field_ok(value_.l4_dst, mask_.l4_dst, other.value_.l4_dst,
+                  other.mask_.l4_dst) &&
+         field_ok(value_.arp_op, mask_.arp_op, other.value_.arp_op,
+                  other.mask_.arp_op);
+}
+
+int Match::field_count() const noexcept {
+  int n = 0;
+  n += mask_.in_port != 0;
+  n += mask_.eth_src != 0;
+  n += mask_.eth_dst != 0;
+  n += mask_.eth_type != 0;
+  n += mask_.vlan_vid != 0;
+  n += mask_.vlan_pcp != 0;
+  n += mask_.ipv4_src != 0;
+  n += mask_.ipv4_dst != 0;
+  n += (mask_.ipv6_src_hi | mask_.ipv6_src_lo) != 0;
+  n += (mask_.ipv6_dst_hi | mask_.ipv6_dst_lo) != 0;
+  n += mask_.ip_proto != 0;
+  n += mask_.ip_dscp != 0;
+  n += mask_.l4_src != 0;
+  n += mask_.l4_dst != 0;
+  n += mask_.arp_op != 0;
+  return n;
+}
+
+void Match::encode(util::ByteWriter& w) const {
+  // Layout: u16 field-count, then per field: u8 field-id, u8 has_mask,
+  // fixed-width value [, mask]. Only constrained fields are emitted.
+  const std::size_t count_offset = w.size();
+  w.u16(0);
+  std::uint16_t count = 0;
+
+  auto emit32 = [&](Field f, std::uint32_t v, std::uint32_t m) {
+    if (m == 0) return;
+    const bool full = m == ~std::uint32_t{0};
+    w.u8(static_cast<std::uint8_t>(f));
+    w.u8(full ? 0 : 1);
+    w.u32(v);
+    if (!full) w.u32(m);
+    ++count;
+  };
+  auto emit48 = [&](Field f, std::uint64_t v, std::uint64_t m) {
+    if (m == 0) return;
+    const bool full = m == 0xffffffffffffULL;
+    w.u8(static_cast<std::uint8_t>(f));
+    w.u8(full ? 0 : 1);
+    w.u16(static_cast<std::uint16_t>(v >> 32));
+    w.u32(static_cast<std::uint32_t>(v));
+    if (!full) {
+      w.u16(static_cast<std::uint16_t>(m >> 32));
+      w.u32(static_cast<std::uint32_t>(m));
+    }
+    ++count;
+  };
+  auto emit16 = [&](Field f, std::uint16_t v, std::uint16_t m) {
+    if (m == 0) return;
+    const bool full = m == 0xffff;
+    w.u8(static_cast<std::uint8_t>(f));
+    w.u8(full ? 0 : 1);
+    w.u16(v);
+    if (!full) w.u16(m);
+    ++count;
+  };
+  auto emit128 = [&](Field f, std::uint64_t v_hi, std::uint64_t v_lo,
+                     std::uint64_t m_hi, std::uint64_t m_lo) {
+    if ((m_hi | m_lo) == 0) return;
+    const bool full = m_hi == ~std::uint64_t{0} && m_lo == ~std::uint64_t{0};
+    w.u8(static_cast<std::uint8_t>(f));
+    w.u8(full ? 0 : 1);
+    w.u64(v_hi);
+    w.u64(v_lo);
+    if (!full) {
+      w.u64(m_hi);
+      w.u64(m_lo);
+    }
+    ++count;
+  };
+  auto emit8 = [&](Field f, std::uint8_t v, std::uint8_t m) {
+    if (m == 0) return;
+    const bool full = m == 0xff;
+    w.u8(static_cast<std::uint8_t>(f));
+    w.u8(full ? 0 : 1);
+    w.u8(v);
+    if (!full) w.u8(m);
+    ++count;
+  };
+
+  emit32(Field::InPort, value_.in_port, mask_.in_port);
+  emit48(Field::EthSrc, value_.eth_src, mask_.eth_src);
+  emit48(Field::EthDst, value_.eth_dst, mask_.eth_dst);
+  emit16(Field::EthType, value_.eth_type, mask_.eth_type);
+  emit16(Field::VlanVid, value_.vlan_vid, mask_.vlan_vid);
+  emit8(Field::VlanPcp, value_.vlan_pcp, mask_.vlan_pcp);
+  emit32(Field::Ipv4Src, value_.ipv4_src, mask_.ipv4_src);
+  emit32(Field::Ipv4Dst, value_.ipv4_dst, mask_.ipv4_dst);
+  emit128(Field::Ipv6Src, value_.ipv6_src_hi, value_.ipv6_src_lo,
+          mask_.ipv6_src_hi, mask_.ipv6_src_lo);
+  emit128(Field::Ipv6Dst, value_.ipv6_dst_hi, value_.ipv6_dst_lo,
+          mask_.ipv6_dst_hi, mask_.ipv6_dst_lo);
+  emit8(Field::IpProto, value_.ip_proto, mask_.ip_proto);
+  emit8(Field::IpDscp, value_.ip_dscp, mask_.ip_dscp);
+  emit16(Field::L4Src, value_.l4_src, mask_.l4_src);
+  emit16(Field::L4Dst, value_.l4_dst, mask_.l4_dst);
+  emit16(Field::ArpOp, value_.arp_op, mask_.arp_op);
+
+  w.patch_u16(count_offset, count);
+}
+
+util::Result<Match> Match::decode(util::ByteReader& r) {
+  Match m;
+  const std::uint16_t count = r.u16();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const auto field = static_cast<Field>(r.u8());
+    const bool has_mask = r.u8() != 0;
+    switch (field) {
+      case Field::InPort: {
+        m.value_.in_port = r.u32();
+        m.mask_.in_port = has_mask ? r.u32() : ~std::uint32_t{0};
+        break;
+      }
+      case Field::EthSrc:
+      case Field::EthDst: {
+        std::uint64_t v = (std::uint64_t{r.u16()} << 32) | r.u32();
+        std::uint64_t mk =
+            has_mask ? (std::uint64_t{r.u16()} << 32) | r.u32() : 0xffffffffffffULL;
+        if (field == Field::EthSrc) {
+          m.value_.eth_src = v;
+          m.mask_.eth_src = mk;
+        } else {
+          m.value_.eth_dst = v;
+          m.mask_.eth_dst = mk;
+        }
+        break;
+      }
+      case Field::EthType: {
+        m.value_.eth_type = r.u16();
+        m.mask_.eth_type = has_mask ? r.u16() : 0xffff;
+        break;
+      }
+      case Field::VlanVid: {
+        m.value_.vlan_vid = r.u16();
+        m.mask_.vlan_vid = has_mask ? r.u16() : 0xffff;
+        break;
+      }
+      case Field::VlanPcp: {
+        m.value_.vlan_pcp = r.u8();
+        m.mask_.vlan_pcp = has_mask ? r.u8() : 0xff;
+        break;
+      }
+      case Field::Ipv4Src: {
+        m.value_.ipv4_src = r.u32();
+        m.mask_.ipv4_src = has_mask ? r.u32() : ~std::uint32_t{0};
+        break;
+      }
+      case Field::Ipv4Dst: {
+        m.value_.ipv4_dst = r.u32();
+        m.mask_.ipv4_dst = has_mask ? r.u32() : ~std::uint32_t{0};
+        break;
+      }
+      case Field::IpProto: {
+        m.value_.ip_proto = r.u8();
+        m.mask_.ip_proto = has_mask ? r.u8() : 0xff;
+        break;
+      }
+      case Field::IpDscp: {
+        m.value_.ip_dscp = r.u8();
+        m.mask_.ip_dscp = has_mask ? r.u8() : 0xff;
+        break;
+      }
+      case Field::L4Src: {
+        m.value_.l4_src = r.u16();
+        m.mask_.l4_src = has_mask ? r.u16() : 0xffff;
+        break;
+      }
+      case Field::L4Dst: {
+        m.value_.l4_dst = r.u16();
+        m.mask_.l4_dst = has_mask ? r.u16() : 0xffff;
+        break;
+      }
+      case Field::ArpOp: {
+        m.value_.arp_op = r.u16();
+        m.mask_.arp_op = has_mask ? r.u16() : 0xffff;
+        break;
+      }
+      case Field::Ipv6Src:
+      case Field::Ipv6Dst: {
+        const std::uint64_t v_hi = r.u64();
+        const std::uint64_t v_lo = r.u64();
+        const std::uint64_t m_hi = has_mask ? r.u64() : ~std::uint64_t{0};
+        const std::uint64_t m_lo = has_mask ? r.u64() : ~std::uint64_t{0};
+        if (field == Field::Ipv6Src) {
+          m.value_.ipv6_src_hi = v_hi;
+          m.value_.ipv6_src_lo = v_lo;
+          m.mask_.ipv6_src_hi = m_hi;
+          m.mask_.ipv6_src_lo = m_lo;
+        } else {
+          m.value_.ipv6_dst_hi = v_hi;
+          m.value_.ipv6_dst_lo = v_lo;
+          m.mask_.ipv6_dst_hi = m_hi;
+          m.mask_.ipv6_dst_lo = m_lo;
+        }
+        break;
+      }
+      default:
+        return util::make_error<Match>(
+            util::format("unknown match field %u", static_cast<unsigned>(field)));
+    }
+    if (!r.ok()) return util::make_error<Match>("truncated match");
+  }
+  // Normalize: values must not exceed their masks.
+  m.value_ = m.mask_.apply(m.value_);
+  return m;
+}
+
+std::string Match::to_string() const {
+  std::string out = "{";
+  auto add = [&](const std::string& s) {
+    if (out.size() > 1) out += ", ";
+    out += s;
+  };
+  if (mask_.in_port) add(util::format("in_port=%u", value_.in_port));
+  if (mask_.eth_src)
+    add("eth_src=" + net::MacAddress::from_u64(value_.eth_src).to_string());
+  if (mask_.eth_dst)
+    add("eth_dst=" + net::MacAddress::from_u64(value_.eth_dst).to_string());
+  if (mask_.eth_type) add(util::format("eth_type=0x%04x", value_.eth_type));
+  if (mask_.vlan_vid) add(util::format("vlan=%u", value_.vlan_vid));
+  if (mask_.ipv4_src)
+    add(util::format("ipv4_src=%s/%d",
+                     net::Ipv4Address(value_.ipv4_src).to_string().c_str(),
+                     std::popcount(mask_.ipv4_src)));
+  if (mask_.ipv4_dst)
+    add(util::format("ipv4_dst=%s/%d",
+                     net::Ipv4Address(value_.ipv4_dst).to_string().c_str(),
+                     std::popcount(mask_.ipv4_dst)));
+  if (mask_.ipv6_src_hi | mask_.ipv6_src_lo)
+    add(util::format("ipv6_src=%016llx%016llx",
+                     static_cast<unsigned long long>(value_.ipv6_src_hi),
+                     static_cast<unsigned long long>(value_.ipv6_src_lo)));
+  if (mask_.ipv6_dst_hi | mask_.ipv6_dst_lo)
+    add(util::format("ipv6_dst=%016llx%016llx",
+                     static_cast<unsigned long long>(value_.ipv6_dst_hi),
+                     static_cast<unsigned long long>(value_.ipv6_dst_lo)));
+  if (mask_.ip_proto) add(util::format("proto=%u", value_.ip_proto));
+  if (mask_.ip_dscp) add(util::format("dscp=%u", value_.ip_dscp));
+  if (mask_.l4_src) add(util::format("l4_src=%u", value_.l4_src));
+  if (mask_.l4_dst) add(util::format("l4_dst=%u", value_.l4_dst));
+  if (mask_.arp_op) add(util::format("arp_op=%u", value_.arp_op));
+  out += "}";
+  return out;
+}
+
+}  // namespace zen::openflow

@@ -1,0 +1,90 @@
+// Match: a (value, mask) pair over the canonical FlowKey, with a TLV wire
+// encoding (OXM-style: field id, has-mask bit, value [, mask]).
+//
+// Matches are built through fluent setters:
+//   Match m = Match().in_port(1).eth_type(EtherType::kIpv4)
+//                    .ipv4_dst(addr, 24);
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/addr.h"
+#include "net/flow_key.h"
+#include "util/buffer.h"
+#include "util/result.h"
+
+namespace zen::openflow {
+
+// Field ids used in the TLV encoding.
+enum class Field : std::uint8_t {
+  InPort = 0,
+  EthSrc = 1,
+  EthDst = 2,
+  EthType = 3,
+  VlanVid = 4,
+  VlanPcp = 5,
+  Ipv4Src = 6,
+  Ipv4Dst = 7,
+  IpProto = 8,
+  IpDscp = 9,
+  L4Src = 10,
+  L4Dst = 11,
+  ArpOp = 12,
+  Ipv6Src = 13,
+  Ipv6Dst = 14,
+};
+
+class Match {
+ public:
+  Match() = default;
+
+  // ---- fluent setters ----
+  Match& in_port(std::uint32_t port);
+  Match& eth_src(net::MacAddress mac);
+  Match& eth_dst(net::MacAddress mac);
+  Match& eth_type(std::uint16_t type);
+  Match& vlan_vid(std::uint16_t vid);
+  Match& vlan_pcp(std::uint8_t pcp);
+  Match& ipv4_src(net::Ipv4Address addr, int prefix_len = 32);
+  Match& ipv4_dst(net::Ipv4Address addr, int prefix_len = 32);
+  Match& ipv6_src(const net::Ipv6Address& addr, int prefix_len = 128);
+  Match& ipv6_dst(const net::Ipv6Address& addr, int prefix_len = 128);
+  Match& ip_proto(std::uint8_t proto);
+  Match& ip_dscp(std::uint8_t dscp);
+  Match& l4_src(std::uint16_t port);
+  Match& l4_dst(std::uint16_t port);
+  Match& arp_op(std::uint16_t op);
+
+  // Copies every field `other` constrains into this match (AND-composition
+  // of constraints; other's fields win on overlap).
+  Match& merge(const Match& other);
+
+  // True if `key` satisfies every masked field.
+  bool matches(const net::FlowKey& key) const noexcept {
+    return mask_.apply(key) == value_;
+  }
+
+  // True if this match is at least as specific as `other` on every field
+  // `other` constrains (i.e. this ⊆ other as packet sets, field-wise).
+  bool subsumed_by(const Match& other) const noexcept;
+
+  const net::FlowKey& value() const noexcept { return value_; }
+  const net::FlowMask& mask() const noexcept { return mask_; }
+
+  // Number of constrained fields (used as a specificity heuristic).
+  int field_count() const noexcept;
+
+  void encode(util::ByteWriter& w) const;
+  static util::Result<Match> decode(util::ByteReader& r);
+
+  std::string to_string() const;
+
+  friend bool operator==(const Match&, const Match&) = default;
+
+ private:
+  net::FlowKey value_;   // pre-masked values
+  net::FlowMask mask_;   // all-zero fields are wildcards
+};
+
+}  // namespace zen::openflow

@@ -1,0 +1,463 @@
+#include "openflow/messages.h"
+
+#include "util/strings.h"
+
+namespace zen::openflow {
+
+namespace {
+
+void encode_bytes_field(const Bytes& data, util::ByteWriter& w) {
+  w.u32(static_cast<std::uint32_t>(data.size()));
+  w.bytes(data);
+}
+
+Bytes decode_bytes_field(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > r.remaining()) {
+    r.skip(SIZE_MAX / 2);  // poison
+    return {};
+  }
+  Bytes out(n);
+  r.bytes(out);
+  return out;
+}
+
+void encode_port_desc(const PortDesc& p, util::ByteWriter& w) {
+  w.u32(p.port_no);
+  w.bytes(p.hw_addr.octets());
+  w.fixed_string(p.name, 16);
+  w.u8(p.link_up ? 1 : 0);
+  w.u32(p.curr_speed_mbps);
+}
+
+PortDesc decode_port_desc(util::ByteReader& r) {
+  PortDesc p;
+  p.port_no = r.u32();
+  std::array<std::uint8_t, 6> mac{};
+  r.bytes(mac);
+  p.hw_addr = net::MacAddress(mac);
+  p.name = r.fixed_string(16);
+  p.link_up = r.u8() != 0;
+  p.curr_speed_mbps = r.u32();
+  return p;
+}
+
+}  // namespace
+
+MsgType type_of(const Message& msg) noexcept {
+  return std::visit(
+      [](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) return MsgType::Hello;
+        else if constexpr (std::is_same_v<T, ErrorMsg>) return MsgType::Error;
+        else if constexpr (std::is_same_v<T, EchoRequest>) return MsgType::EchoRequest;
+        else if constexpr (std::is_same_v<T, EchoReply>) return MsgType::EchoReply;
+        else if constexpr (std::is_same_v<T, FeaturesRequest>) return MsgType::FeaturesRequest;
+        else if constexpr (std::is_same_v<T, FeaturesReply>) return MsgType::FeaturesReply;
+        else if constexpr (std::is_same_v<T, FlowMod>) return MsgType::FlowMod;
+        else if constexpr (std::is_same_v<T, PacketIn>) return MsgType::PacketIn;
+        else if constexpr (std::is_same_v<T, PacketOut>) return MsgType::PacketOut;
+        else if constexpr (std::is_same_v<T, FlowRemoved>) return MsgType::FlowRemoved;
+        else if constexpr (std::is_same_v<T, PortStatus>) return MsgType::PortStatus;
+        else if constexpr (std::is_same_v<T, GroupMod>) return MsgType::GroupMod;
+        else if constexpr (std::is_same_v<T, MeterMod>) return MsgType::MeterMod;
+        else if constexpr (std::is_same_v<T, BarrierRequest>) return MsgType::BarrierRequest;
+        else if constexpr (std::is_same_v<T, BarrierReply>) return MsgType::BarrierReply;
+        else if constexpr (std::is_same_v<T, FlowStatsRequest>) return MsgType::FlowStatsRequest;
+        else if constexpr (std::is_same_v<T, FlowStatsReply>) return MsgType::FlowStatsReply;
+        else if constexpr (std::is_same_v<T, PortStatsRequest>) return MsgType::PortStatsRequest;
+        else if constexpr (std::is_same_v<T, PortStatsReply>) return MsgType::PortStatsReply;
+        else if constexpr (std::is_same_v<T, TableStatsRequest>) return MsgType::TableStatsRequest;
+        else if constexpr (std::is_same_v<T, TableStatsReply>) return MsgType::TableStatsReply;
+        else if constexpr (std::is_same_v<T, RoleRequest>) return MsgType::RoleRequest;
+        else return MsgType::RoleReply;
+      },
+      msg);
+}
+
+std::string type_name(MsgType type) {
+  switch (type) {
+    case MsgType::Hello: return "Hello";
+    case MsgType::Error: return "Error";
+    case MsgType::EchoRequest: return "EchoRequest";
+    case MsgType::EchoReply: return "EchoReply";
+    case MsgType::FeaturesRequest: return "FeaturesRequest";
+    case MsgType::FeaturesReply: return "FeaturesReply";
+    case MsgType::PacketIn: return "PacketIn";
+    case MsgType::FlowRemoved: return "FlowRemoved";
+    case MsgType::PortStatus: return "PortStatus";
+    case MsgType::PacketOut: return "PacketOut";
+    case MsgType::FlowMod: return "FlowMod";
+    case MsgType::GroupMod: return "GroupMod";
+    case MsgType::PortMod: return "PortMod";
+    case MsgType::MeterMod: return "MeterMod";
+    case MsgType::BarrierRequest: return "BarrierRequest";
+    case MsgType::BarrierReply: return "BarrierReply";
+    case MsgType::FlowStatsRequest: return "FlowStatsRequest";
+    case MsgType::FlowStatsReply: return "FlowStatsReply";
+    case MsgType::PortStatsRequest: return "PortStatsRequest";
+    case MsgType::PortStatsReply: return "PortStatsReply";
+    case MsgType::TableStatsRequest: return "TableStatsRequest";
+    case MsgType::TableStatsReply: return "TableStatsReply";
+    case MsgType::RoleRequest: return "RoleRequest";
+    case MsgType::RoleReply: return "RoleReply";
+  }
+  return util::format("Unknown(%u)", static_cast<unsigned>(type));
+}
+
+void encode_body(const Message& msg, util::ByteWriter& w) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          w.u8(m.version);
+        } else if constexpr (std::is_same_v<T, ErrorMsg>) {
+          w.u16(static_cast<std::uint16_t>(m.type));
+          w.u16(m.code);
+          encode_bytes_field(m.data, w);
+        } else if constexpr (std::is_same_v<T, EchoRequest> ||
+                             std::is_same_v<T, EchoReply>) {
+          encode_bytes_field(m.data, w);
+        } else if constexpr (std::is_same_v<T, FeaturesRequest> ||
+                             std::is_same_v<T, BarrierRequest> ||
+                             std::is_same_v<T, BarrierReply> ||
+                             std::is_same_v<T, TableStatsRequest>) {
+          // empty body
+        } else if constexpr (std::is_same_v<T, FeaturesReply>) {
+          w.u64(m.datapath_id);
+          w.u32(m.n_buffers);
+          w.u8(m.n_tables);
+          w.u16(static_cast<std::uint16_t>(m.ports.size()));
+          for (const auto& p : m.ports) encode_port_desc(p, w);
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          w.u64(m.cookie);
+          w.u8(m.table_id);
+          w.u8(static_cast<std::uint8_t>(m.command));
+          w.u16(m.idle_timeout);
+          w.u16(m.hard_timeout);
+          w.u16(m.priority);
+          w.u32(m.buffer_id);
+          w.u32(m.out_port);
+          w.u16(m.flags);
+          m.match.encode(w);
+          encode_instructions(m.instructions, w);
+        } else if constexpr (std::is_same_v<T, PacketIn>) {
+          w.u32(m.buffer_id);
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          w.u8(m.table_id);
+          w.u64(m.cookie);
+          w.u32(m.in_port);
+          w.u16(m.total_len);
+          encode_bytes_field(m.data, w);
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          w.u32(m.buffer_id);
+          w.u32(m.in_port);
+          encode_actions(m.actions, w);
+          encode_bytes_field(m.data, w);
+        } else if constexpr (std::is_same_v<T, FlowRemoved>) {
+          w.u64(m.cookie);
+          w.u16(m.priority);
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          w.u8(m.table_id);
+          w.u64(m.packet_count);
+          w.u64(m.byte_count);
+          m.match.encode(w);
+        } else if constexpr (std::is_same_v<T, PortStatus>) {
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          encode_port_desc(m.desc, w);
+        } else if constexpr (std::is_same_v<T, GroupMod>) {
+          w.u8(static_cast<std::uint8_t>(m.command));
+          w.u8(static_cast<std::uint8_t>(m.type));
+          w.u32(m.group_id);
+          w.u16(static_cast<std::uint16_t>(m.buckets.size()));
+          for (const auto& b : m.buckets) {
+            w.u16(b.weight);
+            w.u32(b.watch_port);
+            encode_actions(b.actions, w);
+          }
+        } else if constexpr (std::is_same_v<T, MeterMod>) {
+          w.u8(static_cast<std::uint8_t>(m.command));
+          w.u32(m.meter_id);
+          w.u64(m.rate_kbps);
+          w.u64(m.burst_kbits);
+        } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
+          w.u8(m.table_id);
+          m.match.encode(w);
+        } else if constexpr (std::is_same_v<T, FlowStatsReply>) {
+          w.u16(static_cast<std::uint16_t>(m.entries.size()));
+          for (const auto& e : m.entries) {
+            w.u8(e.table_id);
+            w.u16(e.priority);
+            w.u64(e.cookie);
+            w.u64(e.packet_count);
+            w.u64(e.byte_count);
+            w.u32(e.duration_sec);
+            e.match.encode(w);
+            encode_instructions(e.instructions, w);
+          }
+        } else if constexpr (std::is_same_v<T, PortStatsRequest>) {
+          w.u32(m.port_no);
+        } else if constexpr (std::is_same_v<T, PortStatsReply>) {
+          w.u16(static_cast<std::uint16_t>(m.entries.size()));
+          for (const auto& e : m.entries) {
+            w.u32(e.port_no);
+            w.u64(e.rx_packets);
+            w.u64(e.tx_packets);
+            w.u64(e.rx_bytes);
+            w.u64(e.tx_bytes);
+            w.u64(e.rx_dropped);
+            w.u64(e.tx_dropped);
+          }
+        } else if constexpr (std::is_same_v<T, RoleRequest>) {
+          w.u8(static_cast<std::uint8_t>(m.role));
+          w.u64(m.generation_id);
+        } else if constexpr (std::is_same_v<T, RoleReply>) {
+          w.u8(static_cast<std::uint8_t>(m.role));
+          w.u64(m.generation_id);
+          w.u8(m.accepted ? 1 : 0);
+        } else if constexpr (std::is_same_v<T, TableStatsReply>) {
+          w.u16(static_cast<std::uint16_t>(m.entries.size()));
+          for (const auto& e : m.entries) {
+            w.u8(e.table_id);
+            w.u32(e.active_count);
+            w.u64(e.lookup_count);
+            w.u64(e.matched_count);
+          }
+        }
+      },
+      msg);
+}
+
+util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
+  auto fail = [&](const char* what) {
+    return util::make_error<Message>(
+        util::format("%s in %s", what, type_name(type).c_str()));
+  };
+
+  switch (type) {
+    case MsgType::Hello: {
+      Hello m;
+      m.version = r.u8();
+      if (!r.ok()) return fail("truncated");
+      return Message{m};
+    }
+    case MsgType::Error: {
+      ErrorMsg m;
+      m.type = static_cast<ErrorType>(r.u16());
+      m.code = r.u16();
+      m.data = decode_bytes_field(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::EchoRequest: {
+      EchoRequest m;
+      m.data = decode_bytes_field(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::EchoReply: {
+      EchoReply m;
+      m.data = decode_bytes_field(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::FeaturesRequest:
+      return Message{FeaturesRequest{}};
+    case MsgType::FeaturesReply: {
+      FeaturesReply m;
+      m.datapath_id = r.u64();
+      m.n_buffers = r.u32();
+      m.n_tables = r.u8();
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i)
+        m.ports.push_back(decode_port_desc(r));
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::FlowMod: {
+      FlowMod m;
+      m.cookie = r.u64();
+      m.table_id = r.u8();
+      m.command = static_cast<FlowModCommand>(r.u8());
+      m.idle_timeout = r.u16();
+      m.hard_timeout = r.u16();
+      m.priority = r.u16();
+      m.buffer_id = r.u32();
+      m.out_port = r.u32();
+      m.flags = r.u16();
+      auto match = Match::decode(r);
+      if (!match.ok()) return util::make_error<Message>(match.error());
+      m.match = std::move(match).value();
+      auto ins = decode_instructions(r);
+      if (!ins.ok()) return util::make_error<Message>(ins.error());
+      m.instructions = std::move(ins).value();
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::PacketIn: {
+      PacketIn m;
+      m.buffer_id = r.u32();
+      m.reason = static_cast<PacketInReason>(r.u8());
+      m.table_id = r.u8();
+      m.cookie = r.u64();
+      m.in_port = r.u32();
+      m.total_len = r.u16();
+      m.data = decode_bytes_field(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::PacketOut: {
+      PacketOut m;
+      m.buffer_id = r.u32();
+      m.in_port = r.u32();
+      auto actions = decode_actions(r);
+      if (!actions.ok()) return util::make_error<Message>(actions.error());
+      m.actions = std::move(actions).value();
+      m.data = decode_bytes_field(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::FlowRemoved: {
+      FlowRemoved m;
+      m.cookie = r.u64();
+      m.priority = r.u16();
+      m.reason = static_cast<FlowRemovedReason>(r.u8());
+      m.table_id = r.u8();
+      m.packet_count = r.u64();
+      m.byte_count = r.u64();
+      auto match = Match::decode(r);
+      if (!match.ok()) return util::make_error<Message>(match.error());
+      m.match = std::move(match).value();
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::PortStatus: {
+      PortStatus m;
+      m.reason = static_cast<PortReason>(r.u8());
+      m.desc = decode_port_desc(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::GroupMod: {
+      GroupMod m;
+      m.command = static_cast<GroupModCommand>(r.u8());
+      m.type = static_cast<GroupType>(r.u8());
+      m.group_id = r.u32();
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        Bucket b;
+        b.weight = r.u16();
+        b.watch_port = r.u32();
+        auto actions = decode_actions(r);
+        if (!actions.ok()) return util::make_error<Message>(actions.error());
+        b.actions = std::move(actions).value();
+        m.buckets.push_back(std::move(b));
+      }
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::MeterMod: {
+      MeterMod m;
+      m.command = static_cast<MeterModCommand>(r.u8());
+      m.meter_id = r.u32();
+      m.rate_kbps = r.u64();
+      m.burst_kbits = r.u64();
+      if (!r.ok()) return fail("truncated");
+      return Message{m};
+    }
+    case MsgType::BarrierRequest:
+      return Message{BarrierRequest{}};
+    case MsgType::BarrierReply:
+      return Message{BarrierReply{}};
+    case MsgType::FlowStatsRequest: {
+      FlowStatsRequest m;
+      m.table_id = r.u8();
+      auto match = Match::decode(r);
+      if (!match.ok()) return util::make_error<Message>(match.error());
+      m.match = std::move(match).value();
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::FlowStatsReply: {
+      FlowStatsReply m;
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        FlowStatsEntry e;
+        e.table_id = r.u8();
+        e.priority = r.u16();
+        e.cookie = r.u64();
+        e.packet_count = r.u64();
+        e.byte_count = r.u64();
+        e.duration_sec = r.u32();
+        auto match = Match::decode(r);
+        if (!match.ok()) return util::make_error<Message>(match.error());
+        e.match = std::move(match).value();
+        auto ins = decode_instructions(r);
+        if (!ins.ok()) return util::make_error<Message>(ins.error());
+        e.instructions = std::move(ins).value();
+        m.entries.push_back(std::move(e));
+      }
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::PortStatsRequest: {
+      PortStatsRequest m;
+      m.port_no = r.u32();
+      if (!r.ok()) return fail("truncated");
+      return Message{m};
+    }
+    case MsgType::PortStatsReply: {
+      PortStatsReply m;
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        PortStatsEntry e;
+        e.port_no = r.u32();
+        e.rx_packets = r.u64();
+        e.tx_packets = r.u64();
+        e.rx_bytes = r.u64();
+        e.tx_bytes = r.u64();
+        e.rx_dropped = r.u64();
+        e.tx_dropped = r.u64();
+        m.entries.push_back(e);
+      }
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::TableStatsRequest:
+      return Message{TableStatsRequest{}};
+    case MsgType::RoleRequest: {
+      RoleRequest m;
+      m.role = static_cast<ControllerRole>(r.u8());
+      m.generation_id = r.u64();
+      if (!r.ok()) return fail("truncated");
+      return Message{m};
+    }
+    case MsgType::RoleReply: {
+      RoleReply m;
+      m.role = static_cast<ControllerRole>(r.u8());
+      m.generation_id = r.u64();
+      m.accepted = r.u8() != 0;
+      if (!r.ok()) return fail("truncated");
+      return Message{m};
+    }
+    case MsgType::TableStatsReply: {
+      TableStatsReply m;
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) {
+        TableStatsEntry e;
+        e.table_id = r.u8();
+        e.active_count = r.u32();
+        e.lookup_count = r.u64();
+        e.matched_count = r.u64();
+        m.entries.push_back(e);
+      }
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    default:
+      return util::make_error<Message>(
+          util::format("unsupported message type %u", static_cast<unsigned>(type)));
+  }
+}
+
+}  // namespace zen::openflow

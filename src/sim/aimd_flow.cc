@@ -1,0 +1,161 @@
+#include "sim/aimd_flow.h"
+
+#include <algorithm>
+
+namespace zen::sim {
+
+AimdFlow::AimdFlow(SimNetwork& net, topo::NodeId src_host,
+                   topo::NodeId dst_host, Options options)
+    : net_(net),
+      sender_(net.host_at(src_host)),
+      receiver_(net.host_at(dst_host)),
+      options_(options),
+      cwnd_(options.initial_cwnd),
+      ssthresh_(options.initial_ssthresh) {
+  // Round the transfer up to whole segments.
+  const auto seg = static_cast<std::uint64_t>(options_.segment_bytes);
+  options_.total_bytes = (options_.total_bytes + seg - 1) / seg * seg;
+}
+
+AimdFlow::~AimdFlow() {
+  receiver_.clear_tcp_sink(options_.dst_port);
+  sender_.clear_tcp_sink(options_.src_port);
+}
+
+void AimdFlow::start() {
+  if (running_) return;
+  running_ = true;
+  started_at_ = net_.now();
+  // MAC resolution out of band: the transport study is about congestion,
+  // not ARP.
+  sender_.add_arp_entry(receiver_.ip(), receiver_.mac());
+  receiver_.add_arp_entry(sender_.ip(), sender_.mac());
+
+  // Receiver: cumulative-ACK responder with out-of-order buffering. Data
+  // at the expected byte advances the edge (draining any buffered
+  // segments); data beyond it is buffered; either way the current edge is
+  // ACKed (a non-advancing ACK is the sender's duplicate-ACK signal).
+  receiver_.set_tcp_sink(
+      options_.dst_port,
+      [this](const net::ParsedPacket& p, std::span<const std::uint8_t> payload) {
+        const auto seg = static_cast<std::uint64_t>(options_.segment_bytes);
+        if (p.tcp->seq == receiver_next_) {
+          receiver_next_ += payload.size();
+          // Drain contiguously buffered segments.
+          while (!receiver_ooo_.empty() &&
+                 *receiver_ooo_.begin() == receiver_next_) {
+            receiver_ooo_.erase(receiver_ooo_.begin());
+            receiver_next_ += seg;
+          }
+        } else if (p.tcp->seq > receiver_next_) {
+          receiver_ooo_.insert(p.tcp->seq);
+        }
+        net::TcpSpec ack;
+        ack.src_port = options_.dst_port;
+        ack.dst_port = options_.src_port;
+        ack.ack = static_cast<std::uint32_t>(receiver_next_);
+        ack.flags = net::TcpHeader::kAck;
+        receiver_.send_tcp(sender_.ip(), ack, 0);
+      });
+
+  // Sender: ACK processing.
+  sender_.set_tcp_sink(
+      options_.src_port,
+      [this](const net::ParsedPacket& p, std::span<const std::uint8_t>) {
+        if (p.tcp->flags & net::TcpHeader::kAck) on_ack(p.tcp->ack);
+      });
+
+  arm_timer();
+  pump();
+}
+
+void AimdFlow::send_segment(std::uint64_t seq, bool retransmission) {
+  net::TcpSpec spec;
+  spec.src_port = options_.src_port;
+  spec.dst_port = options_.dst_port;
+  spec.seq = static_cast<std::uint32_t>(seq);
+  spec.flags = net::TcpHeader::kPsh;
+  sender_.send_tcp(receiver_.ip(), spec, options_.segment_bytes);
+  ++stats_.segments_sent;
+  if (retransmission) ++stats_.retransmits;
+}
+
+void AimdFlow::pump() {
+  if (complete()) return;
+  const auto seg = static_cast<std::uint64_t>(options_.segment_bytes);
+  const auto window_bytes =
+      static_cast<std::uint64_t>(cwnd_ * static_cast<double>(seg));
+  while (next_seq_ < options_.total_bytes &&
+         next_seq_ - acked_ + seg <= std::max<std::uint64_t>(window_bytes, seg)) {
+    send_segment(next_seq_, false);
+    next_seq_ += seg;
+  }
+  stats_.cwnd = cwnd_;
+  stats_.max_cwnd = std::max(stats_.max_cwnd, cwnd_);
+}
+
+void AimdFlow::on_ack(std::uint64_t ack) {
+  if (complete()) return;
+  if (ack > acked_) {
+    // New data acknowledged.
+    acked_ = ack;
+    stats_.bytes_acked = acked_;
+    dup_acks_ = 0;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+    timer_epoch_++;  // fresh progress: restart the timer
+    arm_timer();
+    if (acked_ >= options_.total_bytes) {
+      stats_.completed_at = net_.now();
+      stats_.cwnd = cwnd_;
+      return;
+    }
+    pump();
+  } else if (ack == acked_) {
+    // Duplicate ACK: the segment at `acked_` was lost or reordered.
+    if (++dup_acks_ == 3) {
+      ++stats_.fast_retransmits;
+      ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+      cwnd_ = ssthresh_;  // multiplicative decrease
+      // The receiver buffers out-of-order data, so repairing the hole at
+      // the ack edge is enough (SACK-like single retransmission).
+      send_segment(acked_, true);
+      dup_acks_ = 0;
+    }
+  }
+}
+
+void AimdFlow::arm_timer() {
+  const std::uint64_t epoch = timer_epoch_;
+  net_.events().schedule_in(std::max(options_.rto_s, options_.min_rto_s),
+                            [this, epoch] {
+                              if (epoch == timer_epoch_) on_timeout();
+                            });
+}
+
+void AimdFlow::on_timeout() {
+  if (complete() || acked_ >= options_.total_bytes) return;
+  ++stats_.timeouts;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = options_.initial_cwnd;  // back to slow start
+  dup_acks_ = 0;
+  // Go-back-N from the ack edge.
+  next_seq_ = acked_;
+  send_segment(acked_, true);
+  next_seq_ += options_.segment_bytes;
+  timer_epoch_++;
+  arm_timer();
+  pump();
+}
+
+double AimdFlow::throughput_bps() const noexcept {
+  const double end = complete() ? stats_.completed_at : net_.now();
+  const double elapsed = end - started_at_;
+  if (elapsed <= 0) return 0;
+  return static_cast<double>(stats_.bytes_acked) * 8.0 / elapsed;
+}
+
+}  // namespace zen::sim

@@ -1,0 +1,95 @@
+// AimdFlow: a minimal window-based AIMD transport (TCP-Reno-flavored)
+// between two simulated hosts.
+//
+// Mechanics implemented: slow start + congestion avoidance, cumulative
+// ACKs with receiver-side out-of-order buffering (so a single loss costs a
+// single retransmission, as with SACK), triple-duplicate-ACK fast
+// retransmit with multiplicative decrease, and a coarse retransmission
+// timeout that resets to slow start. It is deliberately not a full TCP
+// (no handshake/teardown, fixed MSS) — just enough dynamics to study
+// congestion behavior on the link model (sawtooth, fairness, bufferbloat).
+//
+// Usage:
+//   sim::AimdFlow flow(net, src_host_id, dst_host_id,
+//                      {.src_port = 40000, .dst_port = 9000,
+//                       .total_bytes = 10 << 20});
+//   flow.start();
+//   net.run_until(...);
+//   flow.throughput_bps(...);
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "sim/network.h"
+
+namespace zen::sim {
+
+class AimdFlow {
+ public:
+  struct Options {
+    std::uint16_t src_port = 40000;
+    std::uint16_t dst_port = 9000;
+    std::size_t segment_bytes = 1200;  // MSS
+    std::uint64_t total_bytes = 1 << 20;
+    double initial_cwnd = 2.0;       // segments
+    double initial_ssthresh = 64.0;  // segments
+    double rto_s = 0.05;
+    double min_rto_s = 0.01;
+  };
+
+  struct Stats {
+    std::uint64_t bytes_acked = 0;
+    std::uint64_t segments_sent = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t fast_retransmits = 0;
+    std::uint64_t timeouts = 0;
+    double completed_at = 0;  // 0 = not yet complete
+    double cwnd = 0;          // current, segments
+    double max_cwnd = 0;
+  };
+
+  AimdFlow(SimNetwork& net, topo::NodeId src_host, topo::NodeId dst_host)
+      : AimdFlow(net, src_host, dst_host, Options()) {}
+  AimdFlow(SimNetwork& net, topo::NodeId src_host, topo::NodeId dst_host,
+           Options options);
+  ~AimdFlow();
+
+  AimdFlow(const AimdFlow&) = delete;
+  AimdFlow& operator=(const AimdFlow&) = delete;
+
+  // Installs the receiver's ACK responder and starts transmitting.
+  void start();
+
+  bool complete() const noexcept { return stats_.completed_at > 0; }
+  const Stats& stats() const noexcept { return stats_; }
+
+  // Average goodput over the flow's active lifetime (bits/second).
+  double throughput_bps() const noexcept;
+
+ private:
+  void pump();                         // send while window allows
+  void send_segment(std::uint64_t seq, bool retransmission);
+  void on_ack(std::uint64_t ack);      // cumulative
+  void arm_timer();
+  void on_timeout();
+
+  SimNetwork& net_;
+  SimHost& sender_;
+  SimHost& receiver_;
+  Options options_;
+  Stats stats_;
+
+  double cwnd_;      // segments (fractional during congestion avoidance)
+  double ssthresh_;  // segments
+  std::uint64_t next_seq_ = 0;     // next byte to send fresh
+  std::uint64_t acked_ = 0;        // highest cumulative ack
+  std::uint64_t receiver_next_ = 0;        // receiver's expected byte
+  std::set<std::uint64_t> receiver_ooo_;   // buffered out-of-order segments
+  int dup_acks_ = 0;
+  double started_at_ = 0;
+  std::uint64_t timer_epoch_ = 0;  // invalidates stale timeout events
+  bool running_ = false;
+};
+
+}  // namespace zen::sim

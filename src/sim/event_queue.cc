@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace zen::sim {
+
+void EventQueue::schedule_at(double at, Callback fn) {
+  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (std::function copy is cheap enough here).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::run_until(double until) {
+  while (!queue_.empty() && queue_.top().at <= until) step();
+  now_ = std::max(now_, until);
+}
+
+std::size_t EventQueue::run(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+  return fired;
+}
+
+}  // namespace zen::sim

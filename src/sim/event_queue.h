@@ -1,0 +1,59 @@
+// Discrete-event queue: the simulator's virtual clock.
+//
+// Events at equal times fire in scheduling order (a monotonic sequence
+// number breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace zen::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  // Schedules `fn` at absolute time `at` (clamped to now).
+  void schedule_at(double at, Callback fn);
+
+  // Schedules `fn` after `delay` seconds.
+  void schedule_in(double delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Runs the next event; returns false if the queue is empty.
+  bool step();
+
+  // Runs events with time <= until (advances the clock to `until` even if
+  // the queue drains early).
+  void run_until(double until);
+
+  // Runs until the queue is empty or `max_events` fired.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace zen::sim

@@ -1,0 +1,270 @@
+#include "sim/network.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace zen::sim {
+
+net::MacAddress host_mac(topo::NodeId host_id) {
+  // Locally administered unicast prefix 0x02.
+  return net::MacAddress::from_u64((std::uint64_t{0x02} << 40) |
+                                   (host_id & 0xffffffffffULL));
+}
+
+net::Ipv4Address host_ip(topo::NodeId host_id) {
+  const auto n = static_cast<std::uint32_t>(host_id - topo::kHostIdBase);
+  // 10.x.y.z with z in 1..254 (avoids network/broadcast look-alikes);
+  // unique for up to 254*256*256 hosts.
+  const std::uint32_t z = n % 254u + 1u;
+  const std::uint32_t y = (n / 254u) % 256u;
+  const std::uint32_t x = (n / (254u * 256u)) % 256u;
+  return net::Ipv4Address((10u << 24) | (x << 16) | (y << 8) | z);
+}
+
+SimNetwork::SimNetwork(topo::GeneratedTopo generated, SimOptions options)
+    : gen_(std::move(generated)), options_(options) {
+  // Switches with their ports.
+  for (const topo::NodeId sw_id : gen_.switches) {
+    auto sw = std::make_unique<dataplane::Switch>(sw_id, options_.switch_config);
+    for (const topo::Link* link : gen_.topo.links_of(sw_id)) {
+      openflow::PortDesc desc;
+      desc.port_no = link->port_at(sw_id);
+      desc.hw_addr = net::MacAddress::from_u64((sw_id << 8) | desc.port_no);
+      desc.name = util::format("s%llu-p%u",
+                               static_cast<unsigned long long>(sw_id),
+                               desc.port_no);
+      desc.curr_speed_mbps =
+          static_cast<std::uint32_t>(link->capacity_bps / 1e6);
+      sw->add_port(desc);
+    }
+    switches_.emplace(sw_id, std::move(sw));
+  }
+
+  // Hosts bound to their access links.
+  for (const auto& att : gen_.attachments) {
+    auto host = std::make_unique<SimHost>(att.host, host_mac(att.host),
+                                          host_ip(att.host));
+    SimHost* raw = host.get();
+    const topo::NodeId host_id = att.host;
+    const std::uint32_t host_port = att.host_port;
+    raw->bind(
+        [this, host_id, host_port](net::Bytes frame) {
+          transmit(host_id, host_port, std::move(frame));
+        },
+        [this] { return now(); });
+    ip_to_host_.emplace(raw->ip(), host_id);
+    hosts_.emplace(host_id, std::move(host));
+  }
+
+  for (const topo::Link* link : gen_.topo.links())
+    link_runtime_.try_emplace(link->id);
+
+  if (options_.expiry_interval_s > 0) schedule_expiry_sweep();
+}
+
+void SimNetwork::schedule_expiry_sweep() {
+  events_.schedule_in(options_.expiry_interval_s, [this] {
+    for (auto& [id, sw] : switches_) {
+      for (auto& removed : sw->expire_flows(now())) {
+        for (const auto& handler : event_handlers_)
+          handler(id, openflow::Message{removed});
+      }
+    }
+    schedule_expiry_sweep();
+  });
+}
+
+SimHost* SimNetwork::host_by_ip(net::Ipv4Address ip) noexcept {
+  const auto it = ip_to_host_.find(ip);
+  return it == ip_to_host_.end() ? nullptr : hosts_.at(it->second).get();
+}
+
+void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
+                          net::Bytes frame, std::uint32_t queue_id) {
+  const topo::Link* link = gen_.topo.link_at(from, port);
+  if (!link) return;
+  auto& dir_state =
+      link_runtime_.at(link->id).dirs[(from == link->a) ? 0 : 1];
+  auto& stats = dir_state.stats;
+
+  if (!link->up) {
+    ++stats.dropped_down;
+    return;
+  }
+
+  ++stats.delivered;
+  stats.bytes += frame.size();
+  if (queue_id >= 1) ++stats.priority_delivered;
+
+  if (!dir_state.busy) {
+    dir_state.busy = true;
+    start_transmission(link->id, (from == link->a) ? 0 : 1, std::move(frame));
+    return;
+  }
+
+  // Transmitter busy: enqueue under the shared DropTail budget. Strict
+  // priority: class >= 1 frames are always accepted ahead of best-effort
+  // backlog; if even dropping BE tail can't make room, the frame is lost.
+  if (dir_state.queued_bytes + static_cast<double>(frame.size()) >
+      options_.queue_bytes) {
+    if (queue_id >= 1 && !dir_state.queue_best_effort.empty()) {
+      // Push out best-effort tail to admit the priority frame.
+      while (!dir_state.queue_best_effort.empty() &&
+             dir_state.queued_bytes + static_cast<double>(frame.size()) >
+                 options_.queue_bytes) {
+        dir_state.queued_bytes -=
+            static_cast<double>(dir_state.queue_best_effort.back().size());
+        dir_state.queue_best_effort.pop_back();
+        ++stats.dropped_queue;
+        --stats.delivered;  // it was counted on admission
+      }
+      if (dir_state.queued_bytes + static_cast<double>(frame.size()) >
+          options_.queue_bytes) {
+        ++stats.dropped_queue;
+        --stats.delivered;
+        if (queue_id >= 1) --stats.priority_delivered;
+        return;
+      }
+    } else {
+      ++stats.dropped_queue;
+      --stats.delivered;
+      if (queue_id >= 1) --stats.priority_delivered;
+      return;
+    }
+  }
+  dir_state.queued_bytes += static_cast<double>(frame.size());
+  (queue_id >= 1 ? dir_state.queue_priority : dir_state.queue_best_effort)
+      .push_back(std::move(frame));
+}
+
+void SimNetwork::start_transmission(topo::LinkId link_id, int dir,
+                                    net::Bytes frame) {
+  const topo::Link* link = gen_.topo.link(link_id);
+  const double tx_time =
+      static_cast<double>(frame.size()) / (link->capacity_bps / 8.0);
+  const topo::NodeId to = (dir == 0) ? link->b : link->a;
+  const std::uint32_t to_port = link->port_at(to);
+  const double done_at = now() + tx_time;
+  // Frame reaches the far end one propagation delay after serialization.
+  events_.schedule_at(done_at + link->latency_s,
+                      [this, to, to_port, f = std::move(frame)]() mutable {
+                        deliver(to, to_port, std::move(f));
+                      });
+  events_.schedule_at(done_at,
+                      [this, link_id, dir] { on_transmit_complete(link_id, dir); });
+}
+
+void SimNetwork::on_transmit_complete(topo::LinkId link_id, int dir) {
+  auto& dir_state = link_runtime_.at(link_id).dirs[dir];
+  auto& next_queue = !dir_state.queue_priority.empty()
+                         ? dir_state.queue_priority
+                         : dir_state.queue_best_effort;
+  if (next_queue.empty()) {
+    dir_state.busy = false;
+    return;
+  }
+  net::Bytes frame = std::move(next_queue.front());
+  next_queue.pop_front();
+  dir_state.queued_bytes -= static_cast<double>(frame.size());
+  const topo::Link* link = gen_.topo.link(link_id);
+  if (!link || !link->up) {
+    // Link died while the frame was queued.
+    ++dir_state.stats.dropped_down;
+    on_transmit_complete(link_id, dir);
+    return;
+  }
+  start_transmission(link_id, dir, std::move(frame));
+}
+
+void SimNetwork::deliver(topo::NodeId node, std::uint32_t port,
+                         net::Bytes frame) {
+  if (const auto host_it = hosts_.find(node); host_it != hosts_.end()) {
+    host_it->second->deliver(frame);
+    return;
+  }
+  const auto sw_it = switches_.find(node);
+  if (sw_it == switches_.end()) return;
+  handle_forward_result(node, sw_it->second->ingress(now(), port, frame));
+}
+
+void SimNetwork::handle_forward_result(topo::NodeId sw,
+                                       dataplane::ForwardResult result) {
+  for (auto& egress : result.outputs)
+    transmit(sw, egress.port, std::move(egress.frame), egress.queue_id);
+  if (result.packet_in) {
+    for (const auto& handler : event_handlers_)
+      handler(sw, openflow::Message{*result.packet_in});
+  }
+}
+
+dataplane::ModStatus SimNetwork::flow_mod(topo::NodeId sw,
+                                          const openflow::FlowMod& mod) {
+  std::vector<openflow::FlowRemoved> removed;
+  const auto status = switches_.at(sw)->flow_mod(mod, now(), &removed);
+  for (const auto& fr : removed)
+    for (const auto& handler : event_handlers_)
+      handler(sw, openflow::Message{fr});
+  return status;
+}
+
+dataplane::ModStatus SimNetwork::group_mod(topo::NodeId sw,
+                                           const openflow::GroupMod& mod) {
+  return switches_.at(sw)->group_mod(mod);
+}
+
+dataplane::ModStatus SimNetwork::meter_mod(topo::NodeId sw,
+                                           const openflow::MeterMod& mod) {
+  return switches_.at(sw)->meter_mod(mod);
+}
+
+void SimNetwork::packet_out(topo::NodeId sw, const openflow::PacketOut& msg) {
+  handle_forward_result(sw, switches_.at(sw)->packet_out(now(), msg));
+}
+
+void SimNetwork::set_link_admin_up(topo::LinkId id, bool up) {
+  const topo::Link* link = gen_.topo.link(id);
+  if (!link || link->up == up) return;
+  gen_.topo.set_link_up(id, up);
+  for (const topo::NodeId endpoint : {link->a, link->b}) {
+    const auto it = switches_.find(endpoint);
+    if (it == switches_.end()) continue;
+    auto status = it->second->set_port_link(link->port_at(endpoint), up);
+    if (status) {
+      for (const auto& handler : event_handlers_)
+        handler(endpoint, openflow::Message{*status});
+    }
+  }
+}
+
+void SimNetwork::schedule_link_failure(topo::LinkId id, double at,
+                                       double repair_after) {
+  events_.schedule_at(at, [this, id] { set_link_admin_up(id, false); });
+  if (repair_after > 0) {
+    events_.schedule_at(at + repair_after,
+                        [this, id] { set_link_admin_up(id, true); });
+  }
+}
+
+const LinkDirStats& SimNetwork::link_stats(topo::LinkId id, int dir) const {
+  return link_runtime_.at(id).dirs[dir].stats;
+}
+
+double SimNetwork::link_utilization(topo::LinkId id, int dir,
+                                    double window_s) const {
+  if (window_s <= 0) return 0;
+  const topo::Link* link = gen_.topo.link(id);
+  if (!link) return 0;
+  const auto& stats = link_runtime_.at(id).dirs[dir].stats;
+  return (static_cast<double>(stats.bytes) * 8.0 / window_s) /
+         link->capacity_bps;
+}
+
+std::uint64_t SimNetwork::total_link_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [id, runtime] : link_runtime_)
+    for (const auto& dir_state : runtime.dirs)
+      total += dir_state.stats.dropped_queue + dir_state.stats.dropped_down;
+  return total;
+}
+
+}  // namespace zen::sim

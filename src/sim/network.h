@@ -1,0 +1,141 @@
+// SimNetwork: the discrete-event network substrate.
+//
+// Owns the dataplane switches, the hosts, and the link model, and moves
+// frames between them under virtual time. Each link direction is a real
+// transmitter: one frame serializes at a time, waiting frames sit in a
+// two-class strict-priority DropTail queue (SetQueue >= 1 selects the
+// priority class), so congestion, loss, serialization delay and QoS are
+// all observable.
+//
+// The control plane is attached through a narrow seam: switch-originated
+// events (PacketIn / PortStatus / FlowRemoved) are handed to a single
+// callback as typed messages, and controller-originated operations enter
+// through typed methods (flow_mod, packet_out, ...). The wire-protocol
+// encoding/decoding and controller-latency modeling live one layer up, in
+// the controller module, keeping this substrate protocol-agnostic.
+#pragma once
+
+#include <functional>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "dataplane/switch.h"
+#include "sim/event_queue.h"
+#include "sim/host.h"
+#include "topo/generators.h"
+
+namespace zen::sim {
+
+struct LinkDirStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_queue = 0;
+  std::uint64_t dropped_down = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t priority_delivered = 0;  // frames sent via the priority class
+};
+
+struct SimOptions {
+  dataplane::SwitchConfig switch_config;
+  // Per-direction link queue (bytes). ~42 MTU-sized packets by default.
+  double queue_bytes = 64 * 1024;
+  // Interval for flow-timeout sweeps (0 disables).
+  double expiry_interval_s = 1.0;
+};
+
+class SimNetwork {
+ public:
+  // Builds switches and hosts from the generated topology. Hosts get
+  // MAC = from_u64(node id) and IP = 10.x.y.z derived from the host index.
+  SimNetwork(topo::GeneratedTopo generated, SimOptions options = {});
+
+  EventQueue& events() noexcept { return events_; }
+  double now() const noexcept { return events_.now(); }
+  topo::Topology& topology() noexcept { return gen_.topo; }
+  const topo::GeneratedTopo& generated() const noexcept { return gen_; }
+
+  dataplane::Switch& switch_at(topo::NodeId id) { return *switches_.at(id); }
+  SimHost& host_at(topo::NodeId id) { return *hosts_.at(id); }
+  const std::unordered_map<topo::NodeId, std::unique_ptr<SimHost>>& hosts()
+      const noexcept {
+    return hosts_;
+  }
+  const std::unordered_map<topo::NodeId, std::unique_ptr<dataplane::Switch>>&
+  switches() const noexcept {
+    return switches_;
+  }
+
+  // Host lookup by IP (nullptr if unknown).
+  SimHost* host_by_ip(net::Ipv4Address ip) noexcept;
+
+  // ---- control seam ----
+  // PacketIn / PortStatus / FlowRemoved from any switch.
+  using DatapathEventFn =
+      std::function<void(topo::NodeId sw, openflow::Message msg)>;
+  // Replaces all handlers (single-controller setups).
+  void set_datapath_event_handler(DatapathEventFn fn) {
+    event_handlers_.clear();
+    event_handlers_.push_back(std::move(fn));
+  }
+  // Adds a handler (multi-controller setups: every controller's agents see
+  // every datapath event; role filtering happens in the agents).
+  void add_datapath_event_handler(DatapathEventFn fn) {
+    event_handlers_.push_back(std::move(fn));
+  }
+
+  dataplane::ModStatus flow_mod(topo::NodeId sw, const openflow::FlowMod& mod);
+  dataplane::ModStatus group_mod(topo::NodeId sw, const openflow::GroupMod& mod);
+  dataplane::ModStatus meter_mod(topo::NodeId sw, const openflow::MeterMod& mod);
+  void packet_out(topo::NodeId sw, const openflow::PacketOut& msg);
+
+  // ---- failure injection ----
+  // Administratively set a link up/down now; emits PortStatus on both
+  // switch endpoints. In-flight frames already scheduled still arrive.
+  void set_link_admin_up(topo::LinkId id, bool up);
+  void schedule_link_failure(topo::LinkId id, double at, double repair_after);
+
+  // ---- link observability ----
+  // dir 0 = a->b, dir 1 = b->a.
+  const LinkDirStats& link_stats(topo::LinkId id, int dir) const;
+  double link_utilization(topo::LinkId id, int dir, double window_s) const;
+
+  void run_until(double t) { events_.run_until(t); }
+
+  // Total frames dropped anywhere (links + switches) — convergence checks.
+  std::uint64_t total_link_drops() const noexcept;
+
+ private:
+  struct LinkDir {
+    bool busy = false;
+    std::deque<net::Bytes> queue_priority;
+    std::deque<net::Bytes> queue_best_effort;
+    double queued_bytes = 0;
+    LinkDirStats stats;
+  };
+  struct LinkRuntime {
+    LinkDir dirs[2];
+  };
+
+  void transmit(topo::NodeId from, std::uint32_t port, net::Bytes frame,
+                std::uint32_t queue_id = 0);
+  void start_transmission(topo::LinkId link_id, int dir, net::Bytes frame);
+  void on_transmit_complete(topo::LinkId link_id, int dir);
+  void deliver(topo::NodeId node, std::uint32_t port, net::Bytes frame);
+  void handle_forward_result(topo::NodeId sw, dataplane::ForwardResult result);
+  void schedule_expiry_sweep();
+
+  topo::GeneratedTopo gen_;
+  SimOptions options_;
+  EventQueue events_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<dataplane::Switch>> switches_;
+  std::unordered_map<topo::NodeId, std::unique_ptr<SimHost>> hosts_;
+  std::unordered_map<net::Ipv4Address, topo::NodeId> ip_to_host_;
+  std::unordered_map<topo::LinkId, LinkRuntime> link_runtime_;
+  std::vector<DatapathEventFn> event_handlers_;
+};
+
+// Deterministic addressing helpers (shared with the controller module).
+net::MacAddress host_mac(topo::NodeId host_id);
+net::Ipv4Address host_ip(topo::NodeId host_id);
+
+}  // namespace zen::sim

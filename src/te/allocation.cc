@@ -1,0 +1,226 @@
+#include "te/allocation.h"
+
+#include <algorithm>
+
+namespace zen::te {
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::ShortestPath: return "shortest_path";
+    case Strategy::Ecmp: return "ecmp";
+    case Strategy::Greedy: return "greedy";
+    case Strategy::MaxMinFair: return "max_min_fair";
+  }
+  return "?";
+}
+
+double Allocation::allocated(const DemandKey& key) const {
+  const auto it = shares.find(key);
+  if (it == shares.end()) return 0;
+  double sum = 0;
+  for (const auto& share : it->second) sum += share.bps;
+  return sum;
+}
+
+double Allocation::total_allocated() const {
+  double sum = 0;
+  for (const auto& [key, path_shares] : shares)
+    for (const auto& share : path_shares) sum += share.bps;
+  return sum;
+}
+
+double Allocation::satisfaction(const DemandMatrix& demands) const {
+  const double requested = demands.total();
+  return requested <= 0 ? 1.0 : std::min(1.0, total_allocated() / requested);
+}
+
+double Allocation::max_utilization(const topo::Topology& topo) const {
+  double max_util = 0;
+  for (const auto& [link_id, load] : link_load_bps) {
+    const topo::Link* link = topo.link(link_id);
+    if (link && link->capacity_bps > 0)
+      max_util = std::max(max_util, load / link->capacity_bps);
+  }
+  return max_util;
+}
+
+double Allocation::mean_utilization(const topo::Topology& topo) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const topo::Link* link : topo.links()) {
+    const auto it = link_load_bps.find(link->id);
+    sum += (it == link_load_bps.end() ? 0 : it->second) / link->capacity_bps;
+    ++n;
+  }
+  return n == 0 ? 0 : sum / static_cast<double>(n);
+}
+
+namespace {
+
+// Residual capacity of `path` given current loads (capacity scaled by
+// 1 - headroom).
+double residual(const topo::Topology& topo, const topo::Path& path,
+                const std::unordered_map<topo::LinkId, double>& load,
+                double headroom) {
+  double min_res = std::numeric_limits<double>::infinity();
+  for (const topo::LinkId lid : path.links) {
+    const topo::Link* link = topo.link(lid);
+    const auto it = load.find(lid);
+    const double used = it == load.end() ? 0 : it->second;
+    min_res = std::min(min_res, link->capacity_bps * (1.0 - headroom) - used);
+  }
+  return path.links.empty() ? std::numeric_limits<double>::infinity()
+                            : std::max(0.0, min_res);
+}
+
+void commit(Allocation& alloc, const DemandKey& key, const topo::Path& path,
+            double bps) {
+  if (bps <= 0) return;
+  auto& path_shares = alloc.shares[key];
+  const auto it = std::find_if(
+      path_shares.begin(), path_shares.end(),
+      [&](const PathShare& share) { return share.path.links == path.links; });
+  if (it != path_shares.end()) it->bps += bps;
+  else path_shares.push_back(PathShare{path, bps});
+  for (const topo::LinkId lid : path.links) alloc.link_load_bps[lid] += bps;
+}
+
+Allocation allocate_single_path(const topo::Topology& topo,
+                                const DemandMatrix& demands, double headroom) {
+  Allocation alloc;
+  for (const auto& [key, bps] : demands.entries()) {
+    const topo::Path path = topo::shortest_path(topo, key.src, key.dst);
+    if (path.empty() && key.src != key.dst) continue;
+    const double grant = std::min(bps, residual(topo, path, alloc.link_load_bps,
+                                                headroom));
+    commit(alloc, key, path, grant);
+  }
+  return alloc;
+}
+
+Allocation allocate_ecmp(const topo::Topology& topo,
+                         const DemandMatrix& demands,
+                         const AllocatorOptions& options) {
+  Allocation alloc;
+  for (const auto& [key, bps] : demands.entries()) {
+    const auto paths =
+        topo::equal_cost_paths(topo, key.src, key.dst, options.k_paths);
+    if (paths.empty()) continue;
+    const double per_path = bps / static_cast<double>(paths.size());
+    for (const auto& path : paths) {
+      const double grant = std::min(
+          per_path, residual(topo, path, alloc.link_load_bps, options.headroom));
+      commit(alloc, key, path, grant);
+    }
+  }
+  return alloc;
+}
+
+Allocation allocate_greedy(const topo::Topology& topo,
+                           const DemandMatrix& demands,
+                           const AllocatorOptions& options) {
+  Allocation alloc;
+  // Largest demands first.
+  std::vector<std::pair<DemandKey, double>> ordered(demands.entries().begin(),
+                                                    demands.entries().end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  for (const auto& [key, bps] : ordered) {
+    auto paths = topo::k_shortest_paths(topo, key.src, key.dst, options.k_paths);
+    double remaining = bps;
+    // Repeatedly place on the path with the most headroom.
+    while (remaining > 1e-9 && !paths.empty()) {
+      double best_res = 0;
+      const topo::Path* best = nullptr;
+      for (const auto& path : paths) {
+        const double res = residual(topo, path, alloc.link_load_bps, options.headroom);
+        if (res > best_res) {
+          best_res = res;
+          best = &path;
+        }
+      }
+      if (!best || best_res <= 1e-9) break;
+      const double grant = std::min(remaining, best_res);
+      commit(alloc, key, *best, grant);
+      remaining -= grant;
+    }
+  }
+  return alloc;
+}
+
+Allocation allocate_max_min(const topo::Topology& topo,
+                            const DemandMatrix& demands,
+                            const AllocatorOptions& options) {
+  Allocation alloc;
+
+  struct Flow {
+    DemandKey key;
+    double remaining;
+    std::vector<topo::Path> paths;
+  };
+  std::vector<Flow> flows;
+  double max_demand = 0;
+  for (const auto& [key, bps] : demands.entries()) {
+    Flow flow;
+    flow.key = key;
+    flow.remaining = bps;
+    flow.paths = topo::k_shortest_paths(topo, key.src, key.dst, options.k_paths);
+    max_demand = std::max(max_demand, bps);
+    if (!flow.paths.empty()) flows.push_back(std::move(flow));
+  }
+  if (flows.empty()) return alloc;
+
+  // Water-filling: in rounds, every unsaturated flow pushes epsilon along
+  // its currently-best (most residual) path. A flow saturates when its
+  // request is met or all its paths are full. Round-robin order makes the
+  // split max-min fair up to epsilon granularity.
+  const double epsilon = std::max(1.0, max_demand * options.epsilon_fraction);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& flow : flows) {
+      if (flow.remaining <= 1e-9) continue;
+      double best_res = 0;
+      const topo::Path* best = nullptr;
+      for (const auto& path : flow.paths) {
+        const double res =
+            residual(topo, path, alloc.link_load_bps, options.headroom);
+        if (res > best_res) {
+          best_res = res;
+          best = &path;
+        }
+      }
+      if (!best || best_res <= 1e-9) {
+        flow.remaining = 0;  // paths exhausted
+        continue;
+      }
+      const double grant = std::min({flow.remaining, epsilon, best_res});
+      commit(alloc, flow.key, *best, grant);
+      flow.remaining -= grant;
+      progress = true;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace
+
+Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
+                    Strategy strategy, const AllocatorOptions& options) {
+  switch (strategy) {
+    case Strategy::ShortestPath:
+      return allocate_single_path(topo, demands, options.headroom);
+    case Strategy::Ecmp:
+      return allocate_ecmp(topo, demands, options);
+    case Strategy::Greedy:
+      return allocate_greedy(topo, demands, options);
+    case Strategy::MaxMinFair:
+      return allocate_max_min(topo, demands, options);
+  }
+  return {};
+}
+
+}  // namespace zen::te

@@ -1,0 +1,58 @@
+// TE allocators: map a demand matrix onto paths under link capacities.
+//
+// Three production-shaped strategies plus a naive baseline:
+//  - ShortestPath: all of each demand on its single shortest path (OSPF-ish).
+//  - Ecmp: demand split evenly over equal-cost shortest paths.
+//  - Greedy: demands largest-first, each on the K-path with most headroom.
+//  - MaxMinFair: iterative water-filling over K shortest paths per demand —
+//    the SWAN/B4-class allocator. Approximate (epsilon-granular) but
+//    deterministic and capacity-respecting by construction.
+//
+// All allocators respect capacity * (1 - headroom): a demand gets at most
+// what its paths can carry; the unsatisfied remainder is reported, never
+// oversubscribed.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "te/demand.h"
+#include "topo/paths.h"
+
+namespace zen::te {
+
+struct PathShare {
+  topo::Path path;
+  double bps = 0;
+};
+
+struct Allocation {
+  std::map<DemandKey, std::vector<PathShare>> shares;
+  std::unordered_map<topo::LinkId, double> link_load_bps;
+
+  double allocated(const DemandKey& key) const;
+  double total_allocated() const;
+
+  // Fraction of requested demand carried, in [0, 1].
+  double satisfaction(const DemandMatrix& demands) const;
+
+  // Max and mean utilization over links that carry load.
+  double max_utilization(const topo::Topology& topo) const;
+  double mean_utilization(const topo::Topology& topo) const;
+};
+
+enum class Strategy { ShortestPath, Ecmp, Greedy, MaxMinFair };
+
+const char* to_string(Strategy strategy) noexcept;
+
+struct AllocatorOptions {
+  std::size_t k_paths = 4;       // path diversity for Greedy/MaxMinFair
+  double headroom = 0.0;         // reserved fraction of every link
+  double epsilon_fraction = 1e-3;  // water-filling increment (of max demand)
+};
+
+Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
+                    Strategy strategy, const AllocatorOptions& options = {});
+
+}  // namespace zen::te

@@ -1,0 +1,99 @@
+#include "te/demand.h"
+
+#include <numeric>
+
+namespace zen::te {
+
+void DemandMatrix::set(topo::NodeId src, topo::NodeId dst, double bps) {
+  if (src == dst) return;
+  demands_[DemandKey{src, dst}] = bps;
+}
+
+void DemandMatrix::add(topo::NodeId src, topo::NodeId dst, double bps) {
+  if (src == dst) return;
+  demands_[DemandKey{src, dst}] += bps;
+}
+
+double DemandMatrix::get(topo::NodeId src, topo::NodeId dst) const {
+  const auto it = demands_.find(DemandKey{src, dst});
+  return it == demands_.end() ? 0 : it->second;
+}
+
+double DemandMatrix::total() const {
+  double sum = 0;
+  for (const auto& [key, bps] : demands_) sum += bps;
+  return sum;
+}
+
+DemandMatrix DemandMatrix::scaled(double factor) const {
+  DemandMatrix out;
+  for (const auto& [key, bps] : demands_) out.set(key.src, key.dst, bps * factor);
+  return out;
+}
+
+DemandMatrix uniform_demands(const std::vector<topo::NodeId>& sites,
+                             double total_bps) {
+  DemandMatrix m;
+  const std::size_t pairs = sites.size() * (sites.size() - 1);
+  if (pairs == 0) return m;
+  const double per_pair = total_bps / static_cast<double>(pairs);
+  for (const topo::NodeId s : sites)
+    for (const topo::NodeId d : sites)
+      if (s != d) m.set(s, d, per_pair);
+  return m;
+}
+
+DemandMatrix gravity_demands(const std::vector<topo::NodeId>& sites,
+                             double total_bps, util::Rng& rng) {
+  DemandMatrix m;
+  if (sites.size() < 2) return m;
+  std::vector<double> weights(sites.size());
+  for (auto& w : weights) w = 0.1 + rng.next_double();
+
+  double norm = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    for (std::size_t j = 0; j < sites.size(); ++j)
+      if (i != j) norm += weights[i] * weights[j];
+
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    for (std::size_t j = 0; j < sites.size(); ++j)
+      if (i != j)
+        m.set(sites[i], sites[j], total_bps * weights[i] * weights[j] / norm);
+  return m;
+}
+
+DemandMatrix hotspot_demands(const std::vector<topo::NodeId>& sites,
+                             topo::NodeId hot, double total_bps) {
+  DemandMatrix m;
+  std::size_t senders = 0;
+  for (const topo::NodeId s : sites)
+    if (s != hot) ++senders;
+  if (senders == 0) return m;
+  for (const topo::NodeId s : sites)
+    if (s != hot) m.set(s, hot, total_bps / static_cast<double>(senders));
+  return m;
+}
+
+DemandMatrix permutation_demands(const std::vector<topo::NodeId>& sites,
+                                 double per_flow_bps, util::Rng& rng) {
+  DemandMatrix m;
+  if (sites.size() < 2) return m;
+  std::vector<topo::NodeId> targets = sites;
+  // Derangement by rejection: reshuffle until no fixed point (fast for
+  // realistic sizes).
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    rng.shuffle(targets);
+    bool ok = true;
+    for (std::size_t i = 0; i < sites.size(); ++i)
+      if (sites[i] == targets[i]) {
+        ok = false;
+        break;
+      }
+    if (ok) break;
+  }
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    if (sites[i] != targets[i]) m.set(sites[i], targets[i], per_flow_bps);
+  return m;
+}
+
+}  // namespace zen::te

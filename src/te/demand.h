@@ -1,0 +1,55 @@
+// Traffic demand matrices and the synthetic workloads used by the TE
+// experiments (E8/E9): uniform all-to-all, gravity-model, hotspot, and
+// permutation matrices, all deterministic under a seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/rng.h"
+
+namespace zen::te {
+
+struct DemandKey {
+  topo::NodeId src = 0;
+  topo::NodeId dst = 0;
+  friend auto operator<=>(const DemandKey&, const DemandKey&) = default;
+};
+
+class DemandMatrix {
+ public:
+  void set(topo::NodeId src, topo::NodeId dst, double bps);
+  void add(topo::NodeId src, topo::NodeId dst, double bps);
+  double get(topo::NodeId src, topo::NodeId dst) const;
+
+  const std::map<DemandKey, double>& entries() const noexcept { return demands_; }
+  double total() const;
+  std::size_t size() const noexcept { return demands_.size(); }
+
+  // Returns a copy with every demand multiplied by `factor`.
+  DemandMatrix scaled(double factor) const;
+
+ private:
+  std::map<DemandKey, double> demands_;
+};
+
+// Equal demand between every ordered pair of `sites`, summing to `total_bps`.
+DemandMatrix uniform_demands(const std::vector<topo::NodeId>& sites,
+                             double total_bps);
+
+// Gravity model: demand(i,j) proportional to w_i * w_j with random weights.
+DemandMatrix gravity_demands(const std::vector<topo::NodeId>& sites,
+                             double total_bps, util::Rng& rng);
+
+// All sites send to one hot destination (incast), total `total_bps`.
+DemandMatrix hotspot_demands(const std::vector<topo::NodeId>& sites,
+                             topo::NodeId hot, double total_bps);
+
+// Random permutation: each site sends `per_flow_bps` to exactly one other.
+DemandMatrix permutation_demands(const std::vector<topo::NodeId>& sites,
+                                 double per_flow_bps, util::Rng& rng);
+
+}  // namespace zen::te

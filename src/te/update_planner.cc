@@ -1,0 +1,119 @@
+#include "te/update_planner.h"
+
+#include <algorithm>
+#include <map>
+
+namespace zen::te {
+
+namespace {
+
+// Identity of one flow-on-path: (demand key, link sequence).
+using FlowPathKey = std::pair<DemandKey, std::vector<topo::LinkId>>;
+
+// Flattens an allocation to flow-path -> rate.
+std::map<FlowPathKey, double> flatten(const Allocation& alloc) {
+  std::map<FlowPathKey, double> out;
+  for (const auto& [key, shares] : alloc.shares)
+    for (const auto& share : shares)
+      out[{key, share.path.links}] += share.bps;
+  return out;
+}
+
+// All flow-paths present in either allocation, with (old, new) rates.
+struct FlowPathRates {
+  FlowPathKey id;
+  topo::Path path;
+  double from_bps = 0;
+  double to_bps = 0;
+};
+
+std::vector<FlowPathRates> merge(const Allocation& from, const Allocation& to) {
+  std::map<FlowPathKey, FlowPathRates> merged;
+  auto ingest = [&](const Allocation& alloc, bool is_from) {
+    for (const auto& [key, shares] : alloc.shares) {
+      for (const auto& share : shares) {
+        auto& entry = merged[{key, share.path.links}];
+        entry.id = {key, share.path.links};
+        entry.path = share.path;
+        (is_from ? entry.from_bps : entry.to_bps) += share.bps;
+      }
+    }
+  };
+  ingest(from, true);
+  ingest(to, false);
+  std::vector<FlowPathRates> out;
+  out.reserve(merged.size());
+  for (auto& [id, rates] : merged) out.push_back(std::move(rates));
+  return out;
+}
+
+Allocation interpolate(const std::vector<FlowPathRates>& flows, double lambda) {
+  Allocation alloc;
+  for (const auto& flow : flows) {
+    const double bps = (1.0 - lambda) * flow.from_bps + lambda * flow.to_bps;
+    if (bps <= 0) continue;
+    alloc.shares[flow.id.first].push_back(PathShare{flow.path, bps});
+    for (const topo::LinkId lid : flow.id.second)
+      alloc.link_load_bps[lid] += bps;
+  }
+  return alloc;
+}
+
+double transient_peak(const topo::Topology& topo,
+                      const std::vector<FlowPathRates>& flows, double lambda_a,
+                      double lambda_b) {
+  std::unordered_map<topo::LinkId, double> load;
+  for (const auto& flow : flows) {
+    const double a = (1.0 - lambda_a) * flow.from_bps + lambda_a * flow.to_bps;
+    const double b = (1.0 - lambda_b) * flow.from_bps + lambda_b * flow.to_bps;
+    const double worst = std::max(a, b);
+    if (worst <= 0) continue;
+    for (const topo::LinkId lid : flow.id.second) load[lid] += worst;
+  }
+  double peak = 0;
+  for (const auto& [lid, bps] : load) {
+    const topo::Link* link = topo.link(lid);
+    if (link && link->capacity_bps > 0)
+      peak = std::max(peak, bps / link->capacity_bps);
+  }
+  return peak;
+}
+
+}  // namespace
+
+double transient_peak_utilization(const topo::Topology& topo,
+                                  const Allocation& from,
+                                  const Allocation& to) {
+  const auto flows = merge(from, to);
+  return transient_peak(topo, flows, 0.0, 1.0);
+}
+
+UpdatePlan plan_update(const topo::Topology& topo, const Allocation& from,
+                       const Allocation& to, const PlannerOptions& options) {
+  UpdatePlan plan;
+  const auto flows = merge(from, to);
+  plan.one_shot_peak_utilization = transient_peak(topo, flows, 0.0, 1.0);
+
+  for (std::size_t steps = 1; steps <= options.max_steps; ++steps) {
+    bool ok = true;
+    for (std::size_t i = 0; i < steps && ok; ++i) {
+      const double la = static_cast<double>(i) / static_cast<double>(steps);
+      const double lb = static_cast<double>(i + 1) / static_cast<double>(steps);
+      if (transient_peak(topo, flows, la, lb) >
+          options.utilization_bound + 1e-9)
+        ok = false;
+    }
+    if (!ok) continue;
+
+    plan.feasible = true;
+    plan.stages.reserve(steps + 1);
+    for (std::size_t i = 0; i <= steps; ++i) {
+      plan.stages.push_back(interpolate(
+          flows, static_cast<double>(i) / static_cast<double>(steps)));
+    }
+    return plan;
+  }
+  return plan;  // infeasible within max_steps
+}
+
+}  // namespace zen::te

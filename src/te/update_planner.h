@@ -1,0 +1,50 @@
+// Congestion-free network update planning (the SWAN/zUpdate result).
+//
+// Problem: moving the network from allocation A to allocation B by updating
+// switches that apply changes asynchronously. During the transition each
+// flow is at either its old or its new rate, so a link can transiently
+// carry up to sum(max(old, new)) — which can exceed capacity even when A
+// and B are both feasible.
+//
+// SWAN's theorem: if every link keeps a scratch fraction s of its capacity
+// free in A and B, then ceil(1/s) - 1 intermediate steps of linear
+// interpolation make every adjacent pair congestion-free. The planner finds
+// the smallest step count that passes the element-wise-max feasibility
+// check, and reports the transient overload a one-shot update would cause.
+#pragma once
+
+#include <vector>
+
+#include "te/allocation.h"
+
+namespace zen::te {
+
+struct UpdatePlan {
+  // stages[0] == from, stages.back() == to; adjacent stages are pairwise
+  // congestion-free under asynchronous application.
+  std::vector<Allocation> stages;
+  bool feasible = false;
+  // Worst-case link utilization if the update were applied in one shot.
+  double one_shot_peak_utilization = 0;
+
+  std::size_t step_count() const noexcept {
+    return stages.empty() ? 0 : stages.size() - 1;
+  }
+};
+
+struct PlannerOptions {
+  std::size_t max_steps = 16;
+  // Congestion threshold: a transition is accepted if transient load stays
+  // <= capacity * utilization_bound on every link.
+  double utilization_bound = 1.0;
+};
+
+// Worst-case per-link utilization while moving between two allocations
+// asynchronously (element-wise max of per-flow rates).
+double transient_peak_utilization(const topo::Topology& topo,
+                                  const Allocation& from, const Allocation& to);
+
+UpdatePlan plan_update(const topo::Topology& topo, const Allocation& from,
+                       const Allocation& to, const PlannerOptions& options = {});
+
+}  // namespace zen::te

@@ -1,0 +1,72 @@
+// Canonical topology generators used by tests, examples and benchmarks:
+// linear / ring chains, 3-tier fat-trees, leaf-spine fabrics, random
+// connected graphs, and an Abilene-like WAN preset for TE experiments.
+//
+// Conventions: switch ids count up from 1; host ids start at kHostIdBase.
+// Each generator returns the Topology plus the host attachment points so
+// the simulator can wire hosts without re-deriving structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+#include "util/rng.h"
+
+namespace zen::topo {
+
+inline constexpr NodeId kHostIdBase = 0x100000;
+
+inline constexpr bool is_host_id(NodeId id) { return id >= kHostIdBase; }
+
+struct HostAttachment {
+  NodeId host = 0;
+  NodeId sw = 0;
+  std::uint32_t sw_port = 0;
+  std::uint32_t host_port = 1;
+};
+
+struct GeneratedTopo {
+  Topology topo;
+  std::vector<NodeId> switches;
+  std::vector<NodeId> hosts;
+  std::vector<HostAttachment> attachments;
+};
+
+// A chain of `n_switches` with `hosts_per_switch` hosts on each.
+GeneratedTopo make_linear(std::size_t n_switches, std::size_t hosts_per_switch,
+                          double link_bps = 10e9, double latency_s = 10e-6);
+
+// A ring of `n_switches` (adds the wrap link to the chain).
+GeneratedTopo make_ring(std::size_t n_switches, std::size_t hosts_per_switch,
+                        double link_bps = 10e9, double latency_s = 10e-6);
+
+// Classic 3-tier fat-tree of parameter k (k even): (k/2)^2 core switches,
+// k pods of k/2 aggregation + k/2 edge switches, (k^3)/4 hosts.
+GeneratedTopo make_fat_tree(std::size_t k, double link_bps = 10e9,
+                            double latency_s = 5e-6);
+
+// Two-tier leaf-spine: every leaf connects to every spine.
+GeneratedTopo make_leaf_spine(std::size_t n_spine, std::size_t n_leaf,
+                              std::size_t hosts_per_leaf,
+                              double link_bps = 40e9, double latency_s = 5e-6);
+
+// Jellyfish topology (random regular graph, SIGCOMM'12 adjacent): every
+// switch has exactly `degree` switch-facing ports, wired uniformly at
+// random with edge swaps to repair dead ends; high path diversity at low
+// diameter. `hosts_per_switch` hosts attach to every switch.
+GeneratedTopo make_jellyfish(std::size_t n_switches, std::size_t degree,
+                             std::size_t hosts_per_switch, util::Rng& rng,
+                             double link_bps = 10e9, double latency_s = 10e-6);
+
+// Connected random graph: a random spanning tree plus extra edges to reach
+// roughly `avg_degree`. One host per switch.
+GeneratedTopo make_random_connected(std::size_t n_switches, double avg_degree,
+                                    util::Rng& rng, double link_bps = 10e9,
+                                    double latency_s = 10e-6);
+
+// Abilene-like research WAN: 11 PoPs, 14 links, with realistic relative
+// latencies. One host ("site") per PoP. Used by the TE experiments (E8/E9).
+GeneratedTopo make_wan_abilene(double link_bps = 10e9);
+
+}  // namespace zen::topo

@@ -1,0 +1,101 @@
+// Topology graph shared by the controller, intent compiler and TE engine.
+//
+// Nodes are switches or hosts identified by a NodeId. Links are undirected
+// with per-direction port numbers, a capacity, a propagation latency, and a
+// routing cost. Links can be administratively up or down; path algorithms
+// only traverse up links between up nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace zen::topo {
+
+using NodeId = std::uint64_t;
+
+enum class NodeKind : std::uint8_t { Switch, Host };
+
+struct Node {
+  NodeId id = 0;
+  NodeKind kind = NodeKind::Switch;
+  std::string name;
+  bool up = true;
+};
+
+using LinkId = std::uint32_t;
+
+struct Link {
+  LinkId id = 0;
+  NodeId a = 0;
+  std::uint32_t a_port = 0;
+  NodeId b = 0;
+  std::uint32_t b_port = 0;
+  double capacity_bps = 10e9;
+  double latency_s = 10e-6;
+  double cost = 1.0;
+  bool up = true;
+
+  NodeId other(NodeId node) const noexcept { return node == a ? b : a; }
+  std::uint32_t port_at(NodeId node) const noexcept {
+    return node == a ? a_port : b_port;
+  }
+};
+
+class Topology {
+ public:
+  // Returns false if the id already exists.
+  bool add_node(NodeId id, NodeKind kind, std::string name = {});
+  bool remove_node(NodeId id);  // also removes incident links
+
+  // Adds an undirected link; returns its id, or nullopt if either endpoint
+  // is missing or either (node, port) pair is already in use.
+  std::optional<LinkId> add_link(NodeId a, std::uint32_t a_port, NodeId b,
+                                 std::uint32_t b_port,
+                                 double capacity_bps = 10e9,
+                                 double latency_s = 10e-6, double cost = 1.0);
+  bool remove_link(LinkId id);
+
+  bool set_link_up(LinkId id, bool up);
+  bool set_node_up(NodeId id, bool up);
+
+  const Node* node(NodeId id) const noexcept;
+  const Link* link(LinkId id) const noexcept;
+  Link* mutable_link(LinkId id) noexcept;
+
+  // The link attached to (node, port), if any.
+  const Link* link_at(NodeId node, std::uint32_t port) const noexcept;
+
+  // The (first) up link between two nodes, if any.
+  const Link* link_between(NodeId a, NodeId b) const noexcept;
+
+  // Up links incident to an up node.
+  std::vector<const Link*> links_of(NodeId id) const;
+
+  // Up neighbor nodes of an up node.
+  std::vector<NodeId> neighbors(NodeId id) const;
+
+  std::vector<const Node*> nodes() const;
+  std::vector<const Link*> links() const;
+  std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  // Monotonic counter bumped on every topology change; consumers cache
+  // derived structures (paths, spanning trees) keyed on this.
+  std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  std::unordered_map<NodeId, Node> nodes_;
+  std::unordered_map<LinkId, Link> links_;
+  // node -> incident link ids
+  std::unordered_map<NodeId, std::vector<LinkId>> adjacency_;
+  LinkId next_link_id_ = 1;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace zen::topo

@@ -1,0 +1,289 @@
+#include "topo/paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace zen::topo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueItem {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueItem& o) const noexcept {
+    if (dist != o.dist) return dist > o.dist;
+    return node > o.node;  // deterministic tie-break
+  }
+};
+
+// Dijkstra with an optional set of banned nodes/links (used by Yen's spur
+// computation).
+SpfResult dijkstra_filtered(const Topology& topo, NodeId src,
+                            const std::unordered_set<NodeId>* banned_nodes,
+                            const std::unordered_set<LinkId>* banned_links) {
+  SpfResult result;
+  const Node* source = topo.node(src);
+  if (!source || !source->up) return result;
+
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>> pq;
+  result.distance[src] = 0;
+  pq.push({0, src});
+
+  while (!pq.empty()) {
+    const auto [dist, u] = pq.top();
+    pq.pop();
+    const auto du = result.distance.find(u);
+    if (du == result.distance.end() || dist > du->second) continue;
+
+    for (const Link* link : topo.links_of(u)) {
+      if (banned_links && banned_links->contains(link->id)) continue;
+      const NodeId v = link->other(u);
+      if (banned_nodes && banned_nodes->contains(v)) continue;
+      const double alt = dist + link->cost;
+      const auto dv = result.distance.find(v);
+      if (dv == result.distance.end() || alt < dv->second) {
+        result.distance[v] = alt;
+        result.parent_link[v] = link->id;
+        pq.push({alt, v});
+      }
+    }
+  }
+  return result;
+}
+
+Path reconstruct(const Topology& topo, const SpfResult& spf, NodeId src,
+                 NodeId dst) {
+  Path path;
+  if (!spf.reached(dst)) return path;
+  path.cost = spf.distance.at(dst);
+  NodeId cur = dst;
+  while (cur != src) {
+    const auto it = spf.parent_link.find(cur);
+    if (it == spf.parent_link.end()) return {};  // disconnected tree
+    const Link* link = topo.link(it->second);
+    path.nodes.push_back(cur);
+    path.links.push_back(link->id);
+    cur = link->other(cur);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+}  // namespace
+
+SpfResult dijkstra(const Topology& topo, NodeId src) {
+  return dijkstra_filtered(topo, src, nullptr, nullptr);
+}
+
+Path shortest_path(const Topology& topo, NodeId src, NodeId dst) {
+  if (src == dst) {
+    Path p;
+    p.nodes = {src};
+    return p;
+  }
+  return reconstruct(topo, dijkstra(topo, src), src, dst);
+}
+
+std::vector<Path> equal_cost_paths(const Topology& topo, NodeId src, NodeId dst,
+                                   std::size_t limit) {
+  std::vector<Path> out;
+  if (limit == 0) return out;
+  const SpfResult from_src = dijkstra(topo, src);
+  if (!from_src.reached(dst)) return out;
+  const SpfResult from_dst = dijkstra(topo, dst);
+  const double best = from_src.distance.at(dst);
+
+  // DFS over the shortest-path DAG: edge (u,v) is on some shortest path iff
+  // dist_src(u) + cost + dist_dst(v) == best.
+  Path current;
+  current.nodes.push_back(src);
+
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, next link idx)
+  // Recursive lambda via explicit stack of frames.
+  struct Frame {
+    NodeId node;
+    std::vector<const Link*> candidates;
+    std::size_t next = 0;
+  };
+  auto candidates_of = [&](NodeId u) {
+    std::vector<const Link*> cands;
+    const double du = from_src.distance.at(u);
+    for (const Link* link : topo.links_of(u)) {
+      const NodeId v = link->other(u);
+      const auto dv = from_dst.distance.find(v);
+      if (dv == from_dst.distance.end()) continue;
+      if (du + link->cost + dv->second == best) cands.push_back(link);
+    }
+    // Deterministic order.
+    std::sort(cands.begin(), cands.end(),
+              [](const Link* a, const Link* b) { return a->id < b->id; });
+    return cands;
+  };
+
+  std::vector<Frame> frames;
+  frames.push_back({src, candidates_of(src), 0});
+
+  while (!frames.empty() && out.size() < limit) {
+    Frame& frame = frames.back();
+    if (frame.node == dst) {
+      Path p = current;
+      p.cost = best;
+      out.push_back(std::move(p));
+      frames.pop_back();
+      if (!current.links.empty()) {
+        current.links.pop_back();
+        current.nodes.pop_back();
+      }
+      continue;
+    }
+    if (frame.next >= frame.candidates.size()) {
+      frames.pop_back();
+      if (!current.links.empty()) {
+        current.links.pop_back();
+        current.nodes.pop_back();
+      }
+      continue;
+    }
+    const Link* link = frame.candidates[frame.next++];
+    const NodeId v = link->other(frame.node);
+    current.links.push_back(link->id);
+    current.nodes.push_back(v);
+    frames.push_back({v, v == dst ? std::vector<const Link*>{} : candidates_of(v), 0});
+  }
+  return out;
+}
+
+std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src, NodeId dst,
+                                   std::size_t k) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  Path first = shortest_path(topo, src, dst);
+  if (first.empty()) return result;
+  result.push_back(std::move(first));
+
+  // Candidate set ordered by cost (then by node sequence for determinism).
+  auto cmp = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.nodes < b.nodes;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from each node of the previous path (except the last).
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur_node = prev.nodes[i];
+
+      std::unordered_set<LinkId> banned_links;
+      std::unordered_set<NodeId> banned_nodes;
+
+      // Ban links that would recreate an already-found path sharing the
+      // same root (prefix).
+      for (const Path& found : result) {
+        if (found.nodes.size() > i &&
+            std::equal(found.nodes.begin(),
+                       found.nodes.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                       prev.nodes.begin())) {
+          if (i < found.links.size()) banned_links.insert(found.links[i]);
+        }
+      }
+      // Ban root-path nodes (loopless requirement).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes.insert(prev.nodes[j]);
+
+      const SpfResult spf =
+          dijkstra_filtered(topo, spur_node, &banned_nodes, &banned_links);
+      Path spur = reconstruct(topo, spf, spur_node, dst);
+      if (spur.empty() && spur_node != dst) continue;
+
+      // Total = root prefix + spur.
+      Path total;
+      total.nodes.assign(prev.nodes.begin(),
+                         prev.nodes.begin() + static_cast<std::ptrdiff_t>(i));
+      total.links.assign(prev.links.begin(),
+                         prev.links.begin() + static_cast<std::ptrdiff_t>(i));
+      total.nodes.insert(total.nodes.end(), spur.nodes.begin(), spur.nodes.end());
+      total.links.insert(total.links.end(), spur.links.begin(), spur.links.end());
+      total.cost = 0;
+      for (const LinkId lid : total.links) total.cost += topo.link(lid)->cost;
+      candidates.insert(std::move(total));
+    }
+
+    // Pop the best candidate not already in the result.
+    bool advanced = false;
+    while (!candidates.empty()) {
+      Path best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      if (std::find(result.begin(), result.end(), best) == result.end()) {
+        result.push_back(std::move(best));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;  // exhausted
+  }
+  return result;
+}
+
+std::unordered_set<LinkId> spanning_tree(const Topology& topo, NodeId root) {
+  std::unordered_set<LinkId> tree;
+  std::unordered_set<NodeId> visited;
+  std::queue<NodeId> frontier;
+  const Node* r = topo.node(root);
+  if (!r || !r->up) return tree;
+  visited.insert(root);
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    // Deterministic: iterate links sorted by id.
+    auto links = topo.links_of(u);
+    std::sort(links.begin(), links.end(),
+              [](const Link* a, const Link* b) { return a->id < b->id; });
+    for (const Link* link : links) {
+      const NodeId v = link->other(u);
+      if (visited.insert(v).second) {
+        tree.insert(link->id);
+        frontier.push(v);
+      }
+    }
+  }
+  return tree;
+}
+
+bool is_connected(const Topology& topo) {
+  std::vector<NodeId> up_nodes;
+  for (const Node* n : topo.nodes())
+    if (n->up) up_nodes.push_back(n->id);
+  if (up_nodes.size() <= 1) return true;
+  const SpfResult spf = dijkstra(topo, up_nodes.front());
+  return std::all_of(up_nodes.begin(), up_nodes.end(),
+                     [&](NodeId id) { return spf.reached(id); });
+}
+
+double path_latency(const Topology& topo, const Path& path) {
+  double total = 0;
+  for (const LinkId lid : path.links) {
+    if (const Link* link = topo.link(lid)) total += link->latency_s;
+  }
+  return total;
+}
+
+double path_bottleneck(const Topology& topo, const Path& path,
+                       const std::unordered_map<LinkId, double>& used_bps) {
+  double min_residual = kInf;
+  for (const LinkId lid : path.links) {
+    const Link* link = topo.link(lid);
+    if (!link) return 0;
+    const auto it = used_bps.find(lid);
+    const double used = it == used_bps.end() ? 0 : it->second;
+    min_residual = std::min(min_residual, link->capacity_bps - used);
+  }
+  return min_residual == kInf ? 0 : std::max(0.0, min_residual);
+}
+
+}  // namespace zen::topo

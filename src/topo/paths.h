@@ -1,0 +1,63 @@
+// Path computation over Topology: Dijkstra, equal-cost path enumeration
+// (for ECMP), Yen's K-shortest paths, and a BFS spanning tree (for safe
+// flooding).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace zen::topo {
+
+struct Path {
+  std::vector<NodeId> nodes;   // src .. dst
+  std::vector<LinkId> links;   // nodes.size() - 1 entries
+  double cost = 0;
+
+  bool empty() const noexcept { return nodes.empty(); }
+  std::size_t hop_count() const noexcept { return links.size(); }
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+// Single-source shortest-path tree (by link cost).
+struct SpfResult {
+  std::unordered_map<NodeId, double> distance;
+  // For path reconstruction: the link used to reach each node.
+  std::unordered_map<NodeId, LinkId> parent_link;
+
+  bool reached(NodeId id) const { return distance.contains(id); }
+};
+
+SpfResult dijkstra(const Topology& topo, NodeId src);
+
+// Lowest-cost path, or an empty path if unreachable.
+Path shortest_path(const Topology& topo, NodeId src, NodeId dst);
+
+// All distinct minimum-cost paths, up to `limit` (ECMP set).
+std::vector<Path> equal_cost_paths(const Topology& topo, NodeId src, NodeId dst,
+                                   std::size_t limit = 16);
+
+// Yen's algorithm: K loopless shortest paths in nondecreasing cost order.
+std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src, NodeId dst,
+                                   std::size_t k);
+
+// BFS spanning tree rooted at `root`: the set of links on the tree.
+// Flooding restricted to these links is loop-free.
+std::unordered_set<LinkId> spanning_tree(const Topology& topo, NodeId root);
+
+// True if every up node is reachable from every other up node.
+bool is_connected(const Topology& topo);
+
+// Total propagation latency along a path.
+double path_latency(const Topology& topo, const Path& path);
+
+// Minimum residual capacity along a path given per-link usage.
+double path_bottleneck(const Topology& topo, const Path& path,
+                       const std::unordered_map<LinkId, double>& used_bps);
+
+}  // namespace zen::topo

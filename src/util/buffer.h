@@ -1,0 +1,73 @@
+// Network-byte-order (big-endian) serialization primitives.
+//
+// ByteWriter appends to a caller-owned std::vector<uint8_t>; ByteReader
+// consumes a std::span<const uint8_t>. Both are bounds-checked: the writer
+// grows, the reader reports truncation through ok()/fail flags so message
+// decoders can parse a whole struct and check validity once at the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zen::util {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void zeros(std::size_t n);
+
+  // Writes a fixed-size field from a string, padding with NUL bytes and
+  // truncating if longer than `width`.
+  void fixed_string(std::string_view s, std::size_t width);
+
+  std::size_t size() const noexcept { return out_.size(); }
+
+  // Patches a big-endian u16 previously written at `offset`. Used to
+  // back-fill length fields after a message body is serialized.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  void bytes(std::span<std::uint8_t> out);
+  void skip(std::size_t n);
+  std::string fixed_string(std::size_t width);
+
+  // Remaining unread bytes.
+  std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(pos_);
+  }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::size_t position() const noexcept { return pos_; }
+
+  // True unless any read ran past the end of the buffer.
+  bool ok() const noexcept { return !failed_; }
+
+ private:
+  bool ensure(std::size_t n) noexcept;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace zen::util

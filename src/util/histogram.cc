@@ -1,0 +1,96 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace zen::util {
+
+namespace {
+// Buckets cover values in [0, 2^40); anything larger clamps to the top.
+constexpr int kOctaves = 40;
+constexpr int kSubBuckets = 1 << 6;
+constexpr std::size_t kTotalBuckets =
+    static_cast<std::size_t>(kOctaves) * kSubBuckets + 1;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kTotalBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(double value) noexcept {
+  if (value < 1.0) {
+    // Sub-unit values share octave 0's linear buckets.
+    const auto idx = static_cast<std::size_t>(value * kSubBuckets);
+    return std::min<std::size_t>(idx, kSubBuckets - 1);
+  }
+  const int octave = std::min(static_cast<int>(std::log2(value)), kOctaves - 1);
+  const double base = std::exp2(octave);
+  const auto sub = static_cast<std::size_t>((value - base) / base * kSubBuckets);
+  return static_cast<std::size_t>(octave) * kSubBuckets +
+         std::min<std::size_t>(sub, kSubBuckets - 1) + 1;
+}
+
+double Histogram::bucket_midpoint(std::size_t index) noexcept {
+  if (index < kSubBuckets) {
+    return (static_cast<double>(index) + 0.5) / kSubBuckets;
+  }
+  index -= 1;
+  const std::size_t octave = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const double base = std::exp2(static_cast<double>(octave));
+  return base + base * (static_cast<double>(sub) + 0.5) / kSubBuckets;
+}
+
+void Histogram::record(double value) {
+  if (value < 0) value = 0;
+  const std::size_t idx = std::min(bucket_for(value), buckets_.size() - 1);
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+double Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      // Clamp the midpoint estimate into the observed range.
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(),
+                percentile(0.50), percentile(0.90), percentile(0.99), max());
+  return buf;
+}
+
+}  // namespace zen::util

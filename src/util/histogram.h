@@ -1,0 +1,45 @@
+// Streaming histogram with percentile queries.
+//
+// Values are bucketed on a log2 scale with linear sub-buckets (HdrHistogram
+// style), so memory is O(log(range)) and percentile error is bounded by the
+// sub-bucket resolution (~1.5% with 64 sub-buckets). Used to report latency
+// distributions in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zen::util {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(double value);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  double min() const noexcept { return count_ ? min_ : 0; }
+  double max() const noexcept { return count_ ? max_ : 0; }
+  double mean() const noexcept { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+
+  // q in [0, 1]; returns an approximation of the q-quantile.
+  double percentile(double q) const noexcept;
+
+  // One-line summary: "n=... mean=... p50=... p99=... max=...".
+  std::string summary() const;
+
+ private:
+  static constexpr int kSubBits = 6;  // 64 linear sub-buckets per octave
+  static std::size_t bucket_for(double value) noexcept;
+  static double bucket_midpoint(std::size_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace zen::util

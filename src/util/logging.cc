@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace zen::util {
+
+LogLevel& global_log_level() noexcept {
+  static LogLevel level = LogLevel::Warn;
+  return level;
+}
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info:  return "INFO";
+    case LogLevel::Warn:  return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off:   return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
+    : level_(level) {
+  // Keep only the basename; full paths are noise in log lines.
+  const auto slash = file.rfind('/');
+  if (slash != std::string_view::npos) file = file.substr(slash + 1);
+  stream_ << '[' << to_string(level_) << "] " << file << ':' << line << ": ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << '\n';
+  std::cerr << stream_.str();
+}
+
+}  // namespace detail
+
+}  // namespace zen::util

@@ -1,0 +1,58 @@
+// Minimal leveled logger.
+//
+// Usage:
+//   ZEN_LOG(Info) << "switch " << id << " connected";
+//
+// The logger writes to stderr. The global level gates emission; messages
+// below the level are formatted lazily (the stream object is only built
+// when the message will actually be emitted).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace zen::util {
+
+enum class LogLevel : std::uint8_t { Trace = 0, Debug, Info, Warn, Error, Off };
+
+// Returns the mutable global log level. Defaults to Warn so tests and
+// benchmarks stay quiet unless a caller opts in.
+LogLevel& global_log_level() noexcept;
+
+std::string_view to_string(LogLevel level) noexcept;
+
+namespace detail {
+
+// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace zen::util
+
+#define ZEN_LOG_ENABLED(level_)                      \
+  (::zen::util::LogLevel::level_ >= ::zen::util::global_log_level())
+
+#define ZEN_LOG(level_)                              \
+  if (!ZEN_LOG_ENABLED(level_)) {                    \
+  } else                                             \
+    ::zen::util::detail::LogMessage(::zen::util::LogLevel::level_, __FILE__, \
+                                    __LINE__)

@@ -1,0 +1,56 @@
+// A small expected-like result type used at module boundaries where a
+// failure is an ordinary outcome (e.g. parsing bytes off the wire) rather
+// than a programming error.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace zen::util {
+
+// Error payload: a human-readable message. Kept deliberately simple; callers
+// that need structured errors define their own enum next to the API.
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}       // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_).message;
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+template <typename T>
+Result<T> make_error(std::string message) {
+  return Result<T>(Error{std::move(message)});
+}
+
+}  // namespace zen::util

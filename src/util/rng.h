@@ -1,0 +1,62 @@
+// Deterministic pseudo-random sources for workload generation.
+//
+// All simulation and benchmark randomness flows through Rng (xoshiro256**)
+// so runs are reproducible from a single seed. ZipfGenerator produces the
+// skewed popularity distributions used by the flow-table and cache
+// experiments (E3/E4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zen::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  // Uniform in [0, 1).
+  double next_double() noexcept;
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+  // Exponentially distributed with the given mean (> 0). Used for Poisson
+  // inter-arrival times in traffic generators.
+  double next_exponential(double mean) noexcept;
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Zipf(alpha) over ranks 1..n, returned 0-based. alpha == 0 degenerates to
+// uniform. Uses the cumulative table method: O(n) setup, O(log n) sampling.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double alpha);
+
+  std::size_t next(Rng& rng) const noexcept;
+
+  std::size_t universe() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace zen::util

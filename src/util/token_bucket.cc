@@ -1,0 +1,28 @@
+#include "util/token_bucket.h"
+
+#include <algorithm>
+
+namespace zen::util {
+
+TokenBucket::TokenBucket(double rate, double burst) noexcept
+    : rate_(rate), burst_(burst), tokens_(burst) {}
+
+void TokenBucket::refill(double now) noexcept {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_consume(double tokens, double now) noexcept {
+  refill(now);
+  if (tokens_ + 1e-12 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available(double now) noexcept {
+  refill(now);
+  return tokens_;
+}
+
+}  // namespace zen::util

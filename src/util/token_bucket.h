@@ -1,0 +1,36 @@
+// Token-bucket rate limiter over a virtual clock.
+//
+// The simulator and the dataplane meter both consume this: time is passed
+// in explicitly (seconds on the simulated clock), so the bucket is usable
+// under virtual time without any wall-clock dependency.
+#pragma once
+
+#include <cstdint>
+
+namespace zen::util {
+
+class TokenBucket {
+ public:
+  // rate: tokens per second added; burst: bucket capacity in tokens.
+  TokenBucket(double rate, double burst) noexcept;
+
+  // Attempts to consume `tokens` at time `now` (seconds, monotonic).
+  // Returns true and deducts on success; false leaves the bucket unchanged.
+  bool try_consume(double tokens, double now) noexcept;
+
+  // Tokens currently available at time `now`.
+  double available(double now) noexcept;
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void refill(double now) noexcept;
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0;
+};
+
+}  // namespace zen::util

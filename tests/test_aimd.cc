@@ -1,0 +1,137 @@
+// AIMD transport dynamics on the link model: completion, sawtooth under a
+// bottleneck, fairness between competing flows, and loss recovery.
+#include <gtest/gtest.h>
+
+#include "sim/aimd_flow.h"
+#include "topo/generators.h"
+
+namespace zen::sim {
+namespace {
+
+// Two switches, two hosts per switch, static forwarding by destination IP.
+class AimdFixture : public ::testing::Test {
+ protected:
+  AimdFixture() : net_(topo::make_linear(2, 2), options()) {
+    const topo::Link* trunk = net_.topology().link_between(1, 2);
+    for (const auto& att : net_.generated().attachments) {
+      // Rules on both switches toward every host.
+      for (const topo::NodeId sw : {topo::NodeId{1}, topo::NodeId{2}}) {
+        openflow::FlowMod mod;
+        mod.priority = 10;
+        mod.match.eth_type(net::EtherType::kIpv4)
+            .ipv4_dst(host_ip(att.host), 32);
+        mod.instructions = openflow::output_to(
+            att.sw == sw ? att.sw_port : trunk->port_at(sw));
+        EXPECT_TRUE(net_.flow_mod(sw, mod).ok);
+      }
+    }
+  }
+
+  static SimOptions options() {
+    SimOptions opts;
+    opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+    return opts;
+  }
+
+  void throttle_trunk(double bps) {
+    const topo::Link* trunk = net_.topology().link_between(1, 2);
+    net_.topology().mutable_link(trunk->id)->capacity_bps = bps;
+  }
+
+  topo::NodeId host_id(std::size_t i) { return net_.generated().hosts[i]; }
+
+  SimNetwork net_;
+};
+
+TEST_F(AimdFixture, CompletesTransferOnCleanPath) {
+  AimdFlow::Options options;
+  options.total_bytes = 2 << 20;  // 2 MiB
+  AimdFlow flow(net_, host_id(0), host_id(2), options);
+  flow.start();
+  net_.run_until(10.0);
+
+  ASSERT_TRUE(flow.complete());
+  EXPECT_GE(flow.stats().bytes_acked, options.total_bytes);
+  EXPECT_EQ(flow.stats().timeouts, 0u);  // no loss on a 10G path
+  EXPECT_GT(flow.throughput_bps(), 50e6);
+}
+
+TEST_F(AimdFixture, SawtoothUnderBottleneck) {
+  throttle_trunk(50e6);  // 50 Mbit/s bottleneck, 64 KB queue
+  AimdFlow::Options options;
+  options.total_bytes = 4 << 20;
+  AimdFlow flow(net_, host_id(0), host_id(2), options);
+  flow.start();
+  net_.run_until(30.0);
+
+  ASSERT_TRUE(flow.complete());
+  // The window must have hit the bottleneck and backed off at least once.
+  EXPECT_GT(flow.stats().fast_retransmits + flow.stats().timeouts, 0u);
+  EXPECT_GT(net_.total_link_drops(), 0u);
+  // Goodput lands near (below) the bottleneck rate.
+  EXPECT_GT(flow.throughput_bps(), 15e6);
+  EXPECT_LT(flow.throughput_bps(), 50e6);
+}
+
+TEST_F(AimdFixture, TwoFlowsShareBottleneckFairly) {
+  throttle_trunk(50e6);
+  AimdFlow::Options options;
+  options.total_bytes = 3 << 20;
+  options.dst_port = 9000;
+  AimdFlow flow_a(net_, host_id(0), host_id(2), options);
+  options.src_port = 41000;
+  options.dst_port = 9001;
+  AimdFlow flow_b(net_, host_id(1), host_id(3), options);
+  flow_a.start();
+  flow_b.start();
+  net_.run_until(60.0);
+
+  ASSERT_TRUE(flow_a.complete());
+  ASSERT_TRUE(flow_b.complete());
+  // Same transfer size under a shared bottleneck: completion times within
+  // a generous fairness band (AIMD synchronization is noisy).
+  const double ta = flow_a.stats().completed_at;
+  const double tb = flow_b.stats().completed_at;
+  EXPECT_LT(std::max(ta, tb) / std::min(ta, tb), 3.0);
+  // Combined goodput approaches the bottleneck.
+  const double combined =
+      (static_cast<double>(flow_a.stats().bytes_acked +
+                           flow_b.stats().bytes_acked) *
+       8.0) /
+      std::max(ta, tb);
+  EXPECT_GT(combined, 20e6);
+}
+
+TEST_F(AimdFixture, RecoversFromLinkOutage) {
+  AimdFlow::Options options;
+  options.total_bytes = 4 << 20;
+  AimdFlow flow(net_, host_id(0), host_id(2), options);
+  flow.start();
+  // Trunk blackout from 0.5 ms to 10.5 ms, mid-transfer: everything in
+  // flight dies; the flow must time out, retransmit, and finish.
+  const topo::Link* trunk = net_.topology().link_between(1, 2);
+  net_.schedule_link_failure(trunk->id, 0.0005, 0.01);
+  net_.run_until(20.0);
+
+  ASSERT_TRUE(flow.complete());
+  EXPECT_GT(flow.stats().timeouts, 0u);
+  EXPECT_GT(flow.stats().completed_at, 0.0105);
+}
+
+TEST_F(AimdFixture, SlowStartGrowsWindowExponentiallyThenLinearly) {
+  AimdFlow::Options options;
+  options.total_bytes = 8 << 20;
+  options.initial_ssthresh = 16;
+  AimdFlow flow(net_, host_id(0), host_id(2), options);
+  flow.start();
+  net_.run_until(0.01);  // a few RTTs in
+  const double early = flow.stats().max_cwnd;
+  net_.run_until(10.0);
+  ASSERT_TRUE(flow.complete());
+  // Window kept growing past ssthresh in congestion avoidance.
+  EXPECT_GT(flow.stats().max_cwnd, 16.0);
+  EXPECT_GE(flow.stats().max_cwnd, early);
+}
+
+}  // namespace
+}  // namespace zen::sim

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include "controller/apps/discovery.h"
+#include "controller/apps/firewall.h"
+#include "controller/apps/l3_routing.h"
+#include "controller/apps/learning_switch.h"
+#include "controller/apps/load_balancer.h"
+#include "controller/controller.h"
+#include "topo/generators.h"
+
+namespace zen::controller {
+namespace {
+
+using apps::Discovery;
+using apps::Firewall;
+using apps::L3Routing;
+using apps::LearningSwitch;
+using apps::LoadBalancer;
+
+sim::SimOptions drop_miss_options() {
+  sim::SimOptions opts;
+  opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+  return opts;
+}
+
+TEST(Handshake, FeaturesLearnedOverWire) {
+  sim::SimNetwork net(topo::make_linear(3, 1), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  EXPECT_EQ(ctrl.view().switch_ids().size(), 3u);
+  const auto* features = ctrl.view().switch_features(1);
+  ASSERT_NE(features, nullptr);
+  EXPECT_EQ(features->datapath_id, 1u);
+  // s1 has: 1 trunk port + 1 host port.
+  EXPECT_EQ(features->ports.size(), 2u);
+}
+
+TEST(Handshake, BarrierRoundtrip) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  bool done = false;
+  ctrl.barrier(1, [&] { done = true; });
+  EXPECT_FALSE(done);  // latency not yet elapsed
+  net.run_until(0.2);
+  EXPECT_TRUE(done);
+}
+
+TEST(Handshake, FlowModCrossesWireAndInstalls) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  openflow::FlowMod mod;
+  mod.priority = 9;
+  mod.match.l4_dst(80);
+  mod.instructions = openflow::output_to(1);
+  ctrl.flow_mod(1, mod);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 0u);  // not yet arrived
+  net.run_until(0.2);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+}
+
+TEST(Handshake, ErrorsReportedBack) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  openflow::FlowMod mod;
+  mod.table_id = 99;  // invalid
+  ctrl.flow_mod(1, mod);
+  net.run_until(0.2);
+  EXPECT_EQ(ctrl.stats().errors_received, 1u);
+}
+
+TEST(Handshake, FlowStatsRequestReply) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  openflow::FlowMod mod;
+  mod.priority = 9;
+  mod.cookie = 0xabc;
+  mod.match.l4_dst(80);
+  mod.instructions = openflow::output_to(1);
+  ctrl.flow_mod(1, mod);
+  net.run_until(0.2);
+
+  std::optional<openflow::FlowStatsReply> reply;
+  ctrl.request_flow_stats(
+      1, openflow::FlowStatsRequest{},
+      [&](const openflow::FlowStatsReply& r) { reply = r; });
+  net.run_until(0.3);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->entries.size(), 1u);
+  EXPECT_EQ(reply->entries[0].cookie, 0xabcULL);
+}
+
+// ---- learning switch ----
+
+class LearningFixture : public ::testing::Test {
+ protected:
+  LearningFixture() : net_(topo::make_linear(3, 2)), ctrl_(net_) {
+    app_ = &ctrl_.add_app<LearningSwitch>();
+    ctrl_.connect_all();
+    net_.run_until(0.5);
+  }
+
+  sim::SimHost& host(std::size_t i) {
+    return net_.host_at(net_.generated().hosts[i]);
+  }
+
+  sim::SimNetwork net_;
+  Controller ctrl_;
+  LearningSwitch* app_ = nullptr;
+};
+
+TEST_F(LearningFixture, FirstPacketFloodsThenLearns) {
+  host(0).send_udp(host(5).ip(), 4000, 4001, 64);
+  net_.run_until(2.0);
+  EXPECT_EQ(host(5).stats().udp_received, 1u);
+  EXPECT_GE(app_->table_size(1), 1u);
+}
+
+TEST_F(LearningFixture, SubsequentPacketsSkipController) {
+  host(0).send_udp(host(5).ip(), 4000, 4001, 64);
+  net_.run_until(2.0);
+  const auto pins_before = ctrl_.stats().packet_ins;
+  for (int i = 0; i < 20; ++i) host(0).send_udp(host(5).ip(), 4000, 4001, 64);
+  net_.run_until(4.0);
+  EXPECT_EQ(host(5).stats().udp_received, 21u);
+  EXPECT_EQ(ctrl_.stats().packet_ins, pins_before);
+}
+
+TEST_F(LearningFixture, BidirectionalTraffic) {
+  host(0).send_udp(host(5).ip(), 4000, 4001, 64);
+  net_.run_until(2.0);
+  host(5).send_udp(host(0).ip(), 4001, 4000, 64);
+  net_.run_until(4.0);
+  EXPECT_EQ(host(0).stats().udp_received, 1u);
+  EXPECT_EQ(host(5).stats().udp_received, 1u);
+}
+
+// ---- discovery ----
+
+TEST(DiscoveryApp, LearnsFullTopology) {
+  auto gen = topo::make_fat_tree(4);
+  const std::size_t switch_links = gen.topo.link_count() - gen.hosts.size();
+  sim::SimNetwork net(std::move(gen));
+  Controller ctrl(net);
+  ctrl.add_app<Discovery>();
+  ctrl.connect_all();
+  net.run_until(3.0);
+
+  std::size_t up_links = 0;
+  for (const auto& link : ctrl.view().links())
+    if (link.up) ++up_links;
+  EXPECT_EQ(up_links, switch_links);
+  EXPECT_EQ(ctrl.view().switch_ids().size(), 20u);
+}
+
+TEST(DiscoveryApp, InfrastructurePortsIdentified) {
+  sim::SimNetwork net(topo::make_linear(2, 1));
+  Controller ctrl(net);
+  ctrl.add_app<Discovery>();
+  ctrl.connect_all();
+  net.run_until(3.0);
+
+  const topo::Link* trunk = net.topology().link_between(1, 2);
+  EXPECT_TRUE(ctrl.view().is_infrastructure_port(1, trunk->port_at(1)));
+  for (const auto& att : net.generated().attachments)
+    EXPECT_FALSE(ctrl.view().is_infrastructure_port(att.sw, att.sw_port));
+}
+
+TEST(DiscoveryApp, LinkFailureRaisesLinkEvent) {
+  sim::SimNetwork net(topo::make_linear(3, 1));
+  Controller ctrl(net);
+  ctrl.add_app<Discovery>();
+
+  struct Watcher : App {
+    std::string name() const override { return "watcher"; }
+    void on_link_event(const LinkEvent& event) override {
+      events.push_back(event);
+    }
+    std::vector<LinkEvent> events;
+  };
+  auto& watcher = ctrl.add_app<Watcher>();
+
+  ctrl.connect_all();
+  net.run_until(3.0);
+  const auto ups = watcher.events.size();
+  EXPECT_GE(ups, 2u);  // two switch-switch links discovered
+
+  const topo::Link* trunk = net.topology().link_between(1, 2);
+  net.set_link_admin_up(trunk->id, false);
+  net.run_until(3.5);
+  ASSERT_GT(watcher.events.size(), ups);
+  EXPECT_FALSE(watcher.events.back().up);
+}
+
+// ---- L3 routing ----
+
+class RoutingFixture : public ::testing::Test {
+ protected:
+  RoutingFixture() : net_(topo::make_fat_tree(4), drop_miss_options()),
+                     ctrl_(net_) {
+    Discovery::Options disc;
+    disc.stop_after_s = 2.5;  // keep PacketIn counters free of probe noise
+    ctrl_.add_app<Discovery>(disc);
+    routing_ = &ctrl_.add_app<L3Routing>();
+    ctrl_.connect_all();
+    net_.run_until(3.0);  // discovery settles
+  }
+
+  sim::SimHost& host(std::size_t i) {
+    return net_.host_at(net_.generated().hosts[i]);
+  }
+
+  sim::SimNetwork net_;
+  Controller ctrl_;
+  L3Routing* routing_ = nullptr;
+};
+
+TEST_F(RoutingFixture, CrossPodDelivery) {
+  auto& src = host(0);
+  auto& dst = host(15);  // other pod in k=4 fat-tree
+  src.send_udp(dst.ip(), 5000, 5001, 128);
+  net_.run_until(6.0);
+  EXPECT_EQ(dst.stats().udp_received, 1u);
+
+  // Steady state: many packets, no extra controller load.
+  const auto pins = ctrl_.stats().packet_ins;
+  for (int i = 0; i < 50; ++i) src.send_udp(dst.ip(), 5000, 5001, 128);
+  net_.run_until(8.0);
+  EXPECT_EQ(dst.stats().udp_received, 51u);
+  EXPECT_EQ(ctrl_.stats().packet_ins, pins);
+}
+
+TEST_F(RoutingFixture, AllPairsPings) {
+  for (std::size_t i = 1; i < 16; ++i) host(i).send_icmp_echo(host(0).ip(), 1);
+  net_.run_until(8.0);
+  EXPECT_EQ(host(0).stats().icmp_echo_received, 15u);
+  std::uint64_t replies = 0;
+  for (std::size_t i = 1; i < 16; ++i)
+    replies += host(i).stats().icmp_reply_received;
+  EXPECT_EQ(replies, 15u);
+}
+
+TEST_F(RoutingFixture, ReroutesAroundLinkFailure) {
+  auto& src = host(0);
+  auto& dst = host(15);
+  src.send_udp(dst.ip(), 5000, 5001, 128);
+  net_.run_until(6.0);
+  ASSERT_EQ(dst.stats().udp_received, 1u);
+
+  // Fail one of the edge switch's uplinks; routing must shift.
+  const topo::NodeId edge = net_.generated().attachments[0].sw;
+  const topo::Link* uplink = nullptr;
+  for (const topo::Link* link : net_.topology().links_of(edge)) {
+    if (!topo::is_host_id(link->other(edge))) {
+      uplink = link;
+      break;
+    }
+  }
+  ASSERT_NE(uplink, nullptr);
+  net_.set_link_admin_up(uplink->id, false);
+  net_.run_until(7.0);  // PortStatus -> recompute
+
+  for (int i = 0; i < 5; ++i) src.send_udp(dst.ip(), 5000, 5001, 128);
+  net_.run_until(9.0);
+  EXPECT_EQ(dst.stats().udp_received, 6u);
+}
+
+class EcmpRoutingFixture : public ::testing::Test {
+ protected:
+  EcmpRoutingFixture()
+      : net_(topo::make_leaf_spine(4, 2, 8), drop_miss_options()), ctrl_(net_) {
+    Discovery::Options disc;
+    disc.stop_after_s = 2.5;
+    ctrl_.add_app<Discovery>(disc);
+    L3Routing::Options options;
+    options.use_ecmp_groups = true;
+    routing_ = &ctrl_.add_app<L3Routing>(options);
+    ctrl_.connect_all();
+    net_.run_until(3.0);
+  }
+
+  sim::SimHost& host(std::size_t i) {
+    return net_.host_at(net_.generated().hosts[i]);
+  }
+
+  sim::SimNetwork net_;
+  Controller ctrl_;
+  L3Routing* routing_ = nullptr;
+};
+
+TEST_F(EcmpRoutingFixture, FlowsSpreadAcrossSpines) {
+  // 8 hosts on leaf0 each send several flows to hosts on leaf1.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::uint16_t flow = 0; flow < 8; ++flow) {
+      host(i).send_udp(host(8 + i).ip(),
+                       static_cast<std::uint16_t>(6000 + flow), 7000, 64);
+    }
+  }
+  net_.run_until(8.0);
+
+  std::uint64_t received = 0;
+  for (std::size_t i = 8; i < 16; ++i) received += host(i).stats().udp_received;
+  EXPECT_EQ(received, 64u);
+
+  // Multiple spine uplinks from leaf0 must carry traffic.
+  const topo::NodeId leaf0 = net_.generated().switches[4];
+  int used_uplinks = 0;
+  for (const topo::Link* link : net_.topology().links_of(leaf0)) {
+    if (topo::is_host_id(link->other(leaf0))) continue;
+    const int dir = link->a == leaf0 ? 0 : 1;
+    if (net_.link_stats(link->id, dir).delivered > 0) ++used_uplinks;
+  }
+  EXPECT_GE(used_uplinks, 2);
+}
+
+// ---- firewall ----
+
+TEST(FirewallApp, TwoTableAclBlocksAndAllows) {
+  sim::SimNetwork net(topo::make_linear(2, 1), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.add_app<Discovery>();
+
+  Firewall::Options fw_options;
+  fw_options.acl_table = 0;
+  fw_options.next_table = 1;
+  auto& firewall = ctrl.add_app<Firewall>(fw_options);
+
+  L3Routing::Options route_options;
+  route_options.table_id = 1;
+  ctrl.add_app<L3Routing>(route_options);
+
+  apps::AclRule allow_all;
+  allow_all.allow = true;
+  allow_all.priority = 0;
+  firewall.add_rule(allow_all);
+
+  apps::AclRule deny_telnet;
+  deny_telnet.match.eth_type(net::EtherType::kIpv4)
+      .ip_proto(net::IpProto::kTcp)
+      .l4_dst(23);
+  deny_telnet.allow = false;
+  deny_telnet.priority = 10;
+  firewall.add_rule(deny_telnet);
+
+  ctrl.connect_all();
+  net.run_until(3.0);
+
+  auto& client = net.host_at(net.generated().hosts[0]);
+  auto& server = net.host_at(net.generated().hosts[1]);
+
+  net::TcpSpec telnet;
+  telnet.src_port = 30000;
+  telnet.dst_port = 23;
+  client.send_tcp(server.ip(), telnet, 16);
+
+  net::TcpSpec http;
+  http.src_port = 30001;
+  http.dst_port = 80;
+  client.send_tcp(server.ip(), http, 16);
+
+  net.run_until(6.0);
+  EXPECT_EQ(server.stats().tcp_received, 1u);  // only HTTP got through
+}
+
+// ---- load balancer ----
+
+TEST(LoadBalancerApp, SpreadsFlowsAndRewrites) {
+  sim::SimNetwork net(topo::make_linear(3, 2), drop_miss_options());
+  Controller ctrl(net);
+  ctrl.add_app<Discovery>();
+
+  // The balancer must precede routing in the app chain: routing consumes
+  // every IPv4 PacketIn, so VIP traffic has to be claimed first.
+  const net::Ipv4Address vip(10, 99, 99, 99);
+  const auto backend_ip_a = sim::host_ip(net.generated().hosts[4]);
+  const auto backend_ip_b = sim::host_ip(net.generated().hosts[5]);
+  auto& lb = ctrl.add_app<LoadBalancer>(
+      vip, std::vector<LoadBalancer::Backend>{{backend_ip_a}, {backend_ip_b}});
+  ctrl.add_app<L3Routing>();
+
+  ctrl.connect_all();
+  net.run_until(3.0);
+
+  // Make backends known to the controller (they speak first).
+  net.host_at(net.generated().hosts[4])
+      .send_icmp_echo(sim::host_ip(net.generated().hosts[0]), 1);
+  net.host_at(net.generated().hosts[5])
+      .send_icmp_echo(sim::host_ip(net.generated().hosts[0]), 1);
+  net.run_until(5.0);
+
+  // Clients 0..3 each open several UDP "connections" to the VIP.
+  for (std::size_t c = 0; c < 4; ++c) {
+    auto& client = net.host_at(net.generated().hosts[c]);
+    for (std::uint16_t flow = 0; flow < 8; ++flow)
+      client.send_udp(vip, static_cast<std::uint16_t>(50000 + flow), 80, 64);
+  }
+  net.run_until(10.0);
+
+  const auto& backend_a = net.host_at(net.generated().hosts[4]);
+  const auto& backend_b = net.host_at(net.generated().hosts[5]);
+  const std::uint64_t total =
+      backend_a.stats().udp_received + backend_b.stats().udp_received;
+  EXPECT_EQ(total, 32u);
+  EXPECT_GT(lb.flows_assigned(), 0u);
+  EXPECT_GT(backend_a.stats().udp_received, 0u);
+  EXPECT_GT(backend_b.stats().udp_received, 0u);
+}
+
+}  // namespace
+}  // namespace zen::controller

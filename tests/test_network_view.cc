@@ -1,0 +1,142 @@
+// Unit tests for the controller's learned network model (NetworkView).
+#include <gtest/gtest.h>
+
+#include "controller/network_view.h"
+#include "topo/paths.h"
+
+namespace zen::controller {
+namespace {
+
+openflow::FeaturesReply features_with_ports(Dpid dpid,
+                                            std::initializer_list<int> ports) {
+  openflow::FeaturesReply reply;
+  reply.datapath_id = dpid;
+  for (const int p : ports) {
+    openflow::PortDesc desc;
+    desc.port_no = static_cast<std::uint32_t>(p);
+    reply.ports.push_back(desc);
+  }
+  return reply;
+}
+
+TEST(NetworkView, SwitchLifecycle) {
+  NetworkView view;
+  EXPECT_FALSE(view.has_switch(1));
+  view.add_switch(1, features_with_ports(1, {1, 2}));
+  view.add_switch(2, features_with_ports(2, {1}));
+  EXPECT_TRUE(view.has_switch(1));
+  EXPECT_EQ(view.switch_ids(), (std::vector<Dpid>{1, 2}));
+  ASSERT_NE(view.switch_features(1), nullptr);
+  EXPECT_EQ(view.switch_features(1)->ports.size(), 2u);
+
+  view.remove_switch(1);
+  EXPECT_FALSE(view.has_switch(1));
+  EXPECT_EQ(view.switch_features(1), nullptr);
+}
+
+TEST(NetworkView, LinkLearningIsDirectionAgnostic) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1}));
+  view.add_switch(2, features_with_ports(2, {1}));
+
+  EXPECT_TRUE(view.learn_link(1, 1, 2, 1, 0.0));   // new
+  EXPECT_FALSE(view.learn_link(1, 1, 2, 1, 1.0));  // refresh
+  EXPECT_FALSE(view.learn_link(2, 1, 1, 1, 2.0));  // reverse observation
+  EXPECT_EQ(view.links().size(), 1u);
+  EXPECT_DOUBLE_EQ(view.links()[0].last_seen, 2.0);
+}
+
+TEST(NetworkView, MarkLinksDownAndRevive) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1}));
+  view.add_switch(2, features_with_ports(2, {1}));
+  view.learn_link(1, 1, 2, 1, 0.0);
+
+  const auto affected = view.mark_links_down(2, 1);
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_FALSE(view.links()[0].up);
+  EXPECT_TRUE(view.mark_links_down(2, 1).empty());  // already down
+
+  EXPECT_TRUE(view.learn_link(1, 1, 2, 1, 5.0));  // revival reported
+  EXPECT_TRUE(view.links()[0].up);
+}
+
+TEST(NetworkView, InfrastructurePortDetection) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1, 2}));
+  view.add_switch(2, features_with_ports(2, {1}));
+  view.learn_link(1, 1, 2, 1, 0.0);
+  EXPECT_TRUE(view.is_infrastructure_port(1, 1));
+  EXPECT_FALSE(view.is_infrastructure_port(1, 2));  // edge port
+}
+
+TEST(NetworkView, HostLearningAndMoves) {
+  NetworkView view;
+  const auto mac = net::MacAddress::from_u64(0xabc);
+  const net::Ipv4Address ip(10, 0, 0, 7);
+
+  EXPECT_TRUE(view.learn_host(mac, ip, 1, 2, 0.0));   // new
+  EXPECT_FALSE(view.learn_host(mac, ip, 1, 2, 1.0));  // unchanged
+  EXPECT_TRUE(view.learn_host(mac, ip, 2, 3, 2.0));   // moved
+
+  const HostInfo* by_mac = view.host_by_mac(mac);
+  ASSERT_NE(by_mac, nullptr);
+  EXPECT_EQ(by_mac->dpid, 2u);
+  EXPECT_EQ(by_mac->port, 3u);
+  const HostInfo* by_ip = view.host_by_ip(ip);
+  ASSERT_NE(by_ip, nullptr);
+  EXPECT_EQ(by_ip->mac, mac);
+  EXPECT_EQ(view.hosts().size(), 1u);
+  EXPECT_EQ(view.host_by_ip(net::Ipv4Address(9, 9, 9, 9)), nullptr);
+}
+
+TEST(NetworkView, AsTopologySnapshot) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1, 2}));
+  view.add_switch(2, features_with_ports(2, {1, 2}));
+  view.add_switch(3, features_with_ports(3, {1}));
+  view.learn_link(1, 1, 2, 1, 0.0);
+  view.learn_link(2, 2, 3, 1, 0.0);
+  view.learn_host(net::MacAddress::from_u64(0x111), net::Ipv4Address(10, 0, 0, 1),
+                  1, 2, 0.0);
+
+  const topo::Topology bare = view.as_topology(false);
+  EXPECT_EQ(bare.node_count(), 3u);
+  EXPECT_EQ(bare.link_count(), 2u);
+  EXPECT_FALSE(topo::shortest_path(bare, 1, 3).empty());
+
+  const topo::Topology with_hosts = view.as_topology(true);
+  EXPECT_EQ(with_hosts.node_count(), 4u);
+  EXPECT_EQ(with_hosts.link_count(), 3u);
+
+  // Down links are excluded from the snapshot.
+  view.mark_links_down(2, 2);
+  const topo::Topology after = view.as_topology(false);
+  EXPECT_EQ(after.link_count(), 1u);
+  EXPECT_TRUE(topo::shortest_path(after, 1, 3).empty());
+}
+
+TEST(NetworkView, VersionTracksMutations) {
+  NetworkView view;
+  auto v = view.version();
+  view.add_switch(1, features_with_ports(1, {1}));
+  EXPECT_GT(view.version(), v);
+  v = view.version();
+  view.set_port_state(1, 1, false);
+  EXPECT_GT(view.version(), v);
+  v = view.version();
+  view.set_port_state(99, 1, false);  // unknown switch: no change
+  EXPECT_EQ(view.version(), v);
+}
+
+TEST(NetworkView, RemoveSwitchDropsItsLinks) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1}));
+  view.add_switch(2, features_with_ports(2, {1}));
+  view.learn_link(1, 1, 2, 1, 0.0);
+  view.remove_switch(2);
+  EXPECT_TRUE(view.links().empty());
+}
+
+}  // namespace
+}  // namespace zen::controller

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/generators.h"
+#include "topo/graph.h"
+#include "topo/paths.h"
+
+namespace zen::topo {
+namespace {
+
+Topology diamond() {
+  // 1 -2- 4 with two middle nodes 2 and 3 (equal cost), plus a long way 5.
+  //    1 -- 2 -- 4
+  //    1 -- 3 -- 4
+  //    1 -- 5 -- 5' -- 4 (cost 3)
+  Topology topo;
+  for (NodeId id = 1; id <= 6; ++id) topo.add_node(id, NodeKind::Switch);
+  topo.add_link(1, 1, 2, 1);
+  topo.add_link(2, 2, 4, 1);
+  topo.add_link(1, 2, 3, 1);
+  topo.add_link(3, 2, 4, 2);
+  topo.add_link(1, 3, 5, 1);
+  topo.add_link(5, 2, 6, 1);
+  topo.add_link(6, 2, 4, 3);
+  return topo;
+}
+
+TEST(Graph, AddRemoveNodesAndLinks) {
+  Topology topo;
+  EXPECT_TRUE(topo.add_node(1, NodeKind::Switch));
+  EXPECT_FALSE(topo.add_node(1, NodeKind::Switch));  // duplicate
+  EXPECT_TRUE(topo.add_node(2, NodeKind::Host));
+  const auto link = topo.add_link(1, 1, 2, 1);
+  ASSERT_TRUE(link);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_TRUE(topo.remove_link(*link));
+  EXPECT_EQ(topo.link_count(), 0u);
+  EXPECT_FALSE(topo.remove_link(*link));
+}
+
+TEST(Graph, LinkRejectsBadEndpointsAndBusyPorts) {
+  Topology topo;
+  topo.add_node(1, NodeKind::Switch);
+  topo.add_node(2, NodeKind::Switch);
+  EXPECT_FALSE(topo.add_link(1, 1, 9, 1));     // missing node
+  EXPECT_FALSE(topo.add_link(1, 1, 1, 2));     // self loop
+  EXPECT_TRUE(topo.add_link(1, 1, 2, 1));
+  EXPECT_FALSE(topo.add_link(1, 1, 2, 2));     // port 1 on node 1 busy
+}
+
+TEST(Graph, RemoveNodeRemovesIncidentLinks) {
+  Topology topo;
+  for (NodeId id = 1; id <= 3; ++id) topo.add_node(id, NodeKind::Switch);
+  topo.add_link(1, 1, 2, 1);
+  topo.add_link(2, 2, 3, 1);
+  EXPECT_TRUE(topo.remove_node(2));
+  EXPECT_EQ(topo.link_count(), 0u);
+  EXPECT_EQ(topo.node_count(), 2u);
+}
+
+TEST(Graph, LinkAtAndBetween) {
+  Topology topo;
+  topo.add_node(1, NodeKind::Switch);
+  topo.add_node(2, NodeKind::Switch);
+  const auto id = topo.add_link(1, 7, 2, 9);
+  ASSERT_TRUE(id);
+  ASSERT_NE(topo.link_at(1, 7), nullptr);
+  EXPECT_EQ(topo.link_at(1, 7)->other(1), 2u);
+  EXPECT_EQ(topo.link_at(1, 8), nullptr);
+  ASSERT_NE(topo.link_between(1, 2), nullptr);
+  topo.set_link_up(*id, false);
+  EXPECT_EQ(topo.link_between(1, 2), nullptr);  // down link invisible
+}
+
+TEST(Graph, VersionBumpsOnChange) {
+  Topology topo;
+  const auto v0 = topo.version();
+  topo.add_node(1, NodeKind::Switch);
+  EXPECT_GT(topo.version(), v0);
+}
+
+TEST(Paths, ShortestPathBasics) {
+  const Topology topo = diamond();
+  const Path path = shortest_path(topo, 1, 4);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.cost, 2);
+  EXPECT_EQ(path.nodes.size(), 3u);
+  EXPECT_EQ(path.nodes.front(), 1u);
+  EXPECT_EQ(path.nodes.back(), 4u);
+  EXPECT_EQ(path.hop_count(), 2u);
+}
+
+TEST(Paths, ShortestPathSelf) {
+  const Topology topo = diamond();
+  const Path path = shortest_path(topo, 1, 1);
+  EXPECT_EQ(path.nodes.size(), 1u);
+  EXPECT_EQ(path.cost, 0);
+}
+
+TEST(Paths, UnreachableGivesEmpty) {
+  Topology topo = diamond();
+  topo.add_node(99, NodeKind::Switch);
+  EXPECT_TRUE(shortest_path(topo, 1, 99).empty());
+}
+
+TEST(Paths, DownLinksAvoided) {
+  Topology topo = diamond();
+  // Kill both 2-hop routes; path must use the 3-hop one.
+  topo.set_link_up(topo.link_between(1, 2)->id, false);
+  topo.set_link_up(topo.link_between(1, 3)->id, false);
+  const Path path = shortest_path(topo, 1, 4);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.cost, 3);
+}
+
+TEST(Paths, DownNodesAvoided) {
+  Topology topo = diamond();
+  topo.set_node_up(2, false);
+  const Path path = shortest_path(topo, 1, 4);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.nodes[1], 3u);  // via the other middle node
+}
+
+TEST(Paths, EqualCostPathsFindsBoth) {
+  const Topology topo = diamond();
+  const auto paths = equal_cost_paths(topo, 1, 4, 10);
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) EXPECT_EQ(p.cost, 2);
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+}
+
+TEST(Paths, EqualCostRespectsLimit) {
+  const Topology topo = diamond();
+  EXPECT_EQ(equal_cost_paths(topo, 1, 4, 1).size(), 1u);
+}
+
+TEST(Paths, KShortestOrderedAndLoopless) {
+  const Topology topo = diamond();
+  const auto paths = k_shortest_paths(topo, 1, 4, 5);
+  ASSERT_EQ(paths.size(), 3u);  // only 3 simple paths exist
+  EXPECT_EQ(paths[0].cost, 2);
+  EXPECT_EQ(paths[1].cost, 2);
+  EXPECT_EQ(paths[2].cost, 3);
+  for (const auto& p : paths) {
+    std::set<NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << "loop in path";
+  }
+  // Distinct paths.
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+  EXPECT_NE(paths[1].nodes, paths[2].nodes);
+}
+
+TEST(Paths, KShortestOnFatTree) {
+  auto gen = make_fat_tree(4);
+  // Edge switches in different pods.
+  const NodeId e0 = gen.attachments.front().sw;
+  const NodeId e_last = gen.attachments.back().sw;
+  const auto paths = k_shortest_paths(gen.topo, e0, e_last, 4);
+  ASSERT_EQ(paths.size(), 4u);  // k=4 fat-tree: 4 distinct shortest paths
+  for (const auto& p : paths) EXPECT_EQ(p.cost, 4);  // edge-agg-core-agg-edge
+}
+
+TEST(Paths, SpanningTreeCoversAllNodes) {
+  auto gen = make_fat_tree(4);
+  const auto tree = spanning_tree(gen.topo, gen.switches.front());
+  // Tree edges = nodes - 1 (switches + hosts all reachable).
+  EXPECT_EQ(tree.size(), gen.topo.node_count() - 1);
+}
+
+TEST(Paths, IsConnected) {
+  Topology topo = diamond();
+  EXPECT_TRUE(is_connected(topo));
+  topo.add_node(42, NodeKind::Switch);
+  EXPECT_FALSE(is_connected(topo));
+}
+
+TEST(Paths, LatencyAndBottleneck) {
+  Topology topo;
+  topo.add_node(1, NodeKind::Switch);
+  topo.add_node(2, NodeKind::Switch);
+  topo.add_node(3, NodeKind::Switch);
+  const auto l1 = topo.add_link(1, 1, 2, 1, 10e9, 1e-3);
+  const auto l2 = topo.add_link(2, 2, 3, 1, 1e9, 2e-3);
+  const Path path = shortest_path(topo, 1, 3);
+  EXPECT_DOUBLE_EQ(path_latency(topo, path), 3e-3);
+
+  std::unordered_map<LinkId, double> used;
+  EXPECT_DOUBLE_EQ(path_bottleneck(topo, path, used), 1e9);
+  used[*l2] = 0.75e9;
+  EXPECT_DOUBLE_EQ(path_bottleneck(topo, path, used), 0.25e9);
+  used[*l1] = 10e9;
+  EXPECT_DOUBLE_EQ(path_bottleneck(topo, path, used), 0);
+}
+
+// ---- generators ----
+
+TEST(Generators, LinearShape) {
+  auto gen = make_linear(5, 2);
+  EXPECT_EQ(gen.switches.size(), 5u);
+  EXPECT_EQ(gen.hosts.size(), 10u);
+  EXPECT_EQ(gen.topo.link_count(), 4u + 10u);
+  EXPECT_TRUE(is_connected(gen.topo));
+  // End-to-end path spans all switches.
+  const Path path = shortest_path(gen.topo, gen.hosts.front(), gen.hosts.back());
+  EXPECT_EQ(path.hop_count(), 1 + 4 + 1);
+}
+
+TEST(Generators, RingHasWrapLink) {
+  auto gen = make_ring(6, 0);
+  EXPECT_EQ(gen.topo.link_count(), 6u);
+  // Opposite nodes are 3 hops apart (not 5).
+  EXPECT_EQ(shortest_path(gen.topo, 1, 4).hop_count(), 3u);
+}
+
+TEST(Generators, FatTreeShape) {
+  for (const std::size_t k : {2uL, 4uL, 6uL}) {
+    auto gen = make_fat_tree(k);
+    const std::size_t half = k / 2;
+    EXPECT_EQ(gen.switches.size(), half * half + k * k);  // core + (agg+edge)
+    EXPECT_EQ(gen.hosts.size(), k * k * k / 4);
+    EXPECT_TRUE(is_connected(gen.topo)) << "k=" << k;
+    // Link count: core-agg k^2/4 * k? Check total degree instead:
+    // each pod: half*half agg-core + half*half edge-agg; plus host links.
+    const std::size_t expected_links =
+        k * (half * half) * 2 + gen.hosts.size();
+    EXPECT_EQ(gen.topo.link_count(), expected_links);
+  }
+}
+
+TEST(Generators, FatTreeHostsPerEdge) {
+  auto gen = make_fat_tree(4);
+  // Every host attaches to an edge switch with port != 0.
+  for (const auto& att : gen.attachments) {
+    EXPECT_NE(att.sw, 0u);
+    EXPECT_GE(att.sw_port, 1u);
+    ASSERT_NE(gen.topo.link_at(att.sw, att.sw_port), nullptr);
+  }
+}
+
+TEST(Generators, LeafSpineShape) {
+  auto gen = make_leaf_spine(4, 8, 16);
+  EXPECT_EQ(gen.switches.size(), 12u);
+  EXPECT_EQ(gen.hosts.size(), 8u * 16u);
+  EXPECT_EQ(gen.topo.link_count(), 4u * 8u + 8u * 16u);
+  EXPECT_TRUE(is_connected(gen.topo));
+  // Leaf-to-leaf has n_spine equal-cost paths.
+  const auto paths = equal_cost_paths(gen.topo, gen.switches[4], gen.switches[5], 16);
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto gen = make_random_connected(30, 3.0, rng);
+    EXPECT_TRUE(is_connected(gen.topo));
+    EXPECT_EQ(gen.hosts.size(), 30u);
+  }
+}
+
+TEST(Generators, WanAbileneShape) {
+  auto gen = make_wan_abilene();
+  EXPECT_EQ(gen.switches.size(), 11u);
+  EXPECT_EQ(gen.hosts.size(), 11u);
+  EXPECT_EQ(gen.topo.link_count(), 14u + 11u);
+  EXPECT_TRUE(is_connected(gen.topo));
+  // Coast-to-coast (SEA=1 to NYC=11) exists and is multi-hop.
+  const Path path = shortest_path(gen.topo, 1, 11);
+  ASSERT_FALSE(path.empty());
+  EXPECT_GE(path.hop_count(), 3u);
+}
+
+}  // namespace
+}  // namespace zen::topo
+
+namespace zen::topo {
+namespace {
+
+TEST(Generators, JellyfishIsRegularAndConnected) {
+  util::Rng rng(2718);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto gen = make_jellyfish(20, 4, 1, rng);
+    EXPECT_TRUE(is_connected(gen.topo)) << "trial " << trial;
+    EXPECT_EQ(gen.hosts.size(), 20u);
+    // Degree regularity: every switch has `degree` switch links (allow one
+    // switch to be short by one when parity forces it).
+    int short_switches = 0;
+    for (const NodeId sw : gen.switches) {
+      std::size_t switch_links = 0;
+      for (const Link* link : gen.topo.links_of(sw))
+        if (!is_host_id(link->other(sw))) ++switch_links;
+      EXPECT_LE(switch_links, 4u);
+      if (switch_links < 4) ++short_switches;
+    }
+    EXPECT_LE(short_switches, 1);
+  }
+}
+
+TEST(Generators, JellyfishHasPathDiversity) {
+  util::Rng rng(3141);
+  auto gen = make_jellyfish(30, 5, 1, rng);
+  // Random regular graphs have short diameters and multiple short paths.
+  const auto paths = k_shortest_paths(gen.topo, 1, 15, 4);
+  EXPECT_EQ(paths.size(), 4u);
+  EXPECT_LE(paths.front().hop_count(), 4u);
+}
+
+}  // namespace
+}  // namespace zen::topo
