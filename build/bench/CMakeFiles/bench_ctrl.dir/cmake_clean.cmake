@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctrl.dir/bench_ctrl.cc.o"
+  "CMakeFiles/bench_ctrl.dir/bench_ctrl.cc.o.d"
+  "bench_ctrl"
+  "bench_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

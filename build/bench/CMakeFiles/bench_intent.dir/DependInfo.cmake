@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_intent.cc" "bench/CMakeFiles/bench_intent.dir/bench_intent.cc.o" "gcc" "bench/CMakeFiles/bench_intent.dir/bench_intent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/intent/CMakeFiles/zen_intent.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/zen_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/zen_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/zen_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/zen_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

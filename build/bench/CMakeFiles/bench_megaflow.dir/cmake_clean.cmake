@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_megaflow.dir/bench_megaflow.cc.o"
+  "CMakeFiles/bench_megaflow.dir/bench_megaflow.cc.o.d"
+  "bench_megaflow"
+  "bench_megaflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_megaflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_te.dir/bench_te.cc.o"
+  "CMakeFiles/bench_te.dir/bench_te.cc.o.d"
+  "bench_te"
+  "bench_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

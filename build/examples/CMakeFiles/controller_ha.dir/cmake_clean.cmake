@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_ha.dir/controller_ha.cc.o"
+  "CMakeFiles/controller_ha.dir/controller_ha.cc.o.d"
+  "controller_ha"
+  "controller_ha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_ha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

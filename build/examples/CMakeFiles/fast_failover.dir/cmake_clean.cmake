@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_failover.dir/fast_failover.cc.o"
+  "CMakeFiles/fast_failover.dir/fast_failover.cc.o.d"
+  "fast_failover"
+  "fast_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_firewall.dir/policy_firewall.cc.o"
+  "CMakeFiles/policy_firewall.dir/policy_firewall.cc.o.d"
+  "policy_firewall"
+  "policy_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

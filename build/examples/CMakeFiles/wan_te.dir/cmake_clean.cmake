@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_te.dir/wan_te.cc.o"
+  "CMakeFiles/wan_te.dir/wan_te.cc.o.d"
+  "wan_te"
+  "wan_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

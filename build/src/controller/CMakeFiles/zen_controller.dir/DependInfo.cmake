@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controller/apps/discovery.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/discovery.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/discovery.cc.o.d"
+  "/root/repo/src/controller/apps/firewall.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/firewall.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/firewall.cc.o.d"
+  "/root/repo/src/controller/apps/l3_routing.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/l3_routing.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/l3_routing.cc.o.d"
+  "/root/repo/src/controller/apps/learning_switch.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/learning_switch.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/learning_switch.cc.o.d"
+  "/root/repo/src/controller/apps/load_balancer.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/load_balancer.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/load_balancer.cc.o.d"
+  "/root/repo/src/controller/apps/qos_policy.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/qos_policy.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/qos_policy.cc.o.d"
+  "/root/repo/src/controller/apps/reactive_forwarding.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/reactive_forwarding.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/reactive_forwarding.cc.o.d"
+  "/root/repo/src/controller/apps/stats_monitor.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/stats_monitor.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/stats_monitor.cc.o.d"
+  "/root/repo/src/controller/apps/te_installer.cc" "src/controller/CMakeFiles/zen_controller.dir/apps/te_installer.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/apps/te_installer.cc.o.d"
+  "/root/repo/src/controller/channel.cc" "src/controller/CMakeFiles/zen_controller.dir/channel.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/channel.cc.o.d"
+  "/root/repo/src/controller/controller.cc" "src/controller/CMakeFiles/zen_controller.dir/controller.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/controller.cc.o.d"
+  "/root/repo/src/controller/network_view.cc" "src/controller/CMakeFiles/zen_controller.dir/network_view.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/network_view.cc.o.d"
+  "/root/repo/src/controller/switch_agent.cc" "src/controller/CMakeFiles/zen_controller.dir/switch_agent.cc.o" "gcc" "src/controller/CMakeFiles/zen_controller.dir/switch_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/zen_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/zen_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

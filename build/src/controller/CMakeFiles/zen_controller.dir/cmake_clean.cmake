@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_controller.dir/apps/discovery.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/discovery.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/firewall.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/firewall.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/l3_routing.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/l3_routing.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/learning_switch.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/learning_switch.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/load_balancer.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/load_balancer.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/qos_policy.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/qos_policy.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/reactive_forwarding.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/reactive_forwarding.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/stats_monitor.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/stats_monitor.cc.o.d"
+  "CMakeFiles/zen_controller.dir/apps/te_installer.cc.o"
+  "CMakeFiles/zen_controller.dir/apps/te_installer.cc.o.d"
+  "CMakeFiles/zen_controller.dir/channel.cc.o"
+  "CMakeFiles/zen_controller.dir/channel.cc.o.d"
+  "CMakeFiles/zen_controller.dir/controller.cc.o"
+  "CMakeFiles/zen_controller.dir/controller.cc.o.d"
+  "CMakeFiles/zen_controller.dir/network_view.cc.o"
+  "CMakeFiles/zen_controller.dir/network_view.cc.o.d"
+  "CMakeFiles/zen_controller.dir/switch_agent.cc.o"
+  "CMakeFiles/zen_controller.dir/switch_agent.cc.o.d"
+  "libzen_controller.a"
+  "libzen_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_core.dir/network.cc.o"
+  "CMakeFiles/zen_core.dir/network.cc.o.d"
+  "libzen_core.a"
+  "libzen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/flow_table.cc" "src/dataplane/CMakeFiles/zen_dataplane.dir/flow_table.cc.o" "gcc" "src/dataplane/CMakeFiles/zen_dataplane.dir/flow_table.cc.o.d"
+  "/root/repo/src/dataplane/group_table.cc" "src/dataplane/CMakeFiles/zen_dataplane.dir/group_table.cc.o" "gcc" "src/dataplane/CMakeFiles/zen_dataplane.dir/group_table.cc.o.d"
+  "/root/repo/src/dataplane/megaflow_cache.cc" "src/dataplane/CMakeFiles/zen_dataplane.dir/megaflow_cache.cc.o" "gcc" "src/dataplane/CMakeFiles/zen_dataplane.dir/megaflow_cache.cc.o.d"
+  "/root/repo/src/dataplane/meter_table.cc" "src/dataplane/CMakeFiles/zen_dataplane.dir/meter_table.cc.o" "gcc" "src/dataplane/CMakeFiles/zen_dataplane.dir/meter_table.cc.o.d"
+  "/root/repo/src/dataplane/packet_rewrite.cc" "src/dataplane/CMakeFiles/zen_dataplane.dir/packet_rewrite.cc.o" "gcc" "src/dataplane/CMakeFiles/zen_dataplane.dir/packet_rewrite.cc.o.d"
+  "/root/repo/src/dataplane/switch.cc" "src/dataplane/CMakeFiles/zen_dataplane.dir/switch.cc.o" "gcc" "src/dataplane/CMakeFiles/zen_dataplane.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openflow/CMakeFiles/zen_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

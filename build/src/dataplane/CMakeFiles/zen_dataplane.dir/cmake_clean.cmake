@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_dataplane.dir/flow_table.cc.o"
+  "CMakeFiles/zen_dataplane.dir/flow_table.cc.o.d"
+  "CMakeFiles/zen_dataplane.dir/group_table.cc.o"
+  "CMakeFiles/zen_dataplane.dir/group_table.cc.o.d"
+  "CMakeFiles/zen_dataplane.dir/megaflow_cache.cc.o"
+  "CMakeFiles/zen_dataplane.dir/megaflow_cache.cc.o.d"
+  "CMakeFiles/zen_dataplane.dir/meter_table.cc.o"
+  "CMakeFiles/zen_dataplane.dir/meter_table.cc.o.d"
+  "CMakeFiles/zen_dataplane.dir/packet_rewrite.cc.o"
+  "CMakeFiles/zen_dataplane.dir/packet_rewrite.cc.o.d"
+  "CMakeFiles/zen_dataplane.dir/switch.cc.o"
+  "CMakeFiles/zen_dataplane.dir/switch.cc.o.d"
+  "libzen_dataplane.a"
+  "libzen_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_intent.dir/intent_manager.cc.o"
+  "CMakeFiles/zen_intent.dir/intent_manager.cc.o.d"
+  "libzen_intent.a"
+  "libzen_intent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_intent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_net.dir/addr.cc.o"
+  "CMakeFiles/zen_net.dir/addr.cc.o.d"
+  "CMakeFiles/zen_net.dir/checksum.cc.o"
+  "CMakeFiles/zen_net.dir/checksum.cc.o.d"
+  "CMakeFiles/zen_net.dir/flow_key.cc.o"
+  "CMakeFiles/zen_net.dir/flow_key.cc.o.d"
+  "CMakeFiles/zen_net.dir/headers.cc.o"
+  "CMakeFiles/zen_net.dir/headers.cc.o.d"
+  "CMakeFiles/zen_net.dir/packet.cc.o"
+  "CMakeFiles/zen_net.dir/packet.cc.o.d"
+  "libzen_net.a"
+  "libzen_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/actions.cc" "src/openflow/CMakeFiles/zen_openflow.dir/actions.cc.o" "gcc" "src/openflow/CMakeFiles/zen_openflow.dir/actions.cc.o.d"
+  "/root/repo/src/openflow/codec.cc" "src/openflow/CMakeFiles/zen_openflow.dir/codec.cc.o" "gcc" "src/openflow/CMakeFiles/zen_openflow.dir/codec.cc.o.d"
+  "/root/repo/src/openflow/match.cc" "src/openflow/CMakeFiles/zen_openflow.dir/match.cc.o" "gcc" "src/openflow/CMakeFiles/zen_openflow.dir/match.cc.o.d"
+  "/root/repo/src/openflow/messages.cc" "src/openflow/CMakeFiles/zen_openflow.dir/messages.cc.o" "gcc" "src/openflow/CMakeFiles/zen_openflow.dir/messages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/zen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_openflow.dir/actions.cc.o"
+  "CMakeFiles/zen_openflow.dir/actions.cc.o.d"
+  "CMakeFiles/zen_openflow.dir/codec.cc.o"
+  "CMakeFiles/zen_openflow.dir/codec.cc.o.d"
+  "CMakeFiles/zen_openflow.dir/match.cc.o"
+  "CMakeFiles/zen_openflow.dir/match.cc.o.d"
+  "CMakeFiles/zen_openflow.dir/messages.cc.o"
+  "CMakeFiles/zen_openflow.dir/messages.cc.o.d"
+  "libzen_openflow.a"
+  "libzen_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

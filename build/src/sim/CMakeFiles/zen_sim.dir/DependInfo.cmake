@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/aimd_flow.cc" "src/sim/CMakeFiles/zen_sim.dir/aimd_flow.cc.o" "gcc" "src/sim/CMakeFiles/zen_sim.dir/aimd_flow.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/zen_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/zen_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/host.cc" "src/sim/CMakeFiles/zen_sim.dir/host.cc.o" "gcc" "src/sim/CMakeFiles/zen_sim.dir/host.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/zen_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/zen_sim.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/zen_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/zen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/zen_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zen_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/zen_openflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_sim.dir/aimd_flow.cc.o"
+  "CMakeFiles/zen_sim.dir/aimd_flow.cc.o.d"
+  "CMakeFiles/zen_sim.dir/event_queue.cc.o"
+  "CMakeFiles/zen_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/zen_sim.dir/host.cc.o"
+  "CMakeFiles/zen_sim.dir/host.cc.o.d"
+  "CMakeFiles/zen_sim.dir/network.cc.o"
+  "CMakeFiles/zen_sim.dir/network.cc.o.d"
+  "libzen_sim.a"
+  "libzen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/allocation.cc" "src/te/CMakeFiles/zen_te.dir/allocation.cc.o" "gcc" "src/te/CMakeFiles/zen_te.dir/allocation.cc.o.d"
+  "/root/repo/src/te/demand.cc" "src/te/CMakeFiles/zen_te.dir/demand.cc.o" "gcc" "src/te/CMakeFiles/zen_te.dir/demand.cc.o.d"
+  "/root/repo/src/te/update_planner.cc" "src/te/CMakeFiles/zen_te.dir/update_planner.cc.o" "gcc" "src/te/CMakeFiles/zen_te.dir/update_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/zen_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/zen_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_te.dir/allocation.cc.o"
+  "CMakeFiles/zen_te.dir/allocation.cc.o.d"
+  "CMakeFiles/zen_te.dir/demand.cc.o"
+  "CMakeFiles/zen_te.dir/demand.cc.o.d"
+  "CMakeFiles/zen_te.dir/update_planner.cc.o"
+  "CMakeFiles/zen_te.dir/update_planner.cc.o.d"
+  "libzen_te.a"
+  "libzen_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zen_te.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_topo.dir/generators.cc.o"
+  "CMakeFiles/zen_topo.dir/generators.cc.o.d"
+  "CMakeFiles/zen_topo.dir/graph.cc.o"
+  "CMakeFiles/zen_topo.dir/graph.cc.o.d"
+  "CMakeFiles/zen_topo.dir/paths.cc.o"
+  "CMakeFiles/zen_topo.dir/paths.cc.o.d"
+  "libzen_topo.a"
+  "libzen_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/buffer.cc" "src/util/CMakeFiles/zen_util.dir/buffer.cc.o" "gcc" "src/util/CMakeFiles/zen_util.dir/buffer.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/zen_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/zen_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/zen_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/zen_util.dir/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/zen_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/zen_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/zen_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/zen_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/token_bucket.cc" "src/util/CMakeFiles/zen_util.dir/token_bucket.cc.o" "gcc" "src/util/CMakeFiles/zen_util.dir/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zen_util.dir/buffer.cc.o"
+  "CMakeFiles/zen_util.dir/buffer.cc.o.d"
+  "CMakeFiles/zen_util.dir/histogram.cc.o"
+  "CMakeFiles/zen_util.dir/histogram.cc.o.d"
+  "CMakeFiles/zen_util.dir/logging.cc.o"
+  "CMakeFiles/zen_util.dir/logging.cc.o.d"
+  "CMakeFiles/zen_util.dir/rng.cc.o"
+  "CMakeFiles/zen_util.dir/rng.cc.o.d"
+  "CMakeFiles/zen_util.dir/strings.cc.o"
+  "CMakeFiles/zen_util.dir/strings.cc.o.d"
+  "CMakeFiles/zen_util.dir/token_bucket.cc.o"
+  "CMakeFiles/zen_util.dir/token_bucket.cc.o.d"
+  "libzen_util.a"
+  "libzen_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zen_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

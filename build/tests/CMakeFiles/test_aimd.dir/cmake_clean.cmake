@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aimd.dir/test_aimd.cc.o"
+  "CMakeFiles/test_aimd.dir/test_aimd.cc.o.d"
+  "test_aimd"
+  "test_aimd.pdb"
+  "test_aimd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aimd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

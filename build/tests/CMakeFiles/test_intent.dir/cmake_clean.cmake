@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intent.dir/test_intent.cc.o"
+  "CMakeFiles/test_intent.dir/test_intent.cc.o.d"
+  "test_intent"
+  "test_intent.pdb"
+  "test_intent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_controller.dir/test_multi_controller.cc.o"
+  "CMakeFiles/test_multi_controller.dir/test_multi_controller.cc.o.d"
+  "test_multi_controller"
+  "test_multi_controller.pdb"
+  "test_multi_controller[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_view.dir/test_network_view.cc.o"
+  "CMakeFiles/test_network_view.dir/test_network_view.cc.o.d"
+  "test_network_view"
+  "test_network_view.pdb"
+  "test_network_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

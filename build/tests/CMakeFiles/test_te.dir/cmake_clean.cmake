@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te.dir/test_te.cc.o"
+  "CMakeFiles/test_te.dir/test_te.cc.o.d"
+  "test_te"
+  "test_te.pdb"
+  "test_te[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_openflow[1]_include.cmake")
+include("/root/repo/build/tests/test_flow_table[1]_include.cmake")
+include("/root/repo/build/tests/test_switch[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_intent[1]_include.cmake")
+include("/root/repo/build/tests/test_te[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_multi_controller[1]_include.cmake")
+include("/root/repo/build/tests/test_param_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_network_view[1]_include.cmake")
+include("/root/repo/build/tests/test_aimd[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
