@@ -1,0 +1,27 @@
+// Shared bench entry point: runs Google Benchmark, then prints a zen_obs
+// registry snapshot to stderr so BENCH_*.json entries can record the
+// workload that produced them (packets forwarded, cache hit rates, solver
+// runs) alongside the timings. Set ZEN_BENCH_NO_METRICS=1 to suppress.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!std::getenv("ZEN_BENCH_NO_METRICS")) {
+    const std::string prom =
+        zen::obs::MetricsRegistry::global().render_prometheus();
+    if (!prom.empty()) {
+      std::fputs("# ---- zen_obs registry snapshot ----\n", stderr);
+      std::fputs(prom.c_str(), stderr);
+    }
+  }
+  return 0;
+}

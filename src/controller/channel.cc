@@ -1,11 +1,39 @@
 #include "controller/channel.h"
 
+#include "obs/metrics.h"
+
 namespace zen::controller {
+
+namespace {
+
+struct ChannelMetrics {
+  obs::Counter& messages;
+  obs::Counter& bytes;
+  obs::Gauge& in_flight;
+  static ChannelMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ChannelMetrics m{
+        reg.counter("zen_controller_channel_messages_total", "",
+                    "Southbound wire messages (both directions)"),
+        reg.counter("zen_controller_channel_bytes_total", "",
+                    "Southbound wire bytes (both directions)"),
+        reg.gauge("zen_controller_channel_queue_depth", "",
+                  "Wire messages currently in flight across all channels")};
+    return m;
+  }
+};
+
+}  // namespace
 
 void Channel::send_to_b(std::vector<std::uint8_t> bytes) {
   bytes_ab_ += bytes.size();
   ++msgs_ab_;
+  auto& metrics = ChannelMetrics::get();
+  metrics.messages.inc();
+  metrics.bytes.inc(bytes.size());
+  metrics.in_flight.add(1);
   events_.schedule_in(latency_, [this, data = std::move(bytes)]() mutable {
+    ChannelMetrics::get().in_flight.add(-1);
     if (to_b_) to_b_(std::move(data));
   });
 }
@@ -13,7 +41,12 @@ void Channel::send_to_b(std::vector<std::uint8_t> bytes) {
 void Channel::send_to_a(std::vector<std::uint8_t> bytes) {
   bytes_ba_ += bytes.size();
   ++msgs_ba_;
+  auto& metrics = ChannelMetrics::get();
+  metrics.messages.inc();
+  metrics.bytes.inc(bytes.size());
+  metrics.in_flight.add(1);
   events_.schedule_in(latency_, [this, data = std::move(bytes)]() mutable {
+    ChannelMetrics::get().in_flight.add(-1);
     if (to_a_) to_a_(std::move(data));
   });
 }

@@ -1,10 +1,31 @@
 #include "controller/controller.h"
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace zen::controller {
 
 namespace {
+
+struct CtrlMetrics {
+  obs::Counter& packet_ins;
+  obs::Counter& flow_mods;
+  obs::Counter& packet_outs;
+  obs::Counter& errors;
+  static CtrlMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static CtrlMetrics m{
+        reg.counter("zen_controller_packet_ins_total", "",
+                    "PacketIns dispatched to the app chain"),
+        reg.counter("zen_controller_flow_mods_total", "",
+                    "FlowMods sent southbound"),
+        reg.counter("zen_controller_packet_outs_total", "",
+                    "PacketOuts sent southbound"),
+        reg.counter("zen_controller_errors_total", "",
+                    "Error messages received from switches")};
+    return m;
+  }
+};
 // Process-wide connection-id source: every Controller instance gets a
 // distinct id so switches can arbitrate roles between them.
 std::uint64_t next_conn_id() {
@@ -36,7 +57,7 @@ void Controller::connect_all() {
         [this, id](std::vector<std::uint8_t> bytes) {
           on_wire(id, std::move(bytes));
         });
-    auto [it, inserted] = sessions_.emplace(dpid, std::move(session));
+    sessions_.emplace(dpid, std::move(session));
     // Handshake: Hello then FeaturesRequest.
     send(dpid, openflow::Message{openflow::Hello{}}, next_xid(dpid));
     send(dpid, openflow::Message{openflow::FeaturesRequest{}}, next_xid(dpid));
@@ -54,8 +75,15 @@ void Controller::send(Dpid dpid, const openflow::Message& msg,
   sessions_.at(dpid).channel->send_to_b(openflow::encode(msg, xid));
 }
 
+void Controller::register_app_metrics(const App& app) {
+  app_pin_counters_.push_back(&obs::MetricsRegistry::global().counter(
+      "zen_controller_app_packet_ins_total", "app=\"" + app.name() + "\"",
+      "PacketIns seen by each app"));
+}
+
 void Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod) {
   ++stats_.flow_mods_sent;
+  CtrlMetrics::get().flow_mods.inc();
   send(dpid, openflow::Message{mod}, next_xid(dpid));
 }
 
@@ -70,6 +98,7 @@ void Controller::meter_mod(Dpid dpid, const openflow::MeterMod& mod) {
 
 void Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg) {
   ++stats_.packet_outs_sent;
+  CtrlMetrics::get().packet_outs.inc();
   send(dpid, openflow::Message{msg}, next_xid(dpid));
 }
 
@@ -178,6 +207,8 @@ void Controller::learn_host_from(Dpid dpid, const openflow::PacketIn& pin,
 
 void Controller::handle_packet_in(Dpid dpid, const openflow::PacketIn& pin) {
   ++stats_.packet_ins;
+  CtrlMetrics::get().packet_ins.inc();
+  ZEN_TRACE_SCOPE("packet_in", "controller");
 
   PacketInEvent event;
   event.dpid = dpid;
@@ -191,8 +222,9 @@ void Controller::handle_packet_in(Dpid dpid, const openflow::PacketIn& pin) {
     learn_host_from(dpid, pin, parsed);
   }
 
-  for (const auto& app : apps_) {
-    if (app->on_packet_in(event)) break;
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    app_pin_counters_[i]->inc();
+    if (apps_[i]->on_packet_in(event)) break;
   }
 }
 
@@ -254,6 +286,7 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
           }
         } else if constexpr (std::is_same_v<T, openflow::ErrorMsg>) {
           ++stats_.errors_received;
+          CtrlMetrics::get().errors.inc();
           ZEN_LOG(Warn) << "controller: error from dpid " << dpid << " type "
                         << static_cast<unsigned>(msg.type) << " code "
                         << msg.code;

@@ -24,6 +24,10 @@
 #include "openflow/codec.h"
 #include "sim/network.h"
 
+namespace zen::obs {
+class Counter;
+}
+
 namespace zen::controller {
 
 class Controller;
@@ -88,6 +92,7 @@ class Controller {
     T& ref = *app;
     apps_.push_back(std::move(app));
     apps_.back()->init(*this);
+    register_app_metrics(*apps_.back());
     return ref;
   }
 
@@ -157,6 +162,7 @@ class Controller {
 
   void send(Dpid dpid, const openflow::Message& msg, std::uint16_t xid);
   std::uint16_t next_xid(Dpid dpid);
+  void register_app_metrics(const App& app);
   void on_wire(Dpid dpid, std::vector<std::uint8_t> bytes);
   void dispatch(Dpid dpid, openflow::OwnedMessage owned);
   void handle_packet_in(Dpid dpid, const openflow::PacketIn& pin);
@@ -169,6 +175,9 @@ class Controller {
   std::uint64_t conn_id_;
   NetworkView view_;
   std::vector<std::unique_ptr<App>> apps_;
+  // Parallel to apps_: per-app PacketIn counters
+  // (zen_controller_app_packet_ins_total{app="<name>"}).
+  std::vector<obs::Counter*> app_pin_counters_;
   std::unordered_map<Dpid, Session> sessions_;
   ControllerStats stats_;
 };

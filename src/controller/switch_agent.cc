@@ -1,8 +1,20 @@
 #include "controller/switch_agent.h"
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace zen::controller {
+
+namespace {
+
+obs::Histo& pin_to_flow_mod_histo() {
+  static obs::Histo& h = obs::MetricsRegistry::global().histo(
+      "zen_controller_packet_in_to_flow_mod_us", "",
+      "Virtual time from PacketIn emission to the FlowMod that answers it");
+  return h;
+}
+
+}  // namespace
 
 SwitchAgent::SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid,
                          Channel& channel, std::uint64_t conn_id)
@@ -33,6 +45,11 @@ void SwitchAgent::on_datapath_event(openflow::Message msg) {
   if (role() == openflow::ControllerRole::Slave &&
       !std::holds_alternative<openflow::PortStatus>(msg))
     return;
+  if (const auto* pin = std::get_if<openflow::PacketIn>(&msg);
+      pin && pin->buffer_id != openflow::kNoBuffer) {
+    if (pending_pins_.size() >= kMaxPendingPins) pending_pins_.pop_front();
+    pending_pins_.push_back({pin->buffer_id, net_.now()});
+  }
   reply(msg, next_xid_++);
 }
 
@@ -73,6 +90,19 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
         } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
           reply(Message{sw.features()}, xid);
         } else if constexpr (std::is_same_v<T, FlowMod>) {
+          // Service-latency sample: a FlowMod echoing a punt's buffer_id
+          // answers that PacketIn (wire round trip + controller
+          // processing). Proactive mods carry kNoBuffer and don't count.
+          if (msg.buffer_id != openflow::kNoBuffer) {
+            for (auto it = pending_pins_.begin(); it != pending_pins_.end();
+                 ++it) {
+              if (it->buffer_id != msg.buffer_id) continue;
+              pin_to_flow_mod_histo().record((net_.now() - it->sent_s) * 1e6);
+              ZEN_TRACE_INSTANT("flow_mod_applied", "controller");
+              pending_pins_.erase(it);
+              break;
+            }
+          }
           const auto status = net_.flow_mod(dpid_, msg);
           if (!status.ok)
             send_error(xid, status.error_type, status.error_code);

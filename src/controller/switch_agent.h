@@ -5,6 +5,8 @@
 // FlowRemoved) back onto the wire. One agent per switch.
 #pragma once
 
+#include <deque>
+
 #include "controller/channel.h"
 #include "openflow/codec.h"
 #include "sim/network.h"
@@ -39,6 +41,18 @@ class SwitchAgent {
   std::uint64_t conn_id_;
   openflow::MessageStream stream_;
   std::uint16_t next_xid_ = 1;
+
+  // Virtual send times of buffered PacketIns awaiting a FlowMod answer,
+  // correlated by buffer_id (reactive apps echo the punt's buffer_id in
+  // the FlowMod they install); feeds the packet-in -> flow-mod
+  // service-latency histogram. Bounded: punts the controller never
+  // answers with a FlowMod age out at the front.
+  struct PendingPin {
+    std::uint32_t buffer_id;
+    double sent_s;
+  };
+  std::deque<PendingPin> pending_pins_;
+  static constexpr std::size_t kMaxPendingPins = 1024;
 };
 
 }  // namespace zen::controller

@@ -1,7 +1,8 @@
 // Umbrella header: the full zen public API in one include.
 //
 // Layer map (bottom to top):
-//   util/        logging, buffers, rng, histograms
+//   util/        logging, clock, buffers, rng, histograms
+//   obs/         metrics registry + virtual-time tracing (zen_obs)
 //   net/         addresses, headers, packets, flow keys
 //   openflow/    southbound wire protocol (match, actions, messages, codec)
 //   dataplane/   software switch: flow/group/meter tables, megaflow cache
@@ -27,6 +28,7 @@
 #include "dataplane/switch.h"
 #include "intent/intent_manager.h"
 #include "net/packet.h"
+#include "obs/obs.h"
 #include "openflow/codec.h"
 #include "sim/network.h"
 #include "te/allocation.h"

@@ -1,6 +1,29 @@
 #include "dataplane/megaflow_cache.h"
 
+#include "obs/metrics.h"
+
 namespace zen::dataplane {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  static CacheMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static CacheMetrics m{
+        reg.counter("zen_dataplane_megaflow_hits_total", "",
+                    "Megaflow cache hits (fast-path forwards)"),
+        reg.counter("zen_dataplane_megaflow_misses_total", "",
+                    "Megaflow cache misses (full pipeline traversals)"),
+        reg.counter("zen_dataplane_megaflow_evictions_total", "",
+                    "Megaflow entries evicted at capacity")};
+    return m;
+  }
+};
+
+}  // namespace
 
 const CachedVerdict* MegaflowCache::find(const net::FlowKey& key,
                                          std::uint64_t version) {
@@ -8,14 +31,17 @@ const CachedVerdict* MegaflowCache::find(const net::FlowKey& key,
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    CacheMetrics::get().misses.inc();
     return nullptr;
   }
   if (it->second.version != version) {
     map_.erase(it);
     ++misses_;
+    CacheMetrics::get().misses.inc();
     return nullptr;
   }
   ++hits_;
+  CacheMetrics::get().hits.inc();
   return &it->second.verdict;
 }
 
@@ -34,6 +60,8 @@ void MegaflowCache::insert(const net::FlowKey& key, CachedVerdict verdict,
       const auto it = map_.begin(b);
       if (it != map_.end(b)) {
         map_.erase(it->first);
+        ++evictions_;
+        CacheMetrics::get().evictions.inc();
         break;
       }
     }

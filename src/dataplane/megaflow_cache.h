@@ -65,6 +65,7 @@ class MegaflowCache {
   std::size_t size() const noexcept { return map_.size(); }
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
 
  private:
   struct Slot {
@@ -77,6 +78,7 @@ class MegaflowCache {
   std::unordered_map<net::FlowKey, Slot> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
   std::uint64_t evict_seed_ = 0x9e3779b97f4a7c15ULL;
 };
 

@@ -1,5 +1,7 @@
 #include "dataplane/meter_table.h"
 
+#include "obs/metrics.h"
+
 namespace zen::dataplane {
 
 namespace {
@@ -38,6 +40,10 @@ bool MeterTable::allow(std::uint32_t meter_id, std::size_t bytes, double now) {
   if (it == meters_.end()) return true;
   if (it->second.bucket.try_consume(static_cast<double>(bytes), now)) return true;
   ++it->second.drop_count;
+  static obs::Counter& drops = obs::MetricsRegistry::global().counter(
+      "zen_dataplane_meter_drops_total", "",
+      "Packets dropped by meter rate limits");
+  drops.inc();
   return false;
 }
 

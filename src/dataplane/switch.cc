@@ -2,12 +2,33 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace zen::dataplane {
 
 namespace {
 constexpr int kMaxActionDepth = 4;  // bounds group recursion
+
+struct SwitchMetrics {
+  obs::Counter& packets;
+  obs::Counter& packet_ins;
+  obs::Counter& packet_ins_suppressed;
+  obs::Histo& lookup_ns;
+  static SwitchMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static SwitchMetrics m{
+        reg.counter("zen_dataplane_packets_total", "",
+                    "Frames entering switch ingress pipelines"),
+        reg.counter("zen_dataplane_packet_ins_total", "",
+                    "PacketIn punts emitted to the controller"),
+        reg.counter("zen_dataplane_packet_ins_suppressed_total", "",
+                    "PacketIns dropped by the switch rate limiter"),
+        reg.histo("zen_dataplane_lookup_latency_ns", "",
+                  "Wall-clock cost of a slow-path pipeline traversal")};
+    return m;
+  }
+};
 }
 
 Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
@@ -74,6 +95,7 @@ void Switch::make_packet_in(PipelineContext& ctx,
   if (ctx.result->packet_in) return;  // one PacketIn per packet
   if (packet_in_bucket_ && !packet_in_bucket_->try_consume(1.0, ctx.now)) {
     ++packet_in_suppressed_;
+    SwitchMetrics::get().packet_ins_suppressed.inc();
     ctx.verdict.cacheable = false;  // suppression is time-dependent
     return;
   }
@@ -88,6 +110,8 @@ void Switch::make_packet_in(PipelineContext& ctx,
   const std::size_t n = std::min<std::size_t>(max_len, frame.size());
   pin.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(n));
   ctx.result->packet_in = std::move(pin);
+  SwitchMetrics::get().packet_ins.inc();
+  ZEN_TRACE_INSTANT("packet_in", "dataplane");
 }
 
 void Switch::emit_to_port(PipelineContext& ctx, std::uint32_t port_no) {
@@ -290,6 +314,7 @@ void Switch::run_pipeline(PipelineContext& ctx) {
 ForwardResult Switch::ingress(double now, std::uint32_t in_port,
                               std::span<const std::uint8_t> frame) {
   ForwardResult result;
+  SwitchMetrics::get().packets.inc();
 
   const auto port_it = ports_.find(in_port);
   if (port_it == ports_.end() || !port_it->second.desc.link_up) {
@@ -361,7 +386,11 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
   ctx.in_port = in_port;
   ctx.pkt = &pkt;
   ctx.result = &result;
-  run_pipeline(ctx);
+  {
+    obs::ScopedTimerNs timer(SwitchMetrics::get().lookup_ns);
+    ZEN_TRACE_SCOPE("pipeline", "dataplane");
+    run_pipeline(ctx);
+  }
 
   if (result.dropped && result.outputs.empty() && !result.packet_in)
     ++port_it->second.stats.rx_dropped;

@@ -1,0 +1,190 @@
+// zen_obs metrics: a process-wide registry of named instruments.
+//
+// Modules acquire handles lazily (first use registers) and update them on
+// hot paths; the registry can be snapshotted at any time and rendered as
+// Prometheus text exposition or JSON. Handles are stable for the process
+// lifetime, so call sites cache a reference in a function-local static and
+// pay only the static-guard branch afterwards.
+//
+// Naming scheme: zen_<module>_<name>[_total|_ns|_us] — e.g.
+// zen_dataplane_megaflow_hits_total, zen_controller_packet_in_to_flow_mod_us.
+// Labels are passed pre-rendered ('app="learning_switch"'); one (name,
+// labels) pair is one series.
+//
+// Compiling with ZEN_OBS_DISABLED turns every mutation (inc/set/record)
+// into an inline no-op so instrumented hot loops carry no measurement cost;
+// registration and rendering still work (series just stay at zero).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace zen::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+#ifndef ZEN_OBS_DISABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept {
+#ifndef ZEN_OBS_DISABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(double d) noexcept {
+#ifndef ZEN_OBS_DISABLED
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+#else
+    (void)d;
+#endif
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+// Mutex-guarded wrapper over util::Histogram (Histogram itself is not
+// thread-safe; the sim is single-threaded but benches and tests are not).
+class Histo {
+ public:
+  void record(double v) noexcept {
+#ifndef ZEN_OBS_DISABLED
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.record(v);
+#else
+    (void)v;
+#endif
+  }
+  util::Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  std::uint64_t count() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.count();
+  }
+  void reset() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_ = util::Histogram();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  util::Histogram hist_;
+};
+
+// Records wall-clock nanoseconds elapsed over its lifetime into a Histo.
+// Used for real execution cost (lookup latency, solver time) as opposed to
+// virtual-time intervals, which callers compute from the sim clock.
+#ifndef ZEN_OBS_DISABLED
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histo& histo) noexcept;
+  ~ScopedTimerNs();
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  Histo& histo_;
+  std::uint64_t start_ns_;
+};
+#else
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histo&) noexcept {}
+};
+#endif
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry almost all instrumentation uses.
+  static MetricsRegistry& global();
+
+  // Lazily registers and returns a handle. `labels` is a pre-rendered
+  // Prometheus label body without braces (e.g. 'app="discovery"'); the
+  // same (name, labels) pair always returns the same handle. `help` is
+  // kept from the first registration of a name.
+  Counter& counter(std::string_view name, std::string_view labels = "",
+                   std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view labels = "",
+               std::string_view help = "");
+  Histo& histo(std::string_view name, std::string_view labels = "",
+               std::string_view help = "");
+
+  struct Series {
+    std::string name;
+    std::string labels;  // without braces; may be empty
+    double value = 0;    // counters/gauges
+    util::Histogram hist;  // histos only
+    enum class Kind { Counter, Gauge, Histo } kind = Kind::Counter;
+  };
+  struct Snapshot {
+    std::vector<Series> series;  // sorted by (name, labels)
+    const Series* find(std::string_view name,
+                       std::string_view labels = "") const noexcept;
+  };
+
+  Snapshot snapshot() const;
+
+  // Prometheus text exposition format (one # HELP/# TYPE per family;
+  // histograms render as summaries with p50/p90/p99 quantile series).
+  std::string render_prometheus() const;
+  // One JSON object: {"series": [{"name": ..., "labels": ..., ...}]}.
+  std::string render_json() const;
+
+  // Zeroes every registered value in place; handles stay valid. Tests use
+  // this to isolate scenarios sharing the global registry.
+  void reset_values();
+
+  std::size_t series_count() const;
+
+ private:
+  struct Entry {
+    Series::Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histo> histo;
+  };
+
+  Entry& find_or_create(Series::Kind kind, std::string_view name,
+                        std::string_view labels, std::string_view help);
+
+  mutable std::mutex mu_;
+  // Key: name + '\0' + labels — deterministic render order for free.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace zen::obs

@@ -1,0 +1,14 @@
+// zen_obs umbrella: metrics registry + virtual-time tracing.
+//
+// Instrumentation pattern for hot paths — cache the handle once, then
+// mutate (a relaxed atomic op, or a no-op under ZEN_OBS_DISABLED):
+//
+//   static obs::Counter& hits = obs::MetricsRegistry::global().counter(
+//       "zen_dataplane_megaflow_hits_total", "", "Megaflow cache hits");
+//   hits.inc();
+//
+//   { ZEN_TRACE_SCOPE("allocate", "te"); ... }   // virtual-time span
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"

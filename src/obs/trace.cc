@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <map>
+
+#include "util/clock.h"
+
+namespace zen::obs {
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_clock(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+double TraceRecorder::now() const {
+  return clock_ ? clock_() : util::now_seconds();
+}
+
+void TraceRecorder::push(Event ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ev.ts_s = now();
+  events_.push_back(std::move(ev));
+}
+
+void TraceRecorder::begin(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  push(Event{'B', 0, 0, std::string(name), std::string(cat)});
+}
+
+void TraceRecorder::end(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  push(Event{'E', 0, 0, std::string(name), std::string(cat)});
+}
+
+void TraceRecorder::instant(std::string_view name, std::string_view cat) {
+  if (!enabled()) return;
+  push(Event{'i', 0, 0, std::string(name), std::string(cat)});
+}
+
+void TraceRecorder::counter_sample(std::string_view name, std::string_view cat,
+                                   double value) {
+  if (!enabled()) return;
+  push(Event{'C', 0, value, std::string(name), std::string(cat)});
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::render_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // One trace "thread" per category keeps lanes tidy in the viewer.
+  std::map<std::string, int> tids;
+  for (const Event& ev : events_) tids.try_emplace(ev.cat, 0);
+  int next_tid = 1;
+  for (auto& [cat, tid] : tids) tid = next_tid++;
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const auto& [cat, tid] : tids) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", tid, cat.c_str());
+    out += buf;
+    first = false;
+  }
+  for (const Event& ev : events_) {
+    // Chrome wants ts in microseconds.
+    const double ts_us = ev.ts_s * 1e6;
+    if (ev.phase == 'C') {
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                    "\"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"value\":%g}}",
+                    first ? "" : ",", tids[ev.cat], ts_us, ev.name.c_str(),
+                    ev.cat.c_str(), ev.value);
+    } else if (ev.phase == 'i') {
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                    "\"name\":\"%s\",\"cat\":\"%s\",\"s\":\"t\"}",
+                    first ? "" : ",", tids[ev.cat], ts_us, ev.name.c_str(),
+                    ev.cat.c_str());
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                    "\"name\":\"%s\",\"cat\":\"%s\"}",
+                    first ? "" : ",", ev.phase, tids[ev.cat], ts_us,
+                    ev.name.c_str(), ev.cat.c_str());
+    }
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = render_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace zen::obs

@@ -1,0 +1,123 @@
+// zen_obs tracing: begin/end spans and instant events on the shared clock.
+//
+// Timestamps come from util::now_seconds(), so under a simulation (which
+// installs its EventQueue as the process time source) every span is stamped
+// with *virtual* time — the trace shows what the network did, not how long
+// the host CPU took — while standalone tools get wall clock. A recorder-
+// local clock can be injected for tests.
+//
+// Disabled by default: begin()/end()/instant() are a relaxed atomic load
+// and return when no one turned recording on, so instrumented hot paths in
+// tests and benches stay cheap. Renders Chrome trace_event JSON loadable by
+// chrome://tracing / Perfetto.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zen::obs {
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& global();
+
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Overrides the clock for this recorder (seconds). Empty restores the
+  // shared util::now_seconds() source.
+  void set_clock(std::function<double()> clock);
+
+  // Span/event emission. `cat` groups events into one trace lane.
+  void begin(std::string_view name, std::string_view cat);
+  void end(std::string_view name, std::string_view cat);
+  void instant(std::string_view name, std::string_view cat);
+  // Chrome counter track: graphs `value` over time.
+  void counter_sample(std::string_view name, std::string_view cat,
+                      double value);
+
+  std::size_t size() const;
+  std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  // Chrome trace_event JSON (object format with a traceEvents array).
+  std::string render_chrome_json() const;
+  bool write_chrome_json(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase;     // 'B', 'E', 'i', 'C'
+    double ts_s;    // seconds on the recorder's clock
+    double value;   // counter samples only
+    std::string name;
+    std::string cat;
+  };
+
+  double now() const;
+  void push(Event ev);
+
+  // Bounds memory on runaway scenarios; overflow counts as dropped.
+  static constexpr std::size_t kMaxEvents = 1 << 20;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::function<double()> clock_;
+  std::vector<Event> events_;
+};
+
+// RAII span against the global recorder: begin at construction, end at
+// destruction. Use via ZEN_TRACE_SCOPE so it compiles out cleanly.
+class Scope {
+ public:
+  Scope(const char* name, const char* cat) noexcept
+      : name_(name), cat_(cat), active_(TraceRecorder::global().enabled()) {
+    if (active_) TraceRecorder::global().begin(name_, cat_);
+  }
+  ~Scope() {
+    if (active_) TraceRecorder::global().end(name_, cat_);
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  bool active_;
+};
+
+}  // namespace zen::obs
+
+// Call-site macros: no-ops (token-free) under ZEN_OBS_DISABLED.
+#ifndef ZEN_OBS_DISABLED
+#define ZEN_OBS_CONCAT_(a, b) a##b
+#define ZEN_OBS_CONCAT(a, b) ZEN_OBS_CONCAT_(a, b)
+#define ZEN_TRACE_SCOPE(name, cat) \
+  ::zen::obs::Scope ZEN_OBS_CONCAT(zen_trace_scope_, __LINE__) { name, cat }
+#define ZEN_TRACE_INSTANT(name, cat)                                     \
+  do {                                                                   \
+    if (::zen::obs::TraceRecorder::global().enabled())                   \
+      ::zen::obs::TraceRecorder::global().instant((name), (cat));        \
+  } while (0)
+#define ZEN_TRACE_COUNTER(name, cat, value)                              \
+  do {                                                                   \
+    if (::zen::obs::TraceRecorder::global().enabled())                   \
+      ::zen::obs::TraceRecorder::global().counter_sample((name), (cat),  \
+                                                         (value));       \
+  } while (0)
+#else
+#define ZEN_TRACE_SCOPE(name, cat) ((void)0)
+#define ZEN_TRACE_INSTANT(name, cat) ((void)0)
+#define ZEN_TRACE_COUNTER(name, cat, value) ((void)0)
+#endif

@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace zen::sim {
+
+namespace {
+
+struct QueueMetrics {
+  obs::Counter& events;
+  obs::Gauge& depth;
+  static QueueMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static QueueMetrics m{
+        reg.counter("zen_sim_events_total", "",
+                    "Discrete events executed across all event queues"),
+        reg.gauge("zen_sim_queue_depth", "",
+                  "Pending events after the most recent step")};
+    return m;
+  }
+};
+
+}  // namespace
 
 void EventQueue::schedule_at(double at, Callback fn) {
   queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
@@ -16,6 +36,9 @@ bool EventQueue::step() {
   queue_.pop();
   now_ = ev.at;
   ev.fn();
+  auto& metrics = QueueMetrics::get();
+  metrics.events.inc();
+  metrics.depth.set(static_cast<double>(queue_.size()));
   return true;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/host.h"
 
+#include "obs/metrics.h"
 #include "util/buffer.h"
 #include "util/logging.h"
 
@@ -40,6 +41,9 @@ SimHost::SimHost(topo::NodeId id, net::MacAddress mac, net::Ipv4Address ip)
 
 void SimHost::emit(net::Bytes frame) {
   ++stats_.frames_sent;
+  static obs::Counter& sent = obs::MetricsRegistry::global().counter(
+      "zen_sim_host_frames_sent_total", "", "Frames emitted by all hosts");
+  sent.inc();
   if (egress_) egress_(std::move(frame));
 }
 
@@ -89,6 +93,10 @@ void SimHost::send_raw(net::Bytes frame) { emit(std::move(frame)); }
 
 void SimHost::deliver(const net::Bytes& frame) {
   ++stats_.frames_received;
+  static obs::Counter& received = obs::MetricsRegistry::global().counter(
+      "zen_sim_host_frames_received_total", "",
+      "Frames delivered to all hosts");
+  received.inc();
   stats_.bytes_received += frame.size();
 
   auto parsed = net::parse_packet(frame);

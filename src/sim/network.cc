@@ -1,9 +1,22 @@
 #include "sim/network.h"
 
+#include "obs/obs.h"
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace zen::sim {
+
+namespace {
+
+obs::Counter& link_drops_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "zen_sim_link_drops_total", "",
+      "Frames lost on links (queue overflow or link down)");
+  return c;
+}
+
+}  // namespace
 
 net::MacAddress host_mac(topo::NodeId host_id) {
   // Locally administered unicast prefix 0x02.
@@ -60,7 +73,15 @@ SimNetwork::SimNetwork(topo::GeneratedTopo generated, SimOptions options)
     link_runtime_.try_emplace(link->id);
 
   if (options_.expiry_interval_s > 0) schedule_expiry_sweep();
+
+  // Make this simulation's virtual clock the process time source so log
+  // prefixes and trace spans carry virtual seconds. Most recent network
+  // wins when several coexist; the destructor restores the wall clock.
+  clock_token_ =
+      util::set_time_source([this] { return events_.now(); }, /*virtual=*/true);
 }
+
+SimNetwork::~SimNetwork() { util::clear_time_source(clock_token_); }
 
 void SimNetwork::schedule_expiry_sweep() {
   events_.schedule_in(options_.expiry_interval_s, [this] {
@@ -89,6 +110,7 @@ void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
 
   if (!link->up) {
     ++stats.dropped_down;
+    link_drops_counter().inc();
     return;
   }
 
@@ -116,17 +138,20 @@ void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
             static_cast<double>(dir_state.queue_best_effort.back().size());
         dir_state.queue_best_effort.pop_back();
         ++stats.dropped_queue;
+        link_drops_counter().inc();
         --stats.delivered;  // it was counted on admission
       }
       if (dir_state.queued_bytes + static_cast<double>(frame.size()) >
           options_.queue_bytes) {
         ++stats.dropped_queue;
+        link_drops_counter().inc();
         --stats.delivered;
         if (queue_id >= 1) --stats.priority_delivered;
         return;
       }
     } else {
       ++stats.dropped_queue;
+      link_drops_counter().inc();
       --stats.delivered;
       if (queue_id >= 1) --stats.priority_delivered;
       return;
@@ -170,6 +195,7 @@ void SimNetwork::on_transmit_complete(topo::LinkId link_id, int dir) {
   if (!link || !link->up) {
     // Link died while the frame was queued.
     ++dir_state.stats.dropped_down;
+    link_drops_counter().inc();
     on_transmit_complete(link_id, dir);
     return;
   }
@@ -225,6 +251,7 @@ void SimNetwork::set_link_admin_up(topo::LinkId id, bool up) {
   const topo::Link* link = gen_.topo.link(id);
   if (!link || link->up == up) return;
   gen_.topo.set_link_up(id, up);
+  ZEN_TRACE_INSTANT(up ? "link_up" : "link_down", "sim");
   for (const topo::NodeId endpoint : {link->a, link->b}) {
     const auto it = switches_.find(endpoint);
     if (it == switches_.end()) continue;

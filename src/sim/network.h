@@ -47,7 +47,12 @@ class SimNetwork {
  public:
   // Builds switches and hosts from the generated topology. Hosts get
   // MAC = from_u64(node id) and IP = 10.x.y.z derived from the host index.
+  // Installs the event queue as the process time source (util::clock) so
+  // logs and traces are stamped with virtual seconds.
   SimNetwork(topo::GeneratedTopo generated, SimOptions options = {});
+  ~SimNetwork();
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
   EventQueue& events() noexcept { return events_; }
   double now() const noexcept { return events_.now(); }
@@ -132,6 +137,7 @@ class SimNetwork {
   std::unordered_map<net::Ipv4Address, topo::NodeId> ip_to_host_;
   std::unordered_map<topo::LinkId, LinkRuntime> link_runtime_;
   std::vector<DatapathEventFn> event_handlers_;
+  std::uint64_t clock_token_ = 0;
 };
 
 // Deterministic addressing helpers (shared with the controller module).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace zen::te {
 
 const char* to_string(Strategy strategy) noexcept {
@@ -210,6 +212,13 @@ Allocation allocate_max_min(const topo::Topology& topo,
 
 Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
                     Strategy strategy, const AllocatorOptions& options) {
+  static obs::Counter& runs = obs::MetricsRegistry::global().counter(
+      "zen_te_allocations_total", "", "TE allocation solves");
+  static obs::Histo& solve_ns = obs::MetricsRegistry::global().histo(
+      "zen_te_solve_ns", "", "Wall-clock cost of one TE allocation solve");
+  runs.inc();
+  obs::ScopedTimerNs timer(solve_ns);
+  ZEN_TRACE_SCOPE("allocate", "te");
   switch (strategy) {
     case Strategy::ShortestPath:
       return allocate_single_path(topo, demands, options.headroom);

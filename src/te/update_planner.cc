@@ -3,21 +3,14 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.h"
+
 namespace zen::te {
 
 namespace {
 
 // Identity of one flow-on-path: (demand key, link sequence).
 using FlowPathKey = std::pair<DemandKey, std::vector<topo::LinkId>>;
-
-// Flattens an allocation to flow-path -> rate.
-std::map<FlowPathKey, double> flatten(const Allocation& alloc) {
-  std::map<FlowPathKey, double> out;
-  for (const auto& [key, shares] : alloc.shares)
-    for (const auto& share : shares)
-      out[{key, share.path.links}] += share.bps;
-  return out;
-}
 
 // All flow-paths present in either allocation, with (old, new) rates.
 struct FlowPathRates {
@@ -90,6 +83,13 @@ double transient_peak_utilization(const topo::Topology& topo,
 
 UpdatePlan plan_update(const topo::Topology& topo, const Allocation& from,
                        const Allocation& to, const PlannerOptions& options) {
+  static obs::Counter& plans = obs::MetricsRegistry::global().counter(
+      "zen_te_update_plans_total", "", "Congestion-free update plans computed");
+  static obs::Histo& rounds = obs::MetricsRegistry::global().histo(
+      "zen_te_update_plan_rounds", "",
+      "Interpolation steps in accepted update plans");
+  plans.inc();
+  ZEN_TRACE_SCOPE("plan_update", "te");
   UpdatePlan plan;
   const auto flows = merge(from, to);
   plan.one_shot_peak_utilization = transient_peak(topo, flows, 0.0, 1.0);
@@ -111,6 +111,7 @@ UpdatePlan plan_update(const topo::Topology& topo, const Allocation& from,
       plan.stages.push_back(interpolate(
           flows, static_cast<double>(i) / static_cast<double>(steps)));
     }
+    rounds.record(static_cast<double>(steps));
     return plan;
   }
   return plan;  // infeasible within max_steps

@@ -1,0 +1,54 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace zen::util {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TimeSourceState {
+  TimeSourceFn fn;
+  bool is_virtual = false;
+  std::uint64_t generation = 0;
+  std::uint64_t epoch_ns = steady_now_ns();
+};
+
+TimeSourceState& state() {
+  static TimeSourceState s;
+  return s;
+}
+
+}  // namespace
+
+double now_seconds() {
+  auto& s = state();
+  if (s.fn) return s.fn();
+  return static_cast<double>(steady_now_ns() - s.epoch_ns) * 1e-9;
+}
+
+std::uint64_t set_time_source(TimeSourceFn fn, bool is_virtual) {
+  auto& s = state();
+  s.fn = std::move(fn);
+  s.is_virtual = s.fn ? is_virtual : false;
+  return ++s.generation;
+}
+
+void clear_time_source(std::uint64_t token) {
+  auto& s = state();
+  if (s.generation != token) return;
+  s.fn = nullptr;
+  s.is_virtual = false;
+}
+
+bool time_source_is_virtual() noexcept { return state().is_virtual; }
+
+std::uint64_t wall_nanos() noexcept { return steady_now_ns(); }
+
+}  // namespace zen::util

@@ -1,0 +1,38 @@
+// Process-wide time source shared by logging and observability.
+//
+// Defaults to the wall clock (seconds since process start). A simulation
+// installs its virtual clock once (set_time_source) and every timestamp in
+// the process — log prefixes, trace events, metrics snapshots — then reads
+// virtual seconds. This is the single seam that makes "virtual-time
+// tracing" work: instrumented code never asks which clock it is on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace zen::util {
+
+using TimeSourceFn = std::function<double()>;
+
+// Current time in seconds from the installed source (wall clock by default).
+double now_seconds();
+
+// Installs a replacement time source. `is_virtual` marks timestamps as
+// simulator time so renderers can label them. Passing an empty function
+// restores the wall clock. Returns a token for clear_time_source.
+std::uint64_t set_time_source(TimeSourceFn fn, bool is_virtual);
+
+// Restores the wall clock iff `token` identifies the currently installed
+// source — lets an owner (a dying SimNetwork) uninstall itself without
+// clobbering a newer installation.
+void clear_time_source(std::uint64_t token);
+
+// True while a virtual (simulator) time source is installed.
+bool time_source_is_virtual() noexcept;
+
+// Monotonic wall-clock nanoseconds, independent of the installed source.
+// Instrumentation uses this for real execution cost (e.g. lookup latency)
+// even when event timestamps are virtual.
+std::uint64_t wall_nanos() noexcept;
+
+}  // namespace zen::util

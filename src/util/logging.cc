@@ -1,11 +1,36 @@
 #include "util/logging.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
+
+#include "util/clock.h"
 
 namespace zen::util {
 
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept {
+  std::string lower;
+  lower.reserve(text.size());
+  for (const char c : text)
+    lower.push_back(static_cast<char>(
+        c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+  if (lower == "trace") out = LogLevel::Trace;
+  else if (lower == "debug") out = LogLevel::Debug;
+  else if (lower == "info") out = LogLevel::Info;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::Warn;
+  else if (lower == "error") out = LogLevel::Error;
+  else if (lower == "off" || lower == "none") out = LogLevel::Off;
+  else return false;
+  return true;
+}
+
 LogLevel& global_log_level() noexcept {
-  static LogLevel level = LogLevel::Warn;
+  static LogLevel level = [] {
+    LogLevel parsed = LogLevel::Warn;
+    if (const char* env = std::getenv("ZEN_LOG_LEVEL"))
+      parse_log_level(env, parsed);
+    return parsed;
+  }();
   return level;
 }
 
@@ -28,7 +53,15 @@ LogMessage::LogMessage(LogLevel level, std::string_view file, int line)
   // Keep only the basename; full paths are noise in log lines.
   const auto slash = file.rfind('/');
   if (slash != std::string_view::npos) file = file.substr(slash + 1);
-  stream_ << '[' << to_string(level_) << "] " << file << ':' << line << ": ";
+  // Timestamp from the shared time source — virtual seconds ('v' suffix)
+  // when a simulation installed its clock, wall seconds otherwise. The
+  // same source stamps TraceRecorder events, so log lines and trace spans
+  // correlate directly.
+  char ts[40];
+  std::snprintf(ts, sizeof ts, "[%.6f%s] ", now_seconds(),
+                time_source_is_virtual() ? "v" : "");
+  stream_ << ts << '[' << to_string(level_) << "] " << file << ':' << line
+          << ": ";
 }
 
 LogMessage::~LogMessage() {

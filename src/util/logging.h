@@ -18,10 +18,15 @@ namespace zen::util {
 enum class LogLevel : std::uint8_t { Trace = 0, Debug, Info, Warn, Error, Off };
 
 // Returns the mutable global log level. Defaults to Warn so tests and
-// benchmarks stay quiet unless a caller opts in.
+// benchmarks stay quiet unless a caller opts in; the ZEN_LOG_LEVEL
+// environment variable (trace|debug|info|warn|error|off), parsed once at
+// first use, overrides the default.
 LogLevel& global_log_level() noexcept;
 
 std::string_view to_string(LogLevel level) noexcept;
+
+// Parses a level name (case-insensitive); returns false on unknown input.
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept;
 
 namespace detail {
 

@@ -260,7 +260,9 @@ TEST(FlowTableProperty, TupleSpaceEquivalentToLinearScan) {
       const auto a = tuple_space.lookup(key);
       const auto b = linear.lookup(key);
       ASSERT_EQ(a == nullptr, b == nullptr) << "trial " << trial;
-      if (a) EXPECT_EQ(a->priority, b->priority);
+      if (a) {
+        EXPECT_EQ(a->priority, b->priority);
+      }
     }
   }
 }

@@ -1,0 +1,311 @@
+// zen_obs: metrics registry, trace recorder, clock seam, and the
+// end-to-end instrumentation wired through the stack.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/zen.h"
+#include "util/clock.h"
+
+namespace zen::obs {
+namespace {
+
+// The registry is process-global and other tests in this binary drive the
+// stack, so every test either uses uniquely named series or measures deltas.
+// Under ZEN_OBS_DISABLED every mutation is a no-op (registration and
+// rendering still work), so value expectations scale by kObsEnabled.
+#ifndef ZEN_OBS_DISABLED
+constexpr bool kObsEnabled = true;
+#else
+constexpr bool kObsEnabled = false;
+#endif
+
+TEST(Metrics, CounterIncrementAndValue) {
+  Counter& c = MetricsRegistry::global().counter("zen_test_counter_a_total");
+  const std::uint64_t before = c.value();
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), before + (kObsEnabled ? 42 : 0));
+}
+
+TEST(Metrics, SameNameAndLabelsReturnsSameHandle) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("zen_test_counter_b_total", "app=\"x\"");
+  Counter& b = reg.counter("zen_test_counter_b_total", "app=\"x\"");
+  Counter& other = reg.counter("zen_test_counter_b_total", "app=\"y\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge& g = MetricsRegistry::global().gauge("zen_test_gauge_depth");
+  g.set(10.0);
+  g.add(2.5);
+  g.add(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), kObsEnabled ? 7.5 : 0.0);
+}
+
+TEST(Metrics, HistoRecordsThroughSnapshot) {
+  Histo& h = MetricsRegistry::global().histo("zen_test_histo_us");
+  h.reset();
+  h.record(10);
+  h.record(1000);
+  const util::Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), kObsEnabled ? 2u : 0u);
+  if (kObsEnabled) {
+    EXPECT_DOUBLE_EQ(snap.min(), 10);
+    EXPECT_DOUBLE_EQ(snap.max(), 1000);
+  }
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreLossless) {
+  Counter& c =
+      MetricsRegistry::global().counter("zen_test_concurrent_total");
+  const std::uint64_t before = c.value();
+  constexpr std::uint64_t kPerThread = 100000;
+  std::thread t1([&] {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+  });
+  std::thread t2([&] {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(c.value(), before + (kObsEnabled ? 2 * kPerThread : 0));
+}
+
+TEST(Metrics, SnapshotFindsSeriesByNameAndLabels) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("zen_test_snap_total", "k=\"v\"").inc(3);
+  const auto snap = reg.snapshot();
+  const auto* s = snap.find("zen_test_snap_total", "k=\"v\"");
+  ASSERT_NE(s, nullptr);
+  EXPECT_GE(s->value, kObsEnabled ? 3.0 : 0.0);
+  EXPECT_EQ(s->kind, MetricsRegistry::Series::Kind::Counter);
+  EXPECT_EQ(snap.find("zen_test_snap_total", "k=\"other\""), nullptr);
+  EXPECT_EQ(snap.find("zen_no_such_series"), nullptr);
+}
+
+TEST(Metrics, PrometheusRenderHasHelpTypeAndLabels) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("zen_test_prom_total", "app=\"demo\"", "A demo counter.")
+      .inc(5);
+  reg.gauge("zen_test_prom_depth", "", "A demo gauge.").set(3);
+  reg.histo("zen_test_prom_us", "", "A demo histogram.").record(42);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# HELP zen_test_prom_total A demo counter."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zen_test_prom_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("zen_test_prom_total{app=\"demo\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zen_test_prom_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zen_test_prom_us summary"), std::string::npos);
+  EXPECT_NE(text.find("zen_test_prom_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("zen_test_prom_us_count"), std::string::npos);
+  // Exposition format: every non-comment line ends in a value, and the
+  // output ends with a newline.
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Metrics, JsonRenderIsWellFormedEnough) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("zen_test_json_total").inc();
+  const std::string json = reg.render_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("\"zen_test_json_total\""), std::string::npos);
+}
+
+TEST(Metrics, ResetValuesZeroesButKeepsHandles) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("zen_test_reset_total");
+  c.inc(7);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  // Handle is still the registered one.
+  EXPECT_EQ(&c, &reg.counter("zen_test_reset_total"));
+}
+
+// ---- TraceRecorder ----
+
+TEST(Trace, DisabledRecorderRecordsNothing) {
+  auto& g = TraceRecorder::global();
+  g.set_enabled(false);
+  g.clear();
+  g.begin("x", "test");
+  g.end("x", "test");
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(Trace, SpansUseInjectedClockAndRenderChromeJson) {
+  auto& g = TraceRecorder::global();
+  g.clear();
+  double t = 1.0;
+  g.set_clock([&t] { return t; });
+  g.set_enabled(true);
+  g.begin("lookup", "dataplane");
+  t = 1.5;
+  g.end("lookup", "dataplane");
+  g.instant("packet_in", "controller");
+  g.counter_sample("queue_depth", "sim", 4);
+  g.set_enabled(false);
+  g.set_clock({});
+
+  EXPECT_EQ(g.size(), 4u);
+  const std::string json = g.render_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // 1.0 s and 1.5 s virtual time -> 1000000 / 1500000 microseconds.
+  EXPECT_NE(json.find("1000000"), std::string::npos);
+  EXPECT_NE(json.find("1500000"), std::string::npos);
+  g.clear();
+}
+
+TEST(Trace, ScopeMacroEmitsBeginEndPair) {
+  auto& g = TraceRecorder::global();
+  g.clear();
+  g.set_enabled(true);
+  {
+    ZEN_TRACE_SCOPE("scoped", "test");
+    ZEN_TRACE_INSTANT("inside", "test");
+  }
+  g.set_enabled(false);
+#ifndef ZEN_OBS_DISABLED
+  EXPECT_EQ(g.size(), 3u);
+#else
+  EXPECT_EQ(g.size(), 0u);
+#endif
+  g.clear();
+}
+
+// ---- util::clock seam ----
+
+TEST(Clock, VirtualSourceInstallAndTokenClear) {
+  EXPECT_FALSE(util::time_source_is_virtual());
+  double t = 42.0;
+  const std::uint64_t token =
+      util::set_time_source([&t] { return t; }, /*is_virtual=*/true);
+  EXPECT_TRUE(util::time_source_is_virtual());
+  EXPECT_DOUBLE_EQ(util::now_seconds(), 42.0);
+  t = 43.0;
+  EXPECT_DOUBLE_EQ(util::now_seconds(), 43.0);
+
+  // A stale token (an older owner) must not clobber the current source.
+  util::clear_time_source(token + 999);
+  EXPECT_TRUE(util::time_source_is_virtual());
+
+  util::clear_time_source(token);
+  EXPECT_FALSE(util::time_source_is_virtual());
+  const double wall = util::now_seconds();
+  EXPECT_GE(wall, 0.0);
+}
+
+TEST(Clock, SimNetworkInstallsVirtualTime) {
+  EXPECT_FALSE(util::time_source_is_virtual());
+  {
+    core::Network net = core::Network::linear(2, 1);
+    EXPECT_TRUE(util::time_source_is_virtual());
+    net.run_for(1.25);
+    EXPECT_DOUBLE_EQ(util::now_seconds(), net.now());
+  }
+  EXPECT_FALSE(util::time_source_is_virtual());
+}
+
+// ---- End-to-end instrumentation ----
+
+TEST(ObsIntegration, LearningSwitchScenarioPopulatesAllPlanes) {
+  auto& reg = MetricsRegistry::global();
+  const auto before = reg.snapshot();
+  const auto value_of = [&](const MetricsRegistry::Snapshot& snap,
+                            const char* name) {
+    const auto* s = snap.find(name);
+    return s ? s->value : 0.0;
+  };
+  const std::uint64_t pin_lat_before =
+      reg.histo("zen_controller_packet_in_to_flow_mod_us").count();
+
+  core::Network net = core::Network::linear(3, 2);
+  net.add_app<controller::apps::LearningSwitch>();
+  net.start();
+  const std::size_t n = net.host_count();
+  for (int round = 0; round < 3; ++round)
+    for (std::size_t i = 0; i < n; ++i)
+      net.host(i).send_udp(net.host_ip((i + 1) % n), 4000, 4001, 64);
+  net.run_for(3.0);
+  EXPECT_GT(net.total_udp_received(), 0u);
+
+  const auto after = reg.snapshot();
+  const auto delta = [&](const char* name) {
+    return value_of(after, name) - value_of(before, name);
+  };
+
+#ifndef ZEN_OBS_DISABLED
+  // Dataplane: packets flowed, the megaflow cache absorbed repeats.
+  EXPECT_GT(delta("zen_dataplane_packets_total"), 0.0);
+  EXPECT_GT(delta("zen_dataplane_megaflow_hits_total"), 0.0);
+  EXPECT_GT(delta("zen_dataplane_megaflow_misses_total"), 0.0);
+  // Controller: packet-ins arrived and flow-mods went out...
+  EXPECT_GT(delta("zen_controller_packet_ins_total"), 0.0);
+  EXPECT_GT(delta("zen_controller_flow_mods_total"), 0.0);
+  // ...and the switch-side packet-in -> flow-mod latency was measured.
+  EXPECT_GT(reg.histo("zen_controller_packet_in_to_flow_mod_us").count(),
+            pin_lat_before);
+  // Per-app counter carries the app label.
+  const auto* app_pins = after.find("zen_controller_app_packet_ins_total",
+                                    "app=\"learning_switch\"");
+  ASSERT_NE(app_pins, nullptr);
+  EXPECT_GT(app_pins->value, 0.0);
+  // Sim: events executed, hosts sent and received frames.
+  EXPECT_GT(delta("zen_sim_events_total"), 0.0);
+  EXPECT_GT(delta("zen_sim_host_frames_sent_total"), 0.0);
+  EXPECT_GT(delta("zen_sim_host_frames_received_total"), 0.0);
+#else
+  (void)delta;
+  (void)pin_lat_before;
+#endif
+}
+
+TEST(ObsIntegration, TeSolveMetricsPopulated) {
+  auto& reg = MetricsRegistry::global();
+  const std::uint64_t solves_before =
+      reg.counter("zen_te_allocations_total").value();
+  const std::uint64_t plans_before =
+      reg.counter("zen_te_update_plans_total").value();
+
+  topo::Topology topo;
+  topo.add_node(1, topo::NodeKind::Switch);
+  topo.add_node(2, topo::NodeKind::Switch);
+  topo.add_node(3, topo::NodeKind::Switch);
+  topo.add_link(1, 1, 2, 1, 1e9);
+  topo.add_link(2, 2, 3, 1, 1e9);
+  topo.add_link(1, 2, 3, 2, 1e9);
+  te::DemandMatrix demands;
+  demands.add(1, 3, 2e8);
+  const te::Allocation before_alloc =
+      te::allocate(topo, demands, te::Strategy::ShortestPath);
+  const te::Allocation after_alloc =
+      te::allocate(topo, demands, te::Strategy::MaxMinFair);
+  (void)te::plan_update(topo, before_alloc, after_alloc);
+
+#ifndef ZEN_OBS_DISABLED
+  EXPECT_EQ(reg.counter("zen_te_allocations_total").value(),
+            solves_before + 2);
+  EXPECT_EQ(reg.counter("zen_te_update_plans_total").value(),
+            plans_before + 1);
+  EXPECT_GT(reg.histo("zen_te_solve_ns").count(), 0u);
+#else
+  (void)solves_before;
+  (void)plans_before;
+#endif
+}
+
+}  // namespace
+}  // namespace zen::obs

@@ -132,7 +132,9 @@ TEST_P(TeInvariantSweep, CapacityAndDemandRespected) {
   for (const auto& [lid, load] : alloc.link_load_bps)
     EXPECT_NEAR(load, recomputed[lid], 1.0);
   // Light load must be fully satisfied.
-  if (offered <= 10) EXPECT_NEAR(alloc.satisfaction(demands), 1.0, 1e-6);
+  if (offered <= 10) {
+    EXPECT_NEAR(alloc.satisfaction(demands), 1.0, 1e-6);
+  }
 }
 
 std::vector<TeCase> te_grid() {

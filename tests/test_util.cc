@@ -5,6 +5,7 @@
 
 #include "util/buffer.h"
 #include "util/histogram.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -206,6 +207,50 @@ TEST(Histogram, EmptyIsSafe) {
   EXPECT_EQ(h.mean(), 0);
 }
 
+TEST(Histogram, EmptyPercentileAtExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, SingleSampleEveryPercentileLandsOnIt) {
+  Histogram h;
+  h.record(512.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 512.0);
+  EXPECT_DOUBLE_EQ(h.max(), 512.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 512.0);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+    EXPECT_NEAR(h.percentile(q), 512.0, 512.0 * 0.02) << "q=" << q;
+}
+
+TEST(Histogram, MergeDisjointRangesKeepsBothTails) {
+  Histogram low, high;
+  for (int i = 1; i <= 100; ++i) low.record(i);            // 1..100
+  for (int i = 0; i < 100; ++i) high.record(1e6 + i * 10);  // ~1e6
+  low.merge(high);
+  EXPECT_EQ(low.count(), 200u);
+  EXPECT_DOUBLE_EQ(low.min(), 1);
+  EXPECT_NEAR(low.max(), 1e6 + 990, 1.0);
+  // Median stays in the low range, p99 lands in the high range.
+  EXPECT_LT(low.percentile(0.25), 200.0);
+  EXPECT_GT(low.percentile(0.99), 0.9e6);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.record(7);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 7);
+  Histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.max(), 7);
+}
+
 // ---- TokenBucket ----
 
 TEST(TokenBucket, StartsFullAndDrains) {
@@ -255,6 +300,27 @@ TEST(Strings, ParseU64) {
   EXPECT_FALSE(parse_u64(""));
   EXPECT_FALSE(parse_u64("12a"));
   EXPECT_FALSE(parse_u64("-1"));
+}
+
+TEST(Logging, ParseLogLevel) {
+  LogLevel level = LogLevel::Info;
+  EXPECT_TRUE(parse_log_level("trace", level));
+  EXPECT_EQ(level, LogLevel::Trace);
+  EXPECT_TRUE(parse_log_level("DEBUG", level));
+  EXPECT_EQ(level, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("Warn", level));
+  EXPECT_EQ(level, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("warning", level));
+  EXPECT_EQ(level, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("error", level));
+  EXPECT_EQ(level, LogLevel::Error);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::Off);
+
+  level = LogLevel::Error;
+  EXPECT_FALSE(parse_log_level("", level));
+  EXPECT_FALSE(parse_log_level("loud", level));
+  EXPECT_EQ(level, LogLevel::Error);  // untouched on failure
 }
 
 TEST(Strings, Format) {
