@@ -1,19 +1,107 @@
-// Shared bench entry point: runs Google Benchmark, then prints a zen_obs
-// registry snapshot to stderr so BENCH_*.json entries can record the
-// workload that produced them (packets forwarded, cache hit rates, solver
-// runs) alongside the timings. Set ZEN_BENCH_NO_METRICS=1 to suppress.
+// Shared bench entry point: runs Google Benchmark, writes BENCH_<name>.json
+// (per-benchmark ns/op and ops/s plus a zen_obs registry snapshot describing
+// the workload that produced the timings — packets forwarded, cache hit
+// rates, solver runs), and prints the registry to stderr.
+//
+// Environment knobs:
+//   ZEN_BENCH_NO_METRICS=1  suppress the stderr registry dump
+//   ZEN_BENCH_NO_JSON=1     suppress the BENCH_<name>.json artifact
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.h"
+
+namespace {
+
+struct BenchEntry {
+  std::string name;
+  double ns_per_op = 0;
+  double ops_per_s = 0;
+  std::uint64_t iterations = 0;
+};
+
+// Console output as usual, but also accumulate per-iteration runs so main()
+// can write the JSON artifact after Shutdown.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchEntry e;
+      e.name = run.benchmark_name();
+      e.iterations = static_cast<std::uint64_t>(run.iterations);
+      if (run.iterations > 0 && run.real_accumulated_time > 0) {
+        e.ns_per_op = run.real_accumulated_time * 1e9 /
+                      static_cast<double>(run.iterations);
+        e.ops_per_s =
+            static_cast<double>(run.iterations) / run.real_accumulated_time;
+      }
+      entries.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<BenchEntry> entries;
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void write_json_artifact(const char* argv0,
+                         const std::vector<BenchEntry>& entries) {
+  // BENCH_<binary-basename>.json in the working directory.
+  const char* base = std::strrchr(argv0, '/');
+  const std::string name = base ? base + 1 : argv0;
+  const std::string path = "BENCH_" + name + ".json";
+
+  std::string out = "{\n  \"binary\": \"" + json_escape(name) + "\",\n";
+  out += "  \"benchmarks\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\"name\": \"%s\", \"ns_per_op\": %.2f, "
+                  "\"ops_per_s\": %.2f, \"iterations\": %llu}",
+                  i ? "," : "", json_escape(e.name).c_str(), e.ns_per_op,
+                  e.ops_per_s, static_cast<unsigned long long>(e.iterations));
+    out += buf;
+  }
+  out += "\n  ],\n  \"registry\": ";
+  out += zen::obs::MetricsRegistry::global().render_json();
+  out += "\n}\n";
+
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu benchmarks)\n", path.c_str(),
+                 entries.size());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  RecordingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  if (!std::getenv("ZEN_BENCH_NO_JSON"))
+    write_json_artifact(argv[0], reporter.entries);
 
   if (!std::getenv("ZEN_BENCH_NO_METRICS")) {
     const std::string prom =

@@ -1,0 +1,153 @@
+#include "controller/apps/telemetry_collector.h"
+
+#include <algorithm>
+
+#include "net/addr.h"
+#include "obs/obs.h"
+#include "util/strings.h"
+
+namespace zen::controller::apps {
+
+namespace {
+
+std::string ip_label(std::uint32_t src, std::uint32_t dst) {
+  return util::format("src=\"%s\",dst=\"%s\"",
+                      net::Ipv4Address(src).to_string().c_str(),
+                      net::Ipv4Address(dst).to_string().c_str());
+}
+
+}  // namespace
+
+std::string TelemetryCollector::path_label(
+    const std::vector<std::uint64_t>& switches) {
+  std::string label;
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    if (i) label += '>';
+    label += std::to_string(switches[i]);
+  }
+  return label;
+}
+
+void TelemetryCollector::on_experimenter(Dpid,
+                                         const openflow::Experimenter& msg) {
+  if (msg.experimenter_id != telemetry::kExperimenterId) return;
+  auto batch = telemetry::parse_export_message(msg);
+  if (!batch.ok()) {
+    ++decode_errors_;
+    return;
+  }
+  ++batches_;
+  obs::MetricsRegistry::global()
+      .counter("zen_telemetry_collector_batches_total", "",
+               "Export batches decoded by the collector")
+      .inc();
+  ingest(batch.value());
+}
+
+void TelemetryCollector::ingest(const telemetry::ExportBatch& batch) {
+  auto& reg = obs::MetricsRegistry::global();
+
+  for (const telemetry::FlowRecord& f : batch.flows) {
+    FlowTotals& totals = flows_[f.key];
+    totals.key = f.key;
+    totals.packets += f.packets;
+    totals.bytes += f.bytes;
+    if (f.key.ipv4_src != 0 || f.key.ipv4_dst != 0) {
+      reg.counter("zen_telemetry_flow_bytes_total",
+                  ip_label(f.key.ipv4_src, f.key.ipv4_dst),
+                  "Bytes accounted to sampled flows, by endpoint pair")
+          .inc(f.bytes);
+    }
+  }
+  reg.gauge("zen_telemetry_sampled_flows", "",
+            "Distinct sampled flows seen by the collector")
+      .set(static_cast<double>(flows_.size()));
+
+  for (const telemetry::PathRecord& p : batch.paths) {
+    if (p.hops.empty()) continue;
+    ++paths_received_;
+    std::vector<std::uint64_t> switches;
+    switches.reserve(p.hops.size());
+    std::uint32_t max_queue = 0;
+    for (const net::TelemetryHop& hop : p.hops) {
+      switches.push_back(hop.switch_id);
+      max_queue = std::max(max_queue, hop.queue_depth_bytes);
+    }
+    const std::uint64_t latency_ns =
+        p.hops.back().timestamp_ns - p.hops.front().timestamp_ns;
+
+    const std::string label = path_label(switches);
+    PathStats& stats = paths_[label];
+    stats.switches = switches;
+    stats.latency_ns.record(static_cast<double>(latency_ns));
+    stats.max_queue_bytes.record(static_cast<double>(max_queue));
+    ++stats.packets;
+
+    reg.histo("zen_telemetry_path_latency_ns",
+              util::format("path=\"%s\"", label.c_str()),
+              "First-hop to last-hop virtual latency of sampled packets")
+        .record(static_cast<double>(latency_ns));
+    reg.histo("zen_telemetry_path_max_queue_bytes",
+              util::format("path=\"%s\"", label.c_str()),
+              "Worst egress backlog a sampled packet saw along its path")
+        .record(static_cast<double>(max_queue));
+  }
+
+  // Trace counter tracks: path/flow totals over virtual time.
+  ZEN_TRACE_COUNTER("telemetry_paths", "telemetry",
+                    static_cast<double>(paths_received_));
+  ZEN_TRACE_COUNTER("telemetry_sampled_flows", "telemetry",
+                    static_cast<double>(flows_.size()));
+}
+
+std::vector<TelemetryCollector::FlowTotals> TelemetryCollector::top_flows()
+    const {
+  std::vector<FlowTotals> all;
+  all.reserve(flows_.size());
+  for (const auto& [key, totals] : flows_) all.push_back(totals);
+  std::sort(all.begin(), all.end(),
+            [](const FlowTotals& a, const FlowTotals& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.key.hash() < b.key.hash();  // deterministic tiebreak
+            });
+  if (all.size() > options_.top_k) all.resize(options_.top_k);
+  return all;
+}
+
+std::string TelemetryCollector::report_json() const {
+  std::string out = "{\n  \"sampled_flows\": ";
+  out += std::to_string(flows_.size());
+  out += ",\n  \"batches\": " + std::to_string(batches_);
+  out += ",\n  \"paths\": [";
+  bool first = true;
+  for (const auto& [label, stats] : paths_) {
+    if (!first) out += ',';
+    first = false;
+    out += util::format(
+        "\n    {\"path\": \"%s\", \"packets\": %llu, "
+        "\"latency_ns\": {\"p50\": %.0f, \"p99\": %.0f, \"max\": %.0f}, "
+        "\"max_queue_bytes\": {\"p50\": %.0f, \"p99\": %.0f}}",
+        label.c_str(), static_cast<unsigned long long>(stats.packets),
+        stats.latency_ns.percentile(0.5), stats.latency_ns.percentile(0.99),
+        stats.latency_ns.max(), stats.max_queue_bytes.percentile(0.5),
+        stats.max_queue_bytes.percentile(0.99));
+  }
+  out += "\n  ],\n  \"top_flows\": [";
+  first = true;
+  for (const FlowTotals& f : top_flows()) {
+    if (!first) out += ',';
+    first = false;
+    out += util::format(
+        "\n    {\"src\": \"%s\", \"dst\": \"%s\", \"l4_dst\": %u, "
+        "\"packets\": %llu, \"bytes\": %llu}",
+        net::Ipv4Address(f.key.ipv4_src).to_string().c_str(),
+        net::Ipv4Address(f.key.ipv4_dst).to_string().c_str(),
+        static_cast<unsigned>(f.key.l4_dst),
+        static_cast<unsigned long long>(f.packets),
+        static_cast<unsigned long long>(f.bytes));
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace zen::controller::apps

@@ -255,6 +255,8 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
           for (const auto& app : apps_) app->on_port_status(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::FlowRemoved>) {
           for (const auto& app : apps_) app->on_flow_removed(dpid, msg);
+        } else if constexpr (std::is_same_v<T, openflow::Experimenter>) {
+          for (const auto& app : apps_) app->on_experimenter(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::BarrierReply>) {
           const auto it = session.pending_barriers.find(owned.xid);
           if (it != session.pending_barriers.end()) {

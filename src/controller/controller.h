@@ -59,6 +59,8 @@ class App {
   virtual void on_flow_removed(Dpid, const openflow::FlowRemoved&) {}
   virtual void on_link_event(const LinkEvent&) {}
   virtual void on_host_discovered(const HostInfo&) {}
+  // Vendor-extension messages (e.g. zen_telemetry export batches).
+  virtual void on_experimenter(Dpid, const openflow::Experimenter&) {}
 
  protected:
   Controller* controller_ = nullptr;

@@ -23,6 +23,7 @@
 #include "controller/apps/reactive_forwarding.h"
 #include "controller/apps/stats_monitor.h"
 #include "controller/apps/te_installer.h"
+#include "controller/apps/telemetry_collector.h"
 #include "controller/controller.h"
 #include "core/network.h"
 #include "dataplane/switch.h"
@@ -33,5 +34,6 @@
 #include "sim/network.h"
 #include "te/allocation.h"
 #include "te/update_planner.h"
+#include "telemetry/telemetry.h"
 #include "topo/generators.h"
 #include "topo/paths.h"

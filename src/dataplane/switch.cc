@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "net/telemetry.h"
 #include "obs/obs.h"
+#include "telemetry/switch_telemetry.h"
 #include "util/logging.h"
 
 namespace zen::dataplane {
@@ -314,6 +316,7 @@ void Switch::run_pipeline(PipelineContext& ctx) {
 ForwardResult Switch::ingress(double now, std::uint32_t in_port,
                               std::span<const std::uint8_t> frame) {
   ForwardResult result;
+  result.in_port = in_port;
   SwitchMetrics::get().packets.inc();
 
   const auto port_it = ports_.find(in_port);
@@ -332,6 +335,15 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
   }
 
   const net::FlowKey key = pkt.flow_key(in_port);
+
+  // Telemetry sampling decision — taken here, after the key is computed and
+  // before the cache branch, so it covers fast and slow paths alike. When
+  // the flow is sampled, every forwarded copy gets a telemetry trailer for
+  // the sim fabric to stamp hop records into.
+  const bool telemetry_stamp =
+      telemetry_ != nullptr &&
+      telemetry_->on_packet(static_cast<std::uint64_t>(now * 1e9), in_port,
+                            key, frame.size());
 
   // Fast path: megaflow cache.
   if (const CachedVerdict* verdict = cache_.find(key, version_)) {
@@ -377,6 +389,9 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
       result.packet_in = std::move(pin);
     }
     if (result.outputs.empty() && !result.packet_in) result.dropped = true;
+    if (telemetry_stamp)
+      for (Egress& egress : result.outputs)
+        net::append_telemetry_trailer(egress.frame);
     return result;
   }
 
@@ -396,6 +411,9 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
     ++port_it->second.stats.rx_dropped;
 
   if (!ctx.dropped) cache_.insert(key, std::move(ctx.verdict), version_);
+  if (telemetry_stamp)
+    for (Egress& egress : result.outputs)
+      net::append_telemetry_trailer(egress.frame);
   return result;
 }
 

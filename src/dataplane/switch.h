@@ -26,6 +26,10 @@
 #include "openflow/codec.h"
 #include "util/token_bucket.h"
 
+namespace zen::telemetry {
+class SwitchTelemetry;
+}
+
 namespace zen::dataplane {
 
 enum class MissBehavior : std::uint8_t { Drop, PacketIn };
@@ -63,6 +67,9 @@ struct ForwardResult {
   // True if the packet was dropped (no match with Drop behavior, meter
   // exceeded, TTL expired, or malformed).
   bool dropped = false;
+  // Port the packet arrived on (0 for controller-originated PacketOuts);
+  // the sim threads this into per-hop telemetry records.
+  std::uint32_t in_port = 0;
 };
 
 struct ModStatus {
@@ -91,6 +98,14 @@ class Switch {
 
   // Executes a PacketOut's action list on its payload (or buffered packet).
   ForwardResult packet_out(double now, const openflow::PacketOut& msg);
+
+  // Attaches per-switch telemetry (sampling + flow export). Not owned;
+  // nullptr (the default) disables the hook entirely. The sim wires this
+  // when SimOptions.telemetry.enabled is set.
+  void set_telemetry(telemetry::SwitchTelemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+  telemetry::SwitchTelemetry* telemetry() const noexcept { return telemetry_; }
 
   // ---- control surface ----
   ModStatus flow_mod(const openflow::FlowMod& mod, double now,
@@ -178,6 +193,9 @@ class Switch {
   // PacketIn rate limiting (controller protection).
   std::optional<util::TokenBucket> packet_in_bucket_;
   std::uint64_t packet_in_suppressed_ = 0;
+
+  // Telemetry hook (not owned; may be null).
+  telemetry::SwitchTelemetry* telemetry_ = nullptr;
 
   // Controller-connection roles.
   std::map<std::uint64_t, openflow::ControllerRole> roles_;

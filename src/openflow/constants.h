@@ -21,6 +21,7 @@ enum class MsgType : std::uint8_t {
   Error = 1,
   EchoRequest = 2,
   EchoReply = 3,
+  Experimenter = 4,
   FeaturesRequest = 5,
   FeaturesReply = 6,
   PacketIn = 10,

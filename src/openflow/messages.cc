@@ -52,6 +52,7 @@ MsgType type_of(const Message& msg) noexcept {
         else if constexpr (std::is_same_v<T, ErrorMsg>) return MsgType::Error;
         else if constexpr (std::is_same_v<T, EchoRequest>) return MsgType::EchoRequest;
         else if constexpr (std::is_same_v<T, EchoReply>) return MsgType::EchoReply;
+        else if constexpr (std::is_same_v<T, Experimenter>) return MsgType::Experimenter;
         else if constexpr (std::is_same_v<T, FeaturesRequest>) return MsgType::FeaturesRequest;
         else if constexpr (std::is_same_v<T, FeaturesReply>) return MsgType::FeaturesReply;
         else if constexpr (std::is_same_v<T, FlowMod>) return MsgType::FlowMod;
@@ -81,6 +82,7 @@ std::string type_name(MsgType type) {
     case MsgType::Error: return "Error";
     case MsgType::EchoRequest: return "EchoRequest";
     case MsgType::EchoReply: return "EchoReply";
+    case MsgType::Experimenter: return "Experimenter";
     case MsgType::FeaturesRequest: return "FeaturesRequest";
     case MsgType::FeaturesReply: return "FeaturesReply";
     case MsgType::PacketIn: return "PacketIn";
@@ -118,6 +120,10 @@ void encode_body(const Message& msg, util::ByteWriter& w) {
         } else if constexpr (std::is_same_v<T, EchoRequest> ||
                              std::is_same_v<T, EchoReply>) {
           encode_bytes_field(m.data, w);
+        } else if constexpr (std::is_same_v<T, Experimenter>) {
+          w.u32(m.experimenter_id);
+          w.u32(m.exp_type);
+          encode_bytes_field(m.payload, w);
         } else if constexpr (std::is_same_v<T, FeaturesRequest> ||
                              std::is_same_v<T, BarrierRequest> ||
                              std::is_same_v<T, BarrierReply> ||
@@ -258,6 +264,14 @@ util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
     case MsgType::EchoReply: {
       EchoReply m;
       m.data = decode_bytes_field(r);
+      if (!r.ok()) return fail("truncated");
+      return Message{std::move(m)};
+    }
+    case MsgType::Experimenter: {
+      Experimenter m;
+      m.experimenter_id = r.u32();
+      m.exp_type = r.u32();
+      m.payload = decode_bytes_field(r);
       if (!r.ok()) return fail("truncated");
       return Message{std::move(m)};
     }

@@ -40,6 +40,16 @@ struct EchoReply {
   friend bool operator==(const EchoReply&, const EchoReply&) = default;
 };
 
+// Vendor-extension escape hatch (OF 1.3 OFPT_EXPERIMENTER shape): an opaque
+// payload scoped by (experimenter_id, exp_type). zen_telemetry uses it to
+// carry flow/path export batches northbound without widening the protocol.
+struct Experimenter {
+  std::uint32_t experimenter_id = 0;
+  std::uint32_t exp_type = 0;
+  Bytes payload;
+  friend bool operator==(const Experimenter&, const Experimenter&) = default;
+};
+
 struct FeaturesRequest {
   friend bool operator==(const FeaturesRequest&, const FeaturesRequest&) = default;
 };
@@ -221,12 +231,12 @@ struct RoleReply {
 };
 
 using Message =
-    std::variant<Hello, ErrorMsg, EchoRequest, EchoReply, FeaturesRequest,
-                 FeaturesReply, FlowMod, PacketIn, PacketOut, FlowRemoved,
-                 PortStatus, GroupMod, MeterMod, BarrierRequest, BarrierReply,
-                 FlowStatsRequest, FlowStatsReply, PortStatsRequest,
-                 PortStatsReply, TableStatsRequest, TableStatsReply,
-                 RoleRequest, RoleReply>;
+    std::variant<Hello, ErrorMsg, EchoRequest, EchoReply, Experimenter,
+                 FeaturesRequest, FeaturesReply, FlowMod, PacketIn, PacketOut,
+                 FlowRemoved, PortStatus, GroupMod, MeterMod, BarrierRequest,
+                 BarrierReply, FlowStatsRequest, FlowStatsReply,
+                 PortStatsRequest, PortStatsReply, TableStatsRequest,
+                 TableStatsReply, RoleRequest, RoleReply>;
 
 MsgType type_of(const Message& msg) noexcept;
 std::string type_name(MsgType type);

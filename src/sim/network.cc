@@ -1,6 +1,9 @@
 #include "sim/network.h"
 
+#include "net/packet.h"
+#include "net/telemetry.h"
 #include "obs/obs.h"
+#include "telemetry/export.h"
 #include "util/clock.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -73,6 +76,7 @@ SimNetwork::SimNetwork(topo::GeneratedTopo generated, SimOptions options)
     link_runtime_.try_emplace(link->id);
 
   if (options_.expiry_interval_s > 0) schedule_expiry_sweep();
+  if (options_.telemetry.enabled) configure_telemetry(options_.telemetry);
 
   // Make this simulation's virtual clock the process time source so log
   // prefixes and trace spans carry virtual seconds. Most recent network
@@ -95,13 +99,56 @@ void SimNetwork::schedule_expiry_sweep() {
   });
 }
 
+void SimNetwork::configure_telemetry(const telemetry::Options& opts) {
+  for (auto& [id, sw] : switches_) sw->set_telemetry(nullptr);
+  telemetry_.clear();
+  host_edge_switch_.clear();
+  telemetry_on_ = opts.enabled;
+  if (!opts.enabled) return;
+
+  for (auto& [id, sw] : switches_) {
+    auto t = std::make_unique<telemetry::SwitchTelemetry>(id, opts);
+    sw->set_telemetry(t.get());
+    telemetry_.emplace(id, std::move(t));
+  }
+  for (const auto& att : gen_.attachments) {
+    if (const auto it = telemetry_.find(att.sw); it != telemetry_.end())
+      it->second->mark_edge_port(att.sw_port);
+    host_edge_switch_.emplace(att.host, att.sw);
+  }
+  if (opts.flush_interval_s > 0) schedule_telemetry_sweep();
+}
+
+void SimNetwork::schedule_telemetry_sweep() {
+  events_.schedule_in(options_.telemetry.flush_interval_s, [this] {
+    if (!telemetry_on_) return;  // reconfigured off: let the sweep die
+    for (auto& [id, t] : telemetry_) {
+      telemetry::ExportBatch batch = t->flush(now_ns());
+      if (batch.empty()) continue;
+      for (const auto& handler : event_handlers_)
+        handler(id, openflow::Message{telemetry::make_export_message(batch)});
+    }
+    schedule_telemetry_sweep();
+  });
+}
+
+void SimNetwork::maybe_flush_telemetry(topo::NodeId sw) {
+  const auto it = telemetry_.find(sw);
+  if (it == telemetry_.end() || !it->second->flush_pending()) return;
+  telemetry::ExportBatch batch = it->second->flush(now_ns());
+  if (batch.empty()) return;
+  for (const auto& handler : event_handlers_)
+    handler(sw, openflow::Message{telemetry::make_export_message(batch)});
+}
+
 SimHost* SimNetwork::host_by_ip(net::Ipv4Address ip) noexcept {
   const auto it = ip_to_host_.find(ip);
   return it == ip_to_host_.end() ? nullptr : hosts_.at(it->second).get();
 }
 
 void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
-                          net::Bytes frame, std::uint32_t queue_id) {
+                          net::Bytes frame, std::uint32_t queue_id,
+                          std::uint32_t in_port) {
   const topo::Link* link = gen_.topo.link_at(from, port);
   if (!link) return;
   auto& dir_state =
@@ -112,6 +159,22 @@ void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
     ++stats.dropped_down;
     link_drops_counter().inc();
     return;
+  }
+
+  // INT-style stamping: every switch a sampled packet leaves appends one
+  // hop record. Timestamp/queue depth here are enqueue-time values; they
+  // are re-stamped at dequeue (start_transmission) so they reflect the
+  // wait the packet actually experienced.
+  if (telemetry_on_ && telemetry_.contains(from) &&
+      net::has_telemetry_trailer(frame)) {
+    net::append_telemetry_hop(
+        frame, net::TelemetryHop{
+                   .switch_id = from,
+                   .ingress_port = in_port,
+                   .egress_port = port,
+                   .timestamp_ns = now_ns(),
+                   .queue_depth_bytes =
+                       static_cast<std::uint32_t>(dir_state.queued_bytes)});
   }
 
   ++stats.delivered;
@@ -164,6 +227,14 @@ void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
 
 void SimNetwork::start_transmission(topo::LinkId link_id, int dir,
                                     net::Bytes frame) {
+  if (telemetry_on_) {
+    // Dequeue re-stamp: the newest hop record gets the actual serialization
+    // start time and the backlog left behind in this link direction.
+    const auto& dir_state = link_runtime_.at(link_id).dirs[dir];
+    net::restamp_last_hop(
+        frame, now_ns(),
+        static_cast<std::uint32_t>(dir_state.queued_bytes));
+  }
   const topo::Link* link = gen_.topo.link(link_id);
   const double tx_time =
       static_cast<double>(frame.size()) / (link->capacity_bps / 8.0);
@@ -205,6 +276,34 @@ void SimNetwork::on_transmit_complete(topo::LinkId link_id, int dir) {
 void SimNetwork::deliver(topo::NodeId node, std::uint32_t port,
                          net::Bytes frame) {
   if (const auto host_it = hosts_.find(node); host_it != hosts_.end()) {
+    // Sink-side: strip the telemetry trailer so the host sees the original
+    // frame, and turn the collected hops into a path record exported by
+    // the host's edge switch.
+    if (telemetry_on_) {
+      if (auto hops = net::strip_telemetry_trailer(frame);
+          hops && !hops->empty()) {
+        const auto edge_it = host_edge_switch_.find(node);
+        if (edge_it != host_edge_switch_.end()) {
+          if (const auto tel_it = telemetry_.find(edge_it->second);
+              tel_it != telemetry_.end()) {
+            telemetry::PathRecord path;
+            if (const auto parsed = net::parse_packet(frame); parsed.ok()) {
+              if (parsed.value().ipv4) {
+                path.ipv4_src = parsed.value().ipv4->src.value();
+                path.ipv4_dst = parsed.value().ipv4->dst.value();
+                path.ip_proto = parsed.value().ipv4->protocol;
+              }
+              const net::FlowKey key = parsed.value().flow_key(port);
+              path.l4_src = key.l4_src;
+              path.l4_dst = key.l4_dst;
+            }
+            path.hops = std::move(*hops);
+            tel_it->second->on_path_complete(std::move(path));
+            maybe_flush_telemetry(edge_it->second);
+          }
+        }
+      }
+    }
     host_it->second->deliver(frame);
     return;
   }
@@ -216,11 +315,13 @@ void SimNetwork::deliver(topo::NodeId node, std::uint32_t port,
 void SimNetwork::handle_forward_result(topo::NodeId sw,
                                        dataplane::ForwardResult result) {
   for (auto& egress : result.outputs)
-    transmit(sw, egress.port, std::move(egress.frame), egress.queue_id);
+    transmit(sw, egress.port, std::move(egress.frame), egress.queue_id,
+             result.in_port);
   if (result.packet_in) {
     for (const auto& handler : event_handlers_)
       handler(sw, openflow::Message{*result.packet_in});
   }
+  if (telemetry_on_) maybe_flush_telemetry(sw);
 }
 
 dataplane::ModStatus SimNetwork::flow_mod(topo::NodeId sw,

@@ -23,6 +23,7 @@
 #include "dataplane/switch.h"
 #include "sim/event_queue.h"
 #include "sim/host.h"
+#include "telemetry/switch_telemetry.h"
 #include "topo/generators.h"
 
 namespace zen::sim {
@@ -41,6 +42,9 @@ struct SimOptions {
   double queue_bytes = 64 * 1024;
   // Interval for flow-timeout sweeps (0 disables).
   double expiry_interval_s = 1.0;
+  // INT-style telemetry + sampled flow export (disabled by default, so a
+  // plain simulation is bit-for-bit identical to one without telemetry).
+  telemetry::Options telemetry;
 };
 
 class SimNetwork {
@@ -88,6 +92,18 @@ class SimNetwork {
     event_handlers_.push_back(std::move(fn));
   }
 
+  // ---- telemetry ----
+  // (Re)configures per-switch telemetry: builds SwitchTelemetry objects,
+  // marks host-facing ports as edges, and starts the export sweep. Called
+  // from the constructor when SimOptions.telemetry.enabled; callable later
+  // to turn telemetry on for an already-built network.
+  void configure_telemetry(const telemetry::Options& opts);
+  // The per-switch telemetry object (nullptr when telemetry is off).
+  telemetry::SwitchTelemetry* telemetry_at(topo::NodeId sw) noexcept {
+    const auto it = telemetry_.find(sw);
+    return it == telemetry_.end() ? nullptr : it->second.get();
+  }
+
   dataplane::ModStatus flow_mod(topo::NodeId sw, const openflow::FlowMod& mod);
   dataplane::ModStatus group_mod(topo::NodeId sw, const openflow::GroupMod& mod);
   dataplane::ModStatus meter_mod(topo::NodeId sw, const openflow::MeterMod& mod);
@@ -122,12 +138,18 @@ class SimNetwork {
   };
 
   void transmit(topo::NodeId from, std::uint32_t port, net::Bytes frame,
-                std::uint32_t queue_id = 0);
+                std::uint32_t queue_id = 0, std::uint32_t in_port = 0);
   void start_transmission(topo::LinkId link_id, int dir, net::Bytes frame);
   void on_transmit_complete(topo::LinkId link_id, int dir);
   void deliver(topo::NodeId node, std::uint32_t port, net::Bytes frame);
   void handle_forward_result(topo::NodeId sw, dataplane::ForwardResult result);
   void schedule_expiry_sweep();
+  void schedule_telemetry_sweep();
+  // Emits a pending export batch for `sw` (if any) to the control seam.
+  void maybe_flush_telemetry(topo::NodeId sw);
+  std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(events_.now() * 1e9);
+  }
 
   topo::GeneratedTopo gen_;
   SimOptions options_;
@@ -137,6 +159,13 @@ class SimNetwork {
   std::unordered_map<net::Ipv4Address, topo::NodeId> ip_to_host_;
   std::unordered_map<topo::LinkId, LinkRuntime> link_runtime_;
   std::vector<DatapathEventFn> event_handlers_;
+  // Telemetry: per-switch state, plus host -> (edge switch, port) for
+  // sink-side trailer stripping. telemetry_on_ gates every hot-path check
+  // so runs without telemetry pay a single bool test.
+  std::unordered_map<topo::NodeId, std::unique_ptr<telemetry::SwitchTelemetry>>
+      telemetry_;
+  std::unordered_map<topo::NodeId, topo::NodeId> host_edge_switch_;
+  bool telemetry_on_ = false;
   std::uint64_t clock_token_ = 0;
 };
 

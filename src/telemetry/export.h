@@ -1,0 +1,68 @@
+// Telemetry export records and their wire encoding.
+//
+// IPFIX-shaped: the dataplane accumulates per-flow-key FlowRecords and
+// INT-derived PathRecords, and exports them in ExportBatches that cross
+// the southbound channel as an openflow::Experimenter message (scoped by
+// kExperimenterId / kExpTypeExportBatch). Timestamps are virtual-time
+// nanoseconds so batches are exact and platform-independent on the wire.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "net/telemetry.h"
+#include "openflow/messages.h"
+#include "util/result.h"
+
+namespace zen::telemetry {
+
+// "zent" — identifies zen_telemetry experimenter messages.
+inline constexpr std::uint32_t kExperimenterId = 0x7a656e74;
+inline constexpr std::uint32_t kExpTypeExportBatch = 1;
+
+// Per-flow usage accumulated since the flow entered the export cache.
+struct FlowRecord {
+  net::FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t first_seen_ns = 0;
+  std::uint64_t last_seen_ns = 0;
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+// The reassembled journey of one sampled packet: flow identity plus the
+// hop records its telemetry trailer collected across the fabric.
+struct PathRecord {
+  std::uint32_t ipv4_src = 0;
+  std::uint32_t ipv4_dst = 0;
+  std::uint8_t ip_proto = 0;
+  std::uint16_t l4_src = 0;
+  std::uint16_t l4_dst = 0;
+  std::vector<net::TelemetryHop> hops;
+
+  friend bool operator==(const PathRecord&, const PathRecord&) = default;
+};
+
+struct ExportBatch {
+  std::uint64_t switch_id = 0;
+  std::uint64_t exported_at_ns = 0;
+  std::vector<FlowRecord> flows;
+  std::vector<PathRecord> paths;
+
+  bool empty() const noexcept { return flows.empty() && paths.empty(); }
+
+  friend bool operator==(const ExportBatch&, const ExportBatch&) = default;
+};
+
+net::Bytes encode_batch(const ExportBatch& batch);
+util::Result<ExportBatch> decode_batch(std::span<const std::uint8_t> payload);
+
+// Wraps/unwraps a batch in the Experimenter envelope. parse returns an
+// error for foreign experimenter ids or malformed payloads.
+openflow::Experimenter make_export_message(const ExportBatch& batch);
+util::Result<ExportBatch> parse_export_message(
+    const openflow::Experimenter& msg);
+
+}  // namespace zen::telemetry

@@ -1,0 +1,51 @@
+#include "telemetry/export_cache.h"
+
+#include <utility>
+
+namespace zen::telemetry {
+
+void FlowExportCache::record_packet(const net::FlowKey& key,
+                                    std::uint64_t bytes,
+                                    std::uint64_t now_ns) {
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    if (flows_.size() >= capacity_ && capacity_ > 0) {
+      // Cache full: spill every resident flow to the export queue and ask
+      // for an immediate flush rather than silently dropping the new flow.
+      evicted_.reserve(evicted_.size() + flows_.size());
+      for (auto& [k, rec] : flows_) evicted_.push_back(std::move(rec));
+      flows_.clear();
+      flush_pending_ = true;
+    }
+    FlowRecord rec;
+    rec.key = key;
+    rec.first_seen_ns = now_ns;
+    it = flows_.emplace(key, std::move(rec)).first;
+  }
+  it->second.packets += 1;
+  it->second.bytes += bytes;
+  it->second.last_seen_ns = now_ns;
+}
+
+void FlowExportCache::record_path(PathRecord path) {
+  paths_.push_back(std::move(path));
+  flush_pending_ = true;
+}
+
+ExportBatch FlowExportCache::flush(std::uint64_t switch_id,
+                                   std::uint64_t now_ns) {
+  ExportBatch batch;
+  batch.switch_id = switch_id;
+  batch.exported_at_ns = now_ns;
+  batch.flows = std::move(evicted_);
+  evicted_.clear();
+  batch.flows.reserve(batch.flows.size() + flows_.size());
+  for (auto& [k, rec] : flows_) batch.flows.push_back(std::move(rec));
+  flows_.clear();
+  batch.paths = std::move(paths_);
+  paths_.clear();
+  flush_pending_ = false;
+  return batch;
+}
+
+}  // namespace zen::telemetry

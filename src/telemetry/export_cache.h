@@ -1,0 +1,51 @@
+// Per-switch flow export cache.
+//
+// Accumulates FlowRecords for sampled flows and PathRecords handed back by
+// the sim when a telemetry-stamped packet reaches its destination host.
+// Records drain in batches: either on the periodic flush sweep, or
+// immediately when the flow table hits capacity — arrival of a new flow at
+// a full cache spills every resident record to the pending-export list and
+// raises flush_pending(), mirroring how an IPFIX exporter reacts to cache
+// eviction pressure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_key.h"
+#include "telemetry/export.h"
+
+namespace zen::telemetry {
+
+class FlowExportCache {
+ public:
+  explicit FlowExportCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // Accounts one packet of `bytes` length for `key` at virtual time `now_ns`.
+  void record_packet(const net::FlowKey& key, std::uint64_t bytes,
+                     std::uint64_t now_ns);
+
+  // Queues a reassembled path for the next export batch.
+  void record_path(PathRecord path);
+
+  // True when an eviction spill or queued path wants an immediate export.
+  bool flush_pending() const noexcept { return flush_pending_; }
+
+  // Drains everything (active flows, spilled records, queued paths) into a
+  // batch and clears flush_pending(). Returns an empty batch if idle.
+  ExportBatch flush(std::uint64_t switch_id, std::uint64_t now_ns);
+
+  std::size_t active_flows() const noexcept { return flows_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<net::FlowKey, FlowRecord> flows_;
+  std::vector<FlowRecord> evicted_;
+  std::vector<PathRecord> paths_;
+  bool flush_pending_ = false;
+};
+
+}  // namespace zen::telemetry

@@ -1,0 +1,29 @@
+#include "telemetry/sampler.h"
+
+#include "util/rng.h"
+
+namespace zen::telemetry {
+
+Sampler::Sampler(std::uint64_t seed, std::uint32_t one_in_n) noexcept
+    : one_in_n_(one_in_n) {
+  util::Rng rng(seed);
+  mix0_ = rng.next_u64();
+  mix1_ = rng.next_u64() | 1;  // odd, so the multiply below is a bijection
+}
+
+bool Sampler::sampled(const net::FlowKey& key) const noexcept {
+  if (one_in_n_ == 0) return false;
+  if (one_in_n_ == 1) return true;
+  // splitmix64-style finalizer over the key hash, keyed by the seed-derived
+  // constants; order-independent and stable for the process lifetime.
+  std::uint64_t h = key.hash() ^ mix0_;
+  h *= mix1_;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h % one_in_n_ == 0;
+}
+
+}  // namespace zen::telemetry

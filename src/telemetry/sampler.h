@@ -1,0 +1,34 @@
+// Deterministic 1-in-N flow sampler.
+//
+// The sampling decision is a pure function of (seed, flow key): the seed
+// feeds util::Rng to derive mixing constants, and a flow is in the sampled
+// set iff the mixed key hash lands in residue class 0 mod N. Every packet
+// of a sampled flow is sampled and the set is identical across runs and
+// arrival orders for the same seed — the property the telemetry tests and
+// the collector's heavy-hitter math rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow_key.h"
+
+namespace zen::telemetry {
+
+class Sampler {
+ public:
+  // one_in_n == 0 disables sampling entirely; 1 samples every flow.
+  Sampler() noexcept : Sampler(0, 0) {}
+  Sampler(std::uint64_t seed, std::uint32_t one_in_n) noexcept;
+
+  bool enabled() const noexcept { return one_in_n_ > 0; }
+  std::uint32_t one_in_n() const noexcept { return one_in_n_; }
+
+  bool sampled(const net::FlowKey& key) const noexcept;
+
+ private:
+  std::uint64_t mix0_ = 0;
+  std::uint64_t mix1_ = 0;
+  std::uint32_t one_in_n_ = 0;
+};
+
+}  // namespace zen::telemetry

@@ -1,0 +1,80 @@
+#include "telemetry/switch_telemetry.h"
+
+#ifndef ZEN_OBS_DISABLED
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace zen::telemetry {
+
+namespace {
+
+struct TelemetryMetrics {
+  obs::Counter& sampled_packets;
+  obs::Counter& exported_flows;
+  obs::Counter& exported_paths;
+  obs::Counter& export_batches;
+
+  static TelemetryMetrics& get() {
+    static TelemetryMetrics m{
+        obs::MetricsRegistry::global().counter(
+            "zen_telemetry_sampled_packets_total", "",
+            "Packets whose flow fell in the sampled set at an edge switch"),
+        obs::MetricsRegistry::global().counter(
+            "zen_telemetry_exported_flows_total", "",
+            "Flow records drained into export batches"),
+        obs::MetricsRegistry::global().counter(
+            "zen_telemetry_exported_paths_total", "",
+            "Path records drained into export batches"),
+        obs::MetricsRegistry::global().counter(
+            "zen_telemetry_export_batches_total", "",
+            "Non-empty export batches sent toward the controller"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+SwitchTelemetry::SwitchTelemetry(std::uint64_t switch_id,
+                                 const Options& options)
+    : switch_id_(switch_id),
+      options_(options),
+      sampler_(options.seed, options.enabled ? options.sample_one_in_n : 0),
+      cache_(options.flow_capacity) {}
+
+void SwitchTelemetry::mark_edge_port(std::uint32_t port) {
+  edge_ports_.insert(port);
+}
+
+bool SwitchTelemetry::on_packet(std::uint64_t now_ns, std::uint32_t in_port,
+                                const net::FlowKey& key,
+                                std::uint64_t frame_bytes) {
+  if (!options_.enabled) return false;
+  if (!edge_ports_.contains(in_port)) return false;
+  if (!sampler_.sampled(key)) return false;
+  cache_.record_packet(key, frame_bytes, now_ns);
+  TelemetryMetrics::get().sampled_packets.inc();
+  return true;
+}
+
+void SwitchTelemetry::on_path_complete(PathRecord path) {
+  if (!options_.enabled) return;
+  cache_.record_path(std::move(path));
+}
+
+ExportBatch SwitchTelemetry::flush(std::uint64_t now_ns) {
+  ExportBatch batch = cache_.flush(switch_id_, now_ns);
+  if (!batch.empty()) {
+    auto& m = TelemetryMetrics::get();
+    m.exported_flows.inc(batch.flows.size());
+    m.exported_paths.inc(batch.paths.size());
+    m.export_batches.inc();
+  }
+  return batch;
+}
+
+}  // namespace zen::telemetry
+
+#endif  // ZEN_OBS_DISABLED

@@ -1,0 +1,106 @@
+// Per-switch telemetry facade: sampling decision + export cache, behind a
+// single object the dataplane and the simulator poke from their hot paths.
+//
+// The sim owns one SwitchTelemetry per switch and hands the dataplane a raw
+// pointer (dataplane::Switch::set_telemetry). Switch::ingress consults
+// on_packet() once per packet — after the flow key is computed, before the
+// megaflow cache is checked, so both fast and slow paths are covered — and
+// appends the telemetry trailer to its outputs when it returns true. The
+// sim calls on_path_complete() at the sink and drains batches via flush().
+//
+// Under ZEN_OBS_DISABLED the whole class collapses to a stateless no-op
+// (sizeof == 1, every method inline and empty), so telemetry-aware call
+// sites compile to nothing — the same contract zen_obs gives its metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "net/flow_key.h"
+#include "telemetry/export.h"
+
+#ifndef ZEN_OBS_DISABLED
+#include <unordered_set>
+
+#include "telemetry/export_cache.h"
+#include "telemetry/sampler.h"
+#endif
+
+namespace zen::telemetry {
+
+struct Options {
+  bool enabled = false;            // default off: zero behavior change
+  std::uint32_t sample_one_in_n = 16;
+  std::size_t flow_capacity = 4096;
+  double flush_interval_s = 0.5;   // periodic export sweep period
+  std::uint64_t seed = 1;          // sampler key; same seed => same set
+};
+
+#ifndef ZEN_OBS_DISABLED
+
+class SwitchTelemetry {
+ public:
+  SwitchTelemetry(std::uint64_t switch_id, const Options& options);
+
+  // Ports that face hosts; flow accounting and trailer insertion happen
+  // only for packets entering the fabric on an edge port.
+  void mark_edge_port(std::uint32_t port);
+
+  // Accounts the packet if its flow is sampled. Returns true iff the
+  // caller should append a telemetry trailer (enabled, edge ingress,
+  // flow in the sampled set).
+  bool on_packet(std::uint64_t now_ns, std::uint32_t in_port,
+                 const net::FlowKey& key, std::uint64_t frame_bytes);
+
+  // Sink-side: a stamped packet reached its destination host attached to
+  // this switch; queue the reassembled path for export.
+  void on_path_complete(PathRecord path);
+
+  bool enabled() const noexcept { return options_.enabled; }
+  double flush_interval_s() const noexcept { return options_.flush_interval_s; }
+  std::uint64_t switch_id() const noexcept { return switch_id_; }
+
+  // True when an eviction spill or completed path wants an export now,
+  // ahead of the periodic sweep.
+  bool flush_pending() const noexcept { return cache_.flush_pending(); }
+
+  // Drains the cache into a batch (possibly empty — callers skip those).
+  ExportBatch flush(std::uint64_t now_ns);
+
+  const Sampler& sampler() const noexcept { return sampler_; }
+
+ private:
+  std::uint64_t switch_id_;
+  Options options_;
+  Sampler sampler_;
+  FlowExportCache cache_;
+  std::unordered_set<std::uint32_t> edge_ports_;
+};
+
+#else  // ZEN_OBS_DISABLED
+
+// Stateless stand-in: every call inlines away, so instrumented call sites
+// cost nothing in obs-disabled builds. Kept API-identical to the real one.
+class SwitchTelemetry {
+ public:
+  SwitchTelemetry(std::uint64_t, const Options&) {}
+
+  void mark_edge_port(std::uint32_t) {}
+  bool on_packet(std::uint64_t, std::uint32_t, const net::FlowKey&,
+                 std::uint64_t) {
+    return false;
+  }
+  void on_path_complete(PathRecord) {}
+
+  bool enabled() const noexcept { return false; }
+  double flush_interval_s() const noexcept { return 0; }
+  std::uint64_t switch_id() const noexcept { return 0; }
+  bool flush_pending() const noexcept { return false; }
+  ExportBatch flush(std::uint64_t) { return {}; }
+};
+
+static_assert(sizeof(SwitchTelemetry) == 1,
+              "disabled SwitchTelemetry must carry no state");
+
+#endif  // ZEN_OBS_DISABLED
+
+}  // namespace zen::telemetry

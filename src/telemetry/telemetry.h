@@ -1,0 +1,9 @@
+// Umbrella header for zen_telemetry: INT-style per-hop telemetry and
+// sampled flow export. See DESIGN.md for how the pieces fit together.
+#pragma once
+
+#include "net/telemetry.h"
+#include "telemetry/export.h"
+#include "telemetry/export_cache.h"
+#include "telemetry/sampler.h"
+#include "telemetry/switch_telemetry.h"

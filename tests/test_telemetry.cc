@@ -1,0 +1,515 @@
+// zen_telemetry: deterministic sampling, INT trailer codec, export batch
+// wire format, the flow export cache's eviction flush, collector
+// aggregation math, and the end-to-end sampled path through the sim.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/zen.h"
+
+namespace zen::telemetry {
+namespace {
+
+// Under ZEN_OBS_DISABLED the sampler, trailer codec, wire format, cache and
+// collector all still work (they are plain data paths); only SwitchTelemetry
+// — the hot-path hook the dataplane holds — compiles out, so only the tests
+// that go through it scale expectations by kObsEnabled.
+#ifndef ZEN_OBS_DISABLED
+constexpr bool kObsEnabled = true;
+#else
+constexpr bool kObsEnabled = false;
+#endif
+
+net::FlowKey make_key(std::uint32_t src_ip, std::uint32_t dst_ip,
+                      std::uint16_t sport, std::uint16_t dport = 7000) {
+  net::FlowKey key;
+  key.eth_type = 0x0800;
+  key.ipv4_src = src_ip;
+  key.ipv4_dst = dst_ip;
+  key.ip_proto = 17;
+  key.l4_src = sport;
+  key.l4_dst = dport;
+  return key;
+}
+
+std::vector<net::FlowKey> key_population(std::size_t n) {
+  std::vector<net::FlowKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys.push_back(make_key(0x0a000001 + static_cast<std::uint32_t>(i / 16),
+                            0x0a000100,
+                            static_cast<std::uint16_t>(10000 + i)));
+  return keys;
+}
+
+// ---- Sampler -------------------------------------------------------------
+
+TEST(Sampler, SameSeedSamplesSameSet) {
+  const auto keys = key_population(256);
+  const Sampler a(42, 4);
+  const Sampler b(42, 4);
+  for (const net::FlowKey& key : keys)
+    EXPECT_EQ(a.sampled(key), b.sampled(key));
+}
+
+TEST(Sampler, DifferentSeedSamplesDifferentSet) {
+  const auto keys = key_population(256);
+  const Sampler a(1, 4);
+  const Sampler b(2, 4);
+  bool any_difference = false;
+  for (const net::FlowKey& key : keys)
+    if (a.sampled(key) != b.sampled(key)) any_difference = true;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Sampler, DecisionIsPerFlowNotPerPacket) {
+  // Every packet of a sampled flow must be sampled: the decision is a pure
+  // function of the key, so asking twice gives the same answer.
+  const Sampler s(7, 8);
+  const net::FlowKey key = make_key(0x0a000001, 0x0a000002, 1234);
+  EXPECT_EQ(s.sampled(key), s.sampled(key));
+}
+
+TEST(Sampler, RateTracksOneInN) {
+  const auto keys = key_population(4096);
+  const Sampler s(99, 8);
+  std::size_t sampled = 0;
+  for (const net::FlowKey& key : keys) sampled += s.sampled(key) ? 1 : 0;
+  // 1-in-8 over 4096 keys: expect ~512; allow a wide deterministic band.
+  EXPECT_GT(sampled, 4096 / 16);
+  EXPECT_LT(sampled, 4096 / 4);
+}
+
+TEST(Sampler, ZeroDisablesAndOneSamplesAll) {
+  const auto keys = key_population(64);
+  const Sampler off(5, 0);
+  const Sampler all(5, 1);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(all.enabled());
+  for (const net::FlowKey& key : keys) {
+    EXPECT_FALSE(off.sampled(key));
+    EXPECT_TRUE(all.sampled(key));
+  }
+}
+
+// ---- INT trailer codec ---------------------------------------------------
+
+net::Bytes make_frame(std::size_t n) {
+  net::Bytes frame(n);
+  for (std::size_t i = 0; i < n; ++i)
+    frame[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  return frame;
+}
+
+TEST(TelemetryTrailer, PlainFrameHasNoTrailer) {
+  const net::Bytes frame = make_frame(128);
+  EXPECT_FALSE(net::has_telemetry_trailer(frame));
+  net::Bytes copy = frame;
+  EXPECT_FALSE(net::strip_telemetry_trailer(copy).has_value());
+  EXPECT_EQ(copy, frame);
+}
+
+TEST(TelemetryTrailer, HopRoundTripRestoresFrame) {
+  const net::Bytes original = make_frame(96);
+  net::Bytes frame = original;
+
+  net::append_telemetry_trailer(frame);
+  EXPECT_TRUE(net::has_telemetry_trailer(frame));
+  EXPECT_EQ(frame.size(), original.size() + net::kTelemetryFooterSize);
+
+  const std::vector<net::TelemetryHop> hops = {
+      {.switch_id = 4, .ingress_port = 1, .egress_port = 2,
+       .timestamp_ns = 1000, .queue_depth_bytes = 0},
+      {.switch_id = 1, .ingress_port = 3, .egress_port = 4,
+       .timestamp_ns = 5600, .queue_depth_bytes = 1500},
+      {.switch_id = 7, .ingress_port = 2, .egress_port = 1,
+       .timestamp_ns = 9900, .queue_depth_bytes = 64},
+  };
+  for (const net::TelemetryHop& hop : hops)
+    EXPECT_TRUE(net::append_telemetry_hop(frame, hop));
+  EXPECT_EQ(frame.size(), original.size() + net::kTelemetryFooterSize +
+                              hops.size() * net::kHopRecordSize);
+
+  const auto peeked = net::peek_telemetry_hops(frame);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(*peeked, hops);
+
+  const auto stripped = net::strip_telemetry_trailer(frame);
+  ASSERT_TRUE(stripped.has_value());
+  EXPECT_EQ(*stripped, hops);
+  EXPECT_EQ(frame, original);  // byte-exact restore
+}
+
+TEST(TelemetryTrailer, RestampRewritesNewestHop) {
+  net::Bytes frame = make_frame(64);
+  EXPECT_FALSE(net::restamp_last_hop(frame, 1, 2));  // no trailer
+  net::append_telemetry_trailer(frame);
+  EXPECT_FALSE(net::restamp_last_hop(frame, 1, 2));  // no hops yet
+
+  net::append_telemetry_hop(frame, {.switch_id = 3, .ingress_port = 1,
+                                    .egress_port = 9, .timestamp_ns = 100,
+                                    .queue_depth_bytes = 0});
+  net::append_telemetry_hop(frame, {.switch_id = 5, .ingress_port = 2,
+                                    .egress_port = 8, .timestamp_ns = 200,
+                                    .queue_depth_bytes = 0});
+  EXPECT_TRUE(net::restamp_last_hop(frame, 7777, 4096));
+
+  const auto hops = net::peek_telemetry_hops(frame);
+  ASSERT_TRUE(hops.has_value());
+  ASSERT_EQ(hops->size(), 2u);
+  EXPECT_EQ((*hops)[0].timestamp_ns, 100u);        // older hop untouched
+  EXPECT_EQ((*hops)[1].switch_id, 5u);             // identity preserved
+  EXPECT_EQ((*hops)[1].timestamp_ns, 7777u);
+  EXPECT_EQ((*hops)[1].queue_depth_bytes, 4096u);
+}
+
+TEST(TelemetryTrailer, HopCountCapsAtMax) {
+  net::Bytes frame = make_frame(32);
+  net::append_telemetry_trailer(frame);
+  for (std::size_t i = 0; i < net::kMaxTelemetryHops; ++i)
+    EXPECT_TRUE(net::append_telemetry_hop(
+        frame, {.switch_id = i + 1, .timestamp_ns = i * 10}));
+  EXPECT_FALSE(net::append_telemetry_hop(frame, {.switch_id = 99}));
+  const auto hops = net::peek_telemetry_hops(frame);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_EQ(hops->size(), net::kMaxTelemetryHops);
+}
+
+// ---- Export batch wire format --------------------------------------------
+
+ExportBatch make_batch() {
+  ExportBatch batch;
+  batch.switch_id = 4;
+  batch.exported_at_ns = 123456789;
+
+  FlowRecord flow;
+  flow.key = make_key(0x0a000001, 0x0a00000d, 10000);
+  flow.key.in_port = 3;
+  flow.key.eth_src = 0x0000aabbccddee01;
+  flow.key.eth_dst = 0x0000aabbccddee02;
+  flow.packets = 24;
+  flow.bytes = 24 * 1066;
+  flow.first_seen_ns = 1000;
+  flow.last_seen_ns = 240000;
+  batch.flows.push_back(flow);
+  flow.key.l4_src = 10001;
+  flow.packets = 2;
+  flow.bytes = 600;
+  batch.flows.push_back(flow);
+
+  PathRecord path;
+  path.ipv4_src = 0x0a000001;
+  path.ipv4_dst = 0x0a00000d;
+  path.ip_proto = 17;
+  path.l4_src = 10000;
+  path.l4_dst = 7000;
+  path.hops = {{.switch_id = 4, .ingress_port = 1, .egress_port = 5,
+                .timestamp_ns = 2000, .queue_depth_bytes = 0},
+               {.switch_id = 2, .ingress_port = 4, .egress_port = 6,
+                .timestamp_ns = 8000, .queue_depth_bytes = 1500},
+               {.switch_id = 7, .ingress_port = 2, .egress_port = 1,
+                .timestamp_ns = 15000, .queue_depth_bytes = 0}};
+  batch.paths.push_back(path);
+  return batch;
+}
+
+TEST(ExportCodec, BatchRoundTrip) {
+  const ExportBatch batch = make_batch();
+  const net::Bytes wire = encode_batch(batch);
+  const auto decoded = decode_batch(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value(), batch);
+}
+
+TEST(ExportCodec, RejectsTruncationVersionAndTrailingBytes) {
+  net::Bytes wire = encode_batch(make_batch());
+
+  for (const std::size_t cut : {wire.size() - 1, wire.size() / 2,
+                                std::size_t{3}, std::size_t{0}}) {
+    const auto r = decode_batch(std::span(wire.data(), cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+
+  net::Bytes bad_version = wire;
+  bad_version[0] ^= 0xff;
+  EXPECT_FALSE(decode_batch(bad_version).ok());
+
+  net::Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_batch(trailing).ok());
+}
+
+TEST(ExportCodec, ExperimenterEnvelopeRoundTrip) {
+  const ExportBatch batch = make_batch();
+  const openflow::Experimenter msg = make_export_message(batch);
+  EXPECT_EQ(msg.experimenter_id, kExperimenterId);
+  EXPECT_EQ(msg.exp_type, kExpTypeExportBatch);
+
+  const auto parsed = parse_export_message(msg);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed.value(), batch);
+
+  openflow::Experimenter foreign = msg;
+  foreign.experimenter_id = 0xdeadbeef;
+  EXPECT_FALSE(parse_export_message(foreign).ok());
+}
+
+// ---- Flow export cache ---------------------------------------------------
+
+TEST(FlowExportCache, AccumulatesPerFlow) {
+  FlowExportCache cache(16);
+  const net::FlowKey key = make_key(0x0a000001, 0x0a000002, 5000);
+  cache.record_packet(key, 100, 1000);
+  cache.record_packet(key, 200, 2000);
+  cache.record_packet(key, 300, 3000);
+  EXPECT_EQ(cache.active_flows(), 1u);
+  EXPECT_FALSE(cache.flush_pending());
+
+  const ExportBatch batch = cache.flush(9, 5000);
+  EXPECT_EQ(batch.switch_id, 9u);
+  EXPECT_EQ(batch.exported_at_ns, 5000u);
+  ASSERT_EQ(batch.flows.size(), 1u);
+  EXPECT_EQ(batch.flows[0].packets, 3u);
+  EXPECT_EQ(batch.flows[0].bytes, 600u);
+  EXPECT_EQ(batch.flows[0].first_seen_ns, 1000u);
+  EXPECT_EQ(batch.flows[0].last_seen_ns, 3000u);
+  EXPECT_EQ(cache.active_flows(), 0u);
+  EXPECT_TRUE(cache.flush(9, 6000).empty());  // idle after drain
+}
+
+TEST(FlowExportCache, EvictionSpillRaisesFlushPending) {
+  FlowExportCache cache(4);
+  for (std::uint16_t i = 0; i < 4; ++i)
+    cache.record_packet(make_key(0x0a000001, 0x0a000002,
+                                 static_cast<std::uint16_t>(6000 + i)),
+                        64, 100 * (i + 1));
+  EXPECT_EQ(cache.active_flows(), 4u);
+  EXPECT_FALSE(cache.flush_pending());
+
+  // A fifth distinct flow arrives at a full cache: every resident record
+  // spills to the pending-export list and an immediate flush is requested.
+  cache.record_packet(make_key(0x0a000001, 0x0a000002, 6999), 64, 900);
+  EXPECT_TRUE(cache.flush_pending());
+
+  const ExportBatch batch = cache.flush(3, 1000);
+  EXPECT_EQ(batch.flows.size(), 5u);  // 4 spilled + the new arrival
+  EXPECT_FALSE(cache.flush_pending());
+  EXPECT_EQ(cache.active_flows(), 0u);
+}
+
+TEST(FlowExportCache, QueuedPathRequestsImmediateFlush) {
+  FlowExportCache cache(16);
+  PathRecord path;
+  path.hops = {{.switch_id = 1, .timestamp_ns = 10},
+               {.switch_id = 2, .timestamp_ns = 20}};
+  cache.record_path(path);
+  EXPECT_TRUE(cache.flush_pending());
+  const ExportBatch batch = cache.flush(1, 50);
+  ASSERT_EQ(batch.paths.size(), 1u);
+  EXPECT_EQ(batch.paths[0], path);
+}
+
+// ---- SwitchTelemetry hot-path hook ---------------------------------------
+
+TEST(SwitchTelemetry, SamplesOnlyOnEdgePorts) {
+  Options options;
+  options.enabled = true;
+  options.sample_one_in_n = 1;  // every flow, so the port gate is isolated
+  SwitchTelemetry telemetry(4, options);
+  telemetry.mark_edge_port(1);
+
+  const net::FlowKey key = make_key(0x0a000001, 0x0a000002, 4242);
+  EXPECT_EQ(telemetry.on_packet(1000, 1, key, 128), kObsEnabled);
+  EXPECT_FALSE(telemetry.on_packet(1000, 2, key, 128));  // fabric port
+
+  const ExportBatch batch = telemetry.flush(2000);
+  EXPECT_EQ(batch.flows.size(), kObsEnabled ? 1u : 0u);
+}
+
+TEST(SwitchTelemetry, DisabledOptionsNeverSample) {
+  Options options;  // enabled defaults to false
+  SwitchTelemetry telemetry(4, options);
+  telemetry.mark_edge_port(1);
+  const net::FlowKey key = make_key(0x0a000001, 0x0a000002, 4242);
+  EXPECT_FALSE(telemetry.on_packet(1000, 1, key, 128));
+  EXPECT_TRUE(telemetry.flush(2000).empty());
+}
+
+TEST(SwitchTelemetry, CompilesOutUnderObsDisabled) {
+  // In ZEN_OBS_DISABLED builds the class must be a stateless shell (the
+  // header static_asserts sizeof == 1); in normal builds it carries the
+  // sampler and cache. Either way the API surface stays identical.
+  if (kObsEnabled) {
+    EXPECT_GT(sizeof(SwitchTelemetry), 1u);
+  } else {
+    EXPECT_EQ(sizeof(SwitchTelemetry), 1u);
+  }
+}
+
+// ---- Collector aggregation ----------------------------------------------
+
+openflow::Experimenter path_message(std::uint64_t latency_ns,
+                                    std::uint32_t queue_bytes) {
+  ExportBatch batch;
+  batch.switch_id = 4;
+  PathRecord path;
+  path.ipv4_src = 0x0a000001;
+  path.ipv4_dst = 0x0a000005;
+  path.ip_proto = 17;
+  path.l4_src = 1234;
+  path.l4_dst = 7000;
+  path.hops = {{.switch_id = 4, .timestamp_ns = 1000},
+               {.switch_id = 1, .timestamp_ns = 1000 + latency_ns / 2,
+                .queue_depth_bytes = queue_bytes},
+               {.switch_id = 5, .timestamp_ns = 1000 + latency_ns}};
+  batch.paths.push_back(path);
+  return make_export_message(batch);
+}
+
+TEST(TelemetryCollector, PathPercentilesMatchSyntheticDistribution) {
+  controller::apps::TelemetryCollector collector;
+  // 100 sampled packets over the same 4>1>5 path with latencies
+  // 1000, 2000, ..., 100000 ns: p50 ~ 50us, p99 ~ 99us.
+  for (std::uint64_t i = 1; i <= 100; ++i)
+    collector.on_experimenter(4, path_message(i * 1000, 100));
+  EXPECT_EQ(collector.batches_received(), 100u);
+  EXPECT_EQ(collector.paths_received(), 100u);
+
+  ASSERT_EQ(collector.paths().size(), 1u);
+  const auto& [label, stats] = *collector.paths().begin();
+  EXPECT_EQ(label, "4>1>5");
+  EXPECT_EQ(stats.switches, (std::vector<std::uint64_t>{4, 1, 5}));
+  EXPECT_EQ(stats.packets, 100u);
+  // The histogram is log-bucketed, so allow its bounded relative error.
+  EXPECT_NEAR(stats.latency_ns.percentile(0.5), 50000, 5000);
+  EXPECT_NEAR(stats.latency_ns.percentile(0.99), 99000, 10000);
+  EXPECT_DOUBLE_EQ(stats.latency_ns.max(), 100000);
+  EXPECT_DOUBLE_EQ(stats.max_queue_bytes.max(), 100);
+}
+
+TEST(TelemetryCollector, TopFlowsRankByBytesAcrossBatches) {
+  controller::apps::TelemetryCollector::Options options;
+  options.top_k = 2;
+  controller::apps::TelemetryCollector collector(options);
+
+  const auto send = [&](std::uint16_t sport, std::uint64_t packets,
+                        std::uint64_t bytes) {
+    ExportBatch batch;
+    FlowRecord flow;
+    flow.key = make_key(0x0a000001, 0x0a000002, sport);
+    flow.packets = packets;
+    flow.bytes = bytes;
+    batch.flows.push_back(flow);
+    collector.on_experimenter(1, make_export_message(batch));
+  };
+  send(1000, 4, 400);
+  send(2000, 1, 5000);
+  send(3000, 2, 900);
+  send(2000, 1, 5000);  // second export of the same flow accumulates
+
+  EXPECT_EQ(collector.sampled_flow_count(), 3u);
+  const auto top = collector.top_flows();
+  ASSERT_EQ(top.size(), 2u);  // clamped to top_k
+  EXPECT_EQ(top[0].key.l4_src, 2000u);
+  EXPECT_EQ(top[0].bytes, 10000u);
+  EXPECT_EQ(top[0].packets, 2u);
+  EXPECT_EQ(top[1].key.l4_src, 3000u);
+}
+
+TEST(TelemetryCollector, IgnoresForeignAndCountsMalformed) {
+  controller::apps::TelemetryCollector collector;
+
+  openflow::Experimenter foreign;
+  foreign.experimenter_id = 0x12345678;
+  foreign.exp_type = kExpTypeExportBatch;
+  collector.on_experimenter(1, foreign);
+  EXPECT_EQ(collector.batches_received(), 0u);
+  EXPECT_EQ(collector.decode_errors(), 0u);  // not ours, not an error
+
+  openflow::Experimenter garbage;
+  garbage.experimenter_id = kExperimenterId;
+  garbage.exp_type = kExpTypeExportBatch;
+  garbage.payload = {0xff, 0x00, 0x42};
+  collector.on_experimenter(1, garbage);
+  EXPECT_EQ(collector.batches_received(), 0u);
+  EXPECT_EQ(collector.decode_errors(), 1u);
+}
+
+TEST(TelemetryCollector, ReportJsonCarriesPathsAndTopFlows) {
+  controller::apps::TelemetryCollector collector;
+  collector.on_experimenter(4, path_message(10000, 64));
+  const std::string report = collector.report_json();
+  EXPECT_NE(report.find("\"paths\""), std::string::npos);
+  EXPECT_NE(report.find("\"4>1>5\""), std::string::npos);
+  EXPECT_NE(report.find("\"top_flows\""), std::string::npos);
+}
+
+// ---- End to end through the sim ------------------------------------------
+
+TEST(TelemetryEndToEnd, SampledFlowsAndPathsReachCollector) {
+  core::Network::Config cfg;
+  cfg.sim.telemetry.enabled = true;
+  cfg.sim.telemetry.sample_one_in_n = 1;  // sample everything: deterministic
+  cfg.sim.telemetry.seed = 7;
+  cfg.sim.telemetry.flush_interval_s = 0.1;
+
+  core::Network net(topo::make_leaf_spine(2, 2, 2), cfg);
+  net.add_app<controller::apps::Discovery>();
+  controller::apps::L3Routing::Options routing;
+  routing.use_ecmp_groups = true;
+  net.add_app<controller::apps::L3Routing>(routing);
+  auto& collector = net.add_app<controller::apps::TelemetryCollector>();
+  net.start();
+
+  // First packet of a pair punts to the controller and is re-injected via
+  // PacketOut, which bypasses INT stamping — prime the route, then pace the
+  // measured packets over virtual time on the installed fast path.
+  net.host(0).send_udp(net.host_ip(2), 9000, 7000, 64);
+  net.run_for(0.5);
+  for (int p = 0; p < 8; ++p)
+    net.sim().events().schedule_in(p * 100e-6, [&net] {
+      net.host(0).send_udp(net.host_ip(2), 9000, 7000, 512);
+    });
+  net.run_for(1.0);
+
+  if (kObsEnabled) {
+    EXPECT_GT(collector.batches_received(), 0u);
+    EXPECT_GT(collector.sampled_flow_count(), 0u);
+    EXPECT_GT(collector.paths_received(), 0u);
+    ASSERT_FALSE(collector.paths().empty());
+    for (const auto& [label, stats] : collector.paths()) {
+      // leaf -> spine -> leaf: exactly three stamped hops per path.
+      EXPECT_EQ(stats.switches.size(), 3u) << label;
+      EXPECT_GT(stats.latency_ns.percentile(0.5), 0.0) << label;
+    }
+  } else {
+    // Compiled out: the fabric never samples, the collector stays empty.
+    EXPECT_EQ(collector.batches_received(), 0u);
+    EXPECT_EQ(collector.sampled_flow_count(), 0u);
+    EXPECT_EQ(collector.paths_received(), 0u);
+  }
+}
+
+TEST(TelemetryEndToEnd, DisabledTelemetryLeavesFabricUntouched) {
+  core::Network::Config cfg;  // telemetry.enabled defaults to false
+  core::Network net(topo::make_leaf_spine(2, 2, 2), cfg);
+  net.add_app<controller::apps::Discovery>();
+  net.add_app<controller::apps::L3Routing>();
+  auto& collector = net.add_app<controller::apps::TelemetryCollector>();
+  net.start();
+
+  net.host(0).send_udp(net.host_ip(2), 9000, 7000, 64);
+  net.run_for(0.5);
+  for (int p = 0; p < 4; ++p)
+    net.host(0).send_udp(net.host_ip(2), 9000, 7000, 256);
+  net.run_for(1.0);
+
+  EXPECT_GT(net.host(2).stats().udp_received, 0u);
+  EXPECT_EQ(collector.batches_received(), 0u);
+  EXPECT_EQ(collector.sampled_flow_count(), 0u);
+}
+
+}  // namespace
+}  // namespace zen::telemetry
