@@ -1,0 +1,283 @@
+// Chaos: seeded fault storm against the transactional southbound.
+//
+//   $ ./chaos [seed]          # default seed 42
+//
+// A leaf-spine fabric carries a set of intents while a FaultInjector
+// replays a seeded storm — link flaps on core links, a spine crash/reboot
+// (tables wiped, handshake replayed) — with a lossy, duplicating,
+// jittering control channel underneath. Liveness heartbeats declare the
+// crashed switch down, backoff reconnect replays the handshake, the
+// FlowRuleStore audits the reborn switch back to its intended rule set,
+// and the IntentManager recompiles around flapped links.
+//
+// CI gate: exits 0 only when, after the storm, every switch is alive,
+// every intent is back in Installed, and a verification audit of every
+// switch reports zero missing and zero orphan rules. The whole run is
+// deterministic per seed. Writes metrics.prom and trace.json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/zen.h"
+
+using namespace zen;
+
+namespace {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  obs::TraceRecorder::global().set_enabled(true);
+
+  // Fast liveness so a rebooting switch is reliably declared down (and
+  // audited on reconnect) even for the shortest scheduled downtime.
+  core::Network::Config cfg;
+  cfg.controller.echo_interval_s = 0.1;
+  cfg.controller.echo_miss_limit = 3;
+  cfg.controller.handshake_timeout_s = 0.2;
+  cfg.controller.reconnect_backoff_initial_s = 0.1;
+  cfg.controller.reconnect_backoff_max_s = 0.8;
+  cfg.controller.completion_timeout_s = 0.05;
+  core::Network net(topo::make_leaf_spine(3, 4, 2), cfg);
+  net.add_app<controller::apps::Discovery>();
+  net.add_app<controller::apps::L3Routing>();
+  auto& intents = net.enable_intents();
+  net.start();
+
+  // ---- host discovery + intents across leaves ----
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs = {
+      {0, 2}, {1, 4}, {3, 6}, {5, 7}, {0, 7}, {2, 5}};
+  for (const auto& [a, b] : pairs) {
+    net.host(a).send_icmp_echo(net.host_ip(b), 1);
+    net.host(b).send_icmp_echo(net.host_ip(a), 1);
+  }
+  net.run_for(1.0);
+  for (const auto& [a, b] : pairs) {
+    net.host(a).add_arp_entry(net.host_ip(b), net.host(b).mac());
+    net.host(b).add_arp_entry(net.host_ip(a), net.host(a).mac());
+  }
+
+  std::vector<intent::IntentId> ids;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    intent::IntentSpec spec;
+    spec.kind = i % 2 == 0 ? intent::IntentKind::HostToHost
+                           : intent::IntentKind::PointToPoint;
+    spec.src = net.host_ip(pairs[i].first);
+    spec.dst = net.host_ip(pairs[i].second);
+    ids.push_back(intents.submit(spec));
+  }
+  net.run_for(1.0);
+  if (intents.count_in_state(intent::IntentState::Installed) != ids.size()) {
+    std::printf("FATAL: intents not installed before the storm\n");
+    return 1;
+  }
+  std::printf("chaos seed %llu: %zu intents installed on a 3x4 leaf-spine\n",
+              static_cast<unsigned long long>(seed), ids.size());
+
+  // ---- arm the storm ----
+  sim::FaultInjector::Options fault_options;
+  fault_options.seed = seed;
+  fault_options.start_s = net.now() + 0.2;
+  fault_options.duration_s = 3.0;
+  fault_options.link_flaps = 3;
+  fault_options.switch_reboots = 1;
+  sim::FaultInjector injector(net.sim(), fault_options);
+  injector.arm();
+
+  controller::ChannelFaults channel_faults;
+  channel_faults.loss_prob = 0.05;
+  channel_faults.duplicate_prob = 0.05;
+  channel_faults.extra_delay_max_s = 2e-3;
+  channel_faults.seed = seed;
+  net.controller().set_channel_faults(channel_faults);
+
+  std::printf("\nstorm schedule (%zu link flaps, %zu switch reboots, lossy "
+              "channel 5%%/5%%):\n",
+              injector.link_flaps_scheduled(),
+              injector.switch_reboots_scheduled());
+  for (const auto& event : injector.schedule())
+    std::printf("  t=%7.3fs  %-12s target %llu\n", event.at,
+                sim::to_string(event.kind),
+                static_cast<unsigned long long>(event.target));
+
+  // ---- intent-outage poller: time-to-repair per fault class ----
+  // Every 10 ms, note which intents left Installed and when they return;
+  // each outage is attributed to the most recent disruptive fault event.
+  std::map<intent::IntentId, double> down_since;
+  std::map<controller::Dpid, double> sw_down_since;
+  std::map<std::string, std::vector<double>> repair_s_by_class;
+  const auto fault_class_at = [&](double t) -> std::string {
+    std::string cls = "link-flap";
+    for (const auto& event : injector.schedule()) {
+      if (event.at > t) break;
+      if (event.kind == sim::FaultInjector::Event::Kind::SwitchCrash)
+        cls = "switch-reboot";
+      else if (event.kind == sim::FaultInjector::Event::Kind::LinkDown)
+        cls = "link-flap";
+    }
+    return cls;
+  };
+  const double poll_start = net.now();
+  const double poll_horizon = injector.storm_end_s() + 12.0;
+  for (double t = poll_start; t < poll_horizon; t += 0.01) {
+    net.sim().events().schedule_at(t, [&, t] {
+      for (const auto id : ids) {
+        const bool installed =
+            intents.state(id) == intent::IntentState::Installed;
+        const auto it = down_since.find(id);
+        if (!installed && it == down_since.end()) {
+          down_since.emplace(id, t);
+        } else if (installed && it != down_since.end()) {
+          repair_s_by_class[fault_class_at(it->second)].push_back(
+              t - it->second);
+          down_since.erase(it);
+        }
+      }
+      // Switch liveness: declared-down -> alive-again (reconnect + replayed
+      // handshake), the repair path every switch-reboot exercises.
+      for (const auto dpid : net.generated().switches) {
+        const bool alive = net.controller().switch_alive(dpid);
+        const auto it = sw_down_since.find(dpid);
+        if (!alive && it == sw_down_since.end()) {
+          sw_down_since.emplace(dpid, t);
+        } else if (alive && it != sw_down_since.end()) {
+          repair_s_by_class["switch-reconnect"].push_back(t - it->second);
+          sw_down_since.erase(it);
+        }
+      }
+    });
+  }
+
+  // ---- run through the storm, then wait for convergence ----
+  net.run_until(injector.storm_end_s() + 0.2);
+  net.controller().clear_channel_faults();
+
+  const double deadline = injector.storm_end_s() + 10.0;
+  bool converged = false;
+  while (net.now() < deadline) {
+    net.run_for(0.25);
+    bool all_alive = true;
+    for (const auto dpid : net.generated().switches)
+      all_alive = all_alive && net.controller().switch_alive(dpid);
+    if (all_alive &&
+        intents.count_in_state(intent::IntentState::Installed) == ids.size()) {
+      converged = true;
+      break;
+    }
+  }
+  const double converged_at = net.now();
+  std::printf("\n%s %.3fs after storm end (storm end t=%.3fs)\n",
+              converged ? "fabric converged" : "FABRIC DID NOT CONVERGE by",
+              converged_at - injector.storm_end_s(), injector.storm_end_s());
+
+  // ---- repair audit: mop up any storm-time divergence ----
+  // Reconnects already audited the rebooted switch, but a jittering channel
+  // can reorder an orphan delete past a recompile's reinstall of the same
+  // rule — the store's contract is to audit until intended == actual, so
+  // run one full repair pass before the strict verification pass.
+  const auto run_audit = [&](std::vector<controller::AuditReport>& out) {
+    bool done = false;
+    net.controller().rule_store().audit_all(
+        [&](std::vector<controller::AuditReport> r) {
+          out = std::move(r);
+          done = true;
+        });
+    for (int i = 0; i < 40 && !done; ++i) net.run_for(0.25);
+    return done;
+  };
+  std::vector<controller::AuditReport> repair_reports;
+  bool repair_ok = run_audit(repair_reports);
+  std::size_t storm_repairs = 0, storm_orphans = 0;
+  for (const auto& report : repair_reports) {
+    repair_ok = repair_ok && report.converged;
+    storm_repairs += report.repaired;
+    storm_orphans += report.orphans;
+  }
+  std::printf("repair audit: %zu missing reinstalled, %zu orphans deleted, "
+              "%s\n",
+              storm_repairs, storm_orphans,
+              repair_ok ? "all converged" : "NOT CONVERGED");
+
+  // ---- verification audit: intended == actual, nothing left to repair ----
+  // This pass must find nothing (0 missing, 0 orphans) on every switch.
+  std::vector<controller::AuditReport> reports;
+  const bool audit_done = run_audit(reports);
+
+  bool audit_clean = repair_ok && audit_done && !reports.empty();
+  std::printf("\nverification audit (%zu switches):\n", reports.size());
+  for (const auto& report : reports) {
+    std::printf("  dpid %-3llu rounds %d  missing %zu  orphans %zu  %s\n",
+                static_cast<unsigned long long>(report.dpid), report.rounds,
+                report.repaired, report.orphans,
+                report.converged ? "converged" : "NOT CONVERGED");
+    audit_clean = audit_clean && report.converged && report.repaired == 0 &&
+                  report.orphans == 0;
+  }
+
+  // ---- post-storm delivery spot check over the healed fabric ----
+  std::uint64_t received_before = net.total_udp_received();
+  std::uint64_t sent = 0;
+  for (const auto& [a, b] : pairs) {
+    for (int i = 0; i < 4; ++i) {
+      net.host(a).send_udp(net.host_ip(b),
+                           static_cast<std::uint16_t>(6000 + i), 7000, 256);
+      ++sent;
+    }
+  }
+  net.run_for(0.5);
+  const std::uint64_t delivered = net.total_udp_received() - received_before;
+  std::printf("\npost-storm delivery: %llu/%llu datagrams\n",
+              static_cast<unsigned long long>(delivered),
+              static_cast<unsigned long long>(sent));
+
+  // ---- time-to-repair table ----
+  std::printf("\ntime-to-repair (intent outage -> reinstalled, virtual s):\n");
+  std::printf("  %-14s %8s %8s %8s\n", "fault class", "outages", "p50", "p99");
+  for (const auto& [cls, samples] : repair_s_by_class)
+    std::printf("  %-14s %8zu %8.3f %8.3f\n", cls.c_str(), samples.size(),
+                percentile(samples, 0.5), percentile(samples, 0.99));
+  if (repair_s_by_class.empty()) std::printf("  (no outages observed)\n");
+
+  const auto& ctrl_stats = net.controller().stats();
+  const auto& store_stats = net.controller().rule_store().stats();
+  std::printf("\nsouthbound: %llu retransmits, %llu failed completions, "
+              "%llu down declarations\n",
+              static_cast<unsigned long long>(ctrl_stats.retransmits),
+              static_cast<unsigned long long>(ctrl_stats.completions_failed),
+              static_cast<unsigned long long>(ctrl_stats.switch_down_events));
+  std::printf("rule store: %llu audits (%llu converged), %llu repairs, "
+              "%llu orphans deleted\n",
+              static_cast<unsigned long long>(store_stats.audits),
+              static_cast<unsigned long long>(store_stats.audits_converged),
+              static_cast<unsigned long long>(store_stats.repairs_installed),
+              static_cast<unsigned long long>(store_stats.orphans_deleted));
+
+  // ---- artifacts ----
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string prom = registry.render_prometheus();
+  if (std::FILE* f = std::fopen("metrics.prom", "w")) {
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+  }
+  const bool trace_ok =
+      obs::TraceRecorder::global().write_chrome_json("trace.json");
+
+  const bool storm_big_enough = injector.link_flaps_scheduled() >= 2 &&
+                                injector.switch_reboots_scheduled() >= 1;
+  const bool ok = converged && audit_clean && storm_big_enough &&
+                  delivered == sent && trace_ok;
+  std::printf("\n%s\n", ok ? "CHAOS DEMO OK" : "CHAOS DEMO FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,11 +1,18 @@
 #include "controller/apps/firewall.h"
 
+#include <algorithm>
+
 namespace zen::controller::apps {
 
 void Firewall::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
-  connected_.push_back(dpid);
+  // Reconnects re-fire on_switch_up: reinstall, but don't double-track.
+  if (std::find(connected_.begin(), connected_.end(), dpid) ==
+      connected_.end())
+    connected_.push_back(dpid);
   for (const auto& rule : rules_) install(dpid, rule);
 }
+
+void Firewall::on_switch_down(Dpid dpid) { std::erase(connected_, dpid); }
 
 void Firewall::add_rule(AclRule rule) {
   for (const Dpid dpid : connected_) install(dpid, rule);
@@ -42,7 +49,10 @@ void Firewall::install(Dpid dpid, const AclRule& rule) {
     // A plain allow with no shadowing deny needs no rule at all.
     return;
   }
-  controller_->flow_mod(dpid, mod);
+  controller_->flow_mod(dpid, mod,
+                        [this](const std::optional<openflow::Error>& err) {
+                          if (err) ++install_failures_;
+                        });
 }
 
 }  // namespace zen::controller::apps

@@ -34,12 +34,15 @@ class Firewall : public App {
 
   std::string name() const override { return "firewall"; }
   void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+  void on_switch_down(Dpid dpid) override;
 
   // Adds a rule; pushed to already-connected switches immediately.
   void add_rule(AclRule rule);
   void clear_rules();
 
   std::size_t rule_count() const noexcept { return rules_.size(); }
+  // Installs whose completion resolved with an error (or timed out).
+  std::size_t install_failures() const noexcept { return install_failures_; }
 
  private:
   void install(Dpid dpid, const AclRule& rule);
@@ -47,6 +50,7 @@ class Firewall : public App {
   Options options_;
   std::vector<AclRule> rules_;
   std::vector<Dpid> connected_;
+  std::size_t install_failures_ = 0;
 };
 
 }  // namespace zen::controller::apps

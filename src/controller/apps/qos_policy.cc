@@ -1,9 +1,14 @@
 #include "controller/apps/qos_policy.h"
 
+#include <algorithm>
+
 namespace zen::controller::apps {
 
 void QosPolicy::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
-  connected_.push_back(dpid);
+  // Reconnects re-fire on_switch_up: reinstall, but don't double-track.
+  if (std::find(connected_.begin(), connected_.end(), dpid) ==
+      connected_.end())
+    connected_.push_back(dpid);
   // Default class: everything falls through to the forwarding table.
   openflow::FlowMod fallthrough;
   fallthrough.table_id = options_.classify_table;
@@ -13,6 +18,12 @@ void QosPolicy::on_switch_up(Dpid dpid, const openflow::FeaturesReply&) {
 
   for (std::size_t i = 0; i < classes_.size(); ++i) install(dpid, i);
 }
+
+void QosPolicy::on_switch_down(Dpid dpid) {
+  std::erase(connected_, dpid);
+}
+
+void QosPolicy::on_error(Dpid, const openflow::Error&) { ++errors_seen_; }
 
 void QosPolicy::add_class(TrafficClass traffic_class) {
   class_meter_ids_.push_back(
@@ -31,7 +42,10 @@ void QosPolicy::install(Dpid dpid, std::size_t class_index) {
     mm.meter_id = meter_id;
     mm.rate_kbps = traffic_class.police_rate_kbps;
     mm.burst_kbits = traffic_class.police_burst_kbits;
-    controller_->meter_mod(dpid, mm);
+    controller_->meter_mod(dpid, mm,
+                           [this](const std::optional<openflow::Error>& err) {
+                             if (err) ++install_failures_;
+                           });
   }
 
   openflow::FlowMod mod;
@@ -50,7 +64,10 @@ void QosPolicy::install(Dpid dpid, std::size_t class_index) {
   }
   instructions.push_back(openflow::GotoTable{options_.forward_table});
   mod.instructions = std::move(instructions);
-  controller_->flow_mod(dpid, mod);
+  controller_->flow_mod(dpid, mod,
+                        [this](const std::optional<openflow::Error>& err) {
+                          if (err) ++install_failures_;
+                        });
 }
 
 }  // namespace zen::controller::apps

@@ -41,11 +41,17 @@ class QosPolicy : public App {
 
   std::string name() const override { return "qos_policy"; }
   void on_switch_up(Dpid dpid, const openflow::FeaturesReply&) override;
+  void on_switch_down(Dpid dpid) override;
+  void on_error(Dpid dpid, const openflow::Error& err) override;
 
   // Adds a class; pushed to connected switches immediately.
   void add_class(TrafficClass traffic_class);
 
   std::size_t class_count() const noexcept { return classes_.size(); }
+  // Installs (flow or meter) whose completion resolved with an error,
+  // plus southbound errors attributed to this app's switches.
+  std::size_t install_failures() const noexcept { return install_failures_; }
+  std::size_t errors_seen() const noexcept { return errors_seen_; }
 
  private:
   void install(Dpid dpid, std::size_t class_index);
@@ -55,6 +61,8 @@ class QosPolicy : public App {
   std::vector<std::uint32_t> class_meter_ids_;  // 0 = no meter
   std::vector<Dpid> connected_;
   std::uint32_t next_meter_id_ = 0x0a000000;
+  std::size_t install_failures_ = 0;
+  std::size_t errors_seen_ = 0;
 };
 
 }  // namespace zen::controller::apps

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "controller/flow_rule_store.h"
 #include "net/headers.h"
 #include "util/logging.h"
 
@@ -75,12 +76,16 @@ std::size_t TeInstaller::install(const topo::Topology& topo,
               openflow::Bucket{weight, openflow::Ports::kAny,
                {openflow::OutputAction{port, 0xffff}}});
         }
-        controller_->group_mod(sw, gm);
+        controller_->rule_store().add_group(sw, gm);
         groups_.push_back(GroupRef{sw, gm.group_id});
         mod.instructions = {
             openflow::ApplyActions{{openflow::GroupAction{gm.group_id}}}};
       }
-      controller_->flow_mod(sw, mod);
+      mod.cookie = options_.cookie;
+      controller_->rule_store().install(
+          sw, mod, [this](const std::optional<openflow::Error>& err) {
+            if (err) ++install_failures_;
+          });
       rules_.push_back(RuleRef{sw, std::move(mod)});
     }
   }
@@ -111,21 +116,18 @@ void TeInstaller::install_plan(const topo::Topology& topo, te::UpdatePlan plan,
 }
 
 void TeInstaller::clear() {
+  auto& store = controller_->rule_store();
   for (const auto& rule : rules_) {
     openflow::FlowMod del;
     del.table_id = rule.mod.table_id;
     del.command = openflow::FlowModCommand::DeleteStrict;
     del.priority = rule.mod.priority;
     del.match = rule.mod.match;
-    controller_->flow_mod(rule.dpid, del);
+    store.remove(rule.dpid, del);
   }
   rules_.clear();
-  for (const auto& group : groups_) {
-    openflow::GroupMod del;
-    del.command = openflow::GroupModCommand::Delete;
-    del.group_id = group.group_id;
-    controller_->group_mod(group.dpid, del);
-  }
+  for (const auto& group : groups_)
+    store.remove_group(group.dpid, group.group_id);
   groups_.clear();
 }
 

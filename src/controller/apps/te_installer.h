@@ -24,6 +24,9 @@ class TeInstaller : public App {
     std::uint16_t priority = 600;  // above plain routing
     std::uint8_t table_id = 0;
     std::uint32_t group_id_base = 0x7e000000;
+    // Cookie stamped on every TE rule: routes installs through the
+    // FlowRuleStore so crash audits repair (and orphan-collect) TE state.
+    std::uint64_t cookie = 0x7e000000;
   };
 
   // Site traffic is identified by the site's representative host address
@@ -51,6 +54,8 @@ class TeInstaller : public App {
 
   std::size_t installed_rule_count() const noexcept { return rules_.size(); }
   std::size_t stages_applied() const noexcept { return stages_applied_; }
+  // Installs whose completion came back as an error (or timed out).
+  std::size_t install_failures() const noexcept { return install_failures_; }
 
  private:
   struct RuleRef {
@@ -67,6 +72,7 @@ class TeInstaller : public App {
   std::vector<GroupRef> groups_;
   std::uint32_t next_group_ = 0;
   std::size_t stages_applied_ = 0;
+  std::size_t install_failures_ = 0;
 };
 
 }  // namespace zen::controller::apps

@@ -10,6 +10,8 @@ struct ChannelMetrics {
   obs::Counter& messages;
   obs::Counter& bytes;
   obs::Gauge& in_flight;
+  obs::Counter& lost;
+  obs::Counter& duplicated;
   static ChannelMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
     static ChannelMetrics m{
@@ -18,37 +20,77 @@ struct ChannelMetrics {
         reg.counter("zen_controller_channel_bytes_total", "",
                     "Southbound wire bytes (both directions)"),
         reg.gauge("zen_controller_channel_queue_depth", "",
-                  "Wire messages currently in flight across all channels")};
+                  "Wire messages currently in flight across all channels"),
+        reg.counter("zen_controller_channel_lost_total", "",
+                    "Southbound messages dropped by injected channel faults"),
+        reg.counter("zen_controller_channel_duplicated_total", "",
+                    "Southbound messages duplicated by injected channel faults")};
     return m;
   }
 };
 
 }  // namespace
 
-void Channel::send_to_b(std::vector<std::uint8_t> bytes) {
-  bytes_ab_ += bytes.size();
-  ++msgs_ab_;
-  auto& metrics = ChannelMetrics::get();
-  metrics.messages.inc();
-  metrics.bytes.inc(bytes.size());
-  metrics.in_flight.add(1);
-  events_.schedule_in(latency_, [this, data = std::move(bytes)]() mutable {
+void Channel::set_faults(const ChannelFaults& faults) {
+  faults_ = faults;
+  fault_rng_ = util::Rng(faults.seed);
+  faulty_ = true;
+}
+
+void Channel::clear_faults() {
+  faulty_ = false;
+  faults_ = ChannelFaults{};
+}
+
+void Channel::deliver_after(Side to, double delay,
+                            std::vector<std::uint8_t> bytes) {
+  ChannelMetrics::get().in_flight.add(1);
+  events_.schedule_in(delay, [this, to, data = std::move(bytes)]() mutable {
     ChannelMetrics::get().in_flight.add(-1);
-    if (to_b_) to_b_(std::move(data));
+    if (!connected_) return;  // peer died while the message was in flight
+    auto& fn = (to == Side::A) ? to_a_ : to_b_;
+    if (fn) fn(std::move(data));
   });
 }
 
-void Channel::send_to_a(std::vector<std::uint8_t> bytes) {
-  bytes_ba_ += bytes.size();
-  ++msgs_ba_;
+void Channel::send(Side to, std::vector<std::uint8_t> bytes) {
+  if (!connected_) return;
+  auto& bytes_ctr = (to == Side::B) ? bytes_ab_ : bytes_ba_;
+  auto& msgs_ctr = (to == Side::B) ? msgs_ab_ : msgs_ba_;
+  bytes_ctr += bytes.size();
+  ++msgs_ctr;
   auto& metrics = ChannelMetrics::get();
   metrics.messages.inc();
   metrics.bytes.inc(bytes.size());
-  metrics.in_flight.add(1);
-  events_.schedule_in(latency_, [this, data = std::move(bytes)]() mutable {
-    ChannelMetrics::get().in_flight.add(-1);
-    if (to_a_) to_a_(std::move(data));
-  });
+
+  double delay = latency_;
+  if (faulty_) {
+    if (faults_.loss_prob > 0 && fault_rng_.next_bool(faults_.loss_prob)) {
+      ++lost_;
+      metrics.lost.inc();
+      return;
+    }
+    if (faults_.extra_delay_max_s > 0)
+      delay += fault_rng_.next_double() * faults_.extra_delay_max_s;
+    if (faults_.duplicate_prob > 0 &&
+        fault_rng_.next_bool(faults_.duplicate_prob)) {
+      ++duplicated_;
+      metrics.duplicated.inc();
+      double dup_delay = latency_;
+      if (faults_.extra_delay_max_s > 0)
+        dup_delay += fault_rng_.next_double() * faults_.extra_delay_max_s;
+      deliver_after(to, dup_delay, bytes);
+    }
+  }
+  deliver_after(to, delay, std::move(bytes));
+}
+
+void Channel::send_to_b(std::vector<std::uint8_t> bytes) {
+  send(Side::B, std::move(bytes));
+}
+
+void Channel::send_to_a(std::vector<std::uint8_t> bytes) {
+  send(Side::A, std::move(bytes));
 }
 
 }  // namespace zen::controller

@@ -5,6 +5,13 @@
 // after a configurable one-way latency, in order. Every message really is
 // serialized to bytes and re-parsed on the far side — the wire cost is
 // paid, only the kernel is skipped.
+//
+// For chaos testing the channel carries optional fault hooks: a seeded
+// per-message loss probability, a duplication probability, and a uniform
+// extra-delay jitter (which can reorder messages relative to each other,
+// since each send carries one whole encoded message). A disconnected
+// channel (switch crashed / connection torn down) silently drops
+// everything in both directions, like writes to a dead TCP peer.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +20,18 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "util/rng.h"
 
 namespace zen::controller {
+
+// Per-channel impairment knobs. All probabilities in [0, 1]; every random
+// decision flows through one seeded Rng so a run is reproducible.
+struct ChannelFaults {
+  double loss_prob = 0;         // message silently dropped
+  double duplicate_prob = 0;    // message delivered twice
+  double extra_delay_max_s = 0; // uniform extra one-way delay in [0, max]
+  std::uint64_t seed = 1;
+};
 
 class Channel {
  public:
@@ -30,18 +47,37 @@ class Channel {
   void send_to_b(std::vector<std::uint8_t> bytes);
   void send_to_a(std::vector<std::uint8_t> bytes);
 
+  // ---- fault injection ----
+  void set_faults(const ChannelFaults& faults);
+  void clear_faults();
+  bool faulty() const noexcept { return faulty_; }
+  // A disconnected channel drops every message in both directions.
+  void set_connected(bool connected) noexcept { connected_ = connected; }
+  bool connected() const noexcept { return connected_; }
+
   std::uint64_t bytes_a_to_b() const noexcept { return bytes_ab_; }
   std::uint64_t bytes_b_to_a() const noexcept { return bytes_ba_; }
   std::uint64_t messages_a_to_b() const noexcept { return msgs_ab_; }
   std::uint64_t messages_b_to_a() const noexcept { return msgs_ba_; }
+  std::uint64_t messages_lost() const noexcept { return lost_; }
+  std::uint64_t messages_duplicated() const noexcept { return duplicated_; }
 
  private:
+  enum class Side { A, B };
+  void send(Side to, std::vector<std::uint8_t> bytes);
+  void deliver_after(Side to, double delay, std::vector<std::uint8_t> bytes);
+
   sim::EventQueue& events_;
   double latency_;
   ReceiveFn to_a_;
   ReceiveFn to_b_;
+  bool connected_ = true;
+  bool faulty_ = false;
+  ChannelFaults faults_;
+  util::Rng fault_rng_;
   std::uint64_t bytes_ab_ = 0, bytes_ba_ = 0;
   std::uint64_t msgs_ab_ = 0, msgs_ba_ = 0;
+  std::uint64_t lost_ = 0, duplicated_ = 0;
 };
 
 }  // namespace zen::controller

@@ -1,5 +1,8 @@
 #include "controller/controller.h"
 
+#include <algorithm>
+
+#include "controller/flow_rule_store.h"
 #include "obs/obs.h"
 #include "util/logging.h"
 
@@ -12,6 +15,8 @@ struct CtrlMetrics {
   obs::Counter& flow_mods;
   obs::Counter& packet_outs;
   obs::Counter& errors;
+  obs::Counter& retransmits;
+  obs::Counter& switch_downs;
   static CtrlMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
     static CtrlMetrics m{
@@ -22,10 +27,21 @@ struct CtrlMetrics {
         reg.counter("zen_controller_packet_outs_total", "",
                     "PacketOuts sent southbound"),
         reg.counter("zen_controller_errors_total", "",
-                    "Error messages received from switches")};
+                    "Error messages received from switches"),
+        reg.counter("zen_controller_retransmits_total", "",
+                    "Tracked southbound sends re-sent after a timeout"),
+        reg.counter("zen_controller_switch_down_total", "",
+                    "Switches declared down by heartbeat liveness")};
     return m;
   }
 };
+
+openflow::Error synthetic_error(std::uint16_t code) {
+  openflow::Error err;
+  err.type = openflow::ErrorType::BadRequest;
+  err.code = code;
+  return err;
+}
 // Process-wide connection-id source: every Controller instance gets a
 // distinct id so switches can arbitrate roles between them.
 std::uint64_t next_conn_id() {
@@ -35,7 +51,10 @@ std::uint64_t next_conn_id() {
 }  // namespace
 
 Controller::Controller(sim::SimNetwork& net, Options options)
-    : net_(net), options_(options), conn_id_(next_conn_id()) {
+    : net_(net),
+      options_(options),
+      conn_id_(next_conn_id()),
+      rule_store_(std::make_unique<FlowRuleStore>(*this)) {
   net_.add_datapath_event_handler(
       [this](topo::NodeId sw, openflow::Message msg) {
         const auto it = sessions_.find(sw);
@@ -43,6 +62,8 @@ Controller::Controller(sim::SimNetwork& net, Options options)
         it->second.agent->on_datapath_event(std::move(msg));
       });
 }
+
+Controller::~Controller() = default;
 
 void Controller::connect_all() {
   for (const auto& [dpid, sw] : net_.switches()) {
@@ -52,16 +73,118 @@ void Controller::connect_all() {
         std::make_unique<Channel>(net_.events(), options_.channel_latency_s);
     session.agent =
         std::make_unique<SwitchAgent>(net_, dpid, *session.channel, conn_id_);
+    session.backoff_s = options_.reconnect_backoff_initial_s;
     const Dpid id = dpid;
     session.channel->set_a_receiver(
         [this, id](std::vector<std::uint8_t> bytes) {
           on_wire(id, std::move(bytes));
         });
     sessions_.emplace(dpid, std::move(session));
-    // Handshake: Hello then FeaturesRequest.
-    send(dpid, openflow::Message{openflow::Hello{}}, next_xid(dpid));
-    send(dpid, openflow::Message{openflow::FeaturesRequest{}}, next_xid(dpid));
+    start_handshake(dpid);
   }
+}
+
+void Controller::start_handshake(Dpid dpid) {
+  auto& session = sessions_.at(dpid);
+  if (session.alive) return;
+  // Hello then FeaturesRequest; the reply timer below makes the exchange
+  // survive a lost FeaturesReply (or a switch that is still rebooting).
+  send(dpid, openflow::Message{openflow::Hello{}}, next_xid(dpid));
+  send(dpid, openflow::Message{openflow::FeaturesRequest{}}, next_xid(dpid));
+  const std::uint64_t epoch = session.epoch;
+  events().schedule_in(options_.handshake_timeout_s, [this, dpid, epoch] {
+    const auto it = sessions_.find(dpid);
+    if (it == sessions_.end()) return;
+    auto& s = it->second;
+    if (s.epoch != epoch || s.alive) return;
+    s.backoff_s =
+        std::min(s.backoff_s * 2, options_.reconnect_backoff_max_s);
+    events().schedule_in(s.backoff_s, [this, dpid, epoch] {
+      const auto it = sessions_.find(dpid);
+      if (it == sessions_.end()) return;
+      if (it->second.epoch != epoch || it->second.alive) return;
+      start_handshake(dpid);
+    });
+  });
+}
+
+void Controller::schedule_echo(Dpid dpid, std::uint64_t epoch) {
+  if (options_.echo_interval_s <= 0) return;
+  events().schedule_in(options_.echo_interval_s, [this, dpid, epoch] {
+    const auto it = sessions_.find(dpid);
+    if (it == sessions_.end()) return;
+    auto& s = it->second;
+    if (s.epoch != epoch || !s.alive) return;
+    if (s.echo_outstanding &&
+        ++s.echo_misses >= options_.echo_miss_limit) {
+      declare_switch_down(dpid);
+      return;
+    }
+    // (Re-)probe every interval — a single lost echo must not count
+    // toward the miss limit forever; any reply clears the slate.
+    s.echo_outstanding = true;
+    send(dpid, openflow::Message{openflow::EchoRequest{}}, next_xid(dpid));
+    schedule_echo(dpid, epoch);
+  });
+}
+
+void Controller::declare_switch_down(Dpid dpid) {
+  auto& session = sessions_.at(dpid);
+  if (!session.alive) return;
+  session.alive = false;
+  session.features_known = false;
+  ++session.epoch;  // kill echo + completion timers from the old life
+  session.echo_misses = 0;
+  session.echo_outstanding = false;
+  session.stream = {};  // a half-received frame must not poison the next life
+  ++stats_.switch_down_events;
+  CtrlMetrics::get().switch_downs.inc();
+  ZEN_LOG(Warn) << "controller: switch " << dpid
+                << " declared down (heartbeat)";
+  ZEN_TRACE_INSTANT("switch_down", "controller");
+
+  // Fail every in-flight transaction; drop request state whose callbacks
+  // have no error channel (their senders own their retries).
+  auto pending = std::move(session.pending_completions);
+  session.pending_completions.clear();
+  for (auto& [xid, pc] : pending) {
+    ++stats_.completions_failed;
+    if (pc.done) pc.done(synthetic_error(completion_code::kSwitchDown));
+  }
+  session.pending_barriers.clear();
+  session.pending_flow_stats.clear();
+  session.pending_port_stats.clear();
+  session.pending_roles.clear();
+
+  view_.remove_switch(dpid);
+  for (const auto& app : apps_) app->on_switch_down(dpid);
+
+  // Reconnect loop: bounded exponential backoff between handshakes.
+  session.backoff_s = options_.reconnect_backoff_initial_s;
+  const std::uint64_t epoch = session.epoch;
+  events().schedule_in(session.backoff_s, [this, dpid, epoch] {
+    const auto it = sessions_.find(dpid);
+    if (it == sessions_.end()) return;
+    if (it->second.epoch != epoch || it->second.alive) return;
+    start_handshake(dpid);
+  });
+}
+
+bool Controller::switch_alive(Dpid dpid) const noexcept {
+  const auto it = sessions_.find(dpid);
+  return it != sessions_.end() && it->second.alive;
+}
+
+void Controller::set_channel_faults(const ChannelFaults& faults) {
+  for (auto& [dpid, session] : sessions_) {
+    ChannelFaults mine = faults;
+    mine.seed = faults.seed + dpid;  // decorrelate per-channel streams
+    session.channel->set_faults(mine);
+  }
+}
+
+void Controller::clear_channel_faults() {
+  for (auto& [dpid, session] : sessions_) session.channel->clear_faults();
 }
 
 std::uint16_t Controller::next_xid(Dpid dpid) {
@@ -81,25 +204,118 @@ void Controller::register_app_metrics(const App& app) {
       "PacketIns seen by each app"));
 }
 
-void Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod) {
+openflow::Xid Controller::send_tracked(Dpid dpid, openflow::Message msg,
+                                       CompletionFn done) {
+  auto& session = sessions_.at(dpid);
+  if (session.ever_up && !session.alive) {
+    // Fail fast, but asynchronously: callers expect the callback strictly
+    // after the send call returns.
+    ++stats_.completions_failed;
+    events().schedule_in(0, [done = std::move(done)] {
+      if (done) done(synthetic_error(completion_code::kSwitchDown));
+    });
+    return 0;
+  }
+  const std::uint16_t xid = next_xid(dpid);
+  session.pending_completions.emplace(
+      xid, PendingCompletion{msg, std::move(done), 1});
+  send(dpid, msg, xid);
+  // Chase with a barrier; its cumulative ack (xid_hwm) resolves this and
+  // any earlier still-pending sends.
+  send(dpid, openflow::Message{openflow::BarrierRequest{}}, next_xid(dpid));
+  arm_completion_timeout(dpid, xid, session.epoch);
+  return xid;
+}
+
+void Controller::arm_completion_timeout(Dpid dpid, std::uint16_t xid,
+                                        std::uint64_t epoch) {
+  events().schedule_in(
+      options_.completion_timeout_s, [this, dpid, xid, epoch] {
+        const auto sit = sessions_.find(dpid);
+        if (sit == sessions_.end()) return;
+        auto& session = sit->second;
+        if (session.epoch != epoch) return;  // failed when session died
+        const auto it = session.pending_completions.find(xid);
+        if (it == session.pending_completions.end()) return;  // resolved
+        PendingCompletion pc = std::move(it->second);
+        session.pending_completions.erase(it);
+        if (pc.attempts >= options_.completion_max_attempts) {
+          ++stats_.completions_failed;
+          if (pc.done) pc.done(synthetic_error(completion_code::kTimedOut));
+          return;
+        }
+        // Re-send under a fresh xid with a fresh chasing barrier.
+        ++pc.attempts;
+        ++stats_.retransmits;
+        CtrlMetrics::get().retransmits.inc();
+        const std::uint16_t new_xid = next_xid(dpid);
+        send(dpid, pc.msg, new_xid);
+        send(dpid, openflow::Message{openflow::BarrierRequest{}},
+             next_xid(dpid));
+        session.pending_completions.emplace(new_xid, std::move(pc));
+        arm_completion_timeout(dpid, new_xid, epoch);
+      });
+}
+
+void Controller::resolve_completion(Dpid dpid, std::uint16_t xid,
+                                    std::optional<openflow::Error> error) {
+  auto& session = sessions_.at(dpid);
+  const auto it = session.pending_completions.find(xid);
+  if (it == session.pending_completions.end()) return;
+  PendingCompletion pc = std::move(it->second);
+  session.pending_completions.erase(it);
+  if (error) ++stats_.completions_failed;
+  if (pc.done) pc.done(error);
+}
+
+void Controller::resolve_completions_acked_by(Dpid dpid,
+                                              std::uint16_t xid_hwm) {
+  auto& session = sessions_.at(dpid);
+  std::vector<std::uint16_t> acked;
+  for (const auto& [xid, pc] : session.pending_completions)
+    if (static_cast<std::uint16_t>(xid_hwm - xid) < 0x8000)
+      acked.push_back(xid);
+  std::sort(acked.begin(), acked.end());  // deterministic callback order
+  for (const std::uint16_t xid : acked)
+    resolve_completion(dpid, xid, std::nullopt);
+}
+
+openflow::Xid Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod,
+                                   CompletionFn done) {
   ++stats_.flow_mods_sent;
   CtrlMetrics::get().flow_mods.inc();
-  send(dpid, openflow::Message{mod}, next_xid(dpid));
+  if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
+  const std::uint16_t xid = next_xid(dpid);
+  send(dpid, openflow::Message{mod}, xid);
+  return xid;
 }
 
-void Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod) {
+openflow::Xid Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod,
+                                    CompletionFn done) {
   ++stats_.group_mods_sent;
-  send(dpid, openflow::Message{mod}, next_xid(dpid));
+  if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
+  const std::uint16_t xid = next_xid(dpid);
+  send(dpid, openflow::Message{mod}, xid);
+  return xid;
 }
 
-void Controller::meter_mod(Dpid dpid, const openflow::MeterMod& mod) {
-  send(dpid, openflow::Message{mod}, next_xid(dpid));
+openflow::Xid Controller::meter_mod(Dpid dpid, const openflow::MeterMod& mod,
+                                    CompletionFn done) {
+  ++stats_.meter_mods_sent;
+  if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
+  const std::uint16_t xid = next_xid(dpid);
+  send(dpid, openflow::Message{mod}, xid);
+  return xid;
 }
 
-void Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg) {
+openflow::Xid Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg,
+                                     CompletionFn done) {
   ++stats_.packet_outs_sent;
   CtrlMetrics::get().packet_outs.inc();
-  send(dpid, openflow::Message{msg}, next_xid(dpid));
+  if (done) return send_tracked(dpid, openflow::Message{msg}, std::move(done));
+  const std::uint16_t xid = next_xid(dpid);
+  send(dpid, openflow::Message{msg}, xid);
+  return xid;
 }
 
 void Controller::barrier(Dpid dpid, BarrierFn done) {
@@ -236,11 +452,7 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
         if constexpr (std::is_same_v<T, openflow::Hello>) {
           // Peer hello; nothing further (we initiated).
         } else if constexpr (std::is_same_v<T, openflow::FeaturesReply>) {
-          const bool first = !session.features_known;
-          session.features_known = true;
-          view_.add_switch(dpid, msg);
-          if (first)
-            for (const auto& app : apps_) app->on_switch_up(dpid, msg);
+          handle_features_reply(dpid, session, msg);
         } else if constexpr (std::is_same_v<T, openflow::PacketIn>) {
           handle_packet_in(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::PortStatus>) {
@@ -258,6 +470,10 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
         } else if constexpr (std::is_same_v<T, openflow::Experimenter>) {
           for (const auto& app : apps_) app->on_experimenter(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::BarrierReply>) {
+          // The cumulative ack resolves every tracked send the agent had
+          // processed by this barrier — including ones whose own barrier
+          // reply was lost.
+          resolve_completions_acked_by(dpid, msg.xid_hwm);
           const auto it = session.pending_barriers.find(owned.xid);
           if (it != session.pending_barriers.end()) {
             auto fn = std::move(it->second);
@@ -292,11 +508,45 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
           ZEN_LOG(Warn) << "controller: error from dpid " << dpid << " type "
                         << static_cast<unsigned>(msg.type) << " code "
                         << msg.code;
+          resolve_completion(dpid, owned.xid, msg);
+          for (const auto& app : apps_) app->on_error(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::EchoRequest>) {
           send(dpid, openflow::Message{openflow::EchoReply{msg.data}}, owned.xid);
+        } else if constexpr (std::is_same_v<T, openflow::EchoReply>) {
+          session.echo_outstanding = false;
+          session.echo_misses = 0;
         }
       },
       owned.msg);
+}
+
+void Controller::handle_features_reply(Dpid dpid, Session& session,
+                                       const openflow::FeaturesReply& msg) {
+  if (session.alive) {
+    // Duplicate reply (a retried FeaturesRequest raced the original);
+    // refresh the view, don't re-fire apps.
+    view_.add_switch(dpid, msg);
+    return;
+  }
+  const bool reconnect = session.ever_up;
+  session.alive = true;
+  session.ever_up = true;
+  session.features_known = true;
+  session.echo_misses = 0;
+  session.echo_outstanding = false;
+  session.backoff_s = options_.reconnect_backoff_initial_s;
+  ++session.epoch;  // retire handshake-retry timers; start a fresh life
+  view_.add_switch(dpid, msg);
+  if (reconnect) {
+    ZEN_LOG(Info) << "controller: switch " << dpid << " reconnected";
+  }
+  schedule_echo(dpid, session.epoch);
+  for (const auto& app : apps_) app->on_switch_up(dpid, msg);
+  // After a crash the switch came back empty: reconcile actual state with
+  // everything apps intend for it (apps may also have just re-installed
+  // state in on_switch_up; the audit mops up whatever the faulty channel
+  // ate and deletes pre-crash strays the controller no longer wants).
+  if (reconnect) rule_store_->audit(dpid, nullptr);
 }
 
 void Controller::notify_link_event(const LinkEvent& ev) {

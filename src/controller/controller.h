@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,20 @@ class Counter;
 namespace zen::controller {
 
 class Controller;
+class FlowRuleStore;
+
+// Completion callback for transactional southbound sends: invoked exactly
+// once with nullopt on success (the switch processed the message, confirmed
+// by barrier) or with the Error that killed it — a switch-reported error,
+// or a synthetic one (timeout after retries, switch declared down).
+using CompletionFn =
+    std::function<void(const std::optional<openflow::Error>&)>;
+
+// Codes used in synthetic completion errors (type == ErrorType::BadRequest).
+namespace completion_code {
+inline constexpr std::uint16_t kTimedOut = 0xfffe;
+inline constexpr std::uint16_t kSwitchDown = 0xfffd;
+}  // namespace completion_code
 
 struct PacketInEvent {
   Dpid dpid = 0;
@@ -53,6 +68,12 @@ class App {
   virtual void init(Controller& controller) { controller_ = &controller; }
 
   virtual void on_switch_up(Dpid, const openflow::FeaturesReply&) {}
+  // Fired when the controller declares a switch dead (heartbeat misses).
+  // The NetworkView has already dropped the switch and its links.
+  virtual void on_switch_down(Dpid) {}
+  // Fired for every southbound Error, after any completion callback for
+  // the offending xid has run.
+  virtual void on_error(Dpid, const openflow::Error&) {}
   // Return true to stop the dispatch chain (packet consumed).
   virtual bool on_packet_in(const PacketInEvent&) { return false; }
   virtual void on_port_status(Dpid, const openflow::PortStatus&) {}
@@ -71,7 +92,11 @@ struct ControllerStats {
   std::uint64_t flow_mods_sent = 0;
   std::uint64_t packet_outs_sent = 0;
   std::uint64_t group_mods_sent = 0;
+  std::uint64_t meter_mods_sent = 0;
   std::uint64_t errors_received = 0;
+  std::uint64_t retransmits = 0;        // tracked sends re-sent after timeout
+  std::uint64_t completions_failed = 0; // completions resolved with an error
+  std::uint64_t switch_down_events = 0; // liveness declared a switch dead
 };
 
 class Controller {
@@ -82,10 +107,32 @@ class Controller {
     // Controller-side processing delay applied before dispatching an
     // incoming message to apps (models scheduling + deserialization).
     double processing_delay_s = 10e-6;
+
+    // ---- transactional southbound ----
+    // A tracked send (one with a completion callback) is followed by a
+    // barrier; if neither the barrier's cumulative ack nor an error
+    // arrives within the timeout it is re-sent under a fresh xid, up to
+    // max_attempts, then failed with a synthetic timeout error.
+    double completion_timeout_s = 0.02;
+    int completion_max_attempts = 4;
+
+    // ---- southbound liveness ----
+    // Echo-request heartbeat period per connected switch; after
+    // echo_miss_limit consecutive unanswered echoes the switch is
+    // declared down (0 disables heartbeats entirely).
+    double echo_interval_s = 0.5;
+    int echo_miss_limit = 3;
+    // FeaturesRequest is re-sent if the reply doesn't arrive in time
+    // (lost-reply recovery); between attempts the delay grows
+    // exponentially from backoff_initial to backoff_max.
+    double handshake_timeout_s = 0.25;
+    double reconnect_backoff_initial_s = 0.2;
+    double reconnect_backoff_max_s = 2.0;
   };
 
   explicit Controller(sim::SimNetwork& net) : Controller(net, Options()) {}
   Controller(sim::SimNetwork& net, Options options);
+  ~Controller();  // out of line: FlowRuleStore is incomplete here
 
   // Registers an app (dispatch order = registration order).
   template <typename T, typename... Args>
@@ -103,10 +150,18 @@ class Controller {
   void connect_all();
 
   // ---- southbound API (all cross the wire) ----
-  void flow_mod(Dpid dpid, const openflow::FlowMod& mod);
-  void group_mod(Dpid dpid, const openflow::GroupMod& mod);
-  void meter_mod(Dpid dpid, const openflow::MeterMod& mod);
-  void packet_out(Dpid dpid, const openflow::PacketOut& msg);
+  // Each send is assigned an xid (returned). With a completion callback
+  // the send becomes transactional: a barrier chases it and `done` fires
+  // once with the outcome (see CompletionFn); lost messages are re-sent.
+  // Without one the send is fire-and-forget, exactly as before.
+  openflow::Xid flow_mod(Dpid dpid, const openflow::FlowMod& mod,
+                         CompletionFn done = nullptr);
+  openflow::Xid group_mod(Dpid dpid, const openflow::GroupMod& mod,
+                          CompletionFn done = nullptr);
+  openflow::Xid meter_mod(Dpid dpid, const openflow::MeterMod& mod,
+                          CompletionFn done = nullptr);
+  openflow::Xid packet_out(Dpid dpid, const openflow::PacketOut& msg,
+                           CompletionFn done = nullptr);
 
   using BarrierFn = std::function<void()>;
   void barrier(Dpid dpid, BarrierFn done);
@@ -136,6 +191,20 @@ class Controller {
   void flood_packet(Dpid dpid, std::uint32_t in_port, const openflow::Bytes& data,
                     std::uint32_t buffer_id = openflow::kNoBuffer);
 
+  // ---- fault tolerance ----
+  // Liveness as the controller sees it: true once the handshake completed
+  // and heartbeats haven't declared the switch dead since.
+  bool switch_alive(Dpid dpid) const noexcept;
+  // Cookie-keyed record of intended flow state per switch; installs routed
+  // through it can be audited and repaired after crashes (see
+  // flow_rule_store.h).
+  FlowRuleStore& rule_store() noexcept { return *rule_store_; }
+  // Applies / clears seeded loss, duplication and jitter on every
+  // session's control channel (chaos experiments). Per-channel seeds are
+  // derived from faults.seed + dpid so channels don't fail in lockstep.
+  void set_channel_faults(const ChannelFaults& faults);
+  void clear_channel_faults();
+
   // ---- state ----
   NetworkView& view() noexcept { return view_; }
   const NetworkView& view() const noexcept { return view_; }
@@ -149,12 +218,28 @@ class Controller {
   void notify_link_event(const LinkEvent& ev);
 
  private:
+  struct PendingCompletion {
+    openflow::Message msg;  // kept for re-send after a timeout
+    CompletionFn done;
+    int attempts = 1;
+  };
+
   struct Session {
     std::unique_ptr<Channel> channel;
     std::unique_ptr<SwitchAgent> agent;
     openflow::MessageStream stream;
     std::uint16_t next_xid = 1;
     bool features_known = false;
+    // Liveness: alive flips true on FeaturesReply, false when heartbeats
+    // declare the switch dead. ever_up distinguishes "still handshaking"
+    // from "was up, now down". epoch invalidates timers from past lives.
+    bool alive = false;
+    bool ever_up = false;
+    std::uint64_t epoch = 0;
+    int echo_misses = 0;
+    bool echo_outstanding = false;
+    double backoff_s = 0;
+    std::unordered_map<std::uint16_t, PendingCompletion> pending_completions;
     std::unordered_map<std::uint16_t, BarrierFn> pending_barriers;
     std::unordered_map<std::uint16_t, FlowStatsFn> pending_flow_stats;
     std::unordered_map<std::uint16_t, PortStatsFn> pending_port_stats;
@@ -170,6 +255,20 @@ class Controller {
   void handle_packet_in(Dpid dpid, const openflow::PacketIn& pin);
   void learn_host_from(Dpid dpid, const openflow::PacketIn& pin,
                        const net::ParsedPacket& parsed);
+  void handle_features_reply(Dpid dpid, Session& session,
+                             const openflow::FeaturesReply& msg);
+  // Transactional sends.
+  openflow::Xid send_tracked(Dpid dpid, openflow::Message msg,
+                             CompletionFn done);
+  void arm_completion_timeout(Dpid dpid, std::uint16_t xid,
+                              std::uint64_t epoch);
+  void resolve_completion(Dpid dpid, std::uint16_t xid,
+                          std::optional<openflow::Error> error);
+  void resolve_completions_acked_by(Dpid dpid, std::uint16_t xid_hwm);
+  // Liveness.
+  void start_handshake(Dpid dpid);
+  void schedule_echo(Dpid dpid, std::uint64_t epoch);
+  void declare_switch_down(Dpid dpid);
 
   sim::SimNetwork& net_;
   Options options_;
@@ -182,6 +281,7 @@ class Controller {
   std::vector<obs::Counter*> app_pin_counters_;
   std::unordered_map<Dpid, Session> sessions_;
   ControllerStats stats_;
+  std::unique_ptr<FlowRuleStore> rule_store_;
 };
 
 }  // namespace zen::controller

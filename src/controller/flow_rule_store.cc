@@ -1,0 +1,262 @@
+#include "controller/flow_rule_store.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace zen::controller {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Counter& repairs;
+  obs::Counter& orphans;
+  obs::Counter& audits;
+  obs::Histo& audit_duration;
+  static StoreMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static StoreMetrics m{
+        reg.counter("zen_rulestore_repairs_total", "",
+                    "Missing/divergent intended rules reinstalled by audits"),
+        reg.counter("zen_rulestore_orphans_deleted_total", "",
+                    "Managed-cookie stray rules deleted by audits"),
+        reg.counter("zen_rulestore_audits_total", "",
+                    "Flow-state audits started"),
+        reg.histo("zen_rulestore_audit_duration_s", "",
+                  "Virtual time from audit start to verdict")};
+    return m;
+  }
+};
+
+bool same_key(const openflow::FlowMod& mod, const openflow::FlowStatsEntry& e) {
+  return e.table_id == mod.table_id && e.priority == mod.priority &&
+         e.match == mod.match;
+}
+
+}  // namespace
+
+FlowRuleStore::FlowRuleStore(Controller& controller, Options options)
+    : controller_(controller), options_(options) {}
+
+openflow::Xid FlowRuleStore::install(Dpid dpid, const openflow::FlowMod& mod,
+                                     CompletionFn done) {
+  ++stats_.installs;
+  if (mod.cookie != 0) managed_cookies_.insert(mod.cookie);
+
+  openflow::FlowMod intended = mod;
+  intended.command = openflow::FlowModCommand::Add;
+  intended.buffer_id = openflow::kNoBuffer;  // reinstalls can't cite buffers
+  auto& rules = switches_[dpid].rules;
+  const auto it = std::find_if(
+      rules.begin(), rules.end(), [&](const openflow::FlowMod& r) {
+        return r.table_id == intended.table_id &&
+               r.priority == intended.priority && r.match == intended.match;
+      });
+  if (it == rules.end()) rules.push_back(std::move(intended));
+  else *it = std::move(intended);
+
+  return controller_.flow_mod(dpid, mod, std::move(done));
+}
+
+openflow::Xid FlowRuleStore::remove(Dpid dpid, const openflow::FlowMod& del,
+                                    CompletionFn done) {
+  ++stats_.removes;
+  const bool strict = del.command == openflow::FlowModCommand::DeleteStrict;
+  auto& rules = switches_[dpid].rules;
+  std::erase_if(rules, [&](const openflow::FlowMod& r) {
+    if (r.table_id != del.table_id) return false;
+    if (strict) return r.priority == del.priority && r.match == del.match;
+    return r.match.subsumed_by(del.match);
+  });
+  return controller_.flow_mod(dpid, del, std::move(done));
+}
+
+openflow::Xid FlowRuleStore::add_group(Dpid dpid,
+                                       const openflow::GroupMod& mod,
+                                       CompletionFn done) {
+  openflow::GroupMod intended = mod;
+  intended.command = openflow::GroupModCommand::Add;
+  auto& groups = switches_[dpid].groups;
+  const auto it = std::find_if(
+      groups.begin(), groups.end(),
+      [&](const openflow::GroupMod& g) { return g.group_id == mod.group_id; });
+  if (it == groups.end()) groups.push_back(std::move(intended));
+  else *it = std::move(intended);
+  return controller_.group_mod(dpid, mod, std::move(done));
+}
+
+openflow::Xid FlowRuleStore::remove_group(Dpid dpid, std::uint32_t group_id,
+                                          CompletionFn done) {
+  auto& groups = switches_[dpid].groups;
+  std::erase_if(groups, [&](const openflow::GroupMod& g) {
+    return g.group_id == group_id;
+  });
+  openflow::GroupMod del;
+  del.command = openflow::GroupModCommand::Delete;
+  del.group_id = group_id;
+  return controller_.group_mod(dpid, del, std::move(done));
+}
+
+void FlowRuleStore::forget(Dpid dpid) { switches_.erase(dpid); }
+
+std::size_t FlowRuleStore::intended_rules(Dpid dpid) const noexcept {
+  const auto it = switches_.find(dpid);
+  return it == switches_.end() ? 0 : it->second.rules.size();
+}
+
+std::size_t FlowRuleStore::intended_groups(Dpid dpid) const noexcept {
+  const auto it = switches_.find(dpid);
+  return it == switches_.end() ? 0 : it->second.groups.size();
+}
+
+void FlowRuleStore::audit(Dpid dpid, AuditFn done) {
+  auto [it, inserted] = audits_.try_emplace(dpid);
+  if (done) it->second.done.push_back(std::move(done));
+  if (!inserted) return;  // already running; callback piggybacks
+  ++stats_.audits;
+  StoreMetrics::get().audits.inc();
+  it->second.report.dpid = dpid;
+  it->second.started_s = controller_.now();
+  run_round(dpid);
+}
+
+void FlowRuleStore::audit_all(
+    std::function<void(std::vector<AuditReport>)> done) {
+  std::vector<Dpid> dpids;
+  for (const auto& [dpid, state] : switches_) dpids.push_back(dpid);
+  std::sort(dpids.begin(), dpids.end());
+  if (dpids.empty()) {
+    if (done) done({});
+    return;
+  }
+  auto reports = std::make_shared<std::vector<AuditReport>>();
+  auto remaining = std::make_shared<std::size_t>(dpids.size());
+  auto cb = std::make_shared<std::function<void(std::vector<AuditReport>)>>(
+      std::move(done));
+  for (const Dpid dpid : dpids) {
+    audit(dpid, [reports, remaining, cb](const AuditReport& report) {
+      reports->push_back(report);
+      if (--*remaining == 0 && *cb) (*cb)(std::move(*reports));
+    });
+  }
+}
+
+void FlowRuleStore::run_round(Dpid dpid) {
+  const auto it = audits_.find(dpid);
+  if (it == audits_.end()) return;
+  Audit& a = it->second;
+  if (!controller_.switch_alive(dpid) ||
+      a.report.rounds >= options_.max_rounds) {
+    finish(dpid, false);
+    return;
+  }
+  ++a.report.rounds;
+  const int serial = ++a.round_serial;
+
+  // Re-assert intended groups up front: flow repairs may reference them,
+  // and a crash wiped them along with the rules. Re-adding a group that
+  // still exists errors harmlessly.
+  for (const auto& gm : switches_[dpid].groups) controller_.group_mod(dpid, gm);
+
+  // Default request: every table, wildcard match — the full actual state.
+  controller_.request_flow_stats(
+      dpid, openflow::FlowStatsRequest{},
+      [this, dpid, serial](const openflow::FlowStatsReply& reply) {
+        const auto it = audits_.find(dpid);
+        if (it == audits_.end() || it->second.round_serial != serial) return;
+        reconcile(dpid, reply);
+      });
+  // The stats exchange itself can be lost on a faulty channel: retry the
+  // round if no reply claimed this serial in time.
+  controller_.events().schedule_in(options_.round_timeout_s,
+                                   [this, dpid, serial] {
+                                     const auto it = audits_.find(dpid);
+                                     if (it == audits_.end() ||
+                                         it->second.round_serial != serial)
+                                       return;
+                                     run_round(dpid);
+                                   });
+}
+
+void FlowRuleStore::reconcile(Dpid dpid,
+                              const openflow::FlowStatsReply& reply) {
+  Audit& a = audits_.at(dpid);
+  ++a.round_serial;  // cancel this round's retry timer
+  const auto& intended = switches_[dpid].rules;
+
+  // Missing or divergent: an intended rule with no actual twin (same key,
+  // same cookie, same instructions). Reinstall — Add overwrites in place.
+  std::size_t missing = 0;
+  for (const auto& mod : intended) {
+    const bool present = std::any_of(
+        reply.entries.begin(), reply.entries.end(),
+        [&](const openflow::FlowStatsEntry& e) {
+          return same_key(mod, e) && e.cookie == mod.cookie &&
+                 e.instructions == mod.instructions;
+        });
+    if (present) continue;
+    ++missing;
+    ++stats_.repairs_installed;
+    StoreMetrics::get().repairs.inc();
+    controller_.flow_mod(dpid, mod,
+                         [](const std::optional<openflow::Error>&) {});
+  }
+
+  // Orphans: actual rules carrying a cookie this store manages but whose
+  // key is no longer intended here. Cookie-0 rules belong to apps outside
+  // the store and are never touched.
+  std::size_t orphans = 0;
+  for (const auto& e : reply.entries) {
+    if (e.cookie == 0 || !managed_cookies_.contains(e.cookie)) continue;
+    const bool wanted =
+        std::any_of(intended.begin(), intended.end(),
+                    [&](const openflow::FlowMod& mod) { return same_key(mod, e); });
+    if (wanted) continue;
+    ++orphans;
+    ++stats_.orphans_deleted;
+    StoreMetrics::get().orphans.inc();
+    openflow::FlowMod del;
+    del.command = openflow::FlowModCommand::DeleteStrict;
+    del.table_id = e.table_id;
+    del.priority = e.priority;
+    del.match = e.match;
+    controller_.flow_mod(dpid, del,
+                         [](const std::optional<openflow::Error>&) {});
+  }
+
+  a.report.repaired += missing;
+  a.report.orphans += orphans;
+  if (missing == 0 && orphans == 0) {
+    finish(dpid, true);
+    return;
+  }
+  ZEN_LOG(Info) << "rule store: dpid " << dpid << " round "
+                << a.report.rounds << ": reinstalled " << missing
+                << ", deleted " << orphans << " orphans";
+  // Let the (tracked, retried) repairs land, then re-read.
+  controller_.events().schedule_in(
+      options_.settle_s, [this, dpid, serial = a.round_serial] {
+        const auto it = audits_.find(dpid);
+        if (it == audits_.end() || it->second.round_serial != serial) return;
+        run_round(dpid);
+      });
+}
+
+void FlowRuleStore::finish(Dpid dpid, bool converged) {
+  auto node = audits_.extract(dpid);
+  if (node.empty()) return;
+  Audit& a = node.mapped();
+  a.report.converged = converged;
+  a.report.duration_s = controller_.now() - a.started_s;
+  if (converged) ++stats_.audits_converged;
+  StoreMetrics::get().audit_duration.record(a.report.duration_s);
+  ZEN_LOG(Info) << "rule store: dpid " << dpid << " audit "
+                << (converged ? "converged" : "gave up") << " after "
+                << a.report.rounds << " round(s), repaired "
+                << a.report.repaired << ", orphans " << a.report.orphans;
+  for (auto& fn : a.done)
+    if (fn) fn(a.report);
+}
+
+}  // namespace zen::controller

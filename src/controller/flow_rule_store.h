@@ -1,0 +1,120 @@
+// FlowRuleStore: cookie-keyed record of intended flow state per switch,
+// and the reconciliation engine that makes switches match it.
+//
+// Apps that route their installs/removes through the store (IntentManager,
+// TeInstaller) get two things on top of the transactional send:
+//
+//  1. A durable statement of intent, keyed by (table, priority, match)
+//     with the owning cookie, that survives switch crashes.
+//  2. audit(): read the switch's actual rules via flow-stats and drive
+//     them to the intended set — missing or wrong-actioned rules are
+//     reinstalled, rules carrying a managed cookie that are no longer
+//     intended ("orphans") are strictly deleted — looping until intended
+//     == actual or the round budget runs out. The controller triggers an
+//     audit automatically when a switch reconnects after a crash.
+//
+// Rules with cookie 0 are invisible to the store: table-miss entries, ARP
+// punts and other app plumbing are never treated as orphans.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace zen::controller {
+
+struct AuditReport {
+  Dpid dpid = 0;
+  std::size_t repaired = 0;  // intended rules found missing and reinstalled
+  std::size_t orphans = 0;   // managed-cookie strays found and deleted
+  int rounds = 0;            // flow-stats rounds used
+  bool converged = false;    // intended == actual when the audit finished
+  double duration_s = 0;     // virtual time from audit start to verdict
+};
+
+class FlowRuleStore {
+ public:
+  struct Options {
+    int max_rounds = 8;
+    // A round's flow-stats exchange is retried after this long (the
+    // request or reply can be lost on a faulty channel).
+    double round_timeout_s = 0.25;
+    // Settle time between sending repairs and re-reading the switch.
+    double settle_s = 0.05;
+  };
+
+  struct Stats {
+    std::uint64_t installs = 0;
+    std::uint64_t removes = 0;
+    std::uint64_t repairs_installed = 0;
+    std::uint64_t orphans_deleted = 0;
+    std::uint64_t audits = 0;
+    std::uint64_t audits_converged = 0;
+  };
+
+  explicit FlowRuleStore(Controller& controller)
+      : FlowRuleStore(controller, Options()) {}
+  FlowRuleStore(Controller& controller, Options options);
+
+  // Records the rule as intended on `dpid` and sends it transactionally.
+  // Add and Modify upsert the intended entry keyed by (table, priority,
+  // match); the mod's cookie becomes a managed cookie.
+  openflow::Xid install(Dpid dpid, const openflow::FlowMod& mod,
+                        CompletionFn done = nullptr);
+  // Drops matching intended entries and sends the delete. Strict deletes
+  // drop the exact (table, priority, match) entry; plain Delete drops
+  // every intended entry in the table subsumed by the mod's match.
+  openflow::Xid remove(Dpid dpid, const openflow::FlowMod& del,
+                       CompletionFn done = nullptr);
+  // Intended groups are re-asserted blindly at the start of every audit
+  // round (a re-add of a live group fails harmlessly).
+  openflow::Xid add_group(Dpid dpid, const openflow::GroupMod& mod,
+                          CompletionFn done = nullptr);
+  openflow::Xid remove_group(Dpid dpid, std::uint32_t group_id,
+                             CompletionFn done = nullptr);
+
+  using AuditFn = std::function<void(const AuditReport&)>;
+  // Reconciles one switch (no-op audit converges in one round). `done`
+  // fires exactly once. Concurrent audits of the same switch coalesce:
+  // the later call's callback piggybacks on the running audit.
+  void audit(Dpid dpid, AuditFn done = nullptr);
+  // Audits every switch the store holds intent for.
+  void audit_all(std::function<void(std::vector<AuditReport>)> done = nullptr);
+
+  // Drops all intended state for a switch (decommissioning). Does not
+  // touch the switch.
+  void forget(Dpid dpid);
+
+  std::size_t intended_rules(Dpid dpid) const noexcept;
+  std::size_t intended_groups(Dpid dpid) const noexcept;
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct SwitchState {
+    std::vector<openflow::FlowMod> rules;    // normalized to command=Add
+    std::vector<openflow::GroupMod> groups;  // normalized to command=Add
+  };
+
+  struct Audit {
+    AuditReport report;
+    std::vector<AuditFn> done;
+    int round_serial = 0;  // guards against late stats replies / timeouts
+    double started_s = 0;
+  };
+
+  void run_round(Dpid dpid);
+  void reconcile(Dpid dpid, const openflow::FlowStatsReply& reply);
+  void finish(Dpid dpid, bool converged);
+
+  Controller& controller_;
+  Options options_;
+  std::unordered_map<Dpid, SwitchState> switches_;
+  std::unordered_map<Dpid, Audit> audits_;  // at most one per switch
+  std::unordered_set<std::uint64_t> managed_cookies_;
+  Stats stats_;
+};
+
+}  // namespace zen::controller

@@ -40,6 +40,8 @@ void SwitchAgent::send_error(std::uint16_t xid, openflow::ErrorType type,
 }
 
 void SwitchAgent::on_datapath_event(openflow::Message msg) {
+  // A crashed switch is silent.
+  if (!net_.switch_up(dpid_)) return;
   // Slaves get port status only; PacketIns and FlowRemoved go to the
   // master/equal connections (OF 1.3 asynchronous-message filtering).
   if (role() == openflow::ControllerRole::Slave &&
@@ -54,6 +56,14 @@ void SwitchAgent::on_datapath_event(openflow::Message msg) {
 }
 
 void SwitchAgent::on_wire(std::vector<std::uint8_t> bytes) {
+  // A crashed switch neither processes nor buffers: the agent process died
+  // with it. Dropping the reassembly buffer keeps a half-received frame
+  // from poisoning the stream after reboot.
+  if (!net_.switch_up(dpid_)) {
+    stream_ = {};
+    pending_pins_.clear();
+    return;
+  }
   stream_.feed(bytes);
   while (auto result = stream_.next()) {
     if (!result->ok()) {
@@ -78,6 +88,12 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, FlowMod> || std::is_same_v<T, GroupMod> ||
                       std::is_same_v<T, MeterMod> || std::is_same_v<T, PacketOut>) {
+          // Cumulative ack: serial-number compare so the hwm survives xid
+          // wrap-around. Only state-modifying messages advance it — a
+          // barrier's own xid must not, or a barrier overtaking a lost mod
+          // would ack the mod it overtook.
+          if (static_cast<std::uint16_t>(xid - xid_hwm_) < 0x8000)
+            xid_hwm_ = xid;
           if (is_slave) {
             send_error(xid, ErrorType::BadRequest, /*kIsSlave*/ 9);
             return;
@@ -117,7 +133,7 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
         } else if constexpr (std::is_same_v<T, PacketOut>) {
           net_.packet_out(dpid_, msg);
         } else if constexpr (std::is_same_v<T, BarrierRequest>) {
-          reply(Message{BarrierReply{}}, xid);
+          reply(Message{BarrierReply{xid_hwm_}}, xid);
         } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
           reply(Message{sw.flow_stats(msg, net_.now())}, xid);
         } else if constexpr (std::is_same_v<T, PortStatsRequest>) {

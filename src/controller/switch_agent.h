@@ -26,6 +26,13 @@ class SwitchAgent {
 
   topo::NodeId dpid() const noexcept { return dpid_; }
 
+  // Highest controller xid of a state-modifying message (FlowMod / GroupMod
+  // / MeterMod / PacketOut) this agent has processed, in serial-number
+  // arithmetic. Echoed in every BarrierReply as the cumulative ack: a
+  // barrier that overtakes a lost mod carries a hwm below the mod's xid,
+  // so the controller re-sends instead of false-acking.
+  openflow::Xid xid_hwm() const noexcept { return xid_hwm_; }
+
  private:
   openflow::ControllerRole role() const;
 
@@ -41,6 +48,7 @@ class SwitchAgent {
   std::uint64_t conn_id_;
   openflow::MessageStream stream_;
   std::uint16_t next_xid_ = 1;
+  openflow::Xid xid_hwm_ = 0;
 
   // Virtual send times of buffered PacketIns awaiting a FlowMod answer,
   // correlated by buffer_id (reactive apps echo the punt's buffer_id in

@@ -25,12 +25,14 @@
 #include "controller/apps/te_installer.h"
 #include "controller/apps/telemetry_collector.h"
 #include "controller/controller.h"
+#include "controller/flow_rule_store.h"
 #include "core/network.h"
 #include "dataplane/switch.h"
 #include "intent/intent_manager.h"
 #include "net/packet.h"
 #include "obs/obs.h"
 #include "openflow/codec.h"
+#include "sim/fault_injector.h"
 #include "sim/network.h"
 #include "te/allocation.h"
 #include "te/update_planner.h"

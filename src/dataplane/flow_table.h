@@ -67,6 +67,13 @@ class FlowTable {
   // Removes entries past their idle/hard timeout; returns them.
   std::vector<FlowEntryPtr> expire(double now);
 
+  // Drops every entry (switch reboot). Lookup/match counters survive — they
+  // are cumulative observability, not rule state.
+  void clear() noexcept {
+    groups_.clear();
+    count_ = 0;
+  }
+
   std::size_t size() const noexcept { return count_; }
   std::size_t mask_group_count() const noexcept { return groups_.size(); }
   std::uint64_t lookup_count() const noexcept { return lookups_; }

@@ -42,6 +42,9 @@ class GroupTable {
 
   std::size_t size() const noexcept { return groups_.size(); }
 
+  // Drops every group (switch reboot).
+  void clear() noexcept { groups_.clear(); }
+
  private:
   std::unordered_map<std::uint32_t, Group> groups_;
 };

@@ -25,6 +25,9 @@ class MeterTable {
   std::uint64_t dropped(std::uint32_t meter_id) const noexcept;
   std::size_t size() const noexcept { return meters_.size(); }
 
+  // Drops every meter (switch reboot).
+  void clear() noexcept { meters_.clear(); }
+
  private:
   struct Meter {
     util::TokenBucket bucket;

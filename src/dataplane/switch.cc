@@ -623,6 +623,19 @@ openflow::TableStatsReply Switch::table_stats() const {
   return reply;
 }
 
+void Switch::reset() {
+  for (auto& table : tables_) table.clear();
+  groups_.clear();
+  meters_.clear();
+  cache_.clear();
+  for (auto& slot : buffered_) slot.clear();
+  next_buffer_id_ = 0;
+  roles_.clear();
+  generation_seen_ = false;
+  last_generation_ = 0;
+  ++version_;
+}
+
 std::vector<openflow::FlowRemoved> Switch::expire_flows(double now) {
   std::vector<openflow::FlowRemoved> events;
   bool any = false;

@@ -123,6 +123,12 @@ class Switch {
   // for entries flagged kFlagSendFlowRemoved.
   std::vector<openflow::FlowRemoved> expire_flows(double now);
 
+  // Crash/reboot semantics: wipes all forwarding state (flow/group/meter
+  // tables, megaflow cache, packet buffers) and forgets controller roles and
+  // the master-election epoch, as a power-cycled switch would. Ports and
+  // their cumulative stats survive (they model physical hardware).
+  void reset();
+
   // ---- controller roles (multi-controller redundancy) ----
   // Applies a role request from connection `conn_id`. Master requests carry
   // a generation id; a stale generation (less than the largest seen) is

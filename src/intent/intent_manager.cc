@@ -1,5 +1,7 @@
 #include "intent/intent_manager.h"
 
+#include <algorithm>
+
 #include "net/headers.h"
 #include "topo/paths.h"
 #include "util/logging.h"
@@ -68,21 +70,18 @@ std::size_t IntentManager::count_in_state(IntentState state) const {
 }
 
 void IntentManager::remove_rules(Record& record) {
+  auto& store = controller_->rule_store();
   for (const auto& rule : record.rules) {
     openflow::FlowMod del;
     del.table_id = rule.mod.table_id;
     del.command = openflow::FlowModCommand::DeleteStrict;
     del.priority = rule.mod.priority;
     del.match = rule.mod.match;
-    controller_->flow_mod(rule.dpid, del);
+    store.remove(rule.dpid, del);
   }
   record.rules.clear();
-  for (const auto& group : record.groups) {
-    openflow::GroupMod del;
-    del.command = openflow::GroupModCommand::Delete;
-    del.group_id = group.group_id;
-    controller_->group_mod(group.dpid, del);
-  }
+  for (const auto& group : record.groups)
+    store.remove_group(group.dpid, group.group_id);
   record.groups.clear();
   record.path.clear();
   record.backup_path.clear();
@@ -90,9 +89,13 @@ void IntentManager::remove_rules(Record& record) {
 }
 
 void IntentManager::install(IntentId id, Record& record) {
+  // Through the rule store: the install is transactional (re-sent if the
+  // channel eats it) and recorded as intended state for later audits.
+  auto& store = controller_->rule_store();
   for (auto& rule : record.rules) {
     rule.mod.cookie = id;  // attribution: dataplane stats -> intent
-    controller_->flow_mod(rule.dpid, rule.mod);
+    store.install(rule.dpid, rule.mod,
+                  [](const std::optional<openflow::Error>&) {});
   }
   record.state = IntentState::Installed;
   ++stats_.compiled;
@@ -261,7 +264,7 @@ bool IntentManager::compile_protected(const topo::Topology& topo,
         openflow::Bucket{1, backup_port,
                          {openflow::OutputAction{backup_port, 0xffff}}},
     };
-    controller_->group_mod(s->dpid, gm);
+    controller_->rule_store().add_group(s->dpid, gm);
     record.groups.push_back(InstalledGroup{s->dpid, gm.group_id});
     head.instructions = {
         openflow::ApplyActions{{openflow::GroupAction{gm.group_id}}}};
@@ -397,6 +400,44 @@ void IntentManager::on_host_discovered(const controller::HostInfo&) {
       compile(id, record);
     }
   }
+}
+
+void IntentManager::on_switch_down(controller::Dpid dpid) {
+  for (auto& [id, record] : intents_) {
+    if (record.state != IntentState::Installed) continue;
+    const bool uses = std::any_of(
+        record.rules.begin(), record.rules.end(),
+        [&](const InstalledRule& rule) { return rule.dpid == dpid; });
+    if (!uses) continue;
+    ++stats_.recompiles;
+    compile(id, record);
+  }
+}
+
+void IntentManager::on_flow_removed(controller::Dpid dpid,
+                                    const openflow::FlowRemoved& msg) {
+  // Our own deletes (withdraw/recompile) echo back with reason Delete when
+  // the rule asked for removal notifications; reacting would loop.
+  if (msg.reason == openflow::FlowRemovedReason::Delete) return;
+  const auto it = intents_.find(static_cast<IntentId>(msg.cookie));
+  if (it == intents_.end() || it->second.state != IntentState::Installed)
+    return;
+  // Only if the evicted rule really is one we believe installed there —
+  // otherwise the intent has already moved on and the switch is merely
+  // late telling us.
+  const bool ours = std::any_of(
+      it->second.rules.begin(), it->second.rules.end(),
+      [&](const InstalledRule& rule) {
+        return rule.dpid == dpid && rule.mod.table_id == msg.table_id &&
+               rule.mod.priority == msg.priority &&
+               rule.mod.match == msg.match;
+      });
+  if (!ours) return;
+  ZEN_LOG(Info) << "intent " << it->first
+                << ": rule evicted by dataplane on switch " << dpid
+                << ", recompiling";
+  ++stats_.recompiles;
+  compile(it->first, it->second);
 }
 
 void IntentManager::on_switch_up(controller::Dpid dpid,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "controller/controller.h"
+#include "controller/flow_rule_store.h"
 #include "intent/intent.h"
 
 namespace zen::intent {
@@ -46,6 +47,14 @@ class IntentManager : public controller::App {
   void on_link_event(const controller::LinkEvent& event) override;
   void on_host_discovered(const controller::HostInfo& host) override;
   void on_switch_up(controller::Dpid, const openflow::FeaturesReply&) override;
+  // A switch declared dead: recompile every installed intent routed
+  // through it onto surviving paths.
+  void on_switch_down(controller::Dpid dpid) override;
+  // The dataplane evicted a rule (idle/hard timeout) belonging to an
+  // intent we still believe is installed: silent divergence — recompile.
+  // reason == Delete is our own delete echoing back and is ignored.
+  void on_flow_removed(controller::Dpid dpid,
+                       const openflow::FlowRemoved& msg) override;
 
  private:
   struct InstalledRule {

@@ -22,13 +22,17 @@
 
 namespace zen::openflow {
 
+// Transaction id: assigned per southbound send, echoed in replies/errors so
+// callers can correlate outcomes (see Controller's completion callbacks).
+using Xid = std::uint16_t;
+
 struct OwnedMessage {
-  std::uint16_t xid = 0;
+  Xid xid = 0;
   Message msg;
 };
 
 // Serializes one message with its header.
-Bytes encode(const Message& msg, std::uint16_t xid);
+Bytes encode(const Message& msg, Xid xid);
 
 // Decodes exactly one message from `frame` (which must be a whole message).
 util::Result<OwnedMessage> decode(std::span<const std::uint8_t> frame);

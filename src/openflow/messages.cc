@@ -126,9 +126,10 @@ void encode_body(const Message& msg, util::ByteWriter& w) {
           encode_bytes_field(m.payload, w);
         } else if constexpr (std::is_same_v<T, FeaturesRequest> ||
                              std::is_same_v<T, BarrierRequest> ||
-                             std::is_same_v<T, BarrierReply> ||
                              std::is_same_v<T, TableStatsRequest>) {
           // empty body
+        } else if constexpr (std::is_same_v<T, BarrierReply>) {
+          w.u16(m.xid_hwm);
         } else if constexpr (std::is_same_v<T, FeaturesReply>) {
           w.u64(m.datapath_id);
           w.u32(m.n_buffers);
@@ -381,8 +382,12 @@ util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
     }
     case MsgType::BarrierRequest:
       return Message{BarrierRequest{}};
-    case MsgType::BarrierReply:
-      return Message{BarrierReply{}};
+    case MsgType::BarrierReply: {
+      BarrierReply m;
+      m.xid_hwm = r.u16();
+      if (!r.ok()) return fail("truncated");
+      return Message{m};
+    }
     case MsgType::FlowStatsRequest: {
       FlowStatsRequest m;
       m.table_id = r.u8();

@@ -30,6 +30,10 @@ struct ErrorMsg {
   friend bool operator==(const ErrorMsg&, const ErrorMsg&) = default;
 };
 
+// Canonical name used by the transactional southbound API (completion
+// callbacks receive an Error on failure).
+using Error = ErrorMsg;
+
 struct EchoRequest {
   Bytes data;
   friend bool operator==(const EchoRequest&, const EchoRequest&) = default;
@@ -152,6 +156,11 @@ struct BarrierRequest {
 };
 
 struct BarrierReply {
+  // Cumulative ack: highest controller xid the switch agent had processed
+  // when it answered the barrier. On a lossy or reordering channel this is
+  // what lets the controller distinguish "mod applied" from "barrier
+  // overtook (or outlived) the mod" — a plain BarrierReply would false-ack.
+  std::uint16_t xid_hwm = 0;
   friend bool operator==(const BarrierReply&, const BarrierReply&) = default;
 };
 

@@ -1,0 +1,116 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace zen::sim {
+
+namespace {
+
+obs::Counter& faults_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "zen_chaos_faults_injected_total", "",
+      "Fault events (link flaps + switch crashes) injected by FaultInjector");
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(FaultInjector::Event::Kind kind) noexcept {
+  using Kind = FaultInjector::Event::Kind;
+  switch (kind) {
+    case Kind::LinkDown: return "link_down";
+    case Kind::LinkUp: return "link_up";
+    case Kind::SwitchCrash: return "switch_crash";
+    case Kind::SwitchReboot: return "switch_reboot";
+  }
+  return "?";
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  util::Rng rng(options_.seed);
+
+  // Candidate sets, sorted by id so the schedule depends only on the seed
+  // and the topology, never on hash-map iteration order.
+  std::vector<topo::LinkId> links;
+  for (const topo::Link* link : net_.topology().links()) {
+    if (options_.core_links_only &&
+        (topo::is_host_id(link->a) || topo::is_host_id(link->b)))
+      continue;
+    links.push_back(link->id);
+  }
+  std::sort(links.begin(), links.end());
+
+  std::vector<topo::NodeId> switches;
+  for (const topo::NodeId sw : net_.generated().switches) {
+    if (options_.avoid_edge_switches) {
+      bool has_host = false;
+      for (const topo::Link* link : net_.topology().links_of(sw))
+        has_host |= topo::is_host_id(link->other(sw));
+      if (has_host) continue;
+    }
+    switches.push_back(sw);
+  }
+  std::sort(switches.begin(), switches.end());
+
+  const auto draw_in = [&](double lo, double hi) {
+    return lo + rng.next_double() * std::max(0.0, hi - lo);
+  };
+
+  for (int i = 0; i < options_.link_flaps && !links.empty(); ++i) {
+    const topo::LinkId id = links[rng.next_below(links.size())];
+    const double down_at = options_.start_s + rng.next_double() * options_.duration_s;
+    const double up_at = down_at + draw_in(options_.flap_downtime_min_s,
+                                           options_.flap_downtime_max_s);
+    schedule_.push_back({Event::Kind::LinkDown, down_at, id});
+    schedule_.push_back({Event::Kind::LinkUp, up_at, id});
+    ++link_flaps_;
+  }
+
+  // Crash at most one cycle per switch at a time: draw distinct switches
+  // until the pool runs dry, then reuse (cycles on the same switch are
+  // spaced by the storm draw, collisions are tolerated by crash/reboot
+  // being idempotent while down/up).
+  for (int i = 0; i < options_.switch_reboots && !switches.empty(); ++i) {
+    const topo::NodeId sw = switches[rng.next_below(switches.size())];
+    const double crash_at =
+        options_.start_s + rng.next_double() * options_.duration_s;
+    const double reboot_at = crash_at + draw_in(options_.reboot_downtime_min_s,
+                                                options_.reboot_downtime_max_s);
+    schedule_.push_back({Event::Kind::SwitchCrash, crash_at, sw});
+    schedule_.push_back({Event::Kind::SwitchReboot, reboot_at, sw});
+    ++reboots_;
+  }
+
+  std::sort(schedule_.begin(), schedule_.end(),
+            [](const Event& a, const Event& b) { return a.at < b.at; });
+  for (const Event& ev : schedule_) {
+    storm_end_s_ = std::max(storm_end_s_, ev.at);
+    net_.events().schedule_at(ev.at, [this, ev] {
+      faults_counter().inc();
+      ZEN_LOG(Info) << "chaos: " << to_string(ev.kind) << " target "
+                    << ev.target;
+      switch (ev.kind) {
+        case Event::Kind::LinkDown:
+          net_.set_link_admin_up(static_cast<topo::LinkId>(ev.target), false);
+          break;
+        case Event::Kind::LinkUp:
+          net_.set_link_admin_up(static_cast<topo::LinkId>(ev.target), true);
+          break;
+        case Event::Kind::SwitchCrash:
+          net_.crash_switch(static_cast<topo::NodeId>(ev.target));
+          break;
+        case Event::Kind::SwitchReboot:
+          net_.reboot_switch(static_cast<topo::NodeId>(ev.target));
+          break;
+      }
+    });
+  }
+}
+
+}  // namespace zen::sim

@@ -1,0 +1,82 @@
+// FaultInjector: seeded chaos schedules for the simulated fabric.
+//
+// From a single seed it derives a deterministic "fault storm": link flaps
+// (down then up) on inter-switch links and switch crash/reboot cycles
+// (tables wiped, handshake replayed — see SimNetwork::crash_switch). The
+// storm is computed up front, so tests and the chaos example can both
+// replay a run bit-for-bit and inspect exactly which faults were injected.
+//
+// Control-channel impairments (message loss/delay/duplication) live one
+// layer up, in controller::Channel — the injector stays protocol-agnostic,
+// like the rest of zen_sim. Compose both for a full chaos run (see
+// examples/chaos.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace zen::sim {
+
+class FaultInjector {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    // Storm window: faults start at `start_s` (absolute virtual time) and
+    // all begin within `duration_s`; repairs may land a little after.
+    double start_s = 0;
+    double duration_s = 5.0;
+    // Link flaps: a link goes down, then comes back after a downtime drawn
+    // uniformly from [min, max].
+    int link_flaps = 2;
+    double flap_downtime_min_s = 0.2;
+    double flap_downtime_max_s = 0.8;
+    // Only flap switch-to-switch links (never cut a host off the fabric).
+    bool core_links_only = true;
+    // Switch crash/reboot cycles.
+    int switch_reboots = 1;
+    double reboot_downtime_min_s = 0.5;
+    double reboot_downtime_max_s = 1.5;
+    // Only crash switches without attached hosts (spines/cores), so every
+    // intent endpoint stays reachable once the storm clears.
+    bool avoid_edge_switches = true;
+  };
+
+  struct Event {
+    enum class Kind : std::uint8_t { LinkDown, LinkUp, SwitchCrash, SwitchReboot };
+    Kind kind;
+    double at = 0;
+    std::uint64_t target = 0;  // LinkId for flaps, NodeId for reboots
+  };
+
+  FaultInjector(SimNetwork& net, Options options)
+      : net_(net), options_(options) {}
+
+  // Derives the schedule from the seed and arms the event queue. Idempotent
+  // per injector: a second call does nothing.
+  void arm();
+
+  // The injected schedule, ordered by time (valid after arm()).
+  const std::vector<Event>& schedule() const noexcept { return schedule_; }
+
+  // Virtual time of the last scheduled repair (0 before arm()). After this
+  // instant the fabric is fault-free and convergence can be measured.
+  double storm_end_s() const noexcept { return storm_end_s_; }
+
+  std::size_t link_flaps_scheduled() const noexcept { return link_flaps_; }
+  std::size_t switch_reboots_scheduled() const noexcept { return reboots_; }
+
+ private:
+  SimNetwork& net_;
+  Options options_;
+  std::vector<Event> schedule_;
+  double storm_end_s_ = 0;
+  std::size_t link_flaps_ = 0;
+  std::size_t reboots_ = 0;
+  bool armed_ = false;
+};
+
+const char* to_string(FaultInjector::Event::Kind kind) noexcept;
+
+}  // namespace zen::sim

@@ -90,6 +90,7 @@ SimNetwork::~SimNetwork() { util::clear_time_source(clock_token_); }
 void SimNetwork::schedule_expiry_sweep() {
   events_.schedule_in(options_.expiry_interval_s, [this] {
     for (auto& [id, sw] : switches_) {
+      if (!switch_up(id)) continue;
       for (auto& removed : sw->expire_flows(now())) {
         for (const auto& handler : event_handlers_)
           handler(id, openflow::Message{removed});
@@ -123,6 +124,7 @@ void SimNetwork::schedule_telemetry_sweep() {
   events_.schedule_in(options_.telemetry.flush_interval_s, [this] {
     if (!telemetry_on_) return;  // reconfigured off: let the sweep die
     for (auto& [id, t] : telemetry_) {
+      if (!switch_up(id)) continue;
       telemetry::ExportBatch batch = t->flush(now_ns());
       if (batch.empty()) continue;
       for (const auto& handler : event_handlers_)
@@ -308,7 +310,7 @@ void SimNetwork::deliver(topo::NodeId node, std::uint32_t port,
     return;
   }
   const auto sw_it = switches_.find(node);
-  if (sw_it == switches_.end()) return;
+  if (sw_it == switches_.end() || !switch_up(node)) return;
   handle_forward_result(node, sw_it->second->ingress(now(), port, frame));
 }
 
@@ -324,8 +326,16 @@ void SimNetwork::handle_forward_result(topo::NodeId sw,
   if (telemetry_on_) maybe_flush_telemetry(sw);
 }
 
+namespace {
+// ModStatus for operations aimed at a crashed switch.
+dataplane::ModStatus switch_down_status() {
+  return {false, openflow::ErrorType::BadRequest, /*switch down*/ 0xdd};
+}
+}  // namespace
+
 dataplane::ModStatus SimNetwork::flow_mod(topo::NodeId sw,
                                           const openflow::FlowMod& mod) {
+  if (!switch_up(sw)) return switch_down_status();
   std::vector<openflow::FlowRemoved> removed;
   const auto status = switches_.at(sw)->flow_mod(mod, now(), &removed);
   for (const auto& fr : removed)
@@ -336,15 +346,18 @@ dataplane::ModStatus SimNetwork::flow_mod(topo::NodeId sw,
 
 dataplane::ModStatus SimNetwork::group_mod(topo::NodeId sw,
                                            const openflow::GroupMod& mod) {
+  if (!switch_up(sw)) return switch_down_status();
   return switches_.at(sw)->group_mod(mod);
 }
 
 dataplane::ModStatus SimNetwork::meter_mod(topo::NodeId sw,
                                            const openflow::MeterMod& mod) {
+  if (!switch_up(sw)) return switch_down_status();
   return switches_.at(sw)->meter_mod(mod);
 }
 
 void SimNetwork::packet_out(topo::NodeId sw, const openflow::PacketOut& msg) {
+  if (!switch_up(sw)) return;
   handle_forward_result(sw, switches_.at(sw)->packet_out(now(), msg));
 }
 
@@ -361,6 +374,33 @@ void SimNetwork::set_link_admin_up(topo::LinkId id, bool up) {
       for (const auto& handler : event_handlers_)
         handler(endpoint, openflow::Message{*status});
     }
+  }
+}
+
+void SimNetwork::crash_switch(topo::NodeId id) {
+  const auto it = switches_.find(id);
+  if (it == switches_.end() || !switch_up(id)) return;
+  down_switches_.insert(id);
+  // Power loss: volatile forwarding state is gone the instant the switch
+  // dies, not when it comes back.
+  it->second->reset();
+  ZEN_TRACE_INSTANT("switch_crash", "sim");
+  ZEN_LOG(Info) << "sim: switch " << id << " crashed";
+  for (const topo::Link* link : gen_.topo.links_of(id))
+    set_link_admin_up(link->id, false);
+}
+
+void SimNetwork::reboot_switch(topo::NodeId id) {
+  const auto it = switches_.find(id);
+  if (it == switches_.end() || switch_up(id)) return;
+  down_switches_.erase(id);
+  ZEN_TRACE_INSTANT("switch_reboot", "sim");
+  ZEN_LOG(Info) << "sim: switch " << id << " rebooted";
+  for (const topo::Link* link : gen_.topo.links_of(id)) {
+    // Revive only links whose far end is also powered.
+    const topo::NodeId other = link->other(id);
+    if (switches_.contains(other) && !switch_up(other)) continue;
+    set_link_admin_up(link->id, true);
   }
 }
 

@@ -19,6 +19,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "dataplane/switch.h"
 #include "sim/event_queue.h"
@@ -115,6 +116,20 @@ class SimNetwork {
   void set_link_admin_up(topo::LinkId id, bool up);
   void schedule_link_failure(topo::LinkId id, double at, double repair_after);
 
+  // Switch crash: forwarding state is wiped immediately (Switch::reset),
+  // every attached link goes down (peers see PortStatus), and the switch
+  // stops forwarding, emitting datapath events, and answering its control
+  // channel until reboot_switch(). The controller notices only through
+  // heartbeat timeouts — exactly like a real power loss.
+  void crash_switch(topo::NodeId id);
+  // Powers the switch back on with empty tables and revives its links.
+  // No announcement is made: the controller must re-handshake and
+  // reconcile (FlowRuleStore audit) to repopulate it.
+  void reboot_switch(topo::NodeId id);
+  bool switch_up(topo::NodeId id) const noexcept {
+    return !down_switches_.contains(id);
+  }
+
   // ---- link observability ----
   // dir 0 = a->b, dir 1 = b->a.
   const LinkDirStats& link_stats(topo::LinkId id, int dir) const;
@@ -165,6 +180,7 @@ class SimNetwork {
   std::unordered_map<topo::NodeId, std::unique_ptr<telemetry::SwitchTelemetry>>
       telemetry_;
   std::unordered_map<topo::NodeId, topo::NodeId> host_edge_switch_;
+  std::unordered_set<topo::NodeId> down_switches_;
   bool telemetry_on_ = false;
   std::uint64_t clock_token_ = 0;
 };

@@ -1,0 +1,563 @@
+// Chaos-path tests: channel pathologies, liveness, reconnect, and
+// flow-state reconciliation on the transactional southbound.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "controller/channel.h"
+#include "controller/controller.h"
+#include "controller/flow_rule_store.h"
+#include "controller/switch_agent.h"
+#include "core/network.h"
+#include "intent/intent_manager.h"
+#include "openflow/codec.h"
+#include "sim/fault_injector.h"
+#include "sim/network.h"
+#include "topo/generators.h"
+
+namespace zen::controller {
+namespace {
+
+sim::SimOptions drop_miss_options() {
+  sim::SimOptions opts;
+  opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+  return opts;
+}
+
+// Fast liveness/retry knobs so chaos tests run in little virtual time.
+Controller::Options fast_options() {
+  Controller::Options opts;
+  opts.echo_interval_s = 0.05;
+  opts.echo_miss_limit = 2;
+  opts.handshake_timeout_s = 0.1;
+  opts.reconnect_backoff_initial_s = 0.05;
+  opts.reconnect_backoff_max_s = 0.2;
+  opts.completion_timeout_s = 0.02;
+  opts.completion_max_attempts = 4;
+  return opts;
+}
+
+openflow::FlowMod simple_mod(std::uint16_t priority, std::uint64_t cookie = 0) {
+  openflow::FlowMod mod;
+  mod.priority = priority;
+  mod.match.l4_dst(priority);
+  mod.instructions = openflow::output_to(1);
+  mod.cookie = cookie;
+  return mod;
+}
+
+// App probe: records lifecycle callbacks.
+struct Probe : App {
+  std::string name() const override { return "probe"; }
+  void on_switch_up(Dpid, const openflow::FeaturesReply&) override { ++ups; }
+  void on_switch_down(Dpid dpid) override {
+    ++downs;
+    last_down = dpid;
+  }
+  void on_error(Dpid, const openflow::Error&) override { ++errors; }
+  int ups = 0;
+  int downs = 0;
+  int errors = 0;
+  Dpid last_down = 0;
+};
+
+// ---- fault injector -------------------------------------------------------
+
+TEST(FaultInjector, ScheduleIsDeterministicPerSeed) {
+  const auto schedule_for = [](std::uint64_t seed) {
+    sim::SimNetwork net(topo::make_leaf_spine(2, 3, 2), drop_miss_options());
+    sim::FaultInjector::Options opts;
+    opts.seed = seed;
+    opts.start_s = 1.0;
+    opts.link_flaps = 3;
+    opts.switch_reboots = 2;
+    sim::FaultInjector injector(net, opts);
+    injector.arm();
+    return injector.schedule();
+  };
+
+  const auto a = schedule_for(42);
+  const auto b = schedule_for(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].target, b[i].target);
+  }
+
+  const auto c = schedule_for(43);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].at != c[i].at || a[i].target != c[i].target;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, AvoidsHostFacingTargets) {
+  sim::SimNetwork net(topo::make_leaf_spine(2, 3, 2), drop_miss_options());
+  sim::FaultInjector::Options opts;
+  opts.seed = 7;
+  opts.link_flaps = 4;
+  opts.switch_reboots = 2;
+  sim::FaultInjector injector(net, opts);
+  injector.arm();
+  EXPECT_GE(injector.link_flaps_scheduled(), 1u);
+  EXPECT_GE(injector.switch_reboots_scheduled(), 1u);
+
+  const auto& topo = net.topology();
+  for (const auto& event : injector.schedule()) {
+    switch (event.kind) {
+      case sim::FaultInjector::Event::Kind::LinkDown:
+      case sim::FaultInjector::Event::Kind::LinkUp: {
+        const topo::Link* link = topo.link(event.target);
+        ASSERT_NE(link, nullptr);
+        EXPECT_FALSE(topo::is_host_id(link->a));
+        EXPECT_FALSE(topo::is_host_id(link->b));
+        break;
+      }
+      case sim::FaultInjector::Event::Kind::SwitchCrash:
+      case sim::FaultInjector::Event::Kind::SwitchReboot:
+        for (const topo::Link* link : topo.links_of(event.target))
+          EXPECT_FALSE(topo::is_host_id(link->other(event.target)));
+        break;
+    }
+  }
+}
+
+// ---- channel pathologies --------------------------------------------------
+
+TEST(ChannelFaults, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+    Channel channel(net.events(), 1e-4);
+    std::uint64_t delivered = 0;
+    channel.set_b_receiver([&](std::vector<std::uint8_t>) { ++delivered; });
+    ChannelFaults faults;
+    faults.loss_prob = 0.3;
+    faults.duplicate_prob = 0.3;
+    faults.extra_delay_max_s = 1e-3;
+    faults.seed = seed;
+    channel.set_faults(faults);
+    for (int i = 0; i < 200; ++i)
+      channel.send_to_b(openflow::encode(
+          openflow::Message{openflow::EchoRequest{}}, 1));
+    net.run_until(1.0);
+    return std::tuple{delivered, channel.messages_lost(),
+                      channel.messages_duplicated()};
+  };
+
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(CumulativeAck, OvertakingBarrierDoesNotFalseAck) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Channel channel(net.events(), 1e-4);
+  SwitchAgent agent(net, 1, channel);
+
+  std::vector<openflow::OwnedMessage> replies;
+  openflow::MessageStream stream;
+  channel.set_a_receiver([&](std::vector<std::uint8_t> bytes) {
+    stream.feed(bytes);
+    while (auto next = stream.next())
+      if (next->ok()) replies.push_back(std::move(next->value()));
+  });
+
+  // The mod (xid 10) is lost or delayed; its chasing barrier (xid 11)
+  // reaches the agent first. The reply's cumulative ack must not cover 10.
+  channel.send_to_b(
+      openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 11));
+  net.run_until(0.01);
+  ASSERT_EQ(replies.size(), 1u);
+  const auto* first = std::get_if<openflow::BarrierReply>(&replies[0].msg);
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(static_cast<std::uint16_t>(first->xid_hwm - 10) < 0x8000);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 0u);
+
+  // The mod lands late; the next barrier's ack covers it.
+  channel.send_to_b(openflow::encode(openflow::Message{simple_mod(5)}, 10));
+  channel.send_to_b(
+      openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 12));
+  net.run_until(0.02);
+  ASSERT_EQ(replies.size(), 2u);
+  const auto* second = std::get_if<openflow::BarrierReply>(&replies[1].msg);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(static_cast<std::uint16_t>(second->xid_hwm - 10) < 0x8000);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+}
+
+TEST(Transactional, DuplicatedFlowModIsIdempotent) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  ChannelFaults faults;
+  faults.duplicate_prob = 1.0;  // every message delivered twice
+  faults.seed = 3;
+  ctrl.set_channel_faults(faults);
+
+  std::optional<std::optional<openflow::Error>> outcome;
+  ctrl.flow_mod(1, simple_mod(9),
+                [&](const std::optional<openflow::Error>& err) {
+                  outcome = err;
+                });
+  net.run_until(0.3);
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->has_value());  // resolved ok
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);  // Add upserts: one entry
+}
+
+TEST(Transactional, LostModTimesOutInsteadOfFalseAcking) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  ChannelFaults faults;
+  faults.loss_prob = 1.0;  // black hole: mod, barrier, retransmits all lost
+  faults.seed = 3;
+  ctrl.set_channel_faults(faults);
+
+  std::optional<std::optional<openflow::Error>> outcome;
+  ctrl.flow_mod(1, simple_mod(9),
+                [&](const std::optional<openflow::Error>& err) {
+                  outcome = err;
+                });
+  net.run_until(1.0);
+
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->has_value());
+  EXPECT_EQ((*outcome)->code, completion_code::kTimedOut);
+  EXPECT_EQ(ctrl.stats().retransmits,
+            static_cast<std::uint64_t>(fast_options().completion_max_attempts -
+                                       1));
+  EXPECT_EQ(ctrl.stats().completions_failed, 1u);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 0u);
+}
+
+TEST(Transactional, RetransmitRecoversAfterTransientLoss) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  ChannelFaults faults;
+  faults.loss_prob = 1.0;
+  faults.seed = 3;
+  ctrl.set_channel_faults(faults);
+
+  std::optional<std::optional<openflow::Error>> outcome;
+  ctrl.flow_mod(1, simple_mod(9),
+                [&](const std::optional<openflow::Error>& err) {
+                  outcome = err;
+                });
+  net.run_until(0.12);  // first attempt lost, retries still pending
+  EXPECT_FALSE(outcome.has_value());
+  ctrl.clear_channel_faults();
+  net.run_until(0.5);
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->has_value());  // a retransmit got through
+  EXPECT_GE(ctrl.stats().retransmits, 1u);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+}
+
+TEST(Transactional, ErrorResolvesCompletionAndReachesApps) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  auto& probe = ctrl.add_app<Probe>();
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  openflow::FlowMod bad = simple_mod(9);
+  bad.table_id = 99;  // invalid table -> switch error
+  std::optional<std::optional<openflow::Error>> outcome;
+  ctrl.flow_mod(1, bad, [&](const std::optional<openflow::Error>& err) {
+    outcome = err;
+  });
+  net.run_until(0.3);
+
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->has_value());
+  EXPECT_NE((*outcome)->code, completion_code::kTimedOut);
+  EXPECT_EQ(probe.errors, 1);
+}
+
+// ---- liveness + reconnect -------------------------------------------------
+
+TEST(Liveness, HeartbeatDeclaresCrashedSwitchDown) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  auto& probe = ctrl.add_app<Probe>();
+  ctrl.connect_all();
+  net.run_until(0.1);
+  ASSERT_TRUE(ctrl.switch_alive(1));
+
+  net.crash_switch(1);
+  net.run_until(0.5);
+
+  EXPECT_FALSE(ctrl.switch_alive(1));
+  EXPECT_EQ(probe.downs, 1);
+  EXPECT_EQ(probe.last_down, 1u);
+  EXPECT_TRUE(ctrl.view().switch_ids().empty());
+  EXPECT_EQ(ctrl.stats().switch_down_events, 1u);
+}
+
+TEST(Liveness, TrackedSendToDownSwitchFailsFast) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  net.run_until(0.1);
+  net.crash_switch(1);
+  net.run_until(0.5);
+  ASSERT_FALSE(ctrl.switch_alive(1));
+
+  std::optional<std::optional<openflow::Error>> outcome;
+  ctrl.flow_mod(1, simple_mod(9),
+                [&](const std::optional<openflow::Error>& err) {
+                  outcome = err;
+                });
+  net.run_until(0.55);
+
+  ASSERT_TRUE(outcome.has_value());
+  ASSERT_TRUE(outcome->has_value());
+  EXPECT_EQ((*outcome)->code, completion_code::kSwitchDown);
+}
+
+TEST(Liveness, RebootReplaysHandshakeAndAuditsRulesBack) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  auto& probe = ctrl.add_app<Probe>();
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  // Intended state recorded in the store, then the switch loses it all.
+  ctrl.rule_store().install(1, simple_mod(9, /*cookie=*/0xc0));
+  net.run_until(0.2);
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 1u);
+
+  net.crash_switch(1);
+  net.run_until(0.7);
+  ASSERT_FALSE(ctrl.switch_alive(1));
+  net.reboot_switch(1);
+  net.run_until(2.0);
+
+  EXPECT_TRUE(ctrl.switch_alive(1));
+  EXPECT_EQ(probe.ups, 2);  // handshake replayed
+  // The reconnect audit reinstalled the wiped rule.
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+  EXPECT_GE(ctrl.rule_store().stats().repairs_installed, 1u);
+}
+
+TEST(Liveness, LostFeaturesReplyIsRetriedNotHung) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  // Black-hole the channel before any handshake reply can come back.
+  ChannelFaults faults;
+  faults.loss_prob = 1.0;
+  faults.seed = 3;
+  ctrl.set_channel_faults(faults);
+  net.run_until(0.5);
+  EXPECT_FALSE(ctrl.switch_alive(1));
+
+  ctrl.clear_channel_faults();
+  net.run_until(1.5);  // backoff retry replays Hello/FeaturesRequest
+  EXPECT_TRUE(ctrl.switch_alive(1));
+  EXPECT_EQ(ctrl.view().switch_ids().size(), 1u);
+}
+
+// ---- flow rule store ------------------------------------------------------
+
+TEST(FlowRuleStore, AuditRepairsSilentWipe) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  // Slow heartbeats: the controller never notices the crash (silent wipe).
+  Controller::Options opts;
+  opts.echo_interval_s = 60;
+  Controller ctrl(net, opts);
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  ctrl.rule_store().install(1, simple_mod(9, 0xc0));
+  ctrl.rule_store().install(1, simple_mod(10, 0xc1));
+  net.run_until(0.2);
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 2u);
+
+  net.crash_switch(1);
+  net.reboot_switch(1);  // tables wiped, controller unaware
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 0u);
+
+  std::optional<AuditReport> report;
+  ctrl.rule_store().audit(1, [&](const AuditReport& r) { report = r; });
+  net.run_until(1.5);
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->converged);
+  EXPECT_EQ(report->repaired, 2u);
+  EXPECT_EQ(report->orphans, 0u);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 2u);
+}
+
+TEST(FlowRuleStore, AuditDeletesManagedOrphans) {
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  net.run_until(0.1);
+
+  ctrl.rule_store().install(1, simple_mod(9, 0xc0));
+  // A stray rule carrying the managed cookie, installed behind the
+  // store's back (e.g. a pre-crash leftover): orphan.
+  ctrl.flow_mod(1, simple_mod(10, 0xc0));
+  // A cookie-0 rule (app plumbing) must be left alone.
+  ctrl.flow_mod(1, simple_mod(11, 0));
+  net.run_until(0.2);
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 3u);
+
+  std::optional<AuditReport> report;
+  ctrl.rule_store().audit(1, [&](const AuditReport& r) { report = r; });
+  net.run_until(1.0);
+
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->converged);
+  EXPECT_EQ(report->repaired, 0u);
+  EXPECT_EQ(report->orphans, 1u);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 2u);
+}
+
+// ---- intent divergence ----------------------------------------------------
+
+TEST(IntentDivergence, EvictedRuleTriggersRecompile) {
+  core::Network::Config cfg;
+  cfg.controller = fast_options();
+  cfg.warmup_s = 1.0;
+  core::Network net(topo::make_linear(2, 1), cfg);
+  net.add_app<apps::Discovery>();
+  auto& intents = net.enable_intents();
+  net.start();
+
+  net.host(0).send_icmp_echo(net.host_ip(1), 1);
+  net.host(1).send_icmp_echo(net.host_ip(0), 1);
+  net.run_for(0.5);
+
+  intent::IntentSpec spec;
+  spec.kind = intent::IntentKind::PointToPoint;
+  spec.src = net.host_ip(0);
+  spec.dst = net.host_ip(1);
+  const auto id = intents.submit(spec);
+  net.run_for(0.5);
+  ASSERT_EQ(intents.state(id), intent::IntentState::Installed);
+  const auto recompiles_before = intents.stats().recompiles;
+
+  // Find the intent's rule on the first-path switch and replay its
+  // eviction (as the agent would after an idle timeout).
+  const auto path = intents.installed_path(id);
+  ASSERT_FALSE(path.empty());
+  const Dpid dpid = path.front();
+  openflow::FlowRemoved removed;
+  bool found = false;
+  for (const auto& entry : net.sim().switch_at(dpid).table(0).entries()) {
+    if (entry->cookie != id) continue;
+    removed.cookie = entry->cookie;
+    removed.priority = entry->priority;
+    removed.table_id = 0;
+    removed.match = entry->match;
+    found = true;
+    break;
+  }
+  ASSERT_TRUE(found);
+
+  // reason=Delete is the manager's own delete echoing back: ignored.
+  removed.reason = openflow::FlowRemovedReason::Delete;
+  intents.on_flow_removed(dpid, removed);
+  EXPECT_EQ(intents.stats().recompiles, recompiles_before);
+
+  // reason=IdleTimeout is silent divergence: recompile reinstalls.
+  removed.reason = openflow::FlowRemovedReason::IdleTimeout;
+  intents.on_flow_removed(dpid, removed);
+  EXPECT_EQ(intents.stats().recompiles, recompiles_before + 1);
+  net.run_for(0.2);
+  EXPECT_EQ(intents.state(id), intent::IntentState::Installed);
+}
+
+// ---- end to end -----------------------------------------------------------
+
+TEST(ChaosStorm, ConvergesAndAuditsCleanAfterSeededStorm) {
+  core::Network::Config cfg;
+  cfg.controller = fast_options();
+  cfg.warmup_s = 1.5;
+  core::Network net(topo::make_leaf_spine(2, 2, 1), cfg);
+  net.add_app<apps::Discovery>();
+  net.add_app<apps::L3Routing>();
+  auto& intents = net.enable_intents();
+  net.start();
+
+  net.host(0).send_icmp_echo(net.host_ip(1), 1);
+  net.host(1).send_icmp_echo(net.host_ip(0), 1);
+  net.run_for(0.5);
+
+  intent::IntentSpec spec;
+  spec.kind = intent::IntentKind::HostToHost;
+  spec.src = net.host_ip(0);
+  spec.dst = net.host_ip(1);
+  const auto id = intents.submit(spec);
+  net.run_for(0.5);
+  ASSERT_EQ(intents.state(id), intent::IntentState::Installed);
+
+  sim::FaultInjector::Options fault_options;
+  fault_options.seed = 5;
+  fault_options.start_s = net.now() + 0.1;
+  fault_options.duration_s = 1.5;
+  fault_options.link_flaps = 2;
+  fault_options.switch_reboots = 1;
+  fault_options.reboot_downtime_min_s = 0.4;
+  fault_options.reboot_downtime_max_s = 0.8;
+  sim::FaultInjector injector(net.sim(), fault_options);
+  injector.arm();
+  ASSERT_GE(injector.link_flaps_scheduled(), 1u);
+  ASSERT_GE(injector.switch_reboots_scheduled(), 1u);
+
+  ChannelFaults faults;
+  faults.loss_prob = 0.05;
+  faults.duplicate_prob = 0.05;
+  faults.extra_delay_max_s = 1e-3;
+  faults.seed = 5;
+  net.controller().set_channel_faults(faults);
+
+  net.run_until(injector.storm_end_s() + 0.1);
+  net.controller().clear_channel_faults();
+  net.run_for(3.0);  // recovery window
+
+  for (const auto dpid : net.generated().switches)
+    EXPECT_TRUE(net.controller().switch_alive(dpid)) << "dpid " << dpid;
+  EXPECT_EQ(intents.state(id), intent::IntentState::Installed);
+
+  // Repair pass mops up any storm-time divergence...
+  bool repaired = false;
+  net.controller().rule_store().audit_all(
+      [&](std::vector<AuditReport> reports) {
+        repaired = true;
+        for (const auto& report : reports) EXPECT_TRUE(report.converged);
+      });
+  net.run_for(3.0);
+  ASSERT_TRUE(repaired);
+
+  // ...so the verification pass must find intended == actual everywhere.
+  bool verified = false;
+  net.controller().rule_store().audit_all(
+      [&](std::vector<AuditReport> reports) {
+        verified = true;
+        EXPECT_FALSE(reports.empty());
+        for (const auto& report : reports) {
+          EXPECT_TRUE(report.converged);
+          EXPECT_EQ(report.repaired, 0u);
+          EXPECT_EQ(report.orphans, 0u);
+        }
+      });
+  net.run_for(3.0);
+  ASSERT_TRUE(verified);
+}
+
+}  // namespace
+}  // namespace zen::controller
