@@ -25,8 +25,8 @@ void StatsMonitor::poll_now() {
   for (const Dpid dpid : controller_->view().switch_ids()) {
     controller_->request_port_stats(
         dpid, openflow::PortStatsRequest{},
-        [this, dpid](const openflow::PortStatsReply& reply) {
-          ingest(dpid, reply, controller_->now());
+        [this, dpid](const openflow::PortStatsReply* reply) {
+          if (reply) ingest(dpid, *reply, controller_->now());
         });
   }
   ++polls_;

@@ -143,18 +143,32 @@ void Controller::declare_switch_down(Dpid dpid) {
                 << " declared down (heartbeat)";
   ZEN_TRACE_INSTANT("switch_down", "controller");
 
-  // Fail every in-flight transaction; drop request state whose callbacks
-  // have no error channel (their senders own their retries).
-  auto pending = std::move(session.pending_completions);
-  session.pending_completions.clear();
-  for (auto& [xid, pc] : pending) {
+  // Fail every in-flight transaction and request: each callback fires
+  // exactly once, with the down-error / null-reply path, in xid order.
+  const auto fail_all = [](auto& pending_map, auto&& fail) {
+    auto pending = std::move(pending_map);
+    pending_map.clear();
+    std::vector<openflow::Xid> xids;
+    for (const auto& [xid, fn] : pending) xids.push_back(xid);
+    std::sort(xids.begin(), xids.end());
+    for (const openflow::Xid xid : xids) fail(pending.at(xid));
+  };
+  fail_all(session.pending_completions, [&](PendingCompletion& pc) {
     ++stats_.completions_failed;
     if (pc.done) pc.done(synthetic_error(completion_code::kSwitchDown));
-  }
-  session.pending_barriers.clear();
-  session.pending_flow_stats.clear();
-  session.pending_port_stats.clear();
-  session.pending_roles.clear();
+  });
+  fail_all(session.pending_barriers, [](BarrierFn& fn) {
+    if (fn) fn(false);
+  });
+  fail_all(session.pending_flow_stats, [](FlowStatsFn& fn) {
+    if (fn) fn(nullptr);
+  });
+  fail_all(session.pending_port_stats, [](PortStatsFn& fn) {
+    if (fn) fn(nullptr);
+  });
+  fail_all(session.pending_roles, [](RoleFn& fn) {
+    if (fn) fn(nullptr);
+  });
 
   view_.remove_switch(dpid);
   for (const auto& app : apps_) app->on_switch_down(dpid);
@@ -187,14 +201,26 @@ void Controller::clear_channel_faults() {
   for (auto& [dpid, session] : sessions_) session.channel->clear_faults();
 }
 
-std::uint16_t Controller::next_xid(Dpid dpid) {
+openflow::Xid Controller::next_xid(Dpid dpid) {
   auto& session = sessions_.at(dpid);
-  if (session.next_xid == 0) session.next_xid = 1;
-  return session.next_xid++;
+  // 32-bit xids don't wrap in any realistic run, but guard reuse anyway:
+  // a collision with a still-pending callback key would silently orphan
+  // that callback. The pending maps are minuscule next to the xid space,
+  // so this loop all but never iterates twice.
+  openflow::Xid xid;
+  do {
+    if (session.next_xid == 0) session.next_xid = 1;
+    xid = session.next_xid++;
+  } while (session.pending_completions.contains(xid) ||
+           session.pending_barriers.contains(xid) ||
+           session.pending_flow_stats.contains(xid) ||
+           session.pending_port_stats.contains(xid) ||
+           session.pending_roles.contains(xid));
+  return xid;
 }
 
 void Controller::send(Dpid dpid, const openflow::Message& msg,
-                      std::uint16_t xid) {
+                      openflow::Xid xid) {
   sessions_.at(dpid).channel->send_to_b(openflow::encode(msg, xid));
 }
 
@@ -216,18 +242,18 @@ openflow::Xid Controller::send_tracked(Dpid dpid, openflow::Message msg,
     });
     return 0;
   }
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   session.pending_completions.emplace(
       xid, PendingCompletion{msg, std::move(done), 1});
   send(dpid, msg, xid);
-  // Chase with a barrier; its cumulative ack (xid_hwm) resolves this and
-  // any earlier still-pending sends.
+  // Chase with a barrier; its per-xid ack set resolves this and any
+  // earlier still-pending sends the agent actually processed.
   send(dpid, openflow::Message{openflow::BarrierRequest{}}, next_xid(dpid));
   arm_completion_timeout(dpid, xid, session.epoch);
   return xid;
 }
 
-void Controller::arm_completion_timeout(Dpid dpid, std::uint16_t xid,
+void Controller::arm_completion_timeout(Dpid dpid, openflow::Xid xid,
                                         std::uint64_t epoch) {
   events().schedule_in(
       options_.completion_timeout_s, [this, dpid, xid, epoch] {
@@ -248,7 +274,7 @@ void Controller::arm_completion_timeout(Dpid dpid, std::uint16_t xid,
         ++pc.attempts;
         ++stats_.retransmits;
         CtrlMetrics::get().retransmits.inc();
-        const std::uint16_t new_xid = next_xid(dpid);
+        const openflow::Xid new_xid = next_xid(dpid);
         send(dpid, pc.msg, new_xid);
         send(dpid, openflow::Message{openflow::BarrierRequest{}},
              next_xid(dpid));
@@ -257,7 +283,7 @@ void Controller::arm_completion_timeout(Dpid dpid, std::uint16_t xid,
       });
 }
 
-void Controller::resolve_completion(Dpid dpid, std::uint16_t xid,
+void Controller::resolve_completion(Dpid dpid, openflow::Xid xid,
                                     std::optional<openflow::Error> error) {
   auto& session = sessions_.at(dpid);
   const auto it = session.pending_completions.find(xid);
@@ -268,15 +294,17 @@ void Controller::resolve_completion(Dpid dpid, std::uint16_t xid,
   if (pc.done) pc.done(error);
 }
 
-void Controller::resolve_completions_acked_by(Dpid dpid,
-                                              std::uint16_t xid_hwm) {
+void Controller::resolve_completions_acked_by(
+    Dpid dpid, const std::vector<std::uint32_t>& acked) {
+  // Resolve only exact xid matches: an ack names a mod the agent really
+  // processed, so a lost mod can never be vouched for by a later one.
   auto& session = sessions_.at(dpid);
-  std::vector<std::uint16_t> acked;
-  for (const auto& [xid, pc] : session.pending_completions)
-    if (static_cast<std::uint16_t>(xid_hwm - xid) < 0x8000)
-      acked.push_back(xid);
-  std::sort(acked.begin(), acked.end());  // deterministic callback order
-  for (const std::uint16_t xid : acked)
+  std::vector<openflow::Xid> hits;
+  for (const openflow::Xid xid : acked)
+    if (session.pending_completions.contains(xid)) hits.push_back(xid);
+  std::sort(hits.begin(), hits.end());  // deterministic callback order
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+  for (const openflow::Xid xid : hits)
     resolve_completion(dpid, xid, std::nullopt);
 }
 
@@ -285,7 +313,7 @@ openflow::Xid Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod,
   ++stats_.flow_mods_sent;
   CtrlMetrics::get().flow_mods.inc();
   if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   send(dpid, openflow::Message{mod}, xid);
   return xid;
 }
@@ -294,7 +322,7 @@ openflow::Xid Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod,
                                     CompletionFn done) {
   ++stats_.group_mods_sent;
   if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   send(dpid, openflow::Message{mod}, xid);
   return xid;
 }
@@ -303,7 +331,7 @@ openflow::Xid Controller::meter_mod(Dpid dpid, const openflow::MeterMod& mod,
                                     CompletionFn done) {
   ++stats_.meter_mods_sent;
   if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   send(dpid, openflow::Message{mod}, xid);
   return xid;
 }
@@ -313,13 +341,13 @@ openflow::Xid Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg,
   ++stats_.packet_outs_sent;
   CtrlMetrics::get().packet_outs.inc();
   if (done) return send_tracked(dpid, openflow::Message{msg}, std::move(done));
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   send(dpid, openflow::Message{msg}, xid);
   return xid;
 }
 
 void Controller::barrier(Dpid dpid, BarrierFn done) {
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   sessions_.at(dpid).pending_barriers[xid] = std::move(done);
   send(dpid, openflow::Message{openflow::BarrierRequest{}}, xid);
 }
@@ -327,7 +355,7 @@ void Controller::barrier(Dpid dpid, BarrierFn done) {
 void Controller::request_flow_stats(Dpid dpid,
                                     const openflow::FlowStatsRequest& req,
                                     FlowStatsFn done) {
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   sessions_.at(dpid).pending_flow_stats[xid] = std::move(done);
   send(dpid, openflow::Message{req}, xid);
 }
@@ -335,14 +363,14 @@ void Controller::request_flow_stats(Dpid dpid,
 void Controller::request_port_stats(Dpid dpid,
                                     const openflow::PortStatsRequest& req,
                                     PortStatsFn done) {
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   sessions_.at(dpid).pending_port_stats[xid] = std::move(done);
   send(dpid, openflow::Message{req}, xid);
 }
 
 void Controller::request_role(Dpid dpid, openflow::ControllerRole role,
                               std::uint64_t generation_id, RoleFn done) {
-  const std::uint16_t xid = next_xid(dpid);
+  const openflow::Xid xid = next_xid(dpid);
   if (done) sessions_.at(dpid).pending_roles[xid] = std::move(done);
   openflow::RoleRequest req;
   req.role = role;
@@ -470,29 +498,29 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
         } else if constexpr (std::is_same_v<T, openflow::Experimenter>) {
           for (const auto& app : apps_) app->on_experimenter(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::BarrierReply>) {
-          // The cumulative ack resolves every tracked send the agent had
+          // The ack set resolves every tracked send the agent had
           // processed by this barrier — including ones whose own barrier
           // reply was lost.
-          resolve_completions_acked_by(dpid, msg.xid_hwm);
+          resolve_completions_acked_by(dpid, msg.acked);
           const auto it = session.pending_barriers.find(owned.xid);
           if (it != session.pending_barriers.end()) {
             auto fn = std::move(it->second);
             session.pending_barriers.erase(it);
-            if (fn) fn();
+            if (fn) fn(true);
           }
         } else if constexpr (std::is_same_v<T, openflow::FlowStatsReply>) {
           const auto it = session.pending_flow_stats.find(owned.xid);
           if (it != session.pending_flow_stats.end()) {
             auto fn = std::move(it->second);
             session.pending_flow_stats.erase(it);
-            if (fn) fn(msg);
+            if (fn) fn(&msg);
           }
         } else if constexpr (std::is_same_v<T, openflow::PortStatsReply>) {
           const auto it = session.pending_port_stats.find(owned.xid);
           if (it != session.pending_port_stats.end()) {
             auto fn = std::move(it->second);
             session.pending_port_stats.erase(it);
-            if (fn) fn(msg);
+            if (fn) fn(&msg);
           }
         } else if constexpr (std::is_same_v<T, openflow::RoleReply>) {
           if (msg.accepted) session.granted_role = msg.role;
@@ -500,7 +528,7 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
           if (it != session.pending_roles.end()) {
             auto fn = std::move(it->second);
             session.pending_roles.erase(it);
-            if (fn) fn(msg);
+            if (fn) fn(&msg);
           }
         } else if constexpr (std::is_same_v<T, openflow::ErrorMsg>) {
           ++stats_.errors_received;
@@ -515,6 +543,17 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
         } else if constexpr (std::is_same_v<T, openflow::EchoReply>) {
           session.echo_outstanding = false;
           session.echo_misses = 0;
+          // A reboot shorter than the heartbeat-miss window never misses
+          // an echo, but it does change the boot epoch: the tables are
+          // empty while the controller still believes them full. Tear the
+          // session down so the reconnect path re-handshakes and audits.
+          if (session.alive && session.boot_id != 0 &&
+              msg.boot_id != session.boot_id) {
+            ZEN_LOG(Warn) << "controller: switch " << dpid
+                          << " rebooted behind our back (boot "
+                          << session.boot_id << " -> " << msg.boot_id << ")";
+            declare_switch_down(dpid);
+          }
         }
       },
       owned.msg);
@@ -535,7 +574,20 @@ void Controller::handle_features_reply(Dpid dpid, Session& session,
   session.echo_misses = 0;
   session.echo_outstanding = false;
   session.backoff_s = options_.reconnect_backoff_initial_s;
+  session.boot_id = msg.boot_id;
   ++session.epoch;  // retire handshake-retry timers; start a fresh life
+  // Tracked sends issued before the handshake finished armed their
+  // timeouts under the old epoch, which the bump just disarmed; re-arm
+  // them under the new one or a lost pre-handshake mod would neither
+  // retry nor fail — its callback would simply never fire.
+  {
+    std::vector<openflow::Xid> surviving;
+    for (const auto& [xid, pc] : session.pending_completions)
+      surviving.push_back(xid);
+    std::sort(surviving.begin(), surviving.end());
+    for (const openflow::Xid xid : surviving)
+      arm_completion_timeout(dpid, xid, session.epoch);
+  }
   view_.add_switch(dpid, msg);
   if (reconnect) {
     ZEN_LOG(Info) << "controller: switch " << dpid << " reconnected";

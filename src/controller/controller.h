@@ -110,7 +110,7 @@ class Controller {
 
     // ---- transactional southbound ----
     // A tracked send (one with a completion callback) is followed by a
-    // barrier; if neither the barrier's cumulative ack nor an error
+    // barrier; if neither a barrier ack of the send's xid nor an error
     // arrives within the timeout it is re-sent under a fresh xid, up to
     // max_attempts, then failed with a synthetic timeout error.
     double completion_timeout_s = 0.02;
@@ -163,21 +163,27 @@ class Controller {
   openflow::Xid packet_out(Dpid dpid, const openflow::PacketOut& msg,
                            CompletionFn done = nullptr);
 
-  using BarrierFn = std::function<void()>;
+  // Barrier/stats/role callbacks have an error path: when the switch is
+  // declared down before the reply arrives they fire with ok=false
+  // (respectively a null reply) instead of silently never firing.
+  using BarrierFn = std::function<void(bool ok)>;
   void barrier(Dpid dpid, BarrierFn done);
 
-  using FlowStatsFn = std::function<void(const openflow::FlowStatsReply&)>;
+  // The reply pointer is null when the switch died before answering; it
+  // is only valid for the duration of the callback.
+  using FlowStatsFn = std::function<void(const openflow::FlowStatsReply*)>;
   void request_flow_stats(Dpid dpid, const openflow::FlowStatsRequest& req,
                           FlowStatsFn done);
-  using PortStatsFn = std::function<void(const openflow::PortStatsReply&)>;
+  using PortStatsFn = std::function<void(const openflow::PortStatsReply*)>;
   void request_port_stats(Dpid dpid, const openflow::PortStatsRequest& req,
                           PortStatsFn done);
 
   // ---- multi-controller roles ----
   // Requests a role on one switch. `done` receives the switch's reply
-  // (granted role + accepted flag). Master requests use a generation id;
-  // pass a value larger than any previous master's to win the election.
-  using RoleFn = std::function<void(const openflow::RoleReply&)>;
+  // (granted role + accepted flag), or null if the switch was declared
+  // down before answering. Master requests use a generation id; pass a
+  // value larger than any previous master's to win the election.
+  using RoleFn = std::function<void(const openflow::RoleReply*)>;
   void request_role(Dpid dpid, openflow::ControllerRole role,
                     std::uint64_t generation_id, RoleFn done = nullptr);
   // Convenience: request a role on every connected switch.
@@ -228,7 +234,7 @@ class Controller {
     std::unique_ptr<Channel> channel;
     std::unique_ptr<SwitchAgent> agent;
     openflow::MessageStream stream;
-    std::uint16_t next_xid = 1;
+    openflow::Xid next_xid = 1;
     bool features_known = false;
     // Liveness: alive flips true on FeaturesReply, false when heartbeats
     // declare the switch dead. ever_up distinguishes "still handshaking"
@@ -236,19 +242,23 @@ class Controller {
     bool alive = false;
     bool ever_up = false;
     std::uint64_t epoch = 0;
+    // Switch boot epoch from the last FeaturesReply; an EchoReply carrying
+    // a different one means the switch crash/rebooted faster than the
+    // heartbeat-miss window could notice — torn down and re-audited.
+    std::uint64_t boot_id = 0;
     int echo_misses = 0;
     bool echo_outstanding = false;
     double backoff_s = 0;
-    std::unordered_map<std::uint16_t, PendingCompletion> pending_completions;
-    std::unordered_map<std::uint16_t, BarrierFn> pending_barriers;
-    std::unordered_map<std::uint16_t, FlowStatsFn> pending_flow_stats;
-    std::unordered_map<std::uint16_t, PortStatsFn> pending_port_stats;
-    std::unordered_map<std::uint16_t, RoleFn> pending_roles;
+    std::unordered_map<openflow::Xid, PendingCompletion> pending_completions;
+    std::unordered_map<openflow::Xid, BarrierFn> pending_barriers;
+    std::unordered_map<openflow::Xid, FlowStatsFn> pending_flow_stats;
+    std::unordered_map<openflow::Xid, PortStatsFn> pending_port_stats;
+    std::unordered_map<openflow::Xid, RoleFn> pending_roles;
     openflow::ControllerRole granted_role = openflow::ControllerRole::Equal;
   };
 
-  void send(Dpid dpid, const openflow::Message& msg, std::uint16_t xid);
-  std::uint16_t next_xid(Dpid dpid);
+  void send(Dpid dpid, const openflow::Message& msg, openflow::Xid xid);
+  openflow::Xid next_xid(Dpid dpid);
   void register_app_metrics(const App& app);
   void on_wire(Dpid dpid, std::vector<std::uint8_t> bytes);
   void dispatch(Dpid dpid, openflow::OwnedMessage owned);
@@ -260,11 +270,12 @@ class Controller {
   // Transactional sends.
   openflow::Xid send_tracked(Dpid dpid, openflow::Message msg,
                              CompletionFn done);
-  void arm_completion_timeout(Dpid dpid, std::uint16_t xid,
+  void arm_completion_timeout(Dpid dpid, openflow::Xid xid,
                               std::uint64_t epoch);
-  void resolve_completion(Dpid dpid, std::uint16_t xid,
+  void resolve_completion(Dpid dpid, openflow::Xid xid,
                           std::optional<openflow::Error> error);
-  void resolve_completions_acked_by(Dpid dpid, std::uint16_t xid_hwm);
+  void resolve_completions_acked_by(Dpid dpid,
+                                    const std::vector<std::uint32_t>& acked);
   // Liveness.
   void start_handshake(Dpid dpid);
   void schedule_echo(Dpid dpid, std::uint64_t epoch);

@@ -162,10 +162,13 @@ void FlowRuleStore::run_round(Dpid dpid) {
   // Default request: every table, wildcard match — the full actual state.
   controller_.request_flow_stats(
       dpid, openflow::FlowStatsRequest{},
-      [this, dpid, serial](const openflow::FlowStatsReply& reply) {
+      [this, dpid, serial](const openflow::FlowStatsReply* reply) {
+        // A null reply means the switch died mid-request; the next
+        // round's alive check (after the round timeout) settles the audit.
+        if (!reply) return;
         const auto it = audits_.find(dpid);
         if (it == audits_.end() || it->second.round_serial != serial) return;
-        reconcile(dpid, reply);
+        reconcile(dpid, *reply);
       });
   // The stats exchange itself can be lost on a faulty channel: retry the
   // round if no reply claimed this serial in time.

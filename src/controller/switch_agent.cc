@@ -27,11 +27,11 @@ openflow::ControllerRole SwitchAgent::role() const {
   return net_.switch_at(dpid_).controller_role(conn_id_);
 }
 
-void SwitchAgent::reply(const openflow::Message& msg, std::uint16_t xid) {
+void SwitchAgent::reply(const openflow::Message& msg, openflow::Xid xid) {
   channel_.send_to_a(openflow::encode(msg, xid));
 }
 
-void SwitchAgent::send_error(std::uint16_t xid, openflow::ErrorType type,
+void SwitchAgent::send_error(openflow::Xid xid, openflow::ErrorType type,
                              std::uint16_t code) {
   openflow::ErrorMsg err;
   err.type = type;
@@ -78,7 +78,23 @@ void SwitchAgent::on_wire(std::vector<std::uint8_t> bytes) {
 void SwitchAgent::handle(openflow::OwnedMessage owned) {
   using namespace openflow;
   auto& sw = net_.switch_at(dpid_);
-  const std::uint16_t xid = owned.xid;
+  const openflow::Xid xid = owned.xid;
+
+  // A power cycle wiped every rule the recorded acks vouch for: a barrier
+  // after reboot must not ack pre-crash mods, or the controller would
+  // believe rules survive that the crash erased.
+  if (sw.boot_count() != last_boot_id_) {
+    acked_mods_.clear();
+    last_boot_id_ = sw.boot_count();
+  }
+
+  // Ack only state that actually changed: rejected mods resolve through
+  // their Error, never through a barrier ack (a lost Error then leads to
+  // a retransmit, not a false success).
+  const auto ack_mod = [&] {
+    if (acked_mods_.size() >= kMaxAckedMods) acked_mods_.pop_front();
+    acked_mods_.push_back(xid);
+  };
 
   // Role enforcement: a slave connection may not modify state.
   const bool is_slave = role() == ControllerRole::Slave;
@@ -88,12 +104,6 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, FlowMod> || std::is_same_v<T, GroupMod> ||
                       std::is_same_v<T, MeterMod> || std::is_same_v<T, PacketOut>) {
-          // Cumulative ack: serial-number compare so the hwm survives xid
-          // wrap-around. Only state-modifying messages advance it — a
-          // barrier's own xid must not, or a barrier overtaking a lost mod
-          // would ack the mod it overtook.
-          if (static_cast<std::uint16_t>(xid - xid_hwm_) < 0x8000)
-            xid_hwm_ = xid;
           if (is_slave) {
             send_error(xid, ErrorType::BadRequest, /*kIsSlave*/ 9);
             return;
@@ -102,7 +112,7 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
         if constexpr (std::is_same_v<T, Hello>) {
           reply(Message{Hello{}}, xid);
         } else if constexpr (std::is_same_v<T, EchoRequest>) {
-          reply(Message{EchoReply{std::move(msg.data)}}, xid);
+          reply(Message{EchoReply{std::move(msg.data), sw.boot_count()}}, xid);
         } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
           reply(Message{sw.features()}, xid);
         } else if constexpr (std::is_same_v<T, FlowMod>) {
@@ -120,20 +130,23 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
             }
           }
           const auto status = net_.flow_mod(dpid_, msg);
-          if (!status.ok)
-            send_error(xid, status.error_type, status.error_code);
+          if (status.ok) ack_mod();
+          else send_error(xid, status.error_type, status.error_code);
         } else if constexpr (std::is_same_v<T, GroupMod>) {
           const auto status = net_.group_mod(dpid_, msg);
-          if (!status.ok)
-            send_error(xid, status.error_type, status.error_code);
+          if (status.ok) ack_mod();
+          else send_error(xid, status.error_type, status.error_code);
         } else if constexpr (std::is_same_v<T, MeterMod>) {
           const auto status = net_.meter_mod(dpid_, msg);
-          if (!status.ok)
-            send_error(xid, status.error_type, status.error_code);
+          if (status.ok) ack_mod();
+          else send_error(xid, status.error_type, status.error_code);
         } else if constexpr (std::is_same_v<T, PacketOut>) {
           net_.packet_out(dpid_, msg);
+          ack_mod();
         } else if constexpr (std::is_same_v<T, BarrierRequest>) {
-          reply(Message{BarrierReply{xid_hwm_}}, xid);
+          reply(Message{BarrierReply{
+                    {acked_mods_.begin(), acked_mods_.end()}}},
+                xid);
         } else if constexpr (std::is_same_v<T, FlowStatsRequest>) {
           reply(Message{sw.flow_stats(msg, net_.now())}, xid);
         } else if constexpr (std::is_same_v<T, PortStatsRequest>) {

@@ -26,20 +26,29 @@ class SwitchAgent {
 
   topo::NodeId dpid() const noexcept { return dpid_; }
 
-  // Highest controller xid of a state-modifying message (FlowMod / GroupMod
-  // / MeterMod / PacketOut) this agent has processed, in serial-number
-  // arithmetic. Echoed in every BarrierReply as the cumulative ack: a
-  // barrier that overtakes a lost mod carries a hwm below the mod's xid,
-  // so the controller re-sends instead of false-acking.
-  openflow::Xid xid_hwm() const noexcept { return xid_hwm_; }
+  // Controller xids of state-modifying messages (FlowMod / GroupMod /
+  // MeterMod / PacketOut) this agent successfully processed, oldest
+  // first. Echoed in every BarrierReply as an explicit per-xid ack: a
+  // barrier that overtakes a lost mod replies without the mod's xid, so
+  // the controller re-sends instead of false-acking — and a delivered
+  // later mod can never vouch for an earlier lost one (which a high-water
+  // mark would). Bounded at kMaxAckedMods: an entry aged out while its
+  // completion was still pending is recovered by the controller's
+  // retransmit (fresh xid). Rejected mods (slave connection, dataplane
+  // error) are *not* acked; their Error is the resolution.
+  const std::deque<openflow::Xid>& acked_mods() const noexcept {
+    return acked_mods_;
+  }
+
+  static constexpr std::size_t kMaxAckedMods = 1024;
 
  private:
   openflow::ControllerRole role() const;
 
   void on_wire(std::vector<std::uint8_t> bytes);
   void handle(openflow::OwnedMessage owned);
-  void reply(const openflow::Message& msg, std::uint16_t xid);
-  void send_error(std::uint16_t xid, openflow::ErrorType type,
+  void reply(const openflow::Message& msg, openflow::Xid xid);
+  void send_error(openflow::Xid xid, openflow::ErrorType type,
                   std::uint16_t code);
 
   sim::SimNetwork& net_;
@@ -47,8 +56,11 @@ class SwitchAgent {
   Channel& channel_;
   std::uint64_t conn_id_;
   openflow::MessageStream stream_;
-  std::uint16_t next_xid_ = 1;
-  openflow::Xid xid_hwm_ = 0;
+  openflow::Xid next_xid_ = 1;
+  std::deque<openflow::Xid> acked_mods_;
+  // Switch boot count last observed; a change means the datapath power-
+  // cycled, so every recorded ack refers to wiped state and must go.
+  std::uint64_t last_boot_id_ = 0;
 
   // Virtual send times of buffered PacketIns awaiting a FlowMod answer,
   // correlated by buffer_id (reactive apps echo the punt's buffer_id in

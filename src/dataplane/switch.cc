@@ -569,6 +569,7 @@ openflow::FeaturesReply Switch::features() const {
   reply.datapath_id = dpid_;
   reply.n_buffers = static_cast<std::uint32_t>(buffered_.size());
   reply.n_tables = static_cast<std::uint8_t>(tables_.size());
+  reply.boot_id = boot_count_;
   reply.ports = ports();
   return reply;
 }
@@ -634,6 +635,7 @@ void Switch::reset() {
   generation_seen_ = false;
   last_generation_ = 0;
   ++version_;
+  ++boot_count_;
 }
 
 std::vector<openflow::FlowRemoved> Switch::expire_flows(double now) {

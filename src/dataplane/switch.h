@@ -146,6 +146,10 @@ class Switch {
   std::uint8_t table_count() const noexcept {
     return static_cast<std::uint8_t>(tables_.size());
   }
+  // Monotonic power-cycle counter: starts at 1, bumped by every reset().
+  // Carried in FeaturesReply/EchoReply so the controller can spot a
+  // crash/reboot cycle even when it fit inside the heartbeat window.
+  std::uint64_t boot_count() const noexcept { return boot_count_; }
   const MegaflowCache& cache() const noexcept { return cache_; }
   std::uint64_t packet_in_suppressed() const noexcept {
     return packet_in_suppressed_;
@@ -191,6 +195,7 @@ class Switch {
   std::map<std::uint32_t, PortState> ports_;
   // Bumped on every rule-affecting change; versions the megaflow cache.
   std::uint64_t version_ = 1;
+  std::uint64_t boot_count_ = 1;
 
   // PacketIn buffer ring.
   std::vector<net::Bytes> buffered_;

@@ -7,7 +7,7 @@
 
 namespace zen::openflow {
 
-Bytes encode(const Message& msg, std::uint16_t xid) {
+Bytes encode(const Message& msg, Xid xid) {
   Bytes out;
   out.reserve(64);
   util::ByteWriter w(out);
@@ -15,7 +15,7 @@ Bytes encode(const Message& msg, std::uint16_t xid) {
   w.u8(static_cast<std::uint8_t>(type_of(msg)));
   const std::size_t len_offset = w.size();
   w.u32(0);  // length placeholder
-  w.u16(xid);
+  w.u32(xid);
   encode_body(msg, w);
   // Patch the 32-bit length (ByteWriter::patch_u16 patches 16 bits; message
   // sizes here always fit, but write both halves for correctness).
@@ -32,7 +32,7 @@ util::Result<OwnedMessage> decode(std::span<const std::uint8_t> frame) {
   const std::uint8_t version = r.u8();
   const auto type = static_cast<MsgType>(r.u8());
   const std::uint32_t length = r.u32();
-  const std::uint16_t xid = r.u16();
+  const Xid xid = r.u32();
   if (!r.ok()) return util::make_error<OwnedMessage>("truncated header");
   if (version != kProtocolVersion)
     return util::make_error<OwnedMessage>(

@@ -4,7 +4,7 @@
 //   u8  version   (kProtocolVersion)
 //   u8  type      (MsgType)
 //   u32 length    (header + body, bytes)
-//   u16 xid       (transaction id, echoed in replies)
+//   u32 xid       (transaction id, echoed in replies)
 //   ... body
 //
 // MessageStream accumulates bytes from a byte-stream transport and yields
@@ -24,7 +24,7 @@ namespace zen::openflow {
 
 // Transaction id: assigned per southbound send, echoed in replies/errors so
 // callers can correlate outcomes (see Controller's completion callbacks).
-using Xid = std::uint16_t;
+using Xid = std::uint32_t;
 
 struct OwnedMessage {
   Xid xid = 0;

@@ -117,9 +117,11 @@ void encode_body(const Message& msg, util::ByteWriter& w) {
           w.u16(static_cast<std::uint16_t>(m.type));
           w.u16(m.code);
           encode_bytes_field(m.data, w);
-        } else if constexpr (std::is_same_v<T, EchoRequest> ||
-                             std::is_same_v<T, EchoReply>) {
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
           encode_bytes_field(m.data, w);
+        } else if constexpr (std::is_same_v<T, EchoReply>) {
+          encode_bytes_field(m.data, w);
+          w.u64(m.boot_id);
         } else if constexpr (std::is_same_v<T, Experimenter>) {
           w.u32(m.experimenter_id);
           w.u32(m.exp_type);
@@ -129,11 +131,13 @@ void encode_body(const Message& msg, util::ByteWriter& w) {
                              std::is_same_v<T, TableStatsRequest>) {
           // empty body
         } else if constexpr (std::is_same_v<T, BarrierReply>) {
-          w.u16(m.xid_hwm);
+          w.u16(static_cast<std::uint16_t>(m.acked.size()));
+          for (const std::uint32_t xid : m.acked) w.u32(xid);
         } else if constexpr (std::is_same_v<T, FeaturesReply>) {
           w.u64(m.datapath_id);
           w.u32(m.n_buffers);
           w.u8(m.n_tables);
+          w.u64(m.boot_id);
           w.u16(static_cast<std::uint16_t>(m.ports.size()));
           for (const auto& p : m.ports) encode_port_desc(p, w);
         } else if constexpr (std::is_same_v<T, FlowMod>) {
@@ -265,6 +269,7 @@ util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
     case MsgType::EchoReply: {
       EchoReply m;
       m.data = decode_bytes_field(r);
+      m.boot_id = r.u64();
       if (!r.ok()) return fail("truncated");
       return Message{std::move(m)};
     }
@@ -283,6 +288,7 @@ util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
       m.datapath_id = r.u64();
       m.n_buffers = r.u32();
       m.n_tables = r.u8();
+      m.boot_id = r.u64();
       const std::uint16_t n = r.u16();
       for (std::uint16_t i = 0; i < n && r.ok(); ++i)
         m.ports.push_back(decode_port_desc(r));
@@ -384,7 +390,8 @@ util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
       return Message{BarrierRequest{}};
     case MsgType::BarrierReply: {
       BarrierReply m;
-      m.xid_hwm = r.u16();
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i) m.acked.push_back(r.u32());
       if (!r.ok()) return fail("truncated");
       return Message{m};
     }

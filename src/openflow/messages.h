@@ -1,7 +1,7 @@
 // Southbound protocol messages.
 //
 // Each message is a value struct with encode_body/decode_body; the codec
-// (codec.h) adds the common 8-byte header and stream framing. Message is
+// (codec.h) adds the common header and stream framing. Message is
 // the closed variant the control plane and switch agent dispatch on.
 #pragma once
 
@@ -41,6 +41,10 @@ struct EchoRequest {
 
 struct EchoReply {
   Bytes data;
+  // Datapath boot epoch (dataplane::Switch::boot_count): bumped by every
+  // power cycle, so the controller can detect a crash/reboot that was
+  // shorter than the heartbeat-miss window and still re-audit.
+  std::uint64_t boot_id = 0;
   friend bool operator==(const EchoReply&, const EchoReply&) = default;
 };
 
@@ -71,6 +75,8 @@ struct FeaturesReply {
   std::uint64_t datapath_id = 0;
   std::uint32_t n_buffers = 256;
   std::uint8_t n_tables = 4;
+  // Datapath boot epoch at handshake time (see EchoReply::boot_id).
+  std::uint64_t boot_id = 0;
   std::vector<PortDesc> ports;
   friend bool operator==(const FeaturesReply&, const FeaturesReply&) = default;
 };
@@ -156,11 +162,14 @@ struct BarrierRequest {
 };
 
 struct BarrierReply {
-  // Cumulative ack: highest controller xid the switch agent had processed
-  // when it answered the barrier. On a lossy or reordering channel this is
-  // what lets the controller distinguish "mod applied" from "barrier
-  // overtook (or outlived) the mod" — a plain BarrierReply would false-ack.
-  std::uint16_t xid_hwm = 0;
+  // Per-xid ack: the controller xids of state-modifying messages the
+  // switch agent successfully processed, oldest first (a bounded recent
+  // window, see SwitchAgent::kMaxAckedMods). On a lossy or reordering
+  // channel this is what lets the controller distinguish "mod applied"
+  // from "barrier overtook (or outlived) the mod" — and, unlike a
+  // high-water mark, a delivered later mod can never vouch for an
+  // earlier lost one.
+  std::vector<std::uint32_t> acked;
   friend bool operator==(const BarrierReply&, const BarrierReply&) = default;
 };
 

@@ -2,6 +2,7 @@
 // flow-state reconciliation on the transactional southbound.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -150,7 +151,12 @@ TEST(ChannelFaults, DeterministicPerSeed) {
   EXPECT_NE(run(9), run(10));
 }
 
-TEST(CumulativeAck, OvertakingBarrierDoesNotFalseAck) {
+bool acks(const openflow::BarrierReply& reply, std::uint32_t xid) {
+  return std::find(reply.acked.begin(), reply.acked.end(), xid) !=
+         reply.acked.end();
+}
+
+TEST(BarrierAck, OvertakingBarrierDoesNotFalseAck) {
   sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
   Channel channel(net.events(), 1e-4);
   SwitchAgent agent(net, 1, channel);
@@ -164,14 +170,14 @@ TEST(CumulativeAck, OvertakingBarrierDoesNotFalseAck) {
   });
 
   // The mod (xid 10) is lost or delayed; its chasing barrier (xid 11)
-  // reaches the agent first. The reply's cumulative ack must not cover 10.
+  // reaches the agent first. The reply's ack set must not cover 10.
   channel.send_to_b(
       openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 11));
   net.run_until(0.01);
   ASSERT_EQ(replies.size(), 1u);
   const auto* first = std::get_if<openflow::BarrierReply>(&replies[0].msg);
   ASSERT_NE(first, nullptr);
-  EXPECT_FALSE(static_cast<std::uint16_t>(first->xid_hwm - 10) < 0x8000);
+  EXPECT_FALSE(acks(*first, 10));
   EXPECT_EQ(net.switch_at(1).table(0).size(), 0u);
 
   // The mod lands late; the next barrier's ack covers it.
@@ -182,8 +188,97 @@ TEST(CumulativeAck, OvertakingBarrierDoesNotFalseAck) {
   ASSERT_EQ(replies.size(), 2u);
   const auto* second = std::get_if<openflow::BarrierReply>(&replies[1].msg);
   ASSERT_NE(second, nullptr);
-  EXPECT_TRUE(static_cast<std::uint16_t>(second->xid_hwm - 10) < 0x8000);
+  EXPECT_TRUE(acks(*second, 10));
   EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+}
+
+TEST(BarrierAck, DeliveredLaterModDoesNotVouchForEarlierLostMod) {
+  // The scenario a high-water-mark ack gets wrong: tracked mod A (xid 10)
+  // is dropped by the channel, tracked mod B (xid 12) goes through. B's
+  // barrier must ack exactly {12} — an ack covering 10 would tell the
+  // controller A's rule is installed when the switch never saw it.
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Channel channel(net.events(), 1e-4);
+  SwitchAgent agent(net, 1, channel);
+
+  std::vector<openflow::OwnedMessage> replies;
+  openflow::MessageStream stream;
+  channel.set_a_receiver([&](std::vector<std::uint8_t> bytes) {
+    stream.feed(bytes);
+    while (auto next = stream.next())
+      if (next->ok()) replies.push_back(std::move(next->value()));
+  });
+
+  // Mod A (xid 10) never sent — the channel ate it. Mod B + barrier land.
+  channel.send_to_b(openflow::encode(openflow::Message{simple_mod(7)}, 12));
+  channel.send_to_b(
+      openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 13));
+  net.run_until(0.01);
+  ASSERT_EQ(replies.size(), 1u);
+  const auto* reply = std::get_if<openflow::BarrierReply>(&replies[0].msg);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_TRUE(acks(*reply, 12));
+  EXPECT_FALSE(acks(*reply, 10));
+}
+
+TEST(BarrierAck, RejectedModIsNotAcked) {
+  // A mod the dataplane refused resolves through its Error, never through
+  // a barrier ack: if the error is lost, the controller must retransmit,
+  // not conclude success.
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Channel channel(net.events(), 1e-4);
+  SwitchAgent agent(net, 1, channel);
+
+  std::vector<openflow::OwnedMessage> replies;
+  openflow::MessageStream stream;
+  channel.set_a_receiver([&](std::vector<std::uint8_t> bytes) {
+    stream.feed(bytes);
+    while (auto next = stream.next())
+      if (next->ok()) replies.push_back(std::move(next->value()));
+  });
+
+  openflow::FlowMod bad = simple_mod(7);
+  bad.table_id = 99;  // invalid table
+  channel.send_to_b(openflow::encode(openflow::Message{bad}, 20));
+  channel.send_to_b(
+      openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 21));
+  net.run_until(0.01);
+  ASSERT_EQ(replies.size(), 2u);  // ErrorMsg then BarrierReply
+  const auto* reply = std::get_if<openflow::BarrierReply>(&replies[1].msg);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_FALSE(acks(*reply, 20));
+}
+
+TEST(BarrierAck, RebootClearsAcksFromThePreviousBoot) {
+  // Acks vouch for installed state; a power cycle wiped that state, so a
+  // post-reboot barrier must not repeat pre-crash acks.
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Channel channel(net.events(), 1e-4);
+  SwitchAgent agent(net, 1, channel);
+
+  std::vector<openflow::OwnedMessage> replies;
+  openflow::MessageStream stream;
+  channel.set_a_receiver([&](std::vector<std::uint8_t> bytes) {
+    stream.feed(bytes);
+    while (auto next = stream.next())
+      if (next->ok()) replies.push_back(std::move(next->value()));
+  });
+
+  channel.send_to_b(openflow::encode(openflow::Message{simple_mod(5)}, 30));
+  net.run_until(0.01);
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 1u);
+
+  net.crash_switch(1);
+  net.reboot_switch(1);
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 0u);
+
+  channel.send_to_b(
+      openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 31));
+  net.run_until(0.02);
+  ASSERT_EQ(replies.size(), 1u);
+  const auto* reply = std::get_if<openflow::BarrierReply>(&replies[0].msg);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_FALSE(acks(*reply, 30));
 }
 
 TEST(Transactional, DuplicatedFlowModIsIdempotent) {
@@ -260,6 +355,43 @@ TEST(Transactional, RetransmitRecoversAfterTransientLoss) {
 
   ASSERT_TRUE(outcome.has_value());
   EXPECT_FALSE(outcome->has_value());  // a retransmit got through
+  EXPECT_GE(ctrl.stats().retransmits, 1u);
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+}
+
+TEST(Transactional, PreHandshakeTrackedSendSurvivesEpochBump) {
+  // A tracked send issued before the handshake finishes arms its timeout
+  // under the pre-handshake epoch; the FeaturesReply epoch bump must
+  // re-arm it, or a lost pre-handshake mod would neither retry nor fail.
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  // Let the agent put Hello/FeaturesReply on the wire (loss is decided at
+  // send time, so in-flight replies are safe)...
+  net.run_until(1.5e-4);
+  ASSERT_FALSE(ctrl.switch_alive(1));  // handshake still in flight
+
+  // ...then black-hole the channel and issue the tracked send: the mod
+  // and its barrier are lost while the handshake still completes.
+  ChannelFaults faults;
+  faults.loss_prob = 1.0;
+  faults.seed = 3;
+  ctrl.set_channel_faults(faults);
+  std::optional<std::optional<openflow::Error>> outcome;
+  ctrl.flow_mod(1, simple_mod(9),
+                [&](const std::optional<openflow::Error>& err) {
+                  outcome = err;
+                });
+
+  net.run_until(0.01);
+  ASSERT_TRUE(ctrl.switch_alive(1));   // handshake completed (epoch bumped)
+  ASSERT_FALSE(outcome.has_value());   // completion still pending
+  ctrl.clear_channel_faults();
+  net.run_until(1.0);
+
+  // The re-armed timeout retransmitted and the mod landed.
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->has_value());
   EXPECT_GE(ctrl.stats().retransmits, 1u);
   EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
 }
@@ -349,6 +481,64 @@ TEST(Liveness, RebootReplaysHandshakeAndAuditsRulesBack) {
   // The reconnect audit reinstalled the wiped rule.
   EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
   EXPECT_GE(ctrl.rule_store().stats().repairs_installed, 1u);
+}
+
+TEST(Liveness, FastRebootDetectedByBootEpoch) {
+  // A crash + reboot inside one heartbeat interval never misses an echo;
+  // the boot epoch carried in EchoReply is what exposes it. Without that
+  // the controller would keep believing in rules the reboot wiped.
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  auto& probe = ctrl.add_app<Probe>();
+  ctrl.connect_all();
+  net.run_until(0.1);
+  ctrl.rule_store().install(1, simple_mod(9, /*cookie=*/0xc0));
+  net.run_until(0.2);
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 1u);
+
+  net.crash_switch(1);
+  net.reboot_switch(1);  // zero downtime: no echo is ever missed
+  ASSERT_EQ(net.switch_at(1).table(0).size(), 0u);
+
+  net.run_until(2.0);
+  EXPECT_EQ(probe.downs, 1);  // boot-epoch mismatch tore the session down
+  EXPECT_TRUE(ctrl.switch_alive(1));
+  // The reconnect audit reinstalled the wiped rule.
+  EXPECT_EQ(net.switch_at(1).table(0).size(), 1u);
+  EXPECT_GE(ctrl.rule_store().stats().repairs_installed, 1u);
+}
+
+TEST(Liveness, SwitchDownFailsPlainBarrierAndStatsCallbacks) {
+  // barrier()/request_*_stats callers must hear about a dead switch, not
+  // hang forever because the pending maps were silently cleared.
+  sim::SimNetwork net(topo::make_linear(1, 1), drop_miss_options());
+  Controller ctrl(net, fast_options());
+  ctrl.connect_all();
+  net.run_until(0.1);
+  ASSERT_TRUE(ctrl.switch_alive(1));
+
+  net.crash_switch(1);  // requests below reach a silent switch
+  std::optional<bool> barrier_ok;
+  ctrl.barrier(1, [&](bool ok) { barrier_ok = ok; });
+  bool flow_stats_fired = false;
+  const openflow::FlowStatsReply* flow_stats_reply = nullptr;
+  ctrl.request_flow_stats(1, {}, [&](const openflow::FlowStatsReply* r) {
+    flow_stats_fired = true;
+    flow_stats_reply = r;
+  });
+  bool port_stats_fired = false;
+  ctrl.request_port_stats(1, {}, [&](const openflow::PortStatsReply* r) {
+    port_stats_fired = true;
+    EXPECT_EQ(r, nullptr);
+  });
+
+  net.run_until(0.5);  // heartbeat declares the switch down
+  ASSERT_FALSE(ctrl.switch_alive(1));
+  ASSERT_TRUE(barrier_ok.has_value());
+  EXPECT_FALSE(*barrier_ok);
+  EXPECT_TRUE(flow_stats_fired);
+  EXPECT_EQ(flow_stats_reply, nullptr);
+  EXPECT_TRUE(port_stats_fired);
 }
 
 TEST(Liveness, LostFeaturesReplyIsRetriedNotHung) {

@@ -44,7 +44,7 @@ TEST(Handshake, BarrierRoundtrip) {
   net.run_until(0.1);
 
   bool done = false;
-  ctrl.barrier(1, [&] { done = true; });
+  ctrl.barrier(1, [&](bool ok) { done = ok; });
   EXPECT_FALSE(done);  // latency not yet elapsed
   net.run_until(0.2);
   EXPECT_TRUE(done);
@@ -96,7 +96,9 @@ TEST(Handshake, FlowStatsRequestReply) {
   std::optional<openflow::FlowStatsReply> reply;
   ctrl.request_flow_stats(
       1, openflow::FlowStatsRequest{},
-      [&](const openflow::FlowStatsReply& r) { reply = r; });
+      [&](const openflow::FlowStatsReply* r) {
+        if (r) reply = *r;
+      });
   net.run_until(0.3);
   ASSERT_TRUE(reply.has_value());
   ASSERT_EQ(reply->entries.size(), 1u);

@@ -148,7 +148,7 @@ TEST(FuzzCodec, LengthFieldAttacksBounded) {
   openflow::Bytes evil = {openflow::kProtocolVersion,
                           0 /*Hello*/,
                           0x7f, 0xff, 0xff, 0xff,  // length = 2 GiB
-                          0, 1};
+                          0, 0, 0, 1};
   stream.feed(evil);
   auto msg = stream.next();
   ASSERT_TRUE(msg.has_value());

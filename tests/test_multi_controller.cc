@@ -71,8 +71,8 @@ TEST_F(DualControllerFixture, SlaveModificationsRejected) {
 TEST_F(DualControllerFixture, SlaveCanStillReadState) {
   std::optional<openflow::PortStatsReply> reply;
   standby_.request_port_stats(1, openflow::PortStatsRequest{},
-                              [&](const openflow::PortStatsReply& r) {
-                                reply = r;
+                              [&](const openflow::PortStatsReply* r) {
+                                if (r) reply = *r;
                               });
   net_.run_until(2.0);
   ASSERT_TRUE(reply.has_value());
@@ -119,8 +119,8 @@ TEST_F(DualControllerFixture, StaleGenerationRefused) {
   // The old primary tries to re-assert mastership with a stale epoch.
   bool accepted = true;
   primary_.request_role(1, ControllerRole::Master, 1,
-                        [&](const openflow::RoleReply& reply) {
-                          accepted = reply.accepted;
+                        [&](const openflow::RoleReply* reply) {
+                          accepted = reply && reply->accepted;
                         });
   net_.run_until(3.0);
   EXPECT_FALSE(accepted);

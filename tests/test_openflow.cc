@@ -173,7 +173,7 @@ TEST(Instructions, OutputToHelper) {
 // ---- message codec ----
 
 template <typename T>
-void expect_roundtrip(const T& msg, std::uint16_t xid = 0x1234) {
+void expect_roundtrip(const T& msg, Xid xid = 0x12345678) {
   const Bytes wire = encode(Message{msg}, xid);
   auto decoded = decode(wire);
   ASSERT_TRUE(decoded.ok()) << decoded.error();
@@ -196,6 +196,7 @@ TEST(Codec, ErrorRoundtrip) {
 TEST(Codec, EchoRoundtrip) {
   expect_roundtrip(EchoRequest{{9, 9, 9}});
   expect_roundtrip(EchoReply{{}});
+  expect_roundtrip(EchoReply{{1, 2}, /*boot_id=*/7});
 }
 
 TEST(Codec, FeaturesRoundtrip) {
@@ -204,6 +205,7 @@ TEST(Codec, FeaturesRoundtrip) {
   m.datapath_id = 0x1122334455667788ULL;
   m.n_buffers = 512;
   m.n_tables = 8;
+  m.boot_id = 3;
   PortDesc port;
   port.port_no = 4;
   port.hw_addr = MacAddress::from_u64(0xdead);
@@ -296,6 +298,7 @@ TEST(Codec, MeterModRoundtrip) {
 TEST(Codec, BarrierRoundtrip) {
   expect_roundtrip(BarrierRequest{});
   expect_roundtrip(BarrierReply{});
+  expect_roundtrip(BarrierReply{{10, 12, 700}});
 }
 
 TEST(Codec, StatsRoundtrips) {
@@ -388,7 +391,7 @@ TEST(Stream, HandlesManyMessagesInOneFeed) {
 
 TEST(Stream, PoisonsOnCorruptHeader) {
   MessageStream stream;
-  const Bytes junk = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  const Bytes junk(kHeaderSize, 0xff);
   stream.feed(junk);
   auto msg = stream.next();
   ASSERT_TRUE(msg.has_value());
