@@ -1,0 +1,134 @@
+// Table pressure: what a *bounded* flow table costs at the edge.
+//
+// Expected shape: tuple-space lookup is insensitive to occupancy (50% vs
+// 100% of capacity is the same hash work). Inserts diverge sharply at the
+// boundary: with free space they cost a hash insert; into a full table
+// with eviction on, every insert pays the victim scan (O(rules)); with
+// eviction off, rejection is a cheap capacity check. This is the number
+// SWAN-class systems budget against when they bound rule churn.
+#include <benchmark/benchmark.h>
+
+#include "dataplane/switch.h"
+#include "net/headers.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace zen;
+using dataplane::EvictionPolicy;
+using dataplane::FlowTable;
+using dataplane::Switch;
+using dataplane::SwitchConfig;
+
+constexpr std::size_t kCapacity = 4096;
+
+openflow::FlowMod pressure_rule(std::uint32_t seq, std::uint16_t importance) {
+  openflow::FlowMod mod;
+  mod.priority = 10;
+  mod.importance = importance;
+  mod.match.eth_type(net::EtherType::kIpv4)
+      .ipv4_dst(net::Ipv4Address(0x0a000000u + seq), 32);
+  mod.instructions = openflow::output_to(1);
+  return mod;
+}
+
+Switch make_switch(std::size_t capacity, EvictionPolicy policy,
+                   std::size_t fill) {
+  SwitchConfig config;
+  config.table_capacity = capacity;
+  config.eviction = policy;
+  config.default_miss = dataplane::MissBehavior::Drop;
+  config.cache_enabled = false;  // measure the table, not the megaflow cache
+  Switch sw(1, config);
+  openflow::PortDesc port;
+  port.port_no = 1;
+  port.name = "p1";
+  sw.add_port(port);
+  for (std::uint32_t i = 0; i < fill; ++i)
+    sw.flow_mod(pressure_rule(i, 1), 0.0);
+  return sw;
+}
+
+// ---- lookup ns/op at 50% and 100% occupancy ----
+
+void BM_BoundedLookup(benchmark::State& state) {
+  const auto occupancy_pct = static_cast<std::size_t>(state.range(0));
+  const std::size_t fill = kCapacity * occupancy_pct / 100;
+  Switch sw = make_switch(kCapacity, EvictionPolicy::Off, fill);
+  util::Rng rng(13);
+
+  std::vector<net::FlowKey> keys(4096);
+  for (auto& key : keys) {
+    key.eth_type = net::EtherType::kIpv4;
+    key.ipv4_src = static_cast<std::uint32_t>(rng.next_u64());
+    // ~half the keys hit an installed rule, half miss.
+    key.ipv4_dst = 0x0a000000u + static_cast<std::uint32_t>(
+                                     rng.next_below(2 * fill));
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto hit = sw.table(0).lookup(keys[i++ & 4095]);
+    benchmark::DoNotOptimize(hit);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["occupancy_pct"] = static_cast<double>(occupancy_pct);
+  state.counters["rules"] = static_cast<double>(sw.table(0).size());
+}
+BENCHMARK(BM_BoundedLookup)->Arg(50)->Arg(100);
+
+// ---- insert ns/op with free space (50% occupancy held steady) ----
+
+void BM_BoundedInsertFree(benchmark::State& state) {
+  constexpr std::size_t kBatch = 256;
+  const std::size_t fill = kCapacity / 2;
+  Switch sw = make_switch(kCapacity, EvictionPolicy::Off, fill);
+
+  std::uint32_t seq = static_cast<std::uint32_t>(fill);
+  while (state.KeepRunningBatch(kBatch)) {
+    const std::uint32_t base = seq;
+    for (std::size_t i = 0; i < kBatch; ++i)
+      benchmark::DoNotOptimize(sw.flow_mod(pressure_rule(seq++, 1), 0.0).ok);
+    // Restore 50% occupancy off the clock so every timed insert sees the
+    // same table shape.
+    state.PauseTiming();
+    for (std::uint32_t i = 0; i < kBatch; ++i) {
+      openflow::FlowMod del = pressure_rule(base + i, 1);
+      del.command = openflow::FlowModCommand::DeleteStrict;
+      sw.flow_mod(del, 0.0);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["occupancy_pct"] = 50;
+}
+BENCHMARK(BM_BoundedInsertFree);
+
+// ---- insert ns/op into a FULL table, eviction on (pays the victim scan) ----
+
+void BM_BoundedInsertEvict(benchmark::State& state) {
+  Switch sw = make_switch(kCapacity, EvictionPolicy::Importance, kCapacity);
+  // Steady state: the table stays pinned at capacity; every insert evicts
+  // exactly one lower-importance victim.
+  std::uint32_t seq = kCapacity;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sw.flow_mod(pressure_rule(seq++, 2), 0.0).ok);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["occupancy_pct"] = 100;
+  state.counters["evictions"] = static_cast<double>(sw.flow_evictions());
+}
+BENCHMARK(BM_BoundedInsertEvict);
+
+// ---- insert ns/op into a FULL table, eviction off (rejection path) ----
+
+void BM_BoundedInsertReject(benchmark::State& state) {
+  Switch sw = make_switch(kCapacity, EvictionPolicy::Off, kCapacity);
+  std::uint32_t seq = kCapacity;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sw.flow_mod(pressure_rule(seq++, 2), 0.0).ok);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["occupancy_pct"] = 100;
+}
+BENCHMARK(BM_BoundedInsertReject);
+
+}  // namespace

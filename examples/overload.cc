@@ -1,0 +1,292 @@
+// Overload: graceful degradation under resource exhaustion.
+//
+//   $ ./overload [seed]        # default seed 42
+//
+// A leaf-spine fabric with *bounded* flow tables (importance-based
+// eviction, OVS-style vacancy signaling) carries intents while a
+// FaultInjector fills the edge switches with short-lived junk rules
+// (table-pressure storm), then the control channel goes fully dark for
+// long enough that every switch-side agent declares the controller
+// session lost. The run is repeated in both fail modes:
+//
+//   Secure      — tables freeze: established paths keep forwarding, new
+//                 flows blackhole until the controller returns.
+//   Standalone  — a low-priority NORMAL fallback rule keeps *new* flows
+//                 forwarding via L2 learning during the outage, and is
+//                 removed when the session resumes.
+//
+// CI gate: exits 0 only when, in both modes, at least one eviction and
+// one vacancy event fired, established intent paths forwarded through
+// the blackout, new flows blackholed in Secure but NOT in Standalone,
+// and after recovery every intent is Installed again, recompiles stayed
+// bounded (no eviction->recompile storm), and a verification audit of
+// every switch reports intended == actual. Deterministic per seed.
+// Writes metrics.prom and trace.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/zen.h"
+
+using namespace zen;
+
+namespace {
+
+struct ScenarioResult {
+  bool ok = false;
+  std::uint64_t evictions = 0;
+  std::uint64_t vacancy_switches = 0;
+  std::uint64_t intent_path_delivered = 0;
+  std::uint64_t intent_path_sent = 0;
+  std::uint64_t new_flow_delivered = 0;
+  std::uint64_t new_flow_sent = 0;
+  std::uint64_t recompiles = 0;
+  std::uint64_t degraded_transitions = 0;
+};
+
+ScenarioResult run_scenario(std::uint64_t seed, dataplane::FailMode mode) {
+  const char* mode_name =
+      mode == dataplane::FailMode::Secure ? "secure" : "standalone";
+  std::printf("==== scenario: fail-mode %s ====\n", mode_name);
+  ScenarioResult r;
+
+  core::Network::Config cfg;
+  cfg.controller.echo_interval_s = 0.1;
+  cfg.controller.echo_miss_limit = 3;
+  cfg.controller.handshake_timeout_s = 0.2;
+  cfg.controller.reconnect_backoff_initial_s = 0.1;
+  cfg.controller.reconnect_backoff_max_s = 0.8;
+  cfg.controller.completion_timeout_s = 0.05;
+  // Bounded tables with importance eviction and vacancy hysteresis: a
+  // burst of junk can evict other junk (equal importance, LRU tiebreak)
+  // but never a higher-importance intent rule.
+  cfg.sim.switch_config.table_capacity = 48;
+  cfg.sim.switch_config.eviction = dataplane::EvictionPolicy::Importance;
+  cfg.sim.switch_config.vacancy_down_pct = 25;
+  cfg.sim.switch_config.vacancy_up_pct = 50;
+  cfg.sim.switch_config.fail_mode = mode;
+  cfg.sim.switch_config.fail_timeout_s = 0.5;
+  core::Network net(topo::make_leaf_spine(2, 3, 3), cfg);
+  net.add_app<controller::apps::Discovery>();
+  net.add_app<controller::apps::L3Routing>();
+  auto& intents = net.enable_intents();
+  net.start();
+
+  // ---- host discovery ----
+  // Hosts 0..8 on 3 leaves. Intents cover pairs {0,4} {1,5} {2,7};
+  // pair {3,8} stays intent-free — its flows exercise reactive routing
+  // (and the blackout behavior of *new* flows).
+  const std::vector<std::pair<std::size_t, std::size_t>> all_pairs = {
+      {0, 4}, {1, 5}, {2, 7}, {3, 8}};
+  for (const auto& [a, b] : all_pairs) {
+    net.host(a).send_icmp_echo(net.host_ip(b), 1);
+    net.host(b).send_icmp_echo(net.host_ip(a), 1);
+  }
+  net.run_for(1.0);
+  for (const auto& [a, b] : all_pairs) {
+    net.host(a).add_arp_entry(net.host_ip(b), net.host(b).mac());
+    net.host(b).add_arp_entry(net.host_ip(a), net.host(a).mac());
+  }
+
+  // ---- intents: one protected, one best-effort (evictable) ----
+  std::vector<intent::IntentId> ids;
+  {
+    intent::IntentSpec spec;  // protected, high importance
+    spec.kind = intent::IntentKind::ProtectedPointToPoint;
+    spec.src = net.host_ip(0);
+    spec.dst = net.host_ip(4);
+    spec.importance = 200;
+    ids.push_back(intents.submit(spec));
+  }
+  {
+    intent::IntentSpec spec;  // plain, default importance
+    spec.kind = intent::IntentKind::HostToHost;
+    spec.src = net.host_ip(1);
+    spec.dst = net.host_ip(5);
+    ids.push_back(intents.submit(spec));
+  }
+  {
+    intent::IntentSpec spec;  // best-effort: same importance as the junk
+    spec.kind = intent::IntentKind::PointToPoint;  // -> may be evicted,
+    spec.src = net.host_ip(2);                     // must degrade cleanly
+    spec.dst = net.host_ip(7);
+    spec.importance = 0;
+    ids.push_back(intents.submit(spec));
+  }
+  net.run_for(1.0);
+  if (intents.count_in_state(intent::IntentState::Installed) != ids.size()) {
+    std::printf("FATAL: intents not installed before the storm\n");
+    return r;
+  }
+
+  // ---- phase 1: table-pressure storm on the edge switches ----
+  sim::FaultInjector::Options fault_options;
+  fault_options.seed = seed;
+  fault_options.start_s = net.now() + 0.2;
+  fault_options.duration_s = 2.0;
+  fault_options.table_pressure_bursts = 6;
+  fault_options.pressure_rules_per_burst = 40;  // ~capacity per burst
+  fault_options.pressure_lifetime_min_s = 1;
+  fault_options.pressure_lifetime_max_s = 3;
+  sim::FaultInjector injector(net.sim(), fault_options);
+  injector.arm();
+  std::printf("pressure storm: %zu bursts x %d rules against tables of %zu\n",
+              injector.pressure_bursts_scheduled(),
+              fault_options.pressure_rules_per_burst,
+              cfg.sim.switch_config.table_capacity);
+  net.run_until(injector.storm_end_s() + 0.2);
+
+  for (const auto dpid : net.generated().switches) {
+    r.evictions += net.sim().switch_at(dpid).flow_evictions();
+    if (net.controller().view().table_status(dpid) != nullptr)
+      ++r.vacancy_switches;
+  }
+  std::printf("storm result: %llu evictions, vacancy events on %llu "
+              "switches, %llu junk rules installed\n",
+              static_cast<unsigned long long>(r.evictions),
+              static_cast<unsigned long long>(r.vacancy_switches),
+              static_cast<unsigned long long>(injector.pressure_rules_installed()));
+
+  // ---- phase 2: controller blackout ----
+  controller::ChannelFaults blackout;
+  blackout.loss_prob = 1.0;
+  blackout.seed = seed;
+  net.controller().set_channel_faults(blackout);
+  // Long enough for every agent to pass fail_timeout_s of silence.
+  net.run_for(1.5);
+
+  std::size_t lost = 0, standalone = 0;
+  for (const auto dpid : net.generated().switches) {
+    const controller::SwitchAgent* agent = net.controller().agent(dpid);
+    if (agent && agent->controller_session_lost()) ++lost;
+    if (agent && agent->standalone_active()) ++standalone;
+  }
+  std::printf("blackout: %zu/%zu agents declared session lost, %zu in "
+              "standalone\n",
+              lost, net.generated().switches.size(), standalone);
+
+  // Established intent path (0 -> 4) must forward in BOTH modes: Secure
+  // freezes the tables, it does not wipe them.
+  std::uint64_t before = net.total_udp_received();
+  for (int i = 0; i < 4; ++i) {
+    net.host(0).send_udp(net.host_ip(4), static_cast<std::uint16_t>(6000 + i),
+                         7000, 256);
+    ++r.intent_path_sent;
+  }
+  net.run_for(0.3);
+  r.intent_path_delivered = net.total_udp_received() - before;
+
+  // New flow (3 -> 8, no intent, no reactive rule from before): Secure
+  // blackholes it (PacketIn goes nowhere), Standalone forwards it via the
+  // NORMAL fallback rule. NORMAL may flood before learning, so count
+  // "delivered at least once", not exact copies.
+  before = net.total_udp_received();
+  for (int i = 0; i < 4; ++i) {
+    net.host(3).send_udp(net.host_ip(8), static_cast<std::uint16_t>(6100 + i),
+                         7100, 256);
+    ++r.new_flow_sent;
+  }
+  net.run_for(0.3);
+  r.new_flow_delivered = net.total_udp_received() - before;
+  std::printf("during blackout: intent path %llu/%llu, new flow %llu/%llu "
+              "datagrams\n",
+              static_cast<unsigned long long>(r.intent_path_delivered),
+              static_cast<unsigned long long>(r.intent_path_sent),
+              static_cast<unsigned long long>(r.new_flow_delivered),
+              static_cast<unsigned long long>(r.new_flow_sent));
+
+  // ---- phase 3: recovery ----
+  net.controller().clear_channel_faults();
+  const double deadline = net.now() + 10.0;
+  bool converged = false;
+  while (net.now() < deadline) {
+    net.run_for(0.25);
+    bool all_alive = true;
+    std::size_t still_standalone = 0;
+    for (const auto dpid : net.generated().switches) {
+      all_alive = all_alive && net.controller().switch_alive(dpid);
+      const controller::SwitchAgent* agent = net.controller().agent(dpid);
+      if (agent && agent->standalone_active()) ++still_standalone;
+    }
+    if (all_alive && still_standalone == 0 &&
+        intents.count_in_state(intent::IntentState::Installed) == ids.size()) {
+      converged = true;
+      break;
+    }
+  }
+  std::printf("recovery: %s, %zu intents Installed, stats: %llu recompiles, "
+              "%llu degraded transitions\n",
+              converged ? "converged" : "DID NOT CONVERGE",
+              intents.count_in_state(intent::IntentState::Installed),
+              static_cast<unsigned long long>(intents.stats().recompiles),
+              static_cast<unsigned long long>(intents.stats().degraded));
+  r.recompiles = intents.stats().recompiles;
+  r.degraded_transitions = intents.stats().degraded;
+
+  // ---- verification audit: intended == actual on every switch ----
+  const auto run_audit = [&](std::vector<controller::AuditReport>& out) {
+    bool done = false;
+    net.controller().rule_store().audit_all(
+        [&](std::vector<controller::AuditReport> reports) {
+          out = std::move(reports);
+          done = true;
+        });
+    for (int i = 0; i < 40 && !done; ++i) net.run_for(0.25);
+    return done;
+  };
+  std::vector<controller::AuditReport> repair_reports;
+  bool audit_clean = run_audit(repair_reports);  // repair pass
+  std::vector<controller::AuditReport> reports;
+  audit_clean = audit_clean && run_audit(reports) && !reports.empty();
+  for (const auto& report : reports) {
+    audit_clean = audit_clean && report.converged && report.repaired == 0 &&
+                  report.orphans == 0 && report.degraded == 0;
+  }
+  std::printf("verification audit: %zu switches, %s\n", reports.size(),
+              audit_clean ? "intended == actual" : "DIVERGED");
+
+  // Eviction back-pressure must never turn into a recompile storm: allow
+  // a handful of recompiles per intent across pressure + blackout +
+  // recovery, not hundreds.
+  const bool recompiles_bounded = r.recompiles <= ids.size() * 12;
+
+  const bool blackout_behaviour =
+      mode == dataplane::FailMode::Standalone
+          ? r.new_flow_delivered >= r.new_flow_sent  // no blackhole (dups ok)
+          : r.new_flow_delivered == 0;               // frozen: must blackhole
+  r.ok = r.evictions >= 1 && r.vacancy_switches >= 1 &&
+         lost == net.generated().switches.size() &&
+         (mode != dataplane::FailMode::Standalone ||
+          standalone == net.generated().switches.size()) &&
+         r.intent_path_delivered == r.intent_path_sent && blackout_behaviour &&
+         converged && audit_clean && recompiles_bounded;
+  std::printf("scenario %s: %s\n\n", mode_name, r.ok ? "OK" : "FAILED");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  obs::TraceRecorder::global().set_enabled(true);
+  std::printf("overload seed %llu\n\n", static_cast<unsigned long long>(seed));
+
+  const ScenarioResult secure = run_scenario(seed, dataplane::FailMode::Secure);
+  const ScenarioResult standalone =
+      run_scenario(seed, dataplane::FailMode::Standalone);
+
+  auto& registry = obs::MetricsRegistry::global();
+  const std::string prom = registry.render_prometheus();
+  if (std::FILE* f = std::fopen("metrics.prom", "w")) {
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+  }
+  const bool trace_ok =
+      obs::TraceRecorder::global().write_chrome_json("trace.json");
+
+  const bool ok = secure.ok && standalone.ok && trace_ok;
+  std::printf("%s\n", ok ? "OVERLOAD DEMO OK" : "OVERLOAD DEMO FAILED");
+  return ok ? 0 : 1;
+}

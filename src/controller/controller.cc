@@ -189,6 +189,11 @@ bool Controller::switch_alive(Dpid dpid) const noexcept {
   return it != sessions_.end() && it->second.alive;
 }
 
+const SwitchAgent* Controller::agent(Dpid dpid) const noexcept {
+  const auto it = sessions_.find(dpid);
+  return it == sessions_.end() ? nullptr : it->second.agent.get();
+}
+
 void Controller::set_channel_faults(const ChannelFaults& faults) {
   for (auto& [dpid, session] : sessions_) {
     ChannelFaults mine = faults;
@@ -494,9 +499,24 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
           }
           for (const auto& app : apps_) app->on_port_status(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::FlowRemoved>) {
+          // The rule store sees removals first so apps observing the event
+          // already find evicted managed rules marked degraded.
+          rule_store_->on_flow_removed(dpid, msg);
           for (const auto& app : apps_) app->on_flow_removed(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::Experimenter>) {
-          for (const auto& app : apps_) app->on_experimenter(dpid, msg);
+          if (msg.experimenter_id == openflow::kVacancyExperimenterId) {
+            auto status = openflow::parse_table_status_message(msg);
+            if (status.ok()) {
+              view_.record_table_status(dpid, status.value());
+              for (const auto& app : apps_)
+                app->on_table_status(dpid, status.value());
+            } else {
+              ZEN_LOG(Warn) << "controller: bad table-status from dpid "
+                            << dpid << ": " << status.error();
+            }
+          } else {
+            for (const auto& app : apps_) app->on_experimenter(dpid, msg);
+          }
         } else if constexpr (std::is_same_v<T, openflow::BarrierReply>) {
           // The ack set resolves every tracked send the agent had
           // processed by this barrier — including ones whose own barrier

@@ -80,8 +80,13 @@ class App {
   virtual void on_flow_removed(Dpid, const openflow::FlowRemoved&) {}
   virtual void on_link_event(const LinkEvent&) {}
   virtual void on_host_discovered(const HostInfo&) {}
-  // Vendor-extension messages (e.g. zen_telemetry export batches).
+  // Vendor-extension messages (e.g. zen_telemetry export batches). Vacancy
+  // TableStatus experimenter messages are decoded by the controller and
+  // arrive via on_table_status instead.
   virtual void on_experimenter(Dpid, const openflow::Experimenter&) {}
+  // Vacancy event: a switch table crossed its occupancy threshold. The
+  // NetworkView has already recorded it (view().under_pressure(dpid)).
+  virtual void on_table_status(Dpid, const openflow::TableStatus&) {}
 
  protected:
   Controller* controller_ = nullptr;
@@ -210,6 +215,11 @@ class Controller {
   // derived from faults.seed + dpid so channels don't fail in lockstep.
   void set_channel_faults(const ChannelFaults& faults);
   void clear_channel_faults();
+
+  // The switch-side agent of a connected switch (nullptr if never
+  // connected). Exposes fail-mode state — controller_session_lost(),
+  // standalone_active() — to experiments and tests.
+  const SwitchAgent* agent(Dpid dpid) const noexcept;
 
   // ---- state ----
   NetworkView& view() noexcept { return view_; }

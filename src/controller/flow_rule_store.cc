@@ -13,6 +13,8 @@ struct StoreMetrics {
   obs::Counter& repairs;
   obs::Counter& orphans;
   obs::Counter& audits;
+  obs::Counter& table_full;
+  obs::Counter& degraded;
   obs::Histo& audit_duration;
   static StoreMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -23,6 +25,10 @@ struct StoreMetrics {
                     "Managed-cookie stray rules deleted by audits"),
         reg.counter("zen_rulestore_audits_total", "",
                     "Flow-state audits started"),
+        reg.counter("zen_rulestore_table_full_total", "",
+                    "TableFull errors received for store-managed installs"),
+        reg.counter("zen_rulestore_rules_degraded_total", "",
+                    "Intended rules parked as degraded (evicted or rejected)"),
         reg.histo("zen_rulestore_audit_duration_s", "",
                   "Virtual time from audit start to verdict")};
     return m;
@@ -39,6 +45,87 @@ bool same_key(const openflow::FlowMod& mod, const openflow::FlowStatsEntry& e) {
 FlowRuleStore::FlowRuleStore(Controller& controller, Options options)
     : controller_(controller), options_(options) {}
 
+FlowRuleStore::IntendedRule* FlowRuleStore::find_rule(
+    Dpid dpid, const openflow::FlowMod& mod) {
+  const auto sit = switches_.find(dpid);
+  if (sit == switches_.end()) return nullptr;
+  for (auto& r : sit->second.rules) {
+    if (r.mod.table_id == mod.table_id && r.mod.priority == mod.priority &&
+        r.mod.match == mod.match)
+      return &r;
+  }
+  return nullptr;
+}
+
+bool FlowRuleStore::evict_lowest_importance(Dpid dpid,
+                                            const openflow::FlowMod& incoming) {
+  auto& rules = switches_[dpid].rules;
+  IntendedRule* victim = nullptr;
+  for (auto& r : rules) {
+    if (r.degraded) continue;
+    if (r.mod.table_id != incoming.table_id) continue;
+    if (r.mod.importance >= incoming.importance) continue;
+    if (r.mod.priority == incoming.priority && r.mod.match == incoming.match)
+      continue;  // never sacrifice the rule being installed
+    if (!victim || r.mod.importance < victim->mod.importance) victim = &r;
+  }
+  if (!victim) return false;
+  victim->degraded = true;
+  ++stats_.rules_degraded;
+  StoreMetrics::get().degraded.inc();
+  ZEN_LOG(Info) << "rule store: dpid " << dpid
+                << " sacrificing importance-" << victim->mod.importance
+                << " rule to admit importance-" << incoming.importance;
+  openflow::FlowMod del;
+  del.command = openflow::FlowModCommand::DeleteStrict;
+  del.table_id = victim->mod.table_id;
+  del.priority = victim->mod.priority;
+  del.match = victim->mod.match;
+  controller_.flow_mod(dpid, del, [](const std::optional<openflow::Error>&) {});
+  return true;
+}
+
+void FlowRuleStore::handle_table_full(Dpid dpid, const openflow::FlowMod& mod,
+                                      CompletionFn done,
+                                      const openflow::Error& err) {
+  ++stats_.table_full_rejections;
+  StoreMetrics::get().table_full.inc();
+  IntendedRule* rule = find_rule(dpid, mod);
+  if (rule && rule->table_full_retries < kMaxTableFullRetries &&
+      evict_lowest_importance(dpid, mod)) {
+    ++rule->table_full_retries;
+    send_install(dpid, mod, std::move(done));
+    return;
+  }
+  // No room and nothing expendable: park the intent as degraded so repeated
+  // audits/recompiles don't hammer a full table, and surface the typed
+  // failure to the caller.
+  if (rule && !rule->degraded) {
+    rule->degraded = true;
+    ++stats_.rules_degraded;
+    StoreMetrics::get().degraded.inc();
+    ZEN_LOG(Warn) << "rule store: dpid " << dpid << " table "
+                  << int(mod.table_id) << " full; rule degraded (priority "
+                  << mod.priority << ")";
+  }
+  if (done) done(err);
+}
+
+openflow::Xid FlowRuleStore::send_install(Dpid dpid,
+                                          const openflow::FlowMod& mod,
+                                          CompletionFn done) {
+  return controller_.flow_mod(
+      dpid, mod,
+      [this, dpid, mod, done = std::move(done)](
+          const std::optional<openflow::Error>& err) {
+        if (err && openflow::is_table_full(*err)) {
+          handle_table_full(dpid, mod, done, *err);
+          return;
+        }
+        if (done) done(err);
+      });
+}
+
 openflow::Xid FlowRuleStore::install(Dpid dpid, const openflow::FlowMod& mod,
                                      CompletionFn done) {
   ++stats_.installs;
@@ -47,16 +134,17 @@ openflow::Xid FlowRuleStore::install(Dpid dpid, const openflow::FlowMod& mod,
   openflow::FlowMod intended = mod;
   intended.command = openflow::FlowModCommand::Add;
   intended.buffer_id = openflow::kNoBuffer;  // reinstalls can't cite buffers
-  auto& rules = switches_[dpid].rules;
-  const auto it = std::find_if(
-      rules.begin(), rules.end(), [&](const openflow::FlowMod& r) {
-        return r.table_id == intended.table_id &&
-               r.priority == intended.priority && r.match == intended.match;
-      });
-  if (it == rules.end()) rules.push_back(std::move(intended));
-  else *it = std::move(intended);
+  if (IntendedRule* existing = find_rule(dpid, intended)) {
+    // A fresh install statement resets any degraded parking: the caller
+    // explicitly wants this rule again.
+    existing->mod = std::move(intended);
+    existing->degraded = false;
+    existing->table_full_retries = 0;
+  } else {
+    switches_[dpid].rules.push_back(IntendedRule{std::move(intended)});
+  }
 
-  return controller_.flow_mod(dpid, mod, std::move(done));
+  return send_install(dpid, mod, std::move(done));
 }
 
 openflow::Xid FlowRuleStore::remove(Dpid dpid, const openflow::FlowMod& del,
@@ -64,12 +152,53 @@ openflow::Xid FlowRuleStore::remove(Dpid dpid, const openflow::FlowMod& del,
   ++stats_.removes;
   const bool strict = del.command == openflow::FlowModCommand::DeleteStrict;
   auto& rules = switches_[dpid].rules;
-  std::erase_if(rules, [&](const openflow::FlowMod& r) {
-    if (r.table_id != del.table_id) return false;
-    if (strict) return r.priority == del.priority && r.match == del.match;
-    return r.match.subsumed_by(del.match);
+  std::erase_if(rules, [&](const IntendedRule& r) {
+    if (r.mod.table_id != del.table_id) return false;
+    if (strict) return r.mod.priority == del.priority && r.mod.match == del.match;
+    return r.mod.match.subsumed_by(del.match);
   });
   return controller_.flow_mod(dpid, del, std::move(done));
+}
+
+void FlowRuleStore::on_flow_removed(Dpid dpid,
+                                    const openflow::FlowRemoved& msg) {
+  if (msg.reason != openflow::FlowRemovedReason::Eviction) return;
+  const auto sit = switches_.find(dpid);
+  if (sit == switches_.end()) return;
+  for (auto& r : sit->second.rules) {
+    if (r.mod.table_id != msg.table_id || r.mod.priority != msg.priority ||
+        !(r.mod.match == msg.match))
+      continue;
+    if (!r.degraded) {
+      r.degraded = true;
+      ++stats_.rules_degraded;
+      StoreMetrics::get().degraded.inc();
+      ZEN_LOG(Warn) << "rule store: dpid " << dpid
+                    << " managed rule evicted by switch; parked as degraded";
+    }
+    return;
+  }
+}
+
+std::size_t FlowRuleStore::clear_degraded(Dpid dpid) {
+  const auto sit = switches_.find(dpid);
+  if (sit == switches_.end()) return 0;
+  std::size_t cleared = 0;
+  for (auto& r : sit->second.rules) {
+    if (!r.degraded) continue;
+    r.degraded = false;
+    r.table_full_retries = 0;
+    ++cleared;
+  }
+  return cleared;
+}
+
+std::size_t FlowRuleStore::degraded_rules(Dpid dpid) const noexcept {
+  const auto sit = switches_.find(dpid);
+  if (sit == switches_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& r : sit->second.rules) n += r.degraded ? 1 : 0;
+  return n;
 }
 
 openflow::Xid FlowRuleStore::add_group(Dpid dpid,
@@ -190,8 +319,13 @@ void FlowRuleStore::reconcile(Dpid dpid,
 
   // Missing or divergent: an intended rule with no actual twin (same key,
   // same cookie, same instructions). Reinstall — Add overwrites in place.
+  // Degraded rules are skipped: reinstalling what the switch just evicted
+  // (or rejected TableFull) would recreate the very pressure that parked
+  // them; clear_degraded() is the explicit path back.
   std::size_t missing = 0;
-  for (const auto& mod : intended) {
+  for (const auto& rule : intended) {
+    if (rule.degraded) continue;
+    const auto& mod = rule.mod;
     const bool present = std::any_of(
         reply.entries.begin(), reply.entries.end(),
         [&](const openflow::FlowStatsEntry& e) {
@@ -202,19 +336,19 @@ void FlowRuleStore::reconcile(Dpid dpid,
     ++missing;
     ++stats_.repairs_installed;
     StoreMetrics::get().repairs.inc();
-    controller_.flow_mod(dpid, mod,
-                         [](const std::optional<openflow::Error>&) {});
+    send_install(dpid, mod, [](const std::optional<openflow::Error>&) {});
   }
 
   // Orphans: actual rules carrying a cookie this store manages but whose
   // key is no longer intended here. Cookie-0 rules belong to apps outside
-  // the store and are never touched.
+  // the store and are never touched. A degraded rule still counts as
+  // wanted — if the switch somehow holds it, deleting it would only flap.
   std::size_t orphans = 0;
   for (const auto& e : reply.entries) {
     if (e.cookie == 0 || !managed_cookies_.contains(e.cookie)) continue;
-    const bool wanted =
-        std::any_of(intended.begin(), intended.end(),
-                    [&](const openflow::FlowMod& mod) { return same_key(mod, e); });
+    const bool wanted = std::any_of(
+        intended.begin(), intended.end(),
+        [&](const IntendedRule& rule) { return same_key(rule.mod, e); });
     if (wanted) continue;
     ++orphans;
     ++stats_.orphans_deleted;
@@ -250,6 +384,7 @@ void FlowRuleStore::finish(Dpid dpid, bool converged) {
   auto node = audits_.extract(dpid);
   if (node.empty()) return;
   Audit& a = node.mapped();
+  a.report.degraded = degraded_rules(dpid);
   a.report.converged = converged;
   a.report.duration_s = controller_.now() - a.started_s;
   if (converged) ++stats_.audits_converged;

@@ -30,6 +30,7 @@ struct AuditReport {
   Dpid dpid = 0;
   std::size_t repaired = 0;  // intended rules found missing and reinstalled
   std::size_t orphans = 0;   // managed-cookie strays found and deleted
+  std::size_t degraded = 0;  // intended rules parked as degraded (not repaired)
   int rounds = 0;            // flow-stats rounds used
   bool converged = false;    // intended == actual when the audit finished
   double duration_s = 0;     // virtual time from audit start to verdict
@@ -53,7 +54,13 @@ class FlowRuleStore {
     std::uint64_t orphans_deleted = 0;
     std::uint64_t audits = 0;
     std::uint64_t audits_converged = 0;
+    std::uint64_t table_full_rejections = 0;  // TableFull errors seen
+    std::uint64_t rules_degraded = 0;         // rules parked as degraded
   };
+
+  // TableFull repair: how many times an install is retried after the store
+  // sacrifices one of its own lower-importance rules to make room.
+  static constexpr int kMaxTableFullRetries = 2;
 
   explicit FlowRuleStore(Controller& controller)
       : FlowRuleStore(controller, Options()) {}
@@ -88,13 +95,32 @@ class FlowRuleStore {
   // touch the switch.
   void forget(Dpid dpid);
 
+  // Fired by the controller for every FlowRemoved, before app dispatch.
+  // Eviction removals park the matching intended rule as degraded: audits
+  // stop reinstalling it, so the controller cannot recreate the pressure
+  // that evicted it (the recompile-storm failure mode).
+  void on_flow_removed(Dpid dpid, const openflow::FlowRemoved& msg);
+
+  // Un-parks every degraded rule on `dpid` (pressure relieved — typically
+  // on VacancyUp); the next audit reinstalls them. Returns how many.
+  std::size_t clear_degraded(Dpid dpid);
+  std::size_t degraded_rules(Dpid dpid) const noexcept;
+
   std::size_t intended_rules(Dpid dpid) const noexcept;
   std::size_t intended_groups(Dpid dpid) const noexcept;
   const Stats& stats() const noexcept { return stats_; }
 
  private:
+  struct IntendedRule {
+    openflow::FlowMod mod;  // normalized to command=Add
+    // Degraded: intent the switch cannot currently hold (evicted or
+    // rejected TableFull after retries). Audits skip reinstalling it but
+    // also never delete it as an orphan, so state neither flaps nor leaks.
+    bool degraded = false;
+    int table_full_retries = 0;
+  };
   struct SwitchState {
-    std::vector<openflow::FlowMod> rules;    // normalized to command=Add
+    std::vector<IntendedRule> rules;
     std::vector<openflow::GroupMod> groups;  // normalized to command=Add
   };
 
@@ -108,6 +134,18 @@ class FlowRuleStore {
   void run_round(Dpid dpid);
   void reconcile(Dpid dpid, const openflow::FlowStatsReply& reply);
   void finish(Dpid dpid, bool converged);
+
+  // Sends `mod` with a completion wrapper that turns TableFull errors into
+  // the evict-retry-then-degrade sequence.
+  openflow::Xid send_install(Dpid dpid, const openflow::FlowMod& mod,
+                             CompletionFn done);
+  void handle_table_full(Dpid dpid, const openflow::FlowMod& mod,
+                         CompletionFn done, const openflow::Error& err);
+  // Sacrifices the lowest-importance non-degraded intended rule in the
+  // incoming mod's table (importance strictly below the incoming one):
+  // marks it degraded and deletes it from the switch. False if none.
+  bool evict_lowest_importance(Dpid dpid, const openflow::FlowMod& incoming);
+  IntendedRule* find_rule(Dpid dpid, const openflow::FlowMod& mod);
 
   Controller& controller_;
   Options options_;

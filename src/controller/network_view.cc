@@ -12,8 +12,24 @@ void NetworkView::add_switch(Dpid dpid, const openflow::FeaturesReply& features)
   ++version_;
 }
 
+void NetworkView::record_table_status(Dpid dpid,
+                                      const openflow::TableStatus& status) {
+  table_status_[dpid] = status;
+}
+
+const openflow::TableStatus* NetworkView::table_status(Dpid dpid) const {
+  const auto it = table_status_.find(dpid);
+  return it == table_status_.end() ? nullptr : &it->second;
+}
+
+bool NetworkView::under_pressure(Dpid dpid) const {
+  const openflow::TableStatus* status = table_status(dpid);
+  return status && status->reason == openflow::VacancyReason::VacancyDown;
+}
+
 void NetworkView::remove_switch(Dpid dpid) {
   if (switches_.erase(dpid) == 0) return;
+  table_status_.erase(dpid);
   links_.erase(std::remove_if(links_.begin(), links_.end(),
                               [&](const DiscoveredLink& l) {
                                 return l.a == dpid || l.b == dpid;

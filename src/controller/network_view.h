@@ -14,6 +14,7 @@
 
 #include "net/addr.h"
 #include "openflow/messages.h"
+#include "openflow/table_status.h"
 #include "topo/graph.h"
 
 namespace zen::controller {
@@ -68,6 +69,15 @@ class NetworkView {
   const HostInfo* host_by_ip(net::Ipv4Address ip) const;
   std::vector<HostInfo> hosts() const;
 
+  // ---- table pressure ----
+  // Records a vacancy event; apps use under_pressure() to shed load (defer
+  // optional rule installs) while a switch's table sits below its down
+  // threshold.
+  void record_table_status(Dpid dpid, const openflow::TableStatus& status);
+  // Last vacancy event seen from dpid (nullptr if none since connect).
+  const openflow::TableStatus* table_status(Dpid dpid) const;
+  bool under_pressure(Dpid dpid) const;
+
   // ---- snapshot ----
   // Topology of switches and up discovered links; hosts (node id = MAC as
   // integer) attached at their learned locations when include_hosts.
@@ -82,6 +92,7 @@ class NetworkView {
   };
 
   std::unordered_map<Dpid, SwitchEntry> switches_;
+  std::unordered_map<Dpid, openflow::TableStatus> table_status_;
   std::vector<DiscoveredLink> links_;
   std::unordered_map<net::MacAddress, HostInfo> hosts_by_mac_;
   std::unordered_map<net::Ipv4Address, net::MacAddress> ip_to_mac_;

@@ -21,6 +21,64 @@ SwitchAgent::SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid,
     : net_(net), dpid_(dpid), channel_(channel), conn_id_(conn_id) {
   channel_.set_b_receiver(
       [this](std::vector<std::uint8_t> bytes) { on_wire(std::move(bytes)); });
+  last_ctrl_msg_s_ = net_.now();
+  const auto& cfg = net_.switch_at(dpid_).config();
+  if (cfg.fail_timeout_s > 0) {
+    net_.events().schedule_in(cfg.fail_timeout_s / 2,
+                              [this] { check_fail_mode(); });
+  }
+}
+
+void SwitchAgent::install_fallback() {
+  openflow::FlowMod mod;
+  mod.table_id = 0;
+  mod.priority = 1;  // above the table-miss entry, below any real rule
+  mod.importance = 0xffff;  // survivability rule: evict junk before it
+  mod.instructions.push_back(openflow::ApplyActions{
+      {openflow::OutputAction{openflow::Ports::kNormal}}});
+  if (net_.flow_mod(dpid_, mod).ok) {
+    fallback_installed_ = true;
+    fallback_boot_id_ = net_.switch_at(dpid_).boot_count();
+    ZEN_LOG(Info) << "switch " << dpid_
+                  << ": standalone fallback installed (controller lost)";
+  }
+}
+
+void SwitchAgent::remove_fallback() {
+  openflow::FlowMod mod;
+  mod.command = openflow::FlowModCommand::DeleteStrict;
+  mod.table_id = 0;
+  mod.priority = 1;
+  net_.flow_mod(dpid_, mod);
+  fallback_installed_ = false;
+  ZEN_LOG(Info) << "switch " << dpid_
+                << ": standalone fallback removed (controller back)";
+}
+
+void SwitchAgent::check_fail_mode() {
+  const auto& cfg = net_.switch_at(dpid_).config();
+  net_.events().schedule_in(cfg.fail_timeout_s / 2,
+                            [this] { check_fail_mode(); });
+  if (!net_.switch_up(dpid_)) return;  // crashed: nothing to do until reboot
+  // A power cycle wiped the fallback along with everything else.
+  if (fallback_installed_ &&
+      net_.switch_at(dpid_).boot_count() != fallback_boot_id_)
+    fallback_installed_ = false;
+
+  if (net_.now() - last_ctrl_msg_s_ < cfg.fail_timeout_s) return;
+  if (!session_lost_) {
+    session_lost_ = true;
+    ZEN_LOG(Warn) << "switch " << dpid_ << ": controller session lost ("
+                  << (cfg.fail_mode == dataplane::FailMode::Standalone
+                          ? "standalone"
+                          : "secure")
+                  << " fail mode)";
+  }
+  // Secure: freeze — keep the tables as they are, install nothing.
+  // Standalone: keep trying until the fallback sticks (a full table can
+  // reject it until eviction frees a slot).
+  if (cfg.fail_mode == dataplane::FailMode::Standalone && !fallback_installed_)
+    install_fallback();
 }
 
 openflow::ControllerRole SwitchAgent::role() const {
@@ -79,6 +137,16 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
   using namespace openflow;
   auto& sw = net_.switch_at(dpid_);
   const openflow::Xid xid = owned.xid;
+
+  // Any decoded controller message proves the session is alive again.
+  last_ctrl_msg_s_ = net_.now();
+  if (session_lost_) {
+    session_lost_ = false;
+    ZEN_LOG(Info) << "switch " << dpid_ << ": controller session restored";
+    if (fallback_installed_ && sw.boot_count() == fallback_boot_id_)
+      remove_fallback();
+    fallback_installed_ = false;
+  }
 
   // A power cycle wiped every rule the recorded acks vouch for: a barrier
   // after reboot must not ack pre-crash mods, or the controller would

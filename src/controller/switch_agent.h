@@ -42,8 +42,23 @@ class SwitchAgent {
 
   static constexpr std::size_t kMaxAckedMods = 1024;
 
+  // Fail-mode state (meaningful when SwitchConfig.fail_timeout_s > 0):
+  // true while the agent considers the controller session dead.
+  bool controller_session_lost() const noexcept { return session_lost_; }
+  // True while the Standalone fallback rule is installed in the datapath.
+  bool standalone_active() const noexcept { return fallback_installed_; }
+
  private:
   openflow::ControllerRole role() const;
+
+  // Periodic controller-liveness check (armed when fail_timeout_s > 0):
+  // after fail_timeout_s of controller silence the session is declared
+  // lost. Secure freezes the tables (does nothing); Standalone installs a
+  // low-priority match-all NORMAL rule so new flows keep forwarding via
+  // L2 learning. The first controller message after the outage removes it.
+  void check_fail_mode();
+  void install_fallback();
+  void remove_fallback();
 
   void on_wire(std::vector<std::uint8_t> bytes);
   void handle(openflow::OwnedMessage owned);
@@ -73,6 +88,14 @@ class SwitchAgent {
   };
   std::deque<PendingPin> pending_pins_;
   static constexpr std::size_t kMaxPendingPins = 1024;
+
+  // Fail-mode tracking.
+  double last_ctrl_msg_s_ = 0;
+  bool session_lost_ = false;
+  bool fallback_installed_ = false;
+  // Boot count when the fallback went in: a crash wipes the rule, so a
+  // changed boot count must clear fallback_installed_ too.
+  std::uint64_t fallback_boot_id_ = 0;
 };
 
 }  // namespace zen::controller

@@ -22,6 +22,53 @@ bool outputs_to_port(const FlowEntry& entry, std::uint32_t port) noexcept {
   return false;
 }
 
+bool FlowTable::contains(const openflow::Match& match,
+                         std::uint16_t priority) const noexcept {
+  const auto group_it = groups_.find(match.mask());
+  if (group_it == groups_.end()) return false;
+  const auto bucket_it = group_it->second.by_key.find(match.value());
+  if (bucket_it == group_it->second.by_key.end()) return false;
+  return std::any_of(bucket_it->second.begin(), bucket_it->second.end(),
+                     [&](const FlowEntryPtr& e) {
+                       return e->priority == priority && e->match == match;
+                     });
+}
+
+FlowEntryPtr FlowTable::evict(std::uint16_t incoming_importance) {
+  if (eviction_ == EvictionPolicy::Off || count_ == 0) return nullptr;
+
+  // Victim order: Importance = (importance asc, last_used_at asc);
+  // Lru = last_used_at asc alone. Scanning every entry keeps the policy
+  // exact; eviction only runs when a bounded table is already full, so the
+  // scan is bounded by max_entries.
+  const FlowEntry* victim = nullptr;
+  for (const auto& [mask, group] : groups_) {
+    for (const auto& [key, bucket] : group.by_key) {
+      for (const auto& entry : bucket) {
+        if (!victim) {
+          victim = entry.get();
+          continue;
+        }
+        bool better;
+        if (eviction_ == EvictionPolicy::Importance) {
+          better = entry->importance < victim->importance ||
+                   (entry->importance == victim->importance &&
+                    entry->last_used_at < victim->last_used_at);
+        } else {
+          better = entry->last_used_at < victim->last_used_at;
+        }
+        if (better) victim = entry.get();
+      }
+    }
+  }
+  if (eviction_ == EvictionPolicy::Importance &&
+      victim->importance > incoming_importance) {
+    return nullptr;  // nothing expendable: the Add must fail, not displace
+  }
+  auto removed = remove_if([&](const FlowEntry& e) { return &e == victim; });
+  return removed.empty() ? nullptr : std::move(removed.front());
+}
+
 FlowEntryPtr FlowTable::add(FlowEntry entry, double now) {
   entry.created_at = now;
   entry.last_used_at = now;

@@ -28,6 +28,8 @@ struct FlowEntry {
   std::uint16_t idle_timeout = 0;  // seconds, 0 = none
   std::uint16_t hard_timeout = 0;
   std::uint16_t flags = 0;
+  // Eviction precedence: lowest goes first when the table must make room.
+  std::uint16_t importance = 0;
 
   // Runtime state.
   double created_at = 0;
@@ -40,9 +42,44 @@ using FlowEntryPtr = std::shared_ptr<FlowEntry>;
 
 enum class LookupMode { TupleSpace, LinearScan };
 
+// What a bounded table does when an Add arrives and it is full.
+enum class EvictionPolicy : std::uint8_t {
+  Off,         // reject the Add (TableFull)
+  Importance,  // evict the lowest-importance entry (LRU breaks ties); an
+               // Add can never displace an entry more important than itself
+  Lru,         // evict the least-recently-used entry regardless of importance
+};
+
 class FlowTable {
  public:
   explicit FlowTable(LookupMode mode = LookupMode::TupleSpace) : mode_(mode) {}
+
+  // Bounds the table to `max_entries` rules under `policy` (0 = unbounded).
+  // Enforcement happens in the caller (Switch::flow_mod) via full()/evict()
+  // so the caller controls FlowRemoved emission for the victims.
+  void set_capacity(std::size_t max_entries,
+                    EvictionPolicy policy = EvictionPolicy::Off) noexcept {
+    max_entries_ = max_entries;
+    eviction_ = policy;
+  }
+  std::size_t max_entries() const noexcept { return max_entries_; }
+  EvictionPolicy eviction_policy() const noexcept { return eviction_; }
+  // True when a *new* entry cannot be inserted without eviction.
+  bool full() const noexcept {
+    return max_entries_ > 0 && count_ >= max_entries_;
+  }
+
+  // True iff an entry with this exact (match, priority) key exists — an Add
+  // carrying it replaces in place and needs no free slot.
+  bool contains(const openflow::Match& match,
+                std::uint16_t priority) const noexcept;
+
+  // Selects and removes the eviction victim for an incoming entry of
+  // `incoming_importance`, honoring the configured policy. Returns nullptr
+  // when the policy is Off, the table is empty, or (Importance policy)
+  // every entry outranks the incoming one — the "cannot free space" case
+  // the caller must turn into a TableFull error.
+  FlowEntryPtr evict(std::uint16_t incoming_importance);
 
   // Inserts an entry; an existing entry with identical match and priority is
   // replaced (counters reset), matching FlowMod/Add semantics.
@@ -96,6 +133,8 @@ class FlowTable {
   std::vector<FlowEntryPtr> remove_if(Pred&& pred);
 
   LookupMode mode_;
+  std::size_t max_entries_ = 0;  // 0 = unbounded
+  EvictionPolicy eviction_ = EvictionPolicy::Off;
   std::unordered_map<net::FlowMask, MaskGroup> groups_;
   std::size_t count_ = 0;
   std::uint64_t lookups_ = 0;

@@ -1,6 +1,7 @@
 #include "dataplane/switch.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "net/telemetry.h"
 #include "obs/obs.h"
@@ -16,6 +17,8 @@ struct SwitchMetrics {
   obs::Counter& packets;
   obs::Counter& packet_ins;
   obs::Counter& packet_ins_suppressed;
+  obs::Counter& flow_evictions;
+  obs::Counter& table_status_events;
   obs::Histo& lookup_ns;
   static SwitchMetrics& get() {
     auto& reg = obs::MetricsRegistry::global();
@@ -26,11 +29,28 @@ struct SwitchMetrics {
                     "PacketIn punts emitted to the controller"),
         reg.counter("zen_dataplane_packet_ins_suppressed_total", "",
                     "PacketIns dropped by the switch rate limiter"),
+        reg.counter("zen_dataplane_flow_evictions_total", "",
+                    "Flow entries evicted from bounded tables to make room"),
+        reg.counter("zen_dataplane_table_status_events_total", "",
+                    "Vacancy threshold crossings announced via TableStatus"),
         reg.histo("zen_dataplane_lookup_latency_ns", "",
                   "Wall-clock cost of a slow-path pipeline traversal")};
     return m;
   }
 };
+
+// FNV-1a over a frame, used to recognize recently flooded frames.
+std::uint64_t frame_hash(std::span<const std::uint8_t> frame) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : frame) h = (h ^ b) * 0x100000001b3ULL;
+  return h;
+}
+
+// NORMAL-action flood dedup: a frame this switch flooded within the window
+// is a loop echo, not a retransmission (fabric round trips are sub-ms;
+// host-level retries are far apart).
+constexpr double kFloodDedupWindowS = 0.05;
+constexpr std::size_t kFloodTableMax = 4096;
 }
 
 Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
@@ -45,8 +65,58 @@ Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
                               std::max(1.0, config_.packet_in_rate_pps / 10));
   }
   tables_.reserve(config_.n_tables);
-  for (std::uint8_t i = 0; i < config_.n_tables; ++i)
+  for (std::uint8_t i = 0; i < config_.n_tables; ++i) {
     tables_.emplace_back(config_.lookup_mode);
+    tables_.back().set_capacity(config_.table_capacity, config_.eviction);
+  }
+  vacancy_down_.assign(config_.n_tables, false);
+  occupancy_gauge_ = &obs::MetricsRegistry::global().gauge(
+      "zen_dataplane_table_occupancy",
+      "dpid=\"" + std::to_string(dpid_) + "\"",
+      "Flow entries installed in table 0, per switch");
+}
+
+void Switch::update_occupancy_gauge() {
+  occupancy_gauge_->set(static_cast<double>(tables_[0].size()));
+}
+
+void Switch::check_vacancy(std::uint8_t table_id) {
+  const std::size_t capacity = config_.table_capacity;
+  if (capacity == 0 ||
+      (config_.vacancy_down_pct == 0 && config_.vacancy_up_pct == 0))
+    return;
+  const std::size_t used = tables_[table_id].size();
+  const std::size_t free = capacity > used ? capacity - used : 0;
+  const double free_pct = 100.0 * static_cast<double>(free) /
+                          static_cast<double>(capacity);
+
+  const bool was_down = vacancy_down_[table_id];
+  std::optional<openflow::VacancyReason> fired;
+  if (!was_down && free_pct <= config_.vacancy_down_pct) {
+    vacancy_down_[table_id] = true;
+    fired = openflow::VacancyReason::VacancyDown;
+  } else if (was_down && free_pct >= config_.vacancy_up_pct) {
+    vacancy_down_[table_id] = false;
+    fired = openflow::VacancyReason::VacancyUp;
+  }
+  if (!fired) return;
+
+  openflow::TableStatus status;
+  status.table_id = table_id;
+  status.reason = *fired;
+  status.active_count = static_cast<std::uint32_t>(used);
+  status.max_entries = static_cast<std::uint32_t>(capacity);
+  status.vacancy_down_pct = config_.vacancy_down_pct;
+  status.vacancy_up_pct = config_.vacancy_up_pct;
+  pending_table_status_.push_back(status);
+  SwitchMetrics::get().table_status_events.inc();
+  ZEN_LOG(Info) << "switch " << dpid_ << ": table " << int(table_id) << " "
+                << openflow::to_string(*fired) << " (" << used << "/"
+                << capacity << ")";
+}
+
+std::vector<openflow::TableStatus> Switch::take_table_status() {
+  return std::exchange(pending_table_status_, {});
 }
 
 void Switch::add_port(const openflow::PortDesc& desc) {
@@ -134,6 +204,42 @@ void Switch::emit_to_port(PipelineContext& ctx, std::uint32_t port_no) {
     ctx.verdict.cacheable = false;
 }
 
+void Switch::execute_normal(PipelineContext& ctx) {
+  // NORMAL: behave as a self-learning L2 switch — the standalone fail-mode
+  // data path. Learned state lives outside the flow tables, and the
+  // verdict is time-dependent (learning, dedup), so never cache it.
+  ctx.verdict.cacheable = false;
+  const net::FlowKey key = ctx.pkt->flow_key(ctx.in_port);
+  normal_fib_[key.eth_src] = ctx.in_port;
+
+  if (const auto it = normal_fib_.find(key.eth_dst);
+      it != normal_fib_.end() && it->second != ctx.in_port) {
+    emit_to_port(ctx, it->second);
+    return;
+  }
+
+  // Unknown/broadcast destination: flood — but drop frames this switch
+  // already flooded inside the dedup window. A looped fabric of standalone
+  // switches would otherwise amplify every broadcast forever.
+  const std::uint64_t h = frame_hash(ctx.pkt->serialize());
+  const auto [it, inserted] = flood_recent_.try_emplace(h, ctx.now);
+  if (!inserted) {
+    if (ctx.now - it->second < kFloodDedupWindowS) {
+      ++storm_suppressed_;
+      return;
+    }
+    it->second = ctx.now;
+  }
+  if (flood_recent_.size() > kFloodTableMax) {
+    std::erase_if(flood_recent_, [&](const auto& kv) {
+      return ctx.now - kv.second >= kFloodDedupWindowS;
+    });
+  }
+  for (const auto& [no, state] : ports_) {
+    if (no != ctx.in_port && state.desc.link_up) emit_to_port(ctx, no);
+  }
+}
+
 void Switch::execute_output(PipelineContext& ctx, std::uint32_t port,
                             std::uint16_t max_len, std::uint8_t table_id,
                             std::uint64_t cookie, bool is_miss) {
@@ -163,6 +269,9 @@ void Switch::execute_output(PipelineContext& ctx, std::uint32_t port,
       break;
     case Ports::kInPort:
       emit_to_port(ctx, ctx.in_port);
+      break;
+    case Ports::kNormal:
+      execute_normal(ctx);
       break;
     case Ports::kTable:
       // Only meaningful from PacketOut; handled there. Ignore here.
@@ -465,15 +574,36 @@ ModStatus Switch::flow_mod(const openflow::FlowMod& mod, double now,
       !(mod.table_id == openflow::kTableAll &&
         (mod.command == FlowModCommand::Delete ||
          mod.command == FlowModCommand::DeleteStrict))) {
-    return {false, openflow::ErrorType::FlowModFailed, /*bad table*/ 1};
+    return {false, openflow::ErrorType::FlowModFailed,
+            openflow::flow_mod_failed_code::kBadTableId};
   }
   ++version_;
 
   switch (mod.command) {
     case FlowModCommand::Add: {
-      if (config_.table_capacity > 0 &&
-          tables_[mod.table_id].size() >= config_.table_capacity) {
-        return {false, openflow::ErrorType::FlowModFailed, /*TableFull*/ 2};
+      FlowTable& table = tables_[mod.table_id];
+      // Capacity gates true inserts only: an Add that replaces an existing
+      // (match, priority) entry swaps in place and needs no free slot.
+      if (table.full() && !table.contains(mod.match, mod.priority)) {
+        FlowEntryPtr victim = table.evict(mod.importance);
+        if (!victim) {
+          return {false, openflow::ErrorType::FlowModFailed,
+                  openflow::flow_mod_failed_code::kTableFull};
+        }
+        ++flow_evictions_;
+        SwitchMetrics::get().flow_evictions.inc();
+        ZEN_TRACE_INSTANT("flow_evicted", "dataplane");
+        if (removed && (victim->flags & openflow::kFlagSendFlowRemoved)) {
+          openflow::FlowRemoved fr;
+          fr.cookie = victim->cookie;
+          fr.priority = victim->priority;
+          fr.reason = openflow::FlowRemovedReason::Eviction;
+          fr.table_id = mod.table_id;
+          fr.packet_count = victim->packet_count;
+          fr.byte_count = victim->byte_count;
+          fr.match = victim->match;
+          removed->push_back(std::move(fr));
+        }
       }
       FlowEntry entry;
       entry.match = mod.match;
@@ -483,7 +613,10 @@ ModStatus Switch::flow_mod(const openflow::FlowMod& mod, double now,
       entry.idle_timeout = mod.idle_timeout;
       entry.hard_timeout = mod.hard_timeout;
       entry.flags = mod.flags;
-      tables_[mod.table_id].add(std::move(entry), now);
+      entry.importance = mod.importance;
+      table.add(std::move(entry), now);
+      check_vacancy(mod.table_id);
+      update_occupancy_gauge();
       return {};
     }
     case FlowModCommand::Modify:
@@ -518,6 +651,12 @@ ModStatus Switch::flow_mod(const openflow::FlowMod& mod, double now,
           removed->push_back(std::move(fr));
         }
       }
+      if (mod.table_id == openflow::kTableAll) {
+        for (std::uint8_t i = 0; i < tables_.size(); ++i) check_vacancy(i);
+      } else {
+        check_vacancy(mod.table_id);
+      }
+      update_occupancy_gauge();
       return {};
     }
   }
@@ -631,6 +770,11 @@ void Switch::reset() {
   cache_.clear();
   for (auto& slot : buffered_) slot.clear();
   next_buffer_id_ = 0;
+  vacancy_down_.assign(tables_.size(), false);
+  pending_table_status_.clear();
+  normal_fib_.clear();
+  flood_recent_.clear();
+  update_occupancy_gauge();
   roles_.clear();
   generation_seen_ = false;
   last_generation_ = 0;
@@ -659,7 +803,11 @@ std::vector<openflow::FlowRemoved> Switch::expire_flows(double now) {
       events.push_back(std::move(fr));
     }
   }
-  if (any) ++version_;
+  if (any) {
+    ++version_;
+    for (std::uint8_t i = 0; i < tables_.size(); ++i) check_vacancy(i);
+    update_occupancy_gauge();
+  }
   return events;
 }
 

@@ -16,6 +16,8 @@
 #include <map>
 #include <optional>
 #include <span>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dataplane/flow_table.h"
@@ -24,15 +26,30 @@
 #include "dataplane/meter_table.h"
 #include "dataplane/packet_rewrite.h"
 #include "openflow/codec.h"
+#include "openflow/table_status.h"
 #include "util/token_bucket.h"
 
 namespace zen::telemetry {
 class SwitchTelemetry;
 }
 
+namespace zen::obs {
+class Gauge;
+}
+
 namespace zen::dataplane {
 
 enum class MissBehavior : std::uint8_t { Drop, PacketIn };
+
+// What the switch does about forwarding when its controller session dies
+// (OVS fail-mode analog). The dataplane only carries the knob; the
+// switch-side agent (controller::SwitchAgent) detects the silence and
+// installs/removes the standalone fallback rule.
+enum class FailMode : std::uint8_t {
+  Secure,      // freeze: keep the installed tables, punt nothing new
+  Standalone,  // install a low-priority NORMAL-forwarding fallback rule
+               // until the controller returns
+};
 
 struct SwitchConfig {
   std::uint8_t n_tables = 4;
@@ -51,6 +68,19 @@ struct SwitchConfig {
   // with TableFull — the hardware-table constraint SWAN-class systems
   // engineer around.
   std::size_t table_capacity = 0;
+  // What a full table does with an incoming Add (meaningless when
+  // table_capacity == 0). Victims leave as FlowRemoved/Eviction.
+  EvictionPolicy eviction = EvictionPolicy::Off;
+  // OVS-style vacancy events: a TableStatus fires when a table's free
+  // space falls to <= vacancy_down_pct percent of capacity, and again when
+  // it recovers to >= vacancy_up_pct. Both 0 = disabled; keep
+  // down < up for hysteresis.
+  std::uint8_t vacancy_down_pct = 0;
+  std::uint8_t vacancy_up_pct = 0;
+  // Controller-loss behavior, acted on by the switch-side agent after
+  // fail_timeout_s of controller silence (0 disables detection entirely).
+  FailMode fail_mode = FailMode::Secure;
+  double fail_timeout_s = 0;
 };
 
 struct Egress {
@@ -123,6 +153,11 @@ class Switch {
   // for entries flagged kFlagSendFlowRemoved.
   std::vector<openflow::FlowRemoved> expire_flows(double now);
 
+  // Drains vacancy events accumulated since the last call (fired when a
+  // mod/expiry/eviction moved a table's occupancy across a configured
+  // threshold). The sim wraps them into Experimenter messages northbound.
+  std::vector<openflow::TableStatus> take_table_status();
+
   // Crash/reboot semantics: wipes all forwarding state (flow/group/meter
   // tables, megaflow cache, packet buffers) and forgets controller roles and
   // the master-election epoch, as a power-cycled switch would. Ports and
@@ -151,9 +186,13 @@ class Switch {
   // crash/reboot cycle even when it fit inside the heartbeat window.
   std::uint64_t boot_count() const noexcept { return boot_count_; }
   const MegaflowCache& cache() const noexcept { return cache_; }
+  const SwitchConfig& config() const noexcept { return config_; }
   std::uint64_t packet_in_suppressed() const noexcept {
     return packet_in_suppressed_;
   }
+  std::uint64_t flow_evictions() const noexcept { return flow_evictions_; }
+  // Frames dropped by the NORMAL-action flood deduper (loop suppression).
+  std::uint64_t storm_suppressed() const noexcept { return storm_suppressed_; }
   MegaflowCache& cache() noexcept { return cache_; }
   GroupTable& groups() noexcept { return groups_; }
   std::uint64_t rule_version() const noexcept { return version_; }
@@ -175,6 +214,11 @@ class Switch {
   };
 
   void run_pipeline(PipelineContext& ctx);
+  void execute_normal(PipelineContext& ctx);
+  // Re-evaluates one table's vacancy state after an occupancy change and
+  // queues a TableStatus when a threshold was crossed.
+  void check_vacancy(std::uint8_t table_id);
+  void update_occupancy_gauge();
   void execute_action_list(PipelineContext& ctx,
                            const openflow::ActionList& actions, int depth);
   void execute_output(PipelineContext& ctx, std::uint32_t port,
@@ -204,6 +248,21 @@ class Switch {
   // PacketIn rate limiting (controller protection).
   std::optional<util::TokenBucket> packet_in_bucket_;
   std::uint64_t packet_in_suppressed_ = 0;
+  std::uint64_t flow_evictions_ = 0;
+
+  // Vacancy-event state: true while a table sits below its down threshold
+  // (the event fired and no VacancyUp has cleared it yet).
+  std::vector<bool> vacancy_down_;
+  std::vector<openflow::TableStatus> pending_table_status_;
+  // Per-dpid occupancy gauge (table 0; null until first registered).
+  obs::Gauge* occupancy_gauge_ = nullptr;
+
+  // NORMAL-action state: a self-learned L2 FIB (src MAC -> ingress port)
+  // plus a window of recently flooded frame hashes so a fabric of
+  // standalone switches with physical loops cannot broadcast-storm.
+  std::unordered_map<std::uint64_t, std::uint32_t> normal_fib_;
+  std::unordered_map<std::uint64_t, double> flood_recent_;
+  std::uint64_t storm_suppressed_ = 0;
 
   // Telemetry hook (not owned; may be null).
   telemetry::SwitchTelemetry* telemetry_ = nullptr;

@@ -32,6 +32,9 @@ enum class IntentState : std::uint8_t {
   Installed,  // rules are in the dataplane
   Failed,     // compilation failed (e.g. partitioned topology); retried on
               // topology events
+  Degraded,   // rules rejected (TableFull) or evicted under table pressure;
+              // deliberately NOT recompiled until the pressure lifts
+              // (VacancyUp) — reinstalling would recreate the pressure
   Withdrawn,  // removed by the caller; rules deleted
 };
 
@@ -43,6 +46,9 @@ struct IntentSpec {
   // Extra constraints ANDed into every compiled rule (e.g. l4_dst(80)).
   openflow::Match extra_match;
   std::uint16_t priority = 400;
+  // Eviction precedence carried into every compiled rule: under table
+  // pressure, lower-importance rules are sacrificed first.
+  std::uint16_t importance = 100;
 };
 
 const char* to_string(IntentState state) noexcept;

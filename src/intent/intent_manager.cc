@@ -13,6 +13,7 @@ const char* to_string(IntentState state) noexcept {
     case IntentState::Pending: return "Pending";
     case IntentState::Installed: return "Installed";
     case IntentState::Failed: return "Failed";
+    case IntentState::Degraded: return "Degraded";
     case IntentState::Withdrawn: return "Withdrawn";
   }
   return "?";
@@ -94,8 +95,18 @@ void IntentManager::install(IntentId id, Record& record) {
   auto& store = controller_->rule_store();
   for (auto& rule : record.rules) {
     rule.mod.cookie = id;  // attribution: dataplane stats -> intent
+    rule.mod.importance = record.spec.importance;
+    // Ask the switch to tell us when the rule leaves the table — that
+    // notification is how evictions park the intent as Degraded.
+    rule.mod.flags |= openflow::kFlagSendFlowRemoved;
     store.install(rule.dpid, rule.mod,
-                  [](const std::optional<openflow::Error>&) {});
+                  [this, id](const std::optional<openflow::Error>& err) {
+                    // The store already retried (evicting its own
+                    // lower-importance rules); a TableFull that still gets
+                    // here means the switch genuinely has no room for us.
+                    if (err && openflow::is_table_full(*err))
+                      mark_degraded(id);
+                  });
   }
   record.state = IntentState::Installed;
   ++stats_.compiled;
@@ -433,11 +444,50 @@ void IntentManager::on_flow_removed(controller::Dpid dpid,
                rule.mod.match == msg.match;
       });
   if (!ours) return;
-  ZEN_LOG(Info) << "intent " << it->first
-                << ": rule evicted by dataplane on switch " << dpid
-                << ", recompiling";
+  if (msg.reason == openflow::FlowRemovedReason::Eviction) {
+    // Capacity eviction: the switch sacrificed our rule because the table
+    // is full. Reinstalling now would evict something else and storm; the
+    // rule store has already parked the rule, so park the intent too and
+    // wait for VacancyUp.
+    ZEN_LOG(Warn) << "intent " << it->first
+                  << ": rule evicted under table pressure on switch " << dpid
+                  << ", degrading (no recompile)";
+    mark_degraded(it->first);
+    return;
+  }
+  ZEN_LOG(Info) << "intent " << it->first << ": rule expired on switch "
+                << dpid << " (reason " << static_cast<int>(msg.reason)
+                << "), recompiling";
   ++stats_.recompiles;
   compile(it->first, it->second);
+}
+
+void IntentManager::mark_degraded(IntentId id) {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second.state != IntentState::Installed)
+    return;
+  it->second.state = IntentState::Degraded;
+  ++stats_.degraded;
+}
+
+void IntentManager::on_table_status(controller::Dpid dpid,
+                                    const openflow::TableStatus& status) {
+  if (status.reason != openflow::VacancyReason::VacancyUp) return;
+  // Pressure relieved: un-park the store's rules so audits repair them
+  // again, then recompile every Degraded intent (cheap no-op if none).
+  const std::size_t unparked = controller_->rule_store().clear_degraded(dpid);
+  std::size_t recompiled = 0;
+  for (auto& [id, record] : intents_) {
+    if (record.state != IntentState::Degraded) continue;
+    ++stats_.recompiles;
+    ++recompiled;
+    compile(id, record);
+  }
+  if (unparked + recompiled > 0) {
+    ZEN_LOG(Info) << "vacancy up on switch " << dpid << ": unparked "
+                  << unparked << " rules, recompiled " << recompiled
+                  << " degraded intents";
+  }
 }
 
 void IntentManager::on_switch_up(controller::Dpid dpid,
@@ -446,8 +496,11 @@ void IntentManager::on_switch_up(controller::Dpid dpid,
   // (intents identify endpoints by IP; discovery happens via PacketIns).
   controller_->install_table_miss(dpid);
   for (auto& [id, record] : intents_) {
+    // Degraded intents get a fresh shot too: a (re)connected switch starts
+    // with an empty table, so the pressure that parked them is gone.
     if (record.state == IntentState::Pending ||
-        record.state == IntentState::Failed) {
+        record.state == IntentState::Failed ||
+        record.state == IntentState::Degraded) {
       compile(id, record);
     }
   }

@@ -23,6 +23,7 @@ class IntentManager : public controller::App {
     std::uint64_t compiled = 0;
     std::uint64_t recompiles = 0;
     std::uint64_t failures = 0;
+    std::uint64_t degraded = 0;  // times an intent entered Degraded
   };
 
   std::string name() const override { return "intent_manager"; }
@@ -50,11 +51,17 @@ class IntentManager : public controller::App {
   // A switch declared dead: recompile every installed intent routed
   // through it onto surviving paths.
   void on_switch_down(controller::Dpid dpid) override;
-  // The dataplane evicted a rule (idle/hard timeout) belonging to an
-  // intent we still believe is installed: silent divergence — recompile.
-  // reason == Delete is our own delete echoing back and is ignored.
+  // A rule belonging to an intent we believe installed left the dataplane.
+  // Timeout expiry is silent divergence — recompile. Capacity eviction is
+  // back-pressure — park the intent as Degraded instead (recompiling would
+  // recreate the pressure that evicted it). reason == Delete is our own
+  // delete echoing back and is ignored.
   void on_flow_removed(controller::Dpid dpid,
                        const openflow::FlowRemoved& msg) override;
+  // VacancyUp lifts the pressure: un-park the store's degraded rules on
+  // that switch and recompile Degraded intents.
+  void on_table_status(controller::Dpid dpid,
+                       const openflow::TableStatus& status) override;
 
  private:
   struct InstalledRule {
@@ -78,6 +85,7 @@ class IntentManager : public controller::App {
   };
 
   bool compile(IntentId id, Record& record);
+  void mark_degraded(IntentId id);
   bool compile_direction(const topo::Topology& topo, Record& record,
                          net::Ipv4Address src, net::Ipv4Address dst,
                          bool record_path);

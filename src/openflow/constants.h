@@ -56,6 +56,7 @@ struct Ports {
   static constexpr std::uint32_t kMax = 0xffffff00;
   static constexpr std::uint32_t kInPort = 0xfffffff8;   // bounce back out ingress
   static constexpr std::uint32_t kTable = 0xfffffff9;    // resubmit to pipeline
+  static constexpr std::uint32_t kNormal = 0xfffffffa;   // L2 learning + flood
   static constexpr std::uint32_t kFlood = 0xfffffffb;    // all ports except ingress
   static constexpr std::uint32_t kAll = 0xfffffffc;      // all ports including ingress
   static constexpr std::uint32_t kController = 0xfffffffd;
@@ -80,6 +81,11 @@ enum class FlowRemovedReason : std::uint8_t {
   IdleTimeout = 0,
   HardTimeout = 1,
   Delete = 2,
+  // The table was full and the eviction policy sacrificed this entry to
+  // make room (OFPRR_EVICTION). Controllers must treat it differently from
+  // timeout expiry: blindly reinstalling recreates the pressure that
+  // evicted it.
+  Eviction = 3,
 };
 
 enum class PortReason : std::uint8_t { Add = 0, Delete = 1, Modify = 2 };
@@ -105,6 +111,13 @@ enum class ErrorType : std::uint16_t {
   GroupModFailed = 6,
   MeterModFailed = 12,
 };
+
+// ErrorType::FlowModFailed codes.
+namespace flow_mod_failed_code {
+inline constexpr std::uint16_t kBadTableId = 1;
+// The table has no room and eviction is off or could not free space.
+inline constexpr std::uint16_t kTableFull = 2;
+}  // namespace flow_mod_failed_code
 
 // FlowMod flags.
 inline constexpr std::uint16_t kFlagSendFlowRemoved = 0x0001;

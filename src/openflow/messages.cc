@@ -150,6 +150,7 @@ void encode_body(const Message& msg, util::ByteWriter& w) {
           w.u32(m.buffer_id);
           w.u32(m.out_port);
           w.u16(m.flags);
+          w.u16(m.importance);
           m.match.encode(w);
           encode_instructions(m.instructions, w);
         } else if constexpr (std::is_same_v<T, PacketIn>) {
@@ -306,6 +307,7 @@ util::Result<Message> decode_body(MsgType type, util::ByteReader& r) {
       m.buffer_id = r.u32();
       m.out_port = r.u32();
       m.flags = r.u16();
+      m.importance = r.u16();
       auto match = Match::decode(r);
       if (!match.ok()) return util::make_error<Message>(match.error());
       m.match = std::move(match).value();

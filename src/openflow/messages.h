@@ -34,6 +34,14 @@ struct ErrorMsg {
 // callbacks receive an Error on failure).
 using Error = ErrorMsg;
 
+// True for the typed failure a bounded flow table reports when it has no
+// room and eviction could not free any (the signal the FlowRuleStore's
+// table-full repair strategy keys on).
+inline bool is_table_full(const Error& err) noexcept {
+  return err.type == ErrorType::FlowModFailed &&
+         err.code == flow_mod_failed_code::kTableFull;
+}
+
 struct EchoRequest {
   Bytes data;
   friend bool operator==(const EchoRequest&, const EchoRequest&) = default;
@@ -91,6 +99,11 @@ struct FlowMod {
   std::uint32_t buffer_id = kNoBuffer;
   std::uint32_t out_port = Ports::kAny;  // filter for Delete
   std::uint16_t flags = 0;
+  // Eviction precedence under EvictionPolicy::Importance (OVS shape):
+  // when a bounded table must make room, the entry with the lowest
+  // importance goes first, and an incoming Add can never displace an
+  // entry more important than itself.
+  std::uint16_t importance = 0;
   Match match;
   InstructionList instructions;
   friend bool operator==(const FlowMod&, const FlowMod&) = default;

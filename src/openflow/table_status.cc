@@ -1,0 +1,64 @@
+#include "openflow/table_status.h"
+
+#include "util/buffer.h"
+
+namespace zen::openflow {
+
+namespace {
+constexpr std::uint8_t kTableStatusVersion = 1;
+}
+
+const char* to_string(VacancyReason reason) noexcept {
+  switch (reason) {
+    case VacancyReason::VacancyDown: return "vacancy_down";
+    case VacancyReason::VacancyUp: return "vacancy_up";
+  }
+  return "?";
+}
+
+Experimenter make_table_status_message(const TableStatus& status) {
+  Experimenter msg;
+  msg.experimenter_id = kVacancyExperimenterId;
+  msg.exp_type = kExpTypeTableStatus;
+  util::ByteWriter w(msg.payload);
+  w.u8(kTableStatusVersion);
+  w.u8(status.table_id);
+  w.u8(static_cast<std::uint8_t>(status.reason));
+  w.u32(status.active_count);
+  w.u32(status.max_entries);
+  w.u8(status.vacancy_down_pct);
+  w.u8(status.vacancy_up_pct);
+  return msg;
+}
+
+util::Result<TableStatus> parse_table_status_message(const Experimenter& msg) {
+  if (msg.experimenter_id != kVacancyExperimenterId) {
+    return util::make_error<TableStatus>(
+        "table status: foreign experimenter id");
+  }
+  if (msg.exp_type != kExpTypeTableStatus) {
+    return util::make_error<TableStatus>("table status: unknown exp_type");
+  }
+  util::ByteReader r(msg.payload);
+  if (r.u8() != kTableStatusVersion) {
+    return util::make_error<TableStatus>("table status: bad version");
+  }
+  TableStatus status;
+  status.table_id = r.u8();
+  const std::uint8_t reason = r.u8();
+  if (reason > static_cast<std::uint8_t>(VacancyReason::VacancyUp)) {
+    return util::make_error<TableStatus>("table status: bad reason");
+  }
+  status.reason = static_cast<VacancyReason>(reason);
+  status.active_count = r.u32();
+  status.max_entries = r.u32();
+  status.vacancy_down_pct = r.u8();
+  status.vacancy_up_pct = r.u8();
+  if (!r.ok()) return util::make_error<TableStatus>("table status: truncated");
+  if (r.remaining() != 0) {
+    return util::make_error<TableStatus>("table status: trailing bytes");
+  }
+  return status;
+}
+
+}  // namespace zen::openflow

@@ -1,0 +1,50 @@
+// TableStatus: OVS-style vacancy events for bounded flow tables.
+//
+// A switch configured with vacancy thresholds announces when a table's
+// free space crosses them: VacancyDown when free entries drop to or below
+// vacancy_down_pct of capacity, VacancyUp when they recover to or above
+// vacancy_up_pct. The gap between the two thresholds is the hysteresis
+// band that keeps a table hovering at one boundary from storming events.
+//
+// The event rides the southbound channel as an openflow::Experimenter
+// message (the OFPT_TABLE_STATUS analog without widening the Message
+// variant), scoped by kVacancyExperimenterId / kExpTypeTableStatus.
+#pragma once
+
+#include <cstdint>
+
+#include "openflow/messages.h"
+#include "util/result.h"
+
+namespace zen::openflow {
+
+// "zenv" — identifies zen vacancy/table-status experimenter messages.
+inline constexpr std::uint32_t kVacancyExperimenterId = 0x7a656e76;
+inline constexpr std::uint32_t kExpTypeTableStatus = 1;
+
+enum class VacancyReason : std::uint8_t {
+  VacancyDown = 0,  // free space fell to/below the down threshold
+  VacancyUp = 1,    // free space recovered to/above the up threshold
+};
+
+struct TableStatus {
+  std::uint8_t table_id = 0;
+  VacancyReason reason = VacancyReason::VacancyDown;
+  std::uint32_t active_count = 0;  // entries at the crossing
+  std::uint32_t max_entries = 0;   // the table's configured bound
+  // The thresholds in effect, echoed so the controller can reason about
+  // the hysteresis band without knowing the switch's config.
+  std::uint8_t vacancy_down_pct = 0;
+  std::uint8_t vacancy_up_pct = 0;
+
+  friend bool operator==(const TableStatus&, const TableStatus&) = default;
+};
+
+const char* to_string(VacancyReason reason) noexcept;
+
+// Wraps/unwraps a TableStatus in the Experimenter envelope. parse returns
+// an error for foreign experimenter ids or malformed payloads.
+Experimenter make_table_status_message(const TableStatus& status);
+util::Result<TableStatus> parse_table_status_message(const Experimenter& msg);
+
+}  // namespace zen::openflow

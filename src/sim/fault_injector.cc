@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/headers.h"
 #include "obs/obs.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -26,8 +27,37 @@ const char* to_string(FaultInjector::Event::Kind kind) noexcept {
     case Kind::LinkUp: return "link_up";
     case Kind::SwitchCrash: return "switch_crash";
     case Kind::SwitchReboot: return "switch_reboot";
+    case Kind::TablePressure: return "table_pressure";
   }
   return "?";
+}
+
+void FaultInjector::inject_table_pressure(topo::NodeId sw,
+                                          std::uint64_t burst_no) {
+  // Lifetimes are drawn from a burst-local rng so the rule mix depends only
+  // on (seed, burst number), not on execution order against other events.
+  util::Rng rng(options_.seed ^ (0x7072657373ULL + burst_no));
+  const auto lifetime_span = static_cast<std::uint32_t>(
+      std::max<int>(0, options_.pressure_lifetime_max_s -
+                           options_.pressure_lifetime_min_s));
+  for (int i = 0; i < options_.pressure_rules_per_burst; ++i) {
+    const std::uint64_t seq = pressure_seq_++;
+    openflow::FlowMod mod;
+    // TEST-NET-3 (203.0.113.0/24, then neighboring blocks for large storms):
+    // destinations no simulated host owns, so junk rules never attract real
+    // traffic — they only consume table slots.
+    mod.match.eth_type(net::EtherType::kIpv4)
+        .ipv4_dst(net::Ipv4Address(0xcb007100u + static_cast<std::uint32_t>(seq)),
+                  32);
+    mod.priority = 2;
+    mod.importance = 0;  // first to go under importance eviction
+    mod.cookie = 0;      // invisible to the rule store / intent layer
+    mod.hard_timeout = static_cast<std::uint16_t>(
+        options_.pressure_lifetime_min_s +
+        (lifetime_span ? rng.next_below(lifetime_span + 1) : 0));
+    // No instructions: matching packets (there are none) would just drop.
+    if (net_.flow_mod(sw, mod).ok) ++pressure_installed_;
+  }
 }
 
 void FaultInjector::arm() {
@@ -47,16 +77,17 @@ void FaultInjector::arm() {
   std::sort(links.begin(), links.end());
 
   std::vector<topo::NodeId> switches;
+  std::vector<topo::NodeId> edge_switches;
   for (const topo::NodeId sw : net_.generated().switches) {
-    if (options_.avoid_edge_switches) {
-      bool has_host = false;
-      for (const topo::Link* link : net_.topology().links_of(sw))
-        has_host |= topo::is_host_id(link->other(sw));
-      if (has_host) continue;
-    }
+    bool has_host = false;
+    for (const topo::Link* link : net_.topology().links_of(sw))
+      has_host |= topo::is_host_id(link->other(sw));
+    if (has_host) edge_switches.push_back(sw);
+    if (options_.avoid_edge_switches && has_host) continue;
     switches.push_back(sw);
   }
   std::sort(switches.begin(), switches.end());
+  std::sort(edge_switches.begin(), edge_switches.end());
 
   const auto draw_in = [&](double lo, double hi) {
     return lo + rng.next_double() * std::max(0.0, hi - lo);
@@ -87,11 +118,25 @@ void FaultInjector::arm() {
     ++reboots_;
   }
 
+  // Table-pressure bursts land on edge switches: those are the ones whose
+  // bounded tables carry the rules real traffic depends on.
+  for (int i = 0; i < options_.table_pressure_bursts && !edge_switches.empty();
+       ++i) {
+    const topo::NodeId sw = edge_switches[rng.next_below(edge_switches.size())];
+    const double at =
+        options_.start_s + rng.next_double() * options_.duration_s;
+    schedule_.push_back({Event::Kind::TablePressure, at, sw});
+    ++bursts_;
+  }
+
   std::sort(schedule_.begin(), schedule_.end(),
             [](const Event& a, const Event& b) { return a.at < b.at; });
+  std::uint64_t burst_no = 0;
   for (const Event& ev : schedule_) {
     storm_end_s_ = std::max(storm_end_s_, ev.at);
-    net_.events().schedule_at(ev.at, [this, ev] {
+    const std::uint64_t this_burst =
+        ev.kind == Event::Kind::TablePressure ? burst_no++ : 0;
+    net_.events().schedule_at(ev.at, [this, ev, this_burst] {
       faults_counter().inc();
       ZEN_LOG(Info) << "chaos: " << to_string(ev.kind) << " target "
                     << ev.target;
@@ -107,6 +152,10 @@ void FaultInjector::arm() {
           break;
         case Event::Kind::SwitchReboot:
           net_.reboot_switch(static_cast<topo::NodeId>(ev.target));
+          break;
+        case Event::Kind::TablePressure:
+          inject_table_pressure(static_cast<topo::NodeId>(ev.target),
+                                this_burst);
           break;
       }
     });

@@ -41,13 +41,24 @@ class FaultInjector {
     // Only crash switches without attached hosts (spines/cores), so every
     // intent endpoint stays reachable once the storm clears.
     bool avoid_edge_switches = true;
+    // Table-pressure storm: bursts of short-lived junk rules pushed into
+    // edge switches (the ones whose tables real traffic depends on), the
+    // way a buggy/compromised tenant app would fill hardware tables. Rules
+    // carry cookie 0 + importance 0, match unroutable destinations, and
+    // hard-expire on their own, so pressure rises and drains by itself.
+    int table_pressure_bursts = 0;
+    int pressure_rules_per_burst = 16;
+    std::uint16_t pressure_lifetime_min_s = 1;
+    std::uint16_t pressure_lifetime_max_s = 3;
   };
 
   struct Event {
-    enum class Kind : std::uint8_t { LinkDown, LinkUp, SwitchCrash, SwitchReboot };
+    enum class Kind : std::uint8_t {
+      LinkDown, LinkUp, SwitchCrash, SwitchReboot, TablePressure
+    };
     Kind kind;
     double at = 0;
-    std::uint64_t target = 0;  // LinkId for flaps, NodeId for reboots
+    std::uint64_t target = 0;  // LinkId for flaps, NodeId for reboots/pressure
   };
 
   FaultInjector(SimNetwork& net, Options options)
@@ -66,14 +77,24 @@ class FaultInjector {
 
   std::size_t link_flaps_scheduled() const noexcept { return link_flaps_; }
   std::size_t switch_reboots_scheduled() const noexcept { return reboots_; }
+  std::size_t pressure_bursts_scheduled() const noexcept { return bursts_; }
+  // Junk rules actually accepted by switches (valid after the storm ran).
+  std::uint64_t pressure_rules_installed() const noexcept {
+    return pressure_installed_;
+  }
 
  private:
+  void inject_table_pressure(topo::NodeId sw, std::uint64_t burst_no);
+
   SimNetwork& net_;
   Options options_;
   std::vector<Event> schedule_;
   double storm_end_s_ = 0;
   std::size_t link_flaps_ = 0;
   std::size_t reboots_ = 0;
+  std::size_t bursts_ = 0;
+  std::uint64_t pressure_installed_ = 0;
+  std::uint64_t pressure_seq_ = 0;
   bool armed_ = false;
 };
 

@@ -95,9 +95,18 @@ void SimNetwork::schedule_expiry_sweep() {
         for (const auto& handler : event_handlers_)
           handler(id, openflow::Message{removed});
       }
+      flush_table_status(id);
     }
     schedule_expiry_sweep();
   });
+}
+
+void SimNetwork::flush_table_status(topo::NodeId sw) {
+  for (const auto& status : switches_.at(sw)->take_table_status()) {
+    for (const auto& handler : event_handlers_)
+      handler(sw,
+              openflow::Message{openflow::make_table_status_message(status)});
+  }
 }
 
 void SimNetwork::configure_telemetry(const telemetry::Options& opts) {
@@ -341,6 +350,7 @@ dataplane::ModStatus SimNetwork::flow_mod(topo::NodeId sw,
   for (const auto& fr : removed)
     for (const auto& handler : event_handlers_)
       handler(sw, openflow::Message{fr});
+  flush_table_status(sw);
   return status;
 }
 

@@ -160,6 +160,9 @@ class SimNetwork {
   void handle_forward_result(topo::NodeId sw, dataplane::ForwardResult result);
   void schedule_expiry_sweep();
   void schedule_telemetry_sweep();
+  // Drains vacancy TableStatus events from `sw` and fans them out to the
+  // control seam as Experimenter messages.
+  void flush_table_status(topo::NodeId sw);
   // Emits a pending export batch for `sw` (if any) to the control seam.
   void maybe_flush_telemetry(topo::NodeId sw);
   std::uint64_t now_ns() const noexcept {
