@@ -98,7 +98,11 @@ void BM_ProactiveRecompute(benchmark::State& state) {
       static_cast<double>(net.generated().switches.size());
   state.counters["hosts"] = static_cast<double>(hosts.size());
 }
-BENCHMARK(BM_ProactiveRecompute)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProactiveRecompute)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ConnectAllSwitches(benchmark::State& state) {
   for (auto _ : state) {

@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "topo/generators.h"
+#include "topo/path_engine.h"
 #include "topo/paths.h"
 #include "util/rng.h"
 
@@ -116,5 +117,50 @@ void BM_AllPairsRoutes(benchmark::State& state) {
   state.counters["switches"] = static_cast<double>(gen.switches.size());
 }
 BENCHMARK(BM_AllPairsRoutes)->Arg(4)->Arg(8)->Arg(16);
+
+// PathEngine cold start: fill the per-destination SPF cache from scratch
+// (fresh epoch every iteration) and answer every (src, dst) next-hop
+// query. This is the worst case a topology change can cost — compare with
+// BM_AllPairsRoutes, which pays the same Dijkstras without the DAG.
+void BM_PathEngineColdAllPairs(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  topo::PathEngine engine;
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    engine.sync(gen.topo, ++epoch);  // new epoch: cache dropped
+    std::size_t hops = 0;
+    for (const topo::NodeId dst : gen.switches)
+      for (const topo::NodeId src : gen.switches)
+        hops += engine.next_hops(src, dst).size();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.switches.size() *
+                                                    gen.switches.size()));
+  state.counters["switches"] = static_cast<double>(gen.switches.size());
+}
+BENCHMARK(BM_PathEngineColdAllPairs)->Arg(4)->Arg(8)->Arg(16);
+
+// PathEngine steady state: every query hits the cache (what consumers pay
+// between topology changes — pure hash lookups).
+void BM_PathEngineWarmAllPairs(benchmark::State& state) {
+  auto gen = topo::make_fat_tree(static_cast<std::size_t>(state.range(0)));
+  topo::PathEngine engine;
+  engine.sync(gen.topo, 1);
+  for (const topo::NodeId dst : gen.switches)
+    engine.towards(dst);  // prime
+  for (auto _ : state) {
+    std::size_t hops = 0;
+    for (const topo::NodeId dst : gen.switches)
+      for (const topo::NodeId src : gen.switches)
+        hops += engine.next_hops(src, dst).size();
+    benchmark::DoNotOptimize(hops);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(gen.switches.size() *
+                                                    gen.switches.size()));
+  state.counters["switches"] = static_cast<double>(gen.switches.size());
+}
+BENCHMARK(BM_PathEngineWarmAllPairs)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace

@@ -1,15 +1,23 @@
 // Proactive shortest-path L3 routing with proxy ARP (ONOS-style fwd).
 //
 // Maintains per-destination-host /32 routes on every switch, recomputed
-// whenever the learned topology or host set changes. ARP requests are
-// punted and answered by the controller from its host table (proxy ARP);
-// unknown targets are flooded to edge ports only, so multi-path fabrics
-// stay loop-free. With ECMP enabled, equal-cost next hops are programmed
-// as a Select group per (switch, destination).
+// whenever the learned topology or host set changes. Path resolution goes
+// through the NetworkView's shared topo::PathEngine: one cached reverse
+// SPF per distinct attachment switch serves the next-hop sets of every
+// (switch, host) pair at once, and only deltas are pushed southbound.
+// ARP requests are punted and answered by the controller from its host
+// table (proxy ARP); unknown targets are flooded to edge ports only, so
+// multi-path fabrics stay loop-free.
+//
+// With ECMP enabled, equal-cost next hops are programmed as one Select
+// group per (switch, destination) whose id is the destination /32 itself —
+// stable across recomputes, so membership changes are GroupMod Modify on
+// the same id and a destination that loses all next-hops gets its group
+// (and route) deleted instead of leaking a fresh id per change.
 #pragma once
 
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "controller/controller.h"
 
@@ -22,6 +30,8 @@ class L3Routing : public App {
     std::uint16_t arp_punt_priority = 900;
     std::uint8_t table_id = 0;
     bool use_ecmp_groups = false;
+    // Maximum distinct egress ports per ECMP Select group.
+    std::size_t max_ecmp_width = 8;
     // Debounce: recompute at most once per this interval.
     double recompute_delay_s = 0.01;
   };
@@ -41,7 +51,18 @@ class L3Routing : public App {
   std::uint64_t recompute_count() const noexcept { return recomputes_; }
 
  private:
+  // What this app believes a switch has installed for one destination.
+  struct RouteEntry {
+    std::uint64_t signature = 0;  // FNV over the egress port list
+    std::uint32_t group_id = 0;   // 0: plain output rule, no group
+  };
+
   void schedule_recompute();
+  // Installs/updates/withdraws the route for `ip` on `sw` given the
+  // desired egress ports (empty = unreachable). Emits only deltas.
+  void apply_route(Dpid sw, net::Ipv4Address ip,
+                   const std::vector<std::uint32_t>& ports);
+  void withdraw_route(Dpid sw, net::Ipv4Address ip, const RouteEntry& entry);
   void flood_to_edge_ports(const openflow::Bytes& data, Dpid except_dpid,
                            std::uint32_t except_port);
   void handle_arp(const PacketInEvent& event);
@@ -49,10 +70,9 @@ class L3Routing : public App {
   Options options_;
   bool recompute_pending_ = false;
   std::uint64_t recomputes_ = 0;
-  // (dpid, dst-ip) -> installed next-hop signature, to skip no-op FlowMods.
-  std::unordered_map<Dpid, std::unordered_map<std::uint32_t, std::uint64_t>>
+  // (dpid, dst-ip) -> installed route state, to emit deltas only.
+  std::unordered_map<Dpid, std::unordered_map<std::uint32_t, RouteEntry>>
       installed_;
-  std::unordered_map<Dpid, std::uint32_t> next_group_id_;
 };
 
 }  // namespace zen::controller::apps

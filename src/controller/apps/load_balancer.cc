@@ -1,7 +1,7 @@
 #include "controller/apps/load_balancer.h"
 
 #include "net/headers.h"
-#include "topo/paths.h"
+#include "topo/path_engine.h"
 
 namespace zen::controller::apps {
 
@@ -45,16 +45,16 @@ bool LoadBalancer::on_packet_in(const PacketInEvent& event) {
   const HostInfo* backend_host = view.host_by_ip(backend.ip);
   if (!backend_host) return true;  // backend not learned yet; drop politely
 
-  const topo::Topology topo = view.as_topology(false);
+  topo::PathEngine& engine = view.path_engine();
 
-  // Forward path: this switch toward the backend.
+  // Forward path: this switch toward the backend (cached reverse SPF).
   std::uint32_t out_port = 0;
   if (event.dpid == backend_host->dpid) {
     out_port = backend_host->port;
   } else {
-    const topo::Path path = topo::shortest_path(topo, event.dpid, backend_host->dpid);
-    if (path.links.empty()) return true;
-    out_port = topo.link(path.links.front())->port_at(event.dpid);
+    const auto& hops = engine.next_hops(event.dpid, backend_host->dpid);
+    if (hops.empty()) return true;
+    out_port = hops.front().out_port;
   }
 
   openflow::ActionList dnat = {
@@ -87,10 +87,8 @@ bool LoadBalancer::on_packet_in(const PacketInEvent& event) {
     if (backend_host->dpid == client->dpid) {
       rev_port = client->port;
     } else {
-      const topo::Path rev =
-          topo::shortest_path(topo, backend_host->dpid, client->dpid);
-      if (!rev.links.empty())
-        rev_port = topo.link(rev.links.front())->port_at(backend_host->dpid);
+      const auto& rev = engine.next_hops(backend_host->dpid, client->dpid);
+      if (!rev.empty()) rev_port = rev.front().out_port;
     }
     if (rev_port != 0) {
       openflow::FlowMod snat;

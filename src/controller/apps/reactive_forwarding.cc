@@ -1,7 +1,7 @@
 #include "controller/apps/reactive_forwarding.h"
 
 #include "net/headers.h"
-#include "topo/paths.h"
+#include "topo/path_engine.h"
 
 namespace zen::controller::apps {
 
@@ -69,14 +69,16 @@ bool ReactiveForwarding::on_packet_in(const PacketInEvent& event) {
     return true;
   }
 
-  // Path from the punting switch to the destination's switch.
-  const topo::Topology topo = view.as_topology(false);
+  // Path from the punting switch to the destination's switch, resolved
+  // through the shared PathEngine (cached per destination).
+  topo::PathEngine& engine = view.path_engine();
+  const topo::Topology& topo = engine.topology();
   std::vector<topo::NodeId> nodes;
   std::vector<topo::LinkId> links;
   if (event.dpid == dst->dpid) {
     nodes = {event.dpid};
   } else {
-    const topo::Path path = topo::shortest_path(topo, event.dpid, dst->dpid);
+    const topo::Path path = engine.shortest_path(event.dpid, dst->dpid);
     if (path.empty()) return true;  // partitioned; drop
     nodes = path.nodes;
     links = path.links;

@@ -317,6 +317,7 @@ openflow::Xid Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod,
                                    CompletionFn done) {
   ++stats_.flow_mods_sent;
   CtrlMetrics::get().flow_mods.inc();
+  if (southbound_tap_) southbound_tap_(dpid, openflow::Message{mod});
   if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
   const openflow::Xid xid = next_xid(dpid);
   send(dpid, openflow::Message{mod}, xid);
@@ -326,6 +327,7 @@ openflow::Xid Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod,
 openflow::Xid Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod,
                                     CompletionFn done) {
   ++stats_.group_mods_sent;
+  if (southbound_tap_) southbound_tap_(dpid, openflow::Message{mod});
   if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
   const openflow::Xid xid = next_xid(dpid);
   send(dpid, openflow::Message{mod}, xid);

@@ -233,6 +233,14 @@ class Controller {
   // Notification hooks used by system apps (discovery).
   void notify_link_event(const LinkEvent& ev);
 
+  // Observation hook: invoked synchronously for every FlowMod and GroupMod
+  // in send order, before encoding. Determinism tests fingerprint the
+  // southbound stream with it; pass nullptr to clear.
+  using SouthboundTap = std::function<void(Dpid, const openflow::Message&)>;
+  void set_southbound_tap(SouthboundTap tap) {
+    southbound_tap_ = std::move(tap);
+  }
+
  private:
   struct PendingCompletion {
     openflow::Message msg;  // kept for re-send after a timeout
@@ -303,6 +311,7 @@ class Controller {
   std::unordered_map<Dpid, Session> sessions_;
   ControllerStats stats_;
   std::unique_ptr<FlowRuleStore> rule_store_;
+  SouthboundTap southbound_tap_;
 };
 
 }  // namespace zen::controller

@@ -10,6 +10,7 @@ void NetworkView::add_switch(Dpid dpid, const openflow::FeaturesReply& features)
   for (const auto& port : features.ports) entry.port_up[port.port_no] = port.link_up;
   switches_[dpid] = std::move(entry);
   ++version_;
+  ++topology_epoch_;
 }
 
 void NetworkView::record_table_status(Dpid dpid,
@@ -36,6 +37,7 @@ void NetworkView::remove_switch(Dpid dpid) {
                               }),
                links_.end());
   ++version_;
+  ++topology_epoch_;
 }
 
 std::vector<Dpid> NetworkView::switch_ids() const {
@@ -56,6 +58,7 @@ void NetworkView::set_port_state(Dpid dpid, std::uint32_t port, bool up) {
   if (it == switches_.end()) return;
   it->second.port_up[port] = up;
   ++version_;
+  ++topology_epoch_;
 }
 
 bool NetworkView::learn_link(Dpid a, std::uint32_t a_port, Dpid b,
@@ -70,6 +73,7 @@ bool NetworkView::learn_link(Dpid a, std::uint32_t a_port, Dpid b,
       if (!link.up) {
         link.up = true;
         ++version_;
+        ++topology_epoch_;
         return true;
       }
       return false;
@@ -77,6 +81,7 @@ bool NetworkView::learn_link(Dpid a, std::uint32_t a_port, Dpid b,
   }
   links_.push_back(DiscoveredLink{a, a_port, b, b_port, true, now});
   ++version_;
+  ++topology_epoch_;
   return true;
 }
 
@@ -91,7 +96,10 @@ std::vector<DiscoveredLink> NetworkView::mark_links_down(Dpid dpid,
       affected.push_back(link);
     }
   }
-  if (!affected.empty()) ++version_;
+  if (!affected.empty()) {
+    ++version_;
+    ++topology_epoch_;
+  }
   return affected;
 }
 
@@ -157,6 +165,12 @@ topo::Topology NetworkView::as_topology(bool include_hosts) const {
     }
   }
   return topo;
+}
+
+topo::PathEngine& NetworkView::path_engine() const {
+  if (path_engine_.epoch() != topology_epoch_)
+    path_engine_.sync(as_topology(/*include_hosts=*/false), topology_epoch_);
+  return path_engine_;
 }
 
 }  // namespace zen::controller

@@ -16,6 +16,7 @@
 #include "openflow/messages.h"
 #include "openflow/table_status.h"
 #include "topo/graph.h"
+#include "topo/path_engine.h"
 
 namespace zen::controller {
 
@@ -83,6 +84,18 @@ class NetworkView {
   // integer) attached at their learned locations when include_hosts.
   topo::Topology as_topology(bool include_hosts = false) const;
 
+  // ---- shared path computation ----
+  // Counter bumped only on switch/link/port changes — the events that
+  // alter the switch-level topology. Host (re)learning bumps version()
+  // but not this, so path caches survive host churn.
+  std::uint64_t topology_epoch() const noexcept { return topology_epoch_; }
+
+  // The shared per-destination SPF cache over the current switch topology.
+  // Lazily re-synced when topology_epoch() has moved; every consumer
+  // (L3 routing, intents, reactive apps, TE installers) resolves paths
+  // through this one engine so they share cache hits.
+  topo::PathEngine& path_engine() const;
+
   std::uint64_t version() const noexcept { return version_; }
 
  private:
@@ -97,6 +110,9 @@ class NetworkView {
   std::unordered_map<net::MacAddress, HostInfo> hosts_by_mac_;
   std::unordered_map<net::Ipv4Address, net::MacAddress> ip_to_mac_;
   std::uint64_t version_ = 1;
+  std::uint64_t topology_epoch_ = 1;
+  // Query-side cache; mutable so const views still share it.
+  mutable topo::PathEngine path_engine_;
 };
 
 }  // namespace zen::controller

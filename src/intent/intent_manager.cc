@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "net/headers.h"
-#include "topo/paths.h"
+#include "topo/path_engine.h"
 #include "util/logging.h"
 
 namespace zen::intent {
@@ -112,9 +112,10 @@ void IntentManager::install(IntentId id, Record& record) {
   ++stats_.compiled;
 }
 
-bool IntentManager::compile_direction(const topo::Topology& topo,
+bool IntentManager::compile_direction(topo::PathEngine& engine,
                                       Record& record, net::Ipv4Address src,
                                       net::Ipv4Address dst, bool record_path) {
+  const topo::Topology& topo = engine.topology();
   const controller::NetworkView& view = controller_->view();
   const controller::HostInfo* s = view.host_by_ip(src);
   const controller::HostInfo* d = view.host_by_ip(dst);
@@ -127,8 +128,8 @@ bool IntentManager::compile_direction(const topo::Topology& topo,
   std::vector<topo::NodeId> nodes;
   std::vector<topo::LinkId> links;
   if (record.spec.kind == IntentKind::Waypoint && record_path) {
-    const topo::Path leg1 = topo::shortest_path(topo, s->dpid, record.spec.waypoint);
-    const topo::Path leg2 = topo::shortest_path(topo, record.spec.waypoint, d->dpid);
+    const topo::Path leg1 = engine.shortest_path(s->dpid, record.spec.waypoint);
+    const topo::Path leg2 = engine.shortest_path(record.spec.waypoint, d->dpid);
     if ((leg1.empty() && s->dpid != record.spec.waypoint) ||
         (leg2.empty() && record.spec.waypoint != d->dpid)) {
       record.state = IntentState::Failed;
@@ -144,7 +145,7 @@ bool IntentManager::compile_direction(const topo::Topology& topo,
     if (s->dpid == d->dpid) {
       nodes = {s->dpid};
     } else {
-      const topo::Path path = topo::shortest_path(topo, s->dpid, d->dpid);
+      const topo::Path path = engine.shortest_path(s->dpid, d->dpid);
       if (path.empty()) {
         record.state = IntentState::Failed;
         return false;
@@ -186,8 +187,9 @@ bool IntentManager::compile_direction(const topo::Topology& topo,
   return true;
 }
 
-bool IntentManager::compile_protected(const topo::Topology& topo,
+bool IntentManager::compile_protected(topo::PathEngine& engine,
                                       Record& record) {
+  const topo::Topology& topo = engine.topology();
   const controller::NetworkView& view = controller_->view();
   const controller::HostInfo* s = view.host_by_ip(record.spec.src);
   const controller::HostInfo* d = view.host_by_ip(record.spec.dst);
@@ -196,22 +198,24 @@ bool IntentManager::compile_protected(const topo::Topology& topo,
     return false;
   }
 
-  // Primary shortest path.
+  // Primary shortest path (shared SPF cache).
   if (s->dpid == d->dpid) {
     // Single-switch: nothing to protect; plain rule suffices.
-    return compile_direction(topo, record, record.spec.src, record.spec.dst,
+    return compile_direction(engine, record, record.spec.src, record.spec.dst,
                              /*record_path=*/true);
   }
-  const topo::Path primary = topo::shortest_path(topo, s->dpid, d->dpid);
+  const topo::Path primary = engine.shortest_path(s->dpid, d->dpid);
   if (primary.empty()) {
     record.state = IntentState::Failed;
     return false;
   }
 
-  // Link-disjoint backup: recompute with the primary's links removed.
-  topo::Topology pruned = topo;
-  for (const topo::LinkId lid : primary.links) pruned.remove_link(lid);
-  const topo::Path backup = topo::shortest_path(pruned, s->dpid, d->dpid);
+  // Link-disjoint backup: a filtered Dijkstra with the primary's links
+  // banned — no topology copy, same snapshot.
+  const std::unordered_set<topo::LinkId> banned(primary.links.begin(),
+                                                primary.links.end());
+  const topo::Path backup =
+      engine.shortest_path_avoiding(s->dpid, d->dpid, banned);
 
   auto base_match = [&] {
     openflow::Match match;
@@ -259,9 +263,9 @@ bool IntentManager::compile_protected(const topo::Topology& topo,
   head.match.in_port(s->port);
 
   if (!backup.empty()) {
-    install_tail(pruned, backup);
+    install_tail(topo, backup);
     const std::uint32_t backup_port =
-        pruned.link(backup.links.front())->port_at(s->dpid);
+        topo.link(backup.links.front())->port_at(s->dpid);
 
     // Head-end fast-failover group: primary bucket watched on its port,
     // backup bucket as the fallback.
@@ -318,20 +322,20 @@ bool IntentManager::compile(IntentId id, Record& record) {
   remove_rules(record);
 
   bool ok = false;
-  const topo::Topology topo = controller_->view().as_topology(false);
+  topo::PathEngine& engine = controller_->view().path_engine();
   switch (record.spec.kind) {
     case IntentKind::PointToPoint:
     case IntentKind::Waypoint:
-      ok = compile_direction(topo, record, record.spec.src, record.spec.dst,
+      ok = compile_direction(engine, record, record.spec.src, record.spec.dst,
                              /*record_path=*/true);
       break;
     case IntentKind::ProtectedPointToPoint:
-      ok = compile_protected(topo, record);
+      ok = compile_protected(engine, record);
       break;
     case IntentKind::HostToHost:
-      ok = compile_direction(topo, record, record.spec.src, record.spec.dst,
+      ok = compile_direction(engine, record, record.spec.src, record.spec.dst,
                              /*record_path=*/true) &&
-           compile_direction(topo, record, record.spec.dst, record.spec.src,
+           compile_direction(engine, record, record.spec.dst, record.spec.src,
                              /*record_path=*/false);
       break;
     case IntentKind::Ban:

@@ -86,10 +86,10 @@ class IntentManager : public controller::App {
 
   bool compile(IntentId id, Record& record);
   void mark_degraded(IntentId id);
-  bool compile_direction(const topo::Topology& topo, Record& record,
+  bool compile_direction(topo::PathEngine& engine, Record& record,
                          net::Ipv4Address src, net::Ipv4Address dst,
                          bool record_path);
-  bool compile_protected(const topo::Topology& topo, Record& record);
+  bool compile_protected(topo::PathEngine& engine, Record& record);
   bool compile_ban(Record& record);
   void install(IntentId id, Record& record);
   void remove_rules(Record& record);

@@ -87,11 +87,12 @@ void commit(Allocation& alloc, const DemandKey& key, const topo::Path& path,
   for (const topo::LinkId lid : path.links) alloc.link_load_bps[lid] += bps;
 }
 
-Allocation allocate_single_path(const topo::Topology& topo,
+Allocation allocate_single_path(topo::PathEngine& engine,
                                 const DemandMatrix& demands, double headroom) {
+  const topo::Topology& topo = engine.topology();
   Allocation alloc;
   for (const auto& [key, bps] : demands.entries()) {
-    const topo::Path path = topo::shortest_path(topo, key.src, key.dst);
+    const topo::Path path = engine.shortest_path(key.src, key.dst);
     if (path.empty() && key.src != key.dst) continue;
     const double grant = std::min(bps, residual(topo, path, alloc.link_load_bps,
                                                 headroom));
@@ -100,13 +101,14 @@ Allocation allocate_single_path(const topo::Topology& topo,
   return alloc;
 }
 
-Allocation allocate_ecmp(const topo::Topology& topo,
+Allocation allocate_ecmp(topo::PathEngine& engine,
                          const DemandMatrix& demands,
                          const AllocatorOptions& options) {
+  const topo::Topology& topo = engine.topology();
   Allocation alloc;
   for (const auto& [key, bps] : demands.entries()) {
     const auto paths =
-        topo::equal_cost_paths(topo, key.src, key.dst, options.k_paths);
+        engine.equal_cost_paths(key.src, key.dst, options.k_paths);
     if (paths.empty()) continue;
     const double per_path = bps / static_cast<double>(paths.size());
     for (const auto& path : paths) {
@@ -118,9 +120,10 @@ Allocation allocate_ecmp(const topo::Topology& topo,
   return alloc;
 }
 
-Allocation allocate_greedy(const topo::Topology& topo,
+Allocation allocate_greedy(topo::PathEngine& engine,
                            const DemandMatrix& demands,
                            const AllocatorOptions& options) {
+  const topo::Topology& topo = engine.topology();
   Allocation alloc;
   // Largest demands first.
   std::vector<std::pair<DemandKey, double>> ordered(demands.entries().begin(),
@@ -131,7 +134,7 @@ Allocation allocate_greedy(const topo::Topology& topo,
               return a.first < b.first;
             });
   for (const auto& [key, bps] : ordered) {
-    auto paths = topo::k_shortest_paths(topo, key.src, key.dst, options.k_paths);
+    auto paths = engine.k_shortest_paths(key.src, key.dst, options.k_paths);
     double remaining = bps;
     // Repeatedly place on the path with the most headroom.
     while (remaining > 1e-9 && !paths.empty()) {
@@ -153,9 +156,10 @@ Allocation allocate_greedy(const topo::Topology& topo,
   return alloc;
 }
 
-Allocation allocate_max_min(const topo::Topology& topo,
+Allocation allocate_max_min(topo::PathEngine& engine,
                             const DemandMatrix& demands,
                             const AllocatorOptions& options) {
+  const topo::Topology& topo = engine.topology();
   Allocation alloc;
 
   struct Flow {
@@ -169,7 +173,7 @@ Allocation allocate_max_min(const topo::Topology& topo,
     Flow flow;
     flow.key = key;
     flow.remaining = bps;
-    flow.paths = topo::k_shortest_paths(topo, key.src, key.dst, options.k_paths);
+    flow.paths = engine.k_shortest_paths(key.src, key.dst, options.k_paths);
     max_demand = std::max(max_demand, bps);
     if (!flow.paths.empty()) flows.push_back(std::move(flow));
   }
@@ -210,7 +214,7 @@ Allocation allocate_max_min(const topo::Topology& topo,
 
 }  // namespace
 
-Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
+Allocation allocate(topo::PathEngine& engine, const DemandMatrix& demands,
                     Strategy strategy, const AllocatorOptions& options) {
   static obs::Counter& runs = obs::MetricsRegistry::global().counter(
       "zen_te_allocations_total", "", "TE allocation solves");
@@ -221,15 +225,24 @@ Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
   ZEN_TRACE_SCOPE("allocate", "te");
   switch (strategy) {
     case Strategy::ShortestPath:
-      return allocate_single_path(topo, demands, options.headroom);
+      return allocate_single_path(engine, demands, options.headroom);
     case Strategy::Ecmp:
-      return allocate_ecmp(topo, demands, options);
+      return allocate_ecmp(engine, demands, options);
     case Strategy::Greedy:
-      return allocate_greedy(topo, demands, options);
+      return allocate_greedy(engine, demands, options);
     case Strategy::MaxMinFair:
-      return allocate_max_min(topo, demands, options);
+      return allocate_max_min(engine, demands, options);
   }
   return {};
+}
+
+Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
+                    Strategy strategy, const AllocatorOptions& options) {
+  // Even one-shot, the engine pays off: one reverse SPF per distinct
+  // destination replaces one Dijkstra per demand entry.
+  topo::PathEngine engine;
+  engine.sync(topo);
+  return allocate(engine, demands, strategy, options);
 }
 
 }  // namespace zen::te

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "te/demand.h"
+#include "topo/path_engine.h"
 #include "topo/paths.h"
 
 namespace zen::te {
@@ -52,6 +53,14 @@ struct AllocatorOptions {
   double epsilon_fraction = 1e-3;  // water-filling increment (of max demand)
 };
 
+// Preferred entry point: paths resolve through the shared PathEngine, so
+// per-destination SPF trees and Yen K-path sets are computed once per
+// topology epoch and reused across demands, strategies and re-solves.
+Allocation allocate(topo::PathEngine& engine, const DemandMatrix& demands,
+                    Strategy strategy, const AllocatorOptions& options = {});
+
+// Convenience for one-shot callers: syncs a private engine to the
+// topology (keyed on its version counter) and solves through it.
 Allocation allocate(const topo::Topology& topo, const DemandMatrix& demands,
                     Strategy strategy, const AllocatorOptions& options = {});
 

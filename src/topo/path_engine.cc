@@ -1,0 +1,230 @@
+#include "topo/path_engine.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace zen::topo {
+
+namespace {
+
+#ifndef ZEN_OBS_DISABLED
+struct EngineMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& invalidations;
+  obs::Counter& spf_runs;
+
+  static EngineMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static EngineMetrics m{
+        reg.counter("zen_topo_path_engine_hits_total", "",
+                    "PathEngine queries served from the SPF cache"),
+        reg.counter("zen_topo_path_engine_misses_total", "",
+                    "PathEngine queries that computed a fresh SPF tree"),
+        reg.counter("zen_topo_path_engine_invalidations_total", "",
+                    "PathEngine cache drops caused by topology-epoch moves"),
+        reg.counter("zen_topo_path_engine_spf_runs_total", "",
+                    "Dijkstra executions inside the PathEngine"),
+    };
+    return m;
+  }
+};
+#define ZEN_PE_METRIC(field) EngineMetrics::get().field.inc()
+#else
+#define ZEN_PE_METRIC(field) (void)0
+#endif
+
+const std::vector<PathEngine::NextHop> kNoHops;
+
+}  // namespace
+
+void PathEngine::sync(const Topology& topo, std::uint64_t epoch) {
+  if (bound_ && epoch == epoch_) return;
+  sync(Topology(topo), epoch);
+}
+
+void PathEngine::sync(Topology&& topo, std::uint64_t epoch) {
+  if (bound_ && epoch == epoch_) return;
+  if (bound_) {
+    ++stats_.invalidations;
+    ZEN_PE_METRIC(invalidations);
+  }
+  topo_ = std::move(topo);
+  epoch_ = epoch;
+  bound_ = true;
+  dest_cache_.clear();
+  yen_cache_.clear();
+}
+
+const PathEngine::DestTree& PathEngine::tree_for(NodeId dst) {
+  const auto it = dest_cache_.find(dst);
+  if (it != dest_cache_.end()) {
+    ++stats_.hits;
+    ZEN_PE_METRIC(hits);
+    return it->second;
+  }
+  ++stats_.misses;
+  ++stats_.spf_runs;
+  ZEN_PE_METRIC(misses);
+  ZEN_PE_METRIC(spf_runs);
+
+  DestTree tree;
+  tree.dst = dst;
+  SpfResult spf = dijkstra(topo_, dst);
+  tree.distance = std::move(spf.distance);
+
+  // Extract the full SPF DAG in one sweep: link (u, v) starts a shortest
+  // path from u toward dst iff it closes the distance gap exactly.
+  tree.dag.reserve(tree.distance.size());
+  for (const auto& [u, du] : tree.distance) {
+    if (u == dst) continue;
+    std::vector<NextHop>& hops = tree.dag[u];
+    for (const Link* link : topo_.links_of(u)) {
+      const NodeId v = link->other(u);
+      const auto dv = tree.distance.find(v);
+      if (dv == tree.distance.end()) continue;
+      if (dv->second + link->cost == du)
+        hops.push_back(NextHop{link->id, v, link->port_at(u)});
+    }
+    std::sort(hops.begin(), hops.end(),
+              [](const NextHop& a, const NextHop& b) { return a.link < b.link; });
+  }
+  return dest_cache_.emplace(dst, std::move(tree)).first->second;
+}
+
+const PathEngine::DestTree& PathEngine::towards(NodeId dst) {
+  return tree_for(dst);
+}
+
+const std::vector<PathEngine::NextHop>& PathEngine::next_hops(NodeId from,
+                                                              NodeId dst) {
+  if (from == dst) return kNoHops;
+  const DestTree& tree = tree_for(dst);
+  const auto it = tree.dag.find(from);
+  return it == tree.dag.end() ? kNoHops : it->second;
+}
+
+double PathEngine::distance(NodeId from, NodeId dst) {
+  if (from == dst) return 0;
+  const DestTree& tree = tree_for(dst);
+  const auto it = tree.distance.find(from);
+  return it == tree.distance.end()
+             ? std::numeric_limits<double>::infinity()
+             : it->second;
+}
+
+bool PathEngine::reachable(NodeId from, NodeId dst) {
+  return from == dst || tree_for(dst).distance.contains(from);
+}
+
+Path PathEngine::shortest_path(NodeId src, NodeId dst) {
+  Path path;
+  if (src == dst) {
+    if (topo_.node(src)) path.nodes = {src};
+    return path;
+  }
+  const DestTree& tree = tree_for(dst);
+  const auto d = tree.distance.find(src);
+  if (d == tree.distance.end()) return path;
+  path.cost = d->second;
+  NodeId cur = src;
+  path.nodes.push_back(cur);
+  while (cur != dst) {
+    // Positive link costs make the descent strictly decreasing, so this
+    // terminates; front() is the lowest link id (deterministic tie-break).
+    const std::vector<NextHop>& hops = tree.dag.at(cur);
+    const NextHop& hop = hops.front();
+    path.links.push_back(hop.link);
+    path.nodes.push_back(hop.via);
+    cur = hop.via;
+  }
+  return path;
+}
+
+std::vector<Path> PathEngine::equal_cost_paths(NodeId src, NodeId dst,
+                                               std::size_t limit) {
+  std::vector<Path> out;
+  if (limit == 0) return out;
+  if (src == dst) {
+    if (topo_.node(src)) {
+      Path p;
+      p.nodes = {src};
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+  const DestTree& tree = tree_for(dst);
+  const auto d = tree.distance.find(src);
+  if (d == tree.distance.end()) return out;
+  const double best = d->second;
+
+  // DFS over the cached DAG, lowest link ids first — the same enumeration
+  // order topo::equal_cost_paths produces from its two fresh SPFs.
+  struct Frame {
+    NodeId node;
+    std::size_t next = 0;
+  };
+  Path current;
+  current.nodes.push_back(src);
+  std::vector<Frame> frames{{src, 0}};
+
+  while (!frames.empty() && out.size() < limit) {
+    Frame& frame = frames.back();
+    if (frame.node == dst) {
+      Path p = current;
+      p.cost = best;
+      out.push_back(std::move(p));
+      frames.pop_back();
+      if (!current.links.empty()) {
+        current.links.pop_back();
+        current.nodes.pop_back();
+      }
+      continue;
+    }
+    const std::vector<NextHop>& hops = tree.dag.at(frame.node);
+    if (frame.next >= hops.size()) {
+      frames.pop_back();
+      if (!current.links.empty()) {
+        current.links.pop_back();
+        current.nodes.pop_back();
+      }
+      continue;
+    }
+    const NextHop& hop = hops[frame.next++];
+    current.links.push_back(hop.link);
+    current.nodes.push_back(hop.via);
+    frames.push_back({hop.via, 0});
+  }
+  return out;
+}
+
+const std::vector<Path>& PathEngine::k_shortest_paths(NodeId src, NodeId dst,
+                                                      std::size_t k) {
+  const auto key = std::make_tuple(src, dst, k);
+  const auto it = yen_cache_.find(key);
+  if (it != yen_cache_.end()) {
+    ++stats_.hits;
+    ZEN_PE_METRIC(hits);
+    return it->second;
+  }
+  ++stats_.misses;
+  ZEN_PE_METRIC(misses);
+  return yen_cache_.emplace(key, topo::k_shortest_paths(topo_, src, dst, k))
+      .first->second;
+}
+
+Path PathEngine::shortest_path_avoiding(
+    NodeId src, NodeId dst, const std::unordered_set<LinkId>& banned_links) {
+  if (src == dst) {
+    Path p;
+    if (topo_.node(src)) p.nodes = {src};
+    return p;
+  }
+  ++stats_.spf_runs;
+  ZEN_PE_METRIC(spf_runs);
+  const SpfResult spf = dijkstra_avoiding(topo_, src, nullptr, &banned_links);
+  return reconstruct_path(topo_, spf, src, dst);
+}
+
+}  // namespace zen::topo

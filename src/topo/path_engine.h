@@ -1,0 +1,121 @@
+// PathEngine: the shared path-computation mechanism layer.
+//
+// A topology-epoch-keyed cache of per-destination reverse SPF results.
+// One Dijkstra rooted at a destination yields, for *every* source switch
+// at once, the full ECMP next-hop set: a link (u, v) is on a shortest
+// path from u toward dst iff distance(v) + cost(u,v) == distance(u), so
+// the equal-cost successor links of the SPF DAG fall out in O(degree)
+// per node with no extra search (no Yen's, no per-pair Dijkstra).
+//
+// Consumers (L3 routing, intents, reactive apps, TE) share one engine and
+// therefore one cache: the first query toward a destination pays the SPF,
+// every later query — from any consumer, for any source — is a hash
+// lookup. The cache is invalidated wholesale when the owner re-syncs the
+// engine with a new epoch (NetworkView::topology_epoch(), or
+// Topology::version() for standalone use).
+//
+// Link costs must be positive: equal-cost DAG edges then strictly
+// decrease distance-to-destination, which is what makes every greedy
+// descent (and hence every ECMP spread) provably loop-free.
+//
+// Not thread-safe; the control plane is single-threaded per engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topo/graph.h"
+#include "topo/paths.h"
+
+namespace zen::topo {
+
+struct PathEngineStats {
+  std::uint64_t hits = 0;           // queries served from cache
+  std::uint64_t misses = 0;         // queries that had to compute
+  std::uint64_t invalidations = 0;  // epoch moves that dropped the cache
+  std::uint64_t spf_runs = 0;       // Dijkstra executions (incl. filtered)
+};
+
+class PathEngine {
+ public:
+  struct NextHop {
+    LinkId link = 0;
+    NodeId via = 0;             // neighbor reached over `link`
+    std::uint32_t out_port = 0; // egress port at the querying node
+    friend bool operator==(const NextHop&, const NextHop&) = default;
+  };
+
+  // Reverse shortest-path DAG rooted at one destination. `distance[v]` is
+  // the cost from v to the destination; `dag[v]` lists every incident link
+  // that starts an equal-cost shortest path toward it, sorted by link id
+  // (deterministic install order for free).
+  struct DestTree {
+    NodeId dst = 0;
+    std::unordered_map<NodeId, double> distance;
+    std::unordered_map<NodeId, std::vector<NextHop>> dag;
+  };
+
+  PathEngine() = default;
+
+  // Rebinds the engine to a topology snapshot tagged with `epoch`. A
+  // matching epoch keeps the cache (and skips the copy); a new one drops
+  // every cached tree. The rvalue overload steals the snapshot.
+  void sync(const Topology& topo, std::uint64_t epoch);
+  void sync(Topology&& topo, std::uint64_t epoch);
+  // Standalone use: key the cache on the topology's own version counter.
+  void sync(const Topology& topo) { sync(topo, topo.version()); }
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  const Topology& topology() const noexcept { return topo_; }
+
+  // The reverse SPF tree toward `dst` (computed on first use, cached).
+  const DestTree& towards(NodeId dst);
+
+  // ECMP next-hops of `from` toward `dst`, sorted by link id. Empty when
+  // from == dst or dst is unreachable.
+  const std::vector<NextHop>& next_hops(NodeId from, NodeId dst);
+
+  // Cost from `from` to `dst` (0 if equal, +inf if unreachable).
+  double distance(NodeId from, NodeId dst);
+  bool reachable(NodeId from, NodeId dst);
+
+  // Lowest-link-id shortest path, reconstructed by DAG descent — answers
+  // match topo::shortest_path() costs without any per-pair Dijkstra.
+  Path shortest_path(NodeId src, NodeId dst);
+
+  // All distinct minimum-cost paths up to `limit`, enumerated by DFS over
+  // the cached DAG (same order as topo::equal_cost_paths).
+  std::vector<Path> equal_cost_paths(NodeId src, NodeId dst,
+                                     std::size_t limit = 16);
+
+  // Yen's K loopless shortest paths, cached per (src, dst, k) under the
+  // same epoch (TE solvers re-ask for identical tuples every solve).
+  const std::vector<Path>& k_shortest_paths(NodeId src, NodeId dst,
+                                            std::size_t k);
+
+  // Shortest path that avoids `banned_links` (disjoint-backup queries).
+  // Runs a filtered Dijkstra on the cached snapshot — no topology copy —
+  // and is deliberately uncached (the banned set is query-specific).
+  Path shortest_path_avoiding(NodeId src, NodeId dst,
+                              const std::unordered_set<LinkId>& banned_links);
+
+  const PathEngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  const DestTree& tree_for(NodeId dst);
+
+  Topology topo_;
+  std::uint64_t epoch_ = 0;
+  bool bound_ = false;
+  std::unordered_map<NodeId, DestTree> dest_cache_;
+  std::map<std::tuple<NodeId, NodeId, std::size_t>, std::vector<Path>>
+      yen_cache_;
+  PathEngineStats stats_;
+};
+
+}  // namespace zen::topo

@@ -19,9 +19,9 @@ struct QueueItem {
   }
 };
 
-// Dijkstra with an optional set of banned nodes/links (used by Yen's spur
-// computation).
-SpfResult dijkstra_filtered(const Topology& topo, NodeId src,
+}  // namespace
+
+SpfResult dijkstra_avoiding(const Topology& topo, NodeId src,
                             const std::unordered_set<NodeId>* banned_nodes,
                             const std::unordered_set<LinkId>* banned_links) {
   SpfResult result;
@@ -54,8 +54,8 @@ SpfResult dijkstra_filtered(const Topology& topo, NodeId src,
   return result;
 }
 
-Path reconstruct(const Topology& topo, const SpfResult& spf, NodeId src,
-                 NodeId dst) {
+Path reconstruct_path(const Topology& topo, const SpfResult& spf, NodeId src,
+                      NodeId dst) {
   Path path;
   if (!spf.reached(dst)) return path;
   path.cost = spf.distance.at(dst);
@@ -74,10 +74,8 @@ Path reconstruct(const Topology& topo, const SpfResult& spf, NodeId src,
   return path;
 }
 
-}  // namespace
-
 SpfResult dijkstra(const Topology& topo, NodeId src) {
-  return dijkstra_filtered(topo, src, nullptr, nullptr);
+  return dijkstra_avoiding(topo, src, nullptr, nullptr);
 }
 
 Path shortest_path(const Topology& topo, NodeId src, NodeId dst) {
@@ -86,7 +84,7 @@ Path shortest_path(const Topology& topo, NodeId src, NodeId dst) {
     p.nodes = {src};
     return p;
   }
-  return reconstruct(topo, dijkstra(topo, src), src, dst);
+  return reconstruct_path(topo, dijkstra(topo, src), src, dst);
 }
 
 std::vector<Path> equal_cost_paths(const Topology& topo, NodeId src, NodeId dst,
@@ -196,8 +194,8 @@ std::vector<Path> k_shortest_paths(const Topology& topo, NodeId src, NodeId dst,
       for (std::size_t j = 0; j < i; ++j) banned_nodes.insert(prev.nodes[j]);
 
       const SpfResult spf =
-          dijkstra_filtered(topo, spur_node, &banned_nodes, &banned_links);
-      Path spur = reconstruct(topo, spf, spur_node, dst);
+          dijkstra_avoiding(topo, spur_node, &banned_nodes, &banned_links);
+      Path spur = reconstruct_path(topo, spf, spur_node, dst);
       if (spur.empty() && spur_node != dst) continue;
 
       // Total = root prefix + spur.

@@ -35,6 +35,17 @@ struct SpfResult {
 
 SpfResult dijkstra(const Topology& topo, NodeId src);
 
+// Dijkstra that refuses to traverse the given nodes/links (either set may
+// be null). Used for Yen's spur paths and disjoint-backup queries.
+SpfResult dijkstra_avoiding(const Topology& topo, NodeId src,
+                            const std::unordered_set<NodeId>* banned_nodes,
+                            const std::unordered_set<LinkId>* banned_links);
+
+// Walks parent links of `spf` (rooted at `src`) back from `dst`; empty
+// path if unreachable.
+Path reconstruct_path(const Topology& topo, const SpfResult& spf, NodeId src,
+                      NodeId dst);
+
 // Lowest-cost path, or an empty path if unreachable.
 Path shortest_path(const Topology& topo, NodeId src, NodeId dst);
 

@@ -9,6 +9,7 @@
 #include "controller/apps/stats_monitor.h"
 #include "controller/apps/te_installer.h"
 #include "controller/controller.h"
+#include "openflow/codec.h"
 #include "te/allocation.h"
 #include "te/demand.h"
 #include "topo/generators.h"
@@ -346,6 +347,146 @@ TEST_F(QosPolicyFixture, BulkClassIsPoliced) {
   for (int i = 0; i < 50; ++i) host(0).send_udp(host(3).ip(), 9000, 12345, 1200);
   net_.run_until(6.0);
   EXPECT_GE(host(3).stats().udp_received - before - burst_through, 50u);
+}
+
+// ---- ECMP group lifecycle (leak regression) ----
+
+class EcmpGroupFixture : public ::testing::Test {
+ protected:
+  EcmpGroupFixture()
+      : net_(topo::make_leaf_spine(4, 2, 8), drop_miss_options()), ctrl_(net_) {
+    // Discovery keeps probing: revived links are re-learned by LLDP, so
+    // flapped uplinks actually return to the ECMP sets.
+    ctrl_.add_app<Discovery>();
+    apps::L3Routing::Options options;
+    options.use_ecmp_groups = true;
+    routing_ = &ctrl_.add_app<apps::L3Routing>(options);
+    ctrl_.connect_all();
+    net_.run_until(3.0);
+    // Make every host known so each leaf carries ECMP routes toward the
+    // 8 hosts behind the opposite leaf.
+    for (std::size_t i = 0; i < 8; ++i) {
+      host(i).send_udp(host(8 + i).ip(), 5000, 5001, 64);
+      host(8 + i).send_udp(host(i).ip(), 5000, 5001, 64);
+    }
+    net_.run_until(6.0);
+  }
+
+  sim::SimHost& host(std::size_t i) {
+    return net_.host_at(net_.generated().hosts[i]);
+  }
+
+  std::size_t total_groups() {
+    std::size_t total = 0;
+    for (const auto& [id, sw] : net_.switches()) total += sw->groups().size();
+    return total;
+  }
+
+  std::vector<topo::LinkId> leaf_uplinks(std::size_t leaf_idx) {
+    const topo::NodeId leaf = net_.generated().switches[4 + leaf_idx];
+    std::vector<topo::LinkId> out;
+    for (const topo::Link* link : net_.topology().links_of(leaf))
+      if (!topo::is_host_id(link->other(leaf))) out.push_back(link->id);
+    return out;
+  }
+
+  sim::SimNetwork net_;
+  Controller ctrl_;
+  apps::L3Routing* routing_ = nullptr;
+};
+
+TEST_F(EcmpGroupFixture, GroupTableStaysBoundedAcrossLinkFlaps) {
+  const std::size_t baseline = total_groups();
+  ASSERT_GT(baseline, 0u);  // ECMP actually in play
+
+  // Flap two of leaf0's spine uplinks repeatedly. Every flap narrows and
+  // re-widens the ECMP sets; with per-recompute fresh group ids this leaked
+  // a group per flap per destination, unbounded over time.
+  const std::vector<topo::LinkId> uplinks = leaf_uplinks(0);
+  ASSERT_GE(uplinks.size(), 2u);
+  double t = net_.now();
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      net_.set_link_admin_up(uplinks[i], false);
+      net_.run_until(t += 0.5);
+      net_.set_link_admin_up(uplinks[i], true);
+      net_.run_until(t += 0.5);
+    }
+  }
+  net_.run_until(t += 3.0);  // LLDP re-confirms + recompute settles
+
+  // Full connectivity restored: exactly the baseline groups, not
+  // baseline + leaked ids.
+  EXPECT_EQ(total_groups(), baseline);
+
+  // And the fabric still delivers.
+  const auto before = host(15).stats().udp_received;
+  host(0).send_udp(host(15).ip(), 6000, 6001, 64);
+  net_.run_until(t + 3.0);
+  EXPECT_EQ(host(15).stats().udp_received, before + 1);
+}
+
+TEST_F(EcmpGroupFixture, RoutesWithdrawnWhenDestinationUnreachable) {
+  // Cut every uplink of leaf1: destinations behind it lose all next-hops
+  // from leaf0's perspective; their ECMP groups must be deleted, not
+  // left dangling.
+  const std::size_t baseline = total_groups();
+  const std::vector<topo::LinkId> uplinks = leaf_uplinks(1);
+  double t = net_.now();
+  for (const topo::LinkId id : uplinks) net_.set_link_admin_up(id, false);
+  net_.run_until(t += 1.0);
+  EXPECT_LT(total_groups(), baseline);
+
+  for (const topo::LinkId id : uplinks) net_.set_link_admin_up(id, true);
+  net_.run_until(t += 3.0);  // LLDP re-confirms + recompute settles
+  EXPECT_EQ(total_groups(), baseline);
+}
+
+// ---- Golden southbound determinism ----
+
+// Two identical controller+fabric runs must emit byte-identical FlowMod /
+// GroupMod streams: recompute order, ECMP bucket order and group ids are
+// all deterministic functions of the topology, never of hash-map iteration
+// order or allocation history.
+TEST(L3RoutingDeterminism, GoldenSouthboundStream) {
+  auto run_once = [] {
+    std::vector<std::uint8_t> stream;
+    sim::SimNetwork net(topo::make_fat_tree(4), drop_miss_options());
+    Controller ctrl(net);
+    ctrl.set_southbound_tap([&](Dpid dpid, const openflow::Message& msg) {
+      const auto type = openflow::type_of(msg);
+      if (type != openflow::MsgType::FlowMod &&
+          type != openflow::MsgType::GroupMod)
+        return;
+      for (int shift = 56; shift >= 0; shift -= 8)
+        stream.push_back(static_cast<std::uint8_t>(dpid >> shift));
+      // Fixed xid: the fingerprint covers content and order, not the
+      // controller's xid allocation.
+      const openflow::Bytes bytes = openflow::encode(msg, 0);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    });
+    Discovery::Options disc;
+    disc.stop_after_s = 2.5;
+    ctrl.add_app<Discovery>(disc);
+    apps::L3Routing::Options options;
+    options.use_ecmp_groups = true;
+    ctrl.add_app<apps::L3Routing>(options);
+    ctrl.connect_all();
+    net.run_until(3.0);
+    // Deterministic traffic so hosts get learned in a fixed order.
+    for (std::size_t i = 0; i < 16; ++i) {
+      net.host_at(net.generated().hosts[i])
+          .send_udp(net.host_at(net.generated().hosts[15 - i]).ip(), 5000,
+                    5001, 64);
+    }
+    net.run_until(6.0);
+    return stream;
+  };
+
+  const std::vector<std::uint8_t> first = run_once();
+  const std::vector<std::uint8_t> second = run_once();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

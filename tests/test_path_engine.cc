@@ -1,0 +1,376 @@
+// Oracle-backed tests for topo::PathEngine: every cached answer is checked
+// against the naive per-query algorithms in topo/paths.h, plus property
+// tests (monotone costs, loop-freedom) and epoch-invalidation proofs that
+// stale results are never served.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "controller/network_view.h"
+#include "topo/generators.h"
+#include "topo/graph.h"
+#include "topo/path_engine.h"
+#include "topo/paths.h"
+#include "util/rng.h"
+
+namespace zen::topo {
+namespace {
+
+Topology diamond() {
+  //    1 -- 2 -- 4        (cost 2, via 2 or 3: equal-cost pair)
+  //    1 -- 3 -- 4
+  //    1 -- 5 -- 6 -- 4   (cost 3: never shortest)
+  Topology topo;
+  for (NodeId id = 1; id <= 6; ++id) topo.add_node(id, NodeKind::Switch);
+  topo.add_link(1, 1, 2, 1);
+  topo.add_link(2, 2, 4, 1);
+  topo.add_link(1, 2, 3, 1);
+  topo.add_link(3, 2, 4, 2);
+  topo.add_link(1, 3, 5, 1);
+  topo.add_link(5, 2, 6, 1);
+  topo.add_link(6, 2, 4, 3);
+  return topo;
+}
+
+std::vector<NodeId> switch_ids(const Topology& topo) {
+  std::vector<NodeId> out = topo.nodes_of_kind(NodeKind::Switch);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Checks that `path` is structurally valid in `topo`: consecutive link
+// endpoints chain up and the stated cost is the sum of link costs.
+void expect_valid_path(const Topology& topo, const Path& path) {
+  ASSERT_FALSE(path.empty());
+  ASSERT_EQ(path.links.size() + 1, path.nodes.size());
+  double cost = 0;
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const Link* link = topo.link(path.links[i]);
+    ASSERT_NE(link, nullptr);
+    EXPECT_TRUE(link->up);
+    EXPECT_EQ(link->other(path.nodes[i]), path.nodes[i + 1]);
+    cost += link->cost;
+  }
+  EXPECT_DOUBLE_EQ(path.cost, cost);
+}
+
+// The full oracle sweep: for every ordered switch pair, the engine must
+// agree with the naive algorithms it replaces.
+void check_against_oracle(const Topology& topo) {
+  PathEngine engine;
+  engine.sync(topo);
+  const std::vector<NodeId> switches = switch_ids(topo);
+
+  for (const NodeId dst : switches) {
+    const SpfResult oracle = dijkstra(topo, dst);  // reverse SPF oracle
+    for (const NodeId src : switches) {
+      if (src == dst) {
+        EXPECT_TRUE(engine.next_hops(src, dst).empty());
+        EXPECT_DOUBLE_EQ(engine.distance(src, dst), 0.0);
+        continue;
+      }
+      // Distances and reachability match a fresh Dijkstra.
+      if (!oracle.reached(src)) {
+        EXPECT_FALSE(engine.reachable(src, dst));
+        EXPECT_TRUE(engine.next_hops(src, dst).empty());
+        EXPECT_TRUE(engine.shortest_path(src, dst).empty());
+        continue;
+      }
+      EXPECT_TRUE(engine.reachable(src, dst));
+      EXPECT_DOUBLE_EQ(engine.distance(src, dst), oracle.distance.at(src));
+
+      // Next-hop set == the SPF DAG membership criterion, derived here
+      // from first principles (not from engine internals).
+      std::set<LinkId> expected;
+      for (const Link* link : topo.links_of(src)) {
+        const NodeId via = link->other(src);
+        const auto dv = oracle.distance.find(via);
+        if (dv == oracle.distance.end()) continue;
+        if (dv->second + link->cost == oracle.distance.at(src))
+          expected.insert(link->id);
+      }
+      std::set<LinkId> actual;
+      for (const PathEngine::NextHop& hop : engine.next_hops(src, dst)) {
+        actual.insert(hop.link);
+        const Link* link = topo.link(hop.link);
+        ASSERT_NE(link, nullptr);
+        EXPECT_EQ(hop.via, link->other(src));
+        EXPECT_EQ(hop.out_port, link->port_at(src));
+      }
+      EXPECT_EQ(actual, expected) << "src=" << src << " dst=" << dst;
+
+      // shortest_path: same cost as the naive one, structurally valid,
+      // and a member of the naive ECMP set.
+      const Path naive = shortest_path(topo, src, dst);
+      const Path cached = engine.shortest_path(src, dst);
+      expect_valid_path(topo, cached);
+      EXPECT_DOUBLE_EQ(cached.cost, naive.cost);
+      const auto ecmp_naive = equal_cost_paths(topo, src, dst, 64);
+      EXPECT_NE(std::find(ecmp_naive.begin(), ecmp_naive.end(), cached),
+                ecmp_naive.end());
+
+      // equal_cost_paths: byte-for-byte the naive enumeration.
+      EXPECT_EQ(engine.equal_cost_paths(src, dst, 64), ecmp_naive);
+    }
+  }
+}
+
+TEST(PathEngineOracle, Diamond) { check_against_oracle(diamond()); }
+
+TEST(PathEngineOracle, FatTree4) {
+  check_against_oracle(make_fat_tree(4).topo);
+}
+
+TEST(PathEngineOracle, LeafSpine) {
+  check_against_oracle(make_leaf_spine(4, 6, 1).topo);
+}
+
+TEST(PathEngineOracle, RandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed);
+    check_against_oracle(make_random_connected(24, 3.0, rng).topo);
+  }
+}
+
+TEST(PathEngineOracle, Jellyfish) {
+  util::Rng rng(7);
+  check_against_oracle(make_jellyfish(20, 4, 1, rng).topo);
+}
+
+TEST(PathEngineOracle, SurvivesPartition) {
+  // Isolate node 4 entirely: the oracle sweep must agree on
+  // unreachability for every pair involving it.
+  Topology topo = diamond();
+  for (const Link* link : topo.links_of(4)) topo.set_link_up(link->id, false);
+  check_against_oracle(topo);
+}
+
+TEST(PathEngineProperty, CostsMonotoneAlongDag) {
+  util::Rng rng(11);
+  const Topology topo = make_random_connected(30, 3.5, rng).topo;
+  PathEngine engine;
+  engine.sync(topo);
+  for (const NodeId dst : switch_ids(topo)) {
+    for (const NodeId src : switch_ids(topo)) {
+      for (const PathEngine::NextHop& hop : engine.next_hops(src, dst)) {
+        // Every DAG edge strictly decreases distance-to-destination.
+        EXPECT_LT(engine.distance(hop.via, dst), engine.distance(src, dst));
+      }
+    }
+  }
+}
+
+TEST(PathEngineProperty, GreedyDescentIsLoopFree) {
+  // Follow *any* next hop (worst-case adversarial pick: the last one)
+  // from every source; must hit dst within node_count() steps.
+  util::Rng rng(13);
+  const Topology topo = make_jellyfish(24, 4, 0, rng).topo;
+  PathEngine engine;
+  engine.sync(topo);
+  const std::vector<NodeId> switches = switch_ids(topo);
+  for (const NodeId dst : switches) {
+    for (const NodeId start : switches) {
+      NodeId at = start;
+      std::size_t steps = 0;
+      while (at != dst) {
+        const auto& hops = engine.next_hops(at, dst);
+        ASSERT_FALSE(hops.empty());
+        at = hops.back().via;
+        ASSERT_LE(++steps, topo.node_count());
+      }
+    }
+  }
+}
+
+TEST(PathEngineOracle, KShortestMatchesYen) {
+  const Topology topo = diamond();
+  PathEngine engine;
+  engine.sync(topo);
+  for (const std::size_t k : {1u, 2u, 3u, 5u}) {
+    EXPECT_EQ(engine.k_shortest_paths(1, 4, k), k_shortest_paths(topo, 1, 4, k));
+  }
+  // Cached: identical tuple twice must not rerun Yen's (spf_runs frozen).
+  const std::uint64_t runs = engine.stats().spf_runs;
+  engine.k_shortest_paths(1, 4, 5);
+  EXPECT_EQ(engine.stats().spf_runs, runs);
+}
+
+TEST(PathEngineOracle, AvoidingMatchesPrunedTopology) {
+  util::Rng rng(17);
+  const Topology topo = make_random_connected(16, 3.0, rng).topo;
+  PathEngine engine;
+  engine.sync(topo);
+  const std::vector<NodeId> switches = switch_ids(topo);
+  for (const NodeId src : switches) {
+    for (const NodeId dst : switches) {
+      if (src == dst) continue;
+      const Path primary = engine.shortest_path(src, dst);
+      if (primary.empty()) continue;
+      const std::unordered_set<LinkId> banned(primary.links.begin(),
+                                              primary.links.end());
+      // Oracle: physically remove the banned links from a copy.
+      Topology pruned = topo;
+      for (const LinkId id : banned) pruned.set_link_up(id, false);
+      const Path naive = shortest_path(pruned, src, dst);
+      const Path avoided = engine.shortest_path_avoiding(src, dst, banned);
+      EXPECT_EQ(avoided.empty(), naive.empty());
+      if (!naive.empty()) {
+        EXPECT_DOUBLE_EQ(avoided.cost, naive.cost);
+        for (const LinkId id : avoided.links) EXPECT_FALSE(banned.contains(id));
+      }
+    }
+  }
+}
+
+TEST(PathEngineCache, HitsMissesAndInvalidation) {
+  Topology topo = diamond();
+  PathEngine engine;
+  engine.sync(topo);
+
+  engine.next_hops(1, 4);  // first query toward 4: miss + SPF
+  EXPECT_EQ(engine.stats().misses, 1u);
+  EXPECT_EQ(engine.stats().spf_runs, 1u);
+  engine.next_hops(2, 4);  // same tree, any source: hit
+  engine.shortest_path(3, 4);
+  EXPECT_EQ(engine.stats().spf_runs, 1u);
+  EXPECT_GE(engine.stats().hits, 2u);
+
+  // Re-sync at the same epoch: cache intact.
+  engine.sync(topo);
+  EXPECT_EQ(engine.stats().invalidations, 0u);
+  engine.next_hops(5, 4);
+  EXPECT_EQ(engine.stats().spf_runs, 1u);
+
+  // Topology change moves version -> sync drops the cache.
+  topo.set_link_up(topo.link_between(2, 4)->id, false);
+  engine.sync(topo);
+  EXPECT_EQ(engine.stats().invalidations, 1u);
+  engine.next_hops(1, 4);
+  EXPECT_EQ(engine.stats().spf_runs, 2u);
+}
+
+TEST(PathEngineCache, NeverServesStaleResults) {
+  Topology topo = diamond();
+  PathEngine engine;
+  engine.sync(topo);
+  // Prime the cache through every query type.
+  const Path before = engine.shortest_path(1, 4);
+  engine.k_shortest_paths(1, 4, 3);
+  EXPECT_DOUBLE_EQ(before.cost, 2.0);
+
+  // Kill both equal-cost middles; only the 3-hop detour remains.
+  topo.set_link_up(topo.link_between(2, 4)->id, false);
+  topo.set_link_up(topo.link_between(3, 4)->id, false);
+  engine.sync(topo);
+
+  const Path after = engine.shortest_path(1, 4);
+  EXPECT_DOUBLE_EQ(after.cost, 3.0);
+  EXPECT_EQ(after.nodes, (std::vector<NodeId>{1, 5, 6, 4}));
+  for (const PathEngine::NextHop& hop : engine.next_hops(1, 4))
+    EXPECT_EQ(hop.via, 5u);
+  const auto& yen = engine.k_shortest_paths(1, 4, 3);
+  ASSERT_FALSE(yen.empty());
+  EXPECT_DOUBLE_EQ(yen.front().cost, 3.0);
+}
+
+TEST(PathEngineCache, RepeatedQueriesShareOneSpfPerDestination) {
+  const GeneratedTopo gen = make_fat_tree(4);
+  PathEngine engine;
+  engine.sync(gen.topo);
+  for (const NodeId dst : gen.switches)
+    for (const NodeId src : gen.switches) engine.next_hops(src, dst);
+  // 20 switches in fat-tree(4): exactly one Dijkstra per destination,
+  // regardless of 20x20 queries.
+  EXPECT_EQ(engine.stats().spf_runs, gen.switches.size());
+}
+
+}  // namespace
+}  // namespace zen::topo
+
+namespace zen::controller {
+namespace {
+
+openflow::FeaturesReply features_with_ports(Dpid dpid,
+                                            std::initializer_list<int> ports) {
+  openflow::FeaturesReply reply;
+  reply.datapath_id = dpid;
+  for (const int p : ports) {
+    openflow::PortDesc desc;
+    desc.port_no = static_cast<std::uint32_t>(p);
+    reply.ports.push_back(desc);
+  }
+  return reply;
+}
+
+TEST(NetworkViewEpoch, BumpsOnSwitchAndLinkChanges) {
+  NetworkView view;
+  const auto e0 = view.topology_epoch();
+  view.add_switch(1, features_with_ports(1, {1, 2}));
+  view.add_switch(2, features_with_ports(2, {1, 2}));
+  const auto e1 = view.topology_epoch();
+  EXPECT_GT(e1, e0);
+
+  view.learn_link(1, 1, 2, 1, 0.0);
+  const auto e2 = view.topology_epoch();
+  EXPECT_GT(e2, e1);
+
+  view.mark_links_down(1, 1);
+  const auto e3 = view.topology_epoch();
+  EXPECT_GT(e3, e2);
+
+  view.remove_switch(2);
+  EXPECT_GT(view.topology_epoch(), e3);
+}
+
+TEST(NetworkViewEpoch, HostLearningDoesNotInvalidatePathCache) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1, 2}));
+  view.add_switch(2, features_with_ports(2, {1, 2}));
+  view.learn_link(1, 1, 2, 1, 0.0);
+
+  topo::PathEngine& engine = view.path_engine();
+  engine.next_hops(1, 2);
+  const auto spf_runs = engine.stats().spf_runs;
+  const auto epoch = view.topology_epoch();
+  const auto version = view.version();
+
+  // Hosts come and go without touching switch-level paths.
+  view.learn_host(net::MacAddress::from_u64(0xaa), net::Ipv4Address(10, 0, 0, 1),
+                  1, 2, 1.0);
+  view.learn_host(net::MacAddress::from_u64(0xbb), net::Ipv4Address(10, 0, 0, 2),
+                  2, 2, 2.0);
+  EXPECT_GT(view.version(), version);          // view did change...
+  EXPECT_EQ(view.topology_epoch(), epoch);     // ...but paths did not.
+  EXPECT_EQ(&view.path_engine(), &engine);
+  view.path_engine().next_hops(1, 2);
+  EXPECT_EQ(view.path_engine().stats().spf_runs, spf_runs);
+  EXPECT_EQ(view.path_engine().stats().invalidations, 0u);
+}
+
+TEST(NetworkViewEpoch, EngineResyncsAfterTopologyChange) {
+  NetworkView view;
+  view.add_switch(1, features_with_ports(1, {1, 2}));
+  view.add_switch(2, features_with_ports(2, {1, 2}));
+  view.add_switch(3, features_with_ports(3, {1, 2}));
+  view.learn_link(1, 1, 2, 1, 0.0);
+  view.learn_link(2, 2, 3, 1, 0.0);
+
+  EXPECT_TRUE(view.path_engine().reachable(1, 3));
+  const auto invalidations = view.path_engine().stats().invalidations;
+
+  view.mark_links_down(2, 2);  // cut 2--3
+  topo::PathEngine& engine = view.path_engine();
+  EXPECT_EQ(engine.epoch(), view.topology_epoch());
+  EXPECT_GT(engine.stats().invalidations, invalidations);
+  EXPECT_FALSE(engine.reachable(1, 3));
+
+  view.learn_link(2, 2, 3, 1, 5.0);  // revive
+  EXPECT_TRUE(view.path_engine().reachable(1, 3));
+}
+
+}  // namespace
+}  // namespace zen::controller
