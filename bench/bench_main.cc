@@ -15,6 +15,17 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/clock.h"
+
+#ifndef ZEN_BENCH_GIT_SHA
+#define ZEN_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef ZEN_BENCH_BUILD_TYPE
+#define ZEN_BENCH_BUILD_TYPE ""
+#endif
+#ifndef ZEN_BENCH_CXX_FLAGS
+#define ZEN_BENCH_CXX_FLAGS ""
+#endif
 
 namespace {
 
@@ -66,6 +77,25 @@ void write_json_artifact(const char* argv0,
   const std::string path = "BENCH_" + name + ".json";
 
   std::string out = "{\n  \"binary\": \"" + json_escape(name) + "\",\n";
+
+  // Run metadata: which commit/flags produced these numbers, whether the
+  // observability layer was compiled in, and whether any benchmark drove a
+  // virtual clock (a nonzero install count means timings mixed virtual-time
+  // simulations in; wall-clock-only runs stay at zero).
+  const std::uint64_t clock_installs = zen::util::time_source_install_count();
+  out += "  \"meta\": {\"git_sha\": \"" ZEN_BENCH_GIT_SHA
+         "\", \"build_type\": \"" ZEN_BENCH_BUILD_TYPE
+         "\", \"cxx_flags\": \"" +
+         json_escape(ZEN_BENCH_CXX_FLAGS) + "\", \"obs\": \"" +
+#ifdef ZEN_OBS_DISABLED
+         std::string("disabled") +
+#else
+         std::string("enabled") +
+#endif
+         "\", \"clock\": \"" +
+         (clock_installs > 0 ? "virtual" : "wall") +
+         "\", \"time_source_installs\": " + std::to_string(clock_installs) +
+         "},\n";
   out += "  \"benchmarks\": [";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const BenchEntry& e = entries[i];

@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   obs::TraceRecorder::global().set_enabled(true);
+  obs::FlightRecorder::global().arm_crash_dump("flightrec.json");
 
   // Fast liveness so a rebooting switch is reliably declared down (and
   // audited on reconnect) even for the shortest scheduled downtime.
@@ -278,6 +279,20 @@ int main(int argc, char** argv) {
                                 injector.switch_reboots_scheduled() >= 1;
   const bool ok = converged && audit_clean && storm_big_enough &&
                   delivered == sent && trace_ok;
+  if (!ok) {
+    // Black box for the red CI run: the flight-recorder ring (faults,
+    // rejects, role changes, SLO transitions) plus a full diagnostics
+    // snapshot, uploaded as artifacts next to trace.json.
+    obs::FlightRecorder::global().write_json("flightrec.json");
+    obs::Diagnostics::global().write("diagnostics.json");
+    std::printf("\nSLO health at failure:\n");
+    for (const auto& st : obs::SloMonitor::global().evaluate())
+      std::printf("  %-20s state=%d burn short %.2f long %.2f (good %llu "
+                  "bad %llu)\n",
+                  st.name.c_str(), static_cast<int>(st.state), st.short_burn,
+                  st.long_burn, static_cast<unsigned long long>(st.good),
+                  static_cast<unsigned long long>(st.bad));
+  }
   std::printf("\n%s\n", ok ? "CHAOS DEMO OK" : "CHAOS DEMO FAILED");
   return ok ? 0 : 1;
 }

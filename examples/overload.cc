@@ -271,6 +271,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
   obs::TraceRecorder::global().set_enabled(true);
+  obs::FlightRecorder::global().arm_crash_dump("flightrec.json");
   std::printf("overload seed %llu\n\n", static_cast<unsigned long long>(seed));
 
   const ScenarioResult secure = run_scenario(seed, dataplane::FailMode::Secure);
@@ -287,6 +288,12 @@ int main(int argc, char** argv) {
       obs::TraceRecorder::global().write_chrome_json("trace.json");
 
   const bool ok = secure.ok && standalone.ok && trace_ok;
+  if (!ok) {
+    // Black box for the red CI run: vacancy/eviction/fault events plus a
+    // full diagnostics snapshot, uploaded as artifacts next to trace.json.
+    obs::FlightRecorder::global().write_json("flightrec.json");
+    obs::Diagnostics::global().write("diagnostics.json");
+  }
   std::printf("%s\n", ok ? "OVERLOAD DEMO OK" : "OVERLOAD DEMO FAILED");
   return ok ? 0 : 1;
 }

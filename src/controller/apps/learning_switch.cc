@@ -27,7 +27,12 @@ bool LearningSwitch::on_packet_in(const PacketInEvent& event) {
     mod.match.eth_dst(parsed.eth.dst);
     mod.instructions = openflow::output_to(out_port);
     mod.buffer_id = pin.buffer_id;  // switch forwards the buffered frame too
-    controller_->flow_mod(event.dpid, mod);
+    if (options_.transactional) {
+      controller_->flow_mod(event.dpid, mod,
+                            [](const std::optional<openflow::Error>&) {});
+    } else {
+      controller_->flow_mod(event.dpid, mod);
+    }
 
     // If the frame was not buffered, push it explicitly.
     if (pin.buffer_id == openflow::kNoBuffer) {

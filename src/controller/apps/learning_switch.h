@@ -19,6 +19,12 @@ class LearningSwitch : public App {
     std::uint16_t rule_priority = 10;
     std::uint16_t idle_timeout_s = 60;
     std::uint8_t table_id = 0;
+    // Send installs tracked (barrier-acked with retransmit) instead of
+    // fire-and-forget. Off by default: the classic app is best-effort, and
+    // the acked path changes message counts that goldens depend on. Turned
+    // on by the observability example so flow_setup traces include the
+    // full encode -> apply -> barrier-ack leg.
+    bool transactional = false;
   };
 
   LearningSwitch() : LearningSwitch(Options()) {}

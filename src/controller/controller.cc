@@ -42,6 +42,15 @@ openflow::Error synthetic_error(std::uint16_t code) {
   err.code = code;
   return err;
 }
+
+using SpanKey = obs::SpanTracer::Key;
+
+// Child span for a southbound send, parented on the dispatch-scoped
+// current span (invalid — and free — outside a traced dispatch).
+obs::SpanContext begin_southbound_span(const char* name) {
+  auto& tracer = obs::SpanTracer::global();
+  return tracer.start_span(name, "trace", tracer.current());
+}
 // Process-wide connection-id source: every Controller instance gets a
 // distinct id so switches can arbitrate roles between them.
 std::uint64_t next_conn_id() {
@@ -151,24 +160,31 @@ void Controller::declare_switch_down(Dpid dpid) {
     std::vector<openflow::Xid> xids;
     for (const auto& [xid, fn] : pending) xids.push_back(xid);
     std::sort(xids.begin(), xids.end());
-    for (const openflow::Xid xid : xids) fail(pending.at(xid));
+    for (const openflow::Xid xid : xids) fail(xid, pending.at(xid));
   };
-  fail_all(session.pending_completions, [&](PendingCompletion& pc) {
-    ++stats_.completions_failed;
-    if (pc.done) pc.done(synthetic_error(completion_code::kSwitchDown));
-  });
-  fail_all(session.pending_barriers, [](BarrierFn& fn) {
+  std::uint64_t completions_lost = 0;
+  fail_all(session.pending_completions,
+           [&](openflow::Xid xid, PendingCompletion& pc) {
+             ++stats_.completions_failed;
+             ++completions_lost;
+             if (pc.done)
+               pc.done(synthetic_error(completion_code::kSwitchDown));
+             close_completion_span(dpid, xid, pc.span, "switch_down");
+           });
+  fail_all(session.pending_barriers, [](openflow::Xid, BarrierFn& fn) {
     if (fn) fn(false);
   });
-  fail_all(session.pending_flow_stats, [](FlowStatsFn& fn) {
+  fail_all(session.pending_flow_stats, [](openflow::Xid, FlowStatsFn& fn) {
     if (fn) fn(nullptr);
   });
-  fail_all(session.pending_port_stats, [](PortStatsFn& fn) {
+  fail_all(session.pending_port_stats, [](openflow::Xid, PortStatsFn& fn) {
     if (fn) fn(nullptr);
   });
-  fail_all(session.pending_roles, [](RoleFn& fn) {
+  fail_all(session.pending_roles, [](openflow::Xid, RoleFn& fn) {
     if (fn) fn(nullptr);
   });
+  obs::FlightRecorder::global().record(obs::FlightEventKind::kSwitchDown,
+                                       dpid, completions_lost);
 
   view_.remove_switch(dpid);
   for (const auto& app : apps_) app->on_switch_down(dpid);
@@ -236,20 +252,34 @@ void Controller::register_app_metrics(const App& app) {
 }
 
 openflow::Xid Controller::send_tracked(Dpid dpid, openflow::Message msg,
-                                       CompletionFn done) {
+                                       CompletionFn done,
+                                       obs::SpanContext span) {
   auto& session = sessions_.at(dpid);
   if (session.ever_up && !session.alive) {
     // Fail fast, but asynchronously: callers expect the callback strictly
     // after the send call returns.
     ++stats_.completions_failed;
+    if (span.valid()) {
+      auto& tracer = obs::SpanTracer::global();
+      tracer.annotate(span, "switch_down");
+      const obs::SpanContext parent = tracer.end_span(span);
+      if (tracer.open_span_count(parent) == 1) tracer.end_trace(parent);
+    }
     events().schedule_in(0, [done = std::move(done)] {
       if (done) done(synthetic_error(completion_code::kSwitchDown));
     });
     return 0;
   }
   const openflow::Xid xid = next_xid(dpid);
+  if (span.valid()) {
+    // The agent marks the apply boundary through this binding (ends the
+    // mod span, opens barrier_ack).
+    obs::SpanTracer::global().bind(
+        obs::SpanTracer::key(SpanKey::kModTracked, conn_id_, dpid, xid),
+        span);
+  }
   session.pending_completions.emplace(
-      xid, PendingCompletion{msg, std::move(done), 1});
+      xid, PendingCompletion{msg, std::move(done), 1, span});
   send(dpid, msg, xid);
   // Chase with a barrier; its per-xid ack set resolves this and any
   // earlier still-pending sends the agent actually processed.
@@ -273,13 +303,37 @@ void Controller::arm_completion_timeout(Dpid dpid, openflow::Xid xid,
         if (pc.attempts >= options_.completion_max_attempts) {
           ++stats_.completions_failed;
           if (pc.done) pc.done(synthetic_error(completion_code::kTimedOut));
+          close_completion_span(dpid, xid, pc.span, "timeout");
           return;
         }
         // Re-send under a fresh xid with a fresh chasing barrier.
         ++pc.attempts;
         ++stats_.retransmits;
         CtrlMetrics::get().retransmits.inc();
+        obs::FlightRecorder::global().record(
+            obs::FlightEventKind::kRetransmit, dpid,
+            static_cast<std::uint64_t>(pc.attempts));
         const openflow::Xid new_xid = next_xid(dpid);
+        // Re-bind the trace under the fresh xid: the mod span if the mod
+        // never applied, else the barrier_ack span whose ack was lost.
+        {
+          auto& tracer = obs::SpanTracer::global();
+          if (auto mod = tracer.take(obs::SpanTracer::key(
+                  SpanKey::kModTracked, conn_id_, dpid, xid));
+              mod.valid()) {
+            tracer.annotate(mod, "retransmit");
+            tracer.bind(obs::SpanTracer::key(SpanKey::kModTracked, conn_id_,
+                                             dpid, new_xid),
+                        mod);
+          } else if (auto ack = tracer.take(obs::SpanTracer::key(
+                         SpanKey::kAck, conn_id_, dpid, xid));
+                     ack.valid()) {
+            tracer.annotate(ack, "retransmit");
+            tracer.bind(
+                obs::SpanTracer::key(SpanKey::kAck, conn_id_, dpid, new_xid),
+                ack);
+          }
+        }
         send(dpid, pc.msg, new_xid);
         send(dpid, openflow::Message{openflow::BarrierRequest{}},
              next_xid(dpid));
@@ -296,7 +350,33 @@ void Controller::resolve_completion(Dpid dpid, openflow::Xid xid,
   PendingCompletion pc = std::move(it->second);
   session.pending_completions.erase(it);
   if (error) ++stats_.completions_failed;
+  // The callback runs before the span closes: a repair ladder (TableFull
+  // retry) re-entering the trace keeps it open past this resolution.
   if (pc.done) pc.done(error);
+  close_completion_span(dpid, xid, pc.span, error ? "failed" : nullptr);
+}
+
+void Controller::close_completion_span(Dpid dpid, openflow::Xid xid,
+                                       obs::SpanContext span,
+                                       const char* note) {
+  auto& tracer = obs::SpanTracer::global();
+  // Whichever leg was still in flight: the mod span (never applied) or the
+  // barrier_ack span (applied, ack window now resolved).
+  if (auto mod = tracer.take(
+          obs::SpanTracer::key(SpanKey::kModTracked, conn_id_, dpid, xid));
+      mod.valid()) {
+    if (note) tracer.annotate(mod, note);
+    tracer.end_span(mod);
+  }
+  if (auto ack = tracer.take(
+          obs::SpanTracer::key(SpanKey::kAck, conn_id_, dpid, xid));
+      ack.valid()) {
+    if (note) tracer.annotate(ack, note);
+    tracer.end_span(ack);
+  }
+  if (!span.valid()) return;
+  // Last southbound span closed -> the control loop round trip is over.
+  if (tracer.open_span_count(span) == 1) tracer.end_trace(span);
 }
 
 void Controller::resolve_completions_acked_by(
@@ -318,8 +398,14 @@ openflow::Xid Controller::flow_mod(Dpid dpid, const openflow::FlowMod& mod,
   ++stats_.flow_mods_sent;
   CtrlMetrics::get().flow_mods.inc();
   if (southbound_tap_) southbound_tap_(dpid, openflow::Message{mod});
-  if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
+  const obs::SpanContext span = begin_southbound_span("flow_mod");
+  if (done)
+    return send_tracked(dpid, openflow::Message{mod}, std::move(done), span);
   const openflow::Xid xid = next_xid(dpid);
+  if (span.valid())
+    obs::SpanTracer::global().bind(
+        obs::SpanTracer::key(SpanKey::kModUntracked, conn_id_, dpid, xid),
+        span);
   send(dpid, openflow::Message{mod}, xid);
   return xid;
 }
@@ -328,8 +414,14 @@ openflow::Xid Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod,
                                     CompletionFn done) {
   ++stats_.group_mods_sent;
   if (southbound_tap_) southbound_tap_(dpid, openflow::Message{mod});
-  if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
+  const obs::SpanContext span = begin_southbound_span("group_mod");
+  if (done)
+    return send_tracked(dpid, openflow::Message{mod}, std::move(done), span);
   const openflow::Xid xid = next_xid(dpid);
+  if (span.valid())
+    obs::SpanTracer::global().bind(
+        obs::SpanTracer::key(SpanKey::kModUntracked, conn_id_, dpid, xid),
+        span);
   send(dpid, openflow::Message{mod}, xid);
   return xid;
 }
@@ -337,8 +429,14 @@ openflow::Xid Controller::group_mod(Dpid dpid, const openflow::GroupMod& mod,
 openflow::Xid Controller::meter_mod(Dpid dpid, const openflow::MeterMod& mod,
                                     CompletionFn done) {
   ++stats_.meter_mods_sent;
-  if (done) return send_tracked(dpid, openflow::Message{mod}, std::move(done));
+  const obs::SpanContext span = begin_southbound_span("meter_mod");
+  if (done)
+    return send_tracked(dpid, openflow::Message{mod}, std::move(done), span);
   const openflow::Xid xid = next_xid(dpid);
+  if (span.valid())
+    obs::SpanTracer::global().bind(
+        obs::SpanTracer::key(SpanKey::kModUntracked, conn_id_, dpid, xid),
+        span);
   send(dpid, openflow::Message{mod}, xid);
   return xid;
 }
@@ -347,8 +445,14 @@ openflow::Xid Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg,
                                      CompletionFn done) {
   ++stats_.packet_outs_sent;
   CtrlMetrics::get().packet_outs.inc();
-  if (done) return send_tracked(dpid, openflow::Message{msg}, std::move(done));
+  const obs::SpanContext span = begin_southbound_span("packet_out");
+  if (done)
+    return send_tracked(dpid, openflow::Message{msg}, std::move(done), span);
   const openflow::Xid xid = next_xid(dpid);
+  if (span.valid())
+    obs::SpanTracer::global().bind(
+        obs::SpanTracer::key(SpanKey::kModUntracked, conn_id_, dpid, xid),
+        span);
   send(dpid, openflow::Message{msg}, xid);
   return xid;
 }
@@ -461,6 +565,19 @@ void Controller::handle_packet_in(Dpid dpid, const openflow::PacketIn& pin) {
   CtrlMetrics::get().packet_ins.inc();
   ZEN_TRACE_SCOPE("packet_in", "controller");
 
+  // Pick up the causal trace the punting agent bound under this buffer_id:
+  // the punt's channel span ends here and the dispatch span begins.
+  auto& tracer = obs::SpanTracer::global();
+  obs::SpanContext dispatch_span;
+  if (pin.buffer_id != openflow::kNoBuffer) {
+    const obs::SpanContext punt = tracer.take(obs::SpanTracer::key(
+        SpanKey::kPacketIn, conn_id_, dpid, pin.buffer_id));
+    if (punt.valid()) {
+      const obs::SpanContext root = tracer.end_span(punt);
+      dispatch_span = tracer.start_span("dispatch", "trace", root);
+    }
+  }
+
   PacketInEvent event;
   event.dpid = dpid;
   event.pin = &pin;
@@ -473,9 +590,30 @@ void Controller::handle_packet_in(Dpid dpid, const openflow::PacketIn& pin) {
     learn_host_from(dpid, pin, parsed);
   }
 
-  for (std::size_t i = 0; i < apps_.size(); ++i) {
-    app_pin_counters_[i]->inc();
-    if (apps_[i]->on_packet_in(event)) break;
+  {
+    obs::SpanTracer::Scope dispatch_scope(dispatch_span);
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      app_pin_counters_[i]->inc();
+      obs::SpanContext app_span;
+      if (dispatch_span.valid()) {
+        app_span = tracer.start_span("app:" + apps_[i]->name(), "trace",
+                                     dispatch_span);
+      }
+      obs::SpanTracer::Scope app_scope(app_span);
+      const bool consumed = apps_[i]->on_packet_in(event);
+      tracer.end_span(app_span);
+      if (consumed) break;
+    }
+  }
+
+  if (dispatch_span.valid()) {
+    const obs::SpanContext root = tracer.end_span(dispatch_span);
+    // No app opened a southbound span (flood / drop decision): the control
+    // loop ends at the controller, close the trace here.
+    if (tracer.open_span_count(root) == 1) {
+      tracer.annotate(root, "no_install");
+      tracer.end_trace(root);
+    }
   }
 }
 
@@ -613,6 +751,8 @@ void Controller::handle_features_reply(Dpid dpid, Session& session,
   view_.add_switch(dpid, msg);
   if (reconnect) {
     ZEN_LOG(Info) << "controller: switch " << dpid << " reconnected";
+    obs::FlightRecorder::global().record(obs::FlightEventKind::kReconnect,
+                                         dpid, session.epoch);
   }
   schedule_echo(dpid, session.epoch);
   for (const auto& app : apps_) app->on_switch_up(dpid, msg);

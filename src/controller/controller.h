@@ -246,6 +246,10 @@ class Controller {
     openflow::Message msg;  // kept for re-send after a timeout
     CompletionFn done;
     int attempts = 1;
+    // Causal span of the mod (see obs/span.h): resolution — ack, error,
+    // timeout, switch down — closes it and, once no sibling southbound
+    // span remains open, the whole trace.
+    obs::SpanContext span;
   };
 
   struct Session {
@@ -287,7 +291,12 @@ class Controller {
                              const openflow::FeaturesReply& msg);
   // Transactional sends.
   openflow::Xid send_tracked(Dpid dpid, openflow::Message msg,
-                             CompletionFn done);
+                             CompletionFn done,
+                             obs::SpanContext span = {});
+  // Ends the spans bound under (dpid, xid) and — when this was the last
+  // open southbound span of its trace — the trace itself.
+  void close_completion_span(Dpid dpid, openflow::Xid xid,
+                             obs::SpanContext span, const char* note);
   void arm_completion_timeout(Dpid dpid, openflow::Xid xid,
                               std::uint64_t epoch);
   void resolve_completion(Dpid dpid, openflow::Xid xid,

@@ -40,6 +40,17 @@ bool same_key(const openflow::FlowMod& mod, const openflow::FlowStatsEntry& e) {
          e.match == mod.match;
 }
 
+// Fraction of audits that find nothing to repair: a dirty audit means the
+// switch and the store disagreed, i.e. reconciliation had real work to do.
+obs::Slo& audit_slo() {
+  static obs::Slo& slo = obs::SloMonitor::global().objective(
+      obs::SloMonitor::Objective{.name = "audit_clean_rate",
+                                 .target = 0.95,
+                                 .short_window_s = 10.0,
+                                 .long_window_s = 120.0});
+  return slo;
+}
+
 }  // namespace
 
 FlowRuleStore::FlowRuleStore(Controller& controller, Options options)
@@ -90,10 +101,14 @@ void FlowRuleStore::handle_table_full(Dpid dpid, const openflow::FlowMod& mod,
                                       const openflow::Error& err) {
   ++stats_.table_full_rejections;
   StoreMetrics::get().table_full.inc();
+  obs::FlightRecorder::global().record(obs::FlightEventKind::kTableFull, dpid,
+                                       mod.table_id, "rulestore");
   IntendedRule* rule = find_rule(dpid, mod);
   if (rule && rule->table_full_retries < kMaxTableFullRetries &&
       evict_lowest_importance(dpid, mod)) {
     ++rule->table_full_retries;
+    auto& tracer = obs::SpanTracer::global();
+    tracer.annotate(tracer.current(), "table_full_retry");
     send_install(dpid, mod, std::move(done));
     return;
   }
@@ -114,11 +129,16 @@ void FlowRuleStore::handle_table_full(Dpid dpid, const openflow::FlowMod& mod,
 openflow::Xid FlowRuleStore::send_install(Dpid dpid,
                                           const openflow::FlowMod& mod,
                                           CompletionFn done) {
+  // Capture the causal span so a TableFull repair ladder re-enters the
+  // original trace: the eviction and the retried install show up as
+  // sibling spans of the rejected attempt.
+  const obs::SpanContext span = obs::SpanTracer::global().current();
   return controller_.flow_mod(
       dpid, mod,
-      [this, dpid, mod, done = std::move(done)](
+      [this, dpid, mod, span, done = std::move(done)](
           const std::optional<openflow::Error>& err) {
         if (err && openflow::is_table_full(*err)) {
+          obs::SpanTracer::Scope scope(span);
           handle_table_full(dpid, mod, done, *err);
           return;
         }
@@ -389,6 +409,17 @@ void FlowRuleStore::finish(Dpid dpid, bool converged) {
   a.report.duration_s = controller_.now() - a.started_s;
   if (converged) ++stats_.audits_converged;
   StoreMetrics::get().audit_duration.record(a.report.duration_s);
+  const bool clean =
+      converged && a.report.repaired == 0 && a.report.orphans == 0;
+  audit_slo().record(clean);
+  if (!clean) {
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kAuditMismatch, dpid,
+        (std::uint64_t(std::min<std::size_t>(a.report.repaired, 0xffff))
+         << 16) |
+            std::min<std::size_t>(a.report.orphans, 0xffff),
+        converged ? "converged" : "gave_up");
+  }
   ZEN_LOG(Info) << "rule store: dpid " << dpid << " audit "
                 << (converged ? "converged" : "gave up") << " after "
                 << a.report.rounds << " round(s), repaired "

@@ -14,6 +14,19 @@ obs::Histo& pin_to_flow_mod_histo() {
   return h;
 }
 
+obs::Slo& flow_setup_slo() {
+  static obs::Slo& s = obs::SloMonitor::global().objective({
+      .name = "flow_setup_p99",
+      .target = 0.99,
+      .latency_threshold_s = 0.020,
+      .short_window_s = 5,
+      .long_window_s = 30,
+  });
+  return s;
+}
+
+using SpanKey = obs::SpanTracer::Key;
+
 }  // namespace
 
 SwitchAgent::SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid,
@@ -107,8 +120,25 @@ void SwitchAgent::on_datapath_event(openflow::Message msg) {
     return;
   if (const auto* pin = std::get_if<openflow::PacketIn>(&msg);
       pin && pin->buffer_id != openflow::kNoBuffer) {
-    if (pending_pins_.size() >= kMaxPendingPins) pending_pins_.pop_front();
-    pending_pins_.push_back({pin->buffer_id, net_.now()});
+    auto& tracer = obs::SpanTracer::global();
+    if (pending_pins_.size() >= kMaxPendingPins) {
+      tracer.take(obs::SpanTracer::key(SpanKey::kPacketIn, conn_id_, dpid_,
+                                       pending_pins_.front().buffer_id));
+      tracer.abandon_trace(pending_pins_.front().trace_root);
+      pending_pins_.pop_front();
+    }
+    // A flow_setup trace is born with the punt; the punt span rides the
+    // buffer_id to the controller, which picks it up at dispatch.
+    obs::SpanContext root;
+    if (tracer.enabled()) {
+      root = tracer.start_trace("flow_setup", "trace");
+      const obs::SpanContext punt =
+          tracer.start_span("packet_in.channel", "trace", root);
+      tracer.bind(obs::SpanTracer::key(SpanKey::kPacketIn, conn_id_, dpid_,
+                                       pin->buffer_id),
+                  punt);
+    }
+    pending_pins_.push_back({pin->buffer_id, net_.now(), root});
   }
   reply(msg, next_xid_++);
 }
@@ -119,6 +149,12 @@ void SwitchAgent::on_wire(std::vector<std::uint8_t> bytes) {
   // from poisoning the stream after reboot.
   if (!net_.switch_up(dpid_)) {
     stream_ = {};
+    auto& tracer = obs::SpanTracer::global();
+    for (const PendingPin& pin : pending_pins_) {
+      tracer.take(obs::SpanTracer::key(SpanKey::kPacketIn, conn_id_, dpid_,
+                                       pin.buffer_id));
+      tracer.abandon_trace(pin.trace_root);
+    }
     pending_pins_.clear();
     return;
   }
@@ -167,13 +203,22 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
   // Role enforcement: a slave connection may not modify state.
   const bool is_slave = role() == ControllerRole::Slave;
 
+  // Mod rejection: wire error + flight-recorder entry + span closure.
+  const auto reject_mod = [&](ErrorType type, std::uint16_t code) {
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kModRejected, dpid_,
+        (static_cast<std::uint64_t>(type) << 16) | code);
+    send_error(xid, type, code);
+    close_southbound_span(xid, /*applied=*/false);
+  };
+
   std::visit(
       [&](auto& msg) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, FlowMod> || std::is_same_v<T, GroupMod> ||
                       std::is_same_v<T, MeterMod> || std::is_same_v<T, PacketOut>) {
           if (is_slave) {
-            send_error(xid, ErrorType::BadRequest, /*kIsSlave*/ 9);
+            reject_mod(ErrorType::BadRequest, /*kIsSlave*/ 9);
             return;
           }
         }
@@ -191,26 +236,49 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
             for (auto it = pending_pins_.begin(); it != pending_pins_.end();
                  ++it) {
               if (it->buffer_id != msg.buffer_id) continue;
-              pin_to_flow_mod_histo().record((net_.now() - it->sent_s) * 1e6);
+              const double dt_s = net_.now() - it->sent_s;
+              pin_to_flow_mod_histo().record(dt_s * 1e6);
+              flow_setup_slo().record_latency(dt_s);
               ZEN_TRACE_INSTANT("flow_mod_applied", "controller");
               pending_pins_.erase(it);
               break;
             }
           }
           const auto status = net_.flow_mod(dpid_, msg);
-          if (status.ok) ack_mod();
-          else send_error(xid, status.error_type, status.error_code);
+          if (status.ok) {
+            ack_mod();
+            close_southbound_span(xid, /*applied=*/true);
+          } else {
+            reject_mod(status.error_type, status.error_code);
+          }
         } else if constexpr (std::is_same_v<T, GroupMod>) {
           const auto status = net_.group_mod(dpid_, msg);
-          if (status.ok) ack_mod();
-          else send_error(xid, status.error_type, status.error_code);
+          if (status.ok) {
+            ack_mod();
+            close_southbound_span(xid, /*applied=*/true);
+          } else {
+            reject_mod(status.error_type, status.error_code);
+          }
         } else if constexpr (std::is_same_v<T, MeterMod>) {
           const auto status = net_.meter_mod(dpid_, msg);
-          if (status.ok) ack_mod();
-          else send_error(xid, status.error_type, status.error_code);
+          if (status.ok) {
+            ack_mod();
+            close_southbound_span(xid, /*applied=*/true);
+          } else {
+            reject_mod(status.error_type, status.error_code);
+          }
         } else if constexpr (std::is_same_v<T, PacketOut>) {
+          // A PacketOut answering a buffered punt consumes the buffer: the
+          // punt can no longer be answered by a FlowMod (flood decisions).
+          for (auto it = pending_pins_.begin(); it != pending_pins_.end();
+               ++it) {
+            if (it->buffer_id != msg.buffer_id) continue;
+            pending_pins_.erase(it);
+            break;
+          }
           net_.packet_out(dpid_, msg);
           ack_mod();
+          close_southbound_span(xid, /*applied=*/true);
         } else if constexpr (std::is_same_v<T, BarrierRequest>) {
           reply(Message{BarrierReply{
                     {acked_mods_.begin(), acked_mods_.end()}}},
@@ -242,6 +310,38 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
         }
       },
       owned.msg);
+}
+
+void SwitchAgent::close_southbound_span(openflow::Xid xid, bool applied) {
+  auto& tracer = obs::SpanTracer::global();
+  const std::uint64_t tracked =
+      obs::SpanTracer::key(SpanKey::kModTracked, conn_id_, dpid_, xid);
+  if (obs::SpanContext mod = tracer.take(tracked); mod.valid()) {
+    if (!applied) {
+      // The Error resolves the completion; the controller closes the trace.
+      tracer.annotate(mod, "rejected");
+      tracer.end_span(mod);
+      return;
+    }
+    // Applied: the mod span (encode + channel + apply) ends here and the
+    // barrier_ack span takes over until the controller's ack window
+    // resolves the xid.
+    const obs::SpanContext parent = tracer.end_span(mod);
+    const obs::SpanContext ack =
+        tracer.start_span("barrier_ack", "trace", parent);
+    tracer.bind(obs::SpanTracer::key(SpanKey::kAck, conn_id_, dpid_, xid),
+                ack);
+    return;
+  }
+  const std::uint64_t untracked =
+      obs::SpanTracer::key(SpanKey::kModUntracked, conn_id_, dpid_, xid);
+  if (obs::SpanContext mod = tracer.take(untracked); mod.valid()) {
+    if (!applied) tracer.annotate(mod, "rejected");
+    const obs::SpanContext parent = tracer.end_span(mod);
+    // Fire-and-forget: no ack will close this trace, so the last
+    // southbound span to finish does.
+    if (tracer.open_span_count(parent) == 1) tracer.end_trace(parent);
+  }
 }
 
 }  // namespace zen::controller

@@ -8,6 +8,7 @@
 #include <deque>
 
 #include "controller/channel.h"
+#include "obs/span.h"
 #include "openflow/codec.h"
 #include "sim/network.h"
 
@@ -65,6 +66,11 @@ class SwitchAgent {
   void reply(const openflow::Message& msg, openflow::Xid xid);
   void send_error(openflow::Xid xid, openflow::ErrorType type,
                   std::uint16_t code);
+  // Ends the causal span the controller bound under this mod's xid. For an
+  // applied tracked mod the agent opens the barrier_ack span in its place;
+  // an applied untracked (fire-and-forget) mod closes its whole trace here,
+  // since no ack will.
+  void close_southbound_span(openflow::Xid xid, bool applied);
 
   sim::SimNetwork& net_;
   topo::NodeId dpid_;
@@ -85,6 +91,9 @@ class SwitchAgent {
   struct PendingPin {
     std::uint32_t buffer_id;
     double sent_s;
+    // Root span of the flow_setup trace born with this punt; abandoned if
+    // the pin ages out or the switch crashes before an answer arrives.
+    obs::SpanContext trace_root;
   };
   std::deque<PendingPin> pending_pins_;
   static constexpr std::size_t kMaxPendingPins = 1024;

@@ -1,6 +1,10 @@
 #include "core/network.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "obs/diagnostics.h"
+#include "util/strings.h"
 
 namespace zen::core {
 
@@ -30,11 +34,109 @@ intent::IntentManager& Network::enable_intents() {
   return *intents_;
 }
 
+Network::~Network() {
+  for (const std::uint64_t token : diag_tokens_)
+    obs::Diagnostics::global().remove_provider(token);
+}
+
 void Network::start() {
   if (started_) return;
   started_ = true;
+  register_diagnostics();
   ctrl_->connect_all();
   run_for(warmup_s_);
+}
+
+void Network::register_diagnostics() {
+  auto& diag = obs::Diagnostics::global();
+  sim::SimNetwork* sim = sim_.get();
+  controller::Controller* ctrl = ctrl_.get();
+  intent::IntentManager* intents = intents_;
+
+  diag_tokens_.push_back(diag.add_provider("switches", [sim] {
+    std::vector<topo::NodeId> dpids;
+    for (const auto& [id, sw] : sim->switches()) dpids.push_back(id);
+    std::sort(dpids.begin(), dpids.end());
+    std::string out = "[";
+    for (const topo::NodeId id : dpids) {
+      const dataplane::Switch& sw = sim->switch_at(id);
+      if (out.size() > 1) out += ",";
+      out += util::format("{\"dpid\":%llu,\"up\":%s,\"tables\":[",
+                          static_cast<unsigned long long>(id),
+                          sim->switch_up(id) ? "true" : "false");
+      for (std::uint8_t t = 0; t < sw.table_count(); ++t) {
+        if (t > 0) out += ",";
+        out += util::format("%zu", sw.table(t).size());
+      }
+      out += util::format(
+          "],\"cache\":{\"size\":%zu,\"hits\":%llu,\"misses\":%llu,"
+          "\"evictions\":%llu},\"flow_evictions\":%llu}",
+          sw.cache().size(),
+          static_cast<unsigned long long>(sw.cache().hits()),
+          static_cast<unsigned long long>(sw.cache().misses()),
+          static_cast<unsigned long long>(sw.cache().evictions()),
+          static_cast<unsigned long long>(sw.flow_evictions()));
+    }
+    return out + "]";
+  }));
+
+  diag_tokens_.push_back(diag.add_provider("rule_store", [sim, ctrl] {
+    const auto& stats = ctrl->rule_store().stats();
+    std::string out = util::format(
+        "{\"installs\":%llu,\"removes\":%llu,\"repairs\":%llu,"
+        "\"orphans_deleted\":%llu,\"audits\":%llu,\"audits_converged\":%llu,"
+        "\"table_full_rejections\":%llu,\"rules_degraded\":%llu,"
+        "\"degraded_by_switch\":{",
+        static_cast<unsigned long long>(stats.installs),
+        static_cast<unsigned long long>(stats.removes),
+        static_cast<unsigned long long>(stats.repairs_installed),
+        static_cast<unsigned long long>(stats.orphans_deleted),
+        static_cast<unsigned long long>(stats.audits),
+        static_cast<unsigned long long>(stats.audits_converged),
+        static_cast<unsigned long long>(stats.table_full_rejections),
+        static_cast<unsigned long long>(stats.rules_degraded));
+    std::vector<topo::NodeId> dpids;
+    for (const auto& [id, sw] : sim->switches()) dpids.push_back(id);
+    std::sort(dpids.begin(), dpids.end());
+    bool first = true;
+    for (const topo::NodeId id : dpids) {
+      const std::size_t degraded = ctrl->rule_store().degraded_rules(id);
+      if (degraded == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += util::format("\"%llu\":%zu",
+                          static_cast<unsigned long long>(id), degraded);
+    }
+    return out + "}}";
+  }));
+
+  diag_tokens_.push_back(diag.add_provider("intents", [intents] {
+    if (!intents) return std::string("null");
+    const auto& stats = intents->stats();
+    return util::format(
+        "{\"pending\":%zu,\"installed\":%zu,\"failed\":%zu,\"degraded\":%zu,"
+        "\"submitted\":%llu,\"compiled\":%llu,\"recompiles\":%llu,"
+        "\"failures\":%llu}",
+        intents->count_in_state(intent::IntentState::Pending),
+        intents->count_in_state(intent::IntentState::Installed),
+        intents->count_in_state(intent::IntentState::Failed),
+        intents->count_in_state(intent::IntentState::Degraded),
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.compiled),
+        static_cast<unsigned long long>(stats.recompiles),
+        static_cast<unsigned long long>(stats.failures));
+  }));
+
+  diag_tokens_.push_back(diag.add_provider("path_engine", [ctrl] {
+    const auto& stats = ctrl->view().path_engine().stats();
+    return util::format(
+        "{\"hits\":%llu,\"misses\":%llu,\"invalidations\":%llu,"
+        "\"spf_runs\":%llu}",
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.invalidations),
+        static_cast<unsigned long long>(stats.spf_runs));
+  }));
 }
 
 sim::SimHost& Network::host(std::size_t index) {

@@ -43,6 +43,10 @@ class Network {
   Network(topo::GeneratedTopo generated, Config config);
   explicit Network(topo::GeneratedTopo generated)
       : Network(std::move(generated), Config()) {}
+  // Unregisters the diagnostics providers start() added.
+  ~Network();
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
 
   // ---- canned topologies ----
   static Network fat_tree(std::size_t k);
@@ -82,11 +86,17 @@ class Network {
   std::uint64_t total_udp_received() const;
 
  private:
+  // Registers "switches" / "rule_store" / "intents" / "path_engine"
+  // sections with obs::Diagnostics. Providers capture the stable pointees
+  // of sim_/ctrl_ (not `this`), so moving the Network is safe.
+  void register_diagnostics();
+
   std::unique_ptr<sim::SimNetwork> sim_;
   std::unique_ptr<controller::Controller> ctrl_;
   intent::IntentManager* intents_ = nullptr;
   double warmup_s_ = 2.5;
   bool started_ = false;
+  std::vector<std::uint64_t> diag_tokens_;
 };
 
 }  // namespace zen::core

@@ -31,17 +31,20 @@ const CachedVerdict* MegaflowCache::find(const net::FlowKey& key,
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
-    CacheMetrics::get().misses.inc();
+    if (shard_) shard_->bump(miss_slot_);
+    else CacheMetrics::get().misses.inc();
     return nullptr;
   }
   if (it->second.version != version) {
     map_.erase(it);
     ++misses_;
-    CacheMetrics::get().misses.inc();
+    if (shard_) shard_->bump(miss_slot_);
+    else CacheMetrics::get().misses.inc();
     return nullptr;
   }
   ++hits_;
-  CacheMetrics::get().hits.inc();
+  if (shard_) shard_->bump(hit_slot_);
+  else CacheMetrics::get().hits.inc();
   return &it->second.verdict;
 }
 
@@ -61,7 +64,8 @@ void MegaflowCache::insert(const net::FlowKey& key, CachedVerdict verdict,
       if (it != map_.end(b)) {
         map_.erase(it->first);
         ++evictions_;
-        CacheMetrics::get().evictions.inc();
+        if (shard_) shard_->bump(evict_slot_);
+        else CacheMetrics::get().evictions.inc();
         break;
       }
     }

@@ -18,6 +18,7 @@
 
 #include "dataplane/flow_table.h"
 #include "net/flow_key.h"
+#include "obs/shard_stats.h"
 #include "openflow/actions.h"
 
 namespace zen::dataplane {
@@ -67,6 +68,18 @@ class MegaflowCache {
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
 
+  // Routes the per-packet hit/miss/eviction counts through the owner's
+  // ShardStats slots (plain stores on a private cacheline) instead of the
+  // shared global counters. Standalone caches (no shard bound) keep the
+  // direct global-counter path.
+  void bind_shard(obs::ShardStats* shard, std::size_t hit_slot,
+                  std::size_t miss_slot, std::size_t evict_slot) noexcept {
+    shard_ = shard;
+    hit_slot_ = hit_slot;
+    miss_slot_ = miss_slot;
+    evict_slot_ = evict_slot;
+  }
+
  private:
   struct Slot {
     CachedVerdict verdict;
@@ -75,6 +88,10 @@ class MegaflowCache {
 
   std::size_t capacity_;
   bool enabled_;
+  obs::ShardStats* shard_ = nullptr;
+  std::size_t hit_slot_ = 0;
+  std::size_t miss_slot_ = 0;
+  std::size_t evict_slot_ = 0;
   std::unordered_map<net::FlowKey, Slot> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -1,6 +1,7 @@
 #include "dataplane/switch.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "net/telemetry.h"
@@ -51,6 +52,12 @@ std::uint64_t frame_hash(std::span<const std::uint8_t> frame) noexcept {
 // host-level retries are far apart).
 constexpr double kFloodDedupWindowS = 0.05;
 constexpr std::size_t kFloodTableMax = 4096;
+
+// ShardStats slot layout for a Switch's per-instance hot-path counters.
+constexpr std::size_t kSlotPackets = 0;
+constexpr std::size_t kSlotCacheHits = 1;
+constexpr std::size_t kSlotCacheMisses = 2;
+constexpr std::size_t kSlotCacheEvictions = 3;
 }
 
 Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
@@ -70,6 +77,22 @@ Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
     tables_.back().set_capacity(config_.table_capacity, config_.eviction);
   }
   vacancy_down_.assign(config_.n_tables, false);
+  shard_ = std::make_unique<obs::ShardStats>();
+  shard_->bind(kSlotPackets, SwitchMetrics::get().packets);
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    shard_->bind(kSlotCacheHits,
+                 reg.counter("zen_dataplane_megaflow_hits_total", "",
+                             "Megaflow cache hits (fast-path forwards)"));
+    shard_->bind(kSlotCacheMisses,
+                 reg.counter("zen_dataplane_megaflow_misses_total", "",
+                             "Megaflow cache misses (full pipeline traversals)"));
+    shard_->bind(kSlotCacheEvictions,
+                 reg.counter("zen_dataplane_megaflow_evictions_total", "",
+                             "Megaflow entries evicted at capacity"));
+  }
+  cache_.bind_shard(shard_.get(), kSlotCacheHits, kSlotCacheMisses,
+                    kSlotCacheEvictions);
   occupancy_gauge_ = &obs::MetricsRegistry::global().gauge(
       "zen_dataplane_table_occupancy",
       "dpid=\"" + std::to_string(dpid_) + "\"",
@@ -110,6 +133,9 @@ void Switch::check_vacancy(std::uint8_t table_id) {
   status.vacancy_up_pct = config_.vacancy_up_pct;
   pending_table_status_.push_back(status);
   SwitchMetrics::get().table_status_events.inc();
+  obs::FlightRecorder::global().record(
+      obs::FlightEventKind::kVacancyChange, dpid_,
+      *fired == openflow::VacancyReason::VacancyDown ? 1 : 0);
   ZEN_LOG(Info) << "switch " << dpid_ << ": table " << int(table_id) << " "
                 << openflow::to_string(*fired) << " (" << used << "/"
                 << capacity << ")";
@@ -426,7 +452,7 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
                               std::span<const std::uint8_t> frame) {
   ForwardResult result;
   result.in_port = in_port;
-  SwitchMetrics::get().packets.inc();
+  shard_->bump(kSlotPackets);
 
   const auto port_it = ports_.find(in_port);
   if (port_it == ports_.end() || !port_it->second.desc.link_up) {
@@ -593,6 +619,8 @@ ModStatus Switch::flow_mod(const openflow::FlowMod& mod, double now,
         ++flow_evictions_;
         SwitchMetrics::get().flow_evictions.inc();
         ZEN_TRACE_INSTANT("flow_evicted", "dataplane");
+        obs::FlightRecorder::global().record(obs::FlightEventKind::kFlowEvicted,
+                                             dpid_, mod.table_id);
         if (removed && (victim->flags & openflow::kFlagSendFlowRemoved)) {
           openflow::FlowRemoved fr;
           fr.cookie = victim->cookie;
@@ -694,7 +722,17 @@ std::optional<openflow::ControllerRole> Switch::set_controller_role(
         other_role = ControllerRole::Slave;
     }
   }
+  const bool changed =
+      !roles_.contains(conn_id) || roles_[conn_id] != role;
   roles_[conn_id] = role;
+  if (changed) {
+    char tag[16];
+    std::snprintf(tag, sizeof(tag), "conn%llu",
+                  static_cast<unsigned long long>(conn_id));
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kRoleChange, dpid_,
+        static_cast<std::uint64_t>(role), tag);
+  }
   return role;
 }
 

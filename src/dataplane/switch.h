@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "dataplane/megaflow_cache.h"
 #include "dataplane/meter_table.h"
 #include "dataplane/packet_rewrite.h"
+#include "obs/shard_stats.h"
 #include "openflow/codec.h"
 #include "openflow/table_status.h"
 #include "util/token_bucket.h"
@@ -232,6 +234,12 @@ class Switch {
 
   std::uint64_t dpid_;
   SwitchConfig config_;
+  // Per-switch hot-path counters (packets, megaflow hit/miss/evict): the
+  // ingress path bumps private cacheline-aligned slots; the registry
+  // drains them into the shared global counters at snapshot time. Behind a
+  // unique_ptr so its address — which the megaflow cache holds — survives
+  // Switch moves.
+  std::unique_ptr<obs::ShardStats> shard_;
   std::vector<FlowTable> tables_;
   GroupTable groups_;
   MeterTable meters_;

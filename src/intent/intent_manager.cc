@@ -3,10 +3,28 @@
 #include <algorithm>
 
 #include "net/headers.h"
+#include "obs/slo.h"
 #include "topo/path_engine.h"
 #include "util/logging.h"
 
 namespace zen::intent {
+
+namespace {
+
+// How long an intent stays un-Installed after submit or a disruption.
+// Converging inside one virtual second is the objective; Failed intents
+// parked for topology healing keep accruing until they finally land.
+obs::Slo& convergence_slo() {
+  static obs::Slo& slo = obs::SloMonitor::global().objective(
+      obs::SloMonitor::Objective{.name = "intent_convergence",
+                                 .target = 0.99,
+                                 .latency_threshold_s = 1.0,
+                                 .short_window_s = 10.0,
+                                 .long_window_s = 120.0});
+  return slo;
+}
+
+}  // namespace
 
 const char* to_string(IntentState state) noexcept {
   switch (state) {
@@ -35,6 +53,7 @@ bool IntentManager::withdraw(IntentId id) {
     return false;
   remove_rules(it->second);
   it->second.state = IntentState::Withdrawn;
+  it->second.unstable_since_s = -1;  // withdrawal is not a convergence sample
   return true;
 }
 
@@ -110,6 +129,11 @@ void IntentManager::install(IntentId id, Record& record) {
   }
   record.state = IntentState::Installed;
   ++stats_.compiled;
+  if (record.unstable_since_s >= 0) {
+    convergence_slo().record_latency(controller_->now() -
+                                     record.unstable_since_s);
+    record.unstable_since_s = -1;
+  }
 }
 
 bool IntentManager::compile_direction(topo::PathEngine& engine,
@@ -319,6 +343,8 @@ bool IntentManager::compile_ban(Record& record) {
 
 bool IntentManager::compile(IntentId id, Record& record) {
   if (record.state == IntentState::Withdrawn) return false;
+  if (record.unstable_since_s < 0)
+    record.unstable_since_s = controller_->now();
   remove_rules(record);
 
   bool ok = false;
@@ -471,6 +497,8 @@ void IntentManager::mark_degraded(IntentId id) {
   if (it == intents_.end() || it->second.state != IntentState::Installed)
     return;
   it->second.state = IntentState::Degraded;
+  if (it->second.unstable_since_s < 0)
+    it->second.unstable_since_s = controller_->now();
   ++stats_.degraded;
 }
 

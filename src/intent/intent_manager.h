@@ -82,6 +82,9 @@ class IntentManager : public controller::App {
     std::vector<topo::NodeId> path;         // forward (primary) path switches
     std::vector<topo::NodeId> backup_path;  // Protected kind only
     bool protected_active = false;          // backup actually installed
+    // Virtual time this intent left Installed (or was submitted); feeds the
+    // intent-convergence SLO when the next install lands. -1 = stable.
+    double unstable_since_s = -1;
   };
 
   bool compile(IntentId id, Record& record);

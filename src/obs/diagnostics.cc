@@ -1,0 +1,76 @@
+#include "obs/diagnostics.h"
+
+#include <cstdio>
+
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "util/clock.h"
+
+namespace zen::obs {
+
+Diagnostics& Diagnostics::global() {
+  static Diagnostics diagnostics;
+  return diagnostics;
+}
+
+std::uint64_t Diagnostics::add_provider(std::string section, ProviderFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = next_token_++;
+  providers_.push_back(Provider{token, std::move(section), std::move(fn)});
+  return token;
+}
+
+void Diagnostics::remove_provider(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(providers_,
+                [token](const Provider& p) { return p.token == token; });
+}
+
+std::size_t Diagnostics::provider_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return providers_.size();
+}
+
+std::string Diagnostics::dump() const {
+  // Copy the provider list so a provider calling back into the registry
+  // (or a dump during teardown) cannot deadlock.
+  std::vector<Provider> providers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers = providers_;
+  }
+
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "{\"time\":{\"now_s\":%.6f,\"virtual\":%s}",
+                util::now_seconds(),
+                util::time_source_is_virtual() ? "true" : "false");
+  std::string out = buf;
+  out += ",\"slo\":" + SloMonitor::global().render_json();
+  out += ",\"flightrec\":" + FlightRecorder::global().render_json();
+  for (const Provider& p : providers) {
+    out += ",\"" + p.section + "\":";
+    const std::string fragment = p.fn ? p.fn() : "null";
+    out += fragment.empty() ? "null" : fragment;
+  }
+  std::string metrics = MetricsRegistry::global().render_json();
+  while (!metrics.empty() &&
+         (metrics.back() == '\n' || metrics.back() == ' ')) {
+    metrics.pop_back();
+  }
+  out += ",\"metrics\":" + metrics;
+  out += "}";
+  return out;
+}
+
+bool Diagnostics::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = dump();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace zen::obs

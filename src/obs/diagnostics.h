@@ -1,0 +1,53 @@
+// Diagnostics: one-call JSON snapshot of the whole control loop.
+//
+// Subsystems that own interesting state register a provider — a named
+// function returning a JSON fragment — and dump() stitches every
+// provider's section plus the built-ins (virtual time, metrics, SLO
+// status, flight-recorder tail) into a single document. core::Network
+// registers providers for flow tables, FlowRuleStore degraded rules,
+// intent states, and path-engine stats on start(), so "what does the
+// network look like right now?" is one call from any example or test.
+//
+// Providers deregister by token (the registering object outlives its
+// entry), mirroring util::clock's token pattern. The registry is cold
+// path; no part of it touches packet processing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zen::obs {
+
+class Diagnostics {
+ public:
+  // Returns a JSON value (object/array/number) for one named section.
+  using ProviderFn = std::function<std::string()>;
+
+  static Diagnostics& global();
+
+  std::uint64_t add_provider(std::string section, ProviderFn fn);
+  void remove_provider(std::uint64_t token);
+
+  // {"time":{...},"slo":[...],"flightrec":{...},"metrics":{...},
+  //  "<section>":<provider JSON>, ...}
+  std::string dump() const;
+  bool write(const std::string& path) const;
+
+  std::size_t provider_count() const;
+
+ private:
+  struct Provider {
+    std::uint64_t token = 0;
+    std::string section;
+    ProviderFn fn;
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t next_token_ = 1;
+  std::vector<Provider> providers_;
+};
+
+}  // namespace zen::obs

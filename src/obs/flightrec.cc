@@ -1,0 +1,158 @@
+#include "obs/flightrec.h"
+
+#include <cstdio>
+
+#include "util/clock.h"
+
+#ifndef ZEN_OBS_DISABLED
+#include <csignal>
+#include <cstring>
+#include <exception>
+#endif
+
+namespace zen::obs {
+
+const char* to_string(FlightEventKind kind) noexcept {
+  switch (kind) {
+    case FlightEventKind::kModRejected: return "mod_rejected";
+    case FlightEventKind::kFlowEvicted: return "flow_evicted";
+    case FlightEventKind::kRoleChange: return "role_change";
+    case FlightEventKind::kReconnect: return "reconnect";
+    case FlightEventKind::kSwitchDown: return "switch_down";
+    case FlightEventKind::kAuditMismatch: return "audit_mismatch";
+    case FlightEventKind::kTableFull: return "table_full";
+    case FlightEventKind::kFaultInjected: return "fault_injected";
+    case FlightEventKind::kRetransmit: return "retransmit";
+    case FlightEventKind::kSloBurn: return "slo_burn";
+    case FlightEventKind::kSloClear: return "slo_clear";
+    case FlightEventKind::kVacancyChange: return "vacancy_change";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+#ifndef ZEN_OBS_DISABLED
+
+void FlightRecorder::record(FlightEventKind kind, std::uint64_t a,
+                            std::uint64_t b, const char* tag) noexcept {
+  if (!enabled()) return;
+  FlightEvent ev;
+  ev.t_s = util::now_seconds();
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  if (tag) {
+    std::strncpy(ev.tag, tag, sizeof ev.tag - 1);
+    ev.tag[sizeof ev.tag - 1] = '\0';
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ring_[seq % kCapacity] = ev;
+}
+
+std::vector<FlightEvent> FlightRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t total = seq_.load(std::memory_order_relaxed);
+  std::vector<FlightEvent> out;
+  const std::uint64_t n = total < kCapacity ? total : kCapacity;
+  out.reserve(n);
+  for (std::uint64_t i = total - n; i < total; ++i) {
+    out.push_back(ring_[i % kCapacity]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  seq_.store(0, std::memory_order_relaxed);
+  for (auto& ev : ring_) ev = FlightEvent{};
+}
+
+std::string FlightRecorder::render_json() const {
+  const std::vector<FlightEvent> evs = events();
+  std::string out = "{\"events\":[";
+  char buf[256];
+  bool first = true;
+  for (const FlightEvent& ev : evs) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"t\":%.6f,\"kind\":\"%s\",\"a\":%llu,\"b\":%llu",
+                  first ? "" : ",", ev.t_s, to_string(ev.kind),
+                  static_cast<unsigned long long>(ev.a),
+                  static_cast<unsigned long long>(ev.b));
+    out += buf;
+    if (ev.tag[0] != '\0') {
+      out += ",\"tag\":\"";
+      out += ev.tag;
+      out += "\"";
+    }
+    out += "}";
+    first = false;
+  }
+  std::snprintf(buf, sizeof buf, "],\"recorded\":%llu,\"capacity\":%zu}",
+                static_cast<unsigned long long>(
+                    seq_.load(std::memory_order_relaxed)),
+                kCapacity);
+  out += buf;
+  return out;
+}
+
+bool FlightRecorder::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = render_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+char g_crash_dump_path[512] = {};
+std::terminate_handler g_prev_terminate = nullptr;
+
+void dump_on_crash() {
+  if (g_crash_dump_path[0] != '\0') {
+    FlightRecorder::global().write_json(g_crash_dump_path);
+  }
+}
+
+extern "C" void flightrec_signal_handler(int sig) {
+  dump_on_crash();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+[[noreturn]] void flightrec_terminate() {
+  dump_on_crash();
+  if (g_prev_terminate) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+void FlightRecorder::arm_crash_dump(const std::string& path) {
+  std::strncpy(g_crash_dump_path, path.c_str(), sizeof g_crash_dump_path - 1);
+  g_crash_dump_path[sizeof g_crash_dump_path - 1] = '\0';
+  std::signal(SIGABRT, flightrec_signal_handler);
+  std::signal(SIGSEGV, flightrec_signal_handler);
+  g_prev_terminate = std::set_terminate(flightrec_terminate);
+}
+
+#else  // ZEN_OBS_DISABLED
+
+bool FlightRecorder::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = render_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+#endif  // ZEN_OBS_DISABLED
+
+}  // namespace zen::obs

@@ -1,0 +1,117 @@
+// Flight recorder: a fixed-size ring of recent structured events.
+//
+// Every subsystem appends notable-but-rare events (mod rejected, flow
+// evicted, role change, reconnect, audit mismatch, fault injected, SLO
+// burn, ...) at near-zero cost: one bounded-index store into a
+// preallocated ring guarded by a relaxed enable gate. When something goes
+// wrong the ring is the postmortem: it dumps to flightrec.json on demand,
+// on process abort (arm_crash_dump installs SIGABRT/SIGSEGV/terminate
+// hooks), and whenever a chaos/overload example fails — so every red CI
+// run ships its own black box.
+//
+// Records are fixed-size PODs: a virtual-time stamp, a kind, two integer
+// args whose meaning is per-kind (documented in DESIGN.md), and a short
+// inline tag for names that don't fit an integer (SLO names, fault kinds).
+//
+// Under ZEN_OBS_DISABLED the event type is empty and record() is an inline
+// no-op; dumps still work and render an empty ring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef ZEN_OBS_DISABLED
+#include <atomic>
+#include <mutex>
+#endif
+
+namespace zen::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kModRejected = 0,   // a: dpid, b: error (type<<16|code)
+  kFlowEvicted,       // a: dpid, b: table
+  kRoleChange,        // a: dpid, b: role (controller id in tag)
+  kReconnect,         // a: dpid, b: epoch
+  kSwitchDown,        // a: dpid, b: pending mods failed
+  kAuditMismatch,     // a: dpid, b: repaired<<16|orphans
+  kTableFull,         // a: dpid, b: table
+  kFaultInjected,     // a: target, tag: fault kind
+  kRetransmit,        // a: dpid, b: attempt
+  kSloBurn,           // a: state (1 slow, 2 fast), tag: objective
+  kSloClear,          // tag: objective
+  kVacancyChange,     // a: dpid, b: 1 down (pressure) / 0 up (relief)
+};
+
+const char* to_string(FlightEventKind kind) noexcept;
+
+#ifndef ZEN_OBS_DISABLED
+struct FlightEvent {
+  double t_s = 0;
+  FlightEventKind kind = FlightEventKind::kModRejected;
+  char tag[15] = {};  // short name, NUL-terminated
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+#else
+struct FlightEvent {};
+#endif
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+#ifndef ZEN_OBS_DISABLED
+  // On by default — the whole point is having the black box when nobody
+  // expected to need it. Cost when idle: nothing (record is event-driven).
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void record(FlightEventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+              const char* tag = nullptr) noexcept;
+
+  // Events in chronological order (oldest surviving first).
+  std::vector<FlightEvent> events() const;
+  std::uint64_t total_recorded() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+  // {"events":[...],"recorded":N,"capacity":M}
+  std::string render_json() const;
+  bool write_json(const std::string& path) const;
+
+  // Installs best-effort abort hooks (SIGABRT/SIGSEGV + std::terminate)
+  // that dump the ring to `path` before the process dies. Not
+  // async-signal-safe in the strict sense — acceptable for a simulator
+  // whose alternative is losing the black box entirely.
+  void arm_crash_dump(const std::string& path);
+
+ private:
+  static constexpr std::size_t kCapacity = 8192;
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex mu_;
+  std::vector<FlightEvent> ring_ = std::vector<FlightEvent>(kCapacity);
+#else
+  void set_enabled(bool) noexcept {}
+  bool enabled() const noexcept { return false; }
+  void record(FlightEventKind, std::uint64_t = 0, std::uint64_t = 0,
+              const char* = nullptr) noexcept {}
+  std::vector<FlightEvent> events() const { return {}; }
+  std::uint64_t total_recorded() const noexcept { return 0; }
+  void clear() {}
+  std::string render_json() const {
+    return "{\"events\":[],\"recorded\":0,\"capacity\":0}";
+  }
+  bool write_json(const std::string& path) const;
+  void arm_crash_dump(const std::string&) {}
+#endif
+};
+
+}  // namespace zen::obs

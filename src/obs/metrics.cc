@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/shard_stats.h"
 #include "util/clock.h"
 
 namespace zen::obs {
@@ -105,6 +106,21 @@ Histo& MetricsRegistry::histo(std::string_view name, std::string_view labels,
   return *find_or_create(Series::Kind::Histo, name, labels, help).histo;
 }
 
+void MetricsRegistry::register_shard(ShardStats* shard) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  shards_.push_back(shard);
+}
+
+void MetricsRegistry::unregister_shard(ShardStats* shard) {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  std::erase(shards_, shard);
+}
+
+void MetricsRegistry::flush_shards() const {
+  std::lock_guard<std::mutex> lock(shards_mu_);
+  for (ShardStats* shard : shards_) shard->flush();
+}
+
 const MetricsRegistry::Series* MetricsRegistry::Snapshot::find(
     std::string_view name, std::string_view labels) const noexcept {
   for (const Series& s : series) {
@@ -114,6 +130,7 @@ const MetricsRegistry::Series* MetricsRegistry::Snapshot::find(
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  flush_shards();
   Snapshot snap;
   std::lock_guard<std::mutex> lock(mu_);
   snap.series.reserve(entries_.size());
@@ -140,6 +157,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
 }
 
 std::string MetricsRegistry::render_prometheus() const {
+  flush_shards();
   std::string out;
   std::lock_guard<std::mutex> lock(mu_);
   std::string last_family;
@@ -218,6 +236,7 @@ std::string MetricsRegistry::render_json() const {
 }
 
 void MetricsRegistry::reset_values() {
+  flush_shards();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, entry] : entries_) {
     switch (entry.kind) {

@@ -127,10 +127,18 @@ class ScopedTimerNs {
 };
 #endif
 
+class ShardStats;
+
 class MetricsRegistry {
  public:
   // The process-wide registry almost all instrumentation uses.
   static MetricsRegistry& global();
+
+  // Shard flush list: registered ShardStats blocks are drained into their
+  // bound counters before any snapshot/render, so per-shard batching is
+  // invisible to readers. (See shard_stats.h.)
+  void register_shard(ShardStats* shard);
+  void unregister_shard(ShardStats* shard);
 
   // Lazily registers and returns a handle. `labels` is a pre-rendered
   // Prometheus label body without braces (e.g. 'app="discovery"'); the
@@ -181,10 +189,15 @@ class MetricsRegistry {
 
   Entry& find_or_create(Series::Kind kind, std::string_view name,
                         std::string_view labels, std::string_view help);
+  void flush_shards() const;
 
   mutable std::mutex mu_;
   // Key: name + '\0' + labels — deterministic render order for free.
   std::map<std::string, Entry> entries_;
+  // Guarded separately: flushing a shard increments counters, which must
+  // not require mu_.
+  mutable std::mutex shards_mu_;
+  std::vector<ShardStats*> shards_;
 };
 
 }  // namespace zen::obs

@@ -10,5 +10,10 @@
 //   { ZEN_TRACE_SCOPE("allocate", "te"); ... }   // virtual-time span
 #pragma once
 
+#include "obs/diagnostics.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/shard_stats.h"
+#include "obs/slo.h"
+#include "obs/span.h"
 #include "obs/trace.h"

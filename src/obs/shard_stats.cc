@@ -1,0 +1,31 @@
+#include "obs/shard_stats.h"
+
+#include "obs/metrics.h"
+
+#ifndef ZEN_OBS_DISABLED
+
+namespace zen::obs {
+
+ShardStats::ShardStats() { MetricsRegistry::global().register_shard(this); }
+
+ShardStats::~ShardStats() {
+  flush();
+  MetricsRegistry::global().unregister_shard(this);
+}
+
+void ShardStats::bind(std::size_t slot, Counter& target) noexcept {
+  if (slot >= kSlots) return;
+  slots_[slot].target = &target;
+}
+
+void ShardStats::flush() noexcept {
+  for (Slot& slot : slots_) {
+    const std::uint64_t delta =
+        slot.pending.exchange(0, std::memory_order_relaxed);
+    if (delta != 0 && slot.target != nullptr) slot.target->inc(delta);
+  }
+}
+
+}  // namespace zen::obs
+
+#endif  // ZEN_OBS_DISABLED

@@ -1,0 +1,213 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace zen::obs {
+
+namespace {
+
+// Burn rate over the trailing `window_s` seconds of buckets: observed bad
+// fraction divided by the error budget. 0 when the window saw no events.
+double burn_over(const std::vector<Slo::Bucket>& buckets,
+                 std::int64_t cur_second, double window_s, double budget,
+                 std::uint64_t* good_out = nullptr,
+                 std::uint64_t* bad_out = nullptr) {
+  const auto n = static_cast<std::int64_t>(buckets.size());
+  const auto span = std::min<std::int64_t>(
+      n, std::max<std::int64_t>(1, static_cast<std::int64_t>(window_s)));
+  std::uint64_t good = 0, bad = 0;
+  for (std::int64_t i = 0; i < span; ++i) {
+    const std::int64_t sec = cur_second - i;
+    if (sec < 0) break;
+    const auto& b = buckets[static_cast<std::size_t>(sec % n)];
+    good += b.good;
+    bad += b.bad;
+  }
+  if (good_out) *good_out = good;
+  if (bad_out) *bad_out = bad;
+  const std::uint64_t total = good + bad;
+  if (total == 0 || budget <= 0) return 0;
+  return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+}
+
+}  // namespace
+
+void Slo::record_impl(bool good) noexcept {
+  if (monitor_ == nullptr) return;
+  bool rolled = false;
+  double now_s = 0;
+  {
+    std::lock_guard<std::mutex> lock(monitor_->mu_);
+    now_s = util::now_seconds();
+    rolled = roll_to_now_locked(now_s);
+    auto& bucket = buckets_[static_cast<std::size_t>(
+        cur_second_ % static_cast<std::int64_t>(buckets_.size()))];
+    if (good) {
+      ++bucket.good;
+      ++total_good_;
+    } else {
+      ++bucket.bad;
+      ++total_bad_;
+    }
+    if (rolled) monitor_->evaluate_locked(*this, now_s);
+  }
+}
+
+bool Slo::roll_to_now_locked(double now_s) noexcept {
+  const auto sec = static_cast<std::int64_t>(std::floor(now_s));
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  if (cur_second_ < 0 || sec < cur_second_) {
+    // First event, or the virtual clock restarted (a new sim run in the
+    // same process): start fresh.
+    for (auto& b : buckets_) b = Bucket{};
+    cur_second_ = sec;
+    return false;
+  }
+  if (sec == cur_second_) return false;
+  const std::int64_t steps = std::min(sec - cur_second_, n);
+  for (std::int64_t i = 1; i <= steps; ++i) {
+    buckets_[static_cast<std::size_t>((cur_second_ + i) % n)] = Bucket{};
+  }
+  cur_second_ = sec;
+  return true;
+}
+
+SloMonitor& SloMonitor::global() {
+  static SloMonitor monitor;
+  return monitor;
+}
+
+Slo& SloMonitor::objective(const Objective& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slo : objectives_) {
+    if (slo->name_ == spec.name) return *slo;
+  }
+  auto slo = std::make_unique<Slo>();
+  slo->monitor_ = this;
+  slo->name_ = spec.name;
+  slo->target_ = spec.target;
+  slo->latency_threshold_ = spec.latency_threshold_s;
+  slo->short_window_s_ = std::max(1.0, spec.short_window_s);
+  slo->long_window_s_ = std::max(slo->short_window_s_, spec.long_window_s);
+  slo->fast_burn_ = spec.fast_burn;
+  slo->slow_burn_ = spec.slow_burn;
+  slo->buckets_.resize(static_cast<std::size_t>(
+      std::min(300.0, std::max(2.0, slo->long_window_s_))));
+  objectives_.push_back(std::move(slo));
+  return *objectives_.back();
+}
+
+void SloMonitor::evaluate_locked(Slo& slo, double now_s) {
+  slo.roll_to_now_locked(now_s);
+  const double budget = 1.0 - slo.target_;
+  const double short_burn = burn_over(slo.buckets_, slo.cur_second_,
+                                      slo.short_window_s_, budget);
+  const double long_burn = burn_over(slo.buckets_, slo.cur_second_,
+                                     slo.long_window_s_, budget);
+  // Multi-window: page only when both the short window (still burning now)
+  // and the long window (burned enough to matter) agree.
+  const double agreed = std::min(short_burn, long_burn);
+  State next = State::kOk;
+  if (agreed >= slo.fast_burn_) {
+    next = State::kFastBurn;
+  } else if (agreed >= slo.slow_burn_) {
+    next = State::kSlowBurn;
+  }
+
+#ifndef ZEN_OBS_DISABLED
+  auto& reg = MetricsRegistry::global();
+  const std::string label = "slo=\"" + slo.name_ + "\"";
+  reg.gauge("zen_slo_burn_rate", label + ",window=\"short\"",
+            "SLO burn rate (error fraction / budget) per window")
+      .set(short_burn);
+  reg.gauge("zen_slo_burn_rate", label + ",window=\"long\"").set(long_burn);
+  reg.gauge("zen_slo_state", label,
+            "SLO health: 0 ok, 1 slow burn, 2 fast burn")
+      .set(static_cast<double>(next));
+#endif
+
+  const auto prev = static_cast<State>(slo.state_);
+  if (next != prev) {
+    slo.state_ = static_cast<std::uint8_t>(next);
+    if (next == State::kOk) {
+      FlightRecorder::global().record(FlightEventKind::kSloClear, 0, 0,
+                                      slo.name_.c_str());
+    } else {
+      FlightRecorder::global().record(FlightEventKind::kSloBurn,
+                                      static_cast<std::uint64_t>(next), 0,
+                                      slo.name_.c_str());
+    }
+  }
+}
+
+std::vector<SloMonitor::Status> SloMonitor::evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double now_s = util::now_seconds();
+  std::vector<Status> out;
+  out.reserve(objectives_.size());
+  for (auto& slo : objectives_) {
+    if (slo->cur_second_ >= 0) evaluate_locked(*slo, now_s);
+    const double budget = 1.0 - slo->target_;
+    Status st;
+    st.name = slo->name_;
+    st.state = static_cast<State>(slo->state_);
+    st.short_burn = burn_over(slo->buckets_, slo->cur_second_,
+                              slo->short_window_s_, budget);
+    st.long_burn = burn_over(slo->buckets_, slo->cur_second_,
+                             slo->long_window_s_, budget);
+    st.good = slo->total_good_;
+    st.bad = slo->total_bad_;
+    out.push_back(std::move(st));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Status& a, const Status& b) { return a.name < b.name; });
+  return out;
+}
+
+const char* SloMonitor::state_name(State s) noexcept {
+  switch (s) {
+    case State::kOk: return "ok";
+    case State::kSlowBurn: return "slow_burn";
+    case State::kFastBurn: return "fast_burn";
+  }
+  return "unknown";
+}
+
+std::string SloMonitor::render_json() {
+  const std::vector<Status> statuses = evaluate();
+  std::string out = "[";
+  char buf[256];
+  bool first = true;
+  for (const Status& st : statuses) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"state\":\"%s\",\"short_burn\":%.3f,"
+                  "\"long_burn\":%.3f,\"good\":%llu,\"bad\":%llu}",
+                  first ? "" : ",", st.name.c_str(), state_name(st.state),
+                  st.short_burn, st.long_burn,
+                  static_cast<unsigned long long>(st.good),
+                  static_cast<unsigned long long>(st.bad));
+    out += buf;
+    first = false;
+  }
+  out += "]";
+  return out;
+}
+
+void SloMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& slo : objectives_) {
+    for (auto& b : slo->buckets_) b = Slo::Bucket{};
+    slo->cur_second_ = -1;
+    slo->total_good_ = 0;
+    slo->total_bad_ = 0;
+    slo->state_ = 0;
+  }
+}
+
+}  // namespace zen::obs

@@ -1,0 +1,130 @@
+// SLO monitor: declarative objectives with multi-window burn-rate state.
+//
+// An Objective declares a target good-fraction (e.g. 99% of flow setups
+// under 20ms, 99.9% of packets delivered) and the monitor tracks it SRE
+// style: good/bad events land in one-second buckets on the virtual clock,
+// and burn rate — observed error fraction divided by the error budget — is
+// evaluated over a short and a long window. Burning faster than
+// `fast_burn` in both windows is a page-level breach (kFastBurn); faster
+// than `slow_burn` is a ticket-level warning (kSlowBurn).
+//
+// State transitions are exposed three ways: as gauges
+// (zen_slo_burn_rate{slo=,window=}, zen_slo_state{slo=}), as flight-
+// recorder events (slo_burn / slo_clear), and via evaluate() for examples
+// that print a health table. Evaluation also happens implicitly whenever a
+// record() rolls into a new one-second bucket, so long simulations keep
+// their SLO state fresh without a poller.
+//
+// Handles are stable for the process lifetime (cache a Slo& in a static);
+// reset() zeroes buckets in place so tests can share the global monitor.
+// Under ZEN_OBS_DISABLED record paths are inline no-ops.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace zen::obs {
+
+class SloMonitor;
+
+class Slo {
+ public:
+  // Records one unit of the SLI: did the event meet the objective?
+  void record(bool good) noexcept {
+#ifndef ZEN_OBS_DISABLED
+    record_impl(good);
+#else
+    (void)good;
+#endif
+  }
+  // Latency objectives: good iff the sample is within the threshold.
+  void record_latency(double seconds) noexcept {
+#ifndef ZEN_OBS_DISABLED
+    record_impl(seconds <= latency_threshold_);
+#else
+    (void)seconds;
+#endif
+  }
+
+  struct Bucket {
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+ private:
+  friend class SloMonitor;
+
+  void record_impl(bool good) noexcept;
+  // Advances the bucket ring to virtual-now; zeroes skipped buckets.
+  // Returns true when the current bucket rolled (caller re-evaluates).
+  bool roll_to_now_locked(double now_s) noexcept;
+
+  SloMonitor* monitor_ = nullptr;
+  std::string name_;
+  double target_ = 0.999;
+  double latency_threshold_ = 0;
+  double short_window_s_ = 5;
+  double long_window_s_ = 60;
+  double fast_burn_ = 14.4;
+  double slow_burn_ = 1.0;
+  std::vector<Bucket> buckets_;
+  std::int64_t cur_second_ = -1;
+  std::uint64_t total_good_ = 0;
+  std::uint64_t total_bad_ = 0;
+  std::uint8_t state_ = 0;  // SloMonitor::State
+};
+
+class SloMonitor {
+ public:
+  struct Objective {
+    std::string name;
+    // Target good fraction; error budget is 1 - target.
+    double target = 0.999;
+    // > 0 turns the objective into a latency SLI for record_latency().
+    double latency_threshold_s = 0;
+    double short_window_s = 5;
+    double long_window_s = 60;
+    double fast_burn = 14.4;
+    double slow_burn = 1.0;
+  };
+
+  enum class State : std::uint8_t { kOk = 0, kSlowBurn = 1, kFastBurn = 2 };
+
+  struct Status {
+    std::string name;
+    State state = State::kOk;
+    double short_burn = 0;
+    double long_burn = 0;
+    std::uint64_t good = 0;  // lifetime totals
+    std::uint64_t bad = 0;
+  };
+
+  static SloMonitor& global();
+
+  // Finds or creates the objective by name; the returned handle is valid
+  // for the process lifetime (reset() keeps handles, zeroes data).
+  Slo& objective(const Objective& spec);
+
+  // Re-evaluates every objective at virtual-now and returns the statuses
+  // (sorted by name). Also driven implicitly by bucket rolls.
+  std::vector<Status> evaluate();
+
+  std::string render_json();
+
+  // Zeroes buckets/totals/states in place; handles stay valid.
+  void reset();
+
+ private:
+  friend class Slo;
+
+  void evaluate_locked(Slo& slo, double now_s);
+  static const char* state_name(State s) noexcept;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Slo>> objectives_;
+};
+
+}  // namespace zen::obs

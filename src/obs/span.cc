@@ -1,0 +1,197 @@
+#include "obs/span.h"
+
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace zen::obs {
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+std::uint64_t SpanTracer::key(Key kind, std::uint64_t conn, std::uint64_t dpid,
+                              std::uint64_t id) noexcept {
+  // FNV-1a over the four components; collisions only misattribute a span.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(kind));
+  mix(conn);
+  mix(dpid);
+  mix(id);
+  return h;
+}
+
+#ifndef ZEN_OBS_DISABLED
+
+namespace {
+thread_local SpanContext tls_current;
+}  // namespace
+
+bool SpanTracer::enabled() const noexcept {
+  return TraceRecorder::global().enabled();
+}
+
+SpanContext SpanTracer::start_trace(std::string_view name,
+                                    std::string_view cat) {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() >= kMaxActiveTraces) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return {};
+  }
+  const std::uint64_t trace_id = next_trace_id_++;
+  const std::uint64_t span_id = next_span_id_++;
+  traces_.emplace(trace_id, ActiveTrace{std::string(name), std::string(cat),
+                                        util::now_seconds(), span_id, 1, 0});
+  spans_.emplace(span_id,
+                 ActiveSpan{trace_id, 0, std::string(name), std::string(cat)});
+  TraceRecorder::global().async_begin(name, cat, trace_id);
+  return SpanContext{trace_id, span_id};
+}
+
+SpanContext SpanTracer::start_span(std::string_view name, std::string_view cat,
+                                   SpanContext parent) {
+  if (!parent.valid()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = traces_.find(parent.trace_id);
+  if (it == traces_.end()) return {};
+  const std::uint64_t span_id = next_span_id_++;
+  spans_.emplace(span_id, ActiveSpan{parent.trace_id, parent.span_id,
+                                     std::string(name), std::string(cat)});
+  ++it->second.started;
+  TraceRecorder::global().async_begin(name, cat, parent.trace_id);
+  return SpanContext{parent.trace_id, span_id};
+}
+
+SpanContext SpanTracer::end_span(SpanContext ctx) {
+  if (!ctx.valid()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = spans_.find(ctx.span_id);
+  if (it == spans_.end()) return {};
+  const ActiveSpan span = it->second;
+  spans_.erase(it);
+  const auto tit = traces_.find(span.trace_id);
+  if (tit != traces_.end()) ++tit->second.ended;
+  TraceRecorder::global().async_end(span.name, span.cat, span.trace_id);
+  return SpanContext{span.trace_id, span.parent};
+}
+
+void SpanTracer::end_trace(SpanContext ctx) {
+  if (!ctx.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto tit = traces_.find(ctx.trace_id);
+  if (tit == traces_.end()) return;
+  ActiveTrace& trace = tit->second;
+  // Close ctx's span if still open (it may already have been ended by the
+  // far side of a retransmit race), then the root.
+  for (const std::uint64_t sid : {ctx.span_id, trace.root}) {
+    const auto sit = spans_.find(sid);
+    if (sit == spans_.end()) continue;
+    TraceRecorder::global().async_end(sit->second.name, sit->second.cat,
+                                      ctx.trace_id);
+    ++trace.ended;
+    spans_.erase(sit);
+  }
+  finalize_trace_locked(ctx.trace_id, /*abandoned=*/false);
+}
+
+void SpanTracer::abandon_trace(SpanContext ctx) {
+  if (!ctx.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!traces_.contains(ctx.trace_id)) return;
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  finalize_trace_locked(ctx.trace_id, /*abandoned=*/true);
+}
+
+void SpanTracer::finalize_trace_locked(std::uint64_t trace_id,
+                                       bool abandoned) {
+  const auto tit = traces_.find(trace_id);
+  if (tit == traces_.end()) return;
+  const ActiveTrace& trace = tit->second;
+  // Sweep any spans the trace still owns (lost acks, abandoned punts).
+  for (auto it = spans_.begin(); it != spans_.end();) {
+    it = it->second.trace_id == trace_id ? spans_.erase(it) : std::next(it);
+  }
+  if (finished_.size() >= kMaxFinished) {
+    finished_.erase(finished_.begin(), finished_.begin() + kMaxFinished / 4);
+  }
+  finished_.push_back(TraceSummary{
+      trace_id, trace.name, trace.start_s, util::now_seconds(), trace.started,
+      trace.ended, !abandoned && trace.started == trace.ended});
+  traces_.erase(tit);
+}
+
+void SpanTracer::annotate(SpanContext ctx, std::string_view label) {
+  if (!ctx.valid()) return;
+  TraceRecorder::global().async_instant(label, "trace", ctx.trace_id);
+}
+
+int SpanTracer::open_span_count(SpanContext ctx) const {
+  if (!ctx.valid()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = traces_.find(ctx.trace_id);
+  if (it == traces_.end()) return 0;
+  return it->second.started - it->second.ended;
+}
+
+void SpanTracer::bind(std::uint64_t key, SpanContext ctx) {
+  if (!ctx.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bindings_.size() >= kMaxBindings) return;
+  bindings_[key] = ctx;
+}
+
+SpanContext SpanTracer::take(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = bindings_.find(key);
+  if (it == bindings_.end()) return {};
+  const SpanContext ctx = it->second;
+  bindings_.erase(it);
+  return ctx;
+}
+
+SpanContext SpanTracer::current() const noexcept { return tls_current; }
+
+std::vector<SpanTracer::TraceSummary> SpanTracer::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_;
+}
+
+std::size_t SpanTracer::open_traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::uint64_t SpanTracer::dropped_traces() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SpanTracer::abandoned_traces() const noexcept {
+  return abandoned_.load(std::memory_order_relaxed);
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  traces_.clear();
+  bindings_.clear();
+  finished_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+  abandoned_.store(0, std::memory_order_relaxed);
+}
+
+SpanTracer::Scope::Scope(SpanContext ctx) noexcept : prev_(tls_current) {
+  if (ctx.valid()) tls_current = ctx;
+}
+
+SpanTracer::Scope::~Scope() { tls_current = prev_; }
+
+#endif  // ZEN_OBS_DISABLED
+
+}  // namespace zen::obs

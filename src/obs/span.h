@@ -1,0 +1,199 @@
+// Causal span tracing: one trace per control-loop round trip.
+//
+// A SpanContext is born at packet-in (SwitchAgent starts a "flow_setup"
+// trace when it punts a buffered packet), flows through controller dispatch
+// as parent/child spans (punt channel -> dispatch -> app -> flow_mod ->
+// barrier_ack), and is closed by the per-xid ack window: one trace stitches
+// the whole packet-in -> app decision -> encode -> channel -> switch apply
+// -> barrier ack path, retransmits and TableFull repair-ladder retries
+// included.
+//
+// Cross-layer propagation never touches the wire: producers bind() a span
+// under a correlation key derived from what the protocol already carries
+// (buffer_id for punts, xid for mods/acks, scoped by conn and dpid), and
+// the consumer on the far side of the channel take()s it. In-process
+// propagation through app dispatch uses a thread-local current-span Scope,
+// so apps and the FlowRuleStore pick up their parent without signature
+// changes.
+//
+// Spans are emitted as Chrome nestable async events ('b'/'e') on the global
+// TraceRecorder keyed by trace_id, so Perfetto renders each trace as one
+// nested lane stamped with virtual time. The tracer additionally keeps
+// bounded per-trace bookkeeping (spans started/ended) so tests and examples
+// can assert that no propagation edge lost a span.
+//
+// Under ZEN_OBS_DISABLED the context is an empty type and every method is
+// an inline no-op, so instrumented call sites compile away.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef ZEN_OBS_DISABLED
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#endif
+
+namespace zen::obs {
+
+#ifndef ZEN_OBS_DISABLED
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const noexcept { return span_id != 0; }
+};
+#else
+struct SpanContext {
+  bool valid() const noexcept { return false; }
+};
+#endif
+
+class SpanTracer {
+ public:
+  // Correlation-key namespaces. kModTracked marks a mod whose sender waits
+  // for a barrier ack (the agent opens a barrier_ack span at apply);
+  // kModUntracked marks fire-and-forget mods (the trace closes at apply).
+  enum class Key : std::uint8_t {
+    kPacketIn = 1,     // keyed by buffer_id
+    kModTracked = 2,   // keyed by xid
+    kModUntracked = 3, // keyed by xid
+    kAck = 4,          // keyed by xid
+  };
+
+  struct TraceSummary {
+    std::uint64_t trace_id = 0;
+    std::string name;
+    double start_s = 0;
+    double end_s = 0;
+    int spans_started = 0;
+    int spans_ended = 0;
+    bool complete = false;  // every started span was ended
+  };
+
+  static SpanTracer& global();
+
+  // Composes a correlation key. Collisions only misattribute a span, so a
+  // mixed hash is fine; conn scopes multi-controller setups apart.
+  static std::uint64_t key(Key kind, std::uint64_t conn, std::uint64_t dpid,
+                           std::uint64_t id) noexcept;
+
+#ifndef ZEN_OBS_DISABLED
+  // Tracing follows the TraceRecorder's on/off switch: no recorder, no
+  // spans, and instrumented paths pay one relaxed load.
+  bool enabled() const noexcept;
+
+  // Opens a new trace and returns its root span. Invalid context (and a
+  // bump of dropped_traces) once kMaxActiveTraces are open.
+  SpanContext start_trace(std::string_view name, std::string_view cat);
+  // Opens a child span; no-op (invalid) when the parent is invalid.
+  SpanContext start_span(std::string_view name, std::string_view cat,
+                         SpanContext parent);
+  // Closes `ctx` and returns its parent's context (invalid for a root or
+  // an unknown span). Safe to call with an already-closed span.
+  SpanContext end_span(SpanContext ctx);
+  // Closes `ctx` (if still open), then the trace's root span, and finalizes
+  // the trace into the finished list.
+  void end_trace(SpanContext ctx);
+  // Drops the trace without counting it complete (e.g. a punt the
+  // controller never answered). Open spans are closed silently.
+  void abandon_trace(SpanContext ctx);
+  // Attaches a label to the span as an async-instant event (retransmit,
+  // rejected, table_full_retry, ...).
+  void annotate(SpanContext ctx, std::string_view label);
+  // Open spans (root included) in ctx's trace; 0 for unknown traces. The
+  // controller uses this to close floods/no-op dispatches whose trace will
+  // never see a southbound ack.
+  int open_span_count(SpanContext ctx) const;
+
+  void bind(std::uint64_t key, SpanContext ctx);
+  SpanContext take(std::uint64_t key);
+
+  SpanContext current() const noexcept;
+
+  // Finished traces (bounded; oldest dropped first), and counters for
+  // traces that never finished cleanly.
+  std::vector<TraceSummary> finished() const;
+  std::size_t open_traces() const;
+  std::uint64_t dropped_traces() const noexcept;
+  std::uint64_t abandoned_traces() const noexcept;
+  void clear();
+#else
+  bool enabled() const noexcept { return false; }
+  SpanContext start_trace(std::string_view, std::string_view) { return {}; }
+  SpanContext start_span(std::string_view, std::string_view, SpanContext) {
+    return {};
+  }
+  SpanContext end_span(SpanContext) { return {}; }
+  void end_trace(SpanContext) {}
+  void abandon_trace(SpanContext) {}
+  void annotate(SpanContext, std::string_view) {}
+  int open_span_count(SpanContext) const { return 0; }
+  void bind(std::uint64_t, SpanContext) {}
+  SpanContext take(std::uint64_t) { return {}; }
+  SpanContext current() const noexcept { return {}; }
+  std::vector<TraceSummary> finished() const { return {}; }
+  std::size_t open_traces() const { return 0; }
+  std::uint64_t dropped_traces() const noexcept { return 0; }
+  std::uint64_t abandoned_traces() const noexcept { return 0; }
+  void clear() {}
+#endif
+
+  // Establishes `ctx` as the dispatch-scoped current span (thread-local);
+  // restores the previous one on destruction. An invalid ctx is a cheap
+  // no-op scope.
+  class Scope {
+   public:
+#ifndef ZEN_OBS_DISABLED
+    explicit Scope(SpanContext ctx) noexcept;
+    ~Scope();
+#else
+    explicit Scope(SpanContext) noexcept {}
+#endif
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+#ifndef ZEN_OBS_DISABLED
+   private:
+    SpanContext prev_;
+#endif
+  };
+
+#ifndef ZEN_OBS_DISABLED
+ private:
+  struct ActiveSpan {
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent = 0;
+    std::string name;
+    std::string cat;
+  };
+  struct ActiveTrace {
+    std::string name;
+    std::string cat;
+    double start_s = 0;
+    std::uint64_t root = 0;
+    int started = 0;
+    int ended = 0;
+  };
+
+  static constexpr std::size_t kMaxActiveTraces = 4096;
+  static constexpr std::size_t kMaxFinished = 8192;
+  static constexpr std::size_t kMaxBindings = 65536;
+
+  void finalize_trace_locked(std::uint64_t trace_id, bool abandoned);
+
+  mutable std::mutex mu_;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  std::unordered_map<std::uint64_t, ActiveSpan> spans_;
+  std::unordered_map<std::uint64_t, ActiveTrace> traces_;
+  std::unordered_map<std::uint64_t, SpanContext> bindings_;
+  std::vector<TraceSummary> finished_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> abandoned_{0};
+#endif
+};
+
+}  // namespace zen::obs

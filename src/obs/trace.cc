@@ -33,23 +33,41 @@ void TraceRecorder::push(Event ev) {
 
 void TraceRecorder::begin(std::string_view name, std::string_view cat) {
   if (!enabled()) return;
-  push(Event{'B', 0, 0, std::string(name), std::string(cat)});
+  push(Event{'B', 0, 0, 0, std::string(name), std::string(cat)});
 }
 
 void TraceRecorder::end(std::string_view name, std::string_view cat) {
   if (!enabled()) return;
-  push(Event{'E', 0, 0, std::string(name), std::string(cat)});
+  push(Event{'E', 0, 0, 0, std::string(name), std::string(cat)});
 }
 
 void TraceRecorder::instant(std::string_view name, std::string_view cat) {
   if (!enabled()) return;
-  push(Event{'i', 0, 0, std::string(name), std::string(cat)});
+  push(Event{'i', 0, 0, 0, std::string(name), std::string(cat)});
 }
 
 void TraceRecorder::counter_sample(std::string_view name, std::string_view cat,
                                    double value) {
   if (!enabled()) return;
-  push(Event{'C', 0, value, std::string(name), std::string(cat)});
+  push(Event{'C', 0, value, 0, std::string(name), std::string(cat)});
+}
+
+void TraceRecorder::async_begin(std::string_view name, std::string_view cat,
+                                std::uint64_t id) {
+  if (!enabled()) return;
+  push(Event{'b', 0, 0, id, std::string(name), std::string(cat)});
+}
+
+void TraceRecorder::async_end(std::string_view name, std::string_view cat,
+                              std::uint64_t id) {
+  if (!enabled()) return;
+  push(Event{'e', 0, 0, id, std::string(name), std::string(cat)});
+}
+
+void TraceRecorder::async_instant(std::string_view name, std::string_view cat,
+                                  std::uint64_t id) {
+  if (!enabled()) return;
+  push(Event{'n', 0, 0, id, std::string(name), std::string(cat)});
 }
 
 std::size_t TraceRecorder::size() const {
@@ -92,6 +110,13 @@ std::string TraceRecorder::render_chrome_json() const {
                     "\"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"value\":%g}}",
                     first ? "" : ",", tids[ev.cat], ts_us, ev.name.c_str(),
                     ev.cat.c_str(), ev.value);
+    } else if (ev.phase == 'b' || ev.phase == 'e' || ev.phase == 'n') {
+      std::snprintf(buf, sizeof buf,
+                    "%s{\"ph\":\"%c\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                    "\"name\":\"%s\",\"cat\":\"%s\",\"id\":\"0x%llx\"}",
+                    first ? "" : ",", ev.phase, tids[ev.cat], ts_us,
+                    ev.name.c_str(), ev.cat.c_str(),
+                    static_cast<unsigned long long>(ev.id));
     } else if (ev.phase == 'i') {
       std::snprintf(buf, sizeof buf,
                     "%s{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"

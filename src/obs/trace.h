@@ -45,6 +45,18 @@ class TraceRecorder {
   void counter_sample(std::string_view name, std::string_view cat,
                       double value);
 
+  // Nestable async events ('b'/'n'/'e'): all events sharing (cat, id) form
+  // one async track, and Perfetto nests begin/end pairs within it by
+  // timestamp. SpanTracer uses the trace_id as `id`, so one causal trace
+  // renders as one nested lane even though its spans cross the controller,
+  // the channel, and the switch agent.
+  void async_begin(std::string_view name, std::string_view cat,
+                   std::uint64_t id);
+  void async_end(std::string_view name, std::string_view cat,
+                 std::uint64_t id);
+  void async_instant(std::string_view name, std::string_view cat,
+                     std::uint64_t id);
+
   std::size_t size() const;
   std::size_t dropped() const noexcept {
     return dropped_.load(std::memory_order_relaxed);
@@ -57,9 +69,10 @@ class TraceRecorder {
 
  private:
   struct Event {
-    char phase;     // 'B', 'E', 'i', 'C'
-    double ts_s;    // seconds on the recorder's clock
-    double value;   // counter samples only
+    char phase;        // 'B', 'E', 'i', 'C', 'b', 'e', 'n'
+    double ts_s;       // seconds on the recorder's clock
+    double value;      // counter samples only
+    std::uint64_t id;  // async events only (trace id)
     std::string name;
     std::string cat;
   };

@@ -138,6 +138,9 @@ void FaultInjector::arm() {
         ev.kind == Event::Kind::TablePressure ? burst_no++ : 0;
     net_.events().schedule_at(ev.at, [this, ev, this_burst] {
       faults_counter().inc();
+      obs::FlightRecorder::global().record(
+          obs::FlightEventKind::kFaultInjected, ev.target, 0,
+          to_string(ev.kind));
       ZEN_LOG(Info) << "chaos: " << to_string(ev.kind) << " target "
                     << ev.target;
       switch (ev.kind) {

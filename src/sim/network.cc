@@ -19,6 +19,24 @@ obs::Counter& link_drops_counter() {
   return c;
 }
 
+// Packet-delivery SLI: good on every frame handed to a host, bad on every
+// link-level loss. A multi-hop frame contributes one good but each of its
+// losses separately, so this is a proxy for loss pressure rather than an
+// exact per-packet ratio — which is what a burn-rate alert wants anyway.
+obs::Slo& delivery_slo() {
+  static obs::Slo& slo = obs::SloMonitor::global().objective(
+      obs::SloMonitor::Objective{.name = "packet_delivery",
+                                 .target = 0.999,
+                                 .short_window_s = 5.0,
+                                 .long_window_s = 60.0});
+  return slo;
+}
+
+void note_link_drop() {
+  link_drops_counter().inc();
+  delivery_slo().record(false);
+}
+
 }  // namespace
 
 net::MacAddress host_mac(topo::NodeId host_id) {
@@ -168,7 +186,7 @@ void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
 
   if (!link->up) {
     ++stats.dropped_down;
-    link_drops_counter().inc();
+    note_link_drop();
     return;
   }
 
@@ -212,20 +230,20 @@ void SimNetwork::transmit(topo::NodeId from, std::uint32_t port,
             static_cast<double>(dir_state.queue_best_effort.back().size());
         dir_state.queue_best_effort.pop_back();
         ++stats.dropped_queue;
-        link_drops_counter().inc();
+        note_link_drop();
         --stats.delivered;  // it was counted on admission
       }
       if (dir_state.queued_bytes + static_cast<double>(frame.size()) >
           options_.queue_bytes) {
         ++stats.dropped_queue;
-        link_drops_counter().inc();
+        note_link_drop();
         --stats.delivered;
         if (queue_id >= 1) --stats.priority_delivered;
         return;
       }
     } else {
       ++stats.dropped_queue;
-      link_drops_counter().inc();
+      note_link_drop();
       --stats.delivered;
       if (queue_id >= 1) --stats.priority_delivered;
       return;
@@ -277,7 +295,7 @@ void SimNetwork::on_transmit_complete(topo::LinkId link_id, int dir) {
   if (!link || !link->up) {
     // Link died while the frame was queued.
     ++dir_state.stats.dropped_down;
-    link_drops_counter().inc();
+    note_link_drop();
     on_transmit_complete(link_id, dir);
     return;
   }
@@ -315,6 +333,7 @@ void SimNetwork::deliver(topo::NodeId node, std::uint32_t port,
         }
       }
     }
+    delivery_slo().record(true);
     host_it->second->deliver(frame);
     return;
   }

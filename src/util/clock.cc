@@ -17,6 +17,7 @@ struct TimeSourceState {
   TimeSourceFn fn;
   bool is_virtual = false;
   std::uint64_t generation = 0;
+  std::uint64_t installs = 0;
   std::uint64_t epoch_ns = steady_now_ns();
 };
 
@@ -37,6 +38,7 @@ std::uint64_t set_time_source(TimeSourceFn fn, bool is_virtual) {
   auto& s = state();
   s.fn = std::move(fn);
   s.is_virtual = s.fn ? is_virtual : false;
+  if (s.fn) ++s.installs;
   return ++s.generation;
 }
 
@@ -48,6 +50,8 @@ void clear_time_source(std::uint64_t token) {
 }
 
 bool time_source_is_virtual() noexcept { return state().is_virtual; }
+
+std::uint64_t time_source_install_count() noexcept { return state().installs; }
 
 std::uint64_t wall_nanos() noexcept { return steady_now_ns(); }
 

@@ -30,6 +30,11 @@ void clear_time_source(std::uint64_t token);
 // True while a virtual (simulator) time source is installed.
 bool time_source_is_virtual() noexcept;
 
+// How many times a (non-empty) time source has been installed over the
+// process lifetime. Benches record this in their run metadata so a result
+// file says whether numbers were measured under virtual or wall time.
+std::uint64_t time_source_install_count() noexcept;
+
 // Monotonic wall-clock nanoseconds, independent of the installed source.
 // Instrumentation uses this for real execution cost (e.g. lookup latency)
 // even when event timestamps are virtual.

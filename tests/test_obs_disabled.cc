@@ -1,0 +1,92 @@
+// Regression guard for the ZEN_OBS_DISABLED build: the observability types
+// that ride inside hot-path objects must be empty, and every instrumented
+// call site must compile against the inline no-op stubs.
+//
+// This TU is compiled with -DZEN_OBS_DISABLED and deliberately does NOT
+// link zen_core (the library is built with obs enabled; mixing the two
+// definitions would be an ODR violation). Everything exercised here is
+// header-inline in the disabled configuration.
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "obs/flightrec.h"
+#include "obs/shard_stats.h"
+#include "obs/slo.h"
+#include "obs/span.h"
+
+namespace zen::obs {
+namespace {
+
+#ifndef ZEN_OBS_DISABLED
+#error "this test must be compiled with -DZEN_OBS_DISABLED"
+#endif
+
+// The context threaded through controller completions and the per-event
+// record type must cost nothing when observability is compiled out.
+static_assert(std::is_empty_v<SpanContext>,
+              "disabled SpanContext must be an empty type");
+static_assert(std::is_empty_v<FlightEvent>,
+              "disabled FlightEvent must be an empty type");
+static_assert(std::is_empty_v<ShardStats>,
+              "disabled ShardStats must be an empty type");
+static_assert(std::is_trivially_copyable_v<SpanContext>);
+static_assert(std::is_trivially_destructible_v<ShardStats>,
+              "disabled ShardStats must not register anywhere");
+
+TEST(ObsDisabled, SpanStubsAreInertNoOps) {
+  SpanTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  const SpanContext root = tracer.start_trace("flow_setup", "trace");
+  EXPECT_FALSE(root.valid());
+  const SpanContext child = tracer.start_span("dispatch", "trace", root);
+  EXPECT_FALSE(child.valid());
+  EXPECT_FALSE(tracer.end_span(child).valid());
+  tracer.end_trace(root);
+  tracer.abandon_trace(root);
+  tracer.annotate(root, "marker");
+  EXPECT_EQ(tracer.open_span_count(root), 0);
+  tracer.bind(42, root);
+  EXPECT_FALSE(tracer.take(42).valid());
+  EXPECT_FALSE(tracer.current().valid());
+  {
+    SpanTracer::Scope scope(root);
+    EXPECT_FALSE(tracer.current().valid());
+  }
+  EXPECT_TRUE(tracer.finished().empty());
+  EXPECT_EQ(tracer.open_traces(), 0u);
+  EXPECT_EQ(tracer.dropped_traces(), 0u);
+  EXPECT_EQ(tracer.abandoned_traces(), 0u);
+  tracer.clear();
+}
+
+TEST(ObsDisabled, FlightRecorderStubsAreInertNoOps) {
+  FlightRecorder fr;
+  EXPECT_FALSE(fr.enabled());
+  fr.set_enabled(true);
+  EXPECT_FALSE(fr.enabled());
+  fr.record(FlightEventKind::kTableFull, 1, 2, "tag");
+  EXPECT_TRUE(fr.events().empty());
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  // Dumps still render a well-formed empty ring.
+  EXPECT_EQ(fr.render_json(),
+            "{\"events\":[],\"recorded\":0,\"capacity\":0}");
+  fr.arm_crash_dump("unused.json");
+  fr.clear();
+}
+
+TEST(ObsDisabled, ShardStatsAndSloStubsCompileAway) {
+  ShardStats shard;
+  shard.bump(0);
+  shard.bump(7, 1000);
+  shard.flush();
+
+  Slo slo;
+  slo.record(true);
+  slo.record(false);
+  slo.record_latency(99.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace zen::obs
