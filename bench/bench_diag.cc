@@ -1,0 +1,82 @@
+// Diag-layer cost model: what a dry-run explain trace and a full invariant
+// sweep cost, in wall time, against a warm leaf-spine fabric.
+//
+// BM_ExplainTrace      — one network-wide trace (3 switch hops, full
+//                        narration) via PacketTracer. This is the unit of
+//                        work the invariant monitor multiplies by intents.
+// BM_InvariantCheck/N  — one monitor sweep over N installed point-to-point
+//                        intents (each sweep = ~N traces + signature hash).
+//
+// Both run against a live simulation but never advance it: explain() is a
+// pure dry run, so the numbers isolate the diag layer itself.
+#include <benchmark/benchmark.h>
+
+#include "core/zen.h"
+
+namespace {
+
+using namespace zen;
+
+// Shared fixture builder: leaf-spine(2, 4, 2) with Discovery + intents,
+// primed so intent rules are installed before timing starts.
+struct Fabric {
+  core::Network net;
+  intent::IntentManager& intents;
+  diag::InvariantMonitor& monitor;
+  std::vector<intent::IntentId> ids;
+
+  explicit Fabric(int n_intents)
+      : net(core::Network::leaf_spine(2, 4, 2)),
+        intents((net.add_app<controller::apps::Discovery>(),
+                 net.enable_intents())),
+        monitor(net.add_app<diag::InvariantMonitor>(net.sim(), intents)) {
+    net.start();
+    const std::size_t hosts = net.host_count();
+    for (std::size_t i = 0; i < hosts; ++i)
+      net.host(i).send_udp(net.host_ip((i + 1) % hosts), 4000, 4001, 64);
+    net.run_for(1.0);
+    for (int i = 0; i < n_intents; ++i) {
+      intent::IntentSpec spec;
+      spec.src = net.host_ip(static_cast<std::size_t>(i) % hosts);
+      spec.dst = net.host_ip(static_cast<std::size_t>(i + hosts / 2) % hosts);
+      ids.push_back(intents.submit(spec));
+    }
+    net.run_for(1.0);
+  }
+};
+
+void BM_ExplainTrace(benchmark::State& state) {
+  Fabric fabric(1);
+  diag::PacketTracer tracer(fabric.net.sim());
+  const topo::NodeId src = fabric.net.generated().hosts[0];
+  const topo::NodeId dst_node = fabric.net.generated().hosts[4];
+  const net::Bytes frame = net::build_ipv4_udp(
+      sim::host_mac(src), sim::host_mac(dst_node), fabric.net.host_ip(0),
+      fabric.net.host_ip(4), 4321, 4321, std::vector<std::uint8_t>(16, 0));
+
+  std::size_t hops = 0;
+  for (auto _ : state) {
+    diag::PathTrace trace = tracer.trace_from_host(src, frame);
+    hops = trace.hops.size();
+    benchmark::DoNotOptimize(trace.verdict);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hops"] = static_cast<double>(hops);
+}
+BENCHMARK(BM_ExplainTrace)->Unit(benchmark::kMicrosecond);
+
+void BM_InvariantCheck(benchmark::State& state) {
+  Fabric fabric(static_cast<int>(state.range(0)));
+
+  std::size_t traces = 0;
+  for (auto _ : state) {
+    const diag::InvariantMonitor::Report& report = fabric.monitor.check();
+    traces = report.traces;
+    benchmark::DoNotOptimize(report.violations.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["traces_per_check"] = static_cast<double>(traces);
+}
+BENCHMARK(BM_InvariantCheck)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -28,6 +28,8 @@
 #include "controller/flow_rule_store.h"
 #include "core/network.h"
 #include "dataplane/switch.h"
+#include "diag/invariant_monitor.h"
+#include "diag/packet_tracer.h"
 #include "intent/intent_manager.h"
 #include "net/packet.h"
 #include "obs/obs.h"

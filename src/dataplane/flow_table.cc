@@ -161,26 +161,71 @@ void FlowTable::rebuild_group_priority(MaskGroup& group) noexcept {
   }
 }
 
+namespace {
+
+// Mask specificity for the explain record: how many fields are constrained.
+int mask_field_count(const net::FlowMask& m) noexcept {
+  int n = 0;
+  n += m.in_port != 0;
+  n += m.eth_src != 0;
+  n += m.eth_dst != 0;
+  n += m.eth_type != 0;
+  n += m.vlan_vid != 0;
+  n += m.vlan_pcp != 0;
+  n += m.ipv4_src != 0;
+  n += m.ipv4_dst != 0;
+  n += (m.ipv6_src_hi | m.ipv6_src_lo) != 0;
+  n += (m.ipv6_dst_hi | m.ipv6_dst_lo) != 0;
+  n += m.ip_proto != 0;
+  n += m.ip_dscp != 0;
+  n += m.l4_src != 0;
+  n += m.l4_dst != 0;
+  n += m.arp_op != 0;
+  return n;
+}
+
+}  // namespace
+
 FlowEntryPtr FlowTable::lookup(const net::FlowKey& key) noexcept {
   ++lookups_;
+  FlowEntryPtr best = find_best(key);
+  if (best) ++matches_;
+  return best;
+}
+
+FlowEntryPtr FlowTable::find_best(const net::FlowKey& key,
+                                  LookupExplain* ex) const {
   FlowEntryPtr best;
 
   if (mode_ == LookupMode::LinearScan) {
     for (const auto& [mask, group] : groups_) {
+      bool hit = false;
       for (const auto& [mkey, bucket] : group.by_key) {
         for (const auto& entry : bucket) {
-          if ((!best || entry->priority > best->priority) &&
-              entry->match.matches(key))
-            best = entry;
+          if (!entry->match.matches(key)) continue;
+          hit = true;
+          if (!best || entry->priority > best->priority) best = entry;
         }
       }
+      if (ex)
+        ex->masks.push_back({mask_field_count(mask), group.max_priority, hit,
+                             /*pruned=*/false});
     }
   } else {
     for (const auto& [mask, group] : groups_) {
-      if (best && group.max_priority <= best->priority) continue;
+      if (best && group.max_priority <= best->priority) {
+        if (ex)
+          ex->masks.push_back({mask_field_count(mask), group.max_priority,
+                               /*hit=*/false, /*pruned=*/true});
+        continue;
+      }
       const net::FlowKey masked = mask.apply(key);
       const auto it = group.by_key.find(masked);
-      if (it == group.by_key.end()) continue;
+      const bool hit = it != group.by_key.end();
+      if (ex)
+        ex->masks.push_back({mask_field_count(mask), group.max_priority, hit,
+                             /*pruned=*/false});
+      if (!hit) continue;
       // Buckets are priority-sorted; first better-than-best wins.
       for (const auto& entry : it->second) {
         if (best && entry->priority <= best->priority) break;
@@ -190,7 +235,6 @@ FlowEntryPtr FlowTable::lookup(const net::FlowKey& key) noexcept {
     }
   }
 
-  if (best) ++matches_;
   return best;
 }
 

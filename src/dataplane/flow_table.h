@@ -97,9 +97,30 @@ class FlowTable {
                                    std::uint16_t priority, bool strict,
                                    std::uint32_t out_port = openflow::Ports::kAny);
 
+  // Per-mask probe record for one lookup, filled by find_best when the
+  // explain engine asks. One entry per tuple-space hash table, in probe
+  // order: `pruned` = skipped because its max priority could not beat the
+  // best hit so far, `hit` = the masked key found a candidate bucket.
+  struct LookupExplain {
+    struct MaskProbe {
+      int fields = 0;  // mask specificity (non-wildcard field count)
+      std::uint16_t max_priority = 0;
+      bool hit = false;
+      bool pruned = false;
+    };
+    std::vector<MaskProbe> masks;
+  };
+
   // Highest-priority matching entry, or nullptr. Does not update counters
   // (the pipeline credits entries explicitly so cached hits count too).
   FlowEntryPtr lookup(const net::FlowKey& key) noexcept;
+
+  // The same search without touching the lookup/match counters — the
+  // explain engine's dry-run entry point (also the equivalence oracle any
+  // classifier refactor must preserve). `ex`, when non-null, receives the
+  // per-mask probe record.
+  FlowEntryPtr find_best(const net::FlowKey& key,
+                         LookupExplain* ex = nullptr) const;
 
   // Removes entries past their idle/hard timeout; returns them.
   std::vector<FlowEntryPtr> expire(double now);

@@ -50,18 +50,25 @@ Group* GroupTable::find(std::uint32_t group_id) noexcept {
 }
 
 const openflow::Bucket* GroupTable::select_bucket(
-    const Group& group, const net::FlowKey& key,
-    const PortLiveFn& port_live) const noexcept {
+    const Group& group, const net::FlowKey& key, const PortLiveFn& port_live,
+    SelectExplain* ex) const noexcept {
+  const auto chosen = [&](const openflow::Bucket* bucket) {
+    if (ex && bucket)
+      ex->bucket_index = static_cast<int>(bucket - group.buckets.data());
+    return bucket;
+  };
   if (group.buckets.empty()) return nullptr;
   if (group.type == openflow::GroupType::FastFailover) {
     for (const auto& bucket : group.buckets) {
       if (bucket.watch_port == openflow::Ports::kAny || !port_live ||
           port_live(bucket.watch_port))
-        return &bucket;
+        return chosen(&bucket);
+      if (ex) ++ex->dead_skipped;
     }
     return nullptr;  // all watched ports down: drop
   }
-  if (group.type != openflow::GroupType::Select) return &group.buckets.front();
+  if (group.type != openflow::GroupType::Select)
+    return chosen(&group.buckets.front());
 
   const std::uint64_t total = std::accumulate(
       group.buckets.begin(), group.buckets.end(), std::uint64_t{0},
@@ -69,11 +76,15 @@ const openflow::Bucket* GroupTable::select_bucket(
   if (total == 0) return nullptr;
 
   std::uint64_t point = key.hash() % total;
+  if (ex) {
+    ex->hash_point = point;
+    ex->total_weight = total;
+  }
   for (const auto& bucket : group.buckets) {
-    if (point < bucket.weight) return &bucket;
+    if (point < bucket.weight) return chosen(&bucket);
     point -= bucket.weight;
   }
-  return &group.buckets.back();
+  return chosen(&group.buckets.back());
 }
 
 }  // namespace zen::dataplane

@@ -48,6 +48,14 @@ const CachedVerdict* MegaflowCache::find(const net::FlowKey& key,
   return &it->second.verdict;
 }
 
+const CachedVerdict* MegaflowCache::peek(const net::FlowKey& key,
+                                         std::uint64_t version) const noexcept {
+  if (!enabled_) return nullptr;
+  const auto it = map_.find(key);
+  if (it == map_.end() || it->second.version != version) return nullptr;
+  return &it->second.verdict;
+}
+
 void MegaflowCache::insert(const net::FlowKey& key, CachedVerdict verdict,
                            std::uint64_t version) {
   if (!enabled_ || !verdict.cacheable) return;

@@ -52,6 +52,12 @@ class MegaflowCache {
   // Returns the verdict if present and current. Stale entries are erased.
   const CachedVerdict* find(const net::FlowKey& key, std::uint64_t version);
 
+  // Read-only probe for the explain engine: no counter bumps, no stale-entry
+  // erasure, no shard traffic. Stale entries report as absent, exactly as
+  // find() would treat them.
+  const CachedVerdict* peek(const net::FlowKey& key,
+                            std::uint64_t version) const noexcept;
+
   void insert(const net::FlowKey& key, CachedVerdict verdict,
               std::uint64_t version);
 

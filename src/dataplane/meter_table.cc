@@ -47,6 +47,19 @@ bool MeterTable::allow(std::uint32_t meter_id, std::size_t bytes, double now) {
   return false;
 }
 
+bool MeterTable::would_allow(std::uint32_t meter_id, std::size_t bytes,
+                             double now) const noexcept {
+  const auto it = meters_.find(meter_id);
+  if (it == meters_.end()) return true;
+  return it->second.bucket.peek_available(now) + 1e-12 >=
+         static_cast<double>(bytes);
+}
+
+double MeterTable::rate_bytes_per_s(std::uint32_t meter_id) const noexcept {
+  const auto it = meters_.find(meter_id);
+  return it == meters_.end() ? 0.0 : it->second.bucket.rate();
+}
+
 std::uint64_t MeterTable::dropped(std::uint32_t meter_id) const noexcept {
   const auto it = meters_.find(meter_id);
   return it == meters_.end() ? 0 : it->second.drop_count;

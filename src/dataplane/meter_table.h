@@ -22,6 +22,14 @@ class MeterTable {
   // A missing meter id passes (matching a permissive-datapath stance).
   bool allow(std::uint32_t meter_id, std::size_t bytes, double now);
 
+  // The verdict allow() would return, without consuming tokens or bumping
+  // drop counters — the explain engine's dry-run check.
+  bool would_allow(std::uint32_t meter_id, std::size_t bytes,
+                   double now) const noexcept;
+
+  // Configured rate in bytes/s (0 if the meter does not exist).
+  double rate_bytes_per_s(std::uint32_t meter_id) const noexcept;
+
   std::uint64_t dropped(std::uint32_t meter_id) const noexcept;
   std::size_t size() const noexcept { return meters_.size(); }
 

@@ -8,6 +8,7 @@
 #include "obs/obs.h"
 #include "telemetry/switch_telemetry.h"
 #include "util/logging.h"
+#include "util/strings.h"
 
 namespace zen::dataplane {
 
@@ -52,6 +53,40 @@ std::uint64_t frame_hash(std::span<const std::uint8_t> frame) noexcept {
 // host-level retries are far apart).
 constexpr double kFloodDedupWindowS = 0.05;
 constexpr std::size_t kFloodTableMax = 4096;
+
+// Field-level diff between two flow keys, for rewrite explain steps.
+std::string flow_key_diff(const net::FlowKey& a, const net::FlowKey& b) {
+  std::string out;
+  const auto add = [&](const std::string& piece) {
+    if (!out.empty()) out += ", ";
+    out += piece;
+  };
+  if (a.eth_src != b.eth_src)
+    add(util::format("eth_src %012llx->%012llx",
+                     static_cast<unsigned long long>(a.eth_src),
+                     static_cast<unsigned long long>(b.eth_src)));
+  if (a.eth_dst != b.eth_dst)
+    add(util::format("eth_dst %012llx->%012llx",
+                     static_cast<unsigned long long>(a.eth_dst),
+                     static_cast<unsigned long long>(b.eth_dst)));
+  if (a.vlan_vid != b.vlan_vid)
+    add(util::format("vlan %u->%u", a.vlan_vid, b.vlan_vid));
+  if (a.ipv4_src != b.ipv4_src)
+    add(util::format("ipv4_src %s->%s",
+                     net::Ipv4Address{a.ipv4_src}.to_string().c_str(),
+                     net::Ipv4Address{b.ipv4_src}.to_string().c_str()));
+  if (a.ipv4_dst != b.ipv4_dst)
+    add(util::format("ipv4_dst %s->%s",
+                     net::Ipv4Address{a.ipv4_dst}.to_string().c_str(),
+                     net::Ipv4Address{b.ipv4_dst}.to_string().c_str()));
+  if (a.ip_dscp != b.ip_dscp)
+    add(util::format("dscp %u->%u", a.ip_dscp, b.ip_dscp));
+  if (a.l4_src != b.l4_src)
+    add(util::format("l4_src %u->%u", a.l4_src, b.l4_src));
+  if (a.l4_dst != b.l4_dst)
+    add(util::format("l4_dst %u->%u", a.l4_dst, b.l4_dst));
+  return out;
+}
 
 // ShardStats slot layout for a Switch's per-instance hot-path counters.
 constexpr std::size_t kSlotPackets = 0;
@@ -191,6 +226,35 @@ void Switch::make_packet_in(PipelineContext& ctx,
                             std::uint8_t table_id, std::uint64_t cookie,
                             std::uint16_t max_len) {
   if (ctx.result->packet_in) return;  // one PacketIn per packet
+  if (ctx.dry_run) {
+    // Report the punt without buffering the frame, consuming rate-limit
+    // tokens, or touching the punt counters.
+    const net::Bytes frame = ctx.pkt->serialize();
+    openflow::PacketIn pin;
+    pin.reason = reason;
+    pin.table_id = table_id;
+    pin.cookie = cookie;
+    pin.in_port = ctx.in_port;
+    pin.total_len = static_cast<std::uint16_t>(frame.size());
+    pin.buffer_id = openflow::kNoBuffer;
+    const std::size_t n = std::min<std::size_t>(max_len, frame.size());
+    pin.data.assign(frame.begin(),
+                    frame.begin() + static_cast<std::ptrdiff_t>(n));
+    ctx.result->packet_in = std::move(pin);
+    if (ctx.probe.active()) {
+      ExplainStep s;
+      s.kind = ExplainStepKind::kPacketIn;
+      s.table_id = table_id;
+      s.detail = reason == openflow::PacketInReason::NoMatch
+                     ? "reason=no_match"
+                     : "reason=action";
+      if (packet_in_bucket_ &&
+          packet_in_bucket_->peek_available(ctx.now) < 1.0)
+        s.detail += " (would be rate-limited right now)";
+      ctx.probe.add(std::move(s));
+    }
+    return;
+  }
   if (packet_in_bucket_ && !packet_in_bucket_->try_consume(1.0, ctx.now)) {
     ++packet_in_suppressed_;
     SwitchMetrics::get().packet_ins_suppressed.inc();
@@ -214,15 +278,42 @@ void Switch::make_packet_in(PipelineContext& ctx,
 
 void Switch::emit_to_port(PipelineContext& ctx, std::uint32_t port_no) {
   const auto it = ports_.find(port_no);
-  if (it == ports_.end()) return;
+  if (it == ports_.end()) {
+    if (ctx.probe.active()) {
+      ExplainStep s;
+      s.kind = ExplainStepKind::kOutput;
+      s.port = port_no;
+      s.queue_id = ctx.queue_id;
+      s.detail = "no such port (frame discarded)";
+      ctx.probe.add(std::move(s));
+    }
+    return;
+  }
   auto& state = it->second;
   if (!state.desc.link_up) {
-    ++state.stats.tx_dropped;
+    if (!ctx.dry_run) ++state.stats.tx_dropped;
+    if (ctx.probe.active()) {
+      ExplainStep s;
+      s.kind = ExplainStepKind::kOutput;
+      s.port = port_no;
+      s.queue_id = ctx.queue_id;
+      s.detail = "link down (tx_dropped)";
+      ctx.probe.add(std::move(s));
+    }
     return;
   }
   net::Bytes frame = ctx.pkt->serialize();
-  ++state.stats.tx_packets;
-  state.stats.tx_bytes += frame.size();
+  if (!ctx.dry_run) {
+    ++state.stats.tx_packets;
+    state.stats.tx_bytes += frame.size();
+  }
+  if (ctx.probe.active()) {
+    ExplainStep s;
+    s.kind = ExplainStepKind::kOutput;
+    s.port = port_no;
+    s.queue_id = ctx.queue_id;
+    ctx.probe.add(std::move(s));
+  }
   ctx.result->outputs.push_back(Egress{port_no, ctx.queue_id, std::move(frame)});
   if (!ctx.pkt->modified())
     ctx.verdict.out_ports.push_back({port_no, ctx.queue_id});
@@ -236,11 +327,21 @@ void Switch::execute_normal(PipelineContext& ctx) {
   // verdict is time-dependent (learning, dedup), so never cache it.
   ctx.verdict.cacheable = false;
   const net::FlowKey key = ctx.pkt->flow_key(ctx.in_port);
-  normal_fib_[key.eth_src] = ctx.in_port;
+  if (!ctx.dry_run) normal_fib_[key.eth_src] = ctx.in_port;
 
   if (const auto it = normal_fib_.find(key.eth_dst);
       it != normal_fib_.end() && it->second != ctx.in_port) {
     emit_to_port(ctx, it->second);
+    return;
+  }
+
+  // Dry-run: report the flood set without learning or dedup-window writes
+  // (the dedup verdict is time-dependent, so the trace shows the
+  // steady-state flood behavior instead).
+  if (ctx.dry_run) {
+    for (const auto& [no, state] : ports_) {
+      if (no != ctx.in_port && state.desc.link_up) emit_to_port(ctx, no);
+    }
     return;
   }
 
@@ -318,9 +419,26 @@ void Switch::execute_action_list(PipelineContext& ctx,
       execute_output(ctx, out->port, out->max_len, 0, 0, false);
     } else if (const auto* grp = std::get_if<openflow::GroupAction>(&action)) {
       const Group* group = groups_.find(grp->group_id);
-      if (!group) continue;
-      const_cast<Group*>(group)->packet_count++;
+      if (!group) {
+        if (ctx.probe.active()) {
+          ExplainStep s;
+          s.kind = ExplainStepKind::kGroup;
+          s.group_id = grp->group_id;
+          s.detail = "group not found (action ignored)";
+          ctx.probe.add(std::move(s));
+        }
+        continue;
+      }
+      if (!ctx.dry_run) const_cast<Group*>(group)->packet_count++;
       if (group->type == openflow::GroupType::All) {
+        if (ctx.probe.active()) {
+          ExplainStep s;
+          s.kind = ExplainStepKind::kGroup;
+          s.group_id = grp->group_id;
+          s.detail = util::format("type=all (%zu buckets replicated)",
+                                  group->buckets.size());
+          ctx.probe.add(std::move(s));
+        }
         for (const auto& bucket : group->buckets)
           execute_action_list(ctx, bucket.actions, depth + 1);
       } else {
@@ -329,8 +447,33 @@ void Switch::execute_action_list(PipelineContext& ctx,
           const auto it = ports_.find(port);
           return it != ports_.end() && it->second.desc.link_up;
         };
-        if (const auto* bucket = groups_.select_bucket(*group, key, port_live))
-          execute_action_list(ctx, bucket->actions, depth + 1);
+        GroupTable::SelectExplain sel;
+        const auto* bucket =
+            groups_.select_bucket(*group, key, port_live,
+                                  ctx.probe.active() ? &sel : nullptr);
+        if (ctx.probe.active()) {
+          ExplainStep s;
+          s.kind = ExplainStepKind::kGroup;
+          s.group_id = grp->group_id;
+          s.bucket = sel.bucket_index;
+          s.hash_point = sel.hash_point;
+          s.total_weight = sel.total_weight;
+          switch (group->type) {
+            case openflow::GroupType::Select:
+              s.detail = "type=select (hash inputs: flow key)";
+              break;
+            case openflow::GroupType::FastFailover:
+              s.detail = util::format("type=fast_failover (%d dead skipped)",
+                                      sel.dead_skipped);
+              break;
+            default:
+              s.detail = "type=indirect";
+              break;
+          }
+          if (!bucket) s.detail += "; no live bucket (drop)";
+          ctx.probe.add(std::move(s));
+        }
+        if (bucket) execute_action_list(ctx, bucket->actions, depth + 1);
         // FastFailover verdicts depend on port liveness; the version bump
         // in set_port_link already invalidates cached verdicts on change.
       }
@@ -341,12 +484,37 @@ void Switch::execute_action_list(PipelineContext& ctx,
       // Applies to every subsequent output of this packet; the simulator's
       // link model maps queue >= 1 to the strict-priority class.
       ctx.queue_id = sq->queue_id;
+      if (ctx.probe.active()) {
+        ExplainStep s;
+        s.kind = ExplainStepKind::kRewrite;
+        s.detail = util::format("set_queue %u (applies to later outputs)",
+                                sq->queue_id);
+        ctx.probe.add(std::move(s));
+      }
     } else {
+      const net::FlowKey before =
+          ctx.probe.active() ? ctx.pkt->flow_key(ctx.in_port) : net::FlowKey{};
       if (!ctx.pkt->apply(action)) {
         ctx.dropped = true;
         ctx.result->dropped = true;
         ctx.verdict.cacheable = false;
+        if (ctx.probe.active()) {
+          ExplainStep s;
+          s.kind = ExplainStepKind::kDrop;
+          s.detail = "action " + openflow::to_string(action) +
+                     " cannot apply to this packet";
+          ctx.probe.add(std::move(s));
+        }
         return;
+      }
+      if (ctx.probe.active()) {
+        ExplainStep s;
+        s.kind = ExplainStepKind::kRewrite;
+        s.detail = openflow::to_string(action);
+        const std::string diff =
+            flow_key_diff(before, ctx.pkt->flow_key(ctx.in_port));
+        if (!diff.empty()) s.detail += " [" + diff + "]";
+        ctx.probe.add(std::move(s));
       }
     }
   }
@@ -360,7 +528,30 @@ void Switch::run_pipeline(PipelineContext& ctx) {
     if (table_id >= tables_.size()) break;
     FlowTable& table = tables_[table_id];
     const net::FlowKey key = ctx.pkt->flow_key(ctx.in_port);
-    FlowEntryPtr entry = table.lookup(key);
+    // Dry-run probes the same search core without perturbing the
+    // per-table lookup/match counters.
+    FlowTable::LookupExplain lookup_explain;
+    FlowEntryPtr entry =
+        ctx.dry_run ? table.find_best(key, ctx.probe.active()
+                                               ? &lookup_explain
+                                               : nullptr)
+                    : table.lookup(key);
+    if (ctx.probe.active()) {
+      ExplainStep s;
+      s.kind = entry ? ExplainStepKind::kTableMatch
+                     : ExplainStepKind::kTableMiss;
+      s.table_id = table_id;
+      for (const auto& m : lookup_explain.masks)
+        s.masks.push_back({m.fields, m.max_priority, m.hit, m.pruned});
+      if (entry) {
+        s.priority = entry->priority;
+        s.cookie = entry->cookie;
+        s.importance = entry->importance;
+        s.detail = "match={" + entry->match.to_string() + "} instructions=" +
+                   openflow::to_string(entry->instructions);
+      }
+      ctx.probe.add(std::move(s));
+    }
 
     if (!entry) {
       if (table_id == 0 && config_.default_miss == MissBehavior::PacketIn) {
@@ -376,10 +567,12 @@ void Switch::run_pipeline(PipelineContext& ctx) {
     }
 
     // Credit the entry (cached hits credit via verdict.credited).
-    entry->packet_count++;
-    entry->byte_count += ctx.pkt->wire_size();
-    entry->last_used_at = ctx.now;
-    ctx.verdict.credited.push_back(entry);
+    if (!ctx.dry_run) {
+      entry->packet_count++;
+      entry->byte_count += ctx.pkt->wire_size();
+      entry->last_used_at = ctx.now;
+      ctx.verdict.credited.push_back(entry);
+    }
 
     const bool is_miss_entry =
         entry->priority == 0 && entry->match.field_count() == 0;
@@ -389,7 +582,25 @@ void Switch::run_pipeline(PipelineContext& ctx) {
       if (ctx.dropped) break;
       if (const auto* meter = std::get_if<openflow::MeterInstruction>(&ins)) {
         ctx.verdict.meters.push_back(meter->meter_id);
-        if (!meters_.allow(meter->meter_id, ctx.pkt->wire_size(), ctx.now)) {
+        const bool allowed =
+            ctx.dry_run
+                ? meters_.would_allow(meter->meter_id, ctx.pkt->wire_size(),
+                                      ctx.now)
+                : meters_.allow(meter->meter_id, ctx.pkt->wire_size(), ctx.now);
+        if (ctx.probe.active()) {
+          ExplainStep s;
+          s.kind = ExplainStepKind::kMeter;
+          s.table_id = table_id;
+          s.meter_id = meter->meter_id;
+          s.allowed = allowed;
+          const double rate = meters_.rate_bytes_per_s(meter->meter_id);
+          if (rate > 0)
+            s.detail = util::format("band rate %.0f bytes/s", rate);
+          else
+            s.detail = "no such meter (pass)";
+          ctx.probe.add(std::move(s));
+        }
+        if (!allowed) {
           ctx.dropped = true;
           ctx.result->dropped = true;
           return;
@@ -549,6 +760,91 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
   if (telemetry_stamp)
     for (Egress& egress : result.outputs)
       net::append_telemetry_trailer(egress.frame);
+  return result;
+}
+
+ForwardResult Switch::explain(double now, std::uint32_t in_port,
+                              std::span<const std::uint8_t> frame,
+                              ExplainTrace* trace) {
+  ForwardResult result;
+  result.in_port = in_port;
+  if (trace) {
+    trace->dpid = dpid_;
+    trace->in_port = in_port;
+  }
+
+  PipelineContext ctx;
+  ctx.now = now;
+  ctx.in_port = in_port;
+  ctx.result = &result;
+  ctx.dry_run = true;
+  ctx.probe.attach(trace);
+
+  const auto port_it = ports_.find(in_port);
+  if (port_it == ports_.end() || !port_it->second.desc.link_up) {
+    result.dropped = true;
+    if (ctx.probe.active()) {
+      ExplainStep s;
+      s.kind = ExplainStepKind::kDrop;
+      s.detail = port_it == ports_.end() ? "ingress port does not exist"
+                                         : "ingress port link down";
+      ctx.probe.add(std::move(s));
+    }
+    return result;
+  }
+
+  MutablePacket pkt(frame);
+  if (!pkt.ok()) {
+    result.dropped = true;
+    if (ctx.probe.active()) {
+      ExplainStep s;
+      s.kind = ExplainStepKind::kDrop;
+      s.detail = "unparseable frame";
+      ctx.probe.add(std::move(s));
+    }
+    return result;
+  }
+  ctx.pkt = &pkt;
+
+  // Read-only cache probe for the narrative; the verdict below always
+  // comes from a full (dry-run) pipeline walk so the trace explains the
+  // classifier decisions even for flows the fast path would shortcut.
+  const net::FlowKey key = pkt.flow_key(in_port);
+  const std::size_t megaflow_step = trace ? trace->steps.size() : 0;
+  if (ctx.probe.active()) {
+    ExplainStep s;
+    s.kind = ExplainStepKind::kMegaflow;
+    s.cache_hit = cache_.peek(key, version_) != nullptr;
+    s.detail = !cache_.enabled()
+                   ? "cache disabled"
+                   : (s.cache_hit ? "fast path would forward from cache"
+                                  : "slow path runs the full pipeline");
+    ctx.probe.add(std::move(s));
+  }
+
+  run_pipeline(ctx);
+
+  if (trace && megaflow_step < trace->steps.size() &&
+      trace->steps[megaflow_step].kind == ExplainStepKind::kMegaflow &&
+      !trace->steps[megaflow_step].cache_hit && cache_.enabled()) {
+    // The cache is exact-match: the "megaflow mask" a miss would install is
+    // the full flow key, and only cacheable verdicts are inserted.
+    trace->steps[megaflow_step].detail +=
+        ctx.verdict.cacheable && !ctx.dropped
+            ? "; miss would install an exact-match (full flow key) verdict"
+            : "; verdict not cacheable (no megaflow would be installed)";
+  }
+
+  if (result.dropped && result.outputs.empty() && !result.packet_in &&
+      ctx.probe.active()) {
+    if (trace->steps.empty() ||
+        trace->steps.back().kind != ExplainStepKind::kDrop) {
+      ExplainStep s;
+      s.kind = ExplainStepKind::kDrop;
+      s.detail = "pipeline produced no output";
+      ctx.probe.add(std::move(s));
+    }
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dataplane/explain.h"
 #include "dataplane/flow_table.h"
 #include "dataplane/group_table.h"
 #include "dataplane/megaflow_cache.h"
@@ -128,6 +129,19 @@ class Switch {
   ForwardResult ingress(double now, std::uint32_t in_port,
                         std::span<const std::uint8_t> frame);
 
+  // Dry-run pipeline walk (ofproto/trace analog): returns the exact
+  // ForwardResult ingress() would produce for this frame right now, with
+  // zero observable side effects — no rule/port/cache counters, no meter
+  // tokens consumed, no megaflow insert, no PacketIn buffered or rate-
+  // limited, no NORMAL-mode learning. When `trace` is non-null (and
+  // observability is compiled in) every decision is appended to it as an
+  // ExplainStep. The megaflow cache is probed read-only for the trace, but
+  // the verdict always comes from a full pipeline walk so the explanation
+  // covers the classifier even for cached flows.
+  ForwardResult explain(double now, std::uint32_t in_port,
+                        std::span<const std::uint8_t> frame,
+                        ExplainTrace* trace = nullptr);
+
   // Executes a PacketOut's action list on its payload (or buffered packet).
   ForwardResult packet_out(double now, const openflow::PacketOut& msg);
 
@@ -213,6 +227,12 @@ class Switch {
     ForwardResult* result = nullptr;
     CachedVerdict verdict;  // built as we go; inserted on cacheable misses
     bool dropped = false;
+    // Dry-run mode (Switch::explain): forward decisions are computed but
+    // nothing observable changes — stats, meters, caches, buffers and
+    // learned state are all left untouched.
+    bool dry_run = false;
+    // Step recorder; empty no-op type under ZEN_OBS_DISABLED.
+    ExplainProbe probe;
   };
 
   void run_pipeline(PipelineContext& ctx);

@@ -1,0 +1,124 @@
+// PacketTracer: network-wide explain engine (the ofproto/trace analog,
+// lifted from one switch to the whole fabric).
+//
+// trace() injects a synthetic frame at a (switch, port) and follows every
+// copy hop by hop: each switch runs Switch::explain() (a dry-run pipeline
+// walk with zero side effects), and each emitted frame is carried across
+// the sim topology link to the peer — recursing into peer switches,
+// recording deliveries at hosts. The result is a PathTrace: the ordered
+// per-switch ExplainTraces, where every copy ended up, and a single
+// verdict (delivered / dropped / punted / loop / hop-limit), renderable
+// as text or JSON.
+//
+// Loop detection is causal: a copy revisiting a switch already on its own
+// forwarding chain is a loop; two copies of a flooded frame meeting at the
+// same switch via different paths is not.
+//
+// The tracer never mutates the network — no counters move, no caches
+// fill, no FIBs learn — so it is safe to run mid-simulation as often as
+// the invariant monitor wants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataplane/explain.h"
+#include "sim/network.h"
+#include "topo/graph.h"
+
+namespace zen::diag {
+
+enum class PathVerdict : std::uint8_t {
+  kDelivered = 0,  // at least one copy reached a host
+  kDropped,        // every copy died in a pipeline or on a dead link
+  kPacketIn,       // the packet would be punted to the controller
+  kLoop,           // a copy revisited a switch on its own chain
+  kMaxHops,        // the hop budget ran out (treated as a loop by monitors)
+  kNoIngress,      // the starting switch/port doesn't exist
+};
+
+const char* to_string(PathVerdict verdict) noexcept;
+
+// One switch visit within an end-to-end trace.
+struct PathHop {
+  std::uint64_t dpid = 0;
+  std::uint32_t in_port = 0;
+  // The pipeline narration for this visit (empty steps under
+  // ZEN_OBS_DISABLED; the hop chain itself still works).
+  dataplane::ExplainTrace explain;
+
+  struct Output {
+    std::uint32_t port = 0;
+    std::uint32_t queue_id = 0;
+    topo::NodeId peer = 0;        // switch or host on the other end (0 = none)
+    std::uint32_t peer_port = 0;  // ingress port at the peer
+    bool to_host = false;
+    std::string note;  // "-> switch 5 in_port 2", "no link", "link down", ...
+  };
+  std::vector<Output> outputs;
+
+  bool dropped = false;
+  bool packet_in = false;
+};
+
+// Everything that happened to one injected packet, network-wide.
+struct PathTrace {
+  PathVerdict verdict = PathVerdict::kDropped;
+  std::vector<PathHop> hops;                 // in visit order
+  std::vector<topo::NodeId> switch_path;     // dpids, first-visit order
+  std::vector<topo::NodeId> delivered_hosts; // hosts that received a copy
+  std::uint64_t loop_dpid = 0;               // the revisited switch (kLoop)
+
+  bool delivered_to(topo::NodeId host) const;
+  std::string to_text() const;
+  std::string to_json() const;
+};
+
+class PacketTracer {
+ public:
+  struct Stats {
+    std::uint64_t traces = 0;         // end-to-end traces run
+    std::uint64_t switch_visits = 0;  // per-switch explain() walks
+    std::uint64_t steps = 0;          // explain steps recorded
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t loops = 0;  // kLoop + kMaxHops verdicts
+  };
+
+  explicit PacketTracer(sim::SimNetwork& net);
+
+  // One switch, no chaining: the raw per-switch explanation.
+  dataplane::ExplainTrace trace_switch(topo::NodeId sw, std::uint32_t in_port,
+                                       std::span<const std::uint8_t> frame);
+
+  // Inject at (sw, in_port) and chain across the topology.
+  PathTrace trace(topo::NodeId sw, std::uint32_t in_port,
+                  std::span<const std::uint8_t> frame, int max_hops = 64);
+
+  // Inject as if `host` transmitted the frame: starts at its attachment
+  // switch/port. Returns kNoIngress if the host isn't attached.
+  PathTrace trace_from_host(topo::NodeId host,
+                            std::span<const std::uint8_t> frame,
+                            int max_hops = 64);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::string stats_json() const;
+
+ private:
+  struct WalkFlags {
+    bool loop = false;
+    bool max_hops = false;
+    bool packet_in = false;
+  };
+
+  void walk(PathTrace& out, std::vector<topo::NodeId>& chain, topo::NodeId sw,
+            std::uint32_t in_port, std::span<const std::uint8_t> frame,
+            int hops_left, WalkFlags& flags);
+
+  sim::SimNetwork& net_;
+  Stats stats_;
+};
+
+}  // namespace zen::diag

@@ -82,6 +82,21 @@ bool IntentManager::is_protected_active(IntentId id) const {
          it->second.protected_active;
 }
 
+std::vector<IntentId> IntentManager::intent_ids() const {
+  std::vector<IntentId> ids;
+  ids.reserve(intents_.size());
+  for (const auto& [id, record] : intents_)
+    if (record.state != IntentState::Withdrawn) ids.push_back(id);
+  return ids;
+}
+
+const IntentSpec* IntentManager::spec(IntentId id) const {
+  const auto it = intents_.find(id);
+  if (it == intents_.end() || it->second.state == IntentState::Withdrawn)
+    return nullptr;
+  return &it->second.spec;
+}
+
 std::size_t IntentManager::count_in_state(IntentState state) const {
   std::size_t n = 0;
   for (const auto& [id, record] : intents_)

@@ -39,6 +39,11 @@ class IntentManager : public controller::App {
   // True if the intent is Protected and its backup is installed.
   bool is_protected_active(IntentId id) const;
   std::size_t count_in_state(IntentState state) const;
+  // Every non-withdrawn intent id, ascending — for auditors/monitors that
+  // verify the dataplane against the declared intent set.
+  std::vector<IntentId> intent_ids() const;
+  // The spec as submitted (nullptr if the id is unknown or withdrawn).
+  const IntentSpec* spec(IntentId id) const;
   const Stats& stats() const noexcept { return stats_; }
 
   // Recompile every non-withdrawn intent now (normally event-driven).

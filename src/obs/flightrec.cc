@@ -6,6 +6,7 @@
 
 #ifndef ZEN_OBS_DISABLED
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #endif
@@ -26,6 +27,8 @@ const char* to_string(FlightEventKind kind) noexcept {
     case FlightEventKind::kSloBurn: return "slo_burn";
     case FlightEventKind::kSloClear: return "slo_clear";
     case FlightEventKind::kVacancyChange: return "vacancy_change";
+    case FlightEventKind::kInvariantViolation: return "invariant_violation";
+    case FlightEventKind::kInvariantClear: return "invariant_clear";
   }
   return "unknown";
 }
@@ -135,7 +138,13 @@ extern "C" void flightrec_signal_handler(int sig) {
 }  // namespace
 
 void FlightRecorder::arm_crash_dump(const std::string& path) {
-  std::strncpy(g_crash_dump_path, path.c_str(), sizeof g_crash_dump_path - 1);
+  // ZEN_FLIGHTREC_PATH overrides the caller-supplied path, so operators
+  // can redirect every black box (CI artifact dirs, tmpfs, ...) without
+  // touching the binary.
+  const char* env = std::getenv("ZEN_FLIGHTREC_PATH");
+  const std::string& effective = (env && *env) ? env : path;
+  std::strncpy(g_crash_dump_path, effective.c_str(),
+               sizeof g_crash_dump_path - 1);
   g_crash_dump_path[sizeof g_crash_dump_path - 1] = '\0';
   std::signal(SIGABRT, flightrec_signal_handler);
   std::signal(SIGSEGV, flightrec_signal_handler);

@@ -41,6 +41,9 @@ enum class FlightEventKind : std::uint8_t {
   kSloBurn,           // a: state (1 slow, 2 fast), tag: objective
   kSloClear,          // tag: objective
   kVacancyChange,     // a: dpid, b: 1 down (pressure) / 0 up (relief)
+  kInvariantViolation,  // a: dpid (0 = path-level), b: intent id,
+                        // tag: blackhole / loop / diverge
+  kInvariantClear,      // a: violations resolved, b: epoch
 };
 
 const char* to_string(FlightEventKind kind) noexcept;

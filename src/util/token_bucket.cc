@@ -25,4 +25,9 @@ double TokenBucket::available(double now) noexcept {
   return tokens_;
 }
 
+double TokenBucket::peek_available(double now) const noexcept {
+  if (now <= last_refill_) return tokens_;
+  return std::min(burst_, tokens_ + (now - last_refill_) * rate_);
+}
+
 }  // namespace zen::util

@@ -21,6 +21,10 @@ class TokenBucket {
   // Tokens currently available at time `now`.
   double available(double now) noexcept;
 
+  // Same value without committing the refill — a read-only peek for
+  // dry-run callers (the explain engine must not advance bucket state).
+  double peek_available(double now) const noexcept;
+
   double rate() const noexcept { return rate_; }
   double burst() const noexcept { return burst_; }
 

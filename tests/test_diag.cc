@@ -1,0 +1,558 @@
+// The explain engine and the invariant monitor.
+//
+// Part 1 exercises Switch::explain() directly: step narration for every
+// pipeline stage, dry-run purity (zero observable side effects), and the
+// equivalence oracle (explain's verdict == ingress's verdict).
+// Part 2 chains traces network-wide with PacketTracer.
+// Part 3 drives InvariantMonitor against real intents and injected
+// pathologies (blackhole, loop, divergence, ban bypass).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "controller/apps/discovery.h"
+#include "controller/controller.h"
+#include "dataplane/switch.h"
+#include "diag/invariant_monitor.h"
+#include "diag/packet_tracer.h"
+#include "intent/intent_manager.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "obs/diagnostics.h"
+#include "obs/flightrec.h"
+#include "topo/generators.h"
+#include "util/strings.h"
+
+namespace zen::diag {
+namespace {
+
+using controller::Controller;
+using controller::apps::Discovery;
+using dataplane::ExplainStep;
+using dataplane::ExplainStepKind;
+using dataplane::ExplainTrace;
+using dataplane::Switch;
+using dataplane::SwitchConfig;
+using intent::IntentId;
+using intent::IntentKind;
+using intent::IntentManager;
+using intent::IntentSpec;
+using intent::IntentState;
+using net::Ipv4Address;
+using net::MacAddress;
+using openflow::Match;
+
+#ifndef ZEN_OBS_DISABLED
+constexpr bool kStepsRecorded = true;
+#else
+constexpr bool kStepsRecorded = false;
+#endif
+
+// ---------------------------------------------------------------------------
+// Part 1: Switch::explain
+// ---------------------------------------------------------------------------
+
+constexpr MacAddress kSrcMac = MacAddress({0x02, 0, 0, 0, 0, 0xa});
+constexpr MacAddress kDstMac = MacAddress({0x02, 0, 0, 0, 0, 0xb});
+const Ipv4Address kSrcIp(10, 0, 0, 1);
+const Ipv4Address kDstIp(10, 0, 0, 2);
+
+Switch make_switch(int n_ports = 4, SwitchConfig config = {}) {
+  Switch sw(1, config);
+  for (int i = 1; i <= n_ports; ++i) {
+    openflow::PortDesc port;
+    port.port_no = static_cast<std::uint32_t>(i);
+    port.hw_addr = MacAddress::from_u64(static_cast<std::uint64_t>(0x100 + i));
+    port.name = util::format("p%d", i);
+    sw.add_port(port);
+  }
+  return sw;
+}
+
+net::Bytes udp_frame(std::uint16_t dst_port = 2000) {
+  return net::build_ipv4_udp(kSrcMac, kDstMac, kSrcIp, kDstIp, 1000, dst_port,
+                             std::vector<std::uint8_t>{1, 2, 3});
+}
+
+void install_output_rule(Switch& sw, Match match, std::uint32_t out_port,
+                         std::uint16_t priority = 10, std::uint8_t table = 0) {
+  openflow::FlowMod mod;
+  mod.table_id = table;
+  mod.priority = priority;
+  mod.cookie = 0xc00c1e;
+  mod.match = std::move(match);
+  mod.instructions = openflow::output_to(out_port);
+  ASSERT_TRUE(sw.flow_mod(mod, 0).ok);
+}
+
+bool has_step(const ExplainTrace& trace, ExplainStepKind kind) {
+  return std::any_of(trace.steps.begin(), trace.steps.end(),
+                     [kind](const ExplainStep& s) { return s.kind == kind; });
+}
+
+const ExplainStep* find_step(const ExplainTrace& trace, ExplainStepKind kind) {
+  for (const ExplainStep& s : trace.steps)
+    if (s.kind == kind) return &s;
+  return nullptr;
+}
+
+TEST(Explain, NarratesMatchAndOutput) {
+  Switch sw = make_switch();
+  install_output_rule(sw, Match().eth_dst(kDstMac), 3, 25);
+
+  ExplainTrace trace;
+  const auto result = sw.explain(0, 1, udp_frame(), &trace);
+  ASSERT_EQ(result.outputs.size(), 1u);
+  EXPECT_EQ(result.outputs[0].port, 3u);
+
+  if (!kStepsRecorded) return;
+  EXPECT_TRUE(has_step(trace, ExplainStepKind::kMegaflow));
+  const ExplainStep* match = find_step(trace, ExplainStepKind::kTableMatch);
+  ASSERT_NE(match, nullptr);
+  EXPECT_EQ(match->priority, 25u);
+  EXPECT_EQ(match->cookie, 0xc00c1eu);
+  EXPECT_FALSE(match->masks.empty());  // tuple-space probes recorded
+  EXPECT_NE(match->detail.find("eth_dst"), std::string::npos);
+  const ExplainStep* output = find_step(trace, ExplainStepKind::kOutput);
+  ASSERT_NE(output, nullptr);
+  EXPECT_EQ(output->port, 3u);
+
+  // Both renderings carry the decision.
+  EXPECT_NE(trace.to_text().find("match priority=25"), std::string::npos);
+  EXPECT_NE(trace.to_json().find("\"kind\":\"table_match\""),
+            std::string::npos);
+}
+
+TEST(Explain, IsSideEffectFree) {
+  Switch sw = make_switch();
+  install_output_rule(sw, Match().eth_type(net::EtherType::kIpv4), 2);
+
+  openflow::MeterMod mm;
+  mm.command = openflow::MeterModCommand::Add;
+  mm.meter_id = 1;
+  mm.rate_kbps = 8;    // 1000 bytes/s
+  mm.burst_kbits = 8;  // 1000-byte bucket: ~22 frames, then dry
+  ASSERT_TRUE(sw.meter_mod(mm).ok);
+  openflow::FlowMod mod;
+  mod.table_id = 0;
+  mod.priority = 50;
+  mod.instructions = {openflow::MeterInstruction{1},
+                      openflow::ApplyActions{{openflow::OutputAction{2, 0xffff}}}};
+  ASSERT_TRUE(sw.flow_mod(mod, 0).ok);
+
+  // 100 dry runs: way past the meter budget, all at t=0.
+  for (int i = 0; i < 100; ++i) {
+    ExplainTrace trace;
+    const auto result = sw.explain(0.0, 1, udp_frame(), &trace);
+    EXPECT_FALSE(result.dropped);  // tokens never consumed
+  }
+  EXPECT_EQ(sw.table(0).lookup_count(), 0u);  // no classifier stats
+  EXPECT_EQ(sw.cache().size(), 0u);           // no megaflow installed
+  const auto stats = sw.flow_stats(openflow::FlowStatsRequest{}, 0);
+  ASSERT_FALSE(stats.entries.empty());
+  for (const auto& entry : stats.entries)
+    EXPECT_EQ(entry.packet_count, 0u);  // no rule credits
+
+  // The real pipeline still has its full meter budget.
+  const auto real = sw.ingress(0.0, 1, udp_frame());
+  EXPECT_FALSE(real.dropped);
+}
+
+TEST(Explain, VerdictMatchesIngress) {
+  // Oracle: for a mix of flows across a select group, the dry-run verdict
+  // must be byte-identical to what ingress() then does.
+  Switch sw = make_switch();
+  openflow::GroupMod gm;
+  gm.command = openflow::GroupModCommand::Add;
+  gm.type = openflow::GroupType::Select;
+  gm.group_id = 7;
+  gm.buckets = {
+      openflow::Bucket{1, openflow::Ports::kAny, {openflow::OutputAction{2, 0xffff}}},
+      openflow::Bucket{1, openflow::Ports::kAny, {openflow::OutputAction{3, 0xffff}}}};
+  ASSERT_TRUE(sw.group_mod(gm).ok);
+  openflow::FlowMod mod;
+  mod.table_id = 0;
+  mod.priority = 10;
+  mod.instructions = {openflow::ApplyActions{{openflow::GroupAction{7}}}};
+  ASSERT_TRUE(sw.flow_mod(mod, 0).ok);
+
+  for (std::uint16_t port = 1; port <= 32; ++port) {
+    ExplainTrace trace;
+    const auto predicted = sw.explain(0, 1, udp_frame(port), &trace);
+    const auto actual = sw.ingress(0, 1, udp_frame(port));
+    ASSERT_EQ(predicted.outputs.size(), actual.outputs.size());
+    for (std::size_t i = 0; i < actual.outputs.size(); ++i) {
+      EXPECT_EQ(predicted.outputs[i].port, actual.outputs[i].port);
+      EXPECT_EQ(predicted.outputs[i].frame, actual.outputs[i].frame);
+    }
+    EXPECT_EQ(predicted.dropped, actual.dropped);
+    if (kStepsRecorded) {
+      const ExplainStep* group = find_step(trace, ExplainStepKind::kGroup);
+      ASSERT_NE(group, nullptr);
+      EXPECT_EQ(group->group_id, 7u);
+      EXPECT_GE(group->bucket, 0);
+      EXPECT_EQ(group->total_weight, 2u);
+    }
+  }
+}
+
+TEST(Explain, NarratesMeterRewriteAndCacheState) {
+  Switch sw = make_switch();
+  openflow::MeterMod mm;
+  mm.command = openflow::MeterModCommand::Add;
+  mm.meter_id = 3;
+  mm.rate_kbps = 80000;
+  mm.burst_kbits = 80;
+  ASSERT_TRUE(sw.meter_mod(mm).ok);
+  openflow::FlowMod mod;
+  mod.table_id = 0;
+  mod.priority = 10;
+  mod.instructions = {
+      openflow::MeterInstruction{3},
+      openflow::ApplyActions{{openflow::SetIpv4DstAction{Ipv4Address(10, 9, 9, 9)},
+                              openflow::OutputAction{4, 0xffff}}}};
+  ASSERT_TRUE(sw.flow_mod(mod, 0).ok);
+
+  ExplainTrace trace;
+  const auto result = sw.explain(0, 1, udp_frame(), &trace);
+  ASSERT_EQ(result.outputs.size(), 1u);
+
+  if (!kStepsRecorded) return;
+  const ExplainStep* meter = find_step(trace, ExplainStepKind::kMeter);
+  ASSERT_NE(meter, nullptr);
+  EXPECT_EQ(meter->meter_id, 3u);
+  EXPECT_TRUE(meter->allowed);
+  const ExplainStep* rewrite = find_step(trace, ExplainStepKind::kRewrite);
+  ASSERT_NE(rewrite, nullptr);
+  EXPECT_NE(rewrite->detail.find("ipv4_dst"), std::string::npos);
+
+  // Rewriting verdicts are uncacheable; the megaflow step says so.
+  const ExplainStep* mf = find_step(trace, ExplainStepKind::kMegaflow);
+  ASSERT_NE(mf, nullptr);
+  EXPECT_FALSE(mf->cache_hit);
+  EXPECT_NE(mf->detail.find("not cacheable"), std::string::npos);
+}
+
+TEST(Explain, ReportsMegaflowHitWithoutTouchingIt) {
+  Switch sw = make_switch();
+  install_output_rule(sw, Match().eth_type(net::EtherType::kIpv4), 2);
+  sw.ingress(0, 1, udp_frame());  // populate the cache
+  ASSERT_EQ(sw.cache().size(), 1u);
+  const std::uint64_t hits_before = sw.cache().hits();
+
+  ExplainTrace trace;
+  sw.explain(0, 1, udp_frame(), &trace);
+  EXPECT_EQ(sw.cache().hits(), hits_before);  // peek, not a hit
+
+  if (!kStepsRecorded) return;
+  const ExplainStep* mf = find_step(trace, ExplainStepKind::kMegaflow);
+  ASSERT_NE(mf, nullptr);
+  EXPECT_TRUE(mf->cache_hit);
+  // The explanation still walks the classifier for the full story.
+  EXPECT_TRUE(has_step(trace, ExplainStepKind::kTableMatch));
+}
+
+TEST(Explain, NarratesPacketInWithoutConsumingTokens) {
+  Switch sw = make_switch();  // default miss: punt to controller
+  for (int i = 0; i < 200; ++i) {
+    ExplainTrace trace;
+    const auto result = sw.explain(0, 1, udp_frame(), &trace);
+    ASSERT_TRUE(result.packet_in.has_value());
+    EXPECT_EQ(result.packet_in->buffer_id, openflow::kNoBuffer);
+    if (kStepsRecorded) {
+      EXPECT_TRUE(has_step(trace, ExplainStepKind::kTableMiss));
+      EXPECT_TRUE(has_step(trace, ExplainStepKind::kPacketIn));
+    }
+  }
+  // 200 dry punts never touched the rate limiter or buffers: the real
+  // pipeline still gets a PacketIn.
+  const auto real = sw.ingress(0, 1, udp_frame());
+  EXPECT_TRUE(real.packet_in.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Parts 2 + 3: network-wide tracing and the invariant monitor
+// ---------------------------------------------------------------------------
+
+class DiagFixture : public ::testing::Test {
+ protected:
+  explicit DiagFixture(topo::GeneratedTopo gen = topo::make_leaf_spine(2, 3, 1))
+      : net_(std::move(gen), options()), ctrl_(net_) {
+    ctrl_.add_app<Discovery>();
+    manager_ = &ctrl_.add_app<IntentManager>();
+    monitor_ = &ctrl_.add_app<InvariantMonitor>(net_, *manager_);
+    ctrl_.connect_all();
+    net_.run_until(2.5);  // discovery settles
+    for (std::size_t i = 0; i < net_.generated().hosts.size(); ++i)
+      host(i).send_icmp_echo(ip((i + 1) % net_.generated().hosts.size()), 1);
+    net_.run_until(4.0);
+  }
+
+  static sim::SimOptions options() {
+    sim::SimOptions opts;
+    opts.switch_config.default_miss = dataplane::MissBehavior::Drop;
+    return opts;
+  }
+
+  sim::SimHost& host(std::size_t i) {
+    return net_.host_at(net_.generated().hosts[i]);
+  }
+  topo::NodeId host_id(std::size_t i) const {
+    return net_.generated().hosts[i];
+  }
+  net::Ipv4Address ip(std::size_t i) const {
+    return sim::host_ip(net_.generated().hosts[i]);
+  }
+
+  net::Bytes probe(std::size_t src, std::size_t dst) const {
+    return net::build_ipv4_udp(sim::host_mac(host_id(src)),
+                               sim::host_mac(host_id(dst)), ip(src), ip(dst),
+                               4321, 4321, std::vector<std::uint8_t>{0xab});
+  }
+
+  // Port on `sw` whose link leads to `neighbor` (0 if none).
+  std::uint32_t port_toward(topo::NodeId sw, topo::NodeId neighbor) {
+    for (std::uint32_t p = 1; p <= 32; ++p) {
+      const topo::Link* link = net_.topology().link_at(sw, p);
+      if (link != nullptr && link->other(sw) == neighbor) return p;
+    }
+    return 0;
+  }
+
+  // Out-of-band rule injection (bypasses the controller entirely): the
+  // "stale state" a monitor exists to catch.
+  void inject(topo::NodeId sw, net::Ipv4Address dst, std::uint32_t out_port,
+              std::uint16_t priority = 900) {
+    openflow::FlowMod mod;
+    mod.table_id = 0;
+    mod.priority = priority;
+    mod.match = Match().eth_type(net::EtherType::kIpv4).ipv4_dst(dst);
+    mod.instructions = openflow::output_to(out_port);
+    ASSERT_TRUE(net_.flow_mod(sw, mod).ok);
+  }
+
+  IntentId installed_intent(std::size_t src, std::size_t dst,
+                            IntentKind kind = IntentKind::PointToPoint) {
+    IntentSpec spec;
+    spec.kind = kind;
+    spec.src = ip(src);
+    spec.dst = ip(dst);
+    const IntentId id = manager_->submit(spec);
+    net_.run_until(net_.now() + 1.0);  // rules land
+    EXPECT_EQ(manager_->state(id), IntentState::Installed);
+    return id;
+  }
+
+  sim::SimNetwork net_;
+  Controller ctrl_;
+  IntentManager* manager_ = nullptr;
+  InvariantMonitor* monitor_ = nullptr;
+};
+
+TEST_F(DiagFixture, EndToEndTraceAcrossThreeSwitches) {
+  // Hosts 0 and 1 are on different leaves: leaf -> spine -> leaf.
+  const IntentId id = installed_intent(0, 1);
+  const auto path = manager_->installed_path(id);
+  ASSERT_EQ(path.size(), 3u);
+
+  PacketTracer tracer(net_);
+  const net::Bytes frame = probe(0, 1);
+  PathTrace trace = tracer.trace_from_host(host_id(0), frame);
+
+  EXPECT_EQ(trace.verdict, PathVerdict::kDelivered);
+  EXPECT_TRUE(trace.delivered_to(host_id(1)));
+  ASSERT_EQ(trace.hops.size(), 3u);
+  EXPECT_EQ(trace.switch_path, path);
+
+  if (kStepsRecorded) {
+    // Every hop explains its classifier decision, in text and JSON.
+    for (const PathHop& hop : trace.hops) {
+      EXPECT_TRUE(has_step(hop.explain, ExplainStepKind::kTableMatch));
+      EXPECT_TRUE(has_step(hop.explain, ExplainStepKind::kMegaflow));
+    }
+    const std::string text = trace.to_text();
+    EXPECT_NE(text.find("verdict: delivered"), std::string::npos);
+    EXPECT_NE(text.find("match priority="), std::string::npos);
+    const std::string json = trace.to_json();
+    EXPECT_NE(json.find("\"verdict\":\"delivered\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"table_match\""), std::string::npos);
+  }
+  EXPECT_GE(tracer.stats().switch_visits, 3u);
+}
+
+TEST_F(DiagFixture, TraceDetectsInjectedLoop) {
+  const IntentId id = installed_intent(0, 1);
+  const auto path = manager_->installed_path(id);
+  ASSERT_EQ(path.size(), 3u);
+  // The spine bounces the flow back at the source leaf: classic stale rule.
+  const std::uint32_t back = port_toward(path[1], path[0]);
+  ASSERT_NE(back, 0u);
+  inject(path[1], ip(1), back);
+
+  PacketTracer tracer(net_);
+  PathTrace trace = tracer.trace_from_host(host_id(0), probe(0, 1));
+  EXPECT_EQ(trace.verdict, PathVerdict::kLoop);
+  EXPECT_EQ(trace.loop_dpid, path[0]);  // the revisited switch
+  EXPECT_EQ(tracer.stats().loops, 1u);
+}
+
+TEST_F(DiagFixture, TraceDetectsBlackhole) {
+  const IntentId id = installed_intent(0, 1);
+  const auto path = manager_->installed_path(id);
+  ASSERT_EQ(path.size(), 3u);
+  // Shadow the intent rule at the spine with an output into a dead port.
+  inject(path[1], ip(1), 31);
+
+  PacketTracer tracer(net_);
+  PathTrace trace = tracer.trace_from_host(host_id(0), probe(0, 1));
+  EXPECT_EQ(trace.verdict, PathVerdict::kDropped);
+  EXPECT_FALSE(trace.delivered_to(host_id(1)));
+}
+
+TEST_F(DiagFixture, MonitorReportsCleanOnHealthyIntents) {
+  installed_intent(0, 1);
+  installed_intent(1, 2, IntentKind::HostToHost);
+
+  const auto& report = monitor_->check();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.intents_checked, 2u);
+  EXPECT_EQ(report.traces, 3u);  // p2p one way, host-to-host both ways
+
+  // No delta since the check: maybe_check is a no-op.
+  EXPECT_FALSE(monitor_->maybe_check());
+}
+
+TEST_F(DiagFixture, MonitorFlagsInjectedLoopAndBlackholeWithinOneDelta) {
+  const IntentId loop_intent = installed_intent(0, 1);
+  const IntentId hole_intent = installed_intent(1, 2);
+  monitor_->check();
+  ASSERT_TRUE(monitor_->last_report().clean());
+  const std::uint64_t events_before =
+      obs::FlightRecorder::global().total_recorded();
+
+  // Two independent corruptions, both injected behind the controller's
+  // back: intent 1's spine loops the flow back, intent 2's spine sends it
+  // into a dead port.
+  const auto loop_path = manager_->installed_path(loop_intent);
+  const auto hole_path = manager_->installed_path(hole_intent);
+  ASSERT_EQ(loop_path.size(), 3u);
+  ASSERT_EQ(hole_path.size(), 3u);
+  inject(loop_path[1], ip(1), port_toward(loop_path[1], loop_path[0]));
+  inject(hole_path[1], ip(2), 31);
+
+  // The rule-version delta alone must trigger the re-check.
+  ASSERT_TRUE(monitor_->maybe_check());
+  const auto& report = monitor_->last_report();
+  ASSERT_EQ(report.violations.size(), 2u);
+
+  const auto find_kind = [&](InvariantMonitor::ViolationKind kind)
+      -> const InvariantMonitor::Violation* {
+    for (const auto& v : report.violations)
+      if (v.kind == kind) return &v;
+    return nullptr;
+  };
+  const auto* loop_v = find_kind(InvariantMonitor::ViolationKind::kLoop);
+  ASSERT_NE(loop_v, nullptr);
+  EXPECT_EQ(loop_v->intent, loop_intent);
+  EXPECT_EQ(loop_v->dpid, loop_path[0]);
+  const auto* hole_v = find_kind(InvariantMonitor::ViolationKind::kBlackhole);
+  ASSERT_NE(hole_v, nullptr);
+  EXPECT_EQ(hole_v->intent, hole_intent);
+
+  // The violations hit the flight recorder (obs builds only).
+  if (kStepsRecorded) {
+    EXPECT_GE(obs::FlightRecorder::global().total_recorded(),
+              events_before + 2);
+  }
+  // And the JSON report carries the evidence traces.
+  const std::string json = monitor_->report_json();
+  EXPECT_NE(json.find("\"kind\":\"loop\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"blackhole\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+}
+
+TEST_F(DiagFixture, MonitorFlagsPathDivergence) {
+  const IntentId id = installed_intent(0, 1);
+  const auto path = manager_->installed_path(id);
+  ASSERT_EQ(path.size(), 3u);
+  // Reroute through the other spine with shadow rules: still delivered,
+  // but not on the path the intent installed.
+  topo::NodeId other_spine = 0;
+  for (topo::NodeId n : net_.topology().neighbors(path[0])) {
+    if (!topo::is_host_id(n) && n != path[1]) other_spine = n;
+  }
+  ASSERT_NE(other_spine, 0u);
+  inject(path[0], ip(1), port_toward(path[0], other_spine));
+  inject(other_spine, ip(1), port_toward(other_spine, path[2]));
+  // Intent rules pin in_port; arriving from the other spine needs its own
+  // last-hop delivery rule.
+  inject(path[2], ip(1), net_.generated().attachments[1].sw_port);
+
+  ASSERT_TRUE(monitor_->maybe_check());
+  const auto& report = monitor_->last_report();
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind,
+            InvariantMonitor::ViolationKind::kDivergence);
+  EXPECT_EQ(report.violations[0].intent, id);
+  // The evidence trace shows the actual (divergent) path taken.
+  EXPECT_TRUE(report.violations[0].trace.delivered_to(host_id(1)));
+  EXPECT_NE(report.violations[0].trace.switch_path, path);
+}
+
+TEST_F(DiagFixture, MonitorVerifiesBanIntents) {
+  const IntentId ban = installed_intent(0, 1, IntentKind::Ban);
+  const auto& healthy = monitor_->check();
+  EXPECT_TRUE(healthy.clean());  // dropped = exactly what a ban wants
+
+  // Shadow the ban with delivery rules along leaf -> spine -> leaf.
+  const topo::NodeId leaf_src = net_.generated().attachments[0].sw;
+  const topo::NodeId leaf_dst = net_.generated().attachments[1].sw;
+  topo::NodeId spine = 0;
+  for (topo::NodeId n : net_.topology().neighbors(leaf_src)) {
+    if (!topo::is_host_id(n)) spine = n;
+  }
+  ASSERT_NE(spine, 0u);
+  inject(leaf_src, ip(1), port_toward(leaf_src, spine));
+  inject(spine, ip(1), port_toward(spine, leaf_dst));
+  inject(leaf_dst, ip(1), net_.generated().attachments[1].sw_port);
+
+  ASSERT_TRUE(monitor_->maybe_check());
+  const auto& report = monitor_->last_report();
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].kind,
+            InvariantMonitor::ViolationKind::kDivergence);
+  EXPECT_EQ(report.violations[0].intent, ban);
+}
+
+TEST_F(DiagFixture, MonitorRechecksAfterLinkFailureAndSeesRecovery) {
+  const IntentId id = installed_intent(0, 1);
+  monitor_->check();
+  const std::uint64_t checks_before = monitor_->stats().checks;
+
+  // Fail the leaf->spine link the intent uses. The intent manager reroutes
+  // via the other spine; the monitor re-checks after its settle delay and
+  // must find the *new* dataplane consistent.
+  const auto path = manager_->installed_path(id);
+  const std::uint32_t p = port_toward(path[0], path[1]);
+  const topo::Link* link = net_.topology().link_at(path[0], p);
+  ASSERT_NE(link, nullptr);
+  net_.set_link_admin_up(link->id, false);
+  net_.run_until(net_.now() + 1.0);
+
+  EXPECT_EQ(manager_->state(id), IntentState::Installed);
+  EXPECT_GT(monitor_->stats().checks, checks_before);  // event-driven
+  EXPECT_TRUE(monitor_->last_report().clean());
+  EXPECT_NE(manager_->installed_path(id), path);  // actually rerouted
+}
+
+TEST_F(DiagFixture, DiagnosticsDumpCarriesInvariantSections) {
+  installed_intent(0, 1);
+  monitor_->check();
+  const std::string dump = obs::Diagnostics::global().dump();
+  EXPECT_NE(dump.find("\"invariants\""), std::string::npos);
+  EXPECT_NE(dump.find("\"explain\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zen::diag

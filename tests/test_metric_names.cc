@@ -17,7 +17,8 @@
 namespace zen {
 namespace {
 
-// Names registered by a linear(3,2) learning-switch run. Sorted.
+// Names registered by a linear(3,2) learning-switch run with intents
+// enabled and one invariant-monitor sweep. Sorted.
 const char* const kGoldenNames[] = {
     "zen_controller_app_packet_ins_total",
     "zen_controller_channel_bytes_total",
@@ -42,12 +43,22 @@ const char* const kGoldenNames[] = {
     "zen_dataplane_packets_total",
     "zen_dataplane_table_occupancy",
     "zen_dataplane_table_status_events_total",
+    "zen_explain_steps_total",
+    "zen_explain_traces_total",
+    "zen_invariant_active_violations",
+    "zen_invariant_checks_total",
+    "zen_invariant_traces_total",
+    "zen_invariant_violations_total",
     "zen_sim_events_total",
     "zen_sim_host_frames_received_total",
     "zen_sim_host_frames_sent_total",
     "zen_sim_queue_depth",
     "zen_slo_burn_rate",
     "zen_slo_state",
+    "zen_topo_path_engine_hits_total",
+    "zen_topo_path_engine_invalidations_total",
+    "zen_topo_path_engine_misses_total",
+    "zen_topo_path_engine_spf_runs_total",
 };
 
 TEST(MetricNames, LearningSwitchScenarioMatchesGolden) {
@@ -60,6 +71,9 @@ TEST(MetricNames, LearningSwitchScenarioMatchesGolden) {
   {
     core::Network net = core::Network::linear(3, 2);
     net.add_app<controller::apps::LearningSwitch>();
+    intent::IntentManager& intents = net.enable_intents();
+    diag::InvariantMonitor& monitor =
+        net.add_app<diag::InvariantMonitor>(net.sim(), intents);
     net.start();
     const std::size_t hosts = 6;
     for (int round = 0; round < 2; ++round) {
@@ -70,6 +84,13 @@ TEST(MetricNames, LearningSwitchScenarioMatchesGolden) {
       net.run_for(1.0);
     }
     net.run_for(2.0);
+    // Give the diag layer real work: one intent, traced end to end.
+    intent::IntentSpec spec;
+    spec.src = net.host_ip(0);
+    spec.dst = net.host_ip(5);
+    intents.submit(spec);
+    net.run_for(1.0);
+    monitor.check();
   }
 
   std::set<std::string> actual;

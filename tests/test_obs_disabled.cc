@@ -10,6 +10,7 @@
 
 #include <type_traits>
 
+#include "dataplane/explain.h"
 #include "obs/flightrec.h"
 #include "obs/shard_stats.h"
 #include "obs/slo.h"
@@ -33,6 +34,13 @@ static_assert(std::is_empty_v<ShardStats>,
 static_assert(std::is_trivially_copyable_v<SpanContext>);
 static_assert(std::is_trivially_destructible_v<ShardStats>,
               "disabled ShardStats must not register anywhere");
+// The explain probe rides inside every PipelineContext; compiled out it
+// must be empty and its active() gate constexpr-false so the narration
+// blocks in switch.cc are dead code.
+static_assert(std::is_empty_v<dataplane::ExplainProbe>,
+              "disabled ExplainProbe must be an empty type");
+static_assert(!dataplane::ExplainProbe{}.active(),
+              "disabled ExplainProbe::active() must be constexpr false");
 
 TEST(ObsDisabled, SpanStubsAreInertNoOps) {
   SpanTracer tracer;
@@ -86,6 +94,19 @@ TEST(ObsDisabled, ShardStatsAndSloStubsCompileAway) {
   slo.record(false);
   slo.record_latency(99.0);
   SUCCEED();
+}
+
+TEST(ObsDisabled, ExplainProbeIdiomCompilesToNothing) {
+  // The exact call-site idiom switch.cc uses.
+  dataplane::ExplainProbe probe;
+  dataplane::ExplainTrace trace;
+  probe.attach(&trace);
+  if (probe.active()) {  // constexpr-false: the block below is dead code
+    dataplane::ExplainStep step;
+    step.kind = dataplane::ExplainStepKind::kTableMatch;
+    probe.add(std::move(step));
+  }
+  EXPECT_TRUE(trace.steps.empty());
 }
 
 }  // namespace

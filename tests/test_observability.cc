@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/zen.h"
 #include "obs/obs.h"
@@ -127,6 +130,36 @@ TEST(FlightRecorder, RingKeepsNewestWhenFull) {
   EXPECT_EQ(events.front().a, 9000u - 8192u);
   EXPECT_EQ(events.back().a, 8999u);
   fr.clear();
+}
+#endif
+
+// The crash-dump hook writes the armed path from a signal handler; the
+// env var must override the caller-supplied path without a rebuild. A
+// death test forks, so the child's SIGABRT dump lands on disk where the
+// parent can inspect it.
+#ifndef ZEN_OBS_DISABLED
+TEST(FlightRecorderDeathTest, CrashDumpHonorsEnvPathOverride) {
+  const char* path = "zen_fr_env_override.json";
+  std::remove(path);
+  ::setenv("ZEN_FLIGHTREC_PATH", path, 1);
+  EXPECT_DEATH(
+      {
+        FlightRecorder::global().record(FlightEventKind::kFaultInjected, 1, 2,
+                                        "boom");
+        FlightRecorder::global().arm_crash_dump("ignored_default.json");
+        std::abort();
+      },
+      "");
+  ::unsetenv("ZEN_FLIGHTREC_PATH");
+  std::FILE* f = std::fopen(path, "r");
+  ASSERT_NE(f, nullptr) << "crash dump did not follow ZEN_FLIGHTREC_PATH";
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  EXPECT_NE(std::string(buf).find("fault_injected"), std::string::npos);
+  std::remove(path);
+  std::remove("ignored_default.json");
 }
 #endif
 

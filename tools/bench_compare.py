@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts against committed baselines.
+
+Usage:
+    bench_compare.py --baseline-dir bench/baselines --current-dir build/bench \
+        [--threshold 0.25] [--gate NAME ...]
+
+For every gated benchmark name, find its ns_per_op in both the baseline and
+the current artifact (matched by file name) and fail if the current number
+regressed by more than the threshold (default +25%). Improvements and
+benchmarks absent from the gate list are reported but never fail the run.
+
+Baselines were measured on a quiet dev box; the 25% band absorbs shared-CI
+runner noise while still catching algorithmic regressions (the failures this
+gate exists for are 2-100x, not 1.1x). Refresh a baseline by copying the
+BENCH_*.json from a clean local Release run into bench/baselines/.
+
+Exit codes: 0 ok, 1 regression, 2 usage/missing-data error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_GATES = [
+    "BM_SimulatorPacketRate",
+    "BM_ProactiveRecompute/8",
+    "BM_ReactiveFlowSetupRate",
+]
+
+
+def load_benchmarks(path):
+    """name -> ns_per_op for one BENCH_*.json artifact."""
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b["ns_per_op"] for b in data.get("benchmarks", [])}
+
+
+def collect(dirpath):
+    """name -> (ns_per_op, source file) across every artifact in a dir."""
+    table = {}
+    for path in sorted(pathlib.Path(dirpath).glob("BENCH_*.json")):
+        try:
+            for name, ns in load_benchmarks(path).items():
+                table[name] = (ns, path.name)
+        except (json.JSONDecodeError, KeyError) as err:
+            print(f"error: unreadable artifact {path}: {err}", file=sys.stderr)
+            sys.exit(2)
+    return table
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", required=True)
+    ap.add_argument("--current-dir", required=True)
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max allowed fractional ns/op increase (default 0.25)")
+    ap.add_argument("--gate", action="append", default=None,
+                    help="benchmark name to gate on (repeatable); "
+                         "default: the tier-1 trio")
+    args = ap.parse_args()
+    gates = args.gate if args.gate else DEFAULT_GATES
+
+    baseline = collect(args.baseline_dir)
+    current = collect(args.current_dir)
+    if not baseline:
+        print(f"error: no BENCH_*.json in {args.baseline_dir}", file=sys.stderr)
+        sys.exit(2)
+    if not current:
+        print(f"error: no BENCH_*.json in {args.current_dir}", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in gates:
+        if name not in baseline:
+            print(f"error: gated benchmark {name!r} missing from baselines",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name not in current:
+            print(f"error: gated benchmark {name!r} missing from current run "
+                  f"(did the bench binary fail?)", file=sys.stderr)
+            sys.exit(2)
+        base_ns, _ = baseline[name]
+        cur_ns, _ = current[name]
+        delta = (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        verdict = "FAIL" if delta > args.threshold else "ok"
+        print(f"{name:<40} {base_ns:>10.0f}ns {cur_ns:>10.0f}ns "
+              f"{delta:>+7.1%} {verdict}")
+        if delta > args.threshold:
+            failures.append((name, base_ns, cur_ns, delta))
+
+    # Informational: non-gated benchmarks present in both sets.
+    shared = sorted(set(baseline) & set(current) - set(gates))
+    for name in shared:
+        base_ns, _ = baseline[name]
+        cur_ns, _ = current[name]
+        delta = (cur_ns - base_ns) / base_ns if base_ns > 0 else 0.0
+        print(f"{name:<40} {base_ns:>10.0f}ns {cur_ns:>10.0f}ns "
+              f"{delta:>+7.1%} (info)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"+{args.threshold:.0%}:", file=sys.stderr)
+        for name, base_ns, cur_ns, delta in failures:
+            print(f"  {name}: {base_ns:.0f} -> {cur_ns:.0f} ns/op "
+                  f"({delta:+.1%})", file=sys.stderr)
+        sys.exit(1)
+    print("\nbench gate: all gated benchmarks within threshold")
+
+
+if __name__ == "__main__":
+    main()
