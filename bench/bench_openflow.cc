@@ -40,7 +40,7 @@ PacketIn typical_packet_in() {
 void BM_EncodeFlowMod(benchmark::State& state) {
   const Message msg{typical_flow_mod()};
   for (auto _ : state) {
-    auto wire = encode(msg, 1);
+    auto wire = encode_frame(msg, 1);
     benchmark::DoNotOptimize(wire);
   }
   state.SetItemsProcessed(state.iterations());
@@ -48,7 +48,7 @@ void BM_EncodeFlowMod(benchmark::State& state) {
 BENCHMARK(BM_EncodeFlowMod);
 
 void BM_DecodeFlowMod(benchmark::State& state) {
-  const Bytes wire = encode(Message{typical_flow_mod()}, 1);
+  const Bytes wire = encode_frame(Message{typical_flow_mod()}, 1);
   for (auto _ : state) {
     auto msg = decode(wire);
     benchmark::DoNotOptimize(msg);
@@ -62,7 +62,7 @@ BENCHMARK(BM_DecodeFlowMod);
 void BM_EncodePacketIn(benchmark::State& state) {
   const Message msg{typical_packet_in()};
   for (auto _ : state) {
-    auto wire = encode(msg, 1);
+    auto wire = encode_frame(msg, 1);
     benchmark::DoNotOptimize(wire);
   }
   state.SetItemsProcessed(state.iterations());
@@ -70,7 +70,7 @@ void BM_EncodePacketIn(benchmark::State& state) {
 BENCHMARK(BM_EncodePacketIn);
 
 void BM_DecodePacketIn(benchmark::State& state) {
-  const Bytes wire = encode(Message{typical_packet_in()}, 1);
+  const Bytes wire = encode_frame(Message{typical_packet_in()}, 1);
   for (auto _ : state) {
     auto msg = decode(wire);
     benchmark::DoNotOptimize(msg);
@@ -87,13 +87,44 @@ void BM_RoundtripPacketOut(benchmark::State& state) {
   out.actions = {OutputAction{Ports::kFlood, 0xffff}};
   out.data.assign(128, 0x11);
   for (auto _ : state) {
-    auto wire = encode(Message{out}, 9);
+    auto wire = encode_frame(Message{out}, 9);
     auto back = decode(wire);
     benchmark::DoNotOptimize(back);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RoundtripPacketOut);
+
+// Southbound encode throughput, batched vs unbatched. Arg is the batch
+// size staged into one WireArena before it is recycled — the shape of a
+// Southbound flush. Arg 0 is the v1 path (one heap allocation per
+// message via the deprecated encode()), the baseline the arena replaces.
+void BM_SouthboundEncodeThroughput(benchmark::State& state) {
+  const Message msg{typical_flow_mod()};
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::size_t bytes = 0;
+  if (batch == 0) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    for (auto _ : state) {
+      auto wire = encode(msg, 1);
+      bytes += wire.size();
+      benchmark::DoNotOptimize(wire);
+    }
+#pragma GCC diagnostic pop
+  } else {
+    WireArena arena;
+    for (auto _ : state) {
+      if (arena.frame_count() == batch) arena.clear();
+      auto frame = arena.append(msg, 1);
+      bytes += frame.size();
+      benchmark::DoNotOptimize(frame.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SouthboundEncodeThroughput)->Arg(0)->Arg(1)->Arg(64);
 
 // Stream reassembly: feed a large batch of messages in MTU-sized chunks,
 // as a TCP southbound channel would deliver them.
@@ -102,7 +133,7 @@ void BM_StreamReassembly(benchmark::State& state) {
   const int n = 1000;
   for (int i = 0; i < n; ++i) {
     const Bytes one =
-        encode(Message{typical_flow_mod()}, static_cast<std::uint16_t>(i));
+        encode_frame(Message{typical_flow_mod()}, static_cast<std::uint16_t>(i));
     wire.insert(wire.end(), one.begin(), one.end());
   }
   for (auto _ : state) {

@@ -6,12 +6,20 @@
 // serialized to bytes and re-parsed on the far side — the wire cost is
 // paid, only the kernel is skipped.
 //
+// v2 adds batched staging: each side stages encoded frames into a
+// per-direction WireArena via stage(to).append(...) and hands the whole
+// batch to the transport with flush(to). An unimpaired flush moves the
+// arena's buffer to the peer in one event — zero copies, one scheduler
+// entry for the whole dispatch round. The legacy send(to, bytes) entry
+// point remains for raw-byte transport tests.
+//
 // For chaos testing the channel carries optional fault hooks: a seeded
-// per-message loss probability, a duplication probability, and a uniform
-// extra-delay jitter (which can reorder messages relative to each other,
-// since each send carries one whole encoded message). A disconnected
-// channel (switch crashed / connection torn down) silently drops
-// everything in both directions, like writes to a dead TCP peer.
+// per-frame loss probability, a duplication probability, and a uniform
+// extra-delay jitter (which can reorder frames relative to each other —
+// an impaired flush is delivered frame by frame, so the batch is exactly
+// as vulnerable as v1's per-message sends). A disconnected channel
+// (switch crashed / connection torn down) silently drops everything in
+// both directions, like writes to a dead TCP peer.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "openflow/wire.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
 
@@ -27,8 +36,8 @@ namespace zen::controller {
 // Per-channel impairment knobs. All probabilities in [0, 1]; every random
 // decision flows through one seeded Rng so a run is reproducible.
 struct ChannelFaults {
-  double loss_prob = 0;         // message silently dropped
-  double duplicate_prob = 0;    // message delivered twice
+  double loss_prob = 0;         // frame silently dropped
+  double duplicate_prob = 0;    // frame delivered twice
   double extra_delay_max_s = 0; // uniform extra one-way delay in [0, max]
   std::uint64_t seed = 1;
 };
@@ -37,15 +46,33 @@ class Channel {
  public:
   using ReceiveFn = std::function<void(std::vector<std::uint8_t>)>;
 
+  // Side A = controller, side B = switch (naming only; symmetric).
+  enum class Side : std::uint8_t { A, B };
+
   Channel(sim::EventQueue& events, double one_way_latency_s)
       : events_(events), latency_(one_way_latency_s) {}
 
-  // Side A = controller, side B = switch (naming only; symmetric).
-  void set_a_receiver(ReceiveFn fn) { to_a_ = std::move(fn); }
-  void set_b_receiver(ReceiveFn fn) { to_b_ = std::move(fn); }
+  void set_receiver(Side side, ReceiveFn fn) {
+    ((side == Side::A) ? to_a_ : to_b_) = std::move(fn);
+  }
 
-  void send_to_b(std::vector<std::uint8_t> bytes);
-  void send_to_a(std::vector<std::uint8_t> bytes);
+  // ---- batched v2 path ----
+  // Staging arena for frames travelling toward `to`. Callers append
+  // encoded frames, then flush(to) hands the batch to the transport.
+  openflow::WireArena& stage(Side to) noexcept {
+    return (to == Side::B) ? stage_b_ : stage_a_;
+  }
+  bool has_staged(Side to) const noexcept {
+    return !((to == Side::B) ? stage_b_ : stage_a_).empty();
+  }
+  // Delivers the staged batch: one in-flight buffer when unimpaired,
+  // per-frame fault draws (loss / extra delay / duplication, same RNG
+  // draw order as v1 per-message sends) when faults are armed. A flush on
+  // a disconnected channel discards the staged frames.
+  void flush(Side to);
+
+  // ---- legacy per-message path (raw-byte transport tests) ----
+  void send(Side to, std::vector<std::uint8_t> bytes);
 
   // ---- fault injection ----
   void set_faults(const ChannelFaults& faults);
@@ -61,16 +88,21 @@ class Channel {
   std::uint64_t messages_b_to_a() const noexcept { return msgs_ba_; }
   std::uint64_t messages_lost() const noexcept { return lost_; }
   std::uint64_t messages_duplicated() const noexcept { return duplicated_; }
+  std::uint64_t flushes() const noexcept { return flushes_; }
 
  private:
-  enum class Side { A, B };
-  void send(Side to, std::vector<std::uint8_t> bytes);
   void deliver_after(Side to, double delay, std::vector<std::uint8_t> bytes);
+  // Runs the v1 fault ladder (loss → extra delay → duplicate) for one
+  // frame; appends survivors delivered at base latency to `batch`.
+  void fault_one_frame(Side to, std::span<const std::uint8_t> frame,
+                       std::vector<std::uint8_t>& batch);
 
   sim::EventQueue& events_;
   double latency_;
   ReceiveFn to_a_;
   ReceiveFn to_b_;
+  openflow::WireArena stage_a_;  // frames headed to side A
+  openflow::WireArena stage_b_;  // frames headed to side B
   bool connected_ = true;
   bool faulty_ = false;
   ChannelFaults faults_;
@@ -78,6 +110,7 @@ class Channel {
   std::uint64_t bytes_ab_ = 0, bytes_ba_ = 0;
   std::uint64_t msgs_ab_ = 0, msgs_ba_ = 0;
   std::uint64_t lost_ = 0, duplicated_ = 0;
+  std::uint64_t flushes_ = 0;
 };
 
 }  // namespace zen::controller

@@ -4,6 +4,7 @@
 
 #include "controller/flow_rule_store.h"
 #include "obs/obs.h"
+#include "openflow/bundle.h"
 #include "util/logging.h"
 
 namespace zen::controller {
@@ -80,14 +81,21 @@ void Controller::connect_all() {
     Session session;
     session.channel =
         std::make_unique<Channel>(net_.events(), options_.channel_latency_s);
-    session.agent =
-        std::make_unique<SwitchAgent>(net_, dpid, *session.channel, conn_id_);
+    session.southbound = std::make_unique<Southbound>(
+        net_.events(), *session.channel, Channel::Side::A,
+        options_.batch_southbound);
+    session.agent = std::make_unique<SwitchAgent>(
+        net_, dpid, *session.channel, conn_id_, options_.batch_southbound);
     session.backoff_s = options_.reconnect_backoff_initial_s;
     const Dpid id = dpid;
-    session.channel->set_a_receiver(
-        [this, id](std::vector<std::uint8_t> bytes) {
-          on_wire(id, std::move(bytes));
+    session.southbound->set_receiver(
+        [this, id](std::vector<openflow::OwnedMessage> batch) {
+          on_batch(id, std::move(batch));
         });
+    session.southbound->set_bad_frame_handler([id](const std::string& err) {
+      ZEN_LOG(Warn) << "controller: bad frame from dpid " << id << ": "
+                    << err;
+    });
     sessions_.emplace(dpid, std::move(session));
     start_handshake(dpid);
   }
@@ -145,7 +153,6 @@ void Controller::declare_switch_down(Dpid dpid) {
   ++session.epoch;  // kill echo + completion timers from the old life
   session.echo_misses = 0;
   session.echo_outstanding = false;
-  session.stream = {};  // a half-received frame must not poison the next life
   ++stats_.switch_down_events;
   CtrlMetrics::get().switch_downs.inc();
   ZEN_LOG(Warn) << "controller: switch " << dpid
@@ -242,7 +249,26 @@ openflow::Xid Controller::next_xid(Dpid dpid) {
 
 void Controller::send(Dpid dpid, const openflow::Message& msg,
                       openflow::Xid xid) {
-  sessions_.at(dpid).channel->send_to_b(openflow::encode(msg, xid));
+  sessions_.at(dpid).southbound->send(msg, xid);
+}
+
+void Controller::request_chasing_barrier(Dpid dpid) {
+  auto& session = sessions_.at(dpid);
+  if (!options_.batch_southbound) {
+    send(dpid, openflow::Message{openflow::BarrierRequest{}}, next_xid(dpid));
+    return;
+  }
+  if (session.barrier_scheduled) return;
+  session.barrier_scheduled = true;
+  // Zero-delay event: fires after the instant's remaining synchronous
+  // sends have staged, so one barrier trails every tracked send of the
+  // instant — usually inside the same flushed batch.
+  events().schedule_in(0, [this, dpid] {
+    const auto it = sessions_.find(dpid);
+    if (it == sessions_.end()) return;
+    it->second.barrier_scheduled = false;
+    send(dpid, openflow::Message{openflow::BarrierRequest{}}, next_xid(dpid));
+  });
 }
 
 void Controller::register_app_metrics(const App& app) {
@@ -280,10 +306,13 @@ openflow::Xid Controller::send_tracked(Dpid dpid, openflow::Message msg,
   }
   session.pending_completions.emplace(
       xid, PendingCompletion{msg, std::move(done), 1, span});
-  send(dpid, msg, xid);
   // Chase with a barrier; its per-xid ack set resolves this and any
-  // earlier still-pending sends the agent actually processed.
-  send(dpid, openflow::Message{openflow::BarrierRequest{}}, next_xid(dpid));
+  // earlier still-pending sends the agent actually processed. Batched
+  // mode arranges the barrier first so its zero-delay event precedes the
+  // flush event and the barrier rides the same batch as the mod.
+  if (options_.batch_southbound) request_chasing_barrier(dpid);
+  send(dpid, msg, xid);
+  if (!options_.batch_southbound) request_chasing_barrier(dpid);
   arm_completion_timeout(dpid, xid, session.epoch);
   return xid;
 }
@@ -334,9 +363,9 @@ void Controller::arm_completion_timeout(Dpid dpid, openflow::Xid xid,
                 ack);
           }
         }
+        if (options_.batch_southbound) request_chasing_barrier(dpid);
         send(dpid, pc.msg, new_xid);
-        send(dpid, openflow::Message{openflow::BarrierRequest{}},
-             next_xid(dpid));
+        if (!options_.batch_southbound) request_chasing_barrier(dpid);
         session.pending_completions.emplace(new_xid, std::move(pc));
         arm_completion_timeout(dpid, new_xid, epoch);
       });
@@ -457,6 +486,79 @@ openflow::Xid Controller::packet_out(Dpid dpid, const openflow::PacketOut& msg,
   return xid;
 }
 
+openflow::Xid Controller::commit_bundle(Dpid dpid,
+                                        std::vector<openflow::Message> members,
+                                        CompletionFn done) {
+  if (members.empty()) {
+    // Trivially complete, but asynchronously: callers expect the callback
+    // strictly after the call returns.
+    events().schedule_in(0, [done = std::move(done)] {
+      if (done) done(std::nullopt);
+    });
+    return 0;
+  }
+  // Members count toward the same stats/tap surface as lone sends, so
+  // determinism fingerprints and dashboards see one install stream.
+  for (const auto& member : members) {
+    if (std::holds_alternative<openflow::FlowMod>(member)) {
+      ++stats_.flow_mods_sent;
+      CtrlMetrics::get().flow_mods.inc();
+      if (southbound_tap_) southbound_tap_(dpid, member);
+    } else if (std::holds_alternative<openflow::GroupMod>(member)) {
+      ++stats_.group_mods_sent;
+      if (southbound_tap_) southbound_tap_(dpid, member);
+    } else if (std::holds_alternative<openflow::MeterMod>(member)) {
+      ++stats_.meter_mods_sent;
+    }
+  }
+  const obs::SpanContext span = begin_southbound_span("bundle_commit");
+  return send_bundle_attempt(
+      dpid,
+      std::make_shared<const std::vector<openflow::Message>>(
+          std::move(members)),
+      1, std::move(done), span);
+}
+
+openflow::Xid Controller::send_bundle_attempt(
+    Dpid dpid, std::shared_ptr<const std::vector<openflow::Message>> members,
+    int attempt, CompletionFn done, obs::SpanContext span) {
+  const std::uint32_t bundle_id = next_bundle_id_++;
+  send(dpid, openflow::Message{openflow::make_bundle_open(bundle_id)},
+       next_xid(dpid));
+  for (std::size_t i = 0; i < members->size(); ++i) {
+    send(dpid,
+         openflow::Message{openflow::make_bundle_add(
+             bundle_id, static_cast<std::uint32_t>(i), (*members)[i])},
+         next_xid(dpid));
+  }
+  // Only the commit is tracked: its ack (or error) covers the bundle.
+  auto retry_done = [this, dpid, members, attempt, span,
+                     done = std::move(done)](
+                        const std::optional<openflow::Error>& err) mutable {
+    if (err && err->type == openflow::ErrorType::BundleFailed &&
+        attempt < options_.completion_max_attempts) {
+      // Bundle-mechanism failure (adds lost to channel faults, staging
+      // evicted): re-send the whole bundle under a fresh id. Member
+      // errors (e.g. TableFull) and synthetic timeouts pass through to
+      // the caller, whose own ladders handle them. Runs inside
+      // resolve_completion's done-before-span-close window, so the new
+      // attempt's span keeps the trace open.
+      obs::SpanTracer::Scope scope(span);
+      const obs::SpanContext retry_span =
+          begin_southbound_span("bundle_commit");
+      send_bundle_attempt(dpid, std::move(members), attempt + 1,
+                          std::move(done), retry_span);
+      return;
+    }
+    if (done) done(err);
+  };
+  return send_tracked(
+      dpid,
+      openflow::Message{openflow::make_bundle_commit(
+          bundle_id, static_cast<std::uint32_t>(members->size()))},
+      std::move(retry_done), span);
+}
+
 void Controller::barrier(Dpid dpid, BarrierFn done) {
   const openflow::Xid xid = next_xid(dpid);
   sessions_.at(dpid).pending_barriers[xid] = std::move(done);
@@ -521,25 +623,19 @@ void Controller::flood_packet(Dpid dpid, std::uint32_t in_port,
   packet_out(dpid, out);
 }
 
-void Controller::on_wire(Dpid dpid, std::vector<std::uint8_t> bytes) {
-  auto& session = sessions_.at(dpid);
-  session.stream.feed(bytes);
-  while (auto result = session.stream.next()) {
-    if (!result->ok()) {
-      ZEN_LOG(Warn) << "controller: bad frame from dpid " << dpid << ": "
-                    << result->error();
-      continue;
-    }
-    // Model controller-side processing latency before dispatch.
-    if (options_.processing_delay_s > 0) {
-      events().schedule_in(
-          options_.processing_delay_s,
-          [this, dpid, owned = std::move(*result).value()]() mutable {
-            dispatch(dpid, std::move(owned));
-          });
-    } else {
-      dispatch(dpid, std::move(*result).value());
-    }
+void Controller::on_batch(Dpid dpid,
+                          std::vector<openflow::OwnedMessage> batch) {
+  // Model controller-side processing latency before dispatch. One event
+  // covers the whole delivered batch: each message still dispatches at the
+  // same virtual time and in the same order as per-message events would.
+  if (options_.processing_delay_s > 0) {
+    events().schedule_in(options_.processing_delay_s,
+                         [this, dpid, batch = std::move(batch)]() mutable {
+                           for (auto& owned : batch)
+                             dispatch(dpid, std::move(owned));
+                         });
+  } else {
+    for (auto& owned : batch) dispatch(dpid, std::move(owned));
   }
 }
 

@@ -20,6 +20,7 @@
 
 #include "controller/channel.h"
 #include "controller/network_view.h"
+#include "controller/southbound.h"
 #include "controller/switch_agent.h"
 #include "net/packet.h"
 #include "openflow/codec.h"
@@ -113,6 +114,13 @@ class Controller {
     // incoming message to apps (models scheduling + deserialization).
     double processing_delay_s = 10e-6;
 
+    // Batched southbound flushes: sends issued at the same simulation
+    // instant coalesce into one wire delivery, and one chasing barrier
+    // covers every tracked send of the instant. false reproduces v1
+    // one-frame-per-delivery framing byte for byte (golden determinism
+    // mode).
+    bool batch_southbound = true;
+
     // ---- transactional southbound ----
     // A tracked send (one with a completion callback) is followed by a
     // barrier; if neither a barrier ack of the send's xid nor an error
@@ -167,6 +175,18 @@ class Controller {
                           CompletionFn done = nullptr);
   openflow::Xid packet_out(Dpid dpid, const openflow::PacketOut& msg,
                            CompletionFn done = nullptr);
+
+  // Atomic multi-mod install: members (FlowMod / GroupMod / MeterMod)
+  // apply all-or-nothing on the switch, with one ack for the whole
+  // bundle. `done` fires once: nullopt when every member applied, or the
+  // error that failed the bundle — for a failing member, that member's
+  // own error (e.g. FlowModFailed/kTableFull); bundle-mechanism failures
+  // (lost adds under channel faults) are retried internally before
+  // surfacing. Returns the commit's xid (0 for an empty bundle, which
+  // trivially succeeds).
+  openflow::Xid commit_bundle(Dpid dpid,
+                              std::vector<openflow::Message> members,
+                              CompletionFn done = nullptr);
 
   // Barrier/stats/role callbacks have an error path: when the switch is
   // declared down before the reply arrives they fire with ok=false
@@ -254,9 +274,13 @@ class Controller {
 
   struct Session {
     std::unique_ptr<Channel> channel;
+    std::unique_ptr<Southbound> southbound;
     std::unique_ptr<SwitchAgent> agent;
-    openflow::MessageStream stream;
     openflow::Xid next_xid = 1;
+    // True while a coalesced chasing barrier is scheduled for the current
+    // simulation instant (batched mode: one barrier acks every tracked
+    // send of the instant).
+    bool barrier_scheduled = false;
     bool features_known = false;
     // Liveness: alive flips true on FeaturesReply, false when heartbeats
     // declare the switch dead. ever_up distinguishes "still handshaking"
@@ -282,8 +306,15 @@ class Controller {
   void send(Dpid dpid, const openflow::Message& msg, openflow::Xid xid);
   openflow::Xid next_xid(Dpid dpid);
   void register_app_metrics(const App& app);
-  void on_wire(Dpid dpid, std::vector<std::uint8_t> bytes);
+  void on_batch(Dpid dpid, std::vector<openflow::OwnedMessage> batch);
   void dispatch(Dpid dpid, openflow::OwnedMessage owned);
+  // Arranges the barrier that chases tracked sends. Batched mode schedules
+  // it once per instant (zero-delay event, staged into the same flush);
+  // unbatched mode sends it immediately.
+  void request_chasing_barrier(Dpid dpid);
+  openflow::Xid send_bundle_attempt(
+      Dpid dpid, std::shared_ptr<const std::vector<openflow::Message>> members,
+      int attempt, CompletionFn done, obs::SpanContext span);
   void handle_packet_in(Dpid dpid, const openflow::PacketIn& pin);
   void learn_host_from(Dpid dpid, const openflow::PacketIn& pin,
                        const net::ParsedPacket& parsed);
@@ -319,6 +350,7 @@ class Controller {
   std::vector<obs::Counter*> app_pin_counters_;
   std::unordered_map<Dpid, Session> sessions_;
   ControllerStats stats_;
+  std::uint32_t next_bundle_id_ = 1;
   std::unique_ptr<FlowRuleStore> rule_store_;
   SouthboundTap southbound_tap_;
 };

@@ -146,6 +146,102 @@ openflow::Xid FlowRuleStore::send_install(Dpid dpid,
       });
 }
 
+void FlowRuleStore::handle_bundle_table_full(
+    Dpid dpid, std::shared_ptr<const std::vector<openflow::FlowMod>> mods,
+    CompletionFn done, const openflow::Error& err) {
+  ++stats_.table_full_rejections;
+  StoreMetrics::get().table_full.inc();
+  obs::FlightRecorder::global().record(obs::FlightEventKind::kTableFull, dpid,
+                                       mods->front().table_id, "rulestore");
+  // The retry budget is tracked on the first member: the bundle retries and
+  // degrades as a unit, so one representative counter is enough.
+  IntendedRule* rep = find_rule(dpid, mods->front());
+  if (rep && rep->table_full_retries < kMaxTableFullRetries) {
+    // The switch rejected the whole bundle for want of (at worst) one slot
+    // per member: sacrifice up to that many lower-importance rules, then
+    // re-commit the whole bundle.
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i < mods->size(); ++i) {
+      if (!evict_lowest_importance(dpid, mods->front())) break;
+      ++freed;
+    }
+    if (freed > 0) {
+      for (const auto& mod : *mods) {
+        if (IntendedRule* rule = find_rule(dpid, mod))
+          ++rule->table_full_retries;
+      }
+      auto& tracer = obs::SpanTracer::global();
+      tracer.annotate(tracer.current(), "table_full_retry");
+      send_install_bundle(dpid, std::move(mods), std::move(done));
+      return;
+    }
+  }
+  // No room and nothing expendable: the path is only useful whole, so park
+  // every member as degraded together.
+  for (const auto& mod : *mods) {
+    IntendedRule* rule = find_rule(dpid, mod);
+    if (rule && !rule->degraded) {
+      rule->degraded = true;
+      ++stats_.rules_degraded;
+      StoreMetrics::get().degraded.inc();
+    }
+  }
+  ZEN_LOG(Warn) << "rule store: dpid " << dpid << " table "
+                << int(mods->front().table_id) << " full; bundle of "
+                << mods->size() << " rules degraded";
+  if (done) done(err);
+}
+
+void FlowRuleStore::send_install_bundle(
+    Dpid dpid, std::shared_ptr<const std::vector<openflow::FlowMod>> mods,
+    CompletionFn done) {
+  const obs::SpanContext span = obs::SpanTracer::global().current();
+  std::vector<openflow::Message> members(mods->begin(), mods->end());
+  controller_.commit_bundle(
+      dpid, std::move(members),
+      [this, dpid, mods = std::move(mods), span, done = std::move(done)](
+          const std::optional<openflow::Error>& err) {
+        if (err && openflow::is_table_full(*err)) {
+          obs::SpanTracer::Scope scope(span);
+          handle_bundle_table_full(dpid, mods, done, *err);
+          return;
+        }
+        if (done) done(err);
+      });
+}
+
+void FlowRuleStore::install_bundle(Dpid dpid,
+                                   std::vector<openflow::FlowMod> mods,
+                                   CompletionFn done) {
+  if (mods.empty()) {
+    if (done)
+      controller_.events().schedule_in(
+          0, [done = std::move(done)] { done(std::nullopt); });
+    return;
+  }
+  if (mods.size() == 1) {
+    install(dpid, mods.front(), std::move(done));
+    return;
+  }
+  stats_.installs += mods.size();
+  for (auto& mod : mods) {
+    if (mod.cookie != 0) managed_cookies_.insert(mod.cookie);
+    mod.command = openflow::FlowModCommand::Add;
+    mod.buffer_id = openflow::kNoBuffer;  // reinstalls can't cite buffers
+    if (IntendedRule* existing = find_rule(dpid, mod)) {
+      existing->mod = mod;
+      existing->degraded = false;
+      existing->table_full_retries = 0;
+    } else {
+      switches_[dpid].rules.push_back(IntendedRule{mod});
+    }
+  }
+  send_install_bundle(
+      dpid,
+      std::make_shared<const std::vector<openflow::FlowMod>>(std::move(mods)),
+      std::move(done));
+}
+
 openflow::Xid FlowRuleStore::install(Dpid dpid, const openflow::FlowMod& mod,
                                      CompletionFn done) {
   ++stats_.installs;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -71,6 +72,15 @@ class FlowRuleStore {
   // match); the mod's cookie becomes a managed cookie.
   openflow::Xid install(Dpid dpid, const openflow::FlowMod& mod,
                         CompletionFn done = nullptr);
+  // Records every mod as intended and commits them through a southbound
+  // bundle: the switch applies all of them or none. `done` fires once with
+  // the bundle verdict. A TableFull rejection of any member runs the same
+  // evict-retry-then-degrade ladder as install(), but the retry re-commits
+  // the whole bundle and a final failure parks every member as degraded —
+  // a multi-rule path is only intent-complete as a unit. A single-element
+  // bundle degenerates to install().
+  void install_bundle(Dpid dpid, std::vector<openflow::FlowMod> mods,
+                      CompletionFn done = nullptr);
   // Drops matching intended entries and sends the delete. Strict deletes
   // drop the exact (table, priority, match) entry; plain Delete drops
   // every intended entry in the table subsumed by the mod's match.
@@ -141,6 +151,14 @@ class FlowRuleStore {
                              CompletionFn done);
   void handle_table_full(Dpid dpid, const openflow::FlowMod& mod,
                          CompletionFn done, const openflow::Error& err);
+  // Bundle flavors of the two above: the retry ladder re-commits the whole
+  // member list, and degradation applies to every member at once.
+  void send_install_bundle(
+      Dpid dpid, std::shared_ptr<const std::vector<openflow::FlowMod>> mods,
+      CompletionFn done);
+  void handle_bundle_table_full(
+      Dpid dpid, std::shared_ptr<const std::vector<openflow::FlowMod>> mods,
+      CompletionFn done, const openflow::Error& err);
   // Sacrifices the lowest-importance non-degraded intended rule in the
   // incoming mod's table (importance strictly below the incoming one):
   // marks it degraded and deletes it from the switch. False if none.

@@ -1,5 +1,7 @@
 #include "controller/switch_agent.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 #include "util/logging.h"
 
@@ -30,10 +32,31 @@ using SpanKey = obs::SpanTracer::Key;
 }  // namespace
 
 SwitchAgent::SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid,
-                         Channel& channel, std::uint64_t conn_id)
-    : net_(net), dpid_(dpid), channel_(channel), conn_id_(conn_id) {
-  channel_.set_b_receiver(
-      [this](std::vector<std::uint8_t> bytes) { on_wire(std::move(bytes)); });
+                         Channel& channel, std::uint64_t conn_id, bool batch)
+    : net_(net),
+      dpid_(dpid),
+      conn_id_(conn_id),
+      southbound_(net.events(), channel, Channel::Side::B, batch) {
+  southbound_.set_batch_gate([this] {
+    if (net_.switch_up(dpid_)) return true;
+    // A crashed switch neither processes nor buffers: the agent process
+    // died with it, taking every in-flight punt trace along.
+    auto& tracer = obs::SpanTracer::global();
+    for (const PendingPin& pin : pending_pins_) {
+      tracer.take(obs::SpanTracer::key(SpanKey::kPacketIn, conn_id_, dpid_,
+                                       pin.buffer_id));
+      tracer.abandon_trace(pin.trace_root);
+    }
+    pending_pins_.clear();
+    return false;
+  });
+  southbound_.set_bad_frame_handler([this](const std::string& err) {
+    ZEN_LOG(Warn) << "switch " << dpid_ << ": bad frame: " << err;
+    send_error(0, openflow::ErrorType::BadRequest, 0);
+  });
+  southbound_.set_receiver([this](std::vector<openflow::OwnedMessage> batch) {
+    for (auto& owned : batch) handle(std::move(owned));
+  });
   last_ctrl_msg_s_ = net_.now();
   const auto& cfg = net_.switch_at(dpid_).config();
   if (cfg.fail_timeout_s > 0) {
@@ -99,7 +122,7 @@ openflow::ControllerRole SwitchAgent::role() const {
 }
 
 void SwitchAgent::reply(const openflow::Message& msg, openflow::Xid xid) {
-  channel_.send_to_a(openflow::encode(msg, xid));
+  southbound_.send(msg, xid);
 }
 
 void SwitchAgent::send_error(openflow::Xid xid, openflow::ErrorType type,
@@ -143,30 +166,120 @@ void SwitchAgent::on_datapath_event(openflow::Message msg) {
   reply(msg, next_xid_++);
 }
 
-void SwitchAgent::on_wire(std::vector<std::uint8_t> bytes) {
-  // A crashed switch neither processes nor buffers: the agent process died
-  // with it. Dropping the reassembly buffer keeps a half-received frame
-  // from poisoning the stream after reboot.
-  if (!net_.switch_up(dpid_)) {
-    stream_ = {};
-    auto& tracer = obs::SpanTracer::global();
-    for (const PendingPin& pin : pending_pins_) {
-      tracer.take(obs::SpanTracer::key(SpanKey::kPacketIn, conn_id_, dpid_,
-                                       pin.buffer_id));
-      tracer.abandon_trace(pin.trace_root);
-    }
-    pending_pins_.clear();
+bool SwitchAgent::already_committed(std::uint32_t bundle_id) const noexcept {
+  return std::find(committed_bundles_.begin(), committed_bundles_.end(),
+                   bundle_id) != committed_bundles_.end();
+}
+
+void SwitchAgent::handle_bundle(const openflow::Experimenter& exp,
+                                openflow::Xid xid) {
+  using namespace openflow;
+  auto parsed = parse_bundle_message(exp);
+  if (!parsed.ok()) {
+    ZEN_LOG(Warn) << "switch " << dpid_ << ": bad bundle message: "
+                  << parsed.error();
+    send_error(xid, ErrorType::BadRequest, 0);
     return;
   }
-  stream_.feed(bytes);
-  while (auto result = stream_.next()) {
-    if (!result->ok()) {
-      ZEN_LOG(Warn) << "switch " << dpid_ << ": bad frame: " << result->error();
-      send_error(0, openflow::ErrorType::BadRequest, 0);
-      continue;
-    }
-    handle(std::move(*result).value());
+  const auto ack_mod = [&] {
+    if (acked_mods_.size() >= kMaxAckedMods) acked_mods_.pop_front();
+    acked_mods_.push_back(xid);
+  };
+  const auto reject = [&](ErrorType type, std::uint16_t code) {
+    obs::FlightRecorder::global().record(
+        obs::FlightEventKind::kModRejected, dpid_,
+        (static_cast<std::uint64_t>(type) << 16) | code);
+    send_error(xid, type, code);
+    close_southbound_span(xid, /*applied=*/false);
+  };
+  // Bundles modify state: slave connections may not touch them. Only the
+  // commit is tracked, but rejecting open/add early keeps a slave from
+  // even staging.
+  if (role() == ControllerRole::Slave) {
+    reject(ErrorType::BadRequest, /*kIsSlave*/ 9);
+    return;
   }
+
+  std::visit(
+      [&](auto& bm) {
+        using T = std::decay_t<decltype(bm)>;
+        if constexpr (std::is_same_v<T, BundleOpen>) {
+          if (open_bundles_.size() >= kMaxOpenBundles &&
+              !open_bundles_.count(bm.bundle_id)) {
+            // Evict the oldest staging area; its commit will see
+            // kUnknownBundle and the controller retries whole.
+            open_bundles_.erase(open_bundles_.begin());
+          }
+          // (Re)open resets staging — a retransmitted open is idempotent.
+          open_bundles_[bm.bundle_id].clear();
+        } else if constexpr (std::is_same_v<T, BundleAdd>) {
+          auto it = open_bundles_.find(bm.bundle_id);
+          if (it == open_bundles_.end()) {
+            // A duplicated add arriving after its bundle committed is
+            // stale channel noise, not an error.
+            if (already_committed(bm.bundle_id)) return;
+            send_error(xid, ErrorType::BundleFailed,
+                       bundle_failed_code::kUnknownBundle);
+            return;
+          }
+          if (it->second.size() >= kMaxBundleMembers &&
+              !it->second.count(bm.member_index)) {
+            open_bundles_.erase(it);
+            send_error(xid, ErrorType::BundleFailed,
+                       bundle_failed_code::kTooManyMembers);
+            return;
+          }
+          // Keyed by member_index: a duplicated add overwrites its own
+          // slot instead of growing the bundle.
+          it->second.insert_or_assign(bm.member_index, std::move(bm.member));
+        } else if constexpr (std::is_same_v<T, BundleCommit>) {
+          if (already_committed(bm.bundle_id)) {
+            // Retransmitted commit for an applied bundle: ack again, apply
+            // nothing.
+            ack_mod();
+            close_southbound_span(xid, /*applied=*/true);
+            return;
+          }
+          auto it = open_bundles_.find(bm.bundle_id);
+          if (it == open_bundles_.end()) {
+            reject(ErrorType::BundleFailed,
+                   bundle_failed_code::kUnknownBundle);
+            return;
+          }
+          // Complete iff members 0..n-1 are all staged (map is ordered).
+          const bool complete =
+              it->second.size() == bm.n_members &&
+              (bm.n_members == 0 ||
+               std::prev(it->second.end())->first == bm.n_members - 1);
+          if (!complete) {
+            open_bundles_.erase(it);
+            reject(ErrorType::BundleFailed,
+                   bundle_failed_code::kBundleIncomplete);
+            return;
+          }
+          std::vector<Message> members;
+          members.reserve(it->second.size());
+          for (auto& [idx, member] : it->second)
+            members.push_back(std::move(member));
+          open_bundles_.erase(it);
+          const auto status = net_.commit_bundle(dpid_, members);
+          if (status.ok) {
+            if (committed_bundles_.size() >= kMaxCommittedBundles)
+              committed_bundles_.pop_front();
+            committed_bundles_.push_back(bm.bundle_id);
+            ack_mod();
+            close_southbound_span(xid, /*applied=*/true);
+          } else {
+            // Surfaces the failing member's own error type/code, so the
+            // controller's repair ladders (e.g. TableFull) see exactly
+            // what a lone mod would have produced.
+            reject(status.error_type, status.error_code);
+          }
+        } else if constexpr (std::is_same_v<T, BundleDiscard>) {
+          open_bundles_.erase(bm.bundle_id);
+        }
+      },
+      parsed.value());
 }
 
 void SwitchAgent::handle(openflow::OwnedMessage owned) {
@@ -186,9 +299,12 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
 
   // A power cycle wiped every rule the recorded acks vouch for: a barrier
   // after reboot must not ack pre-crash mods, or the controller would
-  // believe rules survive that the crash erased.
+  // believe rules survive that the crash erased. Staged bundles died with
+  // the agent process, and committed ids refer to wiped state.
   if (sw.boot_count() != last_boot_id_) {
     acked_mods_.clear();
+    open_bundles_.clear();
+    committed_bundles_.clear();
     last_boot_id_ = sw.boot_count();
   }
 
@@ -302,6 +418,12 @@ void SwitchAgent::handle(openflow::OwnedMessage owned) {
             role_reply.accepted = false;  // stale generation
           }
           reply(Message{role_reply}, xid);
+        } else if constexpr (std::is_same_v<T, Experimenter>) {
+          if (msg.experimenter_id == kBundleExperimenterId) {
+            handle_bundle(msg, xid);
+          } else {
+            send_error(xid, ErrorType::BadRequest, 0);
+          }
         } else if constexpr (std::is_same_v<T, EchoReply> ||
                              std::is_same_v<T, ErrorMsg>) {
           // fine, no action

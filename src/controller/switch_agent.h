@@ -2,13 +2,20 @@
 //
 // Translates wire messages from the controller into typed calls on the
 // simulated datapath, and encodes datapath events (PacketIn, PortStatus,
-// FlowRemoved) back onto the wire. One agent per switch.
+// FlowRemoved) back onto the wire. One agent per switch. All wire traffic
+// flows through a Southbound facade: requests arrive as decoded batches,
+// and replies generated while a batch is processed coalesce into one
+// response flush.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <map>
 
 #include "controller/channel.h"
+#include "controller/southbound.h"
 #include "obs/span.h"
+#include "openflow/bundle.h"
 #include "openflow/codec.h"
 #include "sim/network.h"
 
@@ -17,9 +24,10 @@ namespace zen::controller {
 class SwitchAgent {
  public:
   // `conn_id` identifies this controller connection for role arbitration
-  // (multi-controller redundancy).
+  // (multi-controller redundancy). `batch` selects the southbound flush
+  // policy (batch=false reproduces v1 one-frame-per-delivery framing).
   SwitchAgent(sim::SimNetwork& net, topo::NodeId dpid, Channel& channel,
-              std::uint64_t conn_id = 0);
+              std::uint64_t conn_id = 0, bool batch = true);
 
   // Called by the network seam when the datapath raises an event.
   // Role filtering: slaves receive PortStatus only.
@@ -28,26 +36,35 @@ class SwitchAgent {
   topo::NodeId dpid() const noexcept { return dpid_; }
 
   // Controller xids of state-modifying messages (FlowMod / GroupMod /
-  // MeterMod / PacketOut) this agent successfully processed, oldest
-  // first. Echoed in every BarrierReply as an explicit per-xid ack: a
-  // barrier that overtakes a lost mod replies without the mod's xid, so
-  // the controller re-sends instead of false-acking — and a delivered
-  // later mod can never vouch for an earlier lost one (which a high-water
-  // mark would). Bounded at kMaxAckedMods: an entry aged out while its
-  // completion was still pending is recovered by the controller's
-  // retransmit (fresh xid). Rejected mods (slave connection, dataplane
-  // error) are *not* acked; their Error is the resolution.
+  // MeterMod / PacketOut / bundle commits) this agent successfully
+  // processed, oldest first. Echoed in every BarrierReply as an explicit
+  // per-xid ack: a barrier that overtakes a lost mod replies without the
+  // mod's xid, so the controller re-sends instead of false-acking — and a
+  // delivered later mod can never vouch for an earlier lost one (which a
+  // high-water mark would). Bounded at kMaxAckedMods: an entry aged out
+  // while its completion was still pending is recovered by the
+  // controller's retransmit (fresh xid). Rejected mods (slave connection,
+  // dataplane error) are *not* acked; their Error is the resolution.
   const std::deque<openflow::Xid>& acked_mods() const noexcept {
     return acked_mods_;
   }
 
   static constexpr std::size_t kMaxAckedMods = 1024;
+  // Bundle staging bounds: a controller bug or replayed traffic cannot
+  // pin unbounded memory on the switch.
+  static constexpr std::size_t kMaxOpenBundles = 16;
+  static constexpr std::size_t kMaxBundleMembers = 256;
+  static constexpr std::size_t kMaxCommittedBundles = 64;
 
   // Fail-mode state (meaningful when SwitchConfig.fail_timeout_s > 0):
   // true while the agent considers the controller session dead.
   bool controller_session_lost() const noexcept { return session_lost_; }
   // True while the Standalone fallback rule is installed in the datapath.
   bool standalone_active() const noexcept { return fallback_installed_; }
+
+  std::size_t open_bundle_count() const noexcept {
+    return open_bundles_.size();
+  }
 
  private:
   openflow::ControllerRole role() const;
@@ -61,8 +78,11 @@ class SwitchAgent {
   void install_fallback();
   void remove_fallback();
 
-  void on_wire(std::vector<std::uint8_t> bytes);
   void handle(openflow::OwnedMessage owned);
+  // Bundle open/add/commit/discard, unwrapped from the Experimenter
+  // envelope. Commit is the only tracked op: it acks (or errors) under
+  // the commit's xid for the whole bundle.
+  void handle_bundle(const openflow::Experimenter& exp, openflow::Xid xid);
   void reply(const openflow::Message& msg, openflow::Xid xid);
   void send_error(openflow::Xid xid, openflow::ErrorType type,
                   std::uint16_t code);
@@ -72,16 +92,26 @@ class SwitchAgent {
   // since no ack will.
   void close_southbound_span(openflow::Xid xid, bool applied);
 
+  bool already_committed(std::uint32_t bundle_id) const noexcept;
+
   sim::SimNetwork& net_;
   topo::NodeId dpid_;
-  Channel& channel_;
   std::uint64_t conn_id_;
-  openflow::MessageStream stream_;
+  Southbound southbound_;
   openflow::Xid next_xid_ = 1;
   std::deque<openflow::Xid> acked_mods_;
   // Switch boot count last observed; a change means the datapath power-
   // cycled, so every recorded ack refers to wiped state and must go.
   std::uint64_t last_boot_id_ = 0;
+
+  // Bundle staging: id → (member_index → member). std::map keeps members
+  // in index order, so commit applies them in controller order and the
+  // completeness check is size + last key.
+  std::map<std::uint32_t, std::map<std::uint32_t, openflow::Message>>
+      open_bundles_;
+  // Recently committed bundle ids: a retransmitted commit acks
+  // idempotently instead of double-applying.
+  std::deque<std::uint32_t> committed_bundles_;
 
   // Virtual send times of buffered PacketIns awaiting a FlowMod answer,
   // correlated by buffer_id (reactive apps echo the punt's buffer_id in

@@ -74,8 +74,14 @@ FlowEntryPtr FlowTable::add(FlowEntry entry, double now) {
   entry.last_used_at = now;
   auto ptr = std::make_shared<FlowEntry>(std::move(entry));
 
+  const std::size_t n_groups = groups_.size();
   auto& group = groups_[ptr->match.mask()];
   group.mask = ptr->match.mask();
+  // New group, or a priority that raises the group's ceiling: either can
+  // change the probe order. Same-priority inserts (the steady state) leave
+  // it untouched so lookups skip the re-sort.
+  if (groups_.size() != n_groups || ptr->priority > group.max_priority)
+    order_dirty_ = true;
   auto& bucket = group.by_key[ptr->match.value()];
 
   // Replace an identical (match, priority) entry if present.
@@ -87,10 +93,14 @@ FlowEntryPtr FlowTable::add(FlowEntry entry, double now) {
     *existing = ptr;
   } else {
     bucket.push_back(ptr);
-    std::sort(bucket.begin(), bucket.end(),
-              [](const FlowEntryPtr& a, const FlowEntryPtr& b) {
-                return a->priority > b->priority;
-              });
+    // Buckets are almost always singletons (one priority per masked key);
+    // only re-sort when a second entry actually lands in one.
+    if (bucket.size() > 1) {
+      std::sort(bucket.begin(), bucket.end(),
+                [](const FlowEntryPtr& a, const FlowEntryPtr& b) {
+                  return a->priority > b->priority;
+                });
+    }
     ++count_;
   }
   group.max_priority = std::max(group.max_priority, ptr->priority);
@@ -140,6 +150,9 @@ std::vector<FlowEntryPtr> FlowTable::remove_if(Pred&& pred) {
     }
   }
   count_ -= removed.size();
+  // Erased groups invalidate probe_order_ pointers; rebuilt priorities can
+  // reorder it. Removals are rare next to lookups, so just re-sort lazily.
+  if (!removed.empty()) order_dirty_ = true;
   return removed;
 }
 
@@ -159,6 +172,18 @@ void FlowTable::rebuild_group_priority(MaskGroup& group) noexcept {
     if (!bucket.empty())
       group.max_priority = std::max(group.max_priority, bucket.front()->priority);
   }
+}
+
+void FlowTable::refresh_probe_order() const {
+  if (!order_dirty_ && probe_order_.size() == groups_.size()) return;
+  probe_order_.clear();
+  probe_order_.reserve(groups_.size());
+  for (const auto& [mask, group] : groups_) probe_order_.push_back(&group);
+  std::stable_sort(probe_order_.begin(), probe_order_.end(),
+                   [](const MaskGroup* a, const MaskGroup* b) {
+                     return a->max_priority > b->max_priority;
+                   });
+  order_dirty_ = false;
 }
 
 namespace {
@@ -212,19 +237,27 @@ FlowEntryPtr FlowTable::find_best(const net::FlowKey& key,
                              /*pruned=*/false});
     }
   } else {
-    for (const auto& [mask, group] : groups_) {
+    refresh_probe_order();
+    for (std::size_t i = 0; i < probe_order_.size(); ++i) {
+      const MaskGroup& group = *probe_order_[i];
       if (best && group.max_priority <= best->priority) {
-        if (ex)
-          ex->masks.push_back({mask_field_count(mask), group.max_priority,
-                               /*hit=*/false, /*pruned=*/true});
-        continue;
+        // Probe order is sorted by max_priority desc, so no later group
+        // can beat the best hit either: record the tail as pruned (the
+        // explain contract covers every mask) and stop probing.
+        if (ex) {
+          for (std::size_t j = i; j < probe_order_.size(); ++j)
+            ex->masks.push_back({mask_field_count(probe_order_[j]->mask),
+                                 probe_order_[j]->max_priority,
+                                 /*hit=*/false, /*pruned=*/true});
+        }
+        break;
       }
-      const net::FlowKey masked = mask.apply(key);
+      const net::FlowKey masked = group.mask.apply(key);
       const auto it = group.by_key.find(masked);
       const bool hit = it != group.by_key.end();
       if (ex)
-        ex->masks.push_back({mask_field_count(mask), group.max_priority, hit,
-                             /*pruned=*/false});
+        ex->masks.push_back({mask_field_count(group.mask), group.max_priority,
+                             hit, /*pruned=*/false});
       if (!hit) continue;
       // Buckets are priority-sorted; first better-than-best wins.
       for (const auto& entry : it->second) {
@@ -253,6 +286,18 @@ std::vector<FlowEntryPtr> FlowTable::entries() const {
     for (const auto& [key, bucket] : group.by_key)
       out.insert(out.end(), bucket.begin(), bucket.end());
   return out;
+}
+
+FlowTable FlowTable::clone() const {
+  FlowTable copy = *this;  // structure + counters; entries still shared
+  // The copied probe order still points into *this* table's groups.
+  copy.probe_order_.clear();
+  copy.order_dirty_ = true;
+  for (auto& [mask, group] : copy.groups_)
+    for (auto& [key, bucket] : group.by_key)
+      for (FlowEntryPtr& entry : bucket)
+        entry = std::make_shared<FlowEntry>(*entry);
+  return copy;
 }
 
 }  // namespace zen::dataplane

@@ -129,6 +129,8 @@ class FlowTable {
   // are cumulative observability, not rule state.
   void clear() noexcept {
     groups_.clear();
+    probe_order_.clear();
+    order_dirty_ = false;
     count_ = 0;
   }
 
@@ -140,6 +142,11 @@ class FlowTable {
   // All entries, unordered. Used by stats requests.
   std::vector<FlowEntryPtr> entries() const;
 
+  // Deep copy: every entry is cloned, not shared, so mutations through
+  // either table stay invisible to the other. Bundle commit snapshots
+  // tables through this for all-or-nothing rollback.
+  FlowTable clone() const;
+
  private:
   struct MaskGroup {
     net::FlowMask mask;
@@ -150,6 +157,12 @@ class FlowTable {
 
   void rebuild_group_priority(MaskGroup& group) noexcept;
 
+  // Rebuilds probe_order_ (groups sorted by max_priority desc) if a
+  // mutation invalidated it. Sorted probing lets find_best stop at the
+  // first group that cannot outrank the best hit so far — for the common
+  // exact-match-wins tables that means one probe instead of one per mask.
+  void refresh_probe_order() const;
+
   template <typename Pred>
   std::vector<FlowEntryPtr> remove_if(Pred&& pred);
 
@@ -157,6 +170,10 @@ class FlowTable {
   std::size_t max_entries_ = 0;  // 0 = unbounded
   EvictionPolicy eviction_ = EvictionPolicy::Off;
   std::unordered_map<net::FlowMask, MaskGroup> groups_;
+  // Lookup probe order; lazily rebuilt (pointers stay valid across
+  // unordered_map inserts — only erase invalidates, which marks it dirty).
+  mutable std::vector<const MaskGroup*> probe_order_;
+  mutable bool order_dirty_ = false;
   std::size_t count_ = 0;
   std::uint64_t lookups_ = 0;
   std::uint64_t matches_ = 0;

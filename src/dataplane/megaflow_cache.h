@@ -6,9 +6,10 @@
 // the exact FlowKey. Subsequent packets of the flow skip the classifier.
 //
 // Invalidation is coarse, as in early Open vSwitch: any flow/group table
-// change bumps a global version and stale entries are lazily discarded on
-// their next hit. Capacity eviction is random-replacement (cheap, and what
-// a kernel flow cache approximates under churn).
+// change bumps a global version; the first probe under a new version drops
+// the whole (now entirely stale) table at once. Capacity eviction is
+// random-replacement (cheap, and what a kernel flow cache approximates
+// under churn).
 #pragma once
 
 #include <cstdint>
@@ -49,7 +50,8 @@ class MegaflowCache {
   explicit MegaflowCache(std::size_t capacity = 65536, bool enabled = true)
       : capacity_(capacity), enabled_(enabled) {}
 
-  // Returns the verdict if present and current. Stale entries are erased.
+  // Returns the verdict if present and current. The first call under a new
+  // version drops all (stale) entries.
   const CachedVerdict* find(const net::FlowKey& key, std::uint64_t version);
 
   // Read-only probe for the explain engine: no counter bumps, no stale-entry
@@ -92,6 +94,9 @@ class MegaflowCache {
     std::uint64_t version = 0;
   };
 
+  // Drops every entry when the pipeline version moved past last_version_.
+  void sync_version(std::uint64_t version);
+
   std::size_t capacity_;
   bool enabled_;
   obs::ShardStats* shard_ = nullptr;
@@ -102,6 +107,7 @@ class MegaflowCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t last_version_ = 0;
   std::uint64_t evict_seed_ = 0x9e3779b97f4a7c15ULL;
 };
 

@@ -1001,6 +1001,63 @@ ModStatus Switch::meter_mod(const openflow::MeterMod& mod) {
   return {};
 }
 
+ModStatus Switch::commit_bundle(std::span<const openflow::Message> members,
+                                double now,
+                                std::vector<openflow::FlowRemoved>* removed) {
+  // Snapshot every piece of state a member can touch. Flow tables need a
+  // deep clone (the live tables mutate entries through shared_ptrs);
+  // group/meter tables are plain value types. The commit runs
+  // synchronously — no packet forwards mid-bundle — so an exact restore
+  // is a correct rollback.
+  std::vector<FlowTable> tables_snap;
+  tables_snap.reserve(tables_.size());
+  for (const FlowTable& table : tables_) tables_snap.push_back(table.clone());
+  GroupTable groups_snap = groups_;
+  MeterTable meters_snap = meters_;
+  std::vector<bool> vacancy_snap = vacancy_down_;
+  std::vector<openflow::TableStatus> pending_status_snap =
+      pending_table_status_;
+  const std::uint64_t version_snap = version_;
+  const std::uint64_t evictions_snap = flow_evictions_;
+
+  std::vector<openflow::FlowRemoved> staged;
+  for (const openflow::Message& member : members) {
+    ModStatus status;
+    if (const auto* fm = std::get_if<openflow::FlowMod>(&member)) {
+      status = flow_mod(*fm, now, &staged);
+    } else if (const auto* gm = std::get_if<openflow::GroupMod>(&member)) {
+      status = group_mod(*gm);
+    } else if (const auto* mm = std::get_if<openflow::MeterMod>(&member)) {
+      status = meter_mod(*mm);
+    } else {
+      status = {false, openflow::ErrorType::BundleFailed,
+                openflow::bundle_failed_code::kBadMember};
+    }
+    if (status.ok) continue;
+
+    // Roll back wholesale. Global eviction *metrics* bumped by rolled-back
+    // members stay bumped (cumulative observability, not rule state); the
+    // per-switch eviction counter is restored because audits read it as
+    // state. The version lands on a value never exposed to the cache, so
+    // megaflow entries can never alias across the rollback.
+    tables_ = std::move(tables_snap);
+    groups_ = std::move(groups_snap);
+    meters_ = std::move(meters_snap);
+    vacancy_down_ = std::move(vacancy_snap);
+    pending_table_status_ = std::move(pending_status_snap);
+    flow_evictions_ = evictions_snap;
+    version_ = version_snap + 1;
+    update_occupancy_gauge();
+    obs::FlightRecorder::global().record(obs::FlightEventKind::kBundleRollback,
+                                         dpid_, members.size());
+    return status;
+  }
+  if (removed)
+    removed->insert(removed->end(), std::make_move_iterator(staged.begin()),
+                    std::make_move_iterator(staged.end()));
+  return {};
+}
+
 std::optional<openflow::ControllerRole> Switch::set_controller_role(
     std::uint64_t conn_id, openflow::ControllerRole role,
     std::uint64_t generation_id) {

@@ -159,6 +159,16 @@ class Switch {
   ModStatus group_mod(const openflow::GroupMod& mod);
   ModStatus meter_mod(const openflow::MeterMod& mod);
 
+  // Applies a bundle's members (FlowMod / GroupMod / MeterMod) in order,
+  // all-or-nothing: when any member fails, every earlier member's effect
+  // is rolled back and the failing member's own status is returned, so
+  // the caller sees exactly the error a lone mod would have produced.
+  // FlowRemoved events (evictions, deletes) reach `removed` only when the
+  // whole bundle commits.
+  ModStatus commit_bundle(std::span<const openflow::Message> members,
+                          double now,
+                          std::vector<openflow::FlowRemoved>* removed = nullptr);
+
   openflow::FeaturesReply features() const;
   openflow::FlowStatsReply flow_stats(const openflow::FlowStatsRequest& req,
                                       double now) const;

@@ -1,6 +1,7 @@
 #include "intent/intent_manager.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "net/headers.h"
 #include "obs/slo.h"
@@ -127,20 +128,31 @@ void IntentManager::install(IntentId id, Record& record) {
   // Through the rule store: the install is transactional (re-sent if the
   // channel eats it) and recorded as intended state for later audits.
   auto& store = controller_->rule_store();
+  // One bundle per switch: a switch holds either every rule this intent
+  // needs on it or none, so a mid-path TableFull can't leave a partial
+  // forward/reverse pair silently blackholing.
+  std::vector<controller::Dpid> order;
+  std::unordered_map<controller::Dpid, std::vector<openflow::FlowMod>> per_switch;
   for (auto& rule : record.rules) {
     rule.mod.cookie = id;  // attribution: dataplane stats -> intent
     rule.mod.importance = record.spec.importance;
     // Ask the switch to tell us when the rule leaves the table — that
     // notification is how evictions park the intent as Degraded.
     rule.mod.flags |= openflow::kFlagSendFlowRemoved;
-    store.install(rule.dpid, rule.mod,
-                  [this, id](const std::optional<openflow::Error>& err) {
-                    // The store already retried (evicting its own
-                    // lower-importance rules); a TableFull that still gets
-                    // here means the switch genuinely has no room for us.
-                    if (err && openflow::is_table_full(*err))
-                      mark_degraded(id);
-                  });
+    auto [it, inserted] = per_switch.try_emplace(rule.dpid);
+    if (inserted) order.push_back(rule.dpid);
+    it->second.push_back(rule.mod);
+  }
+  for (const controller::Dpid dpid : order) {
+    store.install_bundle(dpid, std::move(per_switch[dpid]),
+                         [this, id](const std::optional<openflow::Error>& err) {
+                           // The store already retried (evicting its own
+                           // lower-importance rules); a TableFull that still
+                           // gets here means the switch genuinely has no
+                           // room for us.
+                           if (err && openflow::is_table_full(*err))
+                             mark_degraded(id);
+                         });
   }
   record.state = IntentState::Installed;
   ++stats_.compiled;

@@ -2,18 +2,6 @@
 
 namespace zen::net {
 
-namespace {
-
-// 64-bit mix (xxhash-style avalanche).
-constexpr std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
-  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return h;
-}
-
-}  // namespace
-
 std::pair<std::uint64_t, std::uint64_t> FlowKey::split_ipv6(
     const Ipv6Address& addr) noexcept {
   const auto& o = addr.octets();
@@ -23,50 +11,10 @@ std::pair<std::uint64_t, std::uint64_t> FlowKey::split_ipv6(
   return {hi, lo};
 }
 
-std::size_t FlowKey::hash() const noexcept {
-  std::uint64_t h = 0x243f6a8885a308d3ULL;
-  h = mix(h, in_port);
-  h = mix(h, eth_src);
-  h = mix(h, eth_dst);
-  h = mix(h, (std::uint64_t{eth_type} << 32) | (std::uint64_t{vlan_vid} << 16) |
-                 vlan_pcp);
-  h = mix(h, (std::uint64_t{ipv4_src} << 32) | ipv4_dst);
-  if (ipv6_src_hi | ipv6_src_lo | ipv6_dst_hi | ipv6_dst_lo) {
-    h = mix(h, ipv6_src_hi);
-    h = mix(h, ipv6_src_lo);
-    h = mix(h, ipv6_dst_hi);
-    h = mix(h, ipv6_dst_lo);
-  }
-  h = mix(h, (std::uint64_t{ip_proto} << 40) | (std::uint64_t{ip_dscp} << 32) |
-                 (std::uint64_t{l4_src} << 16) | l4_dst);
-  h = mix(h, arp_op);
-  return static_cast<std::size_t>(h);
-}
-
-FlowKey FlowMask::apply(const FlowKey& key) const noexcept {
-  FlowKey out;
-  out.in_port = key.in_port & in_port;
-  out.eth_src = key.eth_src & eth_src;
-  out.eth_dst = key.eth_dst & eth_dst;
-  out.eth_type = key.eth_type & eth_type;
-  out.vlan_vid = key.vlan_vid & vlan_vid;
-  out.vlan_pcp = key.vlan_pcp & vlan_pcp;
-  out.ipv4_src = key.ipv4_src & ipv4_src;
-  out.ipv4_dst = key.ipv4_dst & ipv4_dst;
-  out.ipv6_src_hi = key.ipv6_src_hi & ipv6_src_hi;
-  out.ipv6_src_lo = key.ipv6_src_lo & ipv6_src_lo;
-  out.ipv6_dst_hi = key.ipv6_dst_hi & ipv6_dst_hi;
-  out.ipv6_dst_lo = key.ipv6_dst_lo & ipv6_dst_lo;
-  out.ip_proto = key.ip_proto & ip_proto;
-  out.ip_dscp = key.ip_dscp & ip_dscp;
-  out.l4_src = key.l4_src & l4_src;
-  out.l4_dst = key.l4_dst & l4_dst;
-  out.arp_op = key.arp_op & arp_op;
-  return out;
-}
-
 std::size_t FlowMask::hash() const noexcept {
-  // Reuse FlowKey's mixer by treating the mask as a key.
+  // Reuse FlowKey's mixer by treating the mask as a key. Mask hashing only
+  // runs on table mutation (group lookup/insert), not per packet, so it
+  // stays out of line.
   FlowKey k;
   k.in_port = in_port;
   k.eth_src = eth_src;

@@ -3,7 +3,9 @@
 // The key is a fixed-size POD so hashing and masked comparison are branch-
 // free loops over a handful of integers. Both the flow tables (tuple-space
 // search masks project this struct) and the megaflow exact-match cache key
-// on it.
+// on it. hash() and FlowMask::apply() are header-inline: a tuple-space
+// lookup hashes one projected key per mask group, so they sit on the
+// per-packet fast path.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +15,18 @@
 #include "net/addr.h"
 
 namespace zen::net {
+
+namespace detail {
+
+// 64-bit mix (xxhash-style avalanche).
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace detail
 
 struct FlowKey {
   std::uint32_t in_port = 0;
@@ -37,8 +51,26 @@ struct FlowKey {
 
   friend bool operator==(const FlowKey&, const FlowKey&) = default;
 
-  // Mixes all fields; see flow_key.cc for the avalanche step.
-  std::size_t hash() const noexcept;
+  std::size_t hash() const noexcept {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    h = detail::hash_mix(h, in_port);
+    h = detail::hash_mix(h, eth_src);
+    h = detail::hash_mix(h, eth_dst);
+    h = detail::hash_mix(h, (std::uint64_t{eth_type} << 32) |
+                                (std::uint64_t{vlan_vid} << 16) | vlan_pcp);
+    h = detail::hash_mix(h, (std::uint64_t{ipv4_src} << 32) | ipv4_dst);
+    if (ipv6_src_hi | ipv6_src_lo | ipv6_dst_hi | ipv6_dst_lo) {
+      h = detail::hash_mix(h, ipv6_src_hi);
+      h = detail::hash_mix(h, ipv6_src_lo);
+      h = detail::hash_mix(h, ipv6_dst_hi);
+      h = detail::hash_mix(h, ipv6_dst_lo);
+    }
+    h = detail::hash_mix(h, (std::uint64_t{ip_proto} << 40) |
+                                (std::uint64_t{ip_dscp} << 32) |
+                                (std::uint64_t{l4_src} << 16) | l4_dst);
+    h = detail::hash_mix(h, arp_op);
+    return static_cast<std::size_t>(h);
+  }
 
   // Helpers for the (hi, lo) IPv6 representation.
   static std::pair<std::uint64_t, std::uint64_t> split_ipv6(
@@ -70,7 +102,27 @@ struct FlowMask {
   friend bool operator==(const FlowMask&, const FlowMask&) = default;
 
   // Projects `key` through this mask (field-wise AND).
-  FlowKey apply(const FlowKey& key) const noexcept;
+  FlowKey apply(const FlowKey& key) const noexcept {
+    FlowKey out;
+    out.in_port = key.in_port & in_port;
+    out.eth_src = key.eth_src & eth_src;
+    out.eth_dst = key.eth_dst & eth_dst;
+    out.eth_type = key.eth_type & eth_type;
+    out.vlan_vid = key.vlan_vid & vlan_vid;
+    out.vlan_pcp = key.vlan_pcp & vlan_pcp;
+    out.ipv4_src = key.ipv4_src & ipv4_src;
+    out.ipv4_dst = key.ipv4_dst & ipv4_dst;
+    out.ipv6_src_hi = key.ipv6_src_hi & ipv6_src_hi;
+    out.ipv6_src_lo = key.ipv6_src_lo & ipv6_src_lo;
+    out.ipv6_dst_hi = key.ipv6_dst_hi & ipv6_dst_hi;
+    out.ipv6_dst_lo = key.ipv6_dst_lo & ipv6_dst_lo;
+    out.ip_proto = key.ip_proto & ip_proto;
+    out.ip_dscp = key.ip_dscp & ip_dscp;
+    out.l4_src = key.l4_src & l4_src;
+    out.l4_dst = key.l4_dst & l4_dst;
+    out.arp_op = key.arp_op & arp_op;
+    return out;
+  }
 
   std::size_t hash() const noexcept;
 

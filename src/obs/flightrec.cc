@@ -29,6 +29,7 @@ const char* to_string(FlightEventKind kind) noexcept {
     case FlightEventKind::kVacancyChange: return "vacancy_change";
     case FlightEventKind::kInvariantViolation: return "invariant_violation";
     case FlightEventKind::kInvariantClear: return "invariant_clear";
+    case FlightEventKind::kBundleRollback: return "bundle_rollback";
   }
   return "unknown";
 }

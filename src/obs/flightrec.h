@@ -44,6 +44,7 @@ enum class FlightEventKind : std::uint8_t {
   kInvariantViolation,  // a: dpid (0 = path-level), b: intent id,
                         // tag: blackhole / loop / diverge
   kInvariantClear,      // a: violations resolved, b: epoch
+  kBundleRollback,      // a: dpid, b: member count
 };
 
 const char* to_string(FlightEventKind kind) noexcept;

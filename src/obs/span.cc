@@ -12,13 +12,14 @@ SpanTracer& SpanTracer::global() {
 
 std::uint64_t SpanTracer::key(Key kind, std::uint64_t conn, std::uint64_t dpid,
                               std::uint64_t id) noexcept {
-  // FNV-1a over the four components; collisions only misattribute a span.
+  // Word-wise multiply-xorshift over the four components; collisions only
+  // misattribute a span, and keys are computed on every packet-in and ack,
+  // so four mixes beat a byte-wise FNV loop.
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xff;
-      h *= 1099511628211ull;
-    }
+    h ^= v;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
   };
   mix(static_cast<std::uint64_t>(kind));
   mix(conn);
@@ -145,14 +146,20 @@ void SpanTracer::bind(std::uint64_t key, SpanContext ctx) {
   std::lock_guard<std::mutex> lock(mu_);
   if (bindings_.size() >= kMaxBindings) return;
   bindings_[key] = ctx;
+  binding_count_.store(bindings_.size(), std::memory_order_release);
 }
 
 SpanContext SpanTracer::take(std::uint64_t key) {
+  // With tracing off nothing is ever bound, yet the control path probes
+  // for in-flight spans on every packet-in and ack: skip the lock when the
+  // table is known empty.
+  if (binding_count_.load(std::memory_order_acquire) == 0) return {};
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = bindings_.find(key);
   if (it == bindings_.end()) return {};
   const SpanContext ctx = it->second;
   bindings_.erase(it);
+  binding_count_.store(bindings_.size(), std::memory_order_release);
   return ctx;
 }
 
@@ -181,6 +188,7 @@ void SpanTracer::clear() {
   spans_.clear();
   traces_.clear();
   bindings_.clear();
+  binding_count_.store(0, std::memory_order_release);
   finished_.clear();
   dropped_.store(0, std::memory_order_relaxed);
   abandoned_.store(0, std::memory_order_relaxed);

@@ -190,6 +190,10 @@ class SpanTracer {
   std::unordered_map<std::uint64_t, ActiveSpan> spans_;
   std::unordered_map<std::uint64_t, ActiveTrace> traces_;
   std::unordered_map<std::uint64_t, SpanContext> bindings_;
+  // Mirror of bindings_.size(), readable without mu_: take() probes on
+  // every packet-in/ack even when tracing is off, and with nothing bound
+  // the lock + map lookup are pure overhead.
+  std::atomic<std::size_t> binding_count_{0};
   std::vector<TraceSummary> finished_;
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> abandoned_{0};

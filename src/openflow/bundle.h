@@ -1,0 +1,82 @@
+// Bundles: atomic multi-mod commit over the southbound channel.
+//
+// OpenFlow 1.4 bundles, carried as Experimenter messages so the Message
+// variant stays closed (same pattern as table_status.h). Protocol:
+//
+//   controller                       switch
+//   ----------                      ------
+//   BundleOpen{id}        ->        create empty staging area for id
+//   BundleAdd{id,0,mod}   ->        stage member 0
+//   BundleAdd{id,1,mod}   ->        stage member 1
+//   ...
+//   BundleCommit{id,n}    ->        if exactly members 0..n-1 staged:
+//                                     apply all-or-nothing, ack/error
+//                                   else: discard, Error(BundleFailed)
+//
+// Robustness under a lossy channel:
+//  * BundleAdd carries an explicit member_index, so a duplicated add
+//    overwrites its own slot (idempotent) and a lost add leaves a gap the
+//    commit detects (kBundleIncomplete) instead of silently committing a
+//    partial bundle.
+//  * BundleCommit carries the expected member count for the same reason.
+//  * The switch remembers recently committed bundle ids so a retransmitted
+//    commit acks idempotently instead of double-applying.
+//
+// A member mod that fails during commit rolls back every member and
+// surfaces the member's own error (e.g. FlowModFailed/kTableFull), so the
+// controller-side repair ladders that key on error type work unchanged.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "openflow/messages.h"
+#include "openflow/wire.h"
+#include "util/result.h"
+
+namespace zen::openflow {
+
+// "zenb" — identifies zen bundle experimenter messages.
+inline constexpr std::uint32_t kBundleExperimenterId = 0x7a656e62;
+inline constexpr std::uint32_t kExpTypeBundleOpen = 1;
+inline constexpr std::uint32_t kExpTypeBundleAdd = 2;
+inline constexpr std::uint32_t kExpTypeBundleCommit = 3;
+inline constexpr std::uint32_t kExpTypeBundleDiscard = 4;
+
+struct BundleOpen {
+  std::uint32_t bundle_id = 0;
+};
+
+struct BundleAdd {
+  std::uint32_t bundle_id = 0;
+  // Position within the bundle; commit requires members 0..n-1 present.
+  std::uint32_t member_index = 0;
+  Message member;
+};
+
+struct BundleCommit {
+  std::uint32_t bundle_id = 0;
+  std::uint32_t n_members = 0;
+};
+
+struct BundleDiscard {
+  std::uint32_t bundle_id = 0;
+};
+
+using BundleMessage =
+    std::variant<BundleOpen, BundleAdd, BundleCommit, BundleDiscard>;
+
+Experimenter make_bundle_open(std::uint32_t bundle_id);
+Experimenter make_bundle_add(std::uint32_t bundle_id,
+                             std::uint32_t member_index,
+                             const Message& member);
+Experimenter make_bundle_commit(std::uint32_t bundle_id,
+                                std::uint32_t n_members);
+Experimenter make_bundle_discard(std::uint32_t bundle_id);
+
+// Unwraps a bundle experimenter message. Errors on foreign experimenter
+// ids, unknown exp_types, and malformed payloads (including a corrupt
+// embedded member frame).
+util::Result<BundleMessage> parse_bundle_message(const Experimenter& msg);
+
+}  // namespace zen::openflow

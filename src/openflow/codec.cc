@@ -1,49 +1,29 @@
 #include "openflow/codec.h"
 
-#include <cstring>
-
-#include "util/buffer.h"
+#include "openflow/constants.h"
 #include "util/strings.h"
 
 namespace zen::openflow {
 
-Bytes encode(const Message& msg, Xid xid) {
-  Bytes out;
-  out.reserve(64);
-  util::ByteWriter w(out);
-  w.u8(kProtocolVersion);
-  w.u8(static_cast<std::uint8_t>(type_of(msg)));
-  const std::size_t len_offset = w.size();
-  w.u32(0);  // length placeholder
-  w.u32(xid);
-  encode_body(msg, w);
-  // Patch the 32-bit length (ByteWriter::patch_u16 patches 16 bits; message
-  // sizes here always fit, but write both halves for correctness).
-  const auto total = static_cast<std::uint32_t>(out.size());
-  out[len_offset] = static_cast<std::uint8_t>(total >> 24);
-  out[len_offset + 1] = static_cast<std::uint8_t>(total >> 16);
-  out[len_offset + 2] = static_cast<std::uint8_t>(total >> 8);
-  out[len_offset + 3] = static_cast<std::uint8_t>(total);
-  return out;
-}
+// Deprecated v1 shim, kept as the equivalence baseline: same bytes as the
+// arena writer, one fresh allocation per message.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+Bytes encode(const Message& msg, Xid xid) { return encode_frame(msg, xid); }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 util::Result<OwnedMessage> decode(std::span<const std::uint8_t> frame) {
-  util::ByteReader r(frame);
-  const std::uint8_t version = r.u8();
-  const auto type = static_cast<MsgType>(r.u8());
-  const std::uint32_t length = r.u32();
-  const Xid xid = r.u32();
-  if (!r.ok()) return util::make_error<OwnedMessage>("truncated header");
-  if (version != kProtocolVersion)
-    return util::make_error<OwnedMessage>(
-        util::format("bad version 0x%02x", version));
-  if (length != frame.size())
+  auto view = parse_frame(frame);
+  if (!view.ok()) return util::make_error<OwnedMessage>(view.error());
+  if (view.value().frame.size() != frame.size())
     return util::make_error<OwnedMessage>(util::format(
-        "length mismatch: header says %u, frame is %zu", length, frame.size()));
-
-  auto body = decode_body(type, r);
-  if (!body.ok()) return util::make_error<OwnedMessage>(body.error());
-  return OwnedMessage{xid, std::move(body).value()};
+        "length mismatch: header says %zu, frame is %zu",
+        view.value().frame.size(), frame.size()));
+  return decode_frame(view.value());
 }
 
 void MessageStream::feed(std::span<const std::uint8_t> data) {

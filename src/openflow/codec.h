@@ -1,4 +1,4 @@
-// Framing codec: header handling and stream reassembly.
+// Framing codec v1 surface: per-message encode shim and stream reassembly.
 //
 // Wire layout (all big-endian):
 //   u8  version   (kProtocolVersion)
@@ -7,31 +7,30 @@
 //   u32 xid       (transaction id, echoed in replies)
 //   ... body
 //
-// MessageStream accumulates bytes from a byte-stream transport and yields
-// complete messages; partial messages stay buffered. This is the piece that
-// makes the in-process channel behave like a real TCP southbound channel.
+// The arena-based v2 API lives in wire.h (WireArena / FrameWriter /
+// FrameView / BatchReader); this header keeps the two pieces of the v1
+// surface that still earn their place:
+//
+//  * encode(): a deprecated one-allocation-per-message shim, kept so the
+//    v1-vs-v2 byte-equivalence suite has something to diff against.
+//  * MessageStream: reassembly for a byte-stream transport (TCP-like
+//    split/coalesced delivery). The in-process channel now delivers whole
+//    flushed batches, which BatchReader walks without buffering, but the
+//    stream model is still what a real socket southbound needs.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <vector>
 
 #include "openflow/messages.h"
+#include "openflow/wire.h"
 #include "util/result.h"
 
 namespace zen::openflow {
 
-// Transaction id: assigned per southbound send, echoed in replies/errors so
-// callers can correlate outcomes (see Controller's completion callbacks).
-using Xid = std::uint32_t;
-
-struct OwnedMessage {
-  Xid xid = 0;
-  Message msg;
-};
-
-// Serializes one message with its header.
+// Serializes one message with its header into a fresh buffer.
+[[deprecated("use WireArena::append or encode_frame (openflow/wire.h)")]]
 Bytes encode(const Message& msg, Xid xid);
 
 // Decodes exactly one message from `frame` (which must be a whole message).

@@ -110,6 +110,7 @@ enum class ErrorType : std::uint16_t {
   FlowModFailed = 5,
   GroupModFailed = 6,
   MeterModFailed = 12,
+  BundleFailed = 13,
 };
 
 // ErrorType::FlowModFailed codes.
@@ -118,6 +119,18 @@ inline constexpr std::uint16_t kBadTableId = 1;
 // The table has no room and eviction is off or could not free space.
 inline constexpr std::uint16_t kTableFull = 2;
 }  // namespace flow_mod_failed_code
+
+// ErrorType::BundleFailed codes. Only bundle-mechanism failures use these;
+// a member mod that fails during commit surfaces its own error type/code
+// (e.g. FlowModFailed/kTableFull) so existing repair ladders apply.
+namespace bundle_failed_code {
+inline constexpr std::uint16_t kUnknownBundle = 1;
+// Commit's member count disagrees with what was staged (lost/reordered adds).
+inline constexpr std::uint16_t kBundleIncomplete = 2;
+// A staged member is not a mod message.
+inline constexpr std::uint16_t kBadMember = 3;
+inline constexpr std::uint16_t kTooManyMembers = 4;
+}  // namespace bundle_failed_code
 
 // FlowMod flags.
 inline constexpr std::uint16_t kFlagSendFlowRemoved = 0x0001;

@@ -25,25 +25,25 @@ struct QueueMetrics {
 }  // namespace
 
 void EventQueue::schedule_at(double at, Callback fn) {
-  queue_.push(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  heap_.push_back(Event{std::max(at, now_), next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool EventQueue::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (std::function copy is cheap enough here).
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.at;
   ev.fn();
   auto& metrics = QueueMetrics::get();
   metrics.events.inc();
-  metrics.depth.set(static_cast<double>(queue_.size()));
+  metrics.depth.set(static_cast<double>(heap_.size()));
   return true;
 }
 
 void EventQueue::run_until(double until) {
-  while (!queue_.empty() && queue_.top().at <= until) step();
+  while (!heap_.empty() && heap_.front().at <= until) step();
   now_ = std::max(now_, until);
 }
 

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace zen::sim {
@@ -35,8 +34,8 @@ class EventQueue {
   // Runs until the queue is empty or `max_events` fired.
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
 
  private:
   struct Event {
@@ -53,7 +52,10 @@ class EventQueue {
 
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // A raw binary heap instead of std::priority_queue: top() is const there,
+  // which forces step() to *copy* the callback (and any captured packet
+  // buffers) out of the queue. pop_heap + move keeps delivery zero-copy.
+  std::vector<Event> heap_;
 };
 
 }  // namespace zen::sim

@@ -385,6 +385,20 @@ dataplane::ModStatus SimNetwork::meter_mod(topo::NodeId sw,
   return switches_.at(sw)->meter_mod(mod);
 }
 
+dataplane::ModStatus SimNetwork::commit_bundle(
+    topo::NodeId sw, std::span<const openflow::Message> members) {
+  if (!switch_up(sw)) return switch_down_status();
+  std::vector<openflow::FlowRemoved> removed;
+  const auto status = switches_.at(sw)->commit_bundle(members, now(), &removed);
+  // Removals (evictions/deletes) surface only for a committed bundle; a
+  // rolled-back attempt produced no observable dataplane events.
+  for (const auto& fr : removed)
+    for (const auto& handler : event_handlers_)
+      handler(sw, openflow::Message{fr});
+  flush_table_status(sw);
+  return status;
+}
+
 void SimNetwork::packet_out(topo::NodeId sw, const openflow::PacketOut& msg) {
   if (!switch_up(sw)) return;
   handle_forward_result(sw, switches_.at(sw)->packet_out(now(), msg));

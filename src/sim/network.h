@@ -108,6 +108,11 @@ class SimNetwork {
   dataplane::ModStatus flow_mod(topo::NodeId sw, const openflow::FlowMod& mod);
   dataplane::ModStatus group_mod(topo::NodeId sw, const openflow::GroupMod& mod);
   dataplane::ModStatus meter_mod(topo::NodeId sw, const openflow::MeterMod& mod);
+  // Atomic multi-mod apply (bundle commit): members apply all-or-nothing
+  // on the switch; FlowRemoved fan-out happens only when the bundle
+  // commits (see dataplane::Switch::commit_bundle).
+  dataplane::ModStatus commit_bundle(topo::NodeId sw,
+                                     std::span<const openflow::Message> members);
   void packet_out(topo::NodeId sw, const openflow::PacketOut& msg);
 
   // ---- failure injection ----

@@ -4,84 +4,10 @@
 
 namespace zen::util {
 
-void ByteWriter::u16(std::uint16_t v) {
-  out_.push_back(static_cast<std::uint8_t>(v >> 8));
-  out_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void ByteWriter::u32(std::uint32_t v) {
-  out_.push_back(static_cast<std::uint8_t>(v >> 24));
-  out_.push_back(static_cast<std::uint8_t>(v >> 16));
-  out_.push_back(static_cast<std::uint8_t>(v >> 8));
-  out_.push_back(static_cast<std::uint8_t>(v));
-}
-
-void ByteWriter::u64(std::uint64_t v) {
-  u32(static_cast<std::uint32_t>(v >> 32));
-  u32(static_cast<std::uint32_t>(v));
-}
-
-void ByteWriter::bytes(std::span<const std::uint8_t> data) {
-  out_.insert(out_.end(), data.begin(), data.end());
-}
-
-void ByteWriter::zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
-
 void ByteWriter::fixed_string(std::string_view s, std::size_t width) {
   const std::size_t n = std::min(s.size(), width);
   out_.insert(out_.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
   zeros(width - n);
-}
-
-void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
-  out_[offset] = static_cast<std::uint8_t>(v >> 8);
-  out_[offset + 1] = static_cast<std::uint8_t>(v);
-}
-
-bool ByteReader::ensure(std::size_t n) noexcept {
-  if (failed_ || data_.size() - pos_ < n) {
-    failed_ = true;
-    return false;
-  }
-  return true;
-}
-
-std::uint8_t ByteReader::u8() {
-  if (!ensure(1)) return 0;
-  return data_[pos_++];
-}
-
-std::uint16_t ByteReader::u16() {
-  if (!ensure(2)) return 0;
-  const std::uint16_t v = static_cast<std::uint16_t>(
-      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
-  pos_ += 2;
-  return v;
-}
-
-std::uint32_t ByteReader::u32() {
-  if (!ensure(4)) return 0;
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
-  pos_ += 4;
-  return v;
-}
-
-std::uint64_t ByteReader::u64() {
-  const std::uint64_t hi = u32();
-  const std::uint64_t lo = u32();
-  return (hi << 32) | lo;
-}
-
-void ByteReader::bytes(std::span<std::uint8_t> out) {
-  if (!ensure(out.size())) return;
-  std::memcpy(out.data(), data_.data() + pos_, out.size());
-  pos_ += out.size();
-}
-
-void ByteReader::skip(std::size_t n) {
-  if (!ensure(n)) return;
-  pos_ += n;
 }
 
 std::string ByteReader::fixed_string(std::size_t width) {

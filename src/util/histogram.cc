@@ -1,7 +1,9 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 
 namespace zen::util {
@@ -22,8 +24,13 @@ std::size_t Histogram::bucket_for(double value) noexcept {
     const auto idx = static_cast<std::size_t>(value * kSubBuckets);
     return std::min<std::size_t>(idx, kSubBuckets - 1);
   }
-  const int octave = std::min(static_cast<int>(std::log2(value)), kOctaves - 1);
-  const double base = std::exp2(octave);
+  // floor(log2(value)) and 2^octave straight from the exponent bits: record
+  // runs on every latency sample, and the libm log2/exp2 pair dominates it.
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+  const int octave =
+      std::min(static_cast<int>(bits >> 52) - 1023, kOctaves - 1);
+  const double base =
+      std::bit_cast<double>(std::uint64_t{1023 + octave} << 52);
   const auto sub = static_cast<std::size_t>((value - base) / base * kSubBuckets);
   return static_cast<std::size_t>(octave) * kSubBuckets +
          std::min<std::size_t>(sub, kSubBuckets - 1) + 1;

@@ -449,10 +449,12 @@ TEST_F(EcmpGroupFixture, RoutesWithdrawnWhenDestinationUnreachable) {
 // all deterministic functions of the topology, never of hash-map iteration
 // order or allocation history.
 TEST(L3RoutingDeterminism, GoldenSouthboundStream) {
-  auto run_once = [] {
+  auto run_once = [](bool batch_southbound) {
     std::vector<std::uint8_t> stream;
     sim::SimNetwork net(topo::make_fat_tree(4), drop_miss_options());
-    Controller ctrl(net);
+    Controller::Options copts;
+    copts.batch_southbound = batch_southbound;
+    Controller ctrl(net, copts);
     ctrl.set_southbound_tap([&](Dpid dpid, const openflow::Message& msg) {
       const auto type = openflow::type_of(msg);
       if (type != openflow::MsgType::FlowMod &&
@@ -462,7 +464,7 @@ TEST(L3RoutingDeterminism, GoldenSouthboundStream) {
         stream.push_back(static_cast<std::uint8_t>(dpid >> shift));
       // Fixed xid: the fingerprint covers content and order, not the
       // controller's xid allocation.
-      const openflow::Bytes bytes = openflow::encode(msg, 0);
+      const openflow::Bytes bytes = openflow::encode_frame(msg, 0);
       stream.insert(stream.end(), bytes.begin(), bytes.end());
     });
     Discovery::Options disc;
@@ -483,10 +485,16 @@ TEST(L3RoutingDeterminism, GoldenSouthboundStream) {
     return stream;
   };
 
-  const std::vector<std::uint8_t> first = run_once();
-  const std::vector<std::uint8_t> second = run_once();
+  const std::vector<std::uint8_t> first = run_once(true);
+  const std::vector<std::uint8_t> second = run_once(true);
   ASSERT_FALSE(first.empty());
   EXPECT_EQ(first, second);
+
+  // Batched flushes change only the framing on the wire, never what the
+  // controller decides to send: turning batching off must reproduce the
+  // exact same southbound stream.
+  const std::vector<std::uint8_t> unbatched = run_once(false);
+  EXPECT_EQ(first, unbatched);
 }
 
 }  // namespace

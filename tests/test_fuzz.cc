@@ -103,7 +103,7 @@ TEST(FuzzCodec, CorruptedValidMessagesIntoDecoder) {
       .ipv4_dst(net::Ipv4Address(10, 0, 0, 1), 24)
       .l4_dst(80);
   mod.instructions = openflow::output_to(3);
-  const openflow::Bytes base = openflow::encode(openflow::Message{mod}, 42);
+  const openflow::Bytes base = openflow::encode_frame(openflow::Message{mod}, 42);
   for (int i = 0; i < 20000; ++i) {
     openflow::Bytes wire = base;
     const int flips = 1 + static_cast<int>(rng.next_below(6));
@@ -123,7 +123,7 @@ TEST(FuzzCodec, StreamWithGarbageInterleaved) {
     openflow::MessageStream stream;
     // Valid prefix...
     const auto good =
-        openflow::encode(openflow::Message{openflow::BarrierRequest{}}, 1);
+        openflow::encode_frame(openflow::Message{openflow::BarrierRequest{}}, 1);
     stream.feed(good);
     int decoded = 0;
     while (auto msg = stream.next()) {
@@ -365,7 +365,7 @@ TEST(FuzzTableStatus, CorruptedWireFramesThroughDecoder) {
   status.table_id = 1;
   status.active_count = 60;
   status.max_entries = 64;
-  const openflow::Bytes base = openflow::encode(
+  const openflow::Bytes base = openflow::encode_frame(
       openflow::Message{openflow::make_table_status_message(status)}, 99);
   for (int i = 0; i < 20000; ++i) {
     openflow::Bytes wire = base;
@@ -393,7 +393,7 @@ TEST(FuzzError, TableFullErrorRoundTripsAndClassifies) {
   err.data = {0xde, 0xad, 0xbe, 0xef};
   ASSERT_TRUE(openflow::is_table_full(err));
 
-  const openflow::Bytes wire = openflow::encode(openflow::Message{err}, 7);
+  const openflow::Bytes wire = openflow::encode_frame(openflow::Message{err}, 7);
   auto decoded = openflow::decode(wire);
   ASSERT_TRUE(decoded.ok());
   const auto* back = std::get_if<openflow::ErrorMsg>(&decoded.value().msg);
@@ -412,7 +412,7 @@ TEST(FuzzError, TruncatedAndCorruptedTableFullFramesNeverCrash) {
   err.type = openflow::ErrorType::FlowModFailed;
   err.code = openflow::flow_mod_failed_code::kTableFull;
   err.data = std::vector<std::uint8_t>(24, 0x5a);
-  const openflow::Bytes base = openflow::encode(openflow::Message{err}, 3);
+  const openflow::Bytes base = openflow::encode_frame(openflow::Message{err}, 3);
   // Every truncation either fails to decode or yields a consistent error.
   for (std::size_t len = 0; len < base.size(); ++len) {
     openflow::Bytes cut(base.begin(),

@@ -21,8 +21,10 @@ namespace {
 // enabled and one invariant-monitor sweep. Sorted.
 const char* const kGoldenNames[] = {
     "zen_controller_app_packet_ins_total",
+    "zen_controller_channel_batch_frames",
     "zen_controller_channel_bytes_total",
     "zen_controller_channel_duplicated_total",
+    "zen_controller_channel_flushes_total",
     "zen_controller_channel_lost_total",
     "zen_controller_channel_messages_total",
     "zen_controller_channel_queue_depth",

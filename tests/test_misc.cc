@@ -19,12 +19,12 @@ TEST(Channel, DeliversInOrderAfterLatency) {
   sim::EventQueue events;
   controller::Channel channel(events, 0.001);
   std::vector<int> received;
-  channel.set_b_receiver([&](std::vector<std::uint8_t> bytes) {
+  channel.set_receiver(controller::Channel::Side::B, [&](std::vector<std::uint8_t> bytes) {
     received.push_back(bytes[0]);
   });
-  channel.send_to_b({1});
-  channel.send_to_b({2});
-  channel.send_to_b({3});
+  channel.send(controller::Channel::Side::B, {1});
+  channel.send(controller::Channel::Side::B, {2});
+  channel.send(controller::Channel::Side::B, {3});
   EXPECT_TRUE(received.empty());  // latency not yet elapsed
   events.run_until(0.0005);
   EXPECT_TRUE(received.empty());
@@ -35,11 +35,11 @@ TEST(Channel, DeliversInOrderAfterLatency) {
 TEST(Channel, CountsBytesAndMessagesPerDirection) {
   sim::EventQueue events;
   controller::Channel channel(events, 0.0);
-  channel.set_a_receiver([](std::vector<std::uint8_t>) {});
-  channel.set_b_receiver([](std::vector<std::uint8_t>) {});
-  channel.send_to_b({1, 2, 3});
-  channel.send_to_b({4});
-  channel.send_to_a({5, 6});
+  channel.set_receiver(controller::Channel::Side::A, [](std::vector<std::uint8_t>) {});
+  channel.set_receiver(controller::Channel::Side::B, [](std::vector<std::uint8_t>) {});
+  channel.send(controller::Channel::Side::B, {1, 2, 3});
+  channel.send(controller::Channel::Side::B, {4});
+  channel.send(controller::Channel::Side::A, {5, 6});
   events.run(100);
   EXPECT_EQ(channel.messages_a_to_b(), 2u);
   EXPECT_EQ(channel.bytes_a_to_b(), 4u);

@@ -136,7 +136,7 @@ TEST(RoleCodec, RoundtripRoleMessages) {
   openflow::RoleRequest req;
   req.role = ControllerRole::Master;
   req.generation_id = 0x123456789abcdef0ULL;
-  const auto wire = openflow::encode(openflow::Message{req}, 7);
+  const auto wire = openflow::encode_frame(openflow::Message{req}, 7);
   auto decoded = openflow::decode(wire);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(std::get<openflow::RoleRequest>(decoded.value().msg), req);
@@ -145,7 +145,7 @@ TEST(RoleCodec, RoundtripRoleMessages) {
   reply.role = ControllerRole::Slave;
   reply.generation_id = 42;
   reply.accepted = false;
-  const auto wire2 = openflow::encode(openflow::Message{reply}, 8);
+  const auto wire2 = openflow::encode_frame(openflow::Message{reply}, 8);
   auto decoded2 = openflow::decode(wire2);
   ASSERT_TRUE(decoded2.ok());
   EXPECT_EQ(std::get<openflow::RoleReply>(decoded2.value().msg), reply);

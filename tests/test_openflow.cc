@@ -174,7 +174,7 @@ TEST(Instructions, OutputToHelper) {
 
 template <typename T>
 void expect_roundtrip(const T& msg, Xid xid = 0x12345678) {
-  const Bytes wire = encode(Message{msg}, xid);
+  const Bytes wire = encode_frame(Message{msg}, xid);
   auto decoded = decode(wire);
   ASSERT_TRUE(decoded.ok()) << decoded.error();
   EXPECT_EQ(decoded.value().xid, xid);
@@ -337,13 +337,13 @@ TEST(Codec, StatsRoundtrips) {
 }
 
 TEST(Codec, RejectsBadVersion) {
-  Bytes wire = encode(Message{Hello{}}, 1);
+  Bytes wire = encode_frame(Message{Hello{}}, 1);
   wire[0] = 0x01;
   EXPECT_FALSE(decode(wire).ok());
 }
 
 TEST(Codec, RejectsLengthMismatch) {
-  Bytes wire = encode(Message{Hello{}}, 1);
+  Bytes wire = encode_frame(Message{Hello{}}, 1);
   wire.push_back(0);
   EXPECT_FALSE(decode(wire).ok());
 }
@@ -351,8 +351,8 @@ TEST(Codec, RejectsLengthMismatch) {
 // ---- stream framing ----
 
 TEST(Stream, ReassemblesByteByByte) {
-  const Bytes a = encode(Message{EchoRequest{{1, 2, 3}}}, 10);
-  const Bytes b = encode(Message{BarrierRequest{}}, 11);
+  const Bytes a = encode_frame(Message{EchoRequest{{1, 2, 3}}}, 10);
+  const Bytes b = encode_frame(Message{BarrierRequest{}}, 11);
   Bytes joined = a;
   joined.insert(joined.end(), b.begin(), b.end());
 
@@ -375,7 +375,7 @@ TEST(Stream, HandlesManyMessagesInOneFeed) {
   Bytes all;
   const int n = 100;
   for (int i = 0; i < n; ++i) {
-    const Bytes one = encode(Message{EchoRequest{{static_cast<std::uint8_t>(i)}}},
+    const Bytes one = encode_frame(Message{EchoRequest{{static_cast<std::uint8_t>(i)}}},
                              static_cast<std::uint16_t>(i));
     all.insert(all.end(), one.begin(), one.end());
   }
@@ -409,7 +409,7 @@ TEST(Stream, RandomizedRoundtripProperty) {
     Bytes data(rng.next_below(64));
     for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.next_u64());
     const Bytes one =
-        encode(Message{EchoRequest{data}}, static_cast<std::uint16_t>(i));
+        encode_frame(Message{EchoRequest{data}}, static_cast<std::uint16_t>(i));
     sent.push_back(data);
     wire.insert(wire.end(), one.begin(), one.end());
   }

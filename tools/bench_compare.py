@@ -27,6 +27,7 @@ DEFAULT_GATES = [
     "BM_SimulatorPacketRate",
     "BM_ProactiveRecompute/8",
     "BM_ReactiveFlowSetupRate",
+    "BM_SouthboundEncodeThroughput/64",
 ]
 
 
