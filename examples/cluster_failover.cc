@@ -1,0 +1,279 @@
+// Cluster failover: delegated controllers surviving the death of both
+// the root coordinator and a group delegate.
+//
+//   $ ./cluster_failover [seed]     # default seed 42
+//
+// A leaf-spine fabric is partitioned into four controller groups: one
+// root coordinator plus four delegates, each Master over its own group
+// (the paper's delegation argument applied to the control plane itself).
+// The run then stages the two failure modes the design must absorb:
+//
+//   1. Root death under load — the root is halted mid packet-in storm.
+//      Intra-group forwarding must not drop a single packet (delegates
+//      never needed the root for local flows), the coordinator role must
+//      move to a surviving delegate, and cross-group first-packet RPCs
+//      must recover through it.
+//
+//   2. Delegate split-brain — a delegate is partitioned off (NOT halted:
+//      it keeps running and believes itself Master). Heartbeat misses
+//      must detect it within budget, a surviving delegate must adopt its
+//      group (scope growth, Master claim at a bumped election epoch,
+//      directory import, intent re-homing, rule re-audit), and every
+//      late write the zombie issues after the epoch bump — surviving a
+//      lossy, jittering channel — must be fenced at the switches.
+//
+// CI gate: exits 0 only when every staged assertion holds; the run is
+// deterministic per seed (two runs with the same seed print identical
+// output). Writes cluster_metrics.prom; on failure also dumps the flight
+// recorder ring to cluster_flightrec.json.
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/zen.h"
+
+using namespace zen;
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("%s %s\n", ok ? "[ ok ]" : "[FAIL]", what.c_str());
+  if (!ok) ++failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  obs::FlightRecorder::global().arm_crash_dump("cluster_flightrec.json");
+
+  sim::SimNetwork net(topo::make_leaf_spine(4, 8, 2));
+  cluster::ClusterOptions opts;
+  opts.n_groups = 4;
+  opts.partition_seed = seed;
+  cluster::ClusterManager cluster(net, opts);
+  cluster.start();
+
+  std::printf("cluster_failover seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("[setup] groups=%zu borders=%zu controllers=%zu\n",
+              cluster.partition().size(), cluster.borders().size(),
+              cluster.controller_count());
+
+  // Hosts by group (in a leaf-spine no two spines are adjacent, so every
+  // connected group of >= 2 switches holds a leaf and therefore hosts;
+  // still, guard against tiny groups).
+  const auto& attachments = net.generated().attachments;
+  std::vector<std::vector<topo::NodeId>> group_hosts(opts.n_groups);
+  for (const auto& att : attachments) {
+    group_hosts[cluster.group_of(att.sw)].push_back(att.host);
+  }
+
+  std::unordered_map<topo::NodeId, std::uint64_t> expect;
+  const auto send_at = [&](double t, topo::NodeId src, topo::NodeId dst) {
+    ++expect[dst];
+    net.events().schedule_at(t, [&net, src, dst] {
+      net.host_at(src).send_udp(net.host_at(dst).ip(), 4000, 4001, 64);
+    });
+  };
+  const auto all_delivered = [&]() {
+    for (const auto& att : attachments) {
+      const auto want = expect.count(att.host) ? expect[att.host] : 0;
+      if (net.host_at(att.host).stats().udp_received != want) return false;
+    }
+    return true;
+  };
+
+  // ---- warm-up: every host speaks once inside its group, then one
+  // cross-group pair per group ring edge, so views, the directory and
+  // first transit routes all exist before anything is killed.
+  double t = 1.0;
+  for (std::size_t g = 0; g < group_hosts.size(); ++g) {
+    const auto& hosts = group_hosts[g];
+    if (hosts.size() < 2) continue;
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      send_at(t, hosts[i], hosts[(i + 1) % hosts.size()]);
+      t += 0.01;
+    }
+  }
+  for (std::size_t g = 0; g < group_hosts.size(); ++g) {
+    const auto& from = group_hosts[g];
+    const auto& to = group_hosts[(g + 1) % group_hosts.size()];
+    if (from.empty() || to.empty()) continue;
+    send_at(2.5 + 0.05 * static_cast<double>(g), from[0], to[0]);
+  }
+  net.run_until(3.5);
+  check(all_delivered(), "warm-up: all intra- and cross-group flows delivered");
+  check(cluster.directory_size() == attachments.size(),
+        "warm-up: directory knows every host (" +
+            std::to_string(cluster.directory_size()) + "/" +
+            std::to_string(attachments.size()) + ")");
+
+  // The victim delegate for phase 2: first non-coordinator-successor
+  // group with enough hosts to matter. An intent pinned to it must
+  // survive its owner's death.
+  std::size_t victim_group = 1;
+  while (victim_group < group_hosts.size() &&
+         group_hosts[victim_group].size() < 2) {
+    ++victim_group;
+  }
+  check(victim_group < group_hosts.size(), "setup: found a victim group");
+  if (failures) {
+    std::printf("RESULT FAIL\n");
+    return 1;
+  }
+  intent::IntentSpec spec;
+  spec.kind = intent::IntentKind::PointToPoint;
+  spec.src = net.host_at(group_hosts[victim_group][0]).ip();
+  spec.dst = net.host_at(group_hosts[victim_group][1]).ip();
+  const std::uint64_t intent_id = cluster.submit_intent(victim_group, spec);
+  net.run_until(4.0);
+  check(cluster.intent_state(intent_id) == intent::IntentState::Installed,
+        "warm-up: victim-group intent installed");
+
+  // ---- phase 1: root death under a seeded intra-group packet-in storm.
+  cluster.kill_controller(0);
+  std::printf("[phase1] root halted at t=%.2f\n", net.now());
+  std::mt19937_64 rng(seed);
+  int storm_sends = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t g = rng() % group_hosts.size();
+    const auto& hosts = group_hosts[g];
+    if (hosts.size() < 2) continue;
+    const std::size_t a = rng() % hosts.size();
+    std::size_t b = rng() % hosts.size();
+    if (a == b) b = (b + 1) % hosts.size();
+    send_at(4.0 + 0.0075 * i, hosts[a], hosts[b]);
+    ++storm_sends;
+  }
+  net.run_until(6.5);
+  std::printf("[phase1] storm=%d sends\n", storm_sends);
+  check(all_delivered(),
+        "phase1: intra-group delivery 100% while the root is dead");
+  check(cluster.coordinator() == 1,
+        "phase1: coordinator moved to the lowest live delegate");
+  // Fresh cross-group pair: its first-packet RPC must recover through the
+  // new coordinator.
+  {
+    const auto& from = group_hosts[victim_group];
+    const auto& to = group_hosts[0].empty() ? group_hosts[2] : group_hosts[0];
+    send_at(net.now() + 0.1, from[1], to[to.size() - 1]);
+  }
+  net.run_until(7.0);
+  check(all_delivered(), "phase1: cross-group RPCs recovered post-root-death");
+
+  // ---- phase 2: delegate split-brain. Isolation, not halt: the zombie
+  // keeps running and still believes it is Master.
+  const std::size_t victim_idx = 1 + victim_group;
+  const double isolated_at = net.now();
+  cluster.isolate_controller(victim_idx);
+  std::printf("[phase2] delegate %zu (group %zu) isolated at t=%.2f\n",
+              victim_idx, victim_group, isolated_at);
+  net.run_until(isolated_at + 1.5);
+
+  check(cluster.takeovers().size() == 1, "phase2: exactly one takeover ran");
+  if (cluster.takeovers().size() == 1) {
+    const auto& takeover = cluster.takeovers()[0];
+    const double budget = cluster.failover().detection_budget_s() +
+                          opts.takeover_slo_threshold_s;
+    check(takeover.group == victim_group && takeover.adopter == 1,
+          "phase2: surviving delegate adopted the victim group");
+    check(takeover.complete(), "phase2: roles granted and audits converged");
+    std::printf("[phase2] takeover duration=%.3fs (budget %.3fs)\n",
+                takeover.finished_s - isolated_at, budget);
+    check(takeover.finished_s - isolated_at <= budget,
+          "phase2: detection + promotion + re-audit within budget");
+    check(takeover.intents_adopted == 1,
+          "phase2: victim's intent re-homed to the adopter");
+  }
+  check(cluster.owner_of(victim_group) == 1,
+        "phase2: ownership table reflects the adoption");
+  check(cluster.intent_state(intent_id) == intent::IntentState::Installed,
+        "phase2: adopted intent re-compiled to Installed");
+  for (const topo::NodeId sw : cluster.partition().groups[victim_group]) {
+    if (cluster.controller_at(1).role(sw) != openflow::ControllerRole::Master) {
+      check(false, "phase2: adopter is Master of switch " + std::to_string(sw));
+    }
+  }
+
+  // The zombie fires late writes through a lossy, duplicating, jittering
+  // channel. Every copy that survives arrives after the adopter's epoch
+  // bump — and must bounce off role fencing at the switch.
+  auto& zombie = cluster.controller_at(victim_idx);
+  controller::ChannelFaults faults;
+  faults.loss_prob = 0.3;
+  faults.duplicate_prob = 0.3;
+  faults.extra_delay_max_s = 0.2;
+  faults.seed = seed ^ 0x5eedf00dULL;
+  zombie.set_channel_faults(faults);
+
+  const std::uint64_t zombie_errors_before = zombie.stats().errors_received;
+  std::vector<std::size_t> acked_before;
+  for (const topo::NodeId sw : cluster.partition().groups[victim_group]) {
+    const controller::SwitchAgent* agent = zombie.agent(sw);
+    acked_before.push_back(agent ? agent->acked_mods().size() : 0);
+  }
+  openflow::FlowMod stale;
+  stale.priority = 31337;
+  stale.match.l4_dst(6666);
+  stale.instructions = openflow::output_to(1);
+  for (const topo::NodeId sw : cluster.partition().groups[victim_group]) {
+    for (int i = 0; i < 4; ++i) zombie.flow_mod(sw, stale);
+  }
+  net.run_until(net.now() + 1.0);
+
+  const std::uint64_t zombie_errors =
+      zombie.stats().errors_received - zombie_errors_before;
+  std::printf("[phase2] zombie write errors bounced=%llu\n",
+              static_cast<unsigned long long>(zombie_errors));
+  check(zombie_errors > 0, "phase2: zombie writes drew role-fencing errors");
+  std::size_t slot = 0;
+  for (const topo::NodeId sw : cluster.partition().groups[victim_group]) {
+    const auto stats = net.switch_at(sw).flow_stats(openflow::FlowStatsRequest{}, 0);
+    bool clean = true;
+    for (const auto& entry : stats.entries) {
+      if (entry.priority == 31337) clean = false;
+    }
+    check(clean, "phase2: no stale rule installed on switch " +
+                     std::to_string(sw));
+    const controller::SwitchAgent* agent = zombie.agent(sw);
+    check(agent && agent->acked_mods().size() == acked_before[slot],
+          "phase2: switch " + std::to_string(sw) +
+              " acked nothing from the zombie");
+    ++slot;
+  }
+
+  // ---- phase 3: life goes on — the adopted group forwards under its new
+  // owner, including cross-group flows into it.
+  {
+    const auto& hosts = group_hosts[victim_group];
+    send_at(net.now() + 0.1, hosts[1], hosts[0]);
+    for (std::size_t g = 0; g < group_hosts.size(); ++g) {
+      if (g == victim_group || group_hosts[g].empty()) continue;
+      send_at(net.now() + 0.2, group_hosts[g][0], hosts[1]);
+      break;
+    }
+  }
+  net.run_until(net.now() + 2.0);
+  check(all_delivered(), "phase3: adopted-group traffic flows under new owner");
+
+  const std::string prom = obs::MetricsRegistry::global().render_prometheus();
+  if (std::FILE* f = std::fopen("cluster_metrics.prom", "w")) {
+    std::fwrite(prom.data(), 1, prom.size(), f);
+    std::fclose(f);
+  }
+
+  if (failures == 0) {
+    std::printf("RESULT PASS\n");
+    return 0;
+  }
+  obs::FlightRecorder::global().write_json("cluster_flightrec.json");
+  std::printf("RESULT FAIL failures=%d\n", failures);
+  return 1;
+}

@@ -1,0 +1,534 @@
+#include "cluster/cluster_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "controller/apps/discovery.h"
+#include "controller/apps/l3_routing.h"
+#include "controller/flow_rule_store.h"
+#include "diag/invariant_monitor.h"
+#include "intent/intent_manager.h"
+#include "obs/obs.h"
+#include "util/logging.h"
+
+namespace zen::cluster {
+
+using controller::Dpid;
+using openflow::ControllerRole;
+
+namespace {
+
+struct ClusterMetrics {
+  obs::Counter& controller_down;
+  obs::Counter& takeovers;
+  obs::Counter& route_requests;
+  obs::Counter& route_grants;
+  obs::Counter& heartbeat_misses;
+  obs::Counter& intents_adopted;
+  obs::Gauge& groups;
+  obs::Gauge& live_controllers;
+
+  static ClusterMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static ClusterMetrics m{
+        reg.counter("zen_cluster_controller_down_total", "",
+                    "controllers declared dead by heartbeat misses"),
+        reg.counter("zen_cluster_takeovers_total", "",
+                    "group adoptions completed"),
+        reg.counter("zen_cluster_route_requests_total", "",
+                    "cross-group route RPCs received"),
+        reg.counter("zen_cluster_route_grants_total", "",
+                    "cross-group route RPCs answered"),
+        reg.counter("zen_cluster_heartbeat_misses_total", "",
+                    "missed controller heartbeat intervals"),
+        reg.counter("zen_cluster_intents_adopted_total", "",
+                    "intents re-homed during takeovers"),
+        reg.gauge("zen_cluster_groups", "", "partition group count"),
+        reg.gauge("zen_cluster_live_controllers", "",
+                  "controllers currently believed live"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+ClusterManager::ClusterManager(sim::SimNetwork& net, ClusterOptions options)
+    : net_(net), options_(options) {
+  build_partition();
+  build_controllers();
+  failover_ = std::make_unique<FailoverManager>(
+      net_.events(), controllers_.size(),
+      FailoverManager::Options{options_.heartbeat_interval_s,
+                               options_.heartbeat_miss_limit},
+      [this](std::size_t idx) { on_controller_down(idx); });
+  ClusterMetrics::get().groups.set(static_cast<double>(part_.size()));
+  ClusterMetrics::get().live_controllers.set(
+      static_cast<double>(controllers_.size()));
+}
+
+ClusterManager::~ClusterManager() = default;
+
+sim::EventQueue& ClusterManager::events() noexcept { return net_.events(); }
+double ClusterManager::now() const noexcept { return net_.now(); }
+
+void ClusterManager::build_partition() {
+  const auto& switches = net_.generated().switches;
+  std::vector<topo::NodeId> nodes(switches.begin(), switches.end());
+  topo::PartitionOptions popts;
+  popts.n_groups = options_.n_groups;
+  popts.seed = options_.partition_seed;
+  part_ = topo::partition_switches(net_.topology(), nodes, popts);
+  borders_ = topo::border_links(net_.topology(), part_);
+  group_adj_.assign(part_.size(), {});
+  for (const topo::BorderLink& bl : borders_) {
+    group_adj_[bl.a_group].push_back(bl.b_group);
+    group_adj_[bl.b_group].push_back(bl.a_group);
+  }
+  for (auto& adj : group_adj_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+}
+
+void ClusterManager::build_controllers() {
+  const std::size_t k = part_.size();
+  controllers_.reserve(1 + k);
+  agents_.assign(1 + k, nullptr);
+  l3_.assign(1 + k, nullptr);
+  intents_.assign(1 + k, nullptr);
+  monitors_.assign(1 + k, nullptr);
+  isolated_.assign(1 + k, false);
+  owner_.resize(k);
+
+  // Root: pure coordinator. Unscoped view, no forwarding apps — as a
+  // Slave everywhere its writes would only bounce off role fencing.
+  controllers_.push_back(
+      std::make_unique<controller::Controller>(net_, options_.controller));
+
+  for (std::size_t g = 0; g < k; ++g) {
+    auto ctrl =
+        std::make_unique<controller::Controller>(net_, options_.controller);
+    std::vector<Dpid> scope(part_.groups[g].begin(), part_.groups[g].end());
+    ctrl->view().restrict_scope(scope);
+    ctrl->add_app<controller::apps::Discovery>();
+    // GroupAgent ahead of L3Routing: cross-group punts must be claimed
+    // before the local stack tries (and fails) to resolve them.
+    agents_[1 + g] = &ctrl->add_app<GroupAgent>(*this, g);
+    l3_[1 + g] = &ctrl->add_app<controller::apps::L3Routing>();
+    intents_[1 + g] = &ctrl->add_app<intent::IntentManager>();
+    if (options_.enable_invariant_monitor) {
+      monitors_[1 + g] =
+          &ctrl->add_app<diag::InvariantMonitor>(net_, *intents_[1 + g]);
+    }
+    owner_[g] = 1 + g;
+    controllers_.push_back(std::move(ctrl));
+  }
+
+  // Border-link endpoints are weak ports in every view: leaked floods
+  // never learn hosts there, so cross-group reachability flows through
+  // the coordinator (directory + route RPC) alone.
+  for (const auto& ctrl : controllers_) {
+    for (const topo::BorderLink& link : borders_) {
+      ctrl->view().mark_weak_port(link.a, link.a_port);
+      ctrl->view().mark_weak_port(link.b, link.b_port);
+    }
+  }
+}
+
+void ClusterManager::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& ctrl : controllers_) ctrl->connect_all();
+  events().schedule_in(0.3, [this] { claim_initial_roles(); });
+  failover_->start();
+  // Beats interleave between monitor ticks (half-interval offset) so a
+  // live controller is never a same-instant race away from "stale".
+  events().schedule_in(options_.heartbeat_interval_s * 0.5,
+                       [this] { cluster_tick(); });
+}
+
+void ClusterManager::claim_initial_roles() {
+  controllers_[0]->request_role_all(
+      ControllerRole::Slave, election_epoch_,
+      [](const controller::Controller::RoleAllResult& r) {
+        if (!r.all_granted()) {
+          ZEN_LOG(Warn) << "cluster: root slave claim incomplete ("
+                        << r.refused.size() << " refused, " << r.down.size()
+                        << " down)";
+        }
+      });
+  const auto& switches = net_.generated().switches;
+  for (std::size_t g = 0; g < part_.size(); ++g) {
+    std::vector<Dpid> own(part_.groups[g].begin(), part_.groups[g].end());
+    std::vector<Dpid> others;
+    for (const topo::NodeId sw : switches) {
+      if (part_.group_of.at(sw) != g) others.push_back(sw);
+    }
+    delegate(g).request_role_many(
+        own, ControllerRole::Master, election_epoch_,
+        [g](const controller::Controller::RoleAllResult& r) {
+          if (!r.all_granted()) {
+            ZEN_LOG(Warn) << "cluster: delegate " << g
+                          << " master claim incomplete";
+          }
+        });
+    delegate(g).request_role_many(others, ControllerRole::Slave,
+                                  election_epoch_);
+  }
+}
+
+void ClusterManager::cluster_tick() {
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    if (controllers_[i]->halted() || isolated_[i]) continue;
+    failover_->beat(i);
+    if (i > 0) sync_intent_states(i);
+  }
+  const std::uint64_t misses = failover_->misses();
+  if (misses > last_misses_) {
+    ClusterMetrics::get().heartbeat_misses.inc(misses - last_misses_);
+    last_misses_ = misses;
+  }
+  ClusterMetrics::get().live_controllers.set(
+      static_cast<double>(failover_->live_count()));
+  events().schedule_in(options_.heartbeat_interval_s,
+                       [this] { cluster_tick(); });
+}
+
+void ClusterManager::sync_intent_states(std::size_t owner_idx) {
+  intent::IntentManager* mgr = intents_[owner_idx];
+  if (!mgr) return;
+  for (RegisteredIntent& entry : registry_) {
+    if (entry.owner != owner_idx) continue;
+    entry.last_state = mgr->state(entry.local_id);
+  }
+}
+
+std::size_t ClusterManager::group_of(Dpid dpid) const {
+  const auto it = part_.group_of.find(dpid);
+  return it == part_.group_of.end() ? 0 : it->second;
+}
+
+bool ClusterManager::is_border_port(Dpid dpid, std::uint32_t port) const {
+  for (const topo::BorderLink& link : borders_) {
+    if ((link.a == dpid && link.a_port == port) ||
+        (link.b == dpid && link.b_port == port)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterManager::kill_controller(std::size_t idx) {
+  if (idx >= controllers_.size()) return;
+  controllers_[idx]->halt();
+}
+
+void ClusterManager::isolate_controller(std::size_t idx) {
+  if (idx >= controllers_.size()) return;
+  isolated_[idx] = true;
+  ZEN_LOG(Warn) << "cluster: controller " << idx
+                << " partitioned from the cluster (still running)";
+}
+
+std::size_t ClusterManager::elect_coordinator() const {
+  if (failover_->live(0)) return 0;
+  for (std::size_t i = 1; i < controllers_.size(); ++i) {
+    if (failover_->live(i)) return i;
+  }
+  return 0;  // everyone dead; nothing left to coordinate
+}
+
+std::size_t ClusterManager::pick_adopter(std::size_t dead_idx) const {
+  for (std::size_t i = 1; i < controllers_.size(); ++i) {
+    if (i != dead_idx && failover_->live(i)) return i;
+  }
+  return 0;
+}
+
+void ClusterManager::on_controller_down(std::size_t idx) {
+  ClusterMetrics::get().controller_down.inc();
+  obs::FlightRecorder::global().record(obs::FlightEventKind::kControllerDown,
+                                       idx, idx, "heartbeat");
+  ZEN_LOG(Warn) << "cluster: controller " << idx
+                << (idx == 0 ? " (root)" : " (delegate)") << " is down";
+
+  if (idx == coordinator_) {
+    coordinator_ = elect_coordinator();
+    ZEN_LOG(Info) << "cluster: coordinator moved to controller "
+                  << coordinator_;
+  }
+  if (idx == 0) return;  // root owned no switches; election was the takeover
+
+  const std::size_t adopter = pick_adopter(idx);
+  if (adopter == 0) {
+    ZEN_LOG(Error) << "cluster: no live delegate left to adopt groups of "
+                   << idx;
+    return;
+  }
+  for (std::size_t g = 0; g < owner_.size(); ++g) {
+    if (owner_[g] == idx) adopt_group(g, adopter);
+  }
+}
+
+void ClusterManager::adopt_group(std::size_t group, std::size_t adopter_idx) {
+  TakeoverRecord rec;
+  rec.group = group;
+  rec.adopter = adopter_idx;
+  rec.started_s = now();
+  rec.switches = part_.groups[group].size();
+  takeovers_.push_back(rec);
+  const std::size_t takeover_idx = takeovers_.size() - 1;
+  obs::FlightRecorder::global().record(obs::FlightEventKind::kTakeover, group,
+                                       adopter_idx, "begin");
+  owner_[group] = adopter_idx;
+
+  controller::Controller& ctrl = *controllers_[adopter_idx];
+  const std::uint64_t epoch = ++election_epoch_;
+  const std::vector<Dpid> dpids(part_.groups[group].begin(),
+                                part_.groups[group].end());
+
+  // 1. Grow the scoped view, seed it with the group's static wiring (the
+  //    partition is cluster config; links between adopted switches are
+  //    known without waiting a discovery round).
+  for (const Dpid dpid : dpids) ctrl.view().add_to_scope(dpid);
+  for (const topo::Link* link : net_.topology().links()) {
+    const auto a = part_.group_of.find(link->a);
+    const auto b = part_.group_of.find(link->b);
+    if (a == part_.group_of.end() || b == part_.group_of.end()) continue;
+    if (a->second != group || b->second != group) continue;
+    ctrl.view().learn_link(link->a, link->a_port, link->b, link->b_port, now());
+  }
+
+  // 2. Refresh features: the replies admit the switches into the grown
+  //    view and fire on_switch_up into the adopter's apps (L3Routing
+  //    starts recomputing, the monitor schedules a re-check).
+  for (const Dpid dpid : dpids) ctrl.refresh_features(dpid);
+
+  // 3. Import the group's hosts from the coordinator directory (one RPC
+  //    of latency; lost if the coordinator just died too — discovery
+  //    re-learns organically in that case).
+  events().schedule_in(options_.rpc_latency_s,
+                       [this, adopter_idx, group] {
+                         controller::Controller& c = *controllers_[adopter_idx];
+                         if (c.halted()) return;
+                         for (const auto& [ip, entry] : directory_) {
+                           if (entry.group == group) c.notify_host(entry.info);
+                         }
+                       });
+
+  // 4. Claim Master with a bumped election epoch — from here the dead
+  //    master's generation id is stale and every late write it issues is
+  //    fenced at the switch.
+  ctrl.request_role_many(
+      dpids, ControllerRole::Master, epoch,
+      [this, takeover_idx, adopter_idx, group,
+       dpids](const controller::Controller::RoleAllResult& result) {
+        takeovers_[takeover_idx].roles_granted = result.all_granted();
+        obs::FlightRecorder::global().record(obs::FlightEventKind::kTakeover,
+                                             group, adopter_idx, "roles");
+        // 5. Re-home the registry's intents for this group. Deferred a
+        //    hair so the refresh-triggered on_switch_up storm has passed:
+        //    a Degraded prior must land parked, not get recompiled by the
+        //    very events that adopted it.
+        events().schedule_in(0.02, [this, takeover_idx, adopter_idx, group] {
+          adopt_intents(group, adopter_idx, takeover_idx);
+        });
+        // 6. Re-audit every adopted switch: reconcile the dead master's
+        //    leftovers against the adopter's intended state.
+        auto remaining = std::make_shared<std::size_t>(result.granted.size());
+        auto converged = std::make_shared<bool>(true);
+        if (result.granted.empty()) {
+          finish_takeover(takeover_idx, false);
+          return;
+        }
+        for (const Dpid dpid : result.granted) {
+          controllers_[adopter_idx]->rule_store().audit(
+              dpid, [this, takeover_idx, remaining,
+                     converged](const controller::AuditReport& report) {
+                if (!report.converged) *converged = false;
+                if (--*remaining == 0) {
+                  finish_takeover(takeover_idx, *converged);
+                }
+              });
+        }
+      });
+}
+
+void ClusterManager::adopt_intents(std::size_t group, std::size_t adopter_idx,
+                                   std::size_t takeover_idx) {
+  intent::IntentManager* mgr = intents_[adopter_idx];
+  if (!mgr) return;
+  for (RegisteredIntent& entry : registry_) {
+    if (entry.group != group) continue;
+    if (entry.owner == adopter_idx) continue;
+    if (!controllers_[entry.owner]->halted() && !isolated_[entry.owner]) {
+      continue;  // owner still fine
+    }
+    entry.local_id = mgr->adopt(entry.spec, entry.last_state);
+    entry.owner = adopter_idx;
+    ++takeovers_[takeover_idx].intents_adopted;
+    ClusterMetrics::get().intents_adopted.inc();
+  }
+}
+
+void ClusterManager::finish_takeover(std::size_t takeover_idx,
+                                     bool audits_converged) {
+  TakeoverRecord& rec = takeovers_[takeover_idx];
+  rec.finished_s = now();
+  rec.audits_converged = audits_converged;
+  ClusterMetrics::get().takeovers.inc();
+  obs::FlightRecorder::global().record(obs::FlightEventKind::kTakeover,
+                                       rec.group, rec.adopter,
+                                       rec.complete() ? "done" : "incomplete");
+  obs::SloMonitor::global()
+      .objective({.name = "cluster_takeover",
+                  .target = 0.99,
+                  .latency_threshold_s = options_.takeover_slo_threshold_s})
+      .record_latency(rec.duration_s());
+  ZEN_LOG(Info) << "cluster: group " << rec.group << " adopted by controller "
+                << rec.adopter << " in " << rec.duration_s() << "s"
+                << (rec.complete() ? "" : " (INCOMPLETE)");
+  // Close the loop: the adopter's invariant monitor re-traces every
+  // intent through the now-merged dataplane.
+  if (diag::InvariantMonitor* monitor = monitors_[rec.adopter]) {
+    events().schedule_in(0.06, [monitor] { monitor->maybe_check(); });
+  }
+}
+
+void ClusterManager::report_host(std::size_t group,
+                                 const controller::HostInfo& info) {
+  // The directory is IP-keyed; a host sighted before it spoke IP (or ARP)
+  // has nothing to file under yet.
+  if (info.ip == net::Ipv4Address{}) return;
+  auto [it, inserted] =
+      directory_.try_emplace(info.ip.value(), DirectoryEntry{info, group});
+  if (inserted) return;
+  // First writer wins across groups (border sightings must not relocate
+  // a host); same-group refreshes keep the record current.
+  if (it->second.group == group) it->second.info = info;
+}
+
+const ClusterManager::DirectoryEntry* ClusterManager::directory_lookup(
+    net::Ipv4Address ip) const {
+  const auto it = directory_.find(ip.value());
+  return it == directory_.end() ? nullptr : &it->second;
+}
+
+void ClusterManager::request_route(std::size_t src_group, net::Ipv4Address dst,
+                                   RouteFn done) {
+  ClusterMetrics::get().route_requests.inc();
+  events().schedule_in(options_.rpc_latency_s, [this, src_group, dst,
+                                                done = std::move(done)] {
+    // The RPC lands on the coordinator; a dead or partitioned coordinator
+    // silently loses it (callers retry — that gap IS the failover story).
+    if (controllers_[coordinator_]->halted() || isolated_[coordinator_]) {
+      return;
+    }
+    const auto it = directory_.find(dst.value());
+    if (it == directory_.end() || it->second.group == src_group) return;
+    const std::vector<std::size_t> path =
+        group_route(src_group, it->second.group);
+    if (path.size() < 2) return;
+
+    // Transit groups along the way get their own install instruction
+    // (one more RPC hop of latency each).
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      const topo::BorderLink* border = border_between(path[i], path[i + 1]);
+      if (!border) continue;
+      const bool a_side = border->a_group == path[i];
+      const Dpid egress_dpid = a_side ? border->a : border->b;
+      const std::uint32_t egress_port = a_side ? border->a_port : border->b_port;
+      const std::size_t owner_idx = owner_[path[i]];
+      events().schedule_in(
+          options_.rpc_latency_s,
+          [this, owner_idx, dst, egress_dpid, egress_port] {
+            GroupAgent* agent = agents_[owner_idx];
+            if (!agent || controllers_[owner_idx]->halted()) return;
+            agent->install_route_toward(dst, egress_dpid, egress_port);
+          });
+    }
+
+    const topo::BorderLink* first = border_between(path[0], path[1]);
+    if (!first) return;
+    const bool a_side = first->a_group == path[0];
+    RouteGrant grant;
+    grant.dst = dst;
+    grant.dst_mac = it->second.info.mac;
+    grant.dst_group = it->second.group;
+    grant.egress_dpid = a_side ? first->a : first->b;
+    grant.egress_port = a_side ? first->a_port : first->b_port;
+    ClusterMetrics::get().route_grants.inc();
+    events().schedule_in(options_.rpc_latency_s,
+                         [done, grant] { done(grant); });
+  });
+}
+
+std::vector<std::size_t> ClusterManager::group_route(std::size_t from,
+                                                     std::size_t to) const {
+  if (from >= group_adj_.size() || to >= group_adj_.size()) return {};
+  if (from == to) return {from};
+  std::vector<std::size_t> parent(group_adj_.size(), SIZE_MAX);
+  std::vector<std::size_t> queue{from};
+  parent[from] = from;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t g = queue[head];
+    for (const std::size_t next : group_adj_[g]) {
+      if (parent[next] != SIZE_MAX) continue;
+      parent[next] = g;
+      if (next == to) {
+        std::vector<std::size_t> path{to};
+        for (std::size_t cur = to; cur != from; cur = parent[cur]) {
+          path.push_back(parent[cur]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+const topo::BorderLink* ClusterManager::border_between(std::size_t a,
+                                                       std::size_t b) const {
+  // borders_ is sorted by link id; the first match is the deterministic
+  // choice every controller would make.
+  for (const topo::BorderLink& border : borders_) {
+    if ((border.a_group == a && border.b_group == b) ||
+        (border.a_group == b && border.b_group == a)) {
+      return &border;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t ClusterManager::submit_intent(std::size_t group,
+                                            intent::IntentSpec spec) {
+  const std::size_t owner_idx = owner_[group];
+  intent::IntentManager* mgr = intents_[owner_idx];
+  RegisteredIntent entry;
+  entry.cluster_id = next_cluster_intent_++;
+  entry.group = group;
+  entry.owner = owner_idx;
+  entry.spec = spec;
+  entry.local_id = mgr->submit(std::move(spec));
+  entry.last_state = mgr->state(entry.local_id);
+  registry_.push_back(std::move(entry));
+  return registry_.back().cluster_id;
+}
+
+intent::IntentState ClusterManager::intent_state(
+    std::uint64_t cluster_id) const {
+  for (const RegisteredIntent& entry : registry_) {
+    if (entry.cluster_id != cluster_id) continue;
+    if (!controllers_[entry.owner]->halted() && !isolated_[entry.owner] &&
+        intents_[entry.owner]) {
+      return intents_[entry.owner]->state(entry.local_id);
+    }
+    return entry.last_state;
+  }
+  return intent::IntentState::Withdrawn;
+}
+
+}  // namespace zen::cluster

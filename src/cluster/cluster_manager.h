@@ -1,0 +1,244 @@
+// ClusterManager: the clustered control plane (paper's "delegation to
+// the edge" applied to the controller itself).
+//
+// One fabric, k + 1 controllers:
+//
+//   root (index 0)       pure coordinator. Unscoped view, Slave role on
+//                        every switch, NO forwarding apps. Owns only the
+//                        inter-group layer: the host directory, the
+//                        abstract group graph built from border links,
+//                        the cluster intent registry, and route RPCs.
+//   delegates (1 + g)    one per partition group. Scoped NetworkView
+//                        (only its group's switches are admitted), warm
+//                        sessions to EVERY switch — Master on its own
+//                        group, Slave elsewhere — running the ordinary
+//                        app stack (Discovery, GroupAgent, L3Routing,
+//                        IntentManager, InvariantMonitor) against its
+//                        group alone.
+//
+// Failure handling (the tentpole):
+//
+//   root dies       the lowest-indexed live delegate becomes coordinator
+//                   (the directory/registry are replicated config, not
+//                   runtime state — any survivor can serve them). Route
+//                   RPCs in the detection window are lost; GroupAgents
+//                   retry. Intra-group forwarding never notices.
+//
+//   delegate dies   detected by heartbeat misses; every group it owned is
+//                   adopted by the lowest-indexed live delegate: scope
+//                   grows, features are refreshed (firing on_switch_up
+//                   into the adopter's apps), Master is claimed with a
+//                   bumped election epoch (fencing the dead master's late
+//                   writes at the switches), directory hosts are imported,
+//                   registry intents are re-homed via IntentManager::adopt
+//                   (Degraded stays parked — no recompile storm), and
+//                   every adopted switch is re-audited through the
+//                   FlowRuleStore, then re-traced by the InvariantMonitor.
+//
+// Every takeover is measured (TakeoverRecord), scored against the
+// "cluster_takeover" SLO, counted in zen_cluster_* metrics and dropped
+// into the flight recorder (kControllerDown / kTakeover).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/failover.h"
+#include "cluster/group_agent.h"
+#include "controller/controller.h"
+#include "intent/intent.h"
+#include "topo/partition.h"
+
+namespace zen::controller::apps {
+class L3Routing;
+}
+namespace zen::intent {
+class IntentManager;
+}
+namespace zen::diag {
+class InvariantMonitor;
+}
+
+namespace zen::cluster {
+
+struct ClusterOptions {
+  std::size_t n_groups = 2;
+  std::uint64_t partition_seed = 1;
+
+  // Controller-to-controller heartbeat cadence and tolerance; detection
+  // latency is bounded by (miss_limit + 1) * interval.
+  double heartbeat_interval_s = 0.05;
+  int heartbeat_miss_limit = 3;
+
+  // One-way latency of a coordinator RPC (route requests, directory
+  // imports). Requests reaching a halted coordinator are lost.
+  double rpc_latency_s = 200e-6;
+
+  // Priority of cross-group /32 transit routes — below L3Routing's local
+  // routes so a group-local destination always wins.
+  std::uint16_t transit_priority = 90;
+
+  // Takeover duration above this threshold burns the cluster_takeover SLO.
+  double takeover_slo_threshold_s = 1.0;
+
+  bool enable_invariant_monitor = true;
+  controller::Controller::Options controller;
+};
+
+// One takeover, end to end: from the down verdict to the last adopted
+// switch's audit verdict.
+struct TakeoverRecord {
+  std::size_t group = 0;
+  std::size_t adopter = 0;  // controller index
+  double started_s = 0;
+  double finished_s = -1;  // -1: still in progress
+  bool roles_granted = false;
+  bool audits_converged = false;
+  std::size_t switches = 0;
+  std::size_t intents_adopted = 0;
+
+  double duration_s() const noexcept {
+    return finished_s < 0 ? -1 : finished_s - started_s;
+  }
+  bool complete() const noexcept {
+    return finished_s >= 0 && roles_granted && audits_converged;
+  }
+};
+
+class ClusterManager {
+ public:
+  struct DirectoryEntry {
+    controller::HostInfo info;
+    std::size_t group = 0;
+  };
+
+  ClusterManager(sim::SimNetwork& net, ClusterOptions options);
+  ~ClusterManager();
+
+  // Connects every controller, claims the initial role layout (Master on
+  // own group, Slave elsewhere, root Slave everywhere) and arms the
+  // heartbeat mesh. Pump events afterwards: net.run_until(...).
+  void start();
+
+  // ---- topology ----
+  const topo::Partition& partition() const noexcept { return part_; }
+  const std::vector<topo::BorderLink>& borders() const noexcept {
+    return borders_;
+  }
+  std::size_t group_of(controller::Dpid dpid) const;
+  // True when (dpid, port) is an endpoint of a border link. Scoped views
+  // cannot tell border ports from edge ports (the far switch is outside
+  // scope), so cluster code asks the partition instead.
+  bool is_border_port(controller::Dpid dpid, std::uint32_t port) const;
+
+  // ---- controllers (index 0 = root, 1 + g = delegate of group g) ----
+  std::size_t controller_count() const noexcept { return controllers_.size(); }
+  controller::Controller& root() { return *controllers_[0]; }
+  controller::Controller& delegate(std::size_t group) {
+    return *controllers_[1 + group];
+  }
+  controller::Controller& controller_at(std::size_t idx) {
+    return *controllers_[idx];
+  }
+  // The delegate apps of controller `idx` (nullptr for the root).
+  GroupAgent* agent_at(std::size_t idx) { return agents_[idx]; }
+  intent::IntentManager* intents_at(std::size_t idx) { return intents_[idx]; }
+  diag::InvariantMonitor* monitor_at(std::size_t idx) { return monitors_[idx]; }
+
+  // ---- failure injection ----
+  // Halts the controller; heartbeat misses then drive detection, election
+  // and adoption.
+  void kill_controller(std::size_t idx);
+  // Partitions the controller off the cluster WITHOUT halting it: beats
+  // stop (so detection and adoption run exactly as for a crash) but its
+  // process keeps running and believes itself master — the split-brain
+  // case. Every write it issues after the adopter's epoch bump must be
+  // fenced at the switches; that rejection stream is the proof.
+  void isolate_controller(std::size_t idx);
+  bool isolated(std::size_t idx) const {
+    return idx < isolated_.size() && isolated_[idx];
+  }
+
+  std::size_t coordinator() const noexcept { return coordinator_; }
+  // Controller index currently mastering group `g`.
+  std::size_t owner_of(std::size_t group) const { return owner_[group]; }
+  FailoverManager& failover() noexcept { return *failover_; }
+
+  // ---- coordinator services ----
+  void report_host(std::size_t group, const controller::HostInfo& info);
+  const DirectoryEntry* directory_lookup(net::Ipv4Address ip) const;
+  std::size_t directory_size() const noexcept { return directory_.size(); }
+  using RouteFn = std::function<void(const RouteGrant&)>;
+  // Asks the coordinator for a cross-group route. `done` fires after a
+  // round trip of rpc_latency — or never, if the coordinator is halted or
+  // the destination unknown (callers retry; see GroupAgent).
+  void request_route(std::size_t src_group, net::Ipv4Address dst,
+                     RouteFn done);
+
+  // ---- cluster northbound (intents survive their owner's death) ----
+  std::uint64_t submit_intent(std::size_t group, intent::IntentSpec spec);
+  intent::IntentState intent_state(std::uint64_t cluster_id) const;
+
+  // ---- observability ----
+  const std::vector<TakeoverRecord>& takeovers() const noexcept {
+    return takeovers_;
+  }
+  const ClusterOptions& options() const noexcept { return options_; }
+  sim::EventQueue& events() noexcept;
+  double now() const noexcept;
+
+ private:
+  struct RegisteredIntent {
+    std::uint64_t cluster_id = 0;
+    std::size_t group = 0;
+    std::size_t owner = 0;  // controller index
+    intent::IntentId local_id = 0;
+    intent::IntentSpec spec;
+    // Owner-reported state, refreshed on every heartbeat (the piggyback
+    // sync); what adoption hands to IntentManager::adopt.
+    intent::IntentState last_state = intent::IntentState::Pending;
+  };
+
+  void build_partition();
+  void build_controllers();
+  void claim_initial_roles();
+  void cluster_tick();
+  void sync_intent_states(std::size_t owner_idx);
+  void on_controller_down(std::size_t idx);
+  std::size_t elect_coordinator() const;
+  std::size_t pick_adopter(std::size_t dead_idx) const;
+  void adopt_group(std::size_t group, std::size_t adopter_idx);
+  void adopt_intents(std::size_t group, std::size_t adopter_idx,
+                     std::size_t takeover_idx);
+  void finish_takeover(std::size_t takeover_idx, bool audits_converged);
+  // Shortest group-level path (BFS over border adjacency), deterministic.
+  std::vector<std::size_t> group_route(std::size_t from, std::size_t to) const;
+  const topo::BorderLink* border_between(std::size_t a, std::size_t b) const;
+
+  sim::SimNetwork& net_;
+  ClusterOptions options_;
+  topo::Partition part_;
+  std::vector<topo::BorderLink> borders_;
+  std::vector<std::vector<std::size_t>> group_adj_;
+  std::vector<std::unique_ptr<controller::Controller>> controllers_;
+  // Parallel to controllers_ (nullptr at index 0 / the root).
+  std::vector<GroupAgent*> agents_;
+  std::vector<controller::apps::L3Routing*> l3_;
+  std::vector<intent::IntentManager*> intents_;
+  std::vector<diag::InvariantMonitor*> monitors_;
+  std::unique_ptr<FailoverManager> failover_;
+  std::vector<std::size_t> owner_;  // group -> controller index
+  std::size_t coordinator_ = 0;
+  std::uint64_t election_epoch_ = 1;
+  std::unordered_map<std::uint32_t, DirectoryEntry> directory_;  // by ip
+  std::vector<RegisteredIntent> registry_;
+  std::uint64_t next_cluster_intent_ = 1;
+  std::vector<TakeoverRecord> takeovers_;
+  std::vector<bool> isolated_;
+  std::uint64_t last_misses_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace zen::cluster

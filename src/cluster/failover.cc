@@ -1,0 +1,60 @@
+#include "cluster/failover.h"
+
+#include "util/logging.h"
+
+namespace zen::cluster {
+
+FailoverManager::FailoverManager(sim::EventQueue& events, std::size_t slots,
+                                 Options options, DownFn on_down)
+    : events_(events),
+      options_(options),
+      on_down_(std::move(on_down)),
+      slots_(slots) {
+  for (auto& slot : slots_) slot.last_beat_s = events_.now();
+}
+
+void FailoverManager::start() {
+  if (started_) return;
+  started_ = true;
+  events_.schedule_in(options_.interval_s, [this] { tick(); });
+}
+
+void FailoverManager::beat(std::size_t idx) {
+  if (idx >= slots_.size()) return;
+  Slot& slot = slots_[idx];
+  slot.last_beat_s = events_.now();
+  if (slot.live) slot.misses = 0;
+}
+
+bool FailoverManager::live(std::size_t idx) const {
+  return idx < slots_.size() && slots_[idx].live;
+}
+
+std::size_t FailoverManager::live_count() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots_) n += slot.live ? 1 : 0;
+  return n;
+}
+
+void FailoverManager::tick() {
+  const double now = events_.now();
+  // A beat published this interval arrived strictly within the last
+  // interval_s; the 1.5x grace absorbs same-instant event ordering
+  // between a publisher and this tick.
+  const double stale_after = options_.interval_s * 1.5;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.live) continue;
+    if (now - slot.last_beat_s <= stale_after) continue;
+    ++slot.misses;
+    ++total_misses_;
+    if (slot.misses < options_.miss_limit) continue;
+    slot.live = false;
+    ZEN_LOG(Warn) << "failover: controller slot " << i << " declared dead ("
+                  << slot.misses << " missed beats)";
+    if (on_down_) on_down_(i);
+  }
+  events_.schedule_in(options_.interval_s, [this] { tick(); });
+}
+
+}  // namespace zen::cluster

@@ -1,0 +1,74 @@
+// FailoverManager: heartbeat liveness over a set of controller slots.
+//
+// Every live controller publishes a beat each interval (the ClusterManager
+// wires publishers that skip halted controllers). The manager's monitor
+// tick runs at the same cadence and counts, per slot, consecutive
+// intervals without a beat; at miss_limit the slot is declared dead
+// exactly once and the on_down callback fires — that callback is where
+// the cluster promotes a standby and re-homes the dead controller's
+// groups. Detection latency is therefore bounded by
+// (miss_limit + 1) * interval_s of virtual time.
+//
+// The manager itself is deliberately dumb: no network, no roles, no
+// group knowledge — just beats in, verdicts out. That keeps the
+// detection logic testable in isolation and reusable for any future
+// membership (e.g. a root quorum).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace zen::cluster {
+
+class FailoverManager {
+ public:
+  struct Options {
+    double interval_s = 0.05;
+    int miss_limit = 3;
+  };
+
+  // `on_down(idx)` fires exactly once per slot, at the tick that crossed
+  // miss_limit.
+  using DownFn = std::function<void(std::size_t idx)>;
+
+  FailoverManager(sim::EventQueue& events, std::size_t slots, Options options,
+                  DownFn on_down);
+
+  // Arms the recurring monitor tick (idempotent).
+  void start();
+
+  // Records a heartbeat from slot `idx` at virtual-now.
+  void beat(std::size_t idx);
+
+  bool live(std::size_t idx) const;
+  std::size_t live_count() const;
+  // Total missed intervals observed across all slots (a dead slot stops
+  // accumulating once declared down).
+  std::uint64_t misses() const noexcept { return total_misses_; }
+  // Upper bound on detection latency in virtual seconds.
+  double detection_budget_s() const noexcept {
+    return (options_.miss_limit + 1) * options_.interval_s;
+  }
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  struct Slot {
+    double last_beat_s = 0;
+    int misses = 0;
+    bool live = true;
+  };
+
+  void tick();
+
+  sim::EventQueue& events_;
+  Options options_;
+  DownFn on_down_;
+  std::vector<Slot> slots_;
+  std::uint64_t total_misses_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace zen::cluster

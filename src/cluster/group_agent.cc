@@ -1,0 +1,235 @@
+#include "cluster/group_agent.h"
+
+#include "cluster/cluster_manager.h"
+#include "controller/flow_rule_store.h"
+#include "net/packet.h"
+#include "util/logging.h"
+
+namespace zen::cluster {
+
+using controller::Dpid;
+
+bool GroupAgent::on_packet_in(const controller::PacketInEvent& event) {
+  if (!event.parsed) return false;
+  const net::ParsedPacket& pkt = *event.parsed;
+
+  if (pkt.arp && pkt.arp->opcode == net::ArpMessage::kReply) {
+    // L3Routing edge-floods every punted reply (bounded in an unscoped
+    // view, explosive across borders): let each group flood a given reply
+    // once, and consume the border leak-backs.
+    return suppress_border_flood(pkt.arp->sender_ip, pkt.arp->target_ip,
+                                 event.dpid, event.pin->in_port);
+  }
+
+  if (pkt.arp && pkt.arp->opcode == net::ArpMessage::kRequest) {
+    const net::Ipv4Address target = pkt.arp->target_ip;
+    // Local targets are L3Routing's proxy-ARP business.
+    if (controller_->view().host_by_ip(target)) return false;
+    // Engage only for targets the directory places OUTSIDE our scope.
+    // Anything else — unknown everywhere, or local but not yet learned —
+    // falls through to L3Routing's edge flood, which is how local hosts
+    // get discovered in the first place.
+    const auto* entry = cluster_.directory_lookup(target);
+    if (!entry || controller_->view().in_scope(entry->info.dpid)) {
+      return suppress_border_flood(pkt.arp->sender_ip, target, event.dpid,
+                                   event.pin->in_port);
+    }
+    const auto it = granted_.find(target.value());
+    if (it != granted_.end()) {
+      // Already resolved: answer straight from the cached grant.
+      const openflow::Bytes reply = net::build_arp_reply(
+          it->second.dst_mac, target, pkt.arp->sender_mac, pkt.arp->sender_ip);
+      openflow::PacketOut out;
+      out.in_port = openflow::Ports::kController;
+      out.actions.push_back(openflow::OutputAction{event.pin->in_port});
+      out.data = reply;
+      controller_->packet_out(event.dpid, out);
+      ++stats_.proxy_arps;
+      return true;
+    }
+    PendingFrame frame;
+    frame.dpid = event.dpid;
+    frame.in_port = event.pin->in_port;
+    frame.is_arp = true;
+    frame.src_mac = pkt.arp->sender_mac;
+    frame.src_ip = pkt.arp->sender_ip;
+    PendingRoute& pending = pending_[target.value()];
+    if (pending.frames.size() < kMaxPendingFrames) {
+      pending.frames.push_back(std::move(frame));
+    }
+    if (pending.frames.size() == 1 && pending.attempts == 0) {
+      request_route(target);
+    }
+    return true;
+  }
+
+  if (pkt.ipv4) {
+    const net::Ipv4Address dst = pkt.ipv4->dst;
+    if (controller_->view().host_by_ip(dst)) return false;  // local business
+    const auto it = granted_.find(dst.value());
+    if (it != granted_.end()) {
+      // Route granted; transit rules may still be in flight — walk the
+      // frame one hop so nothing stalls on installation latency.
+      forward_toward(event.dpid, event.pin->in_port, event.pin->data,
+                     it->second.egress_dpid, it->second.egress_port);
+      return true;
+    }
+    const auto* entry = cluster_.directory_lookup(dst);
+    if (!entry || controller_->view().in_scope(entry->info.dpid)) {
+      // Unknown everywhere, or local but not yet learned: not cluster
+      // traffic — leave it to the local stack (bounding its edge flood).
+      return suppress_border_flood(pkt.ipv4->src, dst, event.dpid,
+                                   event.pin->in_port);
+    }
+    const auto pend_it = pending_.find(dst.value());
+    const bool fresh = pend_it == pending_.end();
+    PendingRoute& pending = pending_[dst.value()];
+    PendingFrame frame;
+    frame.dpid = event.dpid;
+    frame.in_port = event.pin->in_port;
+    frame.data = event.pin->data;
+    if (pending.frames.size() < kMaxPendingFrames) {
+      pending.frames.push_back(std::move(frame));
+    }
+    if (fresh) request_route(dst);
+    return true;
+  }
+
+  return false;
+}
+
+bool GroupAgent::suppress_border_flood(net::Ipv4Address src,
+                                       net::Ipv4Address dst,
+                                       controller::Dpid dpid,
+                                       std::uint32_t in_port) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+  const double now = cluster_.now();
+  const auto it = flood_seen_.find(key);
+  const bool duplicate =
+      it != flood_seen_.end() && now - it->second < kFloodDedupWindowS;
+  flood_seen_[key] = now;
+  if (duplicate && cluster_.is_border_port(dpid, in_port)) {
+    ++stats_.floods_suppressed;
+    return true;  // consumed: this group already flooded it this window
+  }
+  return false;  // first sighting (or host retry): let the flood run once
+}
+
+void GroupAgent::on_host_discovered(const controller::HostInfo& host) {
+  // Report upward under the switch's home group: after an adoption this
+  // agent also hears hosts appearing on adopted switches. Weak (border)
+  // ports never learn hosts, so every sighting reported here is a genuine
+  // edge attachment.
+  ++stats_.hosts_reported;
+  cluster_.report_host(cluster_.group_of(host.dpid), host);
+}
+
+void GroupAgent::request_route(net::Ipv4Address dst) {
+  auto it = pending_.find(dst.value());
+  if (it == pending_.end()) return;
+  ++it->second.attempts;
+  ++stats_.route_requests;
+  cluster_.request_route(group_, dst,
+                         [this](const RouteGrant& grant) { on_grant(grant); });
+  arm_retry(dst);
+}
+
+void GroupAgent::arm_retry(net::Ipv4Address dst) {
+  controller_->events().schedule_in(kRetryDelayS, [this, dst] {
+    auto it = pending_.find(dst.value());
+    if (it == pending_.end()) return;  // granted meanwhile
+    if (it->second.attempts >= kMaxRouteAttempts) {
+      stats_.pending_dropped += it->second.frames.size();
+      pending_.erase(it);
+      ZEN_LOG(Warn) << "group_agent[" << group_ << "]: route to "
+                    << dst.to_string() << " abandoned after "
+                    << kMaxRouteAttempts << " attempts";
+      return;
+    }
+    ++stats_.route_retries;
+    ++it->second.attempts;
+    ++stats_.route_requests;
+    cluster_.request_route(group_, dst,
+                           [this](const RouteGrant& grant) { on_grant(grant); });
+    arm_retry(dst);
+  });
+}
+
+void GroupAgent::on_grant(const RouteGrant& grant) {
+  if (granted_.contains(grant.dst.value())) {
+    pending_.erase(grant.dst.value());
+    return;  // duplicate reply (retry raced the grant)
+  }
+  ++stats_.route_grants;
+  granted_[grant.dst.value()] = grant;
+  install_route_toward(grant.dst, grant.egress_dpid, grant.egress_port);
+  auto it = pending_.find(grant.dst.value());
+  if (it != pending_.end()) {
+    for (const PendingFrame& frame : it->second.frames) {
+      release_frame(frame, grant);
+    }
+    pending_.erase(it);
+  }
+}
+
+void GroupAgent::release_frame(const PendingFrame& frame,
+                               const RouteGrant& grant) {
+  if (frame.is_arp) {
+    const openflow::Bytes reply = net::build_arp_reply(
+        grant.dst_mac, grant.dst, frame.src_mac, frame.src_ip);
+    openflow::PacketOut out;
+    out.in_port = openflow::Ports::kController;
+    out.actions.push_back(openflow::OutputAction{frame.in_port});
+    out.data = reply;
+    controller_->packet_out(frame.dpid, out);
+    ++stats_.proxy_arps;
+    return;
+  }
+  forward_toward(frame.dpid, frame.in_port, frame.data, grant.egress_dpid,
+                 grant.egress_port);
+}
+
+void GroupAgent::forward_toward(Dpid from, std::uint32_t in_port,
+                                const openflow::Bytes& data, Dpid egress_dpid,
+                                std::uint32_t egress_port) {
+  std::uint32_t out_port = 0;
+  if (from == egress_dpid) {
+    out_port = egress_port;
+  } else {
+    const auto& hops =
+        controller_->view().path_engine().next_hops(from, egress_dpid);
+    if (hops.empty()) return;  // border unreachable from here; drop
+    out_port = hops.front().out_port;
+  }
+  openflow::PacketOut out;
+  out.in_port = in_port;
+  out.actions.push_back(openflow::OutputAction{out_port});
+  out.data = data;
+  controller_->packet_out(from, out);
+  ++stats_.first_packets_forwarded;
+}
+
+void GroupAgent::install_route_toward(net::Ipv4Address dst, Dpid egress_dpid,
+                                      std::uint32_t egress_port) {
+  for (const Dpid sw : controller_->view().switch_ids()) {
+    std::uint32_t out_port = 0;
+    if (sw == egress_dpid) {
+      out_port = egress_port;
+    } else {
+      const auto& hops =
+          controller_->view().path_engine().next_hops(sw, egress_dpid);
+      if (hops.empty()) continue;
+      out_port = hops.front().out_port;
+    }
+    openflow::FlowMod mod;
+    mod.cookie = cookie_for(dst);
+    mod.priority = cluster_.options().transit_priority;
+    mod.match.eth_type(net::EtherType::kIpv4).ipv4_dst(dst, 32);
+    mod.instructions = openflow::output_to(out_port);
+    controller_->rule_store().install(sw, mod);
+    ++stats_.transit_installs;
+  }
+}
+
+}  // namespace zen::cluster

@@ -1,0 +1,132 @@
+// GroupAgent: the delegated controller's cluster-facing app.
+//
+// Registered ahead of L3Routing in the app chain, it intercepts the two
+// packet classes a group-local controller cannot resolve alone:
+//
+//   ARP requests for hosts outside the group's scoped view — answered by
+//   proxy from the coordinator's host directory (one RPC round trip of
+//   latency, never a cross-fabric flood).
+//
+//   IPv4 punts whose destination lives in another group — the first
+//   packet is carried hop-by-hop toward the border while a /32 transit
+//   route (cookie-tagged, below local-route priority) is requested from
+//   the coordinator and installed through the FlowRuleStore so audits
+//   own it like any other rule.
+//
+// Route RPCs are deliberately lossy during failover: the coordinator
+// drops requests while halted, and the agent retries on a timer — the
+// visible symptom of a coordinator crash is a short first-packet latency
+// bump, never a blackhole. Everything the agent learns locally (hosts on
+// its own switches) is reported upward so the directory survives the
+// group controller that learned it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/controller.h"
+
+namespace zen::cluster {
+
+class ClusterManager;
+
+// Coordinator's answer to a cross-group route request, scoped to the
+// requesting group: which border switch/port to leave through, plus the
+// directory identity of the destination (for proxy ARP).
+struct RouteGrant {
+  net::Ipv4Address dst;
+  net::MacAddress dst_mac;
+  std::size_t dst_group = 0;
+  controller::Dpid egress_dpid = 0;  // border switch inside the requester group
+  std::uint32_t egress_port = 0;     // its port on the border link
+};
+
+class GroupAgent : public controller::App {
+ public:
+  struct Stats {
+    std::uint64_t proxy_arps = 0;
+    std::uint64_t route_requests = 0;
+    std::uint64_t route_retries = 0;
+    std::uint64_t route_grants = 0;
+    std::uint64_t transit_installs = 0;
+    std::uint64_t first_packets_forwarded = 0;
+    std::uint64_t hosts_reported = 0;
+    std::uint64_t pending_dropped = 0;     // retries exhausted
+    std::uint64_t floods_suppressed = 0;   // border ping-pong cut short
+  };
+
+  // Transit cookies live in their own namespace so a takeover audit can
+  // tell cluster rules from app rules; the low 32 bits are the /32 itself,
+  // making the cookie identical no matter which controller installed it —
+  // an adopter's re-install converges instead of churning.
+  static constexpr std::uint64_t kCookieBase = 0xC1D0ULL << 32;
+  static constexpr std::uint64_t cookie_for(net::Ipv4Address dst) {
+    return kCookieBase | dst.value();
+  }
+
+  GroupAgent(ClusterManager& cluster, std::size_t group)
+      : cluster_(cluster), group_(group) {}
+
+  std::string name() const override { return "group_agent"; }
+
+  bool on_packet_in(const controller::PacketInEvent& event) override;
+  void on_host_discovered(const controller::HostInfo& host) override;
+
+  // Coordinator instruction: program the /32 toward the given border
+  // egress on every switch currently in this controller's scope (which,
+  // after an adoption, includes the adopted group). Used both for the
+  // requesting group and for transit groups along the inter-group path.
+  void install_route_toward(net::Ipv4Address dst, controller::Dpid egress_dpid,
+                            std::uint32_t egress_port);
+
+  std::size_t group() const noexcept { return group_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PendingFrame {
+    controller::Dpid dpid = 0;
+    std::uint32_t in_port = 0;
+    bool is_arp = false;
+    net::MacAddress src_mac;       // ARP requester (for the proxy reply)
+    net::Ipv4Address src_ip;
+    openflow::Bytes data;          // original frame (IPv4 forwarding)
+  };
+  struct PendingRoute {
+    std::vector<PendingFrame> frames;
+    int attempts = 0;
+  };
+
+  static constexpr int kMaxRouteAttempts = 8;
+  static constexpr double kRetryDelayS = 0.25;
+  static constexpr std::size_t kMaxPendingFrames = 64;
+  // An edge flood that leaks across a border comes back through every
+  // other border link, and each group re-floods what it hasn't seen —
+  // unchecked, the groups play exponential ping-pong. Each group floods a
+  // given (src, dst) once per window; border re-arrivals are consumed.
+  static constexpr double kFloodDedupWindowS = 0.5;
+
+  // Returns true when this (src, dst) flood re-arrived on a border port
+  // within the window and must be consumed instead of re-flooded.
+  bool suppress_border_flood(net::Ipv4Address src, net::Ipv4Address dst,
+                             controller::Dpid dpid, std::uint32_t in_port);
+
+  void request_route(net::Ipv4Address dst);
+  void arm_retry(net::Ipv4Address dst);
+  void on_grant(const RouteGrant& grant);
+  void release_frame(const PendingFrame& frame, const RouteGrant& grant);
+  // Sends the frame one hop from `from` toward the border egress; each
+  // subsequent punt repeats this until the transit rules land.
+  void forward_toward(controller::Dpid from, std::uint32_t in_port,
+                      const openflow::Bytes& data, controller::Dpid egress_dpid,
+                      std::uint32_t egress_port);
+
+  ClusterManager& cluster_;
+  std::size_t group_;
+  Stats stats_;
+  std::unordered_map<std::uint32_t, PendingRoute> pending_;  // by dst ip
+  std::unordered_map<std::uint32_t, RouteGrant> granted_;    // by dst ip
+  std::unordered_map<std::uint64_t, double> flood_seen_;  // (src,dst) -> time
+};
+
+}  // namespace zen::cluster

@@ -1,6 +1,7 @@
 #include "controller/controller.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "controller/flow_rule_store.h"
 #include "obs/obs.h"
@@ -76,8 +77,18 @@ Controller::Controller(sim::SimNetwork& net, Options options)
 Controller::~Controller() = default;
 
 void Controller::connect_all() {
-  for (const auto& [dpid, sw] : net_.switches()) {
+  std::vector<Dpid> dpids;
+  dpids.reserve(net_.switches().size());
+  for (const auto& [dpid, sw] : net_.switches()) dpids.push_back(dpid);
+  std::sort(dpids.begin(), dpids.end());
+  connect(dpids);
+}
+
+void Controller::connect(const std::vector<Dpid>& dpids) {
+  if (halted_) return;
+  for (const Dpid dpid : dpids) {
     if (sessions_.contains(dpid)) continue;
+    if (!net_.switches().contains(dpid)) continue;
     Session session;
     session.channel =
         std::make_unique<Channel>(net_.events(), options_.channel_latency_s);
@@ -101,7 +112,21 @@ void Controller::connect_all() {
   }
 }
 
+void Controller::halt() {
+  if (halted_) return;
+  halted_ = true;
+  for (auto& [dpid, session] : sessions_) {
+    // Retire every timer from this life (echo, completion, reconnect).
+    // The channel is deliberately left connected: in-flight frames — e.g.
+    // jitter-delayed writes from this now-dead controller — must still
+    // reach the agents so generation-id fencing can reject them.
+    ++session.epoch;
+  }
+  ZEN_LOG(Warn) << "controller " << conn_id_ << ": halted";
+}
+
 void Controller::start_handshake(Dpid dpid) {
+  if (halted_) return;
   auto& session = sessions_.at(dpid);
   if (session.alive) return;
   // Hello then FeaturesRequest; the reply timer below makes the exchange
@@ -193,8 +218,10 @@ void Controller::declare_switch_down(Dpid dpid) {
   obs::FlightRecorder::global().record(obs::FlightEventKind::kSwitchDown,
                                        dpid, completions_lost);
 
+  const bool was_in_view = view_.has_switch(dpid);
   view_.remove_switch(dpid);
-  for (const auto& app : apps_) app->on_switch_down(dpid);
+  if (was_in_view)
+    for (const auto& app : apps_) app->on_switch_down(dpid);
 
   // Reconnect loop: bounded exponential backoff between handshakes.
   session.backoff_s = options_.reconnect_backoff_initial_s;
@@ -249,6 +276,7 @@ openflow::Xid Controller::next_xid(Dpid dpid) {
 
 void Controller::send(Dpid dpid, const openflow::Message& msg,
                       openflow::Xid xid) {
+  if (halted_) return;
   sessions_.at(dpid).southbound->send(msg, xid);
 }
 
@@ -583,8 +611,18 @@ void Controller::request_port_stats(Dpid dpid,
 
 void Controller::request_role(Dpid dpid, openflow::ControllerRole role,
                               std::uint64_t generation_id, RoleFn done) {
+  auto& session = sessions_.at(dpid);
+  if (session.ever_up && !session.alive) {
+    // Known-down switch: answer with the null-reply path immediately (but
+    // asynchronously) instead of letting the request rot until heartbeats
+    // notice — callers aggregating an election need the verdict.
+    events().schedule_in(0, [done = std::move(done)] {
+      if (done) done(nullptr);
+    });
+    return;
+  }
   const openflow::Xid xid = next_xid(dpid);
-  if (done) sessions_.at(dpid).pending_roles[xid] = std::move(done);
+  if (done) session.pending_roles[xid] = std::move(done);
   openflow::RoleRequest req;
   req.role = role;
   req.generation_id = generation_id;
@@ -592,9 +630,55 @@ void Controller::request_role(Dpid dpid, openflow::ControllerRole role,
 }
 
 void Controller::request_role_all(openflow::ControllerRole role,
-                                  std::uint64_t generation_id) {
-  for (const auto& [dpid, session] : sessions_)
-    request_role(dpid, role, generation_id);
+                                  std::uint64_t generation_id,
+                                  RoleAllFn done) {
+  std::vector<Dpid> dpids;
+  dpids.reserve(sessions_.size());
+  for (const auto& [dpid, session] : sessions_) dpids.push_back(dpid);
+  std::sort(dpids.begin(), dpids.end());
+  request_role_many(dpids, role, generation_id, std::move(done));
+}
+
+void Controller::request_role_many(const std::vector<Dpid>& dpids,
+                                   openflow::ControllerRole role,
+                                   std::uint64_t generation_id,
+                                   RoleAllFn done) {
+  auto result = std::make_shared<RoleAllResult>();
+  result->role = role;
+  result->generation_id = generation_id;
+  auto remaining = std::make_shared<std::size_t>(dpids.size());
+  auto shared_done = std::make_shared<RoleAllFn>(std::move(done));
+  const auto settle = [result, remaining, shared_done] {
+    if (--*remaining > 0) return;
+    std::sort(result->granted.begin(), result->granted.end());
+    std::sort(result->refused.begin(), result->refused.end());
+    std::sort(result->down.begin(), result->down.end());
+    if (*shared_done) (*shared_done)(*result);
+  };
+  if (dpids.empty()) {
+    // Fire asynchronously even when trivially complete.
+    events().schedule_in(0, [result, shared_done] {
+      if (*shared_done) (*shared_done)(*result);
+    });
+    return;
+  }
+  for (const Dpid dpid : dpids) {
+    if (!sessions_.contains(dpid)) {
+      result->down.push_back(dpid);
+      events().schedule_in(0, [settle] { settle(); });
+      continue;
+    }
+    request_role(dpid, role, generation_id,
+                 [dpid, result, settle](const openflow::RoleReply* reply) {
+                   if (!reply)
+                     result->down.push_back(dpid);
+                   else if (reply->accepted)
+                     result->granted.push_back(dpid);
+                   else
+                     result->refused.push_back(dpid);
+                   settle();
+                 });
+  }
 }
 
 openflow::ControllerRole Controller::role(Dpid dpid) const {
@@ -625,12 +709,14 @@ void Controller::flood_packet(Dpid dpid, std::uint32_t in_port,
 
 void Controller::on_batch(Dpid dpid,
                           std::vector<openflow::OwnedMessage> batch) {
+  if (halted_) return;  // a dead controller processes nothing
   // Model controller-side processing latency before dispatch. One event
   // covers the whole delivered batch: each message still dispatches at the
   // same virtual time and in the same order as per-message events would.
   if (options_.processing_delay_s > 0) {
     events().schedule_in(options_.processing_delay_s,
                          [this, dpid, batch = std::move(batch)]() mutable {
+                           if (halted_) return;
                            for (auto& owned : batch)
                              dispatch(dpid, std::move(owned));
                          });
@@ -733,7 +819,11 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
               for (const auto& app : apps_) app->on_link_event(ev);
             }
           }
-          for (const auto& app : apps_) app->on_port_status(dpid, msg);
+          // Scoped controllers keep app fan-out group-local; slave
+          // sessions into other groups still deliver PortStatus, but
+          // those switches are somebody else's problem.
+          if (view_.in_scope(dpid))
+            for (const auto& app : apps_) app->on_port_status(dpid, msg);
         } else if constexpr (std::is_same_v<T, openflow::FlowRemoved>) {
           // The rule store sees removals first so apps observing the event
           // already find evicted managed rules marked degraded.
@@ -779,7 +869,33 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
             if (fn) fn(&msg);
           }
         } else if constexpr (std::is_same_v<T, openflow::RoleReply>) {
-          if (msg.accepted) session.granted_role = msg.role;
+          if (msg.accepted && session.granted_role != msg.role) {
+            const auto old_role = session.granted_role;
+            session.granted_role = msg.role;
+            // Controller-side role_change black-box event: b packs the
+            // election generation with the old and new role so a takeover
+            // is reconstructible from the ring alone (see DESIGN.md).
+            char tag[16];
+            std::snprintf(tag, sizeof(tag), "ctl%llu",
+                          static_cast<unsigned long long>(conn_id_));
+            obs::FlightRecorder::global().record(
+                obs::FlightEventKind::kRoleChange, dpid,
+                (msg.generation_id << 16) |
+                    (static_cast<std::uint64_t>(old_role) << 8) |
+                    static_cast<std::uint64_t>(msg.role),
+                tag);
+            // Gauge registered lazily on the first role grant: runs that
+            // never negotiate roles keep their metric surface unchanged.
+            obs::MetricsRegistry::global()
+                .gauge("zen_controller_role",
+                       "conn=\"" + std::to_string(conn_id_) + "\",dpid=\"" +
+                           std::to_string(dpid) + "\"",
+                       "Granted role per controller connection "
+                       "(0 equal, 1 master, 2 slave)")
+                .set(static_cast<double>(msg.role));
+          } else if (msg.accepted) {
+            session.granted_role = msg.role;
+          }
           const auto it = session.pending_roles.find(owned.xid);
           if (it != session.pending_roles.end()) {
             auto fn = std::move(it->second);
@@ -818,9 +934,14 @@ void Controller::dispatch(Dpid dpid, openflow::OwnedMessage owned) {
 void Controller::handle_features_reply(Dpid dpid, Session& session,
                                        const openflow::FeaturesReply& msg) {
   if (session.alive) {
-    // Duplicate reply (a retried FeaturesRequest raced the original);
-    // refresh the view, don't re-fire apps.
+    // Duplicate reply (a retried FeaturesRequest raced the original):
+    // refresh the view, don't re-fire apps — unless the switch just
+    // entered a grown scope (group adoption via refresh_features), in
+    // which case this reply IS its first appearance to the apps.
+    const bool was_known = view_.has_switch(dpid);
     view_.add_switch(dpid, msg);
+    if (!was_known && view_.has_switch(dpid))
+      for (const auto& app : apps_) app->on_switch_up(dpid, msg);
     return;
   }
   const bool reconnect = session.ever_up;
@@ -851,7 +972,10 @@ void Controller::handle_features_reply(Dpid dpid, Session& session,
                                          dpid, session.epoch);
   }
   schedule_echo(dpid, session.epoch);
-  for (const auto& app : apps_) app->on_switch_up(dpid, msg);
+  // A scoped view rejects out-of-group switches; apps only hear about the
+  // ones it admitted (a delegated controller's apps see its group alone).
+  if (view_.has_switch(dpid))
+    for (const auto& app : apps_) app->on_switch_up(dpid, msg);
   // After a crash the switch came back empty: reconcile actual state with
   // everything apps intend for it (apps may also have just re-installed
   // state in on_switch_up; the audit mops up whatever the faulty channel
@@ -861,6 +985,18 @@ void Controller::handle_features_reply(Dpid dpid, Session& session,
 
 void Controller::notify_link_event(const LinkEvent& ev) {
   for (const auto& app : apps_) app->on_link_event(ev);
+}
+
+void Controller::refresh_features(Dpid dpid) {
+  if (halted_ || !sessions_.contains(dpid)) return;
+  send(dpid, openflow::Message{openflow::FeaturesRequest{}}, next_xid(dpid));
+}
+
+void Controller::notify_host(const HostInfo& host) {
+  if (!view_.learn_host(host.mac, host.ip, host.dpid, host.port, now()))
+    return;
+  const HostInfo* info = view_.host_by_mac(host.mac);
+  for (const auto& app : apps_) app->on_host_discovered(*info);
 }
 
 }  // namespace zen::controller

@@ -161,6 +161,19 @@ class Controller {
   // Creates channels + agents for every switch and runs the handshake.
   // (Events must then be pumped: net.events().run_until(...).)
   void connect_all();
+  // Same, for an explicit subset of switches (delegated controllers that
+  // only ever talk to their own group). Unknown dpids are skipped.
+  void connect(const std::vector<Dpid>& dpids);
+
+  // Kills this controller instance: no further southbound sends, no
+  // incoming dispatch, every timer epoch retired. Channels stay connected
+  // on purpose — frames already in flight (including jitter-delayed
+  // zombie writes from a controller that believed itself master) still
+  // arrive at the agents, where role fencing must reject them. This is
+  // the failure-injection entry point for whole-controller crash tests;
+  // there is no un-halt.
+  void halt();
+  bool halted() const noexcept { return halted_; }
 
   // ---- southbound API (all cross the wire) ----
   // Each send is assigned an xid (returned). With a completion callback
@@ -211,9 +224,33 @@ class Controller {
   using RoleFn = std::function<void(const openflow::RoleReply*)>;
   void request_role(Dpid dpid, openflow::ControllerRole role,
                     std::uint64_t generation_id, RoleFn done = nullptr);
-  // Convenience: request a role on every connected switch.
+
+  // Aggregate outcome of a multi-switch role request. Every targeted
+  // switch lands in exactly one bucket (each sorted ascending): granted,
+  // refused (the switch answered accepted=false — stale generation id), or
+  // down (no session / declared down before answering).
+  struct RoleAllResult {
+    openflow::ControllerRole role = openflow::ControllerRole::Equal;
+    std::uint64_t generation_id = 0;
+    std::vector<Dpid> granted;
+    std::vector<Dpid> refused;
+    std::vector<Dpid> down;
+    bool all_granted() const noexcept {
+      return refused.empty() && down.empty();
+    }
+  };
+  using RoleAllFn = std::function<void(const RoleAllResult&)>;
+  // Requests a role on every connected switch. `done` (optional) fires
+  // exactly once with the aggregate result — per-switch failures are
+  // surfaced, never silently dropped.
   void request_role_all(openflow::ControllerRole role,
-                        std::uint64_t generation_id);
+                        std::uint64_t generation_id, RoleAllFn done = nullptr);
+  // Same, for an explicit switch subset (failover adopts one dead group's
+  // switches without touching the requester's standing roles elsewhere).
+  void request_role_many(const std::vector<Dpid>& dpids,
+                         openflow::ControllerRole role,
+                         std::uint64_t generation_id,
+                         RoleAllFn done = nullptr);
   // Last role granted by the switch (Equal if never negotiated).
   openflow::ControllerRole role(Dpid dpid) const;
 
@@ -250,8 +287,20 @@ class Controller {
   const ControllerStats& stats() const noexcept { return stats_; }
   const Options& options() const noexcept { return options_; }
 
+  // Identifies this controller's switch connections (role arbitration).
+  std::uint64_t conn_id() const noexcept { return conn_id_; }
+
+  // Re-requests features from an already-connected switch. Used when a
+  // scoped view grows (group adoption): the fresh FeaturesReply admits the
+  // switch into the view and fires on_switch_up as if it had just joined.
+  void refresh_features(Dpid dpid);
+
   // Notification hooks used by system apps (discovery).
   void notify_link_event(const LinkEvent& ev);
+  // Externally supplied host knowledge (e.g. a cluster coordinator's host
+  // directory during group adoption): learns the host into the view and,
+  // if that changed anything, announces it to apps like a snooped one.
+  void notify_host(const HostInfo& host);
 
   // Observation hook: invoked synchronously for every FlowMod and GroupMod
   // in send order, before encoding. Determinism tests fingerprint the
@@ -351,6 +400,7 @@ class Controller {
   std::unordered_map<Dpid, Session> sessions_;
   ControllerStats stats_;
   std::uint32_t next_bundle_id_ = 1;
+  bool halted_ = false;
   std::unique_ptr<FlowRuleStore> rule_store_;
   SouthboundTap southbound_tap_;
 };

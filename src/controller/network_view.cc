@@ -4,7 +4,17 @@
 
 namespace zen::controller {
 
+void NetworkView::restrict_scope(const std::vector<Dpid>& dpids) {
+  scoped_ = true;
+  scope_.insert(dpids.begin(), dpids.end());
+}
+
+void NetworkView::add_to_scope(Dpid dpid) {
+  if (scoped_) scope_.insert(dpid);
+}
+
 void NetworkView::add_switch(Dpid dpid, const openflow::FeaturesReply& features) {
+  if (!in_scope(dpid)) return;
   SwitchEntry entry;
   entry.features = features;
   for (const auto& port : features.ports) entry.port_up[port.port_no] = port.link_up;
@@ -63,6 +73,9 @@ void NetworkView::set_port_state(Dpid dpid, std::uint32_t port, bool up) {
 
 bool NetworkView::learn_link(Dpid a, std::uint32_t a_port, Dpid b,
                              std::uint32_t b_port, double now) {
+  // A scoped view only models links internal to its group; border links
+  // belong to the root controller's abstract inter-group topology.
+  if (!in_scope(a) || !in_scope(b)) return false;
   for (auto& link : links_) {
     const bool same_fwd = link.a == a && link.a_port == a_port && link.b == b &&
                           link.b_port == b_port;
@@ -111,8 +124,19 @@ bool NetworkView::is_infrastructure_port(Dpid dpid, std::uint32_t port) const {
                      });
 }
 
+void NetworkView::mark_weak_port(Dpid dpid, std::uint32_t port) {
+  weak_ports_[dpid].insert(port);
+}
+
+bool NetworkView::is_weak_port(Dpid dpid, std::uint32_t port) const {
+  const auto it = weak_ports_.find(dpid);
+  return it != weak_ports_.end() && it->second.contains(port);
+}
+
 bool NetworkView::learn_host(net::MacAddress mac, net::Ipv4Address ip,
                              Dpid dpid, std::uint32_t port, double now) {
+  if (!in_scope(dpid)) return false;
+  if (is_weak_port(dpid, port)) return false;
   const auto [it, inserted] = hosts_by_mac_.try_emplace(mac);
   auto& info = it->second;
   const bool changed =

@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/addr.h"
@@ -43,6 +44,20 @@ struct HostInfo {
 
 class NetworkView {
  public:
+  // ---- scope ----
+  // A scoped view models a delegated (per-group) controller: only switches
+  // inside the scope are admitted by add_switch / learn_link / learn_host,
+  // so the controller's apps compute over its group alone even though its
+  // sessions may span the whole fabric. An unscoped view (the default)
+  // admits everything. Scope only ever grows at runtime — failover expands
+  // it when a controller adopts a dead peer's group.
+  void restrict_scope(const std::vector<Dpid>& dpids);
+  void add_to_scope(Dpid dpid);
+  bool scoped() const noexcept { return scoped_; }
+  bool in_scope(Dpid dpid) const noexcept {
+    return !scoped_ || scope_.contains(dpid);
+  }
+
   // ---- switches ----
   void add_switch(Dpid dpid, const openflow::FeaturesReply& features);
   void remove_switch(Dpid dpid);
@@ -61,6 +76,17 @@ class NetworkView {
   std::vector<DiscoveredLink> mark_links_down(Dpid dpid, std::uint32_t port);
   const std::vector<DiscoveredLink>& links() const noexcept { return links_; }
   bool is_infrastructure_port(Dpid dpid, std::uint32_t port) const;
+
+  // ---- weak ports ----
+  // A weak port (a cluster border link's endpoint) never learns hosts:
+  // frames leaking across a group border would otherwise masquerade remote
+  // hosts as border-local ones — relocating the group's own hosts on
+  // leak-backs, poisoning the cluster host directory, and short-circuiting
+  // the coordinator route path with accidental cross-border routes. Remote
+  // hosts enter a scoped view only by explicit import (notify_host with
+  // their genuine attachment).
+  void mark_weak_port(Dpid dpid, std::uint32_t port);
+  bool is_weak_port(Dpid dpid, std::uint32_t port) const;
 
   // ---- hosts ----
   // Returns true if this is a new host or it moved.
@@ -104,6 +130,9 @@ class NetworkView {
     std::map<std::uint32_t, bool> port_up;
   };
 
+  bool scoped_ = false;
+  std::unordered_set<Dpid> scope_;
+  std::unordered_map<Dpid, std::unordered_set<std::uint32_t>> weak_ports_;
   std::unordered_map<Dpid, SwitchEntry> switches_;
   std::unordered_map<Dpid, openflow::TableStatus> table_status_;
   std::vector<DiscoveredLink> links_;

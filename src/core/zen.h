@@ -11,9 +11,13 @@
 //   controller/  control plane runtime + apps
 //   intent/      northbound intent framework
 //   te/          traffic engineering: demands, allocators, update planner
+//   cluster/     partitioned control plane: delegates, root, failover
 //   core/        Network façade composing the stack
 #pragma once
 
+#include "cluster/cluster_manager.h"
+#include "cluster/failover.h"
+#include "cluster/group_agent.h"
 #include "controller/apps/discovery.h"
 #include "controller/apps/firewall.h"
 #include "controller/apps/l3_routing.h"

@@ -48,6 +48,22 @@ IntentId IntentManager::submit(IntentSpec spec) {
   return id;
 }
 
+IntentId IntentManager::adopt(IntentSpec spec, IntentState prior) {
+  const IntentId id = next_id_++;
+  Record record;
+  record.spec = std::move(spec);
+  ++stats_.submitted;
+  auto [it, inserted] = intents_.emplace(id, std::move(record));
+  if (prior == IntentState::Degraded) {
+    it->second.state = IntentState::Degraded;
+    it->second.unstable_since_s = controller_->now();
+    ++stats_.degraded;
+    return id;
+  }
+  compile(id, it->second);
+  return id;
+}
+
 bool IntentManager::withdraw(IntentId id) {
   const auto it = intents_.find(id);
   if (it == intents_.end() || it->second.state == IntentState::Withdrawn)

@@ -30,6 +30,15 @@ class IntentManager : public controller::App {
 
   // ---- northbound ----
   IntentId submit(IntentSpec spec);
+  // Clustered handoff: re-homes an intent from a dead controller under a
+  // fresh local id. `prior` is the state the previous owner last reported.
+  // A Degraded prior is preserved without compiling — the intent was
+  // parked for table pressure on switches this controller just adopted,
+  // and blasting it back in would recreate the pressure (the
+  // recompile-storm failure mode). It re-enters the normal recovery
+  // ladder on VacancyUp / switch-up like any Degraded intent. Any other
+  // prior state compiles immediately, exactly like submit().
+  IntentId adopt(IntentSpec spec, IntentState prior);
   bool withdraw(IntentId id);
   IntentState state(IntentId id) const;
   // Switch sequence of the installed forward path (empty for Ban/uninstalled).

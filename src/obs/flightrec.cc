@@ -30,6 +30,8 @@ const char* to_string(FlightEventKind kind) noexcept {
     case FlightEventKind::kInvariantViolation: return "invariant_violation";
     case FlightEventKind::kInvariantClear: return "invariant_clear";
     case FlightEventKind::kBundleRollback: return "bundle_rollback";
+    case FlightEventKind::kControllerDown: return "controller_down";
+    case FlightEventKind::kTakeover: return "takeover";
   }
   return "unknown";
 }

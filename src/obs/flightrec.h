@@ -45,6 +45,8 @@ enum class FlightEventKind : std::uint8_t {
                         // tag: blackhole / loop / diverge
   kInvariantClear,      // a: violations resolved, b: epoch
   kBundleRollback,      // a: dpid, b: member count
+  kControllerDown,      // a: controller index, b: group+1 (0 = root)
+  kTakeover,            // a: adopted group, b: adopter index, tag: phase
 };
 
 const char* to_string(FlightEventKind kind) noexcept;

@@ -1,0 +1,245 @@
+#include "topo/partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace zen::topo {
+
+namespace {
+
+// Neighbors of `node` restricted to the partitioned switch set, ascending —
+// every traversal below walks them in id order so the result depends only
+// on (topology, switches, options).
+std::vector<NodeId> sorted_member_neighbors(
+    const Topology& topo, NodeId node,
+    const std::unordered_set<NodeId>& members) {
+  std::vector<NodeId> out;
+  for (const NodeId nb : topo.neighbors(node))
+    if (members.contains(nb)) out.push_back(nb);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// BFS hop distances from `src` within the member set.
+std::unordered_map<NodeId, std::size_t> bfs_distances(
+    const Topology& topo, NodeId src,
+    const std::unordered_set<NodeId>& members) {
+  std::unordered_map<NodeId, std::size_t> dist;
+  dist[src] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (const NodeId nb : sorted_member_neighbors(topo, cur, members)) {
+      if (dist.contains(nb)) continue;
+      dist[nb] = dist.at(cur) + 1;
+      queue.push_back(nb);
+    }
+  }
+  return dist;
+}
+
+// Would `group` stay connected if `node` left it?
+bool connected_without(const Topology& topo, const std::vector<NodeId>& group,
+                       NodeId node) {
+  std::unordered_set<NodeId> rest(group.begin(), group.end());
+  rest.erase(node);
+  if (rest.empty()) return false;  // never empty a group
+  const NodeId start = *std::min_element(rest.begin(), rest.end());
+  std::unordered_set<NodeId> seen{start};
+  std::deque<NodeId> queue{start};
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (const NodeId nb : sorted_member_neighbors(topo, cur, rest))
+      if (seen.insert(nb).second) queue.push_back(nb);
+  }
+  return seen.size() == rest.size();
+}
+
+}  // namespace
+
+double Partition::imbalance() const noexcept {
+  if (groups.empty() || group_of.empty()) return 1.0;
+  std::size_t largest = 0;
+  for (const auto& group : groups) largest = std::max(largest, group.size());
+  const double mean =
+      static_cast<double>(group_of.size()) / static_cast<double>(groups.size());
+  return mean > 0 ? static_cast<double>(largest) / mean : 1.0;
+}
+
+Partition partition_switches(const Topology& topo,
+                             const std::vector<NodeId>& switches,
+                             const PartitionOptions& opts) {
+  Partition part;
+  std::vector<NodeId> nodes = switches;
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  const std::size_t k =
+      std::max<std::size_t>(1, std::min(opts.n_groups, nodes.size()));
+  part.groups.resize(k);
+  if (nodes.empty()) return part;
+  const std::unordered_set<NodeId> members(nodes.begin(), nodes.end());
+
+  // ---- seed selection: seeded start, then farthest-point spreading ----
+  // The first seed is a seeded uniform pick; each subsequent seed is the
+  // node maximizing hop distance to its nearest existing seed, which
+  // spreads the regions across the graph instead of clustering them.
+  util::Rng rng(opts.seed);
+  std::vector<NodeId> seeds{nodes[rng.next_below(nodes.size())]};
+  std::unordered_map<NodeId, std::size_t> nearest =
+      bfs_distances(topo, seeds[0], members);
+  while (seeds.size() < k) {
+    NodeId best = 0;
+    std::size_t best_dist = 0;
+    bool found = false;
+    for (const NodeId node : nodes) {
+      if (std::find(seeds.begin(), seeds.end(), node) != seeds.end()) continue;
+      const auto it = nearest.find(node);
+      // Unreachable nodes are maximally far: they start their own region.
+      const std::size_t d = it == nearest.end()
+                                ? std::numeric_limits<std::size_t>::max()
+                                : it->second;
+      if (!found || d > best_dist) {
+        best = node;
+        best_dist = d;
+        found = true;
+      }
+    }
+    if (!found) break;
+    seeds.push_back(best);
+    for (const auto& [node, d] : bfs_distances(topo, best, members)) {
+      const auto it = nearest.find(node);
+      if (it == nearest.end() || d < it->second) nearest[node] = d;
+    }
+  }
+
+  // ---- BFS region growing, smallest group first ----
+  // Each group holds a frontier; every step extends the currently smallest
+  // growable group by one node, so sizes stay within one node of each
+  // other wherever the graph allows it.
+  std::vector<std::deque<NodeId>> frontier(k);
+  for (std::size_t g = 0; g < seeds.size(); ++g) {
+    part.groups[g].push_back(seeds[g]);
+    part.group_of[seeds[g]] = g;
+    frontier[g].push_back(seeds[g]);
+  }
+  std::size_t assigned = part.group_of.size();
+  while (assigned < nodes.size()) {
+    std::size_t pick = k;
+    for (std::size_t g = 0; g < k; ++g) {
+      if (frontier[g].empty()) continue;
+      if (pick == k || part.groups[g].size() < part.groups[pick].size())
+        pick = g;
+    }
+    if (pick == k) {
+      // Every frontier is exhausted but nodes remain (disconnected member
+      // set): attach each leftover to the group of a neighbor when one is
+      // assigned, else to the smallest group.
+      for (const NodeId node : nodes) {
+        if (part.group_of.contains(node)) continue;
+        std::size_t g = 0;
+        bool via_neighbor = false;
+        for (const NodeId nb : sorted_member_neighbors(topo, node, members)) {
+          const auto it = part.group_of.find(nb);
+          if (it != part.group_of.end()) {
+            g = it->second;
+            via_neighbor = true;
+            break;
+          }
+        }
+        if (!via_neighbor) {
+          for (std::size_t cand = 0; cand < k; ++cand)
+            if (part.groups[cand].size() < part.groups[g].size()) g = cand;
+        }
+        part.groups[g].push_back(node);
+        part.group_of[node] = g;
+        ++assigned;
+      }
+      break;
+    }
+    const NodeId cur = frontier[pick].front();
+    bool grew = false;
+    for (const NodeId nb : sorted_member_neighbors(topo, cur, members)) {
+      if (part.group_of.contains(nb)) continue;
+      part.groups[pick].push_back(nb);
+      part.group_of[nb] = pick;
+      frontier[pick].push_back(nb);
+      ++assigned;
+      grew = true;
+      break;  // one node per step keeps the smallest-first invariant
+    }
+    if (!grew) frontier[pick].pop_front();
+  }
+
+  // ---- boundary refinement (KL-style, connectivity-preserving) ----
+  // Move a border node to a neighboring group when that strictly reduces
+  // its external degree, the donor stays connected, and the recipient
+  // stays under the balance cap. Nodes are visited in ascending id order;
+  // the loop ends after a full pass with no moves.
+  const double cap = std::max(1.0, opts.balance_cap) *
+                     (static_cast<double>(nodes.size()) / static_cast<double>(k));
+  for (int iter = 0; iter < opts.refine_iters; ++iter) {
+    bool moved = false;
+    for (const NodeId node : nodes) {
+      const std::size_t from = part.group_of.at(node);
+      if (part.groups[from].size() <= 1) continue;
+      // Count neighbors per group.
+      std::unordered_map<std::size_t, std::size_t> degree;
+      for (const NodeId nb : sorted_member_neighbors(topo, node, members))
+        ++degree[part.group_of.at(nb)];
+      std::size_t best = from;
+      std::size_t best_degree = degree[from];
+      for (std::size_t g = 0; g < k; ++g) {
+        if (g == from) continue;
+        const auto it = degree.find(g);
+        if (it == degree.end()) continue;
+        if (static_cast<double>(part.groups[g].size()) + 1 > cap) continue;
+        // Strict improvement only — lateral moves would oscillate.
+        if (it->second > best_degree) {
+          best = g;
+          best_degree = it->second;
+        }
+      }
+      if (best == from) continue;
+      if (!connected_without(topo, part.groups[from], node)) continue;
+      auto& donor = part.groups[from];
+      donor.erase(std::remove(donor.begin(), donor.end(), node), donor.end());
+      part.groups[best].push_back(node);
+      part.group_of[node] = best;
+      moved = true;
+    }
+    if (!moved) break;
+  }
+
+  for (auto& group : part.groups) std::sort(group.begin(), group.end());
+  return part;
+}
+
+std::vector<BorderLink> border_links(const Topology& topo,
+                                     const Partition& partition) {
+  std::vector<BorderLink> out;
+  for (const Link* link : topo.links()) {
+    const auto a = partition.group_of.find(link->a);
+    const auto b = partition.group_of.find(link->b);
+    if (a == partition.group_of.end() || b == partition.group_of.end())
+      continue;
+    if (a->second == b->second) continue;
+    out.push_back(BorderLink{link->id, link->a, link->a_port, a->second,
+                             link->b, link->b_port, b->second});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BorderLink& x, const BorderLink& y) { return x.id < y.id; });
+  return out;
+}
+
+std::size_t edge_cut(const Topology& topo, const Partition& partition) {
+  return border_links(topo, partition).size();
+}
+
+}  // namespace zen::topo

@@ -1,0 +1,69 @@
+// Deterministic seeded graph partitioner for clustered control planes.
+//
+// Splits a set of switches into k connected groups of comparable size so
+// each group can be owned by one delegated controller (the LazyCtrl-style
+// CCM/DCM split): seeded farthest-point seed selection, BFS region growing
+// that always extends the currently smallest group, and a bounded
+// KL-style boundary refinement that moves border nodes to reduce the edge
+// cut without disconnecting the donor group or violating the balance cap.
+// The same (topology, switches, options) always yields the same groups —
+// two controllers computing the partition independently agree on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace zen::topo {
+
+struct PartitionOptions {
+  std::size_t n_groups = 2;
+  std::uint64_t seed = 1;
+  // Boundary-refinement passes (0 disables refinement).
+  int refine_iters = 4;
+  // No group may exceed this multiple of the mean group size.
+  double balance_cap = 2.0;
+};
+
+struct Partition {
+  // groups[g] lists that group's switches in ascending id order.
+  std::vector<std::vector<NodeId>> groups;
+  std::unordered_map<NodeId, std::size_t> group_of;
+
+  std::size_t size() const noexcept { return groups.size(); }
+  // Largest group size divided by the mean (1.0 = perfectly balanced).
+  double imbalance() const noexcept;
+};
+
+// Partitions `switches` (which must be nodes of `topo`) into
+// opts.n_groups connected groups. Nodes unreachable from any seed land in
+// the group of their nearest already-assigned neighbor (or group 0 when
+// fully isolated), so every switch is always assigned.
+Partition partition_switches(const Topology& topo,
+                             const std::vector<NodeId>& switches,
+                             const PartitionOptions& opts);
+
+// A physical link whose endpoints landed in different groups: the only
+// infrastructure the root controller needs to model — each group collapses
+// to one abstract node whose "ports" are its border-link endpoints.
+struct BorderLink {
+  LinkId id = 0;
+  NodeId a = 0;
+  std::uint32_t a_port = 0;
+  std::size_t a_group = 0;
+  NodeId b = 0;
+  std::uint32_t b_port = 0;
+  std::size_t b_group = 0;
+};
+
+// Border links of `partition` in ascending link-id order (deterministic).
+std::vector<BorderLink> border_links(const Topology& topo,
+                                     const Partition& partition);
+
+// Number of links crossing group boundaries (the partition cut).
+std::size_t edge_cut(const Topology& topo, const Partition& partition);
+
+}  // namespace zen::topo
