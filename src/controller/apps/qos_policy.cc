@@ -54,15 +54,17 @@ void QosPolicy::install(Dpid dpid, std::size_t class_index) {
       static_cast<std::uint16_t>(options_.band_base + 1 + traffic_class.priority);
   mod.match = traffic_class.match;
   openflow::InstructionList instructions;
-  if (meter_id != 0) instructions.push_back(openflow::MeterInstruction{meter_id});
+  if (meter_id != 0)
+    instructions.emplace_back(openflow::MeterInstruction{meter_id});
   if (traffic_class.queue_id != 0) {
     // Applied immediately: the queue assignment sticks to the packet for
     // the rest of the pipeline, so whatever output the forwarding table
     // later executes uses this queue.
-    instructions.push_back(openflow::ApplyActions{
-        {openflow::SetQueueAction{traffic_class.queue_id}}});
+    openflow::ApplyActions set_queue;
+    set_queue.actions.push_back(openflow::SetQueueAction{traffic_class.queue_id});
+    instructions.emplace_back(std::move(set_queue));
   }
-  instructions.push_back(openflow::GotoTable{options_.forward_table});
+  instructions.emplace_back(openflow::GotoTable{options_.forward_table});
   mod.instructions = std::move(instructions);
   controller_->flow_mod(dpid, mod,
                         [this](const std::optional<openflow::Error>& err) {

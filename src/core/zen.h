@@ -38,6 +38,7 @@
 #include "net/packet.h"
 #include "obs/obs.h"
 #include "openflow/codec.h"
+#include "sim/engine.h"
 #include "sim/fault_injector.h"
 #include "sim/network.h"
 #include "te/allocation.h"

@@ -22,6 +22,115 @@ bool outputs_to_port(const FlowEntry& entry, std::uint32_t port) noexcept {
   return false;
 }
 
+FlowTable::~FlowTable() { drop_view(); }
+
+FlowTable::FlowTable(const FlowTable& other) { copy_from(other); }
+
+FlowTable& FlowTable::operator=(const FlowTable& other) {
+  if (this != &other) {
+    drop_view();
+    copy_from(other);
+  }
+  return *this;
+}
+
+FlowTable::FlowTable(FlowTable&& other) noexcept {
+  move_from(std::move(other));
+}
+
+FlowTable& FlowTable::operator=(FlowTable&& other) noexcept {
+  if (this != &other) {
+    drop_view();
+    move_from(std::move(other));
+  }
+  return *this;
+}
+
+void FlowTable::copy_from(const FlowTable& other) {
+  mode_ = other.mode_;
+  max_entries_ = other.max_entries_;
+  eviction_ = other.eviction_;
+  groups_ = other.groups_;
+  probe_order_.clear();  // other's order points into other's groups
+  order_dirty_ = true;
+  count_ = other.count_;
+  lookups_ = other.lookups_;
+  matches_ = other.matches_;
+  concurrent_ = other.concurrent_;
+  view_.store(nullptr, std::memory_order_relaxed);
+  republish_view();
+}
+
+void FlowTable::move_from(FlowTable&& other) noexcept {
+  mode_ = other.mode_;
+  max_entries_ = other.max_entries_;
+  eviction_ = other.eviction_;
+  groups_ = std::move(other.groups_);
+  probe_order_ = std::move(other.probe_order_);
+  order_dirty_ = other.order_dirty_;
+  count_ = other.count_;
+  lookups_ = other.lookups_;
+  matches_ = other.matches_;
+  concurrent_ = other.concurrent_;
+  // Steal the published view: readers resolved it through the old object's
+  // atomic before the move; moving a table with live concurrent readers is
+  // a caller error (same contract as moving any container).
+  view_.store(other.view_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  other.view_.store(nullptr, std::memory_order_relaxed);
+  other.concurrent_ = false;
+  other.groups_.clear();
+  other.probe_order_.clear();
+  other.count_ = 0;
+}
+
+void FlowTable::set_concurrent_reads(bool on) {
+  if (concurrent_ == on) return;
+  concurrent_ = on;
+  if (on) republish_view();
+  else drop_view();
+}
+
+void FlowTable::republish_view() noexcept {
+  if (!concurrent_) return;
+  auto* fresh = new ReadView;
+  fresh->groups.reserve(groups_.size());
+  for (const auto& [mask, group] : groups_) fresh->groups.push_back(group);
+  std::stable_sort(fresh->groups.begin(), fresh->groups.end(),
+                   [](const MaskGroup& a, const MaskGroup& b) {
+                     return a.max_priority > b.max_priority;
+                   });
+  ReadView* old = view_.exchange(fresh, std::memory_order_acq_rel);
+  // Readers pinned before the exchange may still be probing `old`.
+  if (old) util::EpochReclaimer::global().retire(old);
+}
+
+void FlowTable::drop_view() noexcept {
+  // Teardown path: no concurrent readers by contract, free immediately.
+  delete view_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+FlowEntryPtr FlowTable::lookup_concurrent(
+    const net::FlowKey& key, util::EpochReclaimer::Guard&) const {
+  const ReadView* view = view_.load(std::memory_order_acquire);
+  if (view == nullptr) return find_best(key);  // not enabled: single caller
+  // Mirrors find_best's tuple-space walk over the pre-sorted snapshot:
+  // probe groups in max_priority order, stop once no group can outrank the
+  // best hit, first better-than-best entry in a bucket wins.
+  FlowEntryPtr best;
+  for (const MaskGroup& group : view->groups) {
+    if (best && group.max_priority <= best->priority) break;
+    const auto it = group.by_key.find(group.mask.apply(key));
+    if (it == group.by_key.end()) continue;
+    for (const auto& entry : it->second) {
+      if (best && entry->priority <= best->priority) break;
+      best = entry;
+      break;
+    }
+  }
+  return best;
+}
+
 bool FlowTable::contains(const openflow::Match& match,
                          std::uint16_t priority) const noexcept {
   const auto group_it = groups_.find(match.mask());
@@ -104,6 +213,7 @@ FlowEntryPtr FlowTable::add(FlowEntry entry, double now) {
     ++count_;
   }
   group.max_priority = std::max(group.max_priority, ptr->priority);
+  republish_view();
   return ptr;
 }
 
@@ -119,12 +229,19 @@ std::size_t FlowTable::modify(const openflow::Match& match,
                              ? entry->priority == priority && entry->match == match
                              : entry->match.subsumed_by(match);
         if (hit) {
+          if (concurrent_) {
+            // Clone-and-swap: the published view (and any reader already
+            // holding this entry) keeps the old instruction list intact;
+            // the replacement becomes visible at the next republish.
+            entry = std::make_shared<FlowEntry>(*entry);
+          }
           entry->instructions = instructions;
           ++updated;
         }
       }
     }
   }
+  if (updated > 0) republish_view();
   return updated;
 }
 
@@ -152,7 +269,10 @@ std::vector<FlowEntryPtr> FlowTable::remove_if(Pred&& pred) {
   count_ -= removed.size();
   // Erased groups invalidate probe_order_ pointers; rebuilt priorities can
   // reorder it. Removals are rare next to lookups, so just re-sort lazily.
-  if (!removed.empty()) order_dirty_ = true;
+  if (!removed.empty()) {
+    order_dirty_ = true;
+    republish_view();
+  }
   return removed;
 }
 
@@ -297,6 +417,7 @@ FlowTable FlowTable::clone() const {
     for (auto& [key, bucket] : group.by_key)
       for (FlowEntryPtr& entry : bucket)
         entry = std::make_shared<FlowEntry>(*entry);
+  copy.republish_view();  // the copy-published view shared the old entries
   return copy;
 }
 

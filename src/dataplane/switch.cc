@@ -110,7 +110,10 @@ Switch::Switch(std::uint64_t datapath_id, SwitchConfig config)
   for (std::uint8_t i = 0; i < config_.n_tables; ++i) {
     tables_.emplace_back(config_.lookup_mode);
     tables_.back().set_capacity(config_.table_capacity, config_.eviction);
+    if (config_.concurrent_lookup) tables_.back().set_concurrent_reads(true);
   }
+  if (config_.concurrent_lookup)
+    cache_.enable_concurrent(config_.cache_ways);
   vacancy_down_.assign(config_.n_tables, false);
   shard_ = std::make_unique<obs::ShardStats>();
   shard_->bind(kSlotPackets, SwitchMetrics::get().packets);
@@ -691,8 +694,18 @@ ForwardResult Switch::ingress(double now, std::uint32_t in_port,
       telemetry_->on_packet(static_cast<std::uint64_t>(now * 1e9), in_port,
                             key, frame.size());
 
-  // Fast path: megaflow cache.
-  if (const CachedVerdict* verdict = cache_.find(key, version_)) {
+  // Fast path: megaflow cache. Concurrent mode pins an epoch guard so the
+  // verdict pointer stays valid even if a racing version bump retires the
+  // table it lives in; classic mode takes the plain map probe.
+  std::optional<util::EpochReclaimer::Guard> epoch_guard;
+  const CachedVerdict* cached = nullptr;
+  if (cache_.concurrent()) {
+    epoch_guard.emplace(util::EpochReclaimer::global());
+    cached = cache_.find(key, version_, *epoch_guard);
+  } else {
+    cached = cache_.find(key, version_);
+  }
+  if (const CachedVerdict* verdict = cached) {
     bool metered_out = false;
     for (const std::uint32_t meter_id : verdict->meters) {
       if (!meters_.allow(meter_id, frame.size(), now)) {

@@ -84,6 +84,13 @@ struct SwitchConfig {
   // fail_timeout_s of controller silence (0 disables detection entirely).
   FailMode fail_mode = FailMode::Secure;
   double fail_timeout_s = 0;
+  // Lock-free lookup structures: sharded megaflow ways (epoch-reclaimed on
+  // version bumps) and flow-table read snapshots. Lets lookups race rule
+  // churn safely when the sharded packet engine drives switches from
+  // worker threads. Off by default: the classic structures are faster
+  // single-threaded and their eviction behavior is the documented one.
+  bool concurrent_lookup = false;
+  std::size_t cache_ways = 4;
 };
 
 struct Egress {

@@ -10,8 +10,18 @@
 // snapshot or rendering, so readers always see up-to-date totals while the
 // hot path never touches the shared cacheline.
 //
-// flush() uses exchange(), so a future concurrent flusher cannot double
-// count; bump() stays single-writer (the shard's owner).
+// flush() uses exchange(), so a concurrent flusher cannot double count;
+// bump() stays single-writer (the shard's owner).
+//
+// Threading protocol under the sharded packet engine (sim::ParallelEngine):
+// each switch's ShardStats — and each engine worker's own block — has
+// exactly one logical writer at any instant, because a switch is owned by
+// one worker for the duration of a slice and run_batch() is a quiescence
+// barrier. Registry drains (snapshot/render) happen on the coordinator
+// *between* batches, when every worker is parked, so the plain-store bump
+// never races the exchange in flush(). Code that snapshots metrics from a
+// non-coordinator thread while a slice is in flight is outside the
+// contract (and is what the TSan CI job exists to catch).
 //
 // Under ZEN_OBS_DISABLED the type is empty and every method is an inline
 // no-op.
@@ -50,6 +60,13 @@ class ShardStats {
   // Drains pending deltas into the bound counters.
   void flush() noexcept;
 
+  // Undrained count in one slot (tests: verify lazy aggregation — the sum
+  // of per-core pendings plus the bound counters' values must equal the
+  // single-threaded totals at any quiesced point).
+  std::uint64_t pending(std::size_t slot) const noexcept {
+    return slots_[slot].pending.load(std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(64) Slot {
     std::atomic<std::uint64_t> pending{0};
@@ -60,6 +77,7 @@ class ShardStats {
   void bind(std::size_t, Counter&) noexcept {}
   void bump(std::size_t, std::uint64_t = 1) noexcept {}
   void flush() noexcept {}
+  std::uint64_t pending(std::size_t) const noexcept { return 0; }
 #endif
 };
 

@@ -1,0 +1,154 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace zen::sim {
+
+namespace {
+
+// Per-core ShardStats slot layout.
+constexpr std::size_t kSlotTasks = 0;
+constexpr std::size_t kSlotBatches = 1;
+
+struct EngineMetrics {
+  obs::Counter& tasks;
+  obs::Counter& batches;
+  obs::Gauge& workers;
+  static EngineMetrics& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static EngineMetrics m{
+        reg.counter("zen_engine_tasks_total", "",
+                    "Sharded compute tasks executed by engine workers"),
+        reg.counter("zen_engine_worker_batches_total", "",
+                    "Per-worker backlog drains (one per worker per slice)"),
+        reg.gauge("zen_engine_workers", "",
+                  "Worker threads in the most recently built engine")};
+    return m;
+  }
+};
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(Options opts)
+    : n_workers_(opts.workers < 2 ? 2 : opts.workers) {
+  // Spinning only helps when the workers and the coordinator genuinely
+  // run concurrently; oversubscribed, it steals the coordinator's quantum.
+  const unsigned hw = std::thread::hardware_concurrency();
+  spin_ = opts.spin >= 0 ? opts.spin : (hw > n_workers_ ? 4096 : 0);
+
+  EngineMetrics::get();  // register series before workers can bump slots
+  EngineMetrics::get().workers.set(static_cast<double>(n_workers_));
+  staging_.resize(n_workers_);
+  workers_.reserve(n_workers_);
+  for (unsigned i = 0; i < n_workers_; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->stats.bind(kSlotTasks, EngineMetrics::get().tasks);
+    w->stats.bind(kSlotBatches, EngineMetrics::get().batches);
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_)
+    w->thread = std::thread([this, raw = w.get()] { worker_loop(*raw); });
+}
+
+ParallelEngine::~ParallelEngine() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_one();
+  }
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+std::uint64_t ParallelEngine::worker_tasks(unsigned worker) const {
+  // Valid between batches (quiescence barrier) or after destruction.
+  return workers_.at(worker)->tasks_run;
+}
+
+void ParallelEngine::worker_loop(Worker& w) {
+  std::vector<Task> local;
+  for (;;) {
+    // Bounded lock-free spin on the atomic flags, then park. The flags are
+    // only written under w.mu, so the cv.wait predicate cannot miss a wakeup.
+    for (int i = 0; i < spin_; ++i) {
+      if (w.has_work.load(std::memory_order_acquire) ||
+          w.stop.load(std::memory_order_acquire))
+        break;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    }
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.cv.wait(lock, [&] {
+        return w.has_work.load(std::memory_order_acquire) ||
+               w.stop.load(std::memory_order_acquire);
+      });
+      if (w.stop.load(std::memory_order_relaxed) &&
+          !w.has_work.load(std::memory_order_relaxed))
+        return;
+      local.swap(w.backlog);
+      w.has_work.store(false, std::memory_order_relaxed);
+    }
+
+    for (const Task& task : local) task.fn(task.ctx);
+    w.tasks_run += local.size();
+    w.stats.bump(kSlotTasks, local.size());
+    w.stats.bump(kSlotBatches);
+    local.clear();
+
+    // Last worker out closes the barrier.
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::run_batch(std::span<const Task> tasks) {
+  if (tasks.empty()) return;
+  ++batches_;
+  tasks_ += tasks.size();
+  max_batch_ = std::max(max_batch_, tasks.size());
+
+  // Partition by shard, preserving submission order within each shard.
+  for (const Task& task : tasks) staging_[shard_of(task.key)].push_back(task);
+
+  int involved = 0;
+  for (unsigned i = 0; i < n_workers_; ++i)
+    if (!staging_[i].empty()) ++involved;
+  outstanding_.store(involved, std::memory_order_release);
+
+  for (unsigned i = 0; i < n_workers_; ++i) {
+    if (staging_[i].empty()) continue;
+    Worker& w = *workers_[i];
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.backlog.swap(staging_[i]);
+      w.has_work = true;
+    }
+    w.cv.notify_one();
+    staging_[i].clear();  // old backlog buffer, reused next batch
+  }
+
+  // Wait for quiescence: brief spin (slices are microseconds apart when
+  // the fabric is busy), then park.
+  for (int i = 0; i < spin_; ++i) {
+    if (outstanding_.load(std::memory_order_acquire) == 0) break;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+  if (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+}  // namespace zen::sim

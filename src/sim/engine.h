@@ -1,0 +1,115 @@
+// ParallelEngine: the per-core packet-engine pool (LANA xt_engine analog).
+//
+// N worker threads, each owning a cacheline-aligned backlog queue and a
+// per-core obs::ShardStats block. The coordinator (the simulation thread)
+// hands a whole batch of tasks to the pool per call: tasks are partitioned
+// by a stable key -> shard mapping, each shard's share is moved into its
+// worker's backlog under one lock acquisition (batching amortizes the
+// queue synchronization over every packet in the slice), and run_batch()
+// blocks until every worker has drained.
+//
+// Ordering contract — the basis of the determinism guarantee one layer up:
+//   * tasks sharing a key always run on the same worker, in submission
+//     order (per-shard FIFO);
+//   * run_batch() is a full quiescence barrier: when it returns, no worker
+//     is touching any task state, so the coordinator may freely mutate
+//     shared structures (flow_mods, metric drains, crashes) between
+//     batches.
+//
+// Workers spin briefly before parking (condvar) so back-to-back slices on
+// a multi-core box pay nanoseconds, not a futex round trip; on machines
+// with fewer cores than workers the spin is disabled to avoid burning the
+// coordinator's quantum.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "obs/shard_stats.h"
+
+namespace zen::sim {
+
+class ParallelEngine {
+ public:
+  struct Options {
+    // Worker threads. 0 and 1 both mean "no pool": callers should not
+    // construct an engine at all and run tasks inline instead.
+    unsigned workers = 2;
+    // Spin iterations before a worker parks on its condvar. -1 picks a
+    // default: ~4k when the host has spare cores, 0 when oversubscribed.
+    int spin = -1;
+  };
+
+  // One unit of work: `fn(ctx)` runs on the worker owning `key`.
+  struct Task {
+    std::uint64_t key = 0;
+    void* ctx = nullptr;
+    void (*fn)(void*) = nullptr;
+  };
+
+  explicit ParallelEngine(Options opts);
+  ~ParallelEngine();
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  unsigned workers() const noexcept { return n_workers_; }
+
+  // Stable shard owner for a key (mixed, then reduced mod workers).
+  unsigned shard_of(std::uint64_t key) const noexcept {
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdULL;
+    key ^= key >> 33;
+    return static_cast<unsigned>(key % n_workers_);
+  }
+
+  // Runs every task on its owner shard; returns when all are done. Tasks
+  // must not schedule events, touch coordinator-owned state, or block.
+  // Only the coordinator thread may call this, and never reentrantly.
+  void run_batch(std::span<const Task> tasks);
+
+  // ---- introspection ----
+  std::uint64_t batches() const noexcept { return batches_; }
+  std::uint64_t tasks_run() const noexcept { return tasks_; }
+  std::size_t max_batch() const noexcept { return max_batch_; }
+  // Tasks executed by one worker over the engine's lifetime (tests use
+  // this to check per-core aggregation against the global counters).
+  std::uint64_t worker_tasks(unsigned worker) const;
+
+ private:
+  struct alignas(64) Worker {
+    std::mutex mu;                   // guards backlog; pairs with cv
+    std::condition_variable cv;
+    std::vector<Task> backlog;       // coordinator fills, worker drains
+    // Flags are atomic so the spin path can poll them lock-free; they are
+    // always *written* with mu held, which closes the lost-wakeup window.
+    std::atomic<bool> has_work{false};
+    std::atomic<bool> stop{false};
+    std::uint64_t tasks_run = 0;     // worker-private; read after join/barrier
+    obs::ShardStats stats;           // per-core slots, lazily drained
+    std::thread thread;
+  };
+
+  void worker_loop(Worker& w);
+
+  unsigned n_workers_;
+  int spin_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  // Batch completion barrier.
+  std::atomic<int> outstanding_{0};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  // Coordinator-side scratch: per-shard task staging, reused across
+  // batches so steady state allocates nothing.
+  std::vector<std::vector<Task>> staging_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t tasks_ = 0;
+  std::size_t max_batch_ = 0;
+};
+
+}  // namespace zen::sim

@@ -2,6 +2,26 @@
 //
 // Events at equal times fire in scheduling order (a monotonic sequence
 // number breaks ties), which keeps runs deterministic.
+//
+// Sharded events and the parallel slice
+// -------------------------------------
+// A *sharded* event is a two-phase callback keyed by the entity it touches
+// (e.g. a packet delivery keyed by destination switch):
+//
+//   Compute — reads/writes only state owned by `key`'s shard. May not
+//             schedule events, touch other shards, or block.
+//   Apply   — runs on the coordinator thread with exclusive access to
+//             everything; may schedule, transmit, call controllers.
+//
+// Without an engine installed, a sharded event behaves exactly like a
+// plain event (Compute then Apply, inline, in seq order) — byte-identical
+// to the single-threaded simulator. With an engine, step() peels the
+// maximal contiguous run of sharded events at the head of the heap that
+// share one timestamp, fans the Compute phases out across the engine's
+// workers (same key -> same worker, FIFO), waits for quiescence, then
+// runs every Apply phase in seq order. Because Apply order is the seq
+// order either way, final state matches the inline run for any worker
+// count.
 #pragma once
 
 #include <cstdint>
@@ -10,9 +30,14 @@
 
 namespace zen::sim {
 
+class ParallelEngine;
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  enum class Phase { kCompute, kApply };
+  using PhasedCallback = std::function<void(Phase)>;
 
   double now() const noexcept { return now_; }
 
@@ -24,24 +49,48 @@ class EventQueue {
     schedule_at(now_ + delay, std::move(fn));
   }
 
-  // Runs the next event; returns false if the queue is empty.
+  // Schedules a two-phase sharded event (see header comment). Events with
+  // equal keys at equal times keep their scheduling order through both
+  // phases, so per-(switch,flow) packet order is preserved at any N.
+  void schedule_sharded_at(double at, std::uint64_t key, PhasedCallback fn);
+  void schedule_sharded_in(double delay, std::uint64_t key,
+                           PhasedCallback fn) {
+    schedule_sharded_at(now_ + delay, key, std::move(fn));
+  }
+
+  // Installs (or clears, with nullptr) the worker pool used for sharded
+  // slices. Borrowed pointer; the engine must outlive the queue's run.
+  void set_engine(ParallelEngine* engine) noexcept { engine_ = engine; }
+  ParallelEngine* engine() const noexcept { return engine_; }
+
+  // Runs the next event — or, when an engine is installed and the head of
+  // the heap is a run of same-time sharded events, that whole slice.
+  // Returns false if the queue is empty.
   bool step();
 
   // Runs events with time <= until (advances the clock to `until` even if
   // the queue drains early).
   void run_until(double until);
 
-  // Runs until the queue is empty or `max_events` fired.
+  // Runs until the queue is empty or at least `max_events` fired (a slice
+  // that straddles the limit completes; the true count is returned).
   std::size_t run(std::size_t max_events = SIZE_MAX);
 
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t pending() const noexcept { return heap_.size(); }
 
+  // Sharded events dispatched through the parallel path (slices of >= 2;
+  // singleton slices and inline mode run on the coordinator).
+  std::uint64_t parallel_events() const noexcept { return parallel_events_; }
+
  private:
   struct Event {
     double at;
     std::uint64_t seq;
-    Callback fn;
+    Callback fn;          // plain events
+    PhasedCallback phased; // sharded events (exactly one of fn/phased set)
+    std::uint64_t key = 0;
+    bool sharded() const noexcept { return static_cast<bool>(phased); }
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -50,12 +99,19 @@ class EventQueue {
     }
   };
 
+  // Pops the head dispatch unit (one plain event, or a sharded slice) and
+  // runs it. Returns the number of events executed (0 when empty).
+  std::size_t step_slice();
+
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t parallel_events_ = 0;
+  ParallelEngine* engine_ = nullptr;
   // A raw binary heap instead of std::priority_queue: top() is const there,
   // which forces step() to *copy* the callback (and any captured packet
   // buffers) out of the queue. pop_heap + move keeps delivery zero-copy.
   std::vector<Event> heap_;
+  std::vector<Event> slice_;  // scratch for the current sharded slice
 };
 
 }  // namespace zen::sim

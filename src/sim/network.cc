@@ -3,6 +3,7 @@
 #include "net/packet.h"
 #include "net/telemetry.h"
 #include "obs/obs.h"
+#include "sim/engine.h"
 #include "telemetry/export.h"
 #include "util/clock.h"
 #include "util/logging.h"
@@ -95,6 +96,14 @@ SimNetwork::SimNetwork(topo::GeneratedTopo generated, SimOptions options)
 
   if (options_.expiry_interval_s > 0) schedule_expiry_sweep();
   if (options_.telemetry.enabled) configure_telemetry(options_.telemetry);
+
+  // Sharded packet engine: N > 1 fans same-instant deliveries out across
+  // per-core workers. Inline otherwise — no pool, no threads.
+  if (options_.engine_workers > 1) {
+    engine_ = std::make_unique<ParallelEngine>(ParallelEngine::Options{
+        .workers = options_.engine_workers, .spin = options_.engine_spin});
+    events_.set_engine(engine_.get());
+  }
 
   // Make this simulation's virtual clock the process time source so log
   // prefixes and trace spans carry virtual seconds. Most recent network
@@ -271,10 +280,7 @@ void SimNetwork::start_transmission(topo::LinkId link_id, int dir,
   const std::uint32_t to_port = link->port_at(to);
   const double done_at = now() + tx_time;
   // Frame reaches the far end one propagation delay after serialization.
-  events_.schedule_at(done_at + link->latency_s,
-                      [this, to, to_port, f = std::move(frame)]() mutable {
-                        deliver(to, to_port, std::move(f));
-                      });
+  schedule_delivery(done_at + link->latency_s, to, to_port, std::move(frame));
   events_.schedule_at(done_at,
                       [this, link_id, dir] { on_transmit_complete(link_id, dir); });
 }
@@ -340,6 +346,39 @@ void SimNetwork::deliver(topo::NodeId node, std::uint32_t port,
   const auto sw_it = switches_.find(node);
   if (sw_it == switches_.end() || !switch_up(node)) return;
   handle_forward_result(node, sw_it->second->ingress(now(), port, frame));
+}
+
+void SimNetwork::schedule_delivery(double at, topo::NodeId node,
+                                   std::uint32_t port, net::Bytes frame) {
+  // Two-phase arrival, sharded by destination node. The compute half runs
+  // the switch's match/lookup pipeline (which touches only that switch's
+  // tables, cache, meters and per-switch metrics — all owned by the
+  // node's shard during a slice); everything with global reach happens in
+  // the apply half on the coordinator, in seq order. With no engine
+  // installed the two phases run back to back, reproducing the classic
+  // single-threaded delivery byte for byte. Host arrivals keep a no-op
+  // compute phase: they stay sharded so they never fragment a slice, but
+  // the telemetry-strip/SLO/host path shares sink-side state and thus
+  // belongs to the coordinator.
+  events_.schedule_sharded_at(
+      at, static_cast<std::uint64_t>(node),
+      [this, node, port, f = std::move(frame),
+       result = dataplane::ForwardResult{},
+       computed = false](EventQueue::Phase phase) mutable {
+        if (phase == EventQueue::Phase::kCompute) {
+          if (hosts_.contains(node)) return;
+          const auto sw_it = switches_.find(node);
+          if (sw_it == switches_.end() || !switch_up(node)) return;
+          result = sw_it->second->ingress(now(), port, f);
+          computed = true;
+          return;
+        }
+        if (computed) {
+          handle_forward_result(node, std::move(result));
+          return;
+        }
+        deliver(node, port, std::move(f));
+      });
 }
 
 void SimNetwork::handle_forward_result(topo::NodeId sw,

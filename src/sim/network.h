@@ -46,6 +46,15 @@ struct SimOptions {
   // INT-style telemetry + sampled flow export (disabled by default, so a
   // plain simulation is bit-for-bit identical to one without telemetry).
   telemetry::Options telemetry;
+  // Dataplane worker threads for the sharded packet engine. 0 or 1 runs
+  // everything inline on the simulation thread (byte-identical to the
+  // classic single-threaded simulator); N > 1 partitions switches across
+  // N per-core engines and fans same-instant independent deliveries out
+  // in parallel. Final state is identical for any value — see
+  // EventQueue's two-phase sharded dispatch.
+  unsigned engine_workers = 0;
+  // Worker spin before parking (-1 = auto). Forwarded to the engine.
+  int engine_spin = -1;
 };
 
 class SimNetwork {
@@ -61,6 +70,8 @@ class SimNetwork {
 
   EventQueue& events() noexcept { return events_; }
   double now() const noexcept { return events_.now(); }
+  // The sharded packet engine (nullptr when engine_workers <= 1).
+  ParallelEngine* engine() noexcept { return engine_.get(); }
   topo::Topology& topology() noexcept { return gen_.topo; }
   const topo::GeneratedTopo& generated() const noexcept { return gen_; }
 
@@ -162,6 +173,13 @@ class SimNetwork {
   void start_transmission(topo::LinkId link_id, int dir, net::Bytes frame);
   void on_transmit_complete(topo::LinkId link_id, int dir);
   void deliver(topo::NodeId node, std::uint32_t port, net::Bytes frame);
+  // Schedules the arrival of `frame` at `node` as a two-phase sharded
+  // event keyed by the destination: the switch-lookup half (ingress) runs
+  // in the compute phase on the node's shard, the side effects (transmit,
+  // PacketIn fan-out, host delivery) in the apply phase on the
+  // coordinator, in seq order.
+  void schedule_delivery(double at, topo::NodeId node, std::uint32_t port,
+                         net::Bytes frame);
   void handle_forward_result(topo::NodeId sw, dataplane::ForwardResult result);
   void schedule_expiry_sweep();
   void schedule_telemetry_sweep();
@@ -177,6 +195,7 @@ class SimNetwork {
   topo::GeneratedTopo gen_;
   SimOptions options_;
   EventQueue events_;
+  std::unique_ptr<ParallelEngine> engine_;  // after events_: torn down first
   std::unordered_map<topo::NodeId, std::unique_ptr<dataplane::Switch>> switches_;
   std::unordered_map<topo::NodeId, std::unique_ptr<SimHost>> hosts_;
   std::unordered_map<net::Ipv4Address, topo::NodeId> ip_to_host_;

@@ -1,0 +1,116 @@
+#include "util/epoch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+#include <thread>
+
+namespace zen::util {
+
+EpochReclaimer& EpochReclaimer::global() {
+  static EpochReclaimer instance;
+  return instance;
+}
+
+EpochReclaimer::~EpochReclaimer() {
+  // Destruction contract: no live guards. Everything retired is now safe.
+  std::lock_guard<std::mutex> lock(garbage_mu_);
+  for (const Garbage& g : garbage_) g.deleter(g.ptr);
+  freed_total_.fetch_add(garbage_.size(), std::memory_order_relaxed);
+  garbage_.clear();
+}
+
+std::size_t EpochReclaimer::acquire_slot() {
+  // Start the scan at a thread-dependent offset so concurrent pinners do
+  // not all hammer slot 0's cacheline.
+  const std::size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    const std::size_t s = (start + i) % kSlots;
+    std::uint64_t expected = 0;
+    if (slots_[s].epoch.compare_exchange_strong(expected, 1,
+                                                std::memory_order_acq_rel))
+      return s;
+  }
+  // Pool exhausted: more than kSlots simultaneous guards. Treat as a hard
+  // configuration error rather than silently racing.
+  std::abort();
+}
+
+void EpochReclaimer::release_slot(std::size_t slot) {
+  slots_[slot].epoch.store(0, std::memory_order_release);
+}
+
+EpochReclaimer::Guard::Guard(EpochReclaimer& owner) : owner_(&owner) {
+  slot_ = owner_->acquire_slot();
+  // seq_cst: the epoch announcement must be globally visible before any
+  // read of the protected structure, and must not be reordered after them.
+  owner_->slots_[slot_].epoch.store(
+      owner_->epoch_.load(std::memory_order_seq_cst),
+      std::memory_order_seq_cst);
+}
+
+EpochReclaimer::Guard::~Guard() { owner_->release_slot(slot_); }
+
+void EpochReclaimer::retire_erased(void* p, void (*deleter)(void*)) {
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  bool do_collect = false;
+  {
+    std::lock_guard<std::mutex> lock(garbage_mu_);
+    garbage_.push_back(
+        Garbage{p, deleter, epoch_.load(std::memory_order_seq_cst)});
+    do_collect = ++retires_since_collect_ >= kCollectStride;
+    if (do_collect) retires_since_collect_ = 0;
+  }
+  if (do_collect) collect();
+}
+
+std::size_t EpochReclaimer::collect() {
+  const std::uint64_t current = epoch_.load(std::memory_order_seq_cst);
+  // Minimum epoch over pinned readers; readers mid-acquire hold the
+  // sentinel 1 and conservatively block everything (they are about to pin
+  // at >= the epoch they will read, but treat them as "unknown, old").
+  std::uint64_t min_pinned = std::numeric_limits<std::uint64_t>::max();
+  bool all_current = true;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e == 0) continue;
+    const std::uint64_t effective = (e == 1) ? 2 : e;  // mid-acquire
+    min_pinned = std::min(min_pinned, effective);
+    if (effective < current) all_current = false;
+  }
+
+  // Advance only when every pinned reader caught up, so min_pinned can
+  // keep growing (a parked reader never blocks forever: it is unpinned).
+  if (all_current) {
+    std::uint64_t expected = current;
+    epoch_.compare_exchange_strong(expected, current + 1,
+                                   std::memory_order_seq_cst);
+  }
+
+  std::vector<Garbage> free_now;
+  {
+    std::lock_guard<std::mutex> lock(garbage_mu_);
+    auto keep = garbage_.begin();
+    for (auto it = garbage_.begin(); it != garbage_.end(); ++it) {
+      if (it->epoch < min_pinned) {
+        free_now.push_back(*it);
+      } else {
+        if (keep != it) *keep = *it;
+        ++keep;
+      }
+    }
+    garbage_.erase(keep, garbage_.end());
+  }
+  for (const Garbage& g : free_now) g.deleter(g.ptr);
+  freed_total_.fetch_add(free_now.size(), std::memory_order_relaxed);
+  return free_now.size();
+}
+
+std::size_t EpochReclaimer::pending() const {
+  std::lock_guard<std::mutex> lock(garbage_mu_);
+  return garbage_.size();
+}
+
+}  // namespace zen::util

@@ -30,7 +30,7 @@ std::size_t Histogram::bucket_for(double value) noexcept {
   const int octave =
       std::min(static_cast<int>(bits >> 52) - 1023, kOctaves - 1);
   const double base =
-      std::bit_cast<double>(std::uint64_t{1023 + octave} << 52);
+      std::bit_cast<double>(static_cast<std::uint64_t>(1023 + octave) << 52);
   const auto sub = static_cast<std::size_t>((value - base) / base * kSubBuckets);
   return static_cast<std::size_t>(octave) * kSubBuckets +
          std::min<std::size_t>(sub, kSubBuckets - 1) + 1;

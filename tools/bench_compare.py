@@ -25,6 +25,7 @@ import sys
 
 DEFAULT_GATES = [
     "BM_SimulatorPacketRate",
+    "BM_ParallelPacketRate/threads:1",
     "BM_ProactiveRecompute/8",
     "BM_ReactiveFlowSetupRate",
     "BM_SouthboundEncodeThroughput/64",
